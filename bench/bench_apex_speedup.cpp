@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Regenerates the §III-C APEX claim: interval-counter power extraction
+ * matches the detailed cycle-by-cycle reference while being orders of
+ * magnitude faster to evaluate.
+ *
+ * The paper's APEX achieves ~5000x over software RTL simulation by
+ * running on the AWAN hardware accelerator; this reproduction measures
+ * the algorithmic component of that gap — one-pass counter aggregation
+ * versus the full per-cycle component walk — on the same host.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "power/apex.h"
+
+using namespace p10ee;
+
+int
+main()
+{
+    auto p10 = core::power10();
+    power::EnergyModel energy(p10);
+
+    common::Table t("APEX vs detailed power evaluation");
+    t.header({"workload", "detailed pJ/cyc", "APEX pJ/cyc", "mean |err|",
+              "detailed s", "APEX s", "speedup"});
+
+    double worstErr = 0.0;
+    double sumSpeedup = 0.0;
+    int n = 0;
+    for (const char* name : {"perlbench", "x264", "mcf", "exchange2"}) {
+        auto prof = workloads::profileByName(name);
+        workloads::SyntheticWorkload src(prof);
+        core::CoreModel m(p10);
+        core::RunOptions o;
+        o.warmupInstrs = 30000;
+        o.measureInstrs = 200000;
+        o.collectTimings = true;
+        auto run = m.run({&src}, o);
+
+        auto cmp = power::compareApexVsDetailed(energy, run, 1000);
+        t.row({name, common::fmt(cmp.detailedMeanPj, 1),
+               common::fmt(cmp.apexMeanPj, 1),
+               common::fmtPct(cmp.meanAbsErrorFrac),
+               common::fmt(cmp.detailedSeconds, 4),
+               common::fmt(cmp.apexSeconds, 5),
+               common::fmtX(cmp.speedup, 0)});
+        worstErr = std::max(worstErr, cmp.meanAbsErrorFrac);
+        sumSpeedup += cmp.speedup;
+        ++n;
+    }
+    t.print();
+    std::printf("\npaper: ~5000x speedup at identical accuracy (on the "
+                "AWAN hardware accelerator);\nmeasured: %.0fx average "
+                "algorithmic speedup, worst-case error %.2f%%\n",
+                sumSpeedup / n, worstErr * 100.0);
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Regenerates Fig. 11: M1-linked active-power model accuracy versus
+ * number of inputs, for different modeling constraints.
+ *
+ * Paper shape: error decreases with more inputs, reaching <2.5% active-
+ * power error when the input count is maximized.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "model/dataset.h"
+#include "model/regress.h"
+#include "workloads/kernels.h"
+#include "workloads/microprobe.h"
+
+using namespace p10ee;
+
+int
+main()
+{
+    auto p10 = core::power10();
+    power::EnergyModel energy(p10);
+
+    // Workload corpus: SPECint proxies at ST/SMT2/SMT4, the Microprobe
+    // synthetics, and the classic kernels — the variety that §III-D
+    // says makes the M1-linked models robust.
+    std::vector<core::RunResult> runs;
+    for (const auto& prof : workloads::specint2017()) {
+        for (int smt : {1, 2, 4}) {
+            auto e = bench::runOne(p10, prof, smt, 60000);
+            runs.push_back(std::move(e.run));
+        }
+    }
+    for (const auto& tc : workloads::fig13Suite()) {
+        std::vector<std::unique_ptr<workloads::InstrSource>> srcs;
+        std::vector<workloads::InstrSource*> ptrs;
+        for (int th = 0; th < tc.smt; ++th) {
+            srcs.push_back(workloads::makeCaseSource(tc, th));
+            ptrs.push_back(srcs.back().get());
+        }
+        core::CoreModel m(p10);
+        core::RunOptions o;
+        o.warmupInstrs = 20000;
+        o.measureInstrs = 50000;
+        runs.push_back(m.run(ptrs, o));
+    }
+    std::vector<std::unique_ptr<workloads::InstrSource>> kernels;
+    kernels.push_back(workloads::makeDaxpy());
+    kernels.push_back(workloads::makeStreamTriad());
+    kernels.push_back(workloads::makePointerChase());
+    for (const auto& kern : kernels) {
+        core::CoreModel m(p10);
+        core::RunOptions o;
+        o.warmupInstrs = 20000;
+        o.measureInstrs = 50000;
+        runs.push_back(m.run({kern.get()}, o));
+    }
+
+    auto ds = model::buildAggregateDataset(runs, energy);
+    std::printf("corpus: %zu workload windows, %zu candidate counters\n",
+                ds.samples.size(), ds.featureNames.size());
+
+    common::Table t("Fig. 11 — active-power model error vs #inputs");
+    t.header({"#inputs", "NNLS+intercept", "NNLS no-int", "OLS",
+              "paper"});
+    for (int k : {1, 2, 4, 6, 8, 12, 16, 24, 32}) {
+        model::ModelOptions nn;
+        nn.maxInputs = k;
+        model::ModelOptions nni = nn;
+        nni.intercept = false;
+        model::ModelOptions ols = nn;
+        ols.nonNegative = false;
+        auto m1 = model::trainModel(ds, nn);
+        auto m2 = model::trainModel(ds, nni);
+        auto m3 = model::trainModel(ds, ols);
+        t.row({std::to_string(k),
+               common::fmtPct(model::meanAbsErrorFrac(m1, ds)),
+               common::fmtPct(model::meanAbsErrorFrac(m2, ds)),
+               common::fmtPct(model::meanAbsErrorFrac(m3, ds)),
+               k >= 24 ? "<2.5% at max inputs" : "-"});
+    }
+    t.print();
+    return 0;
+}

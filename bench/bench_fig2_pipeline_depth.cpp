@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Regenerates Fig. 2: optimal pipeline depth analysis — BIPS at
+ * power-limited frequency versus per-stage FO4 for power targets
+ * 0.5x..1.0x of the baseline. Paper result: the optimum holds at
+ * 27 FO4 across the power targets of interest.
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "pipeline/depth.h"
+
+using namespace p10ee;
+
+int
+main()
+{
+    pipeline::DepthParams params;
+    const std::vector<double> fo4s = {14, 17, 20, 23, 27, 31, 36, 42, 48};
+    const std::vector<double> targets = {1.0, 0.9, 0.8, 0.65, 0.5};
+
+    common::Table table(
+        "Fig. 2 — BIPS vs pipeline depth (FO4/stage) at power-limited "
+        "frequency, normalized to 27 FO4 @ target 1.0");
+    std::vector<std::string> header = {"FO4/stage", "stages"};
+    for (double t : targets)
+        header.push_back("P=" + common::fmt(t, 2) + "x");
+    table.header(header);
+
+    double norm =
+        pipeline::evaluateDepth(params, params.baseFo4, 1.0).bips;
+    for (double f : fo4s) {
+        std::vector<std::string> row = {common::fmt(f, 0)};
+        row.push_back(std::to_string(
+            pipeline::evaluateDepth(params, f, 1.0).stages));
+        for (double t : targets) {
+            auto pt = pipeline::evaluateDepth(params, f, t);
+            row.push_back(common::fmt(pt.bips / norm, 3));
+        }
+        table.row(row);
+    }
+    table.print();
+
+    common::Table opt("Fig. 2 — optimal FO4 per power target");
+    opt.header({"power target", "optimal FO4", "paper"});
+    for (double t : targets)
+        opt.row({common::fmt(t, 2) + "x",
+                 common::fmt(pipeline::optimalFo4(params, t), 1),
+                 "27 (stable over 0.5-1.0x)"});
+    opt.print();
+    return 0;
+}

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Regenerates Fig. 4: effect of design changes in different
+ * micro-architecture units from POWER9 to POWER10.
+ *
+ * Method (as in the paper): for each feature group, compare full
+ * POWER10 against POWER10 with that group reverted to POWER9; the bar is
+ * the performance lost by removing the group, averaged across SPECint,
+ * in ST and SMT8 modes. Stars are the maximum gain across the
+ * commercial / Python / ML workload groups.
+ *
+ * Paper reference values (SMT8 SPECint averages): branch ~4%,
+ * latency+BW ~10%, L2 ~9%, decode+2xVSX ~5%, queues ~4%; ML/analytics
+ * workloads gain close to 2x from the doubled VSX units.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/config.h"
+
+using namespace p10ee;
+using bench::runSuite;
+
+namespace {
+
+constexpr uint64_t kInstrs = 150000;
+
+double
+suiteGain(const core::CoreConfig& full, const core::CoreConfig& without,
+          const std::vector<workloads::WorkloadProfile>& profiles,
+          int smt)
+{
+    auto withFeature = runSuite(full, profiles, smt, kInstrs);
+    auto withoutFeature = runSuite(without, profiles, smt, kInstrs);
+    return withFeature.geoMeanIpc() / withoutFeature.geoMeanIpc() - 1.0;
+}
+
+double
+maxGroupGain(const core::CoreConfig& full, const core::CoreConfig& without,
+             int smt)
+{
+    double best = 0.0;
+    for (const auto& p : workloads::extraGroups()) {
+        auto a = bench::runOne(full, p, smt, kInstrs);
+        auto b = bench::runOne(without, p, smt, kInstrs);
+        double gain = a.run.ipc() / b.run.ipc() - 1.0;
+        if (gain > best)
+            best = gain;
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto& spec = workloads::specint2017();
+    core::CoreConfig p10 = core::power10();
+
+    common::Table table(
+        "Fig. 4 — performance effect of POWER10 design changes "
+        "(remove-one ablation vs full POWER10)");
+    table.header({"group", "ST (SPECint)", "SMT8 (SPECint)",
+                  "max (workload groups)", "paper SMT8"});
+
+    const char* paperVals[] = {"~4%", "~10%", "~9%", "~5%", "~4%"};
+    for (int g = 0; g < static_cast<int>(core::AblationGroup::NumGroups);
+         ++g) {
+        auto group = static_cast<core::AblationGroup>(g);
+        core::CoreConfig without = core::power10Without(group);
+        double st = suiteGain(p10, without, spec, 1);
+        double smt8 = suiteGain(p10, without, spec, 8);
+        double star = maxGroupGain(p10, without, 8);
+        table.row({core::ablationGroupName(group), common::fmtPct(st),
+                   common::fmtPct(smt8), common::fmtPct(star),
+                   paperVals[g]});
+    }
+
+    // Overall POWER10 vs POWER9 context rows.
+    core::CoreConfig p9 = core::power9();
+    auto p9St = runSuite(p9, spec, 1, kInstrs);
+    auto p10St = runSuite(p10, spec, 1, kInstrs);
+    auto p9Smt = runSuite(p9, spec, 8, kInstrs);
+    auto p10Smt = runSuite(p10, spec, 8, kInstrs);
+    table.row({"TOTAL (P10 vs P9)",
+               common::fmtPct(p10St.geoMeanIpc() / p9St.geoMeanIpc() -
+                              1.0),
+               common::fmtPct(p10Smt.geoMeanIpc() / p9Smt.geoMeanIpc() -
+                              1.0),
+               "-", "~30% throughput"});
+    table.print();
+
+    // Flushed-instruction reduction (paper §II-B: 25% SPECint, 38%
+    // interpreted languages).
+    common::Table flush("Flushed/wasted instruction reduction P9 -> P10");
+    flush.header({"workload set", "P9 wasted/ki", "P10 wasted/ki",
+                  "reduction", "paper"});
+    double w9 = 0.0, w10 = 0.0;
+    for (const auto& e : p9Smt.entries)
+        w9 += e.run.perKilo("flush.wasted");
+    for (const auto& e : p10Smt.entries)
+        w10 += e.run.perKilo("flush.wasted");
+    w9 /= static_cast<double>(p9Smt.entries.size());
+    w10 /= static_cast<double>(p10Smt.entries.size());
+    flush.row({"SPECint", common::fmt(w9, 1), common::fmt(w10, 1),
+               common::fmtPct(1.0 - w10 / w9), "25%"});
+
+    auto interp = workloads::profileByName("python_interp");
+    auto i9 = bench::runOne(p9, interp, 8, kInstrs);
+    auto i10 = bench::runOne(p10, interp, 8, kInstrs);
+    flush.row({"interpreted/analytics",
+               common::fmt(i9.run.perKilo("flush.wasted"), 1),
+               common::fmt(i10.run.perKilo("flush.wasted"), 1),
+               common::fmtPct(1.0 - i10.run.perKilo("flush.wasted") /
+                                        i9.run.perKilo("flush.wasted")),
+               "38%"});
+    flush.print();
+    return 0;
+}

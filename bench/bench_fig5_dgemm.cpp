@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Regenerates Fig. 5: DGEMM FLOPs/cycle and core power, POWER10 VSU and
+ * MMA code normalized to the POWER9 VSU baseline (single thread).
+ *
+ * Paper values: P10 VSU 1.95x FLOPs/cycle at -32.2% core power; P10 MMA
+ * 5.47x at -24.1%; absolute 9.94 FLOPs/cycle VSU (62.1% of peak) and
+ * 27.9 MMA (87.1% of peak) on POWER10.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "mma/gemm.h"
+
+using namespace p10ee;
+
+int
+main()
+{
+    // OpenBLAS-representative kernel: measurement windows cover the
+    // inner loop plus tile transitions, as in the paper's 5K-cycle
+    // windows with cross-inner-loop effects.
+    constexpr int kM = 64, kN = 64, kK = 64;
+    std::vector<double> a(kM * kK, 1.25), b(kK * kN, 0.75);
+    std::vector<double> cv(kM * kN, 0.0), cm(kM * kN, 0.0);
+
+    mma::VectorSink vsu, mmaSink;
+    mma::dgemmVsu(a.data(), b.data(), cv.data(), {kM, kN, kK}, &vsu);
+    mma::dgemmMma(a.data(), b.data(), cm.data(), {kM, kN, kK}, &mmaSink);
+
+    constexpr uint64_t kInstrs = 150000;
+    auto p9 = core::power9();
+    auto p10 = core::power10();
+    auto r9 = bench::runStream(p9, "dgemm_vsu", vsu.instrs(), kInstrs);
+    auto r10v = bench::runStream(p10, "dgemm_vsu", vsu.instrs(), kInstrs);
+    auto r10m = bench::runStream(p10, "dgemm_mma", mmaSink.instrs(),
+                                 kInstrs);
+
+    double f9 = r9.run.flopsPerCycle();
+    double f10v = r10v.run.flopsPerCycle();
+    double f10m = r10m.run.flopsPerCycle();
+    double w9 = r9.power.totalPj;
+    double w10v = r10v.power.totalPj;
+    double w10m = r10m.power.totalPj;
+
+    common::Table t(
+        "Fig. 5 — DGEMM FLOPs/cycle and core power (normalized to "
+        "POWER9 VSU, single thread)");
+    t.header({"configuration", "flops/cyc", "of peak", "rel flops/cyc",
+              "rel core power", "paper"});
+    t.row({"POWER9 VSU", common::fmt(f9), common::fmtPct(f9 / 8.0),
+           "1.00x", "1.00x", "baseline"});
+    t.row({"POWER10 VSU", common::fmt(f10v),
+           common::fmtPct(f10v / 16.0), common::fmtX(f10v / f9),
+           common::fmtX(w10v / w9), "1.95x flops, 0.678x power"});
+    t.row({"POWER10 MMA", common::fmt(f10m),
+           common::fmtPct(f10m / 32.0), common::fmtX(f10m / f9),
+           common::fmtX(w10m / w9), "5.47x flops, 0.759x power"});
+    t.print();
+
+    common::Table abs("Fig. 5 — absolute POWER10 utilization");
+    abs.header({"metric", "measured", "paper"});
+    abs.row({"P10 VSU flops/cycle", common::fmt(f10v),
+             "9.94 (62.1% of peak)"});
+    abs.row({"P10 MMA flops/cycle", common::fmt(f10m),
+             "27.9 (87.1% of peak)"});
+    abs.print();
+    return 0;
+}

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Regenerates Fig. 6: PyTorch-style FP32 ResNet-50 and BERT-Large
+ * inference on a POWER9 core vs a POWER10 core with the MMA disabled
+ * (SGEMM on the VSU) and enabled (SGEMM on 8x16 MMA panels), plus the
+ * socket-level roll-up and INT8 projection from §II-C.
+ *
+ * Method (the Tracepoints composition of §III-A): the models' GEMM call
+ * inventories give total GEMM work; kernel windows simulated on each
+ * machine give ops/cycle and ops/instruction; the non-GEMM phase
+ * (data loading / preprocessing) is a profile simulated on each machine
+ * and scaled to its instruction share.
+ *
+ * Paper values — speedup over POWER9: ResNet-50 2.25x (no MMA) / 3.55x
+ * (MMA); BERT-Large 2.08x / 3.64x; socket FP32 up to 10x; INT8 up to
+ * 21x.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "mma/gemm.h"
+#include "workloads/ai_trace.h"
+
+using namespace p10ee;
+
+namespace {
+
+/** Ops/cycle and ops/instruction of one kernel window on one machine. */
+struct KernelRate
+{
+    double opsPerCycle = 0.0;
+    double opsPerInstr = 0.0;
+};
+
+KernelRate
+measureKernel(const core::CoreConfig& cfg,
+              const std::vector<isa::TraceInstr>& loop, uint64_t kernelOps)
+{
+    auto entry = bench::runStream(cfg, "gemm_kernel", loop, 120000);
+    KernelRate r;
+    r.opsPerInstr = static_cast<double>(kernelOps) /
+                    static_cast<double>(loop.size());
+    r.opsPerCycle = r.opsPerInstr * entry.run.ipc();
+    return r;
+}
+
+/** End-to-end composition for one machine. */
+struct EndToEnd
+{
+    double gemmInstrs = 0.0;
+    double nonGemmInstrs = 0.0;
+    double cycles = 0.0;
+    double totalInstrs() const { return gemmInstrs + nonGemmInstrs; }
+    double cpi() const { return cycles / totalInstrs(); }
+    double gemmRatio() const { return gemmInstrs / totalInstrs(); }
+};
+
+EndToEnd
+compose(double totalOps, double nonGemmInstrs, const KernelRate& kr,
+        double nonGemmIpc)
+{
+    EndToEnd e;
+    e.gemmInstrs = totalOps / kr.opsPerInstr;
+    e.nonGemmInstrs = nonGemmInstrs;
+    e.cycles = totalOps / kr.opsPerCycle + nonGemmInstrs / nonGemmIpc;
+    return e;
+}
+
+} // namespace
+
+int
+main()
+{
+    auto p9 = core::power9();
+    auto p10 = core::power10();
+
+    // Kernel windows: FP32 SGEMM on the VSU (both machines), the 8x16
+    // MMA panel kernel, and the INT8 rank-4 kernel.
+    constexpr int kM = 64, kN = 64, kK = 64;
+    mma::GemmDims dims{kM, kN, kK};
+    uint64_t kernelOps = mma::gemmFlops(dims);
+    std::vector<float> a(kM * kK, 1.5f), b(kK * kN, 0.5f);
+    std::vector<float> cv(kM * kN), cm(kM * kN);
+    std::vector<int8_t> ia(kM * kK, 3), ib(kK * kN, -2);
+    std::vector<int32_t> ic(kM * kN);
+
+    mma::VectorSink sVsu, sMma, sInt8;
+    mma::sgemmVsu(a.data(), b.data(), cv.data(), dims, &sVsu);
+    mma::sgemmMma(a.data(), b.data(), cm.data(), dims, &sMma);
+    mma::igemmMma(ia.data(), ib.data(), ic.data(), dims, &sInt8);
+
+    KernelRate k9 = measureKernel(p9, sVsu.instrs(), kernelOps);
+    KernelRate k10v = measureKernel(p10, sVsu.instrs(), kernelOps);
+    KernelRate k10m = measureKernel(p10, sMma.instrs(), kernelOps);
+    KernelRate k10i = measureKernel(p10, sInt8.instrs(), kernelOps);
+
+    std::printf("SGEMM kernel ops/cycle: P9 VSU %.2f | P10 VSU %.2f | "
+                "P10 MMA %.2f | P10 MMA INT8 %.2f\n",
+                k9.opsPerCycle, k10v.opsPerCycle, k10m.opsPerCycle,
+                k10i.opsPerCycle);
+
+    struct PaperRow
+    {
+        const char* name;
+        double paperNoMma;
+        double paperMma;
+    };
+    const PaperRow rows[] = {{"ResNet-50", 2.25, 3.55},
+                             {"BERT-Large", 2.08, 3.64}};
+
+    double socketFp32 = 0.0;
+    double socketInt8 = 0.0;
+    int idx = 0;
+    for (const auto& modelFn :
+         {workloads::resnet50(100), workloads::bertLarge(8, 384)}) {
+        const auto& model = modelFn;
+        double totalOps =
+            static_cast<double>(workloads::totalGemmFlops(model));
+
+        // Non-GEMM instruction count from the baseline's GEMM
+        // instruction share.
+        double gemmInstrs9 = totalOps / k9.opsPerInstr;
+        double nonGemm = gemmInstrs9 * model.nonGemmInstrFrac /
+                         (1.0 - model.nonGemmInstrFrac);
+
+        // Non-GEMM phase IPC on each machine.
+        auto n9 = bench::runOne(p9, model.nonGemmProfile, 1, 120000);
+        auto n10 = bench::runOne(p10, model.nonGemmProfile, 1, 120000);
+
+        EndToEnd e9 = compose(totalOps, nonGemm, k9, n9.run.ipc());
+        EndToEnd e10v =
+            compose(totalOps, nonGemm, k10v, n10.run.ipc());
+        EndToEnd e10m =
+            compose(totalOps, nonGemm, k10m, n10.run.ipc());
+        EndToEnd e10i =
+            compose(totalOps, nonGemm, k10i, n10.run.ipc());
+
+        common::Table t(std::string("Fig. 6 — ") + model.name +
+                        " (FP32, batch " +
+                        std::to_string(model.batch) +
+                        "), relative to POWER9");
+        t.header({"series", "POWER9", "P10 w/o MMA", "P10 w/ MMA",
+                  "paper speedups"});
+        t.row({"GEMM inst ratio", "1.00",
+               common::fmt(e10v.gemmRatio() / e9.gemmRatio()),
+               common::fmt(e10m.gemmRatio() / e9.gemmRatio()), "-"});
+        t.row({"Total instructions", "1.00",
+               common::fmt(e10v.totalInstrs() / e9.totalInstrs()),
+               common::fmt(e10m.totalInstrs() / e9.totalInstrs()),
+               "-"});
+        t.row({"CPI", "1.00", common::fmt(e10v.cpi() / e9.cpi()),
+               common::fmt(e10m.cpi() / e9.cpi()), "-"});
+        t.row({"Cycles", "1.00",
+               common::fmt(e10v.cycles / e9.cycles),
+               common::fmt(e10m.cycles / e9.cycles), "-"});
+        t.row({"Total speedup", "1.00",
+               common::fmtX(e9.cycles / e10v.cycles),
+               common::fmtX(e9.cycles / e10m.cycles),
+               common::fmtX(rows[idx].paperNoMma) + " / " +
+                   common::fmtX(rows[idx].paperMma)});
+        t.print();
+
+        socketFp32 =
+            std::max(socketFp32, e9.cycles / e10m.cycles * 2.5 * 1.1);
+        socketInt8 =
+            std::max(socketInt8, e9.cycles / e10i.cycles * 2.5 * 1.1);
+        ++idx;
+    }
+
+    common::Table s("§II-C — socket-level projections vs POWER9 "
+                    "(x2.5 cores, x1.1 system)");
+    s.header({"metric", "measured", "paper"});
+    s.row({"FP32 socket speedup", common::fmtX(socketFp32),
+           "up to 10x"});
+    s.row({"INT8 socket speedup", common::fmtX(socketInt8),
+           "up to 21x"});
+    s.print();
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Ablation of POWER10's energy-efficiency design choices (§II-B).
+ *
+ * The paper attributes the 2x power reduction to a bundle of design
+ * decisions; this bench reverts each one alone and reports the core
+ * power it gives back on the SPECint suite — the power-side complement
+ * of the Fig. 4 performance ablation:
+ *   - latch clocks off-by-default (clock-gating quality)
+ *   - ghost/data switching suppression
+ *   - circuit redesign (CSA trees, pass-gate sum: switching energy)
+ *   - unified sliced register file (reservation-station removal)
+ *   - EA-tagged L1s (translation on miss only)
+ *   - MMA power gating (leakage when idle)
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+using namespace p10ee;
+using bench::runSuite;
+
+namespace {
+
+constexpr uint64_t kInstrs = 100000;
+
+double
+suitePower(const core::CoreConfig& cfg)
+{
+    auto r = runSuite(cfg, workloads::specint2017(), 8, kInstrs);
+    return r.meanPowerPj();
+}
+
+} // namespace
+
+int
+main()
+{
+    core::CoreConfig p10 = core::power10();
+    core::CoreConfig p9 = core::power9();
+    double base = suitePower(p10);
+    double p9Power = suitePower(p9);
+
+    common::Table t(
+        "Power-side ablation: SPECint SMT8 core power with one "
+        "POWER10 energy feature reverted to POWER9");
+    t.header({"reverted feature", "power vs full POWER10",
+              "share of the P9->P10 gap"});
+
+    auto row = [&](const char* name, core::CoreConfig cfg) {
+        double w = suitePower(cfg);
+        double gapShare = (w - base) / (p9Power - base);
+        t.row({name, common::fmtX(w / base),
+               common::fmtPct(gapShare)});
+    };
+
+    {
+        auto c = p10;
+        c.clockGateQuality = p9.clockGateQuality;
+        row("clock gating (off-by-default design)", c);
+    }
+    {
+        auto c = p10;
+        c.dataGateQuality = p9.dataGateQuality;
+        row("ghost/data switching suppression", c);
+    }
+    {
+        auto c = p10;
+        c.switchEnergyScale = p9.switchEnergyScale;
+        row("circuit redesign (CSA / pass-gate sum)", c);
+    }
+    {
+        auto c = p10;
+        c.latchClockScale = p9.latchClockScale;
+        row("local clock buffer / latch preplacement", c);
+    }
+    {
+        auto c = p10;
+        c.unifiedRf = false;
+        row("unified sliced RF (RS removal)", c);
+    }
+    {
+        auto c = p10;
+        c.eaTaggedL1 = false;
+        row("EA-tagged L1 (translation on miss only)", c);
+    }
+    t.row({"(context) POWER9 total", common::fmtX(p9Power / base),
+           "100%"});
+    t.print();
+
+    std::printf("\npaper: the power halving comes from the union of "
+                "these decisions; no single figure is given per item —\n"
+                "this bench documents how this reproduction distributes "
+                "the gap.\n");
+    return 0;
+}

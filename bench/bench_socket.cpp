@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Socket-level study: core-count sweeps for POWER9 and POWER10 under
+ * one socket envelope (the Table I socket rows) and the PFLY/CLY yield
+ * analysis the absolute power projections feed (§III-C/IV-A).
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "pm/yield.h"
+#include "socket/socket.h"
+
+using namespace p10ee;
+
+int
+main()
+{
+    socket::SocketConfig sc;
+    socket::SocketModel sock(sc);
+
+    common::Table t("Socket sweep — SPECint-like (perlbench) SMT8 per "
+                    "core, one socket envelope");
+    t.header({"machine", "cores", "freq GHz", "throughput", "watts",
+              "thr/W"});
+    for (auto cfg : {core::power9(), core::power10()}) {
+        auto e = bench::runOne(cfg, workloads::profileByName("perlbench"),
+                               8, 60000);
+        for (int n : {4, 8, 12, 15}) {
+            auto r = sock.evaluate(e.run, e.power, n);
+            t.row({cfg.name, std::to_string(n),
+                   common::fmt(r.freqGhz, 2), common::fmt(r.throughput, 1),
+                   common::fmt(r.watts, 0),
+                   common::fmt(r.efficiency(), 3)});
+        }
+    }
+    t.print();
+
+    // Efficiency ratio at each machine's best point: the Table I
+    // "up to 3x socket" claim's structure.
+    auto e9 = bench::runOne(core::power9(),
+                            workloads::profileByName("perlbench"), 8,
+                            60000);
+    auto e10 = bench::runOne(core::power10(),
+                             workloads::profileByName("perlbench"), 8,
+                             60000);
+    auto b9 = sock.bestEfficiencyPoint(e9.run, e9.power);
+    auto b10 = sock.bestEfficiencyPoint(e10.run, e10.power);
+    std::printf("\nbest-efficiency points: POWER9 %d cores @ %.2f GHz "
+                "(%.3f thr/W) vs POWER10 %d cores @ %.2f GHz "
+                "(%.3f thr/W) -> %.2fx socket efficiency "
+                "(paper: up to 3x)\n",
+                b9.activeCores, b9.freqGhz, b9.efficiency(),
+                b10.activeCores, b10.freqGhz, b10.efficiency(),
+                b10.efficiency() / b9.efficiency());
+
+    // ---- Yield ----
+    common::Table y("PFLY / CLY yield analysis (200k simulated parts)");
+    y.header({"scenario", "CLY", "PFLY", "sellable"});
+    pm::YieldParams yp;
+    auto baseline = pm::analyzeYield(yp, 200000);
+    y.row({"baseline (16 built / 15 offered)",
+           common::fmtPct(baseline.cly), common::fmtPct(baseline.pfly),
+           common::fmtPct(baseline.sellable)});
+    {
+        auto p = yp;
+        p.coresOffered = 16; // no spare
+        auto r = pm::analyzeYield(p, 200000);
+        y.row({"no spare core", common::fmtPct(r.cly),
+               common::fmtPct(r.pfly), common::fmtPct(r.sellable)});
+    }
+    {
+        auto p = yp;
+        p.socketPowerLimit -= 25.0;
+        auto r = pm::analyzeYield(p, 200000);
+        y.row({"tighter power envelope (-25W)", common::fmtPct(r.cly),
+               common::fmtPct(r.pfly), common::fmtPct(r.sellable)});
+    }
+    {
+        auto p = yp;
+        p.fNomGhz += 0.2; // more aggressive frequency offering
+        auto r = pm::analyzeYield(p, 200000);
+        y.row({"faster offering (+200 MHz)", common::fmtPct(r.cly),
+               common::fmtPct(r.pfly), common::fmtPct(r.sellable)});
+    }
+    y.print();
+    return 0;
+}

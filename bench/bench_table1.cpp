@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Regenerates Table I: chip features and the headline efficiency
+ * projections — 1.3x core performance at 0.5x power, i.e. 2.6x
+ * performance-per-watt at iso voltage/frequency, and up to 3x at the
+ * socket level with 2.5x more cores per socket.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+using namespace p10ee;
+using bench::runSuite;
+
+int
+main()
+{
+    core::CoreConfig p9 = core::power9();
+    core::CoreConfig p10 = core::power10();
+
+    common::Table features("Table I — POWER10 chip features (modeled)");
+    features.header({"attribute", "modeled value", "paper"});
+    features.row({"SMT per core", "8-way", "8-way"});
+    features.row({"L2 per core",
+                  std::to_string(p10.l2.sizeBytes / (1024 * 1024)) + "MB",
+                  "2MB"});
+    features.row({"L1I", std::to_string(p10.l1i.sizeBytes / 1024) +
+                             "KB " + std::to_string(p10.l1i.ways) +
+                             "-way EA-tagged", "48KB 6-way"});
+    features.row({"MMU (TLB entries)",
+                  std::to_string(p10.tlbEntries) + " (4x POWER9)",
+                  "4x relative to POWER9"});
+    features.row({"Instruction table",
+                  std::to_string(p10.robSize) + " (2x POWER9)",
+                  "2x deeper OoO window"});
+
+    const auto& spec = workloads::specint2017();
+    constexpr uint64_t kInstrs = 150000;
+
+    // Core-level: SPECint at ST and SMT8 on both machines, with the
+    // component power model evaluated over each run.
+    common::Table eff(
+        "Table I — efficiency projections (SPECint, iso V/f)");
+    eff.header({"metric", "mode", "POWER9", "POWER10", "ratio",
+                "paper"});
+    for (int smt : {1, 8}) {
+        auto r9 = runSuite(p9, spec, smt, kInstrs);
+        auto r10 = runSuite(p10, spec, smt, kInstrs);
+        double perf = r10.geoMeanIpc() / r9.geoMeanIpc();
+        double power = r10.meanPowerPj() / r9.meanPowerPj();
+        double effRatio = r10.geoMeanEfficiency() /
+                          r9.geoMeanEfficiency();
+        std::string mode = smt == 1 ? "ST" : "SMT8";
+        eff.row({"throughput", mode, common::fmt(r9.geoMeanIpc()),
+                 common::fmt(r10.geoMeanIpc()), common::fmtX(perf),
+                 smt == 8 ? "~1.30x" : "-"});
+        eff.row({"core power (W @4GHz)", mode,
+                 common::fmt(r9.meanPowerPj() * 0.004),
+                 common::fmt(r10.meanPowerPj() * 0.004),
+                 common::fmtX(power), smt == 8 ? "~0.50x" : "-"});
+        eff.row({"perf/W", mode, "-", "-", common::fmtX(effRatio),
+                 smt == 8 ? "2.6x" : "-"});
+    }
+
+    // Socket-level roll-up: up to 2.5x more cores per socket at the
+    // same socket power envelope (enabled by the halved core power).
+    auto r9s = runSuite(p9, spec, 8, kInstrs);
+    auto r10s = runSuite(p10, spec, 8, kInstrs);
+    double coreEff =
+        r10s.geoMeanEfficiency() / r9s.geoMeanEfficiency();
+    double socketPerf = (r10s.geoMeanIpc() * 2.5) / r9s.geoMeanIpc();
+    double socketPower = (r10s.meanPowerPj() * 2.5) / r9s.meanPowerPj();
+    eff.row({"socket energy efficiency", "SMT8 x2.5 cores", "-", "-",
+             common::fmtX(socketPerf / socketPower), "up to 3x"});
+    (void)coreEff;
+
+    features.print();
+    eff.print();
+    return 0;
+}

@@ -1,0 +1,97 @@
+#include "bench_util.h"
+
+#include <cmath>
+
+namespace p10ee::bench {
+
+double
+SuiteResult::geoMeanIpc() const
+{
+    double s = 0.0;
+    for (const auto& e : entries)
+        s += std::log(e.run.ipc());
+    return entries.empty() ? 0.0
+                           : std::exp(s / static_cast<double>(
+                                              entries.size()));
+}
+
+double
+SuiteResult::meanPowerPj() const
+{
+    double s = 0.0;
+    for (const auto& e : entries)
+        s += e.power.totalPj;
+    return entries.empty() ? 0.0
+                           : s / static_cast<double>(entries.size());
+}
+
+double
+SuiteResult::geoMeanEfficiency() const
+{
+    double s = 0.0;
+    for (const auto& e : entries)
+        s += std::log(e.run.ipc() / e.power.totalPj);
+    return entries.empty() ? 0.0
+                           : std::exp(s / static_cast<double>(
+                                              entries.size()));
+}
+
+SuiteEntry
+runOne(const core::CoreConfig& cfg,
+       const workloads::WorkloadProfile& profile, int smt,
+       uint64_t measureInstrs, uint64_t warmupInstrs)
+{
+    std::vector<std::unique_ptr<workloads::SyntheticWorkload>> sources;
+    std::vector<workloads::InstrSource*> ptrs;
+    for (int t = 0; t < smt; ++t) {
+        auto src = std::make_unique<workloads::SyntheticWorkload>(
+            profile, t);
+        ptrs.push_back(src.get());
+        sources.push_back(std::move(src));
+    }
+    core::CoreModel model(cfg);
+    core::RunOptions opts;
+    // Warmup scales with thread count: SMT copies multiply the footprint
+    // that caches and predictors must absorb before steady state.
+    opts.warmupInstrs = warmupInstrs * static_cast<uint64_t>(smt);
+    opts.measureInstrs = measureInstrs;
+    SuiteEntry entry;
+    entry.workload = profile.name;
+    entry.run = model.run(ptrs, opts);
+    power::EnergyModel energy(cfg);
+    entry.power = energy.evalCounters(entry.run);
+    return entry;
+}
+
+SuiteEntry
+runStream(const core::CoreConfig& cfg, const std::string& name,
+          const std::vector<isa::TraceInstr>& loop,
+          uint64_t measureInstrs, bool collectTimings)
+{
+    workloads::ReplaySource src(name, loop);
+    core::CoreModel model(cfg);
+    core::RunOptions opts;
+    opts.warmupInstrs = 20000;
+    opts.measureInstrs = measureInstrs;
+    opts.collectTimings = collectTimings;
+    SuiteEntry entry;
+    entry.workload = name;
+    entry.run = model.run({&src}, opts);
+    power::EnergyModel energy(cfg);
+    entry.power = energy.evalCounters(entry.run);
+    return entry;
+}
+
+SuiteResult
+runSuite(const core::CoreConfig& cfg,
+         const std::vector<workloads::WorkloadProfile>& profiles,
+         int smt, uint64_t measureInstrs, uint64_t warmupInstrs)
+{
+    SuiteResult out;
+    for (const auto& p : profiles)
+        out.entries.push_back(
+            runOne(cfg, p, smt, measureInstrs, warmupInstrs));
+    return out;
+}
+
+} // namespace p10ee::bench

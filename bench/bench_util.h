@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared helpers for the figure/table bench binaries.
+ *
+ * Every bench regenerates one of the paper's tables or figures; these
+ * helpers run a workload suite on a core configuration and aggregate
+ * results the way the paper reports them (averages across SPECint, ST
+ * and SMT8 modes, perf and core power).
+ */
+
+#ifndef P10EE_BENCH_BENCH_UTIL_H
+#define P10EE_BENCH_BENCH_UTIL_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/core.h"
+#include "power/energy.h"
+#include "workloads/spec_profiles.h"
+#include "workloads/synthetic.h"
+
+namespace p10ee::bench {
+
+/** One workload's outcome on one configuration. */
+struct SuiteEntry
+{
+    std::string workload;
+    core::RunResult run;
+    power::PowerBreakdown power;
+};
+
+/** Suite outcome: per-workload entries plus suite aggregates. */
+struct SuiteResult
+{
+    std::vector<SuiteEntry> entries;
+
+    /** Geometric-mean IPC across workloads. */
+    double geoMeanIpc() const;
+
+    /** Arithmetic-mean core power (pJ/cycle) across workloads. */
+    double meanPowerPj() const;
+
+    /** Geometric-mean of perf/W (IPC per pJ/cycle). */
+    double geoMeanEfficiency() const;
+};
+
+/**
+ * Run @p profiles on @p cfg at @p smt threads each (thread t runs the
+ * same profile with a shifted seed/footprint) and evaluate core power.
+ *
+ * @param measureInstrs measurement window per workload (total across
+ *        threads).
+ */
+SuiteResult runSuite(const core::CoreConfig& cfg,
+                     const std::vector<workloads::WorkloadProfile>&
+                         profiles,
+                     int smt, uint64_t measureInstrs,
+                     uint64_t warmupInstrs = 30000);
+
+/** Run a single profile; convenience wrapper over runSuite. */
+SuiteEntry runOne(const core::CoreConfig& cfg,
+                  const workloads::WorkloadProfile& profile, int smt,
+                  uint64_t measureInstrs, uint64_t warmupInstrs = 30000);
+
+/**
+ * Run a fixed instruction loop (a GEMM kernel window or Chopstix proxy)
+ * on @p cfg, single-thread, optionally collecting the event trace.
+ */
+SuiteEntry runStream(const core::CoreConfig& cfg, const std::string& name,
+                     const std::vector<isa::TraceInstr>& loop,
+                     uint64_t measureInstrs, bool collectTimings = false);
+
+} // namespace p10ee::bench
+
+#endif // P10EE_BENCH_BENCH_UTIL_H

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * End-to-end AI inference on the core: run the *interleaved* ResNet-50
+ * stream (GEMM bursts + preprocessing phases) on POWER9 and POWER10,
+ * with and without the MMA, and watch what the phasing does to power —
+ * including the MMA power-gating opportunity between bursts.
+ *
+ *   $ ./ai_inference [resnet|bert]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "core/core.h"
+#include "mma/gemm.h"
+#include "pm/gating.h"
+#include "power/energy.h"
+#include "workloads/ai_trace.h"
+
+using namespace p10ee;
+
+namespace {
+
+struct Measured
+{
+    double ipc;
+    double watts;
+    double gemmFrac;
+};
+
+Measured
+runStream(const core::CoreConfig& cfg, workloads::InstrSource* src,
+          core::RunResult* outRun = nullptr)
+{
+    core::CoreModel m(cfg);
+    core::RunOptions o;
+    o.warmupInstrs = 40000;
+    o.measureInstrs = 160000;
+    o.collectTimings = true;
+    auto run = m.run({src}, o);
+    power::EnergyModel energy(cfg);
+    Measured out;
+    out.ipc = run.ipc();
+    out.watts = energy.evalCounters(run).watts();
+    uint64_t gemmOps = 0;
+    for (const auto& t : run.timings)
+        gemmOps += t.gemm;
+    out.gemmFrac = run.timings.empty()
+        ? 0.0
+        : static_cast<double>(gemmOps) /
+              static_cast<double>(run.timings.size());
+    if (outRun)
+        *outRun = std::move(run);
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool bert = argc > 1 && std::strcmp(argv[1], "bert") == 0;
+    workloads::AiModel model =
+        bert ? workloads::bertLarge() : workloads::resnet50();
+    std::printf("%s end-to-end inference stream (GEMM bursts + "
+                "preprocessing)\n\n",
+                model.name.c_str());
+
+    // Kernel windows for the two SGEMM mappings.
+    constexpr int kD = 64;
+    mma::GemmDims dims{kD, kD, kD};
+    std::vector<float> a(kD * kD, 1.0f), b(kD * kD, 0.5f), c(kD * kD);
+    mma::VectorSink vsu, mmaSink;
+    mma::sgemmVsu(a.data(), b.data(), c.data(), dims, &vsu);
+    mma::sgemmMma(a.data(), b.data(), c.data(), dims, &mmaSink);
+
+    // POWER9: SGEMM on the VSU. POWER10: both mappings.
+    workloads::PhasedAiSource s9(model, vsu.instrs());
+    workloads::PhasedAiSource s10v(model, vsu.instrs());
+    workloads::PhasedAiSource s10m(model, mmaSink.instrs());
+
+    auto m9 = runStream(core::power9(), &s9);
+    auto m10v = runStream(core::power10(), &s10v);
+    core::RunResult mmaRun;
+    auto m10m = runStream(core::power10(), &s10m, &mmaRun);
+
+    std::printf("%-24s %8s %8s %10s %10s\n", "configuration", "IPC",
+                "watts", "IPC/W", "gemm frac");
+    auto row = [](const char* name, const Measured& m) {
+        std::printf("%-24s %8.2f %8.2f %10.4f %9.1f%%\n", name, m.ipc,
+                    m.watts, m.ipc / m.watts, m.gemmFrac * 100.0);
+    };
+    row("POWER9  (VSU SGEMM)", m9);
+    row("POWER10 w/o MMA", m10v);
+    row("POWER10 w/ MMA", m10m);
+    std::printf("\nspeedup-per-instruction-stream is NOT the model "
+                "speedup: the MMA stream encodes the same\nGEMMs in "
+                "far fewer instructions (see bench_fig6_ai_models for "
+                "the end-to-end roll-up).\n");
+
+    // Between GEMM bursts the MMA sits idle: the gating policy turns
+    // that into reclaimed leakage.
+    pm::GatingParams gp;
+    gp.idleLimit = 256; // aggressive firmware idle-off for bursty phases
+    auto gating = pm::simulateGating(mmaRun.timings, mmaRun.cycles, gp);
+    std::printf("\nMMA gating across phases: off %.1f%% of cycles over "
+                "%d power-off events, %llu wake-stall cycles\n",
+                gating.gatedFrac * 100.0, gating.powerOffEvents,
+                static_cast<unsigned long long>(gating.wakeStalls));
+    return 0;
+}

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * `p10sim_cli` — a small command-line front end over the whole stack:
+ * pick a machine, a workload, an SMT level and a window, and get the
+ * run's stats and power as a table or CSV. The scripting entry point a
+ * downstream user drives parameter sweeps with.
+ *
+ *   p10sim_cli --config power10 --workload xz --smt 4 \
+ *              --instrs 200000 [--csv] [--ablate <group>]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/core.h"
+#include "power/energy.h"
+#include "workloads/spec_profiles.h"
+#include "workloads/synthetic.h"
+
+using namespace p10ee;
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: p10sim_cli [options]\n"
+        "  --config power9|power10        machine (default power10)\n"
+        "  --ablate branch_operation|latency_bw|l2_cache|\n"
+        "           decode_double_vsx|queues   revert one POWER10 group\n"
+        "  --workload <name>              SPECint-like profile "
+        "(default perlbench)\n"
+        "  --smt 1..8                     hardware threads (default 1)\n"
+        "  --instrs N                     measured instructions\n"
+        "  --warmup N                     warmup instructions per "
+        "thread\n"
+        "  --csv                          machine-readable output\n"
+        "  --list                         list workloads and exit\n");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string configName = "power10";
+    std::string ablate;
+    std::string workload = "perlbench";
+    int smt = 1;
+    uint64_t instrs = 200000;
+    uint64_t warmup = 50000;
+    bool csv = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto needValue = [&](const char* flag) -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--config") {
+            configName = needValue("--config");
+        } else if (arg == "--ablate") {
+            ablate = needValue("--ablate");
+        } else if (arg == "--workload") {
+            workload = needValue("--workload");
+        } else if (arg == "--smt") {
+            smt = std::atoi(needValue("--smt"));
+        } else if (arg == "--instrs") {
+            instrs = std::strtoull(needValue("--instrs"), nullptr, 10);
+        } else if (arg == "--warmup") {
+            warmup = std::strtoull(needValue("--warmup"), nullptr, 10);
+        } else if (arg == "--csv") {
+            csv = true;
+        } else if (arg == "--list") {
+            for (const auto& p : workloads::specint2017())
+                std::printf("%s\n", p.name.c_str());
+            for (const auto& p : workloads::extraGroups())
+                std::printf("%s\n", p.name.c_str());
+            return 0;
+        } else {
+            usage();
+            return 2;
+        }
+    }
+    if (smt < 1 || smt > 8 || instrs == 0) {
+        usage();
+        return 2;
+    }
+
+    core::CoreConfig cfg;
+    if (!ablate.empty()) {
+        bool found = false;
+        for (int g = 0;
+             g < static_cast<int>(core::AblationGroup::NumGroups); ++g) {
+            auto group = static_cast<core::AblationGroup>(g);
+            if (core::ablationGroupName(group) == ablate) {
+                cfg = core::power10Without(group);
+                found = true;
+            }
+        }
+        if (!found) {
+            std::fprintf(stderr, "unknown ablation group '%s'\n",
+                         ablate.c_str());
+            return 2;
+        }
+    } else if (configName == "power9") {
+        cfg = core::power9();
+    } else if (configName == "power10") {
+        cfg = core::power10();
+    } else {
+        std::fprintf(stderr, "unknown config '%s'\n",
+                     configName.c_str());
+        return 2;
+    }
+
+    bool known = false;
+    for (const auto& p : workloads::specint2017())
+        known |= p.name == workload;
+    for (const auto& p : workloads::extraGroups())
+        known |= p.name == workload;
+    if (!known) {
+        std::fprintf(stderr,
+                     "unknown workload '%s' (see --list)\n",
+                     workload.c_str());
+        return 2;
+    }
+    const auto& profile = workloads::profileByName(workload);
+    std::vector<std::unique_ptr<workloads::SyntheticWorkload>> sources;
+    std::vector<workloads::InstrSource*> threads;
+    for (int t = 0; t < smt; ++t) {
+        sources.push_back(
+            std::make_unique<workloads::SyntheticWorkload>(profile, t));
+        threads.push_back(sources.back().get());
+    }
+
+    core::CoreModel model(cfg);
+    core::RunOptions opts;
+    opts.warmupInstrs = warmup * static_cast<uint64_t>(smt);
+    opts.measureInstrs = instrs;
+    auto run = model.run(threads, opts);
+    power::EnergyModel energy(cfg);
+    auto power = energy.evalCounters(run);
+
+    common::Table t("p10sim: " + workload + " on " + cfg.name +
+                    " SMT" + std::to_string(smt));
+    t.header({"metric", "value"});
+    t.row({"instructions", std::to_string(run.instrs)});
+    t.row({"cycles", std::to_string(run.cycles)});
+    t.row({"ipc", common::fmt(run.ipc(), 4)});
+    t.row({"branch_mpki", common::fmt(run.perKilo("bp.mispredict"), 2)});
+    t.row({"l1d_mpki", common::fmt(run.perKilo("l1d.miss"), 2)});
+    t.row({"l2_mpki", common::fmt(run.perKilo("l2.miss"), 2)});
+    t.row({"l3_mpki", common::fmt(run.perKilo("l3.miss"), 2)});
+    t.row({"fusion_per_ki", common::fmt(run.perKilo("fusion.pair"), 2)});
+    t.row({"power_w", common::fmt(power.watts(), 3)});
+    t.row({"clock_w", common::fmt(power.clockPj * 0.004, 3)});
+    t.row({"switch_w", common::fmt(power.switchPj * 0.004, 3)});
+    t.row({"leak_w", common::fmt(power.leakPj * 0.004, 3)});
+    t.row({"ipc_per_w", common::fmt(run.ipc() / power.watts(), 4)});
+    if (csv)
+        t.printCsv();
+    else
+        t.print();
+    return 0;
+}

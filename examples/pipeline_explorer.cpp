@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Pipeline-depth design-space explorer: the concept-phase study that
+ * fixed the POWER10 pipeline (paper §II-A). Sweeps FO4-per-stage at a
+ * chosen power target and prints the BIPS curve with the optimum.
+ *
+ *   $ ./pipeline_explorer [power_target]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "pipeline/depth.h"
+
+using namespace p10ee;
+
+int
+main(int argc, char** argv)
+{
+    double target = argc > 1 ? std::atof(argv[1]) : 1.0;
+    if (target <= 0.05) {
+        std::fprintf(stderr, "power target must be positive\n");
+        return 1;
+    }
+
+    pipeline::DepthParams params;
+    double norm =
+        pipeline::evaluateDepth(params, params.baseFo4, 1.0).bips;
+    double opt = pipeline::optimalFo4(params, target);
+
+    std::printf("power target %.2fx of baseline; optimal depth "
+                "%.1f FO4/stage\n\n",
+                target, opt);
+    std::printf("%9s %7s %6s %6s %6s %7s %s\n", "FO4/stage", "stages",
+                "freq", "IPC", "BIPS", "power", "");
+    for (double fo4 = 14.0; fo4 <= 48.0; fo4 += 2.0) {
+        auto pt = pipeline::evaluateDepth(params, fo4, target);
+        int bar = static_cast<int>(pt.bips / norm * 40.0);
+        std::printf("%9.0f %7d %6.3f %6.3f %6.3f %7.3f |%.*s%s\n", fo4,
+                    pt.stages, pt.freq, pt.ipc, pt.bips / norm, pt.power,
+                    bar,
+                    "........................................"
+                    "........................................",
+                    pt.powerLimited ? " (V/f limited)" : "");
+    }
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The pre-silicon methodology tour (paper Fig. 7/8): extract Chopstix
+ * proxies from a benchmark, run them through the core model, train an
+ * M1-linked counter power model on the results, and design the
+ * hardware Power Proxy from the same data — the full modeling loop the
+ * paper describes, end to end.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "core/core.h"
+#include "model/proxy.h"
+#include "model/regress.h"
+#include "power/energy.h"
+#include "workloads/chopstix.h"
+#include "workloads/spec_profiles.h"
+
+using namespace p10ee;
+
+int
+main()
+{
+    auto cfg = core::power10();
+    power::EnergyModel energy(cfg);
+
+    // Step 1: Chopstix — extract the hottest-block proxies of each
+    // benchmark as L1-contained endless loops.
+    std::printf("== proxy extraction (Chopstix) ==\n");
+    std::vector<workloads::SnippetProxy> proxies;
+    for (const char* name : {"perlbench", "x264", "xz", "deepsjeng",
+                             "leela", "gcc"}) {
+        auto extraction = workloads::extractProxies(
+            workloads::profileByName(name), 150000, 6);
+        std::printf("  %-10s %zu proxies, coverage %.0f%%\n", name,
+                    extraction.proxies.size(),
+                    extraction.coverage * 100.0);
+        for (auto& p : extraction.proxies)
+            proxies.push_back(std::move(p));
+    }
+
+    // Step 2: RTLSim-style characterization — run every proxy on the
+    // core model, collecting activity stats.
+    std::printf("\n== proxy characterization on the core model ==\n");
+    std::vector<core::RunResult> runs;
+    for (const auto& proxy : proxies) {
+        auto src = workloads::makeProxySource(proxy);
+        core::CoreModel m(cfg);
+        core::RunOptions o;
+        o.warmupInstrs = 8000;
+        o.measureInstrs = 20000;
+        runs.push_back(m.run({src.get()}, o));
+    }
+    std::printf("  %zu proxy windows characterized\n", runs.size());
+
+    // Step 3: M1-linked power model — train counter models against the
+    // detailed power reference.
+    std::printf("\n== M1-linked counter power model ==\n");
+    auto ds = model::buildAggregateDataset(runs, energy);
+    for (int k : {4, 8, 16}) {
+        model::ModelOptions opts;
+        opts.maxInputs = k;
+        auto m = model::trainModel(ds, opts);
+        std::printf("  %2d inputs -> %.2f%% active-power error\n", k,
+                    model::meanAbsErrorFrac(m, ds) * 100.0);
+    }
+
+    // Step 4: the hardware Power Proxy — constrained, quantized, 16
+    // counters, selected automatically from the same data.
+    std::printf("\n== Power Proxy design ==\n");
+    auto proxy = model::designProxy(ds, 16, energy.staticPj());
+    std::printf("  16-counter proxy: %.2f%% active / %.2f%% total "
+                "error\n",
+                proxy.activeErrorFrac * 100.0,
+                proxy.totalErrorFrac * 100.0);
+    std::printf("  selected counters:");
+    for (const auto& n : proxy.model.inputNames(ds))
+        std::printf(" %s", n.c_str());
+    std::printf("\n");
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Quickstart: build a POWER10 core model, run a SPECint-like workload
+ * on it at ST and SMT8, and evaluate core power — the minimal loop a
+ * downstream user needs.
+ *
+ *   $ ./quickstart [workload] [smt]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "core/core.h"
+#include "power/energy.h"
+#include "workloads/spec_profiles.h"
+#include "workloads/synthetic.h"
+
+using namespace p10ee;
+
+int
+main(int argc, char** argv)
+{
+    std::string name = argc > 1 ? argv[1] : "perlbench";
+    int smt = argc > 2 ? std::atoi(argv[2]) : 1;
+    if (smt < 1 || smt > 8) {
+        std::fprintf(stderr, "smt must be 1..8\n");
+        return 1;
+    }
+
+    // 1. Pick a machine configuration. power9()/power10() are the two
+    //    shipped design points; every field of CoreConfig can be edited
+    //    to explore design variants.
+    core::CoreConfig cfg = core::power10();
+
+    // 2. Build one instruction source per hardware thread. SMT copies
+    //    share program text but touch private data footprints.
+    const auto& profile = workloads::profileByName(name);
+    std::vector<std::unique_ptr<workloads::SyntheticWorkload>> sources;
+    std::vector<workloads::InstrSource*> threads;
+    for (int t = 0; t < smt; ++t) {
+        sources.push_back(
+            std::make_unique<workloads::SyntheticWorkload>(profile, t));
+        threads.push_back(sources.back().get());
+    }
+
+    // 3. Run a measurement window (warmup trains caches/predictors).
+    core::CoreModel core(cfg);
+    core::RunOptions opts;
+    opts.warmupInstrs = 50000u * static_cast<unsigned>(smt);
+    opts.measureInstrs = 200000;
+    core::RunResult run = core.run(threads, opts);
+
+    // 4. Evaluate the component power model over the same window.
+    power::EnergyModel energy(cfg);
+    power::PowerBreakdown power = energy.evalCounters(run);
+
+    std::printf("%s on %s, SMT%d\n", name.c_str(), cfg.name.c_str(), smt);
+    std::printf("  instructions     %llu\n",
+                static_cast<unsigned long long>(run.instrs));
+    std::printf("  cycles           %llu\n",
+                static_cast<unsigned long long>(run.cycles));
+    std::printf("  IPC              %.3f\n", run.ipc());
+    std::printf("  branch MPKI      %.2f\n", run.perKilo("bp.mispredict"));
+    std::printf("  L1D MPKI         %.2f\n", run.perKilo("l1d.miss"));
+    std::printf("  L3 miss /ki      %.2f\n", run.perKilo("l3.miss"));
+    std::printf("  core power       %.2f W  (clock %.2f, switch %.2f, "
+                "leak %.2f)\n",
+                power.watts(), power.clockPj * 0.004,
+                power.switchPj * 0.004, power.leakPj * 0.004);
+    std::printf("  efficiency       %.4f IPC/W\n",
+                run.ipc() / power.watts());
+
+    std::printf("\ntop power components:\n");
+    std::vector<std::pair<double, std::string>> ranked;
+    for (const auto& [comp, pj] : power.perComponent)
+        ranked.emplace_back(pj, comp);
+    std::sort(ranked.rbegin(), ranked.rend());
+    for (size_t i = 0; i < 8 && i < ranked.size(); ++i)
+        std::printf("  %-16s %6.2f W\n", ranked[i].second.c_str(),
+                    ranked[i].first * 0.004);
+    return 0;
+}

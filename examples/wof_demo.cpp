@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Power-management walkthrough: measure a workload's effective
+ * capacitance, let WOF pick the deterministic boost point, run the
+ * proxy-driven throttle loop at a fixed budget, and watch the DDS catch
+ * the droop caused by a sudden workload step.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/core.h"
+#include "pm/gating.h"
+#include "pm/throttle.h"
+#include "pm/wof.h"
+#include "power/apex.h"
+#include "power/energy.h"
+#include "workloads/spec_profiles.h"
+#include "workloads/synthetic.h"
+
+using namespace p10ee;
+
+int
+main()
+{
+    auto cfg = core::power10();
+    power::EnergyModel energy(cfg);
+
+    // A light workload: WOF should find headroom.
+    const auto& prof = workloads::profileByName("xz");
+    workloads::SyntheticWorkload src(prof);
+    core::CoreModel m(cfg);
+    core::RunOptions o;
+    o.warmupInstrs = 40000;
+    o.measureInstrs = 150000;
+    o.collectTimings = true;
+    auto run = m.run({&src}, o);
+    auto breakdown = energy.evalCounters(run);
+
+    pm::WofParams wp;
+    pm::Wof wof(wp);
+    // Ceff ratio against the thermal design point workload.
+    double designW = wp.tdpWatts;
+    double ceff = breakdown.watts() / designW;
+    auto pt = wof.optimize(ceff, /*mmaGated=*/true);
+    std::printf("WOF: '%s' consumes %.2fW at nominal (Ceff %.2f)\n",
+                prof.name.c_str(), breakdown.watts(), ceff);
+    std::printf("     boost to %.3f GHz (%.2fx) at %.3fV, projected "
+                "%.2fW <= %.1fW TDP\n",
+                pt.freqGhz, pt.boost, pt.voltage, pt.powerWatts,
+                wp.tdpWatts);
+
+    // Fixed-frequency customers: the proxy-driven throttle loop.
+    power::ApexExtractor apex(energy, 64);
+    auto intervals = apex.intervalPower(run);
+    double mean = 0.0;
+    for (float v : intervals)
+        mean += v;
+    mean /= static_cast<double>(intervals.size());
+    pm::ThrottleParams tp;
+    tp.budgetPj = mean * 0.92;
+    auto trace = pm::runThrottleLoop(intervals, tp);
+    std::printf("\nthrottle loop: budget %.0f pJ/cyc, achieved mean "
+                "%.0f, %.1f%% intervals over, throughput retained "
+                "%.1f%%\n",
+                tp.budgetPj, trace.meanPowerPj,
+                trace.overBudgetFrac * 100.0, trace.meanPerf * 100.0);
+
+    // Droop: splice a quiet phase in front of the active power series
+    // so the workload arrival is a real current step.
+    auto series = energy.perCyclePower(run);
+    std::vector<float> step(2000, series.front() * 0.25f);
+    step.insert(step.end(), series.begin(), series.end());
+    pm::DroopParams dpOn;
+    auto dpOff = dpOn;
+    dpOff.ddsEnabled = false;
+    auto noDds = pm::simulateDroop(step, dpOff);
+    auto withDds = pm::simulateDroop(step, dpOn);
+    std::printf("\nDDS: min voltage %.4fV without sensor, %.4fV with "
+                "(%d trips, %llu throttled cycles)\n",
+                noDds.minVoltage, withDds.minVoltage, withDds.ddsTrips,
+                static_cast<unsigned long long>(
+                    withDds.throttledCycles));
+
+    // MMA gating on an integer workload: all leakage reclaimed.
+    pm::GatingParams gp;
+    auto gating = pm::simulateGating(run.timings, run.cycles, gp);
+    std::printf("\nMMA gating: unit off %.1f%% of the run, %llu wake "
+                "stall cycles\n",
+                gating.gatedFrac * 100.0,
+                static_cast<unsigned long long>(gating.wakeStalls));
+    return 0;
+}

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Invariant checking for the p10ee library.
+ *
+ * Simulator invariants are programming errors, never user errors, so a
+ * violated invariant aborts (gem5's panic() semantics). Kept enabled in
+ * release builds: the cost is negligible relative to simulation work and
+ * silent state corruption in a power model is worse than an abort.
+ */
+
+#ifndef P10EE_COMMON_ASSERT_H
+#define P10EE_COMMON_ASSERT_H
+
+#include <cstdio>
+#include <cstdlib>
+
+/** Abort with a message when a simulator invariant does not hold. */
+#define P10_ASSERT(cond, msg)                                              \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            std::fprintf(stderr, "p10ee panic: %s:%d: %s: %s\n",           \
+                         __FILE__, __LINE__, #cond, msg);                  \
+            std::abort();                                                  \
+        }                                                                  \
+    } while (0)
+
+#endif // P10EE_COMMON_ASSERT_H

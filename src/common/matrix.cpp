@@ -1,0 +1,126 @@
+#include "common/matrix.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace p10ee::common {
+
+Matrix
+Matrix::transposeTimes(const Matrix& other) const
+{
+    P10_ASSERT(rows_ == other.rows(), "dimension mismatch");
+    Matrix out(cols_, other.cols());
+    for (size_t r = 0; r < rows_; ++r) {
+        for (size_t i = 0; i < cols_; ++i) {
+            double v = at(r, i);
+            if (v == 0.0)
+                continue;
+            for (size_t j = 0; j < other.cols(); ++j)
+                out.at(i, j) += v * other.at(r, j);
+        }
+    }
+    return out;
+}
+
+std::vector<double>
+Matrix::transposeTimesVec(const std::vector<double>& vec) const
+{
+    P10_ASSERT(rows_ == vec.size(), "dimension mismatch");
+    std::vector<double> out(cols_, 0.0);
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = 0; c < cols_; ++c)
+            out[c] += at(r, c) * vec[r];
+    return out;
+}
+
+std::vector<double>
+Matrix::timesVec(const std::vector<double>& vec) const
+{
+    P10_ASSERT(cols_ == vec.size(), "dimension mismatch");
+    std::vector<double> out(rows_, 0.0);
+    for (size_t r = 0; r < rows_; ++r) {
+        double s = 0.0;
+        for (size_t c = 0; c < cols_; ++c)
+            s += at(r, c) * vec[c];
+        out[r] = s;
+    }
+    return out;
+}
+
+std::vector<double>
+solveSpd(const Matrix& a, const std::vector<double>& b, double ridge)
+{
+    const size_t n = a.rows();
+    P10_ASSERT(a.cols() == n && b.size() == n, "solveSpd shape");
+
+    // Cholesky factorization A = L L^T with ridge on the diagonal.
+    Matrix l(n, n);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j <= i; ++j) {
+            double s = a.at(i, j) + (i == j ? ridge : 0.0);
+            for (size_t k = 0; k < j; ++k)
+                s -= l.at(i, k) * l.at(j, k);
+            if (i == j) {
+                // Semi-definite inputs are expected (duplicate counters);
+                // clamp to keep the factorization proceeding.
+                l.at(i, i) = std::sqrt(s > ridge ? s : ridge);
+            } else {
+                l.at(i, j) = s / l.at(j, j);
+            }
+        }
+    }
+
+    // Forward solve L z = b.
+    std::vector<double> z(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+        double s = b[i];
+        for (size_t k = 0; k < i; ++k)
+            s -= l.at(i, k) * z[k];
+        z[i] = s / l.at(i, i);
+    }
+
+    // Back solve L^T x = z.
+    std::vector<double> x(n, 0.0);
+    for (size_t ii = n; ii-- > 0;) {
+        double s = z[ii];
+        for (size_t k = ii + 1; k < n; ++k)
+            s -= l.at(k, ii) * x[k];
+        x[ii] = s / l.at(ii, ii);
+    }
+    return x;
+}
+
+std::vector<double>
+leastSquares(const Matrix& x, const std::vector<double>& y)
+{
+    Matrix xtx = x.transposeTimes(x);
+    std::vector<double> xty = x.transposeTimesVec(y);
+    return solveSpd(xtx, xty, 1e-6);
+}
+
+std::vector<double>
+nonNegativeLeastSquares(const Matrix& x, const std::vector<double>& y,
+                        int iterations)
+{
+    const size_t n = x.cols();
+    Matrix xtx = x.transposeTimes(x);
+    std::vector<double> xty = x.transposeTimesVec(y);
+
+    std::vector<double> w(n, 0.0);
+    for (int it = 0; it < iterations; ++it) {
+        for (size_t j = 0; j < n; ++j) {
+            double denom = xtx.at(j, j);
+            if (denom <= 0.0)
+                continue;
+            double grad = xty[j];
+            for (size_t k = 0; k < n; ++k)
+                grad -= xtx.at(j, k) * w[k];
+            double next = w[j] + grad / denom;
+            w[j] = next > 0.0 ? next : 0.0;
+        }
+    }
+    return w;
+}
+
+} // namespace p10ee::common

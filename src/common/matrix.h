@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Minimal dense linear algebra for the counter-based power models.
+ *
+ * The M1-linked power model and the Power Proxy are trained with
+ * constrained least squares over activity counters (paper §III-D, §IV-C).
+ * Only the operations those solvers need are provided.
+ */
+
+#ifndef P10EE_COMMON_MATRIX_H
+#define P10EE_COMMON_MATRIX_H
+
+#include <cstddef>
+#include <vector>
+
+namespace p10ee::common {
+
+/** Row-major dense matrix of doubles. */
+class Matrix
+{
+  public:
+    /** Zero-filled rows×cols matrix. */
+    Matrix(size_t rows, size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+    {}
+
+    /** Element accessors. */
+    double& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+    double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+
+    /** this^T * other. @pre rows() == other.rows(). */
+    Matrix transposeTimes(const Matrix& other) const;
+
+    /** this^T * vec. @pre rows() == vec.size(). */
+    std::vector<double> transposeTimesVec(const std::vector<double>& vec)
+        const;
+
+    /** this * vec. @pre cols() == vec.size(). */
+    std::vector<double> timesVec(const std::vector<double>& vec) const;
+
+  private:
+    size_t rows_;
+    size_t cols_;
+    std::vector<double> data_;
+};
+
+/**
+ * Solve the symmetric positive (semi-)definite system A x = b via
+ * Cholesky with a small ridge term for numerical robustness.
+ *
+ * @param a square symmetric matrix (modified internally by copy).
+ * @param b right-hand side.
+ * @param ridge diagonal regularizer added to A.
+ * @return solution vector x.
+ */
+std::vector<double> solveSpd(const Matrix& a, const std::vector<double>& b,
+                             double ridge = 1e-9);
+
+/**
+ * Ordinary least squares: minimize ||X w - y||^2.
+ *
+ * @param x design matrix (rows = observations).
+ * @param y targets, one per row of @p x.
+ * @return weight vector of size x.cols().
+ */
+std::vector<double> leastSquares(const Matrix& x,
+                                 const std::vector<double>& y);
+
+/**
+ * Non-negative least squares: minimize ||X w - y||^2 subject to w >= 0,
+ * by cyclic coordinate descent on the normal equations. Used when the
+ * paper's modeling constraint "all coefficients positive" is requested —
+ * a physically meaningful constraint for power models (activity cannot
+ * remove power).
+ *
+ * @param x design matrix.
+ * @param y targets.
+ * @param iterations coordinate-descent sweeps.
+ * @return non-negative weight vector.
+ */
+std::vector<double> nonNegativeLeastSquares(const Matrix& x,
+                                            const std::vector<double>& y,
+                                            int iterations = 200);
+
+} // namespace p10ee::common
+
+#endif // P10EE_COMMON_MATRIX_H

@@ -1,0 +1,130 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace p10ee::common {
+
+void
+StatRegistry::add(const std::string& name, uint64_t delta)
+{
+    counters_[name] += delta;
+}
+
+uint64_t
+StatRegistry::get(const std::string& name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+StatSnapshot
+StatRegistry::snapshot() const
+{
+    return counters_;
+}
+
+StatSnapshot
+StatRegistry::delta(const StatSnapshot& earlier, const StatSnapshot& later)
+{
+    StatSnapshot d;
+    for (const auto& [name, value] : later) {
+        auto it = earlier.find(name);
+        uint64_t before = it == earlier.end() ? 0 : it->second;
+        P10_ASSERT(value >= before, "counter went backwards");
+        d[name] = value - before;
+    }
+    return d;
+}
+
+void
+StatRegistry::clear()
+{
+    for (auto& [name, value] : counters_)
+        value = 0;
+}
+
+std::vector<std::string>
+StatRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(counters_.size());
+    for (const auto& [name, value] : counters_)
+        out.push_back(name);
+    return out;
+}
+
+Histogram::Histogram(double lo, double hi, int bins)
+    : lo_(lo), hi_(hi), counts_(static_cast<size_t>(bins), 0)
+{
+    P10_ASSERT(bins > 0 && hi > lo, "degenerate histogram");
+}
+
+int
+Histogram::binIndex(double value) const
+{
+    double f = (value - lo_) / (hi_ - lo_);
+    int i = static_cast<int>(f * bins());
+    return std::clamp(i, 0, bins() - 1);
+}
+
+void
+Histogram::record(double value)
+{
+    ++counts_[binIndex(value)];
+    ++total_;
+}
+
+double
+Histogram::binCenter(int i) const
+{
+    double width = (hi_ - lo_) / bins();
+    return lo_ + (i + 0.5) * width;
+}
+
+double
+Histogram::percentile(double fraction) const
+{
+    P10_ASSERT(total_ > 0, "percentile of empty histogram");
+    double target = fraction * static_cast<double>(total_);
+    double seen = 0.0;
+    double width = (hi_ - lo_) / bins();
+    for (int i = 0; i < bins(); ++i) {
+        double next = seen + static_cast<double>(counts_[i]);
+        if (next >= target) {
+            double within = counts_[i] == 0
+                ? 0.0
+                : (target - seen) / static_cast<double>(counts_[i]);
+            return lo_ + (i + within) * width;
+        }
+        seen = next;
+    }
+    return hi_;
+}
+
+void
+RunningStat::record(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStat::stddev() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return std::sqrt(m2_ / static_cast<double>(n_));
+}
+
+} // namespace p10ee::common

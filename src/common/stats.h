@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Named statistic counters and histograms.
+ *
+ * The core timing model exposes its activity through a StatRegistry: a
+ * flat map of named 64-bit counters. The power model, the M1-linked
+ * counter-model trainer, SERMiner and the Power Proxy all consume the
+ * same registry, mirroring how the paper's tools all consume RTLSim
+ * activity stats.
+ */
+
+#ifndef P10EE_COMMON_STATS_H
+#define P10EE_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace p10ee::common {
+
+/** A snapshot of every counter at a point in simulated time. */
+using StatSnapshot = std::map<std::string, uint64_t>;
+
+/**
+ * Registry of named monotonically increasing event counters.
+ *
+ * Counters are created on first touch; reads of unknown names return 0 so
+ * that consumers can be written against the union of P9/P10 counter sets.
+ */
+class StatRegistry
+{
+  public:
+    /** Add @p delta to counter @p name (creating it at 0 if needed). */
+    void add(const std::string& name, uint64_t delta = 1);
+
+    /** Current value of @p name, or 0 if never touched. */
+    uint64_t get(const std::string& name) const;
+
+    /** Copy of the full counter map. */
+    StatSnapshot snapshot() const;
+
+    /**
+     * Per-counter difference @p later minus @p earlier. Counters absent
+     * from @p earlier are treated as starting at zero.
+     */
+    static StatSnapshot delta(const StatSnapshot& earlier,
+                              const StatSnapshot& later);
+
+    /** Reset all counters to zero (keeps the names). */
+    void clear();
+
+    /** Sorted list of all counter names seen so far. */
+    std::vector<std::string> names() const;
+
+  private:
+    std::map<std::string, uint64_t> counters_;
+};
+
+/**
+ * Fixed-bin histogram over [lo, hi); used by the Tracepoints epoch
+ * binning and by SERMiner's latch-utilization distribution analysis.
+ */
+class Histogram
+{
+  public:
+    /** @param bins number of equal-width bins over [lo, hi). */
+    Histogram(double lo, double hi, int bins);
+
+    /** Record one sample (clamped into the outermost bins). */
+    void record(double value);
+
+    /** Samples in bin @p i. */
+    uint64_t count(int i) const { return counts_[i]; }
+
+    /** Number of bins. */
+    int bins() const { return static_cast<int>(counts_.size()); }
+
+    /** Total samples recorded. */
+    uint64_t total() const { return total_; }
+
+    /** Center value of bin @p i. */
+    double binCenter(int i) const;
+
+    /** Index of the bin a value falls into (clamped). */
+    int binIndex(double value) const;
+
+    /**
+     * Value below which @p fraction of the samples fall (linear within
+     * the bin). @pre total() > 0.
+     */
+    double percentile(double fraction) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+/** Streaming mean/variance accumulator (Welford). */
+class RunningStat
+{
+  public:
+    /** Record one sample. */
+    void record(double x);
+
+    /** Number of samples. */
+    uint64_t count() const { return n_; }
+
+    /** Sample mean (0 when empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Population standard deviation (0 for <2 samples). */
+    double stddev() const;
+
+    /** Smallest sample seen. */
+    double min() const { return min_; }
+
+    /** Largest sample seen. */
+    double max() const { return max_; }
+
+  private:
+    uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace p10ee::common
+
+#endif // P10EE_COMMON_STATS_H

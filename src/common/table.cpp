@@ -1,0 +1,87 @@
+#include "common/table.h"
+
+#include <cstdio>
+
+namespace p10ee::common {
+
+void
+Table::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print() const
+{
+    // Column widths across header + all rows.
+    std::vector<size_t> width(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& cells) {
+        if (cells.size() > width.size())
+            width.resize(cells.size(), 0);
+        for (size_t i = 0; i < cells.size(); ++i)
+            if (cells[i].size() > width[i])
+                width[i] = cells[i].size();
+    };
+    widen(header_);
+    for (const auto& r : rows_)
+        widen(r);
+
+    std::printf("\n== %s ==\n", title_.c_str());
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (size_t i = 0; i < cells.size(); ++i)
+            std::printf("%-*s  ", static_cast<int>(width[i]),
+                        cells[i].c_str());
+        std::printf("\n");
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        size_t total = 0;
+        for (size_t w : width)
+            total += w + 2;
+        std::string rule(total, '-');
+        std::printf("%s\n", rule.c_str());
+    }
+    for (const auto& r : rows_)
+        emit(r);
+}
+
+void
+Table::printCsv() const
+{
+    auto emit = [](const std::vector<std::string>& cells) {
+        for (size_t i = 0; i < cells.size(); ++i)
+            std::printf("%s%s", cells[i].c_str(),
+                        i + 1 == cells.size() ? "\n" : ",");
+    };
+    emit(header_);
+    for (const auto& r : rows_)
+        emit(r);
+}
+
+std::string
+fmt(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+fmtX(double value, int decimals)
+{
+    return fmt(value, decimals) + "x";
+}
+
+std::string
+fmtPct(double fraction, int decimals)
+{
+    return fmt(fraction * 100.0, decimals) + "%";
+}
+
+} // namespace p10ee::common

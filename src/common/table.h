@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Aligned-column table printing for the figure/table benches.
+ *
+ * Each bench binary regenerates one of the paper's tables or figures as
+ * text; this printer keeps the output compact, aligned, and trivially
+ * parseable (also emits CSV when asked).
+ */
+
+#ifndef P10EE_COMMON_TABLE_H
+#define P10EE_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace p10ee::common {
+
+/** Accumulates rows of string cells and prints them column-aligned. */
+class Table
+{
+  public:
+    /** @param title printed above the table. */
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append one data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render aligned text to stdout. */
+    void print() const;
+
+    /** Render as CSV (header first) to stdout. */
+    void printCsv() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p decimals places. */
+std::string fmt(double value, int decimals = 2);
+
+/** Format as a multiplier, e.g. "2.60x". */
+std::string fmtX(double value, int decimals = 2);
+
+/** Format as a percentage, e.g. "32.2%". */
+std::string fmtPct(double fraction, int decimals = 1);
+
+} // namespace p10ee::common
+
+#endif // P10EE_COMMON_TABLE_H

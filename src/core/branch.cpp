@@ -1,0 +1,212 @@
+#include "core/branch.h"
+
+#include "common/assert.h"
+
+namespace p10ee::core {
+
+namespace {
+
+uint64_t
+mix(uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    return x;
+}
+
+} // namespace
+
+BranchPredictor::BranchPredictor(const BranchParams& params) : p_(params)
+{
+    bimodal_.assign(1ull << p_.bimodalBits, 1);
+    gshare_.assign(1ull << p_.gshareBits, 1);
+    choice_.assign(1ull << p_.choiceBits, 2);
+    if (p_.secondGshare) {
+        gshare2_.assign(1ull << p_.gshare2Bits, 1);
+        gshare2Meta_.assign(1ull << p_.gshare2Bits, 0);
+    }
+    if (p_.localPattern) {
+        localHist_.assign(1ull << p_.localBits, 0);
+        localTag_.assign(1ull << p_.localBits, 0);
+        localPattern_.assign(1ull << p_.localBits, 1);
+    }
+    indirect_.assign((1ull << p_.indirectBits) *
+                         static_cast<uint64_t>(p_.indirectWays),
+                     IndirectEntry{});
+}
+
+void
+BranchPredictor::bump(uint8_t& c, bool taken)
+{
+    if (taken) {
+        if (c < 3)
+            ++c;
+    } else {
+        if (c > 0)
+            --c;
+    }
+}
+
+uint64_t
+BranchPredictor::gshareIndex(uint64_t pc, int bits, int hist,
+                             int thread) const
+{
+    uint64_t h = ghist_[thread % kMaxThreads] & ((1ull << hist) - 1);
+    return (mix(pc >> 2) ^ h) & ((1ull << bits) - 1);
+}
+
+uint64_t
+BranchPredictor::localIndex(uint64_t pc, int thread) const
+{
+    // Per-PC local histories are thread-tagged: SMT threads executing
+    // the same code must not interleave into one history register.
+    return mix((pc >> 2) ^ (static_cast<uint64_t>(thread) << 40)) &
+           ((1ull << p_.localBits) - 1);
+}
+
+bool
+BranchPredictor::predictDirection(uint64_t pc, int thread)
+{
+    uint64_t bi = mix(pc >> 2) & (bimodal_.size() - 1);
+    lastBimodal_ = counterTaken(bimodal_[bi]);
+
+    uint64_t gi = gshareIndex(pc, p_.gshareBits, p_.gshareHist,
+                              thread);
+    lastGlobal_ = counterTaken(gshare_[gi]);
+
+    // Long-history bank overrides when confident (TAGE-like preference
+    // for the longest matching history).
+    if (p_.secondGshare) {
+        uint64_t g2 = gshareIndex(pc, p_.gshare2Bits, p_.gshare2Hist,
+                                  thread);
+        if (gshare2Meta_[g2] >= 2)
+            lastGlobal_ = counterTaken(gshare2_[g2]);
+    }
+
+    uint64_t ci = mix(pc >> 2) & (choice_.size() - 1);
+    bool pred = choice_[ci] >= 2 ? lastGlobal_ : lastBimodal_;
+
+    // Local pattern table catches fixed-period loop branches that the
+    // global history misses; it overrides when its counter is saturated
+    // and the per-PC history entry actually belongs to this branch
+    // (tagged to defeat cross-thread/cross-site aliasing).
+    lastUsedLocal_ = false;
+    if (p_.localPattern) {
+        uint64_t li = localIndex(pc, thread);
+        uint8_t tag = static_cast<uint8_t>(mix(pc >> 2) >> 32) |
+                      static_cast<uint8_t>(thread << 5);
+        if (localTag_[li] == tag) {
+            uint64_t patIdx =
+                (localHist_[li] ^ (mix(pc >> 2) << 1)) &
+                (localPattern_.size() - 1);
+            uint8_t c = localPattern_[patIdx];
+            if (c == 0 || c == 3) {
+                lastUsedLocal_ = true;
+                lastLocal_ = counterTaken(c);
+                pred = lastLocal_;
+            }
+        }
+    }
+    return pred;
+}
+
+void
+BranchPredictor::updateDirection(uint64_t pc, bool taken, int thread)
+{
+    uint64_t bi = mix(pc >> 2) & (bimodal_.size() - 1);
+    bump(bimodal_[bi], taken);
+
+    uint64_t gi = gshareIndex(pc, p_.gshareBits, p_.gshareHist,
+                              thread);
+    bump(gshare_[gi], taken);
+
+    if (p_.secondGshare) {
+        uint64_t g2 = gshareIndex(pc, p_.gshare2Bits, p_.gshare2Hist,
+                                  thread);
+        bool was = counterTaken(gshare2_[g2]);
+        bump(gshare2_[g2], taken);
+        // Confidence counts agreement of the long-history bank.
+        bump(gshare2Meta_[g2], was == taken);
+    }
+
+    // Chooser trains toward whichever component was right.
+    uint64_t ci = mix(pc >> 2) & (choice_.size() - 1);
+    if (lastBimodal_ != lastGlobal_)
+        bump(choice_[ci], lastGlobal_ == taken);
+
+    if (p_.localPattern) {
+        uint64_t li = localIndex(pc, thread);
+        uint8_t tag = static_cast<uint8_t>(mix(pc >> 2) >> 32) |
+                      static_cast<uint8_t>(thread << 5);
+        if (localTag_[li] != tag) {
+            // Another branch owned this history register: re-tag and
+            // retrain from scratch rather than override with garbage.
+            localTag_[li] = tag;
+            localHist_[li] = 0;
+        } else {
+            uint64_t patIdx =
+                (localHist_[li] ^ (mix(pc >> 2) << 1)) &
+                (localPattern_.size() - 1);
+            bump(localPattern_[patIdx], taken);
+            localHist_[li] = static_cast<uint16_t>(
+                ((localHist_[li] << 1) | (taken ? 1 : 0)) &
+                ((1u << p_.localHistBits) - 1));
+        }
+    }
+
+    uint64_t& gh = ghist_[thread % kMaxThreads];
+    gh = (gh << 1) | (taken ? 1 : 0);
+}
+
+uint64_t
+BranchPredictor::predictIndirect(uint64_t pc, int thread)
+{
+    uint64_t path = p_.indirectPathHist
+        ? (pathHist_[thread % kMaxThreads] & 0xff) : 0;
+    uint64_t set = (mix(pc >> 2) ^ path) &
+                   ((1ull << p_.indirectBits) - 1);
+    uint64_t tag = mix(pc >> 2) >> 20;
+    IndirectEntry* base =
+        &indirect_[set * static_cast<uint64_t>(p_.indirectWays)];
+    for (int w = 0; w < p_.indirectWays; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].lru = ++stamp_;
+            return base[w].target;
+        }
+    }
+    return 0;
+}
+
+void
+BranchPredictor::updateIndirect(uint64_t pc, uint64_t target, int thread)
+{
+    uint64_t path = p_.indirectPathHist
+        ? (pathHist_[thread % kMaxThreads] & 0xff) : 0;
+    uint64_t set = (mix(pc >> 2) ^ path) &
+                   ((1ull << p_.indirectBits) - 1);
+    uint64_t tag = mix(pc >> 2) >> 20;
+    IndirectEntry* base =
+        &indirect_[set * static_cast<uint64_t>(p_.indirectWays)];
+    IndirectEntry* victim = base;
+    for (int w = 0; w < p_.indirectWays; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            victim = &base[w];
+            break;
+        }
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lru < victim->lru)
+            victim = &base[w];
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->target = target;
+    victim->lru = ++stamp_;
+    uint64_t& ph = pathHist_[thread % kMaxThreads];
+    ph = (ph << 4) ^ (mix(target) & 0xf);
+}
+
+} // namespace p10ee::core

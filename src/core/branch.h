@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Parameterized branch prediction (paper §II-B).
+ *
+ * POWER10 doubled selective prediction resources and added new direction
+ * and indirect-target predictors, cutting wasted/flushed instructions by
+ * 25% on SPECint (38% for interpreted languages). The model is a
+ * tournament predictor — bimodal + gshare, with an optional second
+ * long-history gshare bank and an optional per-PC local pattern table
+ * (the POWER10 additions) — plus a set-associative indirect target cache.
+ */
+
+#ifndef P10EE_CORE_BRANCH_H
+#define P10EE_CORE_BRANCH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.h"
+
+namespace p10ee::core {
+
+/** Tournament direction predictor + indirect target cache. */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const BranchParams& params);
+
+    /**
+     * Predict the direction of the branch at @p pc for hardware thread
+     * @p thread (history registers are per-thread as in hardware).
+     */
+    bool predictDirection(uint64_t pc, int thread = 0);
+
+    /**
+     * Predict the target of an indirect branch at @p pc.
+     * @return 0 when no target is cached (treated as a mispredict if
+     *         the branch goes anywhere but fall-through).
+     */
+    uint64_t predictIndirect(uint64_t pc, int thread = 0);
+
+    /** Train all tables with the resolved outcome. */
+    void updateDirection(uint64_t pc, bool taken, int thread = 0);
+
+    /** Train the indirect target cache. */
+    void updateIndirect(uint64_t pc, uint64_t target, int thread = 0);
+
+  private:
+    struct IndirectEntry
+    {
+        uint64_t tag = 0;
+        uint64_t target = 0;
+        uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    static bool counterTaken(uint8_t c) { return c >= 2; }
+    static void bump(uint8_t& c, bool taken);
+
+    static constexpr int kMaxThreads = 8;
+
+    uint64_t gshareIndex(uint64_t pc, int bits, int hist,
+                         int thread) const;
+    uint64_t localIndex(uint64_t pc, int thread) const;
+
+    BranchParams p_;
+    std::vector<uint8_t> bimodal_;
+    std::vector<uint8_t> gshare_;
+    std::vector<uint8_t> gshare2_;
+    std::vector<uint8_t> gshare2Meta_; ///< confidence in the long bank
+    std::vector<uint8_t> choice_;      ///< 0..3: prefer bimodal..global
+    std::vector<uint16_t> localHist_;
+    std::vector<uint8_t> localTag_; ///< anti-aliasing tags
+    std::vector<uint8_t> localPattern_;
+    std::vector<IndirectEntry> indirect_;
+    uint64_t ghist_[kMaxThreads] = {};
+    uint64_t pathHist_[kMaxThreads] = {};
+    uint64_t stamp_ = 0;
+
+    // Prediction components remembered between predict and update so
+    // the chooser trains on what each component actually said.
+    bool lastBimodal_ = false;
+    bool lastGlobal_ = false;
+    bool lastUsedLocal_ = false;
+    bool lastLocal_ = false;
+};
+
+} // namespace p10ee::core
+
+#endif // P10EE_CORE_BRANCH_H

@@ -1,0 +1,123 @@
+#include "core/cache.h"
+
+#include "common/assert.h"
+
+namespace p10ee::core {
+
+namespace {
+
+uint32_t
+floorLog2(uint64_t v)
+{
+    uint32_t l = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++l;
+    }
+    return l;
+}
+
+} // namespace
+
+CacheModel::CacheModel(uint64_t sizeBytes, uint32_t ways, uint32_t lineSize)
+    : ways_(ways), lineSize_(lineSize)
+{
+    P10_ASSERT(sizeBytes > 0 && ways > 0 && lineSize > 0,
+               "cache geometry");
+    uint64_t lines = sizeBytes / lineSize;
+    P10_ASSERT(lines >= ways, "cache smaller than one set");
+    numSets_ = static_cast<uint32_t>(lines / ways);
+    // Round sets down to a power of two for cheap indexing; geometry
+    // stays within a few percent of the requested size.
+    numSets_ = 1u << floorLog2(numSets_);
+    ways_store_.resize(static_cast<size_t>(numSets_) * ways_);
+}
+
+uint64_t
+CacheModel::setIndex(uint64_t addr) const
+{
+    return (addr / lineSize_) & (numSets_ - 1);
+}
+
+uint64_t
+CacheModel::tagOf(uint64_t addr) const
+{
+    return addr / lineSize_ / numSets_;
+}
+
+bool
+CacheModel::access(uint64_t addr, bool install)
+{
+    uint64_t set = setIndex(addr);
+    uint64_t tag = tagOf(addr);
+    Way* base = &ways_store_[set * ways_];
+    ++stamp_;
+    for (uint32_t w = 0; w < ways_; ++w) {
+        Way& way = base[w];
+        if (way.valid && way.tag == tag) {
+            way.lru = stamp_;
+            return true;
+        }
+    }
+    if (install) {
+        Way* victim = base;
+        for (uint32_t w = 0; w < ways_; ++w) {
+            Way& way = base[w];
+            if (!way.valid) {
+                victim = &way;
+                break;
+            }
+            if (way.lru < victim->lru)
+                victim = &way;
+        }
+        victim->tag = tag;
+        victim->valid = true;
+        victim->lru = stamp_;
+    }
+    return false;
+}
+
+void
+CacheModel::install(uint64_t addr)
+{
+    // A prefill is an access that doesn't report hit/miss to the caller.
+    (void)access(addr, true);
+}
+
+bool
+CacheModel::probe(uint64_t addr) const
+{
+    uint64_t set = setIndex(addr);
+    uint64_t tag = tagOf(addr);
+    const Way* base = &ways_store_[set * ways_];
+    for (uint32_t w = 0; w < ways_; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+CacheModel::reset()
+{
+    for (auto& w : ways_store_)
+        w = Way{};
+    stamp_ = 0;
+}
+
+TranslationCache::TranslationCache(int entries, uint32_t pageBytes,
+                                   uint32_t ways)
+    : tags_(static_cast<uint64_t>(entries) * pageBytes,
+            static_cast<uint32_t>(entries) < ways
+                ? static_cast<uint32_t>(entries)
+                : ways,
+            pageBytes)
+{
+}
+
+bool
+TranslationCache::access(uint64_t addr)
+{
+    return tags_.access(addr, true);
+}
+
+} // namespace p10ee::core

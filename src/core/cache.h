@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Set-associative tag-array model used for caches, TLBs and ERATs.
+ */
+
+#ifndef P10EE_CORE_CACHE_H
+#define P10EE_CORE_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.h"
+
+namespace p10ee::core {
+
+/**
+ * LRU set-associative tag array. Models hits/misses only — data payloads
+ * are irrelevant to timing and power event counts.
+ */
+class CacheModel
+{
+  public:
+    /** Build from geometry; @p sizeBytes/@p lineSize/@p ways define sets. */
+    CacheModel(uint64_t sizeBytes, uint32_t ways, uint32_t lineSize);
+
+    /** Convenience constructor from CacheParams. */
+    explicit CacheModel(const CacheParams& p)
+        : CacheModel(p.sizeBytes, p.ways, p.lineSize)
+    {}
+
+    /**
+     * Look up @p addr; on miss optionally install it (LRU victim).
+     * @return true on hit.
+     */
+    bool access(uint64_t addr, bool install = true);
+
+    /** Install @p addr without counting as a demand access (prefill). */
+    void install(uint64_t addr);
+
+    /** True if @p addr is currently resident (no LRU update). */
+    bool probe(uint64_t addr) const;
+
+    /** Drop all contents. */
+    void reset();
+
+    uint32_t lineSize() const { return lineSize_; }
+    uint32_t numSets() const { return numSets_; }
+    uint32_t ways() const { return ways_; }
+
+  private:
+    struct Way
+    {
+        uint64_t tag = ~0ull;
+        uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    uint64_t setIndex(uint64_t addr) const;
+    uint64_t tagOf(uint64_t addr) const;
+
+    uint32_t ways_;
+    uint32_t lineSize_;
+    uint32_t numSets_;
+    uint64_t stamp_ = 0;
+    std::vector<Way> ways_store_; ///< numSets_ x ways_, row-major
+};
+
+/**
+ * Fully-scaled TLB/ERAT wrapper: a CacheModel over page granules with an
+ * entry count instead of a byte size.
+ */
+class TranslationCache
+{
+  public:
+    TranslationCache(int entries, uint32_t pageBytes, uint32_t ways = 4);
+
+    /** Look up the page of @p addr, installing on miss. @return hit. */
+    bool access(uint64_t addr);
+
+    void reset() { tags_.reset(); }
+
+  private:
+    CacheModel tags_;
+};
+
+} // namespace p10ee::core
+
+#endif // P10EE_CORE_CACHE_H

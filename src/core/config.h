@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Core timing-model configuration.
+ *
+ * One CoreConfig fully describes a machine; the POWER9 baseline and the
+ * POWER10 design are factory functions over this struct, and the Fig. 4
+ * ablation study is expressed as POWER10 with individual feature groups
+ * reverted to their POWER9 values (see configs.cpp).
+ */
+
+#ifndef P10EE_CORE_CONFIG_H
+#define P10EE_CORE_CONFIG_H
+
+#include <cstdint>
+#include <string>
+
+namespace p10ee::core {
+
+/** Geometry and latency of one cache level. */
+struct CacheParams
+{
+    uint32_t sizeBytes = 0;
+    uint32_t ways = 8;
+    uint32_t lineSize = 64; ///< bytes
+    uint32_t latency = 4;   ///< load-to-use cycles on hit
+    uint32_t occupancy = 1; ///< cycles one access holds the array port
+};
+
+/** Branch-predictor resourcing. */
+struct BranchParams
+{
+    int bimodalBits = 13;     ///< log2 entries of the bimodal table
+    int gshareBits = 13;      ///< log2 entries of the gshare table
+    int gshareHist = 12;      ///< global history length (bits)
+    bool secondGshare = false;///< extra long-history bank (POWER10)
+    int gshare2Bits = 14;
+    int gshare2Hist = 24;
+    bool localPattern = false;///< per-PC pattern predictor (POWER10)
+    int localHistBits = 8;
+    int localBits = 12;
+    int choiceBits = 13;      ///< bimodal/global chooser
+    int indirectBits = 9;     ///< log2 sets of the indirect target cache
+    int indirectWays = 1;
+    /**
+     * POWER10's new indirect predictor correlates on recent target
+     * history; the POWER9 baseline is a last-target cache.
+     */
+    bool indirectPathHist = false;
+};
+
+/** Complete description of one core design point. */
+struct CoreConfig
+{
+    std::string name;
+
+    // ---- Front end ----
+    int fetchWidth = 6;        ///< instructions fetched per cycle
+    int decodeWidth = 6;       ///< POWER9 6, POWER10 8 (paired)
+    int frontendStages = 6;    ///< fetch-to-dispatch depth
+    int ibufferEntries = 128;  ///< instruction-buffer decoupling depth
+    int redirectPenalty = 11;  ///< mispredict refill bubbles
+    int takenBranchBubble = 2; ///< fetch bubble on predicted-taken
+    bool fusion = false;       ///< pre-decode fusion (POWER10)
+    /**
+     * Power ISA 3.1 prefixed (8-byte) instructions decode natively on
+     * POWER10 ("New ISA Prefix Fusion"); older cores crack them into
+     * two decode slots.
+     */
+    bool prefixSupport = false;
+    /**
+     * Fraction of structurally fusible static pairs whose encodings are
+     * among the >200 fusible instruction-type pairs. Deterministic per
+     * static pair (hashed on the PCs).
+     */
+    double fusionCoverage = 0.35;
+    BranchParams bp;
+
+    // ---- Caches & translation ----
+    bool eaTaggedL1 = false; ///< POWER10: translate only on L1 miss
+    CacheParams l1i;
+    CacheParams l1d;
+    CacheParams l2;
+    CacheParams l3;
+    uint32_t memLatency = 340;
+    uint32_t memOccupancy = 4; ///< cycles/line of memory bandwidth
+    int eratEntries = 64;
+    int tlbEntries = 1024;
+    uint32_t eratMissPenalty = 10;  ///< ERAT miss, TLB hit
+    uint32_t tlbMissPenalty = 80;   ///< table-walk cycles
+    uint32_t pageBytes = 64 * 1024;
+
+    // ---- Backend structures ----
+    int robSize = 256;       ///< instruction table entries
+    int ldqSize = 64;        ///< ST-mode entries (halved per SMT thread)
+    int ldqSizeSmt = 128;    ///< shared entries in SMT modes
+    int stqSize = 40;
+    int stqSizeSmt = 80;
+    int lmqSize = 8;         ///< load-miss queue
+    int dispatchWidth = 6;
+    int commitWidth = 6;
+    int issueWidth = 6;      ///< total issue slots per cycle
+
+    // ---- Issue ports ----
+    int aluPorts = 4;
+    int fpPorts = 2;   ///< 128-bit VSU FMA-capable pipes
+    int vsuIntPorts = 2;
+    int ldPorts = 2;
+    int stPorts = 2;
+    int lsCombined = 2; ///< POWER9: loads+stores share LS slices; 0 = off
+    int brPorts = 1;
+    int mmaUnits = 0;
+
+    // ---- Latencies (cycles) ----
+    int aluLat = 1;
+    int mulLat = 5;
+    int divLat = 24;
+    int fpLat = 6;       ///< scalar FP
+    int vsuLat = 6;      ///< 128-bit VSU FMA (7 on POWER10: added stages)
+    int mmaLat = 6;      ///< ger issue-to-writeback (xxmfacc readers)
+    int mmaAccLat = 1;   ///< ger-to-ger same-accumulator chain
+    int loadToVsuPenalty = 1; ///< extra load-to-vector forward (POWER9)
+
+    // ---- Design-style parameters consumed by the power model ----
+    /**
+     * Quality of latch clock gating in [0,1]: 1 means every latch clock
+     * is off unless its logic is in use ("off by default", §II-B);
+     * POWER9-era designs added gating after function entry and sit much
+     * lower.
+     */
+    double clockGateQuality = 0.45;
+    /**
+     * Quality of data/ghost switching suppression in [0,1]: POWER10
+     * tracked ghost switching in RTL simulation and flagged data-input
+     * switching without a corresponding write.
+     */
+    double dataGateQuality = 0.50;
+    /**
+     * POWER10's unified sliced register file (GPR+VSR in one structure,
+     * two write ports per building block) versus POWER9's reservation
+     * stations + separate register files.
+     */
+    bool unifiedRf = false;
+    /**
+     * Per-event switching-energy scale from circuit redesign: optimized
+     * carry-save adder trees, the "sum" pass-gate circuit (>40% FP-unit
+     * power reduction), wiring/congestion work (§II-B).
+     */
+    double switchEnergyScale = 1.0;
+    /**
+     * Latch-clock energy scale from local clock-buffer redesign and
+     * latch preplacement.
+     */
+    double latchClockScale = 1.0;
+
+    // ---- LSU features ----
+    int prefetchStreams = 8;
+    int prefetchDepth = 4;
+    bool storeMerge = false; ///< POWER10 dynamic STQ gather
+    bool store32B = false;   ///< 32-byte load/store support
+
+    /** Effective LDQ entries per thread at @p threads threads. */
+    int
+    ldqPerThread(int threads) const
+    {
+        return threads <= 1 ? ldqSize : ldqSizeSmt / threads;
+    }
+
+    /** Effective STQ entries per thread at @p threads threads. */
+    int
+    stqPerThread(int threads) const
+    {
+        return threads <= 1 ? stqSize : stqSizeSmt / threads;
+    }
+};
+
+/** The POWER9 baseline core. */
+CoreConfig power9();
+
+/** The POWER10 core. */
+CoreConfig power10();
+
+/**
+ * Fig. 4 ablation groups: each names a POWER10 feature bundle that can
+ * be reverted to its POWER9 configuration.
+ */
+enum class AblationGroup {
+    BranchOperation, ///< predictors + branch pipeline merge
+    LatencyBw,       ///< cache/TLB latencies, LS ports, prefetch, memory
+    L2Cache,         ///< 4x private L2 (and larger L1I/TLB)
+    DecodeVsx,       ///< 8-wide decode, fusion, doubled VSU
+    Queues,          ///< instruction table / LDQ / STQ / LMQ sizes
+    NumGroups
+};
+
+/** Name of an ablation group as shown in Fig. 4. */
+std::string ablationGroupName(AblationGroup g);
+
+/** POWER10 with @p g reverted to the POWER9 configuration. */
+CoreConfig power10Without(AblationGroup g);
+
+} // namespace p10ee::core
+
+#endif // P10EE_CORE_CONFIG_H

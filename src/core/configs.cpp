@@ -1,0 +1,251 @@
+#include "core/config.h"
+
+#include "common/assert.h"
+
+namespace p10ee::core {
+
+/**
+ * POWER9 baseline. Sizes follow the published POWER9 core (L1I 32K,
+ * L1D 32K, 512K L2-equivalent per core, ~10MB L3 region) and the paper's
+ * relative statements (POWER10 = 4x L2, 4x MMU, 2x SIMD, 2x load/store,
+ * +33% decode, 2x instruction window). Latencies are calibration
+ * constants chosen for a 14nm-class POWER9 at nominal frequency.
+ */
+CoreConfig
+power9()
+{
+    CoreConfig c;
+    c.name = "POWER9";
+
+    c.fetchWidth = 8;
+    c.decodeWidth = 6;
+    c.ibufferEntries = 96;
+    c.frontendStages = 6;
+    c.redirectPenalty = 11;
+    c.takenBranchBubble = 1;
+    c.fusion = false;
+    // POWER9 already carried a competitive multi-table direction
+    // predictor; POWER10 doubles selective resources and adds the local
+    // pattern and target-history indirect predictors on top.
+    c.bp = BranchParams{};
+    c.bp.secondGshare = true;
+    c.bp.gshare2Bits = 13;
+    c.bp.gshare2Hist = 20;
+
+    c.eaTaggedL1 = false;
+    c.l1i = {32 * 1024, 8, 128, 5, 1};
+    c.l1d = {32 * 1024, 8, 64, 5, 1};
+    c.l2 = {512 * 1024, 8, 128, 15, 1};
+    c.l3 = {10 * 1024 * 1024, 20, 128, 32, 2};
+    c.memLatency = 315;
+    c.memOccupancy = 6;
+    c.eratEntries = 64;
+    c.tlbEntries = 1024;
+    c.eratMissPenalty = 10;
+    c.tlbMissPenalty = 80;
+
+    c.robSize = 512; ///< two SMT4-half instruction tables
+    c.ldqSize = 88;
+    c.ldqSizeSmt = 176;
+    c.stqSize = 44;
+    c.stqSizeSmt = 88;
+    c.lmqSize = 16;
+    c.dispatchWidth = 6;
+    c.commitWidth = 6;
+    c.issueWidth = 7;
+
+    c.aluPorts = 4;
+    c.fpPorts = 2;
+    c.vsuIntPorts = 2;
+    c.ldPorts = 2;
+    c.stPorts = 2;
+    c.lsCombined = 3; ///< LS slices shared between loads and stores
+    c.brPorts = 1;
+    c.mmaUnits = 0;
+
+    c.aluLat = 1;
+    c.mulLat = 5;
+    c.divLat = 24;
+    c.fpLat = 6;
+    c.vsuLat = 6;
+    c.loadToVsuPenalty = 1;
+
+    c.clockGateQuality = 0.45;
+    c.dataGateQuality = 0.50;
+    c.unifiedRf = false;
+    c.switchEnergyScale = 1.0;
+    c.latchClockScale = 1.0;
+
+    c.prefetchStreams = 12;
+    c.prefetchDepth = 6;
+    c.storeMerge = false;
+    c.store32B = false;
+    return c;
+}
+
+/**
+ * POWER10. Structural values from the paper's Fig. 1/Fig. 3 and Table I:
+ * 48K 6-way EA-tagged L1I, 32K 8-way EA-tagged L1D, 2MB L2, 8MB local
+ * L3 region, 4K-entry TLB, 512-entry instruction table, LDQ 128(SMT)/
+ * 64(ST), STQ 80/40, LMQ 12, 8-wide paired decode, doubled SIMD, 2x
+ * load + 2x store ports, MMA units, >200-pair fusion, 16-stream
+ * prefetch, dynamic store merging.
+ */
+CoreConfig
+power10()
+{
+    CoreConfig c;
+    c.name = "POWER10";
+
+    c.fetchWidth = 8;
+    c.decodeWidth = 8;
+    c.ibufferEntries = 128;
+    c.frontendStages = 6;
+    c.redirectPenalty = 10;
+    c.takenBranchBubble = 1;
+    c.fusion = true;
+    c.prefixSupport = true;
+    c.bp.bimodalBits = 14;
+    c.bp.gshareBits = 14;
+    c.bp.gshareHist = 16;
+    c.bp.secondGshare = true;
+    c.bp.gshare2Bits = 14;
+    c.bp.gshare2Hist = 24;
+    c.bp.localPattern = true;
+    c.bp.localBits = 14;
+    c.bp.choiceBits = 14;
+    c.bp.indirectBits = 11;
+    c.bp.indirectWays = 2;
+    c.bp.indirectPathHist = true;
+
+    c.eaTaggedL1 = true;
+    c.l1i = {48 * 1024, 6, 128, 4, 1};
+    c.l1d = {32 * 1024, 8, 64, 4, 1};
+    c.l2 = {2 * 1024 * 1024, 8, 128, 13, 1};
+    c.l3 = {8 * 1024 * 1024, 16, 128, 28, 2};
+    c.memLatency = 300;
+    c.memOccupancy = 4; ///< OMI: 2x per-core line bandwidth
+    c.eratEntries = 64;
+    c.tlbEntries = 4096; ///< 4x MMU resource
+    c.eratMissPenalty = 8;
+    c.tlbMissPenalty = 60;
+
+    c.robSize = 1024; ///< 2x 512-entry instruction tables (Fig. 3)
+    c.ldqSize = 128;
+    c.ldqSizeSmt = 256;
+    c.stqSize = 80;
+    c.stqSizeSmt = 160;
+    c.lmqSize = 24;
+    c.dispatchWidth = 8;
+    c.commitWidth = 8;
+    c.issueWidth = 8;
+
+    c.aluPorts = 8; ///< unified execution slices
+    c.fpPorts = 4;  ///< doubled 128-bit FMA capability
+    c.vsuIntPorts = 4;
+    c.ldPorts = 4;
+    c.stPorts = 4;
+    c.lsCombined = 0; ///< dedicated slice-oriented LSU pipes
+    c.brPorts = 4;    ///< branches merged into the execution slices
+    c.mmaUnits = 2;
+
+    c.aluLat = 1;
+    c.mulLat = 5;
+    c.divLat = 22;
+    c.fpLat = 7;  ///< added pipeline stages for the unified RF
+    c.vsuLat = 6;
+    c.mmaLat = 6;
+    c.mmaAccLat = 1;
+    c.loadToVsuPenalty = 0;
+
+    c.clockGateQuality = 0.88;
+    c.dataGateQuality = 0.85;
+    c.unifiedRf = true;
+    c.switchEnergyScale = 0.47;
+    c.latchClockScale = 0.62;
+
+    c.prefetchStreams = 16;
+    c.prefetchDepth = 8;
+    c.storeMerge = true;
+    c.store32B = true;
+    return c;
+}
+
+std::string
+ablationGroupName(AblationGroup g)
+{
+    switch (g) {
+      case AblationGroup::BranchOperation: return "branch_operation";
+      case AblationGroup::LatencyBw: return "latency_bw";
+      case AblationGroup::L2Cache: return "l2_cache";
+      case AblationGroup::DecodeVsx: return "decode_double_vsx";
+      case AblationGroup::Queues: return "queues";
+      default: return "invalid";
+    }
+}
+
+CoreConfig
+power10Without(AblationGroup g)
+{
+    CoreConfig c = power10();
+    CoreConfig p9 = power9();
+    c.name = "POWER10-no-" + ablationGroupName(g);
+    switch (g) {
+      case AblationGroup::BranchOperation:
+        c.bp = p9.bp;
+        c.brPorts = p9.brPorts;
+        c.takenBranchBubble = p9.takenBranchBubble;
+        c.redirectPenalty = p9.redirectPenalty;
+        break;
+      case AblationGroup::LatencyBw:
+        c.l1i.latency = p9.l1i.latency;
+        c.l1d.latency = p9.l1d.latency;
+        c.l2.latency = p9.l2.latency;
+        c.l2.occupancy = p9.l2.occupancy;
+        c.l3.latency = p9.l3.latency;
+        c.l3.occupancy = p9.l3.occupancy;
+        c.memLatency = p9.memLatency;
+        c.memOccupancy = p9.memOccupancy;
+        c.ldPorts = p9.ldPorts;
+        c.stPorts = p9.stPorts;
+        c.lsCombined = p9.lsCombined;
+        c.prefetchStreams = p9.prefetchStreams;
+        c.prefetchDepth = p9.prefetchDepth;
+        c.storeMerge = p9.storeMerge;
+        c.store32B = p9.store32B;
+        c.loadToVsuPenalty = p9.loadToVsuPenalty;
+        c.eratMissPenalty = p9.eratMissPenalty;
+        c.tlbMissPenalty = p9.tlbMissPenalty;
+        break;
+      case AblationGroup::L2Cache:
+        c.l2.sizeBytes = p9.l2.sizeBytes;
+        c.l1i.sizeBytes = p9.l1i.sizeBytes;
+        c.l1i.ways = p9.l1i.ways;
+        c.tlbEntries = p9.tlbEntries;
+        break;
+      case AblationGroup::DecodeVsx:
+        c.fetchWidth = p9.fetchWidth;
+        c.decodeWidth = p9.decodeWidth;
+        c.dispatchWidth = p9.dispatchWidth;
+        c.commitWidth = p9.commitWidth;
+        c.issueWidth = p9.issueWidth;
+        c.fusion = p9.fusion;
+        c.fpPorts = p9.fpPorts;
+        c.vsuIntPorts = p9.vsuIntPorts;
+        c.aluPorts = p9.aluPorts;
+        break;
+      case AblationGroup::Queues:
+        c.robSize = p9.robSize;
+        c.ldqSize = p9.ldqSize;
+        c.ldqSizeSmt = p9.ldqSizeSmt;
+        c.stqSize = p9.stqSize;
+        c.stqSizeSmt = p9.stqSizeSmt;
+        c.lmqSize = p9.lmqSize;
+        break;
+      default:
+        P10_ASSERT(false, "unknown ablation group");
+    }
+    return c;
+}
+
+} // namespace p10ee::core

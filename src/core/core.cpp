@@ -1,0 +1,637 @@
+#include "core/core.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "isa/fusion.h"
+#include "isa/op.h"
+
+namespace p10ee::core {
+
+using isa::OpClass;
+using isa::TraceInstr;
+namespace reg = isa::reg;
+
+/** Per-hardware-thread pipeline state. */
+struct CoreModel::ThreadState
+{
+    workloads::InstrSource* src = nullptr;
+    uint64_t nextFetch = 0;
+    uint64_t lastDecode = 0;
+    uint64_t lastCommit = 0;
+    uint64_t instrs = 0;
+
+    std::array<uint64_t, reg::kNumArchRegs> regReady{};
+    std::array<OpClass, reg::kNumArchRegs> regProducer{};
+    std::array<uint64_t, reg::kNumAcc> accChain{};
+
+    std::deque<uint64_t> rob; ///< commit cycles of in-flight ops
+    std::deque<uint64_t> fetchBuf; ///< dispatch cycles (ibuffer depth)
+    std::deque<uint64_t> ldq; ///< release cycles of load-queue entries
+    std::deque<uint64_t> stq;
+    std::deque<uint64_t> lmq; ///< fill cycles of outstanding misses
+
+    uint64_t lastILine = ~0ull;
+    uint64_t lastStoreLine = ~0ull;
+
+    // Fusion lookahead: the previously decoded instruction.
+    bool havePrev = false;
+    TraceInstr prev;
+    uint64_t prevIssue = 0;
+    uint64_t prevComplete = 0;
+
+    ThreadState() { regProducer.fill(OpClass::Nop); }
+};
+
+namespace {
+
+/** Toggle-weighted switching counters use 1/1024 fixed point. */
+uint64_t
+toggleWeight(float toggle)
+{
+    return static_cast<uint64_t>(toggle * 1024.0f);
+}
+
+} // namespace
+
+CoreModel::CoreModel(const CoreConfig& cfg)
+    : cfg_(cfg),
+      l1i_(cfg.l1i),
+      l1d_(cfg.l1d),
+      l2_(cfg.l2),
+      l3_(cfg.l3),
+      ierat_(cfg.eratEntries, cfg.pageBytes),
+      derat_(cfg.eratEntries, cfg.pageBytes),
+      tlb_(cfg.tlbEntries, cfg.pageBytes),
+      bp_(cfg.bp),
+      prefetcher_(cfg.prefetchStreams, cfg.prefetchDepth),
+      fetchRing_(cfg.fetchWidth),
+      decodeRing_(cfg.decodeWidth),
+      dispatchRing_(cfg.dispatchWidth),
+      issueRing_(cfg.issueWidth),
+      commitRing_(cfg.commitWidth),
+      aluRing_(cfg.aluPorts),
+      fpRing_(cfg.fpPorts),
+      vsuIntRing_(cfg.vsuIntPorts),
+      ldRing_(cfg.ldPorts),
+      stRing_(cfg.stPorts),
+      brRing_(cfg.brPorts),
+      mmaRing_(cfg.mmaUnits > 0 ? cfg.mmaUnits : 1),
+      l2Server_(cfg.l2.occupancy),
+      l3Server_(cfg.l3.occupancy),
+      memServer_(cfg.memOccupancy)
+{
+    if (cfg.lsCombined > 0)
+        lsCombinedRing_ = std::make_unique<ThrottleRing>(cfg.lsCombined);
+}
+
+CoreModel::~CoreModel() = default;
+
+int
+CoreModel::latencyOf(OpClass op) const
+{
+    switch (op) {
+      case OpClass::IntAlu: return cfg_.aluLat;
+      case OpClass::IntMul: return cfg_.mulLat;
+      case OpClass::IntDiv: return cfg_.divLat;
+      case OpClass::FpScalar: return cfg_.fpLat;
+      case OpClass::VsuFp: return cfg_.vsuLat;
+      case OpClass::VsuInt: return 3;
+      case OpClass::MmaGer: return cfg_.mmaLat;
+      case OpClass::MmaMove: return 2;
+      case OpClass::Branch:
+      case OpClass::BranchIndirect: return 2;
+      case OpClass::CryptoDfu: return 8;
+      case OpClass::System: return 6;
+      default: return 1;
+    }
+}
+
+uint64_t
+CoreModel::missLatency(uint64_t addr, uint64_t when, bool isInstr,
+                       uint8_t tier)
+{
+    // L2 lookup (bandwidth-limited array port).
+    stats_.add("l2.access");
+    uint64_t start = l2Server_.serve(when);
+    uint64_t queue = start - when;
+    if (infiniteL2_ || l2_.access(addr))
+        return queue + cfg_.l2.latency;
+    stats_.add("l2.miss");
+    if (tier != 0xff)
+        stats_.add("l2.miss.tier" + std::to_string(tier));
+
+    stats_.add("l3.access");
+    uint64_t l3start = l3Server_.serve(start + cfg_.l2.latency);
+    queue = l3start - when;
+    if (l3_.access(addr)) {
+        l2_.install(addr); // inclusive fill
+        return queue + cfg_.l3.latency;
+    }
+    stats_.add("l3.miss");
+
+    stats_.add("mem.access");
+    if (isInstr)
+        stats_.add("mem.access_instr");
+    uint64_t mstart = memServer_.serve(l3start + cfg_.l3.latency);
+    queue = mstart - when;
+    l3_.install(addr);
+    l2_.install(addr);
+    return queue + cfg_.memLatency;
+}
+
+uint64_t
+CoreModel::translate(ThreadState& ts, uint64_t addr, bool isInstr)
+{
+    (void)ts;
+    TranslationCache& erat = isInstr ? ierat_ : derat_;
+    stats_.add(isInstr ? "ierat.access" : "derat.access");
+    if (erat.access(addr))
+        return 0;
+    stats_.add(isInstr ? "ierat.miss" : "derat.miss");
+    stats_.add("tlb.access");
+    if (tlb_.access(addr))
+        return cfg_.eratMissPenalty;
+    stats_.add("tlb.miss");
+    return cfg_.eratMissPenalty + cfg_.tlbMissPenalty;
+}
+
+uint64_t
+CoreModel::fetchCycle(ThreadState& ts, const TraceInstr& in)
+{
+    uint64_t f = ts.nextFetch;
+    // Frontend decoupling is bounded by the instruction buffer: fetch
+    // stalls when it runs a buffer's worth of instructions ahead of
+    // dispatch. Without this backpressure a mispredict redirect would
+    // cost the entire (unbounded) fetch-to-resolve slack.
+    size_t ibufCap = static_cast<size_t>(
+        std::max(8, cfg_.ibufferEntries / numThreads_));
+    while (ts.fetchBuf.size() >= ibufCap) {
+        f = std::max(f, ts.fetchBuf.front());
+        ts.fetchBuf.pop_front();
+    }
+    uint64_t line = in.pc / cfg_.l1i.lineSize;
+    if (line != ts.lastILine) {
+        stats_.add("fetch.line");
+        // RA-tagged L1I (POWER9): translate on every line fetch.
+        if (!cfg_.eaTaggedL1)
+            f += translate(ts, in.pc, true);
+        if (!l1i_.access(in.pc)) {
+            stats_.add("l1i.miss");
+            // EA-tagged L1I (POWER10): translate only on the miss.
+            if (cfg_.eaTaggedL1)
+                f += translate(ts, in.pc, true);
+            f += cfg_.l1i.latency + missLatency(in.pc, f, true);
+        }
+        ts.lastILine = line;
+    }
+    f = fetchRing_.record(f);
+    // An 8-byte prefixed instruction occupies two fetch slots.
+    if (in.prefixed) {
+        fetchRing_.record(f);
+        stats_.add("fetch.prefix");
+    }
+    ts.nextFetch = f;
+    stats_.add("fetch.instr");
+    return f;
+}
+
+void
+CoreModel::resolveBranch(int t, ThreadState& ts, const TraceInstr& in,
+                         uint64_t fetched, uint64_t resolve)
+{
+    stats_.add("bp.lookup");
+    bool predTaken = bp_.predictDirection(in.pc, t);
+    bool mispredict = predTaken != in.taken;
+    if (in.op == OpClass::BranchIndirect) {
+        uint64_t predTarget = bp_.predictIndirect(in.pc, t);
+        if (in.taken && predTarget != in.target) {
+            mispredict = true;
+            stats_.add("bp.indirect_mispredict");
+        }
+        bp_.updateIndirect(in.pc, in.target, t);
+    }
+    bp_.updateDirection(in.pc, in.taken, t);
+
+    if (mispredict) {
+        stats_.add("bp.mispredict");
+        uint64_t redirect = resolve + cfg_.redirectPenalty;
+        // Wrong-path instructions are fetched from the mispredicted
+        // branch until it resolves; that is the flushed work whose
+        // reduction §II-B reports (fetch stops at resolve, so the
+        // redirect penalty adds bubbles, not wasted instructions).
+        uint64_t span = resolve > fetched ? resolve - fetched : 0;
+        uint64_t wasted = span *
+            static_cast<uint64_t>(cfg_.fetchWidth) /
+            static_cast<uint64_t>(numThreads_);
+        stats_.add("flush.wasted", std::min<uint64_t>(wasted, 256));
+        if (redirect > ts.nextFetch) {
+            stats_.add("flush.stall", redirect - ts.nextFetch);
+            ts.nextFetch = redirect;
+        }
+        ts.lastILine = ~0ull; // refetch after flush
+        ts.havePrev = false;  // no fusion across a flush
+    } else if (in.taken) {
+        ts.nextFetch += static_cast<uint64_t>(cfg_.takenBranchBubble);
+    }
+}
+
+void
+CoreModel::processInstr(int t, const TraceInstr& in)
+{
+    ThreadState& ts = *threads_[static_cast<size_t>(t)];
+
+    // ---------------- Fetch ----------------
+    uint64_t f = fetchCycle(ts, in);
+
+    // ---------------- Pre-decode fusion ----------------
+    isa::FusionKind fusion = isa::FusionKind::None;
+    if (cfg_.fusion && ts.havePrev) {
+        fusion = isa::classifyFusion(ts.prev, in);
+        if (fusion != isa::FusionKind::None) {
+            // Only a fraction of structurally fusible pairs use one of
+            // the fusible encodings; the decision is a deterministic
+            // property of the static pair.
+            uint64_t h = (ts.prev.pc * 0x9e3779b97f4a7c15ull) ^
+                         (in.pc * 0xff51afd7ed558ccdull);
+            h = (h ^ (h >> 29)) & 1023;
+            if (h >= static_cast<uint64_t>(cfg_.fusionCoverage * 1024.0))
+                fusion = isa::FusionKind::None;
+        }
+    }
+
+    if (isa::fusesToSingleOp(fusion)) {
+        // The second instruction of the pair is absorbed into the op
+        // created for the first: no decode/dispatch/issue resources,
+        // results available with the fused op.
+        stats_.add("fusion.pair");
+        stats_.add("commit.instr");
+        if (in.dest != reg::kNone) {
+            ts.regReady[in.dest] = ts.prevComplete;
+            ts.regProducer[in.dest] = in.op;
+        }
+        if (isa::isBranch(in.op))
+            resolveBranch(t, ts, in, f, ts.prevComplete);
+        if (isa::isStore(in.op))
+            stats_.add("lsu.st_fused");
+        if (measuring_) {
+            flops_ += static_cast<uint64_t>(isa::flopsPerInstr(in.op));
+            // Boundary stragglers (issued before the measurement base)
+            // are excluded from the event trace: clamping them to
+            // cycle 0 would pile a false power spike there.
+            if (collectTimings_ && ts.prevIssue >= measureBaseCycle_) {
+                InstrTiming rec;
+                rec.issue = static_cast<uint32_t>(
+                    ts.prevIssue - measureBaseCycle_);
+                rec.complete = static_cast<uint32_t>(
+                    ts.prevComplete > measureBaseCycle_
+                        ? ts.prevComplete - measureBaseCycle_ : 0);
+                rec.op = in.op;
+                rec.toggle = in.toggle;
+                rec.thread = static_cast<uint8_t>(t);
+                rec.gemm = in.gemm;
+                timings_.push_back(rec);
+            }
+        }
+        ++ts.instrs;
+        // An absorbed op cannot itself host a further fusion.
+        ts.havePrev = false;
+        return;
+    }
+
+    // ---------------- Decode ----------------
+    uint64_t d = std::max(f + 1, ts.lastDecode);
+    d = decodeRing_.record(d);
+    if (in.prefixed) {
+        if (cfg_.prefixSupport) {
+            // Prefix fusion: the pair decodes as one internal op.
+            stats_.add("decode.prefix_fused");
+        } else {
+            // Legacy cracking: prefix and suffix each take a slot.
+            decodeRing_.record(d);
+            stats_.add("decode.cracked");
+        }
+    }
+    ts.lastDecode = d;
+    stats_.add("decode.op");
+
+    // ---------------- Dispatch (structure allocation) ----------------
+    uint64_t disp = d + static_cast<uint64_t>(cfg_.frontendStages - 2);
+    size_t robCap = static_cast<size_t>(
+        std::max(1, cfg_.robSize / numThreads_));
+    while (ts.rob.size() >= robCap) {
+        disp = std::max(disp, ts.rob.front());
+        ts.rob.pop_front();
+    }
+    if (isa::isLoad(in.op)) {
+        size_t cap = static_cast<size_t>(
+            std::max(1, cfg_.ldqPerThread(numThreads_)));
+        while (ts.ldq.size() >= cap) {
+            disp = std::max(disp, ts.ldq.front());
+            ts.ldq.pop_front();
+        }
+    }
+    bool takesStqEntry = isa::isStore(in.op);
+    if (takesStqEntry) {
+        size_t cap = static_cast<size_t>(
+            std::max(1, cfg_.stqPerThread(numThreads_)));
+        while (ts.stq.size() >= cap) {
+            disp = std::max(disp, ts.stq.front());
+            ts.stq.pop_front();
+        }
+    }
+    disp = dispatchRing_.record(disp);
+    ts.fetchBuf.push_back(disp);
+    stats_.add("dispatch.op");
+    if (in.dest != reg::kNone)
+        stats_.add("rename.write");
+
+    // ---------------- Operand readiness ----------------
+    uint64_t ready = disp + 1;
+    for (uint16_t s : in.src) {
+        if (s == reg::kNone)
+            continue;
+        stats_.add("rf.read");
+        uint64_t r;
+        if (in.op == OpClass::MmaGer && s >= reg::kAccBase &&
+            s == in.dest) {
+            // ger-to-ger accumulate chains forward inside the MMA unit.
+            r = ts.accChain[s - reg::kAccBase];
+        } else {
+            r = ts.regReady[s];
+            if (isa::isVsu(in.op) && cfg_.loadToVsuPenalty > 0 &&
+                isa::isLoad(ts.regProducer[s])) {
+                r += static_cast<uint64_t>(cfg_.loadToVsuPenalty);
+            }
+        }
+        ready = std::max(ready, r);
+    }
+    if (fusion == isa::FusionKind::SharedIssue) {
+        // Dependent pair sharing an issue entry: optimized wakeup lets
+        // the consumer issue right behind the producer.
+        ready = std::max(disp + 1, ts.prevIssue + 1);
+        stats_.add("fusion.shared_issue");
+    }
+
+    // ---------------- Issue (port + width arbitration) ----------------
+    ThrottleRing* port = nullptr;
+    const char* issueStat = "issue.alu";
+    switch (in.op) {
+      case OpClass::IntAlu:
+        port = &aluRing_; issueStat = "issue.alu"; break;
+      case OpClass::IntMul:
+        port = &aluRing_; issueStat = "issue.mul"; break;
+      case OpClass::IntDiv:
+        port = &aluRing_; issueStat = "issue.div"; break;
+      case OpClass::FpScalar:
+      case OpClass::VsuFp:
+        port = &fpRing_; issueStat = "issue.fp"; break;
+      case OpClass::VsuInt:
+      case OpClass::CryptoDfu:
+        port = &vsuIntRing_; issueStat = "issue.vsu_int"; break;
+      case OpClass::Load:
+      case OpClass::Load32B:
+        port = &ldRing_; issueStat = "issue.ld"; break;
+      case OpClass::Store:
+      case OpClass::Store32B:
+        port = &stRing_; issueStat = "issue.st"; break;
+      case OpClass::Branch:
+      case OpClass::BranchIndirect:
+        port = &brRing_; issueStat = "issue.br"; break;
+      case OpClass::MmaGer:
+      case OpClass::MmaMove:
+        port = &mmaRing_; issueStat = "issue.mma"; break;
+      default:
+        port = &aluRing_; issueStat = "issue.alu"; break;
+    }
+    bool needsLsShared = lsCombinedRing_ &&
+        (isa::isLoad(in.op) || isa::isStore(in.op) || isa::isVsu(in.op) ||
+         in.op == OpClass::FpScalar);
+
+    uint64_t issue = ready;
+    while (true) {
+        issue = port->findFree(issue);
+        if (!issueRing_.hasRoom(issue)) {
+            issue = issueRing_.findFree(issue);
+            continue;
+        }
+        if (needsLsShared && !lsCombinedRing_->hasRoom(issue)) {
+            issue = lsCombinedRing_->findFree(issue);
+            continue;
+        }
+        break;
+    }
+    port->claimAt(issue);
+    issueRing_.claimAt(issue);
+    if (needsLsShared)
+        lsCombinedRing_->claimAt(issue);
+    stats_.add(issueStat);
+    stats_.add("issue.total");
+
+    // ---------------- Execute ----------------
+    uint64_t complete = issue + static_cast<uint64_t>(latencyOf(in.op));
+
+    if (isa::isLoad(in.op)) {
+        stats_.add("lsu.ld");
+        stats_.add("l1d.read");
+        if (!cfg_.eaTaggedL1)
+            complete += translate(ts, in.addr, false);
+        uint64_t line = in.addr / cfg_.l1d.lineSize;
+        if (l1d_.access(in.addr)) {
+            complete = issue + cfg_.l1d.latency;
+        } else {
+            stats_.add("l1d.miss");
+            if (in.memTier != 0xff)
+                stats_.add("l1d.miss.tier" +
+                           std::to_string(in.memTier));
+            if (cfg_.eaTaggedL1)
+                complete += translate(ts, in.addr, false);
+            // Load-miss queue occupancy (a shared structure: misses
+            // from every thread draw on the same entries).
+            uint64_t extra = 0;
+            size_t lmqCap = static_cast<size_t>(
+                std::max(1, cfg_.lmqSize));
+            while (lmq_.size() >= lmqCap) {
+                if (lmq_.front() > issue)
+                    extra = std::max(extra, lmq_.front() - issue);
+                lmq_.pop_front();
+            }
+            complete = issue + cfg_.l1d.latency + extra +
+                       missLatency(in.addr, issue + extra, false,
+                                   in.memTier);
+            // The LMQ entry hands off to the L2/L3 miss machinery once
+            // the L2 responds; long fills park in the deeper queues
+            // modeled by the bandwidth servers.
+            lmq_.push_back(std::min<uint64_t>(
+                complete, issue + extra + cfg_.l2.latency + 4));
+
+            prefetcher_.onMiss(line, pfScratch_);
+            for (uint64_t pfLine : pfScratch_) {
+                stats_.add("pf.issued");
+                l1d_.install(pfLine * cfg_.l1d.lineSize);
+                l2_.install(pfLine * cfg_.l1d.lineSize);
+            }
+        }
+        ts.ldq.push_back(complete);
+        stats_.add("sw.ls", toggleWeight(in.toggle));
+    } else if (isa::isStore(in.op)) {
+        stats_.add("lsu.st");
+        complete = issue + 1; // AGEN; data drains post-commit
+        if (!cfg_.eaTaggedL1)
+            complete += translate(ts, in.addr, false);
+        uint64_t line = in.addr / cfg_.l1d.lineSize;
+        if (cfg_.storeMerge && line == ts.lastStoreLine) {
+            // Gathered into the neighbouring STQ entry: no extra L1
+            // write or RFO traffic.
+            stats_.add("lsu.st_merge");
+        } else {
+            stats_.add("l1d.write");
+            if (!l1d_.access(in.addr)) {
+                stats_.add("l1d.miss_st");
+                // Write-allocate fill charged to the bandwidth servers
+                // only; the store itself does not stall.
+                (void)missLatency(in.addr, complete, false, in.memTier);
+            }
+        }
+        ts.lastStoreLine = line;
+        stats_.add("sw.ls", toggleWeight(in.toggle));
+    } else if (in.op == OpClass::MmaGer) {
+        stats_.add("mma.ger");
+        stats_.add("sw.mma", toggleWeight(in.toggle));
+        if (in.dest >= reg::kAccBase)
+            ts.accChain[in.dest - reg::kAccBase] =
+                issue + static_cast<uint64_t>(cfg_.mmaAccLat);
+    } else if (in.op == OpClass::MmaMove) {
+        stats_.add("mma.move");
+    } else if (in.op == OpClass::VsuFp) {
+        stats_.add("vsu.fp");
+        stats_.add("sw.vsu", toggleWeight(in.toggle));
+    } else if (in.op == OpClass::VsuInt) {
+        stats_.add("vsu.int");
+        stats_.add("sw.vsu", toggleWeight(in.toggle));
+    } else if (in.op == OpClass::FpScalar) {
+        stats_.add("fp.scalar");
+        stats_.add("sw.fp", toggleWeight(in.toggle));
+    } else {
+        stats_.add("sw.alu", toggleWeight(in.toggle));
+    }
+
+    if (isa::isBranch(in.op))
+        resolveBranch(t, ts, in, f, complete);
+
+    // ---------------- Writeback ----------------
+    if (in.dest != reg::kNone) {
+        ts.regReady[in.dest] = complete;
+        ts.regProducer[in.dest] = in.op;
+        stats_.add("rf.write");
+    }
+
+    // ---------------- Commit ----------------
+    uint64_t cm = std::max(complete + 1, ts.lastCommit);
+    cm = commitRing_.record(cm);
+    ts.lastCommit = cm;
+    ts.rob.push_back(cm);
+    if (takesStqEntry)
+        ts.stq.push_back(cm + 2); // drain to L1 shortly after commit
+    stats_.add("commit.instr");
+    stats_.add("commit.op");
+
+    if (measuring_) {
+        ++opsCommitted_;
+        flops_ += static_cast<uint64_t>(isa::flopsPerInstr(in.op));
+        if (collectTimings_ && issue >= measureBaseCycle_) {
+            InstrTiming rec;
+            rec.issue =
+                static_cast<uint32_t>(issue - measureBaseCycle_);
+            rec.complete = static_cast<uint32_t>(
+                complete > measureBaseCycle_
+                    ? complete - measureBaseCycle_ : 0);
+            rec.op = in.op;
+            rec.toggle = in.toggle;
+            rec.thread = static_cast<uint8_t>(t);
+            rec.gemm = in.gemm;
+            timings_.push_back(rec);
+        }
+    }
+    ++ts.instrs;
+
+    ts.havePrev = true;
+    ts.prev = in;
+    ts.prevIssue = issue;
+    ts.prevComplete = complete;
+    // A taken branch ends the sequential pair window.
+    if (isa::isBranch(in.op) && in.taken)
+        ts.havePrev = false;
+}
+
+RunResult
+CoreModel::run(const std::vector<workloads::InstrSource*>& sources,
+               const RunOptions& opts)
+{
+    P10_ASSERT(!sources.empty(), "no instruction sources");
+    numThreads_ = static_cast<int>(sources.size());
+    collectTimings_ = false;
+    infiniteL2_ = opts.infiniteL2;
+
+    threads_.clear();
+    for (auto* src : sources) {
+        auto ts = std::make_unique<ThreadState>();
+        ts->src = src;
+        threads_.push_back(std::move(ts));
+    }
+
+    auto stepOne = [&]() {
+        // Earliest-fetch-first SMT arbitration.
+        int pick = 0;
+        uint64_t best = threads_[0]->nextFetch;
+        for (int t = 1; t < numThreads_; ++t) {
+            if (threads_[static_cast<size_t>(t)]->nextFetch < best) {
+                best = threads_[static_cast<size_t>(t)]->nextFetch;
+                pick = t;
+            }
+        }
+        TraceInstr in = threads_[static_cast<size_t>(pick)]->src->next();
+        processInstr(pick, in);
+    };
+
+    // Warmup: trains caches, predictors, prefetch streams.
+    measuring_ = false;
+    for (uint64_t i = 0; i < opts.warmupInstrs; ++i)
+        stepOne();
+
+    uint64_t baseCycle = 0;
+    uint64_t baseInstrs = 0;
+    for (const auto& ts : threads_) {
+        baseCycle = std::max(baseCycle, ts->lastCommit);
+        baseInstrs += ts->instrs;
+    }
+    common::StatSnapshot baseStats = stats_.snapshot();
+
+    measuring_ = true;
+    measureBaseCycle_ = baseCycle;
+    collectTimings_ = opts.collectTimings;
+    timings_.clear();
+    opsCommitted_ = 0;
+    flops_ = 0;
+    for (uint64_t i = 0; i < opts.measureInstrs; ++i)
+        stepOne();
+
+    RunResult result;
+    uint64_t endCycle = 0;
+    uint64_t endInstrs = 0;
+    for (const auto& ts : threads_) {
+        endCycle = std::max(endCycle, ts->lastCommit);
+        endInstrs += ts->instrs;
+    }
+    result.cycles = endCycle > baseCycle ? endCycle - baseCycle : 1;
+    result.instrs = endInstrs - baseInstrs;
+    result.ops = opsCommitted_;
+    result.flops = flops_;
+    result.stats = common::StatRegistry::delta(baseStats,
+                                               stats_.snapshot());
+    result.stats["cycles"] = result.cycles;
+    result.timings = std::move(timings_);
+    return result;
+}
+
+} // namespace p10ee::core

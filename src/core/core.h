@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The trace-driven, cycle-approximate out-of-order SMT core model.
+ *
+ * This is the repo's substitute for the paper's RTLSim/M1 models: a
+ * mechanistic pipeline model with real predictor tables, cache tag
+ * arrays, queue occupancy, issue-port contention and dependence
+ * tracking, parameterized by CoreConfig to represent POWER9, POWER10,
+ * and the Fig. 4 ablation points. It produces timing (cycles/IPC),
+ * the activity counters the power models consume, and optional
+ * per-instruction event timings for per-cycle power reconstruction.
+ *
+ * Modeling approach: instructions flow through fetch / decode / dispatch
+ * / issue / complete / commit with each stage assigning a cycle under
+ * width throttles, structure occupancy (instruction table, LDQ, STQ,
+ * LMQ), port capacity, operand readiness and memory latency. SMT threads
+ * interleave by earliest-fetch-first and share all backend resources;
+ * queue structures are partitioned per thread as on the real machines.
+ */
+
+#ifndef P10EE_CORE_CORE_H
+#define P10EE_CORE_CORE_H
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/branch.h"
+#include "core/cache.h"
+#include "core/config.h"
+#include "core/prefetch.h"
+#include "core/result.h"
+#include "core/rings.h"
+#include "isa/instr.h"
+#include "workloads/source.h"
+
+namespace p10ee::core {
+
+/** Options for one measurement run. */
+struct RunOptions
+{
+    uint64_t warmupInstrs = 20000;  ///< not counted in the window
+    uint64_t measureInstrs = 100000;
+    bool collectTimings = false;    ///< fill RunResult::timings
+    bool infiniteL2 = false;        ///< APEX "core model" mode (Fig. 10)
+};
+
+/** One core instance; construct per run (state is not reusable). */
+class CoreModel
+{
+  public:
+    explicit CoreModel(const CoreConfig& cfg);
+    ~CoreModel();
+
+    CoreModel(const CoreModel&) = delete;
+    CoreModel& operator=(const CoreModel&) = delete;
+
+    /**
+     * Run @p threads SMT hardware threads, one instruction source each,
+     * for warmup + measurement, and return the measurement window.
+     */
+    RunResult run(const std::vector<workloads::InstrSource*>& threads,
+                  const RunOptions& opts);
+
+    /** The configuration this core realizes. */
+    const CoreConfig& config() const { return cfg_; }
+
+  private:
+    struct ThreadState;
+
+    void processInstr(int t, const isa::TraceInstr& in);
+    uint64_t fetchCycle(ThreadState& ts, const isa::TraceInstr& in);
+    uint64_t missLatency(uint64_t addr, uint64_t when, bool isInstr,
+                         uint8_t tier = 0xff);
+    uint64_t translate(ThreadState& ts, uint64_t addr, bool isInstr);
+    void resolveBranch(int t, ThreadState& ts, const isa::TraceInstr& in,
+                       uint64_t fetched, uint64_t resolve);
+    int latencyOf(isa::OpClass op) const;
+
+    CoreConfig cfg_;
+    common::StatRegistry stats_;
+    int numThreads_ = 1;
+    bool measuring_ = false;
+    uint64_t measureBaseCycle_ = 0;
+    bool collectTimings_ = false;
+    bool infiniteL2_ = false;
+    std::vector<InstrTiming> timings_;
+    uint64_t opsCommitted_ = 0;
+    uint64_t flops_ = 0;
+
+    // Shared structures.
+    CacheModel l1i_;
+    CacheModel l1d_;
+    CacheModel l2_;
+    CacheModel l3_;
+    TranslationCache ierat_;
+    TranslationCache derat_;
+    TranslationCache tlb_;
+    BranchPredictor bp_;
+    StreamPrefetcher prefetcher_;
+    std::vector<uint64_t> pfScratch_;
+    std::deque<uint64_t> lmq_; ///< shared load-miss queue fill times
+
+    // Pipeline-width throttles (shared across SMT threads).
+    ThrottleRing fetchRing_;
+    ThrottleRing decodeRing_;
+    ThrottleRing dispatchRing_;
+    ThrottleRing issueRing_;
+    ThrottleRing commitRing_;
+
+    // Issue ports.
+    ThrottleRing aluRing_;
+    ThrottleRing fpRing_;
+    ThrottleRing vsuIntRing_;
+    ThrottleRing ldRing_;
+    ThrottleRing stRing_;
+    ThrottleRing brRing_;
+    ThrottleRing mmaRing_;
+    std::unique_ptr<ThrottleRing> lsCombinedRing_; ///< POWER9 sharing
+
+    // Bandwidth servers.
+    BandwidthServer l2Server_;
+    BandwidthServer l3Server_;
+    BandwidthServer memServer_;
+
+    std::vector<std::unique_ptr<ThreadState>> threads_;
+};
+
+} // namespace p10ee::core
+
+#endif // P10EE_CORE_CORE_H

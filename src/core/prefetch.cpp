@@ -1,0 +1,72 @@
+#include "core/prefetch.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace p10ee::core {
+
+StreamPrefetcher::StreamPrefetcher(int streams, int depth)
+    : streams_(static_cast<size_t>(streams)), depth_(depth)
+{
+    P10_ASSERT(streams > 0 && depth > 0, "prefetcher geometry");
+}
+
+void
+StreamPrefetcher::onMiss(uint64_t line, std::vector<uint64_t>& out)
+{
+    out.clear();
+    ++stamp_;
+
+    // Extend an existing stream? A demand miss at or slightly past the
+    // stream head confirms it; the head then runs `depth` lines ahead so
+    // covered lines (which produce no demand misses) do not stall the
+    // stream.
+    for (auto& s : streams_) {
+        if (!s.valid)
+            continue;
+        if (line + 1 >= s.nextLine &&
+            line <= s.nextLine + static_cast<uint64_t>(depth_)) {
+            s.lru = stamp_;
+            if (s.confidence < 4)
+                ++s.confidence;
+            if (s.confidence >= 2) {
+                uint64_t from = std::max(line + 1, s.nextLine);
+                for (uint64_t l = from;
+                     l <= line + static_cast<uint64_t>(depth_); ++l)
+                    out.push_back(l);
+                s.nextLine = line + static_cast<uint64_t>(depth_) + 1;
+            } else {
+                // Still training: the head follows demand one line at a
+                // time until the stream is confirmed.
+                s.nextLine = line + 1;
+            }
+            return;
+        }
+    }
+
+    // Allocate a new (training) stream over the LRU slot.
+    Stream* victim = &streams_[0];
+    for (auto& s : streams_) {
+        if (!s.valid) {
+            victim = &s;
+            break;
+        }
+        if (s.lru < victim->lru)
+            victim = &s;
+    }
+    victim->valid = true;
+    victim->nextLine = line + 1;
+    victim->confidence = 0;
+    victim->lru = stamp_;
+}
+
+void
+StreamPrefetcher::reset()
+{
+    for (auto& s : streams_)
+        s = Stream{};
+    stamp_ = 0;
+}
+
+} // namespace p10ee::core

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Stream prefetcher (POWER10: 16 streams, Fig. 3).
+ */
+
+#ifndef P10EE_CORE_PREFETCH_H
+#define P10EE_CORE_PREFETCH_H
+
+#include <cstdint>
+#include <vector>
+
+namespace p10ee::core {
+
+/**
+ * Sequential-stream detector. Misses that extend a tracked stream
+ * confirm it; confirmed streams run @p depth lines ahead of demand.
+ */
+class StreamPrefetcher
+{
+  public:
+    StreamPrefetcher(int streams, int depth);
+
+    /**
+     * Observe a demand miss on cache line @p line.
+     * @param[out] prefetchLines lines to install ahead of the stream
+     *             (empty while the stream is still training).
+     */
+    void onMiss(uint64_t line, std::vector<uint64_t>& prefetchLines);
+
+    /** Drop all stream state. */
+    void reset();
+
+  private:
+    struct Stream
+    {
+        uint64_t nextLine = 0;
+        uint64_t lru = 0;
+        int confidence = 0;
+        bool valid = false;
+    };
+
+    std::vector<Stream> streams_;
+    int depth_;
+    uint64_t stamp_ = 0;
+};
+
+} // namespace p10ee::core
+
+#endif // P10EE_CORE_PREFETCH_H

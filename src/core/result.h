@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Results of one timing-model run.
+ */
+
+#ifndef P10EE_CORE_RESULT_H
+#define P10EE_CORE_RESULT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "isa/op.h"
+
+namespace p10ee::core {
+
+/**
+ * Per-instruction timing record, the model's analogue of an RTL signal
+ * event trace: enough to rebuild per-cycle activity for the detailed
+ * power path and the Power Proxy time-granularity study (Fig. 15b).
+ */
+struct InstrTiming
+{
+    uint32_t issue = 0;    ///< cycle relative to measurement start
+    uint32_t complete = 0;
+    isa::OpClass op = isa::OpClass::Nop;
+    float toggle = 0.3f;
+    uint8_t thread = 0;
+    bool gemm = false;
+};
+
+/** Aggregate outcome of a measurement window. */
+struct RunResult
+{
+    uint64_t cycles = 0;  ///< window length
+    uint64_t instrs = 0;  ///< architected instructions committed
+    uint64_t ops = 0;     ///< internal ops after fusion
+    uint64_t flops = 0;   ///< double-precision-equivalent flops
+
+    /** Activity counters accumulated over the window. */
+    common::StatSnapshot stats;
+
+    /** Per-instruction events (only when requested). */
+    std::vector<InstrTiming> timings;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instrs) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    double
+    cpi() const
+    {
+        return instrs ? static_cast<double>(cycles) /
+                            static_cast<double>(instrs)
+                      : 0.0;
+    }
+
+    double
+    flopsPerCycle() const
+    {
+        return cycles ? static_cast<double>(flops) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    /** Counter value per 1000 instructions. */
+    double
+    perKilo(const std::string& stat) const
+    {
+        auto it = stats.find(stat);
+        if (it == stats.end() || instrs == 0)
+            return 0.0;
+        return 1000.0 * static_cast<double>(it->second) /
+               static_cast<double>(instrs);
+    }
+};
+
+} // namespace p10ee::core
+
+#endif // P10EE_CORE_RESULT_H

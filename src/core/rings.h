@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Cycle-indexed resource throttles for the trace-driven timing model.
+ */
+
+#ifndef P10EE_CORE_RINGS_H
+#define P10EE_CORE_RINGS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace p10ee::core {
+
+/**
+ * A per-cycle capacity ring: at most @p width events may claim any one
+ * cycle. Cycles are stamped lazily, so the ring supports sparse,
+ * mostly-monotonic claim patterns over an unbounded cycle range as long
+ * as concurrently active cycles span less than the ring size (the
+ * in-flight window of the core, bounded by queue sizes and memory
+ * latency, is far below the default 64K cycles).
+ */
+class ThrottleRing
+{
+  public:
+    explicit ThrottleRing(int width, uint32_t log2Size = 16)
+        : width_(width), mask_((1u << log2Size) - 1),
+          stamp_(1ull << log2Size, ~0ull), count_(1ull << log2Size, 0)
+    {
+        P10_ASSERT(width > 0, "throttle width");
+    }
+
+    /** Number of events already claimed at @p cycle. */
+    int
+    usedAt(uint64_t cycle) const
+    {
+        size_t i = cycle & mask_;
+        return stamp_[i] == cycle ? count_[i] : 0;
+    }
+
+    /** True when @p cycle still has capacity. */
+    bool hasRoom(uint64_t cycle) const { return usedAt(cycle) < width_; }
+
+    /** First cycle >= @p earliest with capacity (not claimed). */
+    uint64_t
+    findFree(uint64_t earliest) const
+    {
+        uint64_t c = earliest;
+        while (!hasRoom(c))
+            ++c;
+        return c;
+    }
+
+    /** Claim one slot at @p cycle. @pre hasRoom(cycle). */
+    void
+    claimAt(uint64_t cycle)
+    {
+        size_t i = cycle & mask_;
+        if (stamp_[i] != cycle) {
+            stamp_[i] = cycle;
+            count_[i] = 0;
+        }
+        P10_ASSERT(count_[i] < width_, "overclaimed throttle slot");
+        ++count_[i];
+    }
+
+    /** Find-and-claim: first free cycle >= @p earliest. */
+    uint64_t
+    record(uint64_t earliest)
+    {
+        uint64_t c = findFree(earliest);
+        claimAt(c);
+        return c;
+    }
+
+    int width() const { return width_; }
+
+  private:
+    int width_;
+    size_t mask_;
+    std::vector<uint64_t> stamp_;
+    std::vector<uint16_t> count_;
+};
+
+/**
+ * A serial bandwidth server: each access occupies the resource for a
+ * fixed number of cycles; later accesses queue behind earlier ones.
+ * Models L2/L3 array ports and memory-channel bandwidth.
+ */
+class BandwidthServer
+{
+  public:
+    explicit BandwidthServer(uint32_t occupancy) : occupancy_(occupancy) {}
+
+    /**
+     * Claim the server at or after @p when.
+     * @return the cycle service actually starts (>= when).
+     */
+    uint64_t
+    serve(uint64_t when)
+    {
+        uint64_t start = when > nextFree_ ? when : nextFree_;
+        nextFree_ = start + occupancy_;
+        return start;
+    }
+
+    void setOccupancy(uint32_t occ) { occupancy_ = occ; }
+
+  private:
+    uint32_t occupancy_;
+    uint64_t nextFree_ = 0;
+};
+
+} // namespace p10ee::core
+
+#endif // P10EE_CORE_RINGS_H

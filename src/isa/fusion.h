@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Instruction-fusion pair detection (paper §II-B).
+ *
+ * POWER10's pre-decode detects over 200 fusible instruction-type pairs in
+ * the instruction cache; fused pairs decode to one internal operation (or
+ * share one issue-queue entry), reducing work and dependent-op latency.
+ * This module abstracts those 200+ encodings into the fusion *categories*
+ * the paper describes and decides, mechanistically from two adjacent
+ * pre-decoded records, whether they fuse.
+ */
+
+#ifndef P10EE_ISA_FUSION_H
+#define P10EE_ISA_FUSION_H
+
+#include <string>
+
+#include "isa/instr.h"
+
+namespace p10ee::isa {
+
+/** Category of a fused instruction pair. */
+enum class FusionKind : uint8_t {
+    None,           ///< pair does not fuse
+    AluAlu,         ///< dependent ALU pair collapsed to one op
+    AluBranch,      ///< compare + conditional branch
+    LoadLoad,       ///< two consecutive-address loads
+    StoreStore,     ///< two consecutive-address stores, one AGEN
+    AluLoadAddr,    ///< address-forming ALU op + dependent load (D-form)
+    SharedIssue,    ///< dependent pair sharing one issue entry (zero-cycle)
+    NumFusionKinds
+};
+
+/** Human-readable fusion category name. */
+std::string fusionKindName(FusionKind kind);
+
+/**
+ * Decide whether the adjacent pre-decoded pair (@p first, @p second)
+ * fuses, and into which category.
+ *
+ * Rules follow the paper's examples: dependent ALU pairs; compare+branch;
+ * stores to consecutive addresses (<= 16B each, one address-generation
+ * operation); loads from consecutive addresses; and dependent pairs that
+ * share an issue entry. A pair never fuses across a taken branch.
+ */
+FusionKind classifyFusion(const TraceInstr& first, const TraceInstr& second);
+
+/**
+ * True when the fused pair decodes into a *single* internal op (removing
+ * one unit of work); SharedIssue pairs still occupy two ops but share an
+ * issue entry with zero-cycle dependent wakeup.
+ */
+bool fusesToSingleOp(FusionKind kind);
+
+} // namespace p10ee::isa
+
+#endif // P10EE_ISA_FUSION_H

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Pre-decoded instruction record consumed by the core timing model.
+ */
+
+#ifndef P10EE_ISA_INSTR_H
+#define P10EE_ISA_INSTR_H
+
+#include <cstdint>
+
+#include "isa/op.h"
+
+namespace p10ee::isa {
+
+/**
+ * Register-number conventions of the abstract machine.
+ *
+ * POWER10 holds GPRs and VSRs in one unified physical file (paper §II-B);
+ * a flat architectural register space keeps dependence tracking uniform
+ * across both designs while the rename stage decides which physical
+ * resource backs it.
+ */
+namespace reg {
+constexpr uint16_t kNumGpr = 32;       ///< r0..r31
+constexpr uint16_t kNumVsr = 64;       ///< vs0..vs63
+constexpr uint16_t kGprBase = 0;
+constexpr uint16_t kVsrBase = kNumGpr;
+constexpr uint16_t kCtr = kGprBase + kNumGpr + kNumVsr;     ///< count reg
+constexpr uint16_t kLr = kCtr + 1;                          ///< link reg
+constexpr uint16_t kCrBase = kLr + 1;                       ///< cr0..cr7
+constexpr uint16_t kNumCr = 8;
+constexpr uint16_t kAccBase = kCrBase + kNumCr;             ///< acc0..acc7
+constexpr uint16_t kNumAcc = 8;
+constexpr uint16_t kNumArchRegs = kAccBase + kNumAcc;
+constexpr uint16_t kNone = 0xffff;     ///< "no register" sentinel
+} // namespace reg
+
+/**
+ * One pre-decoded instruction of the trace-driven machine.
+ *
+ * Carries everything the pipeline model needs: operation class, register
+ * dependences (up to three sources, one destination), effective address
+ * and access size for memory ops, and control-flow metadata for branches.
+ * Flags mark instructions of interest to specific experiments (GEMM ops
+ * for Fig. 6, prefixed 8-byte instructions, fusion hints).
+ */
+struct TraceInstr
+{
+    OpClass op = OpClass::Nop;
+
+    /** Source architectural registers; reg::kNone when unused. */
+    uint16_t src[3] = {reg::kNone, reg::kNone, reg::kNone};
+
+    /** Destination architectural register; reg::kNone when none. */
+    uint16_t dest = reg::kNone;
+
+    /** Instruction address (for I-cache and branch predictor indexing). */
+    uint64_t pc = 0;
+
+    /** Effective address for loads/stores; 0 otherwise. */
+    uint64_t addr = 0;
+
+    /** Access size in bytes for loads/stores; 0 otherwise. */
+    uint16_t size = 0;
+
+    /** Working-set tier of a memory access (diagnostics; 0xff none). */
+    uint8_t memTier = 0xff;
+
+    /** Branch resolution: taken/not-taken. */
+    bool taken = false;
+
+    /** Branch target address (valid when isBranch(op)). */
+    uint64_t target = 0;
+
+    /** 8-byte prefixed instruction (Power ISA 3.1 prefix word). */
+    bool prefixed = false;
+
+    /** Part of a GEMM kernel (drives Fig. 6 instruction-ratio series). */
+    bool gemm = false;
+
+    /**
+     * Operand data-switching activity in [0,1]: the expected fraction of
+     * operand bits toggling versus the previous value on the same wires.
+     * Zero-initialized data gives ~0, random data ~0.5 (the Microprobe
+     * zero/random axis of Fig. 13); typical integer code sits near 0.3.
+     */
+    float toggle = 0.3f;
+
+    /** Number of source registers in use. */
+    int
+    numSrcs() const
+    {
+        int n = 0;
+        for (uint16_t s : src)
+            if (s != reg::kNone)
+                ++n;
+        return n;
+    }
+};
+
+} // namespace p10ee::isa
+
+#endif // P10EE_ISA_INSTR_H

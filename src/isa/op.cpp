@@ -1,0 +1,75 @@
+#include "isa/op.h"
+
+namespace p10ee::isa {
+
+std::string
+opClassName(OpClass op)
+{
+    switch (op) {
+      case OpClass::IntAlu: return "int_alu";
+      case OpClass::IntMul: return "int_mul";
+      case OpClass::IntDiv: return "int_div";
+      case OpClass::Load: return "load";
+      case OpClass::Store: return "store";
+      case OpClass::Load32B: return "load32b";
+      case OpClass::Store32B: return "store32b";
+      case OpClass::Branch: return "branch";
+      case OpClass::BranchIndirect: return "branch_ind";
+      case OpClass::FpScalar: return "fp_scalar";
+      case OpClass::VsuFp: return "vsu_fp";
+      case OpClass::VsuInt: return "vsu_int";
+      case OpClass::MmaGer: return "mma_ger";
+      case OpClass::MmaMove: return "mma_move";
+      case OpClass::CryptoDfu: return "crypto_dfu";
+      case OpClass::System: return "system";
+      case OpClass::Nop: return "nop";
+      default: return "invalid";
+    }
+}
+
+bool
+isLoad(OpClass op)
+{
+    return op == OpClass::Load || op == OpClass::Load32B;
+}
+
+bool
+isStore(OpClass op)
+{
+    return op == OpClass::Store || op == OpClass::Store32B;
+}
+
+bool
+isBranch(OpClass op)
+{
+    return op == OpClass::Branch || op == OpClass::BranchIndirect;
+}
+
+bool
+isVsu(OpClass op)
+{
+    return op == OpClass::VsuFp || op == OpClass::VsuInt;
+}
+
+bool
+isMma(OpClass op)
+{
+    return op == OpClass::MmaGer || op == OpClass::MmaMove;
+}
+
+int
+flopsPerInstr(OpClass op)
+{
+    switch (op) {
+      case OpClass::FpScalar:
+        return 2;   // scalar FMA
+      case OpClass::VsuFp:
+        return 4;   // 2 lanes x FMA
+      case OpClass::MmaGer:
+        return 16;  // 4x2 accumulator halves x rank-2 FMA
+      default:
+        return 0;
+    }
+}
+
+} // namespace p10ee::isa

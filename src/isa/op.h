@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Operation classes of the POWER-like ISA abstraction.
+ *
+ * The timing model does not interpret binary Power ISA encodings; it
+ * consumes pre-decoded instruction records whose operation class carries
+ * everything the pipeline needs (issue port, latency class, register
+ * traffic). This is the abstraction level of the paper's workload proxies,
+ * which were themselves pre-decoded L1-contained instruction loops.
+ */
+
+#ifndef P10EE_ISA_OP_H
+#define P10EE_ISA_OP_H
+
+#include <cstdint>
+#include <string>
+
+namespace p10ee::isa {
+
+/**
+ * Instruction operation classes. The grouping follows the POWER10 core's
+ * issue-port structure (Fig. 3 of the paper): fixed point, load/store,
+ * branch, 128-bit VSU SIMD, scalar FP, and the MMA accelerator ops, plus
+ * the new 32-byte loads/stores introduced alongside the MMA facility.
+ */
+enum class OpClass : uint8_t {
+    IntAlu,        ///< add/sub/logical/compare/rotate, 1-cycle class
+    IntMul,        ///< fixed-point multiply
+    IntDiv,        ///< fixed-point divide (long latency, unpipelined)
+    Load,          ///< scalar or 16B vector load
+    Store,         ///< scalar or 16B vector store
+    Load32B,       ///< POWER10 32-byte load (lxvp)
+    Store32B,      ///< POWER10 32-byte store (stxvp)
+    Branch,        ///< direct conditional/unconditional branch
+    BranchIndirect,///< bclr/bcctr-style indirect branch
+    FpScalar,      ///< scalar floating-point arithmetic
+    VsuFp,         ///< 128-bit vector-scalar FP (xvmaddadp etc.)
+    VsuInt,        ///< 128-bit vector integer / permute
+    MmaGer,        ///< MMA rank-k update (xvf64ger2pp, xvf32gerpp, ...)
+    MmaMove,       ///< accumulator prime/deprime (xxmtacc/xxmfacc)
+    CryptoDfu,     ///< crypto / decimal unit ops
+    System,        ///< sync/isync/mtspr-style serializing ops
+    Nop,           ///< no-op / padding
+    NumOpClasses
+};
+
+/** Human-readable name of an operation class. */
+std::string opClassName(OpClass op);
+
+/** True for any memory-reading class. */
+bool isLoad(OpClass op);
+
+/** True for any memory-writing class. */
+bool isStore(OpClass op);
+
+/** True for either branch class. */
+bool isBranch(OpClass op);
+
+/** True for the 128-bit VSU classes. */
+bool isVsu(OpClass op);
+
+/** True for the MMA classes. */
+bool isMma(OpClass op);
+
+/**
+ * Double-precision-equivalent floating point operations performed by one
+ * instruction of class @p op, used for FLOPs/cycle accounting (Fig. 5).
+ *
+ * A 128-bit VSU FMA does 2 doubles x 2 ops = 4 flops. An MMA
+ * xvf64ger2pp rank-2 update of a 4x2 accumulator does 4x2x2 madds =
+ * 16 flops (32 double-precision flops/cycle across the paper's quoted
+ * peak with two MMA-feeding pipes).
+ */
+int flopsPerInstr(OpClass op);
+
+} // namespace p10ee::isa
+
+#endif // P10EE_ISA_OP_H

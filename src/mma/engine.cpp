@@ -1,0 +1,148 @@
+#include "mma/engine.h"
+
+#include <cstring>
+
+#include "common/assert.h"
+
+namespace p10ee::mma {
+
+uint16_t
+toBf16(float v)
+{
+    uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    // Round-to-nearest-even on the truncated 16 bits.
+    uint32_t lsb = (bits >> 16) & 1u;
+    bits += 0x7fffu + lsb;
+    return static_cast<uint16_t>(bits >> 16);
+}
+
+float
+fromBf16(uint16_t bits)
+{
+    uint32_t wide = static_cast<uint32_t>(bits) << 16;
+    float v;
+    std::memcpy(&v, &wide, sizeof(v));
+    return v;
+}
+
+void
+MmaEngine::reset()
+{
+    std::memset(accs_.data(), 0, sizeof(Acc) * accs_.size());
+}
+
+void
+MmaEngine::xxsetaccz(int a)
+{
+    P10_ASSERT(a >= 0 && a < kNumAcc, "accumulator index");
+    std::memset(&accs_[a], 0, sizeof(Acc));
+}
+
+const Acc&
+MmaEngine::acc(int a) const
+{
+    P10_ASSERT(a >= 0 && a < kNumAcc, "accumulator index");
+    return accs_[a];
+}
+
+void
+MmaEngine::xvf32gerpp(int a, const float x[4], const float y[4])
+{
+    P10_ASSERT(a >= 0 && a < kNumAcc, "accumulator index");
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            accs_[a].f32[i][j] += x[i] * y[j];
+}
+
+void
+MmaEngine::xvf32ger(int a, const float x[4], const float y[4])
+{
+    xxsetaccz(a);
+    xvf32gerpp(a, x, y);
+}
+
+void
+MmaEngine::xvf64gerpp(int a, const double x[4], const double y[2])
+{
+    P10_ASSERT(a >= 0 && a < kNumAcc, "accumulator index");
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 2; ++j)
+            accs_[a].f64[i][j] += x[i] * y[j];
+}
+
+void
+MmaEngine::xvf64ger(int a, const double x[4], const double y[2])
+{
+    xxsetaccz(a);
+    xvf64gerpp(a, x, y);
+}
+
+void
+MmaEngine::xvi16ger2pp(int a, const int16_t x[8], const int16_t y[8])
+{
+    P10_ASSERT(a >= 0 && a < kNumAcc, "accumulator index");
+    for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 4; ++j) {
+            int32_t s = 0;
+            for (int k = 0; k < 2; ++k) {
+                s += static_cast<int32_t>(x[2 * i + k]) *
+                     static_cast<int32_t>(y[2 * j + k]);
+            }
+            accs_[a].i32[i][j] += s;
+        }
+    }
+}
+
+void
+MmaEngine::xvbf16ger2pp(int a, const uint16_t x[8], const uint16_t y[8])
+{
+    P10_ASSERT(a >= 0 && a < kNumAcc, "accumulator index");
+    for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 4; ++j) {
+            float s = 0.0f;
+            for (int k = 0; k < 2; ++k)
+                s += fromBf16(x[2 * i + k]) * fromBf16(y[2 * j + k]);
+            accs_[a].f32[i][j] += s;
+        }
+    }
+}
+
+void
+MmaEngine::xvi8ger4pp(int a, const int8_t x[16], const int8_t y[16])
+{
+    P10_ASSERT(a >= 0 && a < kNumAcc, "accumulator index");
+    for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 4; ++j) {
+            int32_t s = 0;
+            for (int k = 0; k < 4; ++k) {
+                s += static_cast<int32_t>(x[4 * i + k]) *
+                     static_cast<int32_t>(y[4 * j + k]);
+            }
+            accs_[a].i32[i][j] += s;
+        }
+    }
+}
+
+void
+MmaEngine::xxmfacc(int a, float out[4][4]) const
+{
+    const Acc& acc = this->acc(a);
+    std::memcpy(out, acc.f32, sizeof(acc.f32));
+}
+
+void
+MmaEngine::xxmfacc(int a, double out[4][2]) const
+{
+    const Acc& acc = this->acc(a);
+    std::memcpy(out, acc.f64, sizeof(acc.f64));
+}
+
+void
+MmaEngine::xxmfacc(int a, int32_t out[4][4]) const
+{
+    const Acc& acc = this->acc(a);
+    std::memcpy(out, acc.i32, sizeof(acc.i32));
+}
+
+} // namespace p10ee::mma

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Functional model of the Power ISA 3.1 Matrix-Multiply Assist facility.
+ *
+ * The MMA facility (paper §II-C) adds eight architected 512-bit
+ * accumulators and rank-k outer-product update instructions executed by a
+ * 4x4 grid of processing elements. Each `ger` instruction consumes two
+ * 128-bit vector inputs and updates a full accumulator, producing 512
+ * bits of result from 256 bits of input — the data-movement reduction
+ * that drives the unit's energy efficiency.
+ *
+ * This model implements the numerical semantics of the FP64, FP32, INT16
+ * and INT8 ger ops plus accumulator housekeeping, sufficient to build
+ * real GEMM kernels whose results are verified against naive references.
+ */
+
+#ifndef P10EE_MMA_ENGINE_H
+#define P10EE_MMA_ENGINE_H
+
+#include <array>
+#include <cstdint>
+
+namespace p10ee::mma {
+
+/** Number of architected accumulators. */
+constexpr int kNumAcc = 8;
+
+/** Convert a float to its nearest bfloat16 bit pattern. */
+uint16_t toBf16(float v);
+
+/** Expand a bfloat16 bit pattern to float. */
+float fromBf16(uint16_t bits);
+
+/**
+ * One 512-bit accumulator, viewable as the shapes the ger ops use:
+ * 4x4 float, 4x2 double, or 4x4 int32.
+ */
+union Acc
+{
+    float f32[4][4];
+    double f64[4][2];
+    int32_t i32[4][4];
+    uint8_t raw[64];
+};
+
+/**
+ * Architected MMA state and instruction semantics.
+ *
+ * Naming follows the ISA mnemonics; only the positive-accumulate (`pp`)
+ * and zero-and-write (plain) variants are modeled, which is what GEMM
+ * kernels use.
+ */
+class MmaEngine
+{
+  public:
+    MmaEngine() { reset(); }
+
+    /** Zero every accumulator. */
+    void reset();
+
+    /** xxsetaccz: zero accumulator @p a. */
+    void xxsetaccz(int a);
+
+    /** Read-only view of accumulator @p a. */
+    const Acc& acc(int a) const;
+
+    /**
+     * xvf32gerpp: rank-1 FP32 outer-product update,
+     * ACC[a][i][j] += x[i] * y[j] for a 4x4 single-precision tile.
+     */
+    void xvf32gerpp(int a, const float x[4], const float y[4]);
+
+    /** xvf32ger: same as xvf32gerpp but overwrites (implicit zero). */
+    void xvf32ger(int a, const float x[4], const float y[4]);
+
+    /**
+     * xvf64gerpp: rank-1 FP64 outer-product update of a 4x2 tile,
+     * ACC[a][i][j] += x[i] * y[j]. @p x is an even-odd VSR pair
+     * (4 doubles); @p y is a single VSR (2 doubles).
+     */
+    void xvf64gerpp(int a, const double x[4], const double y[2]);
+
+    /** xvf64ger: overwrite variant. */
+    void xvf64ger(int a, const double x[4], const double y[2]);
+
+    /**
+     * xvi16ger2pp: rank-2 INT16 update; ACC[a][i][j] +=
+     * x[2i]*y[2j] + x[2i+1]*y[2j+1] with 32-bit accumulation.
+     */
+    void xvi16ger2pp(int a, const int16_t x[8], const int16_t y[8]);
+
+    /**
+     * xvbf16ger2pp: rank-2 BF16 update with FP32 accumulation;
+     * ACC[a][i][j] += sum_k bf16(x[2i+k]) * bf16(y[2j+k]). BF16 inputs
+     * are passed as their 16-bit patterns.
+     */
+    void xvbf16ger2pp(int a, const uint16_t x[8], const uint16_t y[8]);
+
+    /**
+     * xvi8ger4pp: rank-4 INT8 update; ACC[a][i][j] +=
+     * sum_{k<4} x[4i+k]*y[4j+k] with 32-bit accumulation. This is the
+     * op behind the paper's 21x INT8 projection: 128 MACs per
+     * instruction versus 16 for FP32.
+     */
+    void xvi8ger4pp(int a, const int8_t x[16], const int8_t y[16]);
+
+    /**
+     * xxmfacc: move accumulator @p a out to four 128-bit VSR images
+     * (the @p out rows). In hardware this deprimes the accumulator;
+     * functionally it is a copy.
+     */
+    void xxmfacc(int a, float out[4][4]) const;
+
+    /** xxmfacc for the FP64 view. */
+    void xxmfacc(int a, double out[4][2]) const;
+
+    /** xxmfacc for the INT32 view. */
+    void xxmfacc(int a, int32_t out[4][4]) const;
+
+  private:
+    std::array<Acc, kNumAcc> accs_;
+};
+
+} // namespace p10ee::mma
+
+#endif // P10EE_MMA_ENGINE_H

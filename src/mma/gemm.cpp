@@ -1,0 +1,607 @@
+#include "mma/gemm.h"
+
+#include "common/assert.h"
+#include "isa/op.h"
+#include "mma/engine.h"
+
+namespace p10ee::mma {
+
+using isa::OpClass;
+using isa::TraceInstr;
+namespace reg = isa::reg;
+
+namespace {
+
+/**
+ * Emission helper: builds pre-decoded records with stable per-iteration
+ * PCs so the replayed stream trains the I-cache and branch predictor the
+ * way a real inner loop would. All emission is skipped when sink==null.
+ */
+class Emit
+{
+  public:
+    Emit(TraceSink* sink, uint64_t pc) : sink_(sink), pc_(pc) {}
+
+    /** Restart PC at the top of the loop body. */
+    void loopTop(uint64_t pc) { pc_ = pc; }
+
+    uint64_t pc() const { return pc_; }
+
+    void
+    load(uint16_t dest, uint64_t addr, uint16_t size)
+    {
+        if (!sink_)
+            return;
+        TraceInstr in;
+        in.op = size > 16 ? OpClass::Load32B : OpClass::Load;
+        in.dest = dest;
+        in.pc = step();
+        in.addr = addr;
+        in.size = size;
+        in.gemm = true;
+        sink_->emit(in);
+    }
+
+    void
+    store(uint16_t src, uint64_t addr, uint16_t size)
+    {
+        if (!sink_)
+            return;
+        TraceInstr in;
+        in.op = size > 16 ? OpClass::Store32B : OpClass::Store;
+        in.src[0] = src;
+        in.pc = step();
+        in.addr = addr;
+        in.size = size;
+        in.gemm = true;
+        sink_->emit(in);
+    }
+
+    /** xvf*ger*pp-style accumulate: acc is both source and dest. */
+    void
+    ger(int acc, uint16_t srcA, uint16_t srcB)
+    {
+        if (!sink_)
+            return;
+        TraceInstr in;
+        in.op = OpClass::MmaGer;
+        in.dest = static_cast<uint16_t>(reg::kAccBase + acc);
+        in.src[0] = in.dest;
+        in.src[1] = srcA;
+        in.src[2] = srcB;
+        in.pc = step();
+        in.gemm = true;
+        sink_->emit(in);
+    }
+
+    /** xxsetaccz / xxmtacc / xxmfacc housekeeping. */
+    void
+    accMove(int acc, uint16_t vsr, bool toAcc)
+    {
+        if (!sink_)
+            return;
+        TraceInstr in;
+        in.op = OpClass::MmaMove;
+        uint16_t accReg = static_cast<uint16_t>(reg::kAccBase + acc);
+        if (toAcc) {
+            in.dest = accReg;
+            in.src[0] = vsr;
+        } else {
+            in.dest = vsr;
+            in.src[0] = accReg;
+        }
+        in.pc = step();
+        in.gemm = true;
+        sink_->emit(in);
+    }
+
+    /** Vector FMA: dest also sourced (accumulate). */
+    void
+    vfma(uint16_t destAcc, uint16_t srcA, uint16_t srcB)
+    {
+        if (!sink_)
+            return;
+        TraceInstr in;
+        in.op = OpClass::VsuFp;
+        in.dest = destAcc;
+        in.src[0] = destAcc;
+        in.src[1] = srcA;
+        in.src[2] = srcB;
+        in.pc = step();
+        in.gemm = true;
+        sink_->emit(in);
+    }
+
+    /** Loop-control integer op (pointer bump / counter decrement). */
+    void
+    alu(uint16_t dest)
+    {
+        if (!sink_)
+            return;
+        TraceInstr in;
+        in.op = OpClass::IntAlu;
+        in.dest = dest;
+        in.src[0] = dest;
+        in.pc = step();
+        in.gemm = true;
+        sink_->emit(in);
+    }
+
+    /** Backward loop branch. */
+    void
+    branch(uint64_t target, bool taken)
+    {
+        if (!sink_)
+            return;
+        TraceInstr in;
+        in.op = OpClass::Branch;
+        in.src[0] = reg::kCtr;
+        in.pc = step();
+        in.taken = taken;
+        in.target = target;
+        in.gemm = true;
+        sink_->emit(in);
+    }
+
+  private:
+    uint64_t
+    step()
+    {
+        uint64_t at = pc_;
+        pc_ += 4;
+        return at;
+    }
+
+    TraceSink* sink_;
+    uint64_t pc_;
+};
+
+// Architectural register conventions used by the kernels below.
+constexpr uint16_t kVsrA0 = reg::kVsrBase + 0; // operand A staging
+constexpr uint16_t kVsrA1 = reg::kVsrBase + 1;
+constexpr uint16_t kVsrB0 = reg::kVsrBase + 2; // operand B staging
+constexpr uint16_t kVsrB1 = reg::kVsrBase + 3;
+constexpr uint16_t kVsrSplat = reg::kVsrBase + 8;  // 8 splat regs
+constexpr uint16_t kVsrCTile = reg::kVsrBase + 16; // 16 C-tile regs
+constexpr uint16_t kGprPtr = reg::kGprBase + 4;    // loop pointer
+
+} // namespace
+
+void
+dgemmRef(const double* a, const double* b, double* c, const GemmDims& dims)
+{
+    for (int i = 0; i < dims.m; ++i)
+        for (int l = 0; l < dims.k; ++l) {
+            double av = a[i * dims.k + l];
+            for (int j = 0; j < dims.n; ++j)
+                c[i * dims.n + j] += av * b[l * dims.n + j];
+        }
+}
+
+void
+sgemmRef(const float* a, const float* b, float* c, const GemmDims& dims)
+{
+    for (int i = 0; i < dims.m; ++i)
+        for (int l = 0; l < dims.k; ++l) {
+            float av = a[i * dims.k + l];
+            for (int j = 0; j < dims.n; ++j)
+                c[i * dims.n + j] += av * b[l * dims.n + j];
+        }
+}
+
+void
+igemmRef(const int8_t* a, const int8_t* b, int32_t* c, const GemmDims& dims)
+{
+    for (int i = 0; i < dims.m; ++i)
+        for (int l = 0; l < dims.k; ++l) {
+            int32_t av = a[i * dims.k + l];
+            for (int j = 0; j < dims.n; ++j)
+                c[i * dims.n + j] += av * b[l * dims.n + j];
+        }
+}
+
+void
+bgemmMma(const uint16_t* a, const uint16_t* b, float* c,
+         const GemmDims& dims, TraceSink* sink, const GemmLayout& layout)
+{
+    P10_ASSERT(dims.m % 8 == 0 && dims.n % 16 == 0 && dims.k % 2 == 0,
+               "bgemmMma tile shape");
+    MmaEngine eng;
+    Emit em(sink, layout.loopPc);
+
+    for (int i0 = 0; i0 < dims.m; i0 += 8) {
+        for (int j0 = 0; j0 < dims.n; j0 += 16) {
+            for (int t = 0; t < 8; ++t) {
+                eng.xxsetaccz(t);
+                em.accMove(t, kVsrA0, true);
+            }
+
+            uint64_t apack = layout.aBase +
+                static_cast<uint64_t>(i0 / 8) * dims.k * 16;
+            uint64_t bpack = layout.bBase +
+                static_cast<uint64_t>(j0 / 16) * dims.k * 32;
+            uint64_t body = layout.loopPc + 0xa00;
+            // Rank-2 updates: the k loop advances two at a time.
+            for (int l = 0; l < dims.k; l += 2) {
+                em.loopTop(body);
+                em.load(kVsrA0, apack + static_cast<uint64_t>(l) * 16,
+                        32);
+                uint64_t boff = bpack + static_cast<uint64_t>(l) * 32;
+                em.load(kVsrB0, boff, 32);
+                em.load(kVsrB1, boff + 32, 32);
+
+                uint16_t x[2][8];
+                for (int r = 0; r < 8; ++r)
+                    for (int kk = 0; kk < 2; ++kk)
+                        x[r / 4][(r % 4) * 2 + kk] =
+                            a[(i0 + r) * dims.k + l + kk];
+                uint16_t y[4][8];
+                for (int q = 0; q < 16; ++q)
+                    for (int kk = 0; kk < 2; ++kk)
+                        y[q / 4][(q % 4) * 2 + kk] =
+                            b[(l + kk) * dims.n + j0 + q];
+
+                for (int rg = 0; rg < 2; ++rg) {
+                    for (int cq = 0; cq < 4; ++cq) {
+                        int acc = rg * 4 + cq;
+                        eng.xvbf16ger2pp(acc, x[rg], y[cq]);
+                        em.ger(acc, kVsrA0, cq < 2 ? kVsrB0 : kVsrB1);
+                    }
+                }
+                em.alu(kGprPtr);
+                em.branch(body, l + 2 < dims.k);
+            }
+
+            for (int rg = 0; rg < 2; ++rg) {
+                for (int cq = 0; cq < 4; ++cq) {
+                    int acc = rg * 4 + cq;
+                    float out[4][4];
+                    eng.xxmfacc(acc, out);
+                    em.accMove(acc, kVsrCTile + acc, false);
+                    for (int r = 0; r < 4; ++r)
+                        for (int q = 0; q < 4; ++q)
+                            c[(i0 + rg * 4 + r) * dims.n + j0 + cq * 4 + q]
+                                += out[r][q];
+                }
+            }
+            for (int r = 0; r < 8; ++r) {
+                uint64_t rowAddr = layout.cBase +
+                    (static_cast<uint64_t>(i0 + r) * dims.n + j0) * 4;
+                em.store(kVsrCTile + r, rowAddr, 32);
+                em.store(kVsrCTile + r, rowAddr + 32, 32);
+            }
+        }
+    }
+}
+
+uint64_t
+gemmFlops(const GemmDims& dims)
+{
+    return 2ull * dims.m * dims.n * dims.k;
+}
+
+void
+dgemmMma(const double* a, const double* b, double* c, const GemmDims& dims,
+         TraceSink* sink, const GemmLayout& layout)
+{
+    P10_ASSERT(dims.m % 8 == 0 && dims.n % 8 == 0, "dgemmMma tile shape");
+    MmaEngine eng;
+    Emit em(sink, layout.loopPc);
+
+    for (int i0 = 0; i0 < dims.m; i0 += 8) {
+        for (int j0 = 0; j0 < dims.n; j0 += 8) {
+            // Tile prologue: zero all eight 4x2 accumulators.
+            for (int t = 0; t < 8; ++t) {
+                eng.xxsetaccz(t);
+                em.accMove(t, kVsrA0, true);
+            }
+
+            // Emitted addresses reference packed panels (unit stride in
+            // k), the layout a BLAS packing pass produces; numerics read
+            // the plain row-major arrays.
+            uint64_t apack = layout.aBase +
+                static_cast<uint64_t>(i0 / 8) * dims.k * 64;
+            uint64_t bpack = layout.bBase +
+                static_cast<uint64_t>(j0 / 8) * dims.k * 64;
+
+            uint64_t body = layout.loopPc;
+            for (int l = 0; l < dims.k; ++l) {
+                em.loopTop(body);
+                uint64_t koff = static_cast<uint64_t>(l) * 64;
+                em.load(kVsrA0, apack + koff, 32);      // A rows 0..3
+                em.load(kVsrA1, apack + koff + 32, 32); // A rows 4..7
+                em.load(kVsrB0, bpack + koff, 32);      // B cols 0..3
+                em.load(kVsrB1, bpack + koff + 32, 32); // B cols 4..7
+
+                double x[2][4];
+                for (int r = 0; r < 8; ++r)
+                    x[r / 4][r % 4] = a[(i0 + r) * dims.k + l];
+                double y[4][2];
+                for (int q = 0; q < 8; ++q)
+                    y[q / 2][q % 2] = b[l * dims.n + j0 + q];
+
+                // acc index = row-group * 4 + column-pair.
+                for (int rg = 0; rg < 2; ++rg) {
+                    for (int cp = 0; cp < 4; ++cp) {
+                        int acc = rg * 4 + cp;
+                        eng.xvf64gerpp(acc, x[rg], y[cp]);
+                        em.ger(acc, rg == 0 ? kVsrA0 : kVsrA1,
+                               cp < 2 ? kVsrB0 : kVsrB1);
+                    }
+                }
+                em.alu(kGprPtr);
+                em.branch(body, l + 1 < dims.k);
+            }
+
+            // Tile epilogue: pull accumulators out and store C.
+            for (int rg = 0; rg < 2; ++rg) {
+                for (int cp = 0; cp < 4; ++cp) {
+                    int acc = rg * 4 + cp;
+                    double out[4][2];
+                    eng.xxmfacc(acc, out);
+                    em.accMove(acc, kVsrCTile + acc, false);
+                    for (int r = 0; r < 4; ++r)
+                        for (int q = 0; q < 2; ++q)
+                            c[(i0 + rg * 4 + r) * dims.n + j0 + cp * 2 + q]
+                                += out[r][q];
+                }
+            }
+            for (int r = 0; r < 8; ++r) {
+                uint64_t rowAddr = layout.cBase +
+                    (static_cast<uint64_t>(i0 + r) * dims.n + j0) * 8;
+                em.store(kVsrCTile + r, rowAddr, 32);
+                em.store(kVsrCTile + r, rowAddr + 32, 32);
+            }
+        }
+    }
+}
+
+void
+dgemmVsu(const double* a, const double* b, double* c, const GemmDims& dims,
+         TraceSink* sink, const GemmLayout& layout)
+{
+    P10_ASSERT(dims.m % 8 == 0 && dims.n % 4 == 0, "dgemmVsu tile shape");
+    Emit em(sink, layout.loopPc);
+
+    for (int i0 = 0; i0 < dims.m; i0 += 8) {
+        for (int j0 = 0; j0 < dims.n; j0 += 4) {
+            // C tile: 8 rows x 2 column-pair VSRs = 16 accumulators.
+            double acc[8][4] = {};
+            for (int r = 0; r < 8; ++r) {
+                uint64_t rowAddr = layout.cBase +
+                    (static_cast<uint64_t>(i0 + r) * dims.n + j0) * 8;
+                em.load(kVsrCTile + r * 2, rowAddr, 16);
+                em.load(kVsrCTile + r * 2 + 1, rowAddr + 16, 16);
+            }
+
+            uint64_t bpack = layout.bBase +
+                static_cast<uint64_t>(j0 / 4) * dims.k * 32;
+            uint64_t body = layout.loopPc + 0x200;
+            for (int l = 0; l < dims.k; ++l) {
+                em.loopTop(body);
+                uint64_t koff = static_cast<uint64_t>(l) * 32;
+                em.load(kVsrB0, bpack + koff, 16);      // B cols 0..1
+                em.load(kVsrB1, bpack + koff + 16, 16); // B cols 2..3
+
+                for (int r = 0; r < 8; ++r) {
+                    // lxvdsx load-and-splat of A[i0+r][l].
+                    uint64_t aAddr = layout.aBase +
+                        (static_cast<uint64_t>(i0 + r) * dims.k + l) * 8;
+                    em.load(kVsrSplat + r % 8, aAddr, 8);
+                    double av = a[(i0 + r) * dims.k + l];
+                    for (int q = 0; q < 4; ++q)
+                        acc[r][q] += av * b[l * dims.n + j0 + q];
+                    em.vfma(kVsrCTile + r * 2, kVsrSplat + r % 8, kVsrB0);
+                    em.vfma(kVsrCTile + r * 2 + 1, kVsrSplat + r % 8,
+                            kVsrB1);
+                }
+                em.alu(kGprPtr);
+                em.branch(body, l + 1 < dims.k);
+            }
+
+            for (int r = 0; r < 8; ++r) {
+                uint64_t rowAddr = layout.cBase +
+                    (static_cast<uint64_t>(i0 + r) * dims.n + j0) * 8;
+                em.store(kVsrCTile + r * 2, rowAddr, 16);
+                em.store(kVsrCTile + r * 2 + 1, rowAddr + 16, 16);
+                for (int q = 0; q < 4; ++q)
+                    c[(i0 + r) * dims.n + j0 + q] += acc[r][q];
+            }
+        }
+    }
+}
+
+void
+sgemmMma(const float* a, const float* b, float* c, const GemmDims& dims,
+         TraceSink* sink, const GemmLayout& layout)
+{
+    P10_ASSERT(dims.m % 8 == 0 && dims.n % 16 == 0, "sgemmMma tile shape");
+    MmaEngine eng;
+    Emit em(sink, layout.loopPc);
+
+    for (int i0 = 0; i0 < dims.m; i0 += 8) {
+        for (int j0 = 0; j0 < dims.n; j0 += 16) {
+            for (int t = 0; t < 8; ++t) {
+                eng.xxsetaccz(t);
+                em.accMove(t, kVsrA0, true);
+            }
+
+            uint64_t apack = layout.aBase +
+                static_cast<uint64_t>(i0 / 8) * dims.k * 32;
+            uint64_t bpack = layout.bBase +
+                static_cast<uint64_t>(j0 / 16) * dims.k * 64;
+            uint64_t body = layout.loopPc + 0x400;
+            for (int l = 0; l < dims.k; ++l) {
+                em.loopTop(body);
+                em.load(kVsrA0, apack + static_cast<uint64_t>(l) * 32, 32);
+                uint64_t boff = bpack + static_cast<uint64_t>(l) * 64;
+                em.load(kVsrB0, boff, 32);
+                em.load(kVsrB1, boff + 32, 32);
+
+                float x[2][4];
+                for (int r = 0; r < 8; ++r)
+                    x[r / 4][r % 4] = a[(i0 + r) * dims.k + l];
+                float y[4][4];
+                for (int q = 0; q < 16; ++q)
+                    y[q / 4][q % 4] = b[l * dims.n + j0 + q];
+
+                for (int rg = 0; rg < 2; ++rg) {
+                    for (int cq = 0; cq < 4; ++cq) {
+                        int acc = rg * 4 + cq;
+                        eng.xvf32gerpp(acc, x[rg], y[cq]);
+                        em.ger(acc, kVsrA0, cq < 2 ? kVsrB0 : kVsrB1);
+                    }
+                }
+                em.alu(kGprPtr);
+                em.branch(body, l + 1 < dims.k);
+            }
+
+            for (int rg = 0; rg < 2; ++rg) {
+                for (int cq = 0; cq < 4; ++cq) {
+                    int acc = rg * 4 + cq;
+                    float out[4][4];
+                    eng.xxmfacc(acc, out);
+                    em.accMove(acc, kVsrCTile + acc, false);
+                    for (int r = 0; r < 4; ++r)
+                        for (int q = 0; q < 4; ++q)
+                            c[(i0 + rg * 4 + r) * dims.n + j0 + cq * 4 + q]
+                                += out[r][q];
+                }
+            }
+            for (int r = 0; r < 8; ++r) {
+                uint64_t rowAddr = layout.cBase +
+                    (static_cast<uint64_t>(i0 + r) * dims.n + j0) * 4;
+                em.store(kVsrCTile + r, rowAddr, 32);
+                em.store(kVsrCTile + r, rowAddr + 32, 32);
+            }
+        }
+    }
+}
+
+void
+sgemmVsu(const float* a, const float* b, float* c, const GemmDims& dims,
+         TraceSink* sink, const GemmLayout& layout)
+{
+    P10_ASSERT(dims.m % 8 == 0 && dims.n % 8 == 0, "sgemmVsu tile shape");
+    Emit em(sink, layout.loopPc);
+
+    for (int i0 = 0; i0 < dims.m; i0 += 8) {
+        for (int j0 = 0; j0 < dims.n; j0 += 8) {
+            float acc[8][8] = {};
+            for (int r = 0; r < 8; ++r) {
+                uint64_t rowAddr = layout.cBase +
+                    (static_cast<uint64_t>(i0 + r) * dims.n + j0) * 4;
+                em.load(kVsrCTile + r * 2, rowAddr, 16);
+                em.load(kVsrCTile + r * 2 + 1, rowAddr + 16, 16);
+            }
+
+            uint64_t bpack = layout.bBase +
+                static_cast<uint64_t>(j0 / 8) * dims.k * 32;
+            uint64_t body = layout.loopPc + 0x600;
+            for (int l = 0; l < dims.k; ++l) {
+                em.loopTop(body);
+                uint64_t koff = static_cast<uint64_t>(l) * 32;
+                em.load(kVsrB0, bpack + koff, 16);
+                em.load(kVsrB1, bpack + koff + 16, 16);
+
+                for (int r = 0; r < 8; ++r) {
+                    uint64_t aAddr = layout.aBase +
+                        (static_cast<uint64_t>(i0 + r) * dims.k + l) * 4;
+                    em.load(kVsrSplat + r % 8, aAddr, 4); // lxvwsx splat
+                    float av = a[(i0 + r) * dims.k + l];
+                    for (int q = 0; q < 8; ++q)
+                        acc[r][q] += av * b[l * dims.n + j0 + q];
+                    em.vfma(kVsrCTile + r * 2, kVsrSplat + r % 8, kVsrB0);
+                    em.vfma(kVsrCTile + r * 2 + 1, kVsrSplat + r % 8,
+                            kVsrB1);
+                }
+                em.alu(kGprPtr);
+                em.branch(body, l + 1 < dims.k);
+            }
+
+            for (int r = 0; r < 8; ++r) {
+                uint64_t rowAddr = layout.cBase +
+                    (static_cast<uint64_t>(i0 + r) * dims.n + j0) * 4;
+                em.store(kVsrCTile + r * 2, rowAddr, 16);
+                em.store(kVsrCTile + r * 2 + 1, rowAddr + 16, 16);
+                for (int q = 0; q < 8; ++q)
+                    c[(i0 + r) * dims.n + j0 + q] += acc[r][q];
+            }
+        }
+    }
+}
+
+void
+igemmMma(const int8_t* a, const int8_t* b, int32_t* c, const GemmDims& dims,
+         TraceSink* sink, const GemmLayout& layout)
+{
+    P10_ASSERT(dims.m % 8 == 0 && dims.n % 16 == 0 && dims.k % 4 == 0,
+               "igemmMma tile shape");
+    MmaEngine eng;
+    Emit em(sink, layout.loopPc);
+
+    for (int i0 = 0; i0 < dims.m; i0 += 8) {
+        for (int j0 = 0; j0 < dims.n; j0 += 16) {
+            for (int t = 0; t < 8; ++t) {
+                eng.xxsetaccz(t);
+                em.accMove(t, kVsrA0, true);
+            }
+
+            uint64_t apack = layout.aBase +
+                static_cast<uint64_t>(i0 / 8) * dims.k * 8;
+            uint64_t bpack = layout.bBase +
+                static_cast<uint64_t>(j0 / 16) * dims.k * 16;
+            uint64_t body = layout.loopPc + 0x800;
+            // Rank-4 updates: the k loop advances four at a time.
+            for (int l = 0; l < dims.k; l += 4) {
+                em.loopTop(body);
+                em.load(kVsrA0, apack + static_cast<uint64_t>(l) * 8, 32);
+                uint64_t boff = bpack + static_cast<uint64_t>(l) * 16;
+                em.load(kVsrB0, boff, 32);
+                em.load(kVsrB1, boff + 32, 32);
+
+                int8_t x[2][16];
+                for (int r = 0; r < 8; ++r)
+                    for (int kk = 0; kk < 4; ++kk)
+                        x[r / 4][(r % 4) * 4 + kk] =
+                            a[(i0 + r) * dims.k + l + kk];
+                int8_t y[4][16];
+                for (int q = 0; q < 16; ++q)
+                    for (int kk = 0; kk < 4; ++kk)
+                        y[q / 4][(q % 4) * 4 + kk] =
+                            b[(l + kk) * dims.n + j0 + q];
+
+                for (int rg = 0; rg < 2; ++rg) {
+                    for (int cq = 0; cq < 4; ++cq) {
+                        int acc = rg * 4 + cq;
+                        eng.xvi8ger4pp(acc, x[rg], y[cq]);
+                        em.ger(acc, kVsrA0, cq < 2 ? kVsrB0 : kVsrB1);
+                    }
+                }
+                em.alu(kGprPtr);
+                em.branch(body, l + 4 < dims.k);
+            }
+
+            for (int rg = 0; rg < 2; ++rg) {
+                for (int cq = 0; cq < 4; ++cq) {
+                    int acc = rg * 4 + cq;
+                    int32_t out[4][4];
+                    eng.xxmfacc(acc, out);
+                    em.accMove(acc, kVsrCTile + acc, false);
+                    for (int r = 0; r < 4; ++r)
+                        for (int q = 0; q < 4; ++q)
+                            c[(i0 + rg * 4 + r) * dims.n + j0 + cq * 4 + q]
+                                += out[r][q];
+                }
+            }
+            for (int r = 0; r < 8; ++r) {
+                uint64_t rowAddr = layout.cBase +
+                    (static_cast<uint64_t>(i0 + r) * dims.n + j0) * 4;
+                em.store(kVsrCTile + r, rowAddr, 32);
+                em.store(kVsrCTile + r, rowAddr + 32, 32);
+            }
+        }
+    }
+}
+
+} // namespace p10ee::mma

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * GEMM kernels over the MMA facility and the VSU baseline.
+ *
+ * Each kernel plays two roles:
+ *  1. It computes the numerical result (verified in tests against a
+ *     naive reference), using MmaEngine semantics for the MMA variants.
+ *  2. It optionally emits the pre-decoded instruction stream of its inner
+ *     loop into a TraceSink, which the core timing model replays to
+ *     measure FLOPs/cycle and drive the power model (Fig. 5, Fig. 6).
+ *
+ * Kernel shapes follow the paper: the MMA SGEMM kernel computes 8x16
+ * panels ("which computes 8x16 SGEMM panels on the MMA"); the DGEMM MMA
+ * kernel computes 8x8 tiles with all eight 4x2 FP64 accumulators live.
+ */
+
+#ifndef P10EE_MMA_GEMM_H
+#define P10EE_MMA_GEMM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/instr.h"
+
+namespace p10ee::mma {
+
+/** Destination for instruction streams emitted by kernels. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Receive one emitted instruction. */
+    virtual void emit(const isa::TraceInstr& instr) = 0;
+};
+
+/** TraceSink that stores the stream in a vector. */
+class VectorSink : public TraceSink
+{
+  public:
+    void emit(const isa::TraceInstr& instr) override
+    {
+        instrs_.push_back(instr);
+    }
+
+    /** The collected stream. */
+    const std::vector<isa::TraceInstr>& instrs() const { return instrs_; }
+
+    /** Drop everything collected so far. */
+    void clear() { instrs_.clear(); }
+
+  private:
+    std::vector<isa::TraceInstr> instrs_;
+};
+
+/** Problem size for C[m x n] += A[m x k] * B[k x n] (row-major). */
+struct GemmDims
+{
+    int m = 0;
+    int n = 0;
+    int k = 0;
+};
+
+/**
+ * Synthetic memory layout for emitted streams: base effective addresses
+ * of the three operand matrices. Fixed defaults keep cache behaviour
+ * reproducible across runs.
+ */
+struct GemmLayout
+{
+    uint64_t aBase = 0x1000000;
+    uint64_t bBase = 0x2000000;
+    uint64_t cBase = 0x3000000;
+    uint64_t loopPc = 0x10000; ///< PC of the first inner-loop instruction
+};
+
+/** Naive reference DGEMM: C += A * B. */
+void dgemmRef(const double* a, const double* b, double* c,
+              const GemmDims& dims);
+
+/** Naive reference SGEMM: C += A * B. */
+void sgemmRef(const float* a, const float* b, float* c,
+              const GemmDims& dims);
+
+/** Naive reference INT8 GEMM with INT32 accumulation: C += A * B. */
+void igemmRef(const int8_t* a, const int8_t* b, int32_t* c,
+              const GemmDims& dims);
+
+/**
+ * DGEMM on the MMA: 8x8 C tiles, eight 4x2 FP64 accumulators, rank-1
+ * xvf64gerpp updates; 32-byte paired loads feed the unit.
+ *
+ * @pre m % 8 == 0, n % 8 == 0 (use gemmPad helpers for general sizes).
+ * @param sink when non-null, receives the inner-loop instruction stream.
+ */
+void dgemmMma(const double* a, const double* b, double* c,
+              const GemmDims& dims, TraceSink* sink = nullptr,
+              const GemmLayout& layout = {});
+
+/**
+ * DGEMM on the 128-bit VSU: 8x4 C tiles held in 16 VSRs, xvmaddadp FMAs,
+ * load-and-splat for B. This is the "VSU code" of Fig. 5 and runs on
+ * both the POWER9 and POWER10 configurations.
+ */
+void dgemmVsu(const double* a, const double* b, double* c,
+              const GemmDims& dims, TraceSink* sink = nullptr,
+              const GemmLayout& layout = {});
+
+/**
+ * SGEMM on the MMA: 8x16 panels, eight 4x4 FP32 accumulators
+ * (the OpenBLAS POWER10 kernel shape quoted in the paper).
+ *
+ * @pre m % 8 == 0, n % 16 == 0.
+ */
+void sgemmMma(const float* a, const float* b, float* c,
+              const GemmDims& dims, TraceSink* sink = nullptr,
+              const GemmLayout& layout = {});
+
+/** SGEMM on the 128-bit VSU: 4x8 C tiles in 8 VSRs. */
+void sgemmVsu(const float* a, const float* b, float* c,
+              const GemmDims& dims, TraceSink* sink = nullptr,
+              const GemmLayout& layout = {});
+
+/**
+ * INT8 GEMM with INT32 accumulation on the MMA: 8x16 panels of rank-4
+ * xvi8ger4pp updates — 128 MACs per instruction, the source of the
+ * paper's 21x INT8 socket projection.
+ *
+ * @pre m % 8 == 0, n % 16 == 0, k % 4 == 0.
+ */
+void igemmMma(const int8_t* a, const int8_t* b, int32_t* c,
+              const GemmDims& dims, TraceSink* sink = nullptr,
+              const GemmLayout& layout = {});
+
+/**
+ * BF16 GEMM with FP32 accumulation on the MMA: 8x16 panels of rank-2
+ * xvbf16ger2pp updates (the reduced-precision path the MMA facility
+ * provides alongside INT8). Inputs are bfloat16 bit patterns.
+ *
+ * @pre m % 8 == 0, n % 16 == 0, k % 2 == 0.
+ */
+void bgemmMma(const uint16_t* a, const uint16_t* b, float* c,
+              const GemmDims& dims, TraceSink* sink = nullptr,
+              const GemmLayout& layout = {});
+
+/** Floating-point operations in one C += A*B call (2*m*n*k). */
+uint64_t gemmFlops(const GemmDims& dims);
+
+} // namespace p10ee::mma
+
+#endif // P10EE_MMA_GEMM_H

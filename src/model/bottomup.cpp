@@ -1,0 +1,61 @@
+#include "model/bottomup.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace p10ee::model {
+
+BottomUpModel
+BottomUpModel::train(const std::vector<Dataset>& perComponent,
+                     int inputsPerComponent)
+{
+    P10_ASSERT(!perComponent.empty(), "no component datasets");
+    BottomUpModel bu;
+    ModelOptions opts;
+    opts.maxInputs = inputsPerComponent;
+    opts.nonNegative = true;
+    opts.intercept = true; // absorbs the component's static share
+    for (const auto& ds : perComponent)
+        bu.models_.push_back(trainModel(ds, opts));
+    return bu;
+}
+
+double
+BottomUpModel::predictTotal(const std::vector<double>& features) const
+{
+    double total = 0.0;
+    for (const auto& m : models_)
+        total += m.predict(features);
+    return total;
+}
+
+int
+BottomUpModel::distinctInputs() const
+{
+    std::set<int> used;
+    for (const auto& m : models_)
+        for (int i : m.inputs())
+            used.insert(i);
+    return static_cast<int>(used.size());
+}
+
+double
+bottomUpVsTopDown(const BottomUpModel& bottomUp,
+                  const CounterModel& topDown, const Dataset& ds,
+                  double staticPj)
+{
+    double sumDiff = 0.0;
+    double sumRef = 0.0;
+    for (const auto& s : ds.samples) {
+        // Bottom-up predicts full power (its intercepts absorb static);
+        // top-down predicts active power over the same samples.
+        double bu = bottomUp.predictTotal(s.features) - staticPj;
+        double td = topDown.predict(s.features);
+        sumDiff += std::abs(bu - td);
+        sumRef += std::abs(s.target) + staticPj;
+    }
+    return sumRef > 0.0 ? sumDiff / sumRef : 0.0;
+}
+
+} // namespace p10ee::model

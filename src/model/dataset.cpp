@@ -1,0 +1,144 @@
+#include "model/dataset.h"
+
+#include <algorithm>
+#include <array>
+#include <set>
+
+#include "common/assert.h"
+#include "power/cycle_stats.h"
+
+namespace p10ee::model {
+
+int
+Dataset::featureIndex(const std::string& name) const
+{
+    for (size_t i = 0; i < featureNames.size(); ++i)
+        if (featureNames[i] == name)
+            return static_cast<int>(i);
+    return -1;
+}
+
+std::vector<std::string>
+collectFeatureNames(const std::vector<core::RunResult>& runs)
+{
+    std::set<std::string> names;
+    for (const auto& r : runs)
+        for (const auto& [name, value] : r.stats)
+            if (name != "cycles")
+                names.insert(name);
+    return {names.begin(), names.end()};
+}
+
+namespace {
+
+std::vector<double>
+featuresOf(const core::RunResult& run,
+           const std::vector<std::string>& names)
+{
+    double cyc = static_cast<double>(run.cycles ? run.cycles : 1);
+    std::vector<double> f;
+    f.reserve(names.size());
+    for (const auto& n : names) {
+        auto it = run.stats.find(n);
+        f.push_back(it == run.stats.end()
+                        ? 0.0
+                        : static_cast<double>(it->second) / cyc);
+    }
+    return f;
+}
+
+} // namespace
+
+Dataset
+buildAggregateDataset(const std::vector<core::RunResult>& runs,
+                      const power::EnergyModel& energy)
+{
+    Dataset ds;
+    ds.featureNames = collectFeatureNames(runs);
+    double staticPj = energy.staticPj();
+    for (const auto& r : runs) {
+        Sample s;
+        s.features = featuresOf(r, ds.featureNames);
+        s.target = energy.evalCounters(r).totalPj - staticPj;
+        ds.samples.push_back(std::move(s));
+    }
+    return ds;
+}
+
+std::vector<Dataset>
+buildComponentDatasets(const std::vector<core::RunResult>& runs,
+                       const power::EnergyModel& energy)
+{
+    std::vector<std::string> names = collectFeatureNames(runs);
+    const auto& comps = energy.components();
+    std::vector<Dataset> out(comps.size());
+    for (auto& ds : out)
+        ds.featureNames = names;
+
+    for (const auto& r : runs) {
+        std::vector<double> f = featuresOf(r, names);
+        for (size_t c = 0; c < comps.size(); ++c) {
+            Sample s;
+            s.features = f;
+            s.target = energy.componentPower(comps[c], r.stats,
+                                             r.cycles ? r.cycles : 1);
+            out[c].samples.push_back(std::move(s));
+        }
+    }
+    return out;
+}
+
+Dataset
+buildWindowDataset(const std::vector<core::RunResult>& runs,
+                   const power::EnergyModel& energy,
+                   uint64_t windowCycles)
+{
+    P10_ASSERT(windowCycles > 0, "window size");
+    Dataset ds;
+    ds.featureNames = collectFeatureNames(runs);
+    double staticPj = energy.staticPj();
+
+    // Pre-resolve which features are per-cycle-reconstructible.
+    std::vector<int> cycId(ds.featureNames.size());
+    for (size_t i = 0; i < ds.featureNames.size(); ++i)
+        cycId[i] = power::cyc::idOf(ds.featureNames[i]);
+
+    for (const auto& r : runs) {
+        if (r.timings.empty())
+            continue;
+        uint64_t cycles = r.cycles ? r.cycles : 1;
+        size_t nWin = static_cast<size_t>(cycles / windowCycles);
+        if (nWin == 0)
+            continue;
+
+        std::vector<float> detailed = energy.perCyclePower(r);
+        std::vector<std::array<double, power::cyc::kNumCycleStats>> sums(
+            nWin, std::array<double, power::cyc::kNumCycleStats>{});
+        for (const auto& t : r.timings) {
+            size_t w = std::min<size_t>(t.issue / windowCycles,
+                                        nWin - 1);
+            power::cyc::addInstrEvents(t, sums[w].data());
+        }
+
+        std::vector<double> flat = featuresOf(r, ds.featureNames);
+        for (size_t w = 0; w < nWin; ++w) {
+            Sample s;
+            s.features.resize(ds.featureNames.size());
+            for (size_t i = 0; i < ds.featureNames.size(); ++i) {
+                s.features[i] = cycId[i] >= 0
+                    ? sums[w][static_cast<size_t>(cycId[i])] /
+                          static_cast<double>(windowCycles)
+                    : flat[i];
+            }
+            double mean = 0.0;
+            for (uint64_t c = 0; c < windowCycles; ++c)
+                mean += detailed[w * windowCycles + c];
+            s.target = mean / static_cast<double>(windowCycles) -
+                       staticPj;
+            ds.samples.push_back(std::move(s));
+        }
+    }
+    return ds;
+}
+
+} // namespace p10ee::model

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Training datasets for counter-based power models (paper §III-D).
+ *
+ * The M1-linked power model is trained on (performance counters, power)
+ * pairs where the counters come from the fast performance model and the
+ * power reference from the detailed (Einspower-substitute) evaluation.
+ * Samples are built either per run (aggregate counters) or per window
+ * within a run (windowed counters against windowed detailed power),
+ * which is how the >25K-workload corpora of Fig. 11 are emulated at
+ * tractable simulation cost.
+ */
+
+#ifndef P10EE_MODEL_DATASET_H
+#define P10EE_MODEL_DATASET_H
+
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "power/energy.h"
+
+namespace p10ee::model {
+
+/** One observation: per-cycle-normalized counters and a power target. */
+struct Sample
+{
+    std::vector<double> features;
+    double target = 0.0; ///< pJ/cycle
+};
+
+/** A named-feature dataset. */
+struct Dataset
+{
+    std::vector<std::string> featureNames;
+    std::vector<Sample> samples;
+
+    /** Index of a feature name, or -1 if absent. */
+    int featureIndex(const std::string& name) const;
+};
+
+/**
+ * Canonical feature ordering: union of all stat names across @p runs,
+ * normalized per cycle.
+ */
+std::vector<std::string> collectFeatureNames(
+    const std::vector<core::RunResult>& runs);
+
+/**
+ * Aggregate dataset: one sample per run; the target is the active power
+ * (total minus static) of the reference model.
+ */
+Dataset buildAggregateDataset(const std::vector<core::RunResult>& runs,
+                              const power::EnergyModel& energy);
+
+/**
+ * Aggregate dataset with per-component targets: sample k of component c
+ * is the component's power on run k (for the bottom-up models of
+ * Fig. 12).
+ *
+ * @return one Dataset per component, in component order.
+ */
+std::vector<Dataset> buildComponentDatasets(
+    const std::vector<core::RunResult>& runs,
+    const power::EnergyModel& energy);
+
+/**
+ * Windowed dataset: each run with an event trace is split into windows
+ * of @p windowCycles; features are the per-window cycle stats (plus
+ * flat-spread stats) and the target is the detailed per-cycle power
+ * averaged over the window.
+ */
+Dataset buildWindowDataset(const std::vector<core::RunResult>& runs,
+                           const power::EnergyModel& energy,
+                           uint64_t windowCycles);
+
+} // namespace p10ee::model
+
+#endif // P10EE_MODEL_DATASET_H

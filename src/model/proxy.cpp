@@ -1,0 +1,36 @@
+#include "model/proxy.h"
+
+#include <cmath>
+
+namespace p10ee::model {
+
+ProxyDesign
+designProxy(const Dataset& ds, int numCounters, double staticPj,
+            double quantStep)
+{
+    ModelOptions opts;
+    opts.maxInputs = numCounters;
+    opts.nonNegative = true; // hardware accumulates, never subtracts
+    opts.intercept = true;
+    ProxyDesign design;
+    design.model = trainModel(ds, opts);
+    design.model.quantize(quantStep);
+    design.activeErrorFrac = meanAbsErrorFrac(design.model, ds);
+    design.totalErrorFrac = totalPowerError(design.model, ds, staticPj);
+    return design;
+}
+
+double
+totalPowerError(const CounterModel& model, const Dataset& windowDs,
+                double staticPj)
+{
+    double sumErr = 0.0;
+    double sumRef = 0.0;
+    for (const auto& s : windowDs.samples) {
+        sumErr += std::abs(model.predict(s.features) - s.target);
+        sumRef += std::abs(s.target) + staticPj;
+    }
+    return sumRef > 0.0 ? sumErr / sumRef : 0.0;
+}
+
+} // namespace p10ee::model

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The core Power Proxy (paper §IV-C, Fig. 15).
+ *
+ * A hardware-implementable counter model: a small set of activity
+ * counters (POWER10 shipped 16) with quantized, non-negative weights,
+ * selected automatically from the full signal set rather than by
+ * designer intuition. The proxy feeds Workload Optimized Frequency and
+ * the fine-grained throttling loop, so its accuracy is characterized
+ * both per workload (Fig. 15a) and versus prediction time-granularity
+ * (Fig. 15b).
+ */
+
+#ifndef P10EE_MODEL_PROXY_H
+#define P10EE_MODEL_PROXY_H
+
+#include "model/regress.h"
+
+namespace p10ee::model {
+
+/** A designed proxy and its headline accuracies. */
+struct ProxyDesign
+{
+    CounterModel model;
+    double activeErrorFrac = 0.0; ///< error on active power
+    double totalErrorFrac = 0.0;  ///< error with static included
+};
+
+/**
+ * Select and fit a @p numCounters proxy on @p ds (active-power targets),
+ * quantizing weights to @p quantStep (hardware shift/add coefficients).
+ *
+ * @param staticPj static power added back when scoring total error.
+ */
+ProxyDesign designProxy(const Dataset& ds, int numCounters,
+                        double staticPj, double quantStep = 0.5);
+
+/**
+ * Error of @p model on @p windowDs including static power — the Fig. 15b
+ * granularity metric (windowDs built at the granularity under study).
+ */
+double totalPowerError(const CounterModel& model, const Dataset& windowDs,
+                       double staticPj);
+
+} // namespace p10ee::model
+
+#endif // P10EE_MODEL_PROXY_H

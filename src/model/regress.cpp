@@ -1,0 +1,153 @@
+#include "model/regress.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.h"
+#include "common/matrix.h"
+
+namespace p10ee::model {
+
+namespace {
+
+/** Fit weights for the chosen inputs; returns (weights, intercept). */
+std::pair<std::vector<double>, double>
+fitSubset(const Dataset& ds, const std::vector<int>& inputs,
+          const ModelOptions& opts)
+{
+    size_t n = ds.samples.size();
+    size_t k = inputs.size() + (opts.intercept ? 1 : 0);
+    common::Matrix x(n, k);
+    std::vector<double> y(n);
+    for (size_t r = 0; r < n; ++r) {
+        for (size_t c = 0; c < inputs.size(); ++c)
+            x.at(r, c) =
+                ds.samples[r].features[static_cast<size_t>(inputs[c])];
+        if (opts.intercept)
+            x.at(r, inputs.size()) = 1.0;
+        y[r] = ds.samples[r].target;
+    }
+    std::vector<double> w = opts.nonNegative
+        ? common::nonNegativeLeastSquares(x, y)
+        : common::leastSquares(x, y);
+    double intercept = opts.intercept ? w.back() : 0.0;
+    if (opts.intercept)
+        w.pop_back();
+    return {w, intercept};
+}
+
+double
+subsetRmse(const Dataset& ds, const std::vector<int>& inputs,
+           const std::vector<double>& w, double intercept)
+{
+    double se = 0.0;
+    for (const auto& s : ds.samples) {
+        double p = intercept;
+        for (size_t c = 0; c < inputs.size(); ++c)
+            p += w[c] * s.features[static_cast<size_t>(inputs[c])];
+        double d = p - s.target;
+        se += d * d;
+    }
+    return std::sqrt(se / static_cast<double>(ds.samples.size()));
+}
+
+} // namespace
+
+double
+CounterModel::predict(const std::vector<double>& features) const
+{
+    double p = intercept_;
+    for (size_t c = 0; c < inputs_.size(); ++c)
+        p += weights_[c] * features[static_cast<size_t>(inputs_[c])];
+    return p;
+}
+
+std::vector<std::string>
+CounterModel::inputNames(const Dataset& ds) const
+{
+    std::vector<std::string> names;
+    for (int i : inputs_)
+        names.push_back(ds.featureNames[static_cast<size_t>(i)]);
+    return names;
+}
+
+void
+CounterModel::quantize(double step)
+{
+    P10_ASSERT(step > 0, "quantization step");
+    for (double& w : weights_)
+        w = std::round(w / step) * step;
+    intercept_ = std::round(intercept_ / step) * step;
+}
+
+CounterModel
+trainModel(const Dataset& ds, const ModelOptions& opts)
+{
+    P10_ASSERT(!ds.samples.empty(), "empty dataset");
+    size_t nFeatures = ds.featureNames.size();
+
+    CounterModel model;
+    std::vector<bool> used(nFeatures, false);
+    std::vector<double> bestW;
+    double bestIntercept = 0.0;
+
+    for (int step = 0; step < opts.maxInputs &&
+                       step < static_cast<int>(nFeatures); ++step) {
+        int bestFeature = -1;
+        double bestRmse = std::numeric_limits<double>::max();
+        std::vector<double> stepW;
+        double stepIntercept = 0.0;
+
+        for (size_t f = 0; f < nFeatures; ++f) {
+            if (used[f])
+                continue;
+            std::vector<int> candidate = model.inputs_;
+            candidate.push_back(static_cast<int>(f));
+            auto [w, inter] = fitSubset(ds, candidate, opts);
+            double rmse = subsetRmse(ds, candidate, w, inter);
+            if (rmse + 1e-12 < bestRmse) {
+                bestRmse = rmse;
+                bestFeature = static_cast<int>(f);
+                stepW = std::move(w);
+                stepIntercept = inter;
+            }
+        }
+        if (bestFeature < 0)
+            break;
+        used[static_cast<size_t>(bestFeature)] = true;
+        model.inputs_.push_back(bestFeature);
+        bestW = std::move(stepW);
+        bestIntercept = stepIntercept;
+    }
+    model.weights_ = std::move(bestW);
+    model.intercept_ = bestIntercept;
+    return model;
+}
+
+double
+meanAbsErrorFrac(const CounterModel& model, const Dataset& ds)
+{
+    double sumErr = 0.0;
+    double sumRef = 0.0;
+    for (const auto& s : ds.samples) {
+        sumErr += std::abs(model.predict(s.features) - s.target);
+        sumRef += std::abs(s.target);
+    }
+    return sumRef > 0.0 ? sumErr / sumRef : 0.0;
+}
+
+double
+meanModelDisagreement(const CounterModel& a, const CounterModel& b,
+                      const Dataset& ds)
+{
+    double sumDiff = 0.0;
+    double sumRef = 0.0;
+    for (const auto& s : ds.samples) {
+        sumDiff += std::abs(a.predict(s.features) - b.predict(s.features));
+        sumRef += std::abs(s.target);
+    }
+    return sumRef > 0.0 ? sumDiff / sumRef : 0.0;
+}
+
+} // namespace p10ee::model

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Counter-based power-model training (paper §III-D, Fig. 11).
+ *
+ * The M1-linked models are linear in a selected subset of performance
+ * counters, trained with the modeling constraints the paper explores:
+ * number of inputs, all-positive coefficients (activity cannot remove
+ * power), and with/without an intercept. Feature subsets come from
+ * greedy forward selection, the standard counter-model construction in
+ * the cited methodology papers.
+ */
+
+#ifndef P10EE_MODEL_REGRESS_H
+#define P10EE_MODEL_REGRESS_H
+
+#include <string>
+#include <vector>
+
+#include "model/dataset.h"
+
+namespace p10ee::model {
+
+/** Training constraints. */
+struct ModelOptions
+{
+    int maxInputs = 8;       ///< number of counters to select
+    bool nonNegative = true; ///< all-positive coefficients
+    bool intercept = true;   ///< allow a constant term
+};
+
+/** A trained linear counter model over a feature subset. */
+class CounterModel
+{
+  public:
+    /** Predict the target for one feature vector (full-width). */
+    double predict(const std::vector<double>& features) const;
+
+    /** Indexes (into the dataset's feature list) of selected inputs. */
+    const std::vector<int>& inputs() const { return inputs_; }
+
+    /** Coefficients aligned with inputs(). */
+    const std::vector<double>& weights() const { return weights_; }
+
+    double intercept() const { return intercept_; }
+
+    /** Selected input names resolved against @p ds. */
+    std::vector<std::string> inputNames(const Dataset& ds) const;
+
+    /**
+     * Quantize coefficients to multiples of @p step — the
+     * hardware-implementable form used by the Power Proxy (§IV-C).
+     */
+    void quantize(double step);
+
+  private:
+    friend CounterModel trainModel(const Dataset&, const ModelOptions&);
+
+    std::vector<int> inputs_;
+    std::vector<double> weights_;
+    double intercept_ = 0.0;
+};
+
+/**
+ * Greedy forward selection + (non-negative) least squares.
+ * Deterministic: ties resolve to the lowest feature index.
+ */
+CounterModel trainModel(const Dataset& ds, const ModelOptions& opts);
+
+/** Mean |prediction-target| / mean(target) over @p ds. */
+double meanAbsErrorFrac(const CounterModel& model, const Dataset& ds);
+
+/** Mean of |a.predict - b.predict| / reference over @p ds. */
+double meanModelDisagreement(const CounterModel& a, const CounterModel& b,
+                             const Dataset& ds);
+
+} // namespace p10ee::model
+
+#endif // P10EE_MODEL_REGRESS_H

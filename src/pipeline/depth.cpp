@@ -1,0 +1,102 @@
+#include "pipeline/depth.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace p10ee::pipeline {
+
+namespace {
+
+/** Stage count implied by a per-stage logic FO4 budget. */
+double
+stagesAt(const DepthParams& p, double fo4)
+{
+    return p.totalLogicFo4 / fo4;
+}
+
+} // namespace
+
+DepthPoint
+evaluateDepth(const DepthParams& p, double fo4, double powerTarget)
+{
+    P10_ASSERT(fo4 > p.latchFo4, "stage shorter than the latch overhead");
+    DepthPoint pt;
+    pt.fo4 = fo4;
+    double stages = stagesAt(p, fo4);
+    pt.stages = static_cast<int>(std::lround(stages));
+
+    double baseStages = stagesAt(p, p.baseFo4);
+
+    // Cycle time includes the latch overhead on top of the logic FO4.
+    double cycle = fo4 + p.latchFo4;
+    double baseCycle = p.baseFo4 + p.latchFo4;
+    pt.freq = baseCycle / cycle;
+
+    // Hazard CPI grows with depth (flush penalties, load-use bubbles).
+    double cpi = p.cpi0 + p.hazardPerStage * stages;
+    double baseCpi = p.cpi0 + p.hazardPerStage * baseStages;
+    pt.ipc = baseCpi / cpi; // normalized IPC
+
+    // Power at full frequency and nominal voltage, relative to the
+    // baseline depth: latch-clock power follows the latch population
+    // and frequency; logic/array switching follow frequency; leakage
+    // follows the latch population only.
+    double latchRatio = std::pow(stages / baseStages, p.latchGrowthExp);
+    double pw = p.latchClockFrac * latchRatio * pt.freq +
+                p.logicFrac * pt.freq + p.arrayFrac * pt.freq +
+                p.leakFrac * latchRatio;
+
+    // Power limiting: scale voltage (and frequency with it) until the
+    // point fits the envelope. Dynamic power ~ V^2 f ~ V^3 on the VF
+    // curve; leakage ~ V^2.
+    if (pw > powerTarget) {
+        pt.powerLimited = true;
+        double s = std::cbrt(powerTarget / pw);
+        // One refinement step for the leakage exponent difference.
+        for (int it = 0; it < 8; ++it) {
+            double dyn = (pw - p.leakFrac * latchRatio) * s * s * s;
+            double leak = p.leakFrac * latchRatio * s * s;
+            double total = dyn + leak;
+            s *= std::cbrt(powerTarget / total);
+        }
+        pt.voltage = s;
+        pt.freq *= s;
+        double dyn = (pw - p.leakFrac * latchRatio) * s * s * s;
+        double leak = p.leakFrac * latchRatio * s * s;
+        pt.power = dyn + leak;
+    } else {
+        pt.power = pw;
+    }
+
+    pt.bips = pt.freq * pt.ipc;
+    return pt;
+}
+
+std::vector<DepthPoint>
+sweep(const DepthParams& p, const std::vector<double>& fo4s,
+      double powerTarget)
+{
+    std::vector<DepthPoint> out;
+    out.reserve(fo4s.size());
+    for (double f : fo4s)
+        out.push_back(evaluateDepth(p, f, powerTarget));
+    return out;
+}
+
+double
+optimalFo4(const DepthParams& p, double powerTarget)
+{
+    double best = p.baseFo4;
+    double bestBips = 0.0;
+    for (double fo4 = 12.0; fo4 <= 54.0; fo4 += 0.5) {
+        DepthPoint pt = evaluateDepth(p, fo4, powerTarget);
+        if (pt.bips > bestBips) {
+            bestBips = pt.bips;
+            best = fo4;
+        }
+    }
+    return best;
+}
+
+} // namespace p10ee::pipeline

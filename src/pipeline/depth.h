@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Optimal pipeline depth analysis (paper §II-A, Fig. 2).
+ *
+ * The concept-phase study that fixed POWER10's pipeline: performance in
+ * BIPS at power-limited frequency versus pipeline depth (expressed as
+ * logic FO4 per stage) for a range of core power targets. The model
+ * follows the methodology the paper cites (Srinivasan et al., Zyuban et
+ * al.): frequency scales inversely with per-stage delay; hazard CPI
+ * grows with stage count; latch-clock power grows superlinearly with
+ * depth; and when a depth point exceeds the power envelope, voltage and
+ * frequency scale down together until it fits.
+ */
+
+#ifndef P10EE_PIPELINE_DEPTH_H
+#define P10EE_PIPELINE_DEPTH_H
+
+#include <vector>
+
+namespace p10ee::pipeline {
+
+/** Workload and design constants of the depth study. */
+struct DepthParams
+{
+    double totalLogicFo4 = 260.0; ///< logic depth of the core loop
+    double latchFo4 = 3.0;        ///< latch insertion delay per stage
+    double baseFo4 = 27.0;        ///< normalization point (result of
+                                  ///< the study; POWER9's depth)
+    double cpi0 = 0.62;           ///< CPI at zero per-stage hazard cost
+    double hazardPerStage = 0.050;///< CPI added per pipeline stage
+
+    // Power composition at the baseline depth and frequency.
+    double latchClockFrac = 0.42;
+    double logicFrac = 0.28;
+    double arrayFrac = 0.18;
+    double leakFrac = 0.12;
+    double latchGrowthExp = 1.1;  ///< latches ~ stages^exp
+
+    double vfSlope = 1.0;         ///< df/f per dV/V along the VF curve
+};
+
+/** One evaluated depth point. */
+struct DepthPoint
+{
+    double fo4 = 0.0;      ///< logic FO4 per stage
+    int stages = 0;
+    double freq = 0.0;     ///< relative to the baseline depth
+    double voltage = 1.0;  ///< relative, after power limiting
+    double ipc = 0.0;
+    double bips = 0.0;     ///< normalized to baseline at target 1.0
+    double power = 0.0;    ///< relative, after power limiting
+    bool powerLimited = false;
+};
+
+/**
+ * Evaluate one depth at a @p powerTarget (fraction of the baseline
+ * power envelope).
+ */
+DepthPoint evaluateDepth(const DepthParams& params, double fo4,
+                         double powerTarget);
+
+/** Sweep a list of FO4 points at one power target. */
+std::vector<DepthPoint> sweep(const DepthParams& params,
+                              const std::vector<double>& fo4s,
+                              double powerTarget);
+
+/** The BIPS-optimal FO4 over a fine sweep at @p powerTarget. */
+double optimalFo4(const DepthParams& params, double powerTarget);
+
+} // namespace p10ee::pipeline
+
+#endif // P10EE_PIPELINE_DEPTH_H

@@ -1,0 +1,68 @@
+#include "pm/gating.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "isa/op.h"
+
+namespace p10ee::pm {
+
+GatingResult
+simulateGating(const std::vector<core::InstrTiming>& timings,
+               uint64_t totalCycles, const GatingParams& p)
+{
+    P10_ASSERT(totalCycles > 0, "empty execution");
+
+    // Collect the cycles at which MMA ops issue (already sorted only
+    // approximately; sort to be safe).
+    std::vector<uint64_t> mmaCycles;
+    for (const auto& t : timings)
+        if (isa::isMma(t.op))
+            mmaCycles.push_back(t.issue);
+    std::sort(mmaCycles.begin(), mmaCycles.end());
+
+    GatingResult r;
+    if (mmaCycles.empty()) {
+        // Never used: gated the whole run.
+        r.gatedCycles = totalCycles;
+        r.powerOffEvents = 1;
+        r.gatedFrac = 1.0;
+        r.leakageSavedFrac = 1.0;
+        return r;
+    }
+
+    bool on = false; // powered off at start until first use
+    uint64_t offSince = 0;
+    uint64_t lastUse = 0;
+    for (uint64_t c : mmaCycles) {
+        if (on && c > lastUse + p.idleLimit) {
+            // Firmware powered the unit off idleLimit after last use.
+            on = false;
+            offSince = lastUse + p.idleLimit;
+            ++r.powerOffEvents;
+        }
+        if (!on) {
+            uint64_t offEnd = c;
+            if (offEnd > offSince)
+                r.gatedCycles += offEnd - offSince;
+            // Hints wake the unit hintLead cycles early; without them
+            // the first op stalls for the wake latency.
+            if (!p.hintsEnabled || p.hintLead < p.wakeLatency)
+                r.wakeStalls += p.hintsEnabled
+                    ? p.wakeLatency - p.hintLead
+                    : p.wakeLatency;
+            on = true;
+        }
+        lastUse = std::max(lastUse, c);
+    }
+    if (on && totalCycles > lastUse + p.idleLimit) {
+        r.gatedCycles += totalCycles - (lastUse + p.idleLimit);
+        ++r.powerOffEvents;
+    }
+    r.gatedFrac = static_cast<double>(r.gatedCycles) /
+                  static_cast<double>(totalCycles);
+    r.leakageSavedFrac = r.gatedFrac;
+    return r;
+}
+
+} // namespace p10ee::pm

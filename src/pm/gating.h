@@ -1,0 +1,52 @@
+/**
+ * @file
+ * MMA power gating with wake-up hints (paper §IV-A).
+ *
+ * The MMA can be powered off when idle — its architecture avoids array
+ * initialization and scan-ring restoration so wake-up is cheap — and
+ * firmware selects the idle time before power-off. Hint instructions
+ * proactively wake the unit so the first ger of a kernel does not pay
+ * the wake latency.
+ */
+
+#ifndef P10EE_PM_GATING_H
+#define P10EE_PM_GATING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/result.h"
+
+namespace p10ee::pm {
+
+/** Gating policy parameters. */
+struct GatingParams
+{
+    uint64_t idleLimit = 2048; ///< cycles idle before power-off
+    uint64_t wakeLatency = 64; ///< power-on latency without a hint
+    uint64_t hintLead = 128;   ///< how early software hints precede use
+    bool hintsEnabled = true;
+};
+
+/** Outcome of replaying a gating policy over an execution. */
+struct GatingResult
+{
+    uint64_t gatedCycles = 0;   ///< cycles with the unit powered off
+    uint64_t wakeStalls = 0;    ///< total stall cycles paid on wake-ups
+    int powerOffEvents = 0;
+    double gatedFrac = 0.0;     ///< gatedCycles / total
+    double leakageSavedFrac = 0.0; ///< of the MMA leakage budget
+};
+
+/**
+ * Replay an instruction event trace against the gating policy: the
+ * unit powers off after @p idleLimit cycles without MMA work and pays
+ * (or hides, with hints) the wake latency on the next MMA op.
+ */
+GatingResult simulateGating(const std::vector<core::InstrTiming>& timings,
+                            uint64_t totalCycles,
+                            const GatingParams& params);
+
+} // namespace p10ee::pm
+
+#endif // P10EE_PM_GATING_H

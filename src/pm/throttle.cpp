@@ -1,0 +1,111 @@
+#include "pm/throttle.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace p10ee::pm {
+
+ThrottleTrace
+runThrottleLoop(const std::vector<float>& rawPowerPj,
+                const ThrottleParams& params)
+{
+    P10_ASSERT(!rawPowerPj.empty(), "empty power series");
+    P10_ASSERT(params.budgetPj > 0.0, "throttle budget");
+
+    ThrottleTrace trace;
+    trace.level.reserve(rawPowerPj.size());
+    trace.powerPj.reserve(rawPowerPj.size());
+
+    int level = 0;
+    double sumPower = 0.0;
+    double sumPerf = 0.0;
+    size_t over = 0;
+    for (float raw : rawPowerPj) {
+        double scaled = raw * (1.0 - params.powerPerLevel * level);
+        trace.level.push_back(level);
+        trace.powerPj.push_back(scaled);
+        sumPower += scaled;
+        sumPerf += 1.0 - params.perfPerLevel * level;
+        if (scaled > params.budgetPj)
+            ++over;
+
+        // Proportional step controller: the proxy estimate at the end
+        // of the interval moves the limiter far enough to cover the
+        // observed overshoot, and relaxes one step at a time.
+        if (scaled > params.budgetPj) {
+            double over = scaled / params.budgetPj - 1.0;
+            int steps = 1 + static_cast<int>(over / params.powerPerLevel);
+            level = std::min(params.levels - 1, level + steps);
+        } else if (level > 0) {
+            double relaxed =
+                raw * (1.0 - params.powerPerLevel * (level - 1));
+            if (relaxed <= params.budgetPj)
+                level = std::max(0, level - 1);
+        }
+    }
+    double n = static_cast<double>(rawPowerPj.size());
+    trace.meanPowerPj = sumPower / n;
+    trace.overBudgetFrac = static_cast<double>(over) / n;
+    trace.meanPerf = sumPerf / n;
+    return trace;
+}
+
+DroopTrace
+simulateDroop(const std::vector<float>& powerPjPerCycle,
+              const DroopParams& p)
+{
+    P10_ASSERT(!powerPjPerCycle.empty(), "empty power series");
+    DroopTrace trace;
+    trace.voltage.reserve(powerPjPerCycle.size());
+    trace.minVoltage = p.supplyVolts;
+
+    // Second-order (RLC-like) droop state: z is the voltage sag, u its
+    // rate. The steady-state sag of current i is i * gridOhms.
+    double z = 0.0;
+    double u = 0.0;
+    double w = p.naturalFreq;
+    int throttleLeft = 0;
+
+    // Current baseline so the series starts at equilibrium. Power
+    // arrives as pJ/cycle; watts = pJ/cycle x GHz x 1e-3.
+    auto ampsOf = [&](double pjPerCycle) {
+        return pjPerCycle * p.ghz * 1e-3 / p.supplyVolts;
+    };
+    // The baseline averages the leading cycles: cycle 0 can carry
+    // measurement-window boundary pile-up and must not define the
+    // operating point.
+    size_t lead = std::min<size_t>(powerPjPerCycle.size(), 128);
+    double base = 0.0;
+    for (size_t i = 0; i < lead; ++i)
+        base += powerPjPerCycle[i];
+    base /= static_cast<double>(lead);
+    z = ampsOf(base) * p.gridOhms;
+
+    for (float pw : powerPjPerCycle) {
+        double current = ampsOf(pw);
+        if (throttleLeft > 0) {
+            current *= p.throttleCut;
+            --throttleLeft;
+            ++trace.throttledCycles;
+        }
+        double target = current * p.gridOhms;
+        double acc = w * w * (target - z) - 2.0 * p.damping * w * u;
+        u += acc;
+        z += u;
+        double v = p.supplyVolts - z;
+        trace.voltage.push_back(static_cast<float>(v));
+        trace.minVoltage = std::min(trace.minVoltage, v);
+
+        // The DDS measures timing margin in the sub-ns range and
+        // engages the coarse throttle the cycle the margin collapses.
+        if (p.ddsEnabled && v < p.ddsThresholdVolts &&
+            throttleLeft == 0) {
+            throttleLeft = p.throttleCycles;
+            ++trace.ddsTrips;
+        }
+    }
+    return trace;
+}
+
+} // namespace p10ee::pm

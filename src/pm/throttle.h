@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Core throttling and the Digital Droop Sensor (paper §IV-B).
+ *
+ * Two throttle flavours:
+ *  - Fine-grained instruction throttling driven by the Power Proxy: a
+ *    control loop reads the proxy estimate each interval and steps the
+ *    dispatch-rate limiter to keep the core under a power budget at
+ *    fixed frequency (Fmin / fixed-frequency customers).
+ *  - Coarse throttling on voltage droop: a second-order power-grid
+ *    model responds to workload current steps; the embedded DDS watches
+ *    timing margin at sub-ns resolution and engages coarse controls
+ *    until the droop recovers.
+ */
+
+#ifndef P10EE_PM_THROTTLE_H
+#define P10EE_PM_THROTTLE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace p10ee::pm {
+
+/** Proxy-driven fine-grained throttle loop parameters. */
+struct ThrottleParams
+{
+    double budgetPj = 0.0;      ///< per-cycle power budget
+    int levels = 8;             ///< dispatch-rate limiter steps
+    double powerPerLevel = 0.08;///< power cut per step
+    double perfPerLevel = 0.10; ///< throughput cut per step
+    int intervalCycles = 64;    ///< proxy read-out period
+};
+
+/** Outcome of a fine-grained throttling run. */
+struct ThrottleTrace
+{
+    std::vector<int> level;       ///< limiter step per interval
+    std::vector<double> powerPj;  ///< resulting power per interval
+    double meanPowerPj = 0.0;
+    double overBudgetFrac = 0.0;  ///< intervals still above budget
+    double meanPerf = 0.0;        ///< throughput retained (0..1)
+};
+
+/**
+ * Run the proxy-feedback throttle loop on an unthrottled per-interval
+ * power series (the proxy estimate of the running workload).
+ */
+ThrottleTrace runThrottleLoop(const std::vector<float>& rawPowerPj,
+                              const ThrottleParams& params);
+
+/** Power-grid and DDS parameters. */
+struct DroopParams
+{
+    double supplyVolts = 0.95;
+    double ghz = 4.0;            ///< converts pJ/cycle to watts
+    double gridOhms = 0.004;     ///< effective supply impedance
+    double naturalFreq = 0.045;  ///< rad/cycle of the grid resonance
+    double damping = 0.28;       ///< damping ratio (underdamped)
+    double ddsThresholdVolts = 0.862; ///< margin trip point (below the
+                                      ///< worst steady-state sag)
+    int throttleCycles = 48;     ///< coarse-throttle hold per trip
+    double throttleCut = 0.5;    ///< activity cut while engaged
+    bool ddsEnabled = true;
+};
+
+/** Droop simulation result. */
+struct DroopTrace
+{
+    std::vector<float> voltage; ///< per-cycle supply at the core
+    double minVoltage = 0.0;
+    int ddsTrips = 0;
+    uint64_t throttledCycles = 0;
+};
+
+/**
+ * Drive the second-order grid model with a per-cycle power series
+ * (current = power / supply). With the DDS enabled, trips engage the
+ * coarse throttle, which cuts current and arrests the droop.
+ */
+DroopTrace simulateDroop(const std::vector<float>& powerPjPerCycle,
+                         const DroopParams& params);
+
+} // namespace p10ee::pm
+
+#endif // P10EE_PM_THROTTLE_H

@@ -1,0 +1,61 @@
+#include "pm/wof.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace p10ee::pm {
+
+double
+Wof::voltageAt(double freqGhz) const
+{
+    return p_.vNom + p_.vSlope * (freqGhz - p_.fNomGhz);
+}
+
+double
+Wof::dynAtNominal() const
+{
+    return p_.tdpWatts - p_.leakNomWatts;
+}
+
+double
+Wof::powerAt(double ceffRatio, double freqGhz, bool mmaGated) const
+{
+    double v = voltageAt(freqGhz);
+    double vr = v / p_.vNom;
+    // Dynamic power: Ceff * V^2 * f, normalized so the design-point
+    // workload at nominal V/f consumes exactly TDP.
+    double dyn = dynAtNominal() * ceffRatio * vr * vr *
+                 (freqGhz / p_.fNomGhz);
+    double leak = p_.leakNomWatts * std::pow(vr, p_.leakVExp);
+    if (mmaGated)
+        leak -= p_.mmaLeakWatts * std::pow(vr, p_.leakVExp);
+    return dyn + leak;
+}
+
+WofPoint
+Wof::optimize(double ceffRatio, bool mmaGated) const
+{
+    P10_ASSERT(ceffRatio > 0.0, "effective capacitance ratio");
+    WofPoint best;
+    best.freqGhz = p_.fMinGhz;
+    // Walk the discrete firmware frequency steps from the top; the
+    // first point under the limit wins. The walk is over a fixed grid,
+    // so two parts with the same sort and configuration always produce
+    // the same answer.
+    long steps = std::lround((p_.fMaxGhz - p_.fMinGhz) / p_.fStepGhz);
+    for (long i = steps; i >= 0; --i) {
+        double f = p_.fMinGhz + static_cast<double>(i) * p_.fStepGhz;
+        double w = powerAt(ceffRatio, f, mmaGated);
+        if (w <= p_.tdpWatts || i == 0) {
+            best.freqGhz = f;
+            best.voltage = voltageAt(f);
+            best.powerWatts = w;
+            best.boost = f / p_.fNomGhz;
+            return best;
+        }
+    }
+    return best;
+}
+
+} // namespace p10ee::pm

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Workload Optimized Frequency (paper §IV-A).
+ *
+ * WOF raises the operating point of workloads that do not consume the
+ * thermal/voltage design-point power, deterministically: the workload's
+ * power at nominal conditions is expressed as an effective-capacitance
+ * ratio against the design-point workload, and firmware solves for the
+ * highest frequency (with its matching voltage) that keeps the socket
+ * under the power limit. Idle power-gated regions (e.g. the MMA unit)
+ * return their leakage to the budget.
+ */
+
+#ifndef P10EE_PM_WOF_H
+#define P10EE_PM_WOF_H
+
+namespace p10ee::pm {
+
+/** Electrical/thermal design parameters of one core's WOF domain. */
+struct WofParams
+{
+    double tdpWatts = 15.0;   ///< per-core share of the socket limit
+    double fNomGhz = 4.0;     ///< nominal (guaranteed) frequency
+    double fMinGhz = 2.8;
+    double fMaxGhz = 4.8;
+    double vNom = 0.95;       ///< volts at nominal frequency
+    double vSlope = 0.18;     ///< volts per GHz along the VF curve
+    double leakNomWatts = 2.2;///< leakage at nominal voltage
+    double leakVExp = 2.0;    ///< leakage ~ V^exp
+    double mmaLeakWatts = 0.35; ///< reclaimable when the MMA is gated
+    double fStepGhz = 0.0125; ///< firmware frequency step granularity
+};
+
+/** One WOF decision. */
+struct WofPoint
+{
+    double freqGhz = 0.0;
+    double voltage = 0.0;
+    double powerWatts = 0.0; ///< projected at the chosen point
+    double boost = 0.0;      ///< freq / fNom
+};
+
+/** Deterministic WOF frequency solver. */
+class Wof
+{
+  public:
+    explicit Wof(const WofParams& params) : p_(params) {}
+
+    /** Voltage on the VF curve at @p freqGhz. */
+    double voltageAt(double freqGhz) const;
+
+    /**
+     * Dynamic+leakage power of a workload with effective-capacitance
+     * ratio @p ceffRatio (1.0 = the design-point workload) at
+     * @p freqGhz.
+     */
+    double powerAt(double ceffRatio, double freqGhz,
+                   bool mmaGated = false) const;
+
+    /**
+     * The WOF operating point: the highest frequency step whose
+     * projected power stays within TDP. Deterministic — identical
+     * inputs always give the identical boost (the paper's contrast
+     * with opportunistic turbo schemes).
+     */
+    WofPoint optimize(double ceffRatio, bool mmaGated = false) const;
+
+    const WofParams& params() const { return p_; }
+
+  private:
+    double dynAtNominal() const;
+
+    WofParams p_;
+};
+
+} // namespace p10ee::pm
+
+#endif // P10EE_PM_WOF_H

@@ -1,0 +1,74 @@
+#include "pm/yield.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/rng.h"
+
+namespace p10ee::pm {
+
+YieldResult
+analyzeYield(const YieldParams& p, uint64_t chips, uint64_t seed)
+{
+    P10_ASSERT(chips > 0, "no chips to analyze");
+    P10_ASSERT(p.coresOffered <= p.coresPerChip, "offering too large");
+    common::Xoshiro rng(seed);
+
+    YieldResult r;
+    int bins = 24;
+    r.freqBins.assign(static_cast<size_t>(bins), 0);
+
+    uint64_t goodCly = 0;
+    uint64_t goodPfly = 0;
+    uint64_t sellable = 0;
+
+    for (uint64_t c = 0; c < chips; ++c) {
+        // Core Limited Yield: enough defect-free cores on the die?
+        int good = 0;
+        for (int k = 0; k < p.coresPerChip; ++k)
+            good += !rng.chance(p.coreDefectProb);
+        bool clyOk = good >= p.coresOffered;
+
+        // Per-chip process corner: frequency capability and power.
+        double chipF = p.fCapGhz + rng.gauss() * p.fSigmaGhz;
+        // The chip runs at the slowest offered core; with coresOffered
+        // draws the expected minimum sits below the chip mean.
+        double slowest = chipF;
+        for (int k = 0; k < p.coresOffered; ++k)
+            slowest = std::min(slowest,
+                               chipF + rng.gauss() * p.coreSigmaGhz);
+
+        double chipPowerScale = 1.0 + rng.gauss() * p.powerSigmaFrac;
+
+        // Power Frequency Limited Yield: does the part deliver fNom
+        // within the socket envelope? Voltage must rise to close any
+        // frequency shortfall, which costs quadratic power.
+        double vNeeded = p.vNom;
+        if (slowest < p.fNomGhz)
+            vNeeded += (p.fNomGhz - slowest) * p.vSlopePerGhz * 2.0;
+        double vr = vNeeded / p.vNom;
+        double watts = p.powerNomWatts * chipPowerScale * vr * vr *
+                           static_cast<double>(p.coresOffered) +
+                       p.uncoreWatts * vr * vr;
+        bool pflyOk = watts <= p.socketPowerLimit;
+
+        goodCly += clyOk;
+        goodPfly += pflyOk;
+        sellable += clyOk && pflyOk;
+
+        // Bin by achievable frequency at the power limit.
+        double shortfall = std::max(0.0, p.fNomGhz - slowest);
+        int bin = std::min(bins - 1,
+                           static_cast<int>(shortfall / r.binStepGhz));
+        ++r.freqBins[static_cast<size_t>(bin)];
+    }
+
+    double n = static_cast<double>(chips);
+    r.cly = static_cast<double>(goodCly) / n;
+    r.pfly = static_cast<double>(goodPfly) / n;
+    r.sellable = static_cast<double>(sellable) / n;
+    return r;
+}
+
+} // namespace p10ee::pm

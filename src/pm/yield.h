@@ -1,0 +1,62 @@
+/**
+ * @file
+ * PFLY / CLY yield analysis (paper §III-C, §IV-A).
+ *
+ * The paper's absolute pre-silicon power projections feed Power
+ * Frequency Limited Yield (PFLY) and Core Limited Yield (CLY) analysis
+ * for product-offering decisions: given per-part process variation,
+ * what fraction of manufactured chips can be sold at a given frequency
+ * offering within the power envelope, and what fraction has enough
+ * defect-free cores. This module implements both with a deterministic
+ * Monte Carlo over simulated parts.
+ */
+
+#ifndef P10EE_PM_YIELD_H
+#define P10EE_PM_YIELD_H
+
+#include <cstdint>
+#include <vector>
+
+namespace p10ee::pm {
+
+/** Process-variation and product-definition parameters. */
+struct YieldParams
+{
+    int coresPerChip = 16;      ///< built cores
+    int coresOffered = 15;      ///< functional cores the sort requires
+    double coreDefectProb = 0.03; ///< independent per-core defect rate
+
+    double fNomGhz = 4.0;       ///< nominal offering frequency
+    double fCapGhz = 4.05;      ///< process capability center (fmax)
+    double fSigmaGhz = 0.12;    ///< per-chip fmax spread (process)
+    double coreSigmaGhz = 0.05; ///< per-core fmax spread within a chip
+
+    double powerNomWatts = 15.0;  ///< per-core power at nominal V/f
+    double powerSigmaFrac = 0.06; ///< per-chip leakage/power spread
+    double socketPowerLimit = 290.0;
+    double uncoreWatts = 45.0;
+    double vNom = 0.95;
+    double vSlopePerGhz = 0.18;
+};
+
+/** Outcome of a yield study. */
+struct YieldResult
+{
+    double cly = 0.0;    ///< fraction with >= coresOffered good cores
+    double pfly = 0.0;   ///< fraction meeting fNom within the envelope
+    double sellable = 0.0; ///< both constraints together
+    /** Chip count per frequency bin (50 MHz steps below nominal). */
+    std::vector<uint64_t> freqBins;
+    double binStepGhz = 0.05;
+};
+
+/**
+ * Simulate @p chips parts and classify them against the offering.
+ * Deterministic for a given @p seed.
+ */
+YieldResult analyzeYield(const YieldParams& params, uint64_t chips,
+                         uint64_t seed = 99);
+
+} // namespace p10ee::pm
+
+#endif // P10EE_PM_YIELD_H

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * APEX: accelerated power extraction (paper §III-C).
+ *
+ * The paper's APEX instruments the RTL with edge/level-triggered LFSR
+ * switching counters, reads them at configurable intervals on the Awan
+ * accelerator, and produces power reports ~5000x faster than RTL
+ * simulation at identical accuracy. The analogue here: instead of the
+ * cycle-by-cycle reference walk (EnergyModel::evalPerCycle, cost
+ * O(cycles x components)), the extractor buckets the instruction event
+ * trace into interval counters in one pass (cost O(instructions)) and
+ * evaluates the component model once per interval.
+ */
+
+#ifndef P10EE_POWER_APEX_H
+#define P10EE_POWER_APEX_H
+
+#include <vector>
+
+#include "core/result.h"
+#include "power/energy.h"
+
+namespace p10ee::power {
+
+/** Interval-sampled power extraction over one run. */
+class ApexExtractor
+{
+  public:
+    /**
+     * @param model the component model to evaluate.
+     * @param intervalCycles counter read-out interval.
+     */
+    ApexExtractor(const EnergyModel& model, uint64_t intervalCycles);
+
+    /**
+     * Per-interval average power (pJ/cycle). One pass over the
+     * instruction trace; no per-cycle walk.
+     * @pre run.timings non-empty.
+     */
+    std::vector<float> intervalPower(const core::RunResult& run) const;
+
+    uint64_t interval() const { return interval_; }
+
+  private:
+    const EnergyModel& model_;
+    uint64_t interval_;
+};
+
+/** Result of validating APEX against the detailed reference. */
+struct ApexComparison
+{
+    double detailedMeanPj = 0.0;
+    double apexMeanPj = 0.0;
+    double meanAbsErrorFrac = 0.0; ///< per-interval |err| / reference
+    double detailedSeconds = 0.0;
+    double apexSeconds = 0.0;
+    double speedup = 0.0;
+};
+
+/**
+ * Run both paths over @p run at @p intervalCycles granularity, compare
+ * per-interval energies, and time both (the §III-C speedup experiment).
+ */
+ApexComparison compareApexVsDetailed(const EnergyModel& model,
+                                     const core::RunResult& run,
+                                     uint64_t intervalCycles = 1000);
+
+} // namespace p10ee::power
+
+#endif // P10EE_POWER_APEX_H

@@ -1,0 +1,268 @@
+#include "power/components.h"
+
+#include <cmath>
+
+namespace p10ee::power {
+
+using core::CoreConfig;
+
+namespace {
+
+/**
+ * All energies are in pJ per event; latch populations in kilolatches;
+ * leakage in pJ per cycle. Absolute power at the nominal operating
+ * point is pJ/cycle x frequency; evalWatts() in energy.h applies the
+ * 4 GHz-class nominal frequency. Values are calibration constants of
+ * this reproduction (a stand-in for Einspower's extracted capacitances)
+ * chosen so a POWER9-class core lands in the published per-core power
+ * band and the POWER10 deltas follow from the config.
+ */
+constexpr double kLeakPerKlatch = 0.8; ///< pJ/cycle per kilolatch
+constexpr double kEventScale = 35.0;   ///< pJ per unit event weight
+
+/** Base (ungated) clock fraction for a unit with design quality q. */
+double
+base(double unitWorstFrac, const CoreConfig& cfg)
+{
+    return unitWorstFrac * (1.0 - cfg.clockGateQuality);
+}
+
+/** Ghost-switching factor for design quality q. */
+double
+ghost(const CoreConfig& cfg)
+{
+    return 0.45 * (1.0 - cfg.dataGateQuality);
+}
+
+ComponentSpec
+make(std::string name, double klatches, double baseFrac,
+     std::vector<Driver> clocks, std::vector<Driver> events,
+     const CoreConfig& cfg)
+{
+    ComponentSpec c;
+    c.name = std::move(name);
+    c.kLatches = klatches;
+    c.baseClockFrac = base(baseFrac, cfg);
+    c.clockDrivers = std::move(clocks);
+    c.eventDrivers = std::move(events);
+    // Clock enables respond sub-linearly to event bursts (a unit's
+    // latches are clocked once per cycle no matter how many of its
+    // events land in that cycle); the damped weight keeps the per-cycle
+    // clock fraction in its linear region.
+    for (auto& d : c.clockDrivers)
+        d.weight *= 0.65;
+    for (auto& d : c.eventDrivers)
+        d.weight *= kEventScale * cfg.switchEnergyScale;
+    c.ghostFactor = ghost(cfg);
+    c.leakagePj = klatches * kLeakPerKlatch;
+    c.clockEnergyScale = cfg.latchClockScale;
+    return c;
+}
+
+} // namespace
+
+std::vector<ComponentSpec>
+coreComponents(const CoreConfig& cfg)
+{
+    std::vector<ComponentSpec> v;
+    v.reserve(39);
+
+    double fw = cfg.fetchWidth;
+    double dw = cfg.decodeWidth;
+
+    // ---------------- Front end (8) ----------------
+    v.push_back(make("fetch_ctl", 14, 0.9,
+        {{"fetch.instr", 1.0 / fw}},
+        {{"fetch.instr", 1.1}, {"flush.wasted", 1.1}}, cfg));
+    v.push_back(make("l1i_array",
+        3.0 + cfg.l1i.sizeBytes / (64.0 * 1024.0), 0.4,
+        {{"fetch.line", 1.0}},
+        {{"fetch.line", 16.0}, {"l1i.miss", 22.0}}, cfg));
+    v.push_back(make("ierat", 3, 0.5,
+        {{"ierat.access", 0.5}},
+        {{"ierat.access", 6.0}, {"ierat.miss", 12.0}}, cfg));
+    v.push_back(make("bp_bimodal",
+        1.5 * (1 << cfg.bp.bimodalBits) / 8192.0, 0.6,
+        {{"bp.lookup", 0.5}},
+        {{"bp.lookup", 1.2}}, cfg));
+    v.push_back(make("bp_gshare",
+        2.0 * (1 << cfg.bp.gshareBits) / 8192.0 +
+            (cfg.bp.secondGshare ? 2.0 * (1 << cfg.bp.gshare2Bits) /
+                                       8192.0 : 0.0) +
+            (cfg.bp.localPattern ? 1.5 : 0.0),
+        0.6,
+        {{"bp.lookup", 0.5}},
+        {{"bp.lookup", 1.8}}, cfg));
+    v.push_back(make("bp_indirect",
+        1.0 * (1 << cfg.bp.indirectBits) * cfg.bp.indirectWays / 512.0,
+        0.5,
+        {{"bp.lookup", 1.0}},
+        {{"bp.lookup", 0.6}}, cfg));
+    v.push_back(make("ibuffer", 8, 0.8,
+        {{"decode.op", 1.0 / dw}},
+        {{"fetch.instr", 0.7}, {"flush.wasted", 0.4}}, cfg));
+    v.push_back(make("predecode_fusion", cfg.fusion ? 6.0 : 1.5, 0.7,
+        {{"fetch.instr", 1.0 / fw}},
+        {{"fetch.instr", cfg.fusion ? 0.5 : 0.1}}, cfg));
+
+    // ---------------- Decode / dispatch (5) ----------------
+    v.push_back(make("decode_pipe0", 10, 0.85,
+        {{"decode.op", 1.0 / dw}},
+        {{"decode.op", 1.6}}, cfg));
+    v.push_back(make("decode_pipe1", 10 * dw / 8.0, 0.85,
+        {{"decode.op", 1.0 / dw}},
+        {{"decode.op", 1.2}}, cfg));
+    v.push_back(make("microcode_rom", 3, 0.3,
+        {{"decode.op", 0.2}},
+        {{"decode.op", 0.1}}, cfg));
+    v.push_back(make("dispatch_ctl", 8, 0.85,
+        {{"dispatch.op", 1.0 / dw}},
+        {{"dispatch.op", 1.0}}, cfg));
+    v.push_back(make("rename_map", 12, 0.8,
+        {{"rf.write", 0.2}},
+        {{"rename.write", 2.0}}, cfg));
+
+    // ---------------- Backend control (6) ----------------
+    v.push_back(make("instr_table", cfg.robSize * 0.055, 0.7,
+        {{"dispatch.op", 0.5}},
+        {{"dispatch.op", 1.2}, {"commit.op", 1.0}}, cfg));
+    // POWER9's reservation stations carry extra latch population and
+    // CAM-search energy; the unified-RF design removes them (§II-B).
+    double rsExtraLatch = cfg.unifiedRf ? 0.0 : 7.0;
+    double rsExtraEvt = cfg.unifiedRf ? 0.0 : 1.4;
+    v.push_back(make("issue_fx0", 8 + rsExtraLatch, 0.8,
+        {{"issue.alu", 1.0}},
+        {{"issue.alu", 1.0 + rsExtraEvt}}, cfg));
+    v.push_back(make("issue_fx1", 8 + rsExtraLatch, 0.8,
+        {{"issue.mul", 2.0}, {"issue.div", 2.0}, {"issue.br", 1.0}},
+        {{"issue.mul", 1.0 + rsExtraEvt}, {"issue.br", 0.8}}, cfg));
+    v.push_back(make("issue_vsu", 10 + rsExtraLatch, 0.8,
+        {{"issue.fp", 1.0}, {"issue.vsu_int", 1.0}, {"issue.mma", 1.0}},
+        {{"issue.fp", 1.0 + rsExtraEvt},
+         {"issue.vsu_int", 1.0 + rsExtraEvt}}, cfg));
+    v.push_back(make("completion", 8, 0.85,
+        {{"commit.op", 1.0 / cfg.commitWidth}},
+        {{"commit.op", 0.8}}, cfg));
+    v.push_back(make("flush_ctl", 4, 0.5,
+        {{"bp.mispredict", 4.0}},
+        {{"bp.mispredict", 30.0}, {"flush.wasted", 0.3}}, cfg));
+
+    // ---------------- Register files (3) ----------------
+    // The unified sliced RF has only two write ports per building block:
+    // lower write energy despite the larger rename capacity.
+    double rfWrite = cfg.unifiedRf ? 1.4 : 2.2;
+    v.push_back(make("rf_gpr", cfg.unifiedRf ? 10.0 : 8.0, 0.6,
+        {{"rf.write", 0.4}},
+        {{"rf.read", 1.0}, {"rf.write", rfWrite}}, cfg));
+    v.push_back(make("rf_vsr", cfg.unifiedRf ? 14.0 : 12.0, 0.6,
+        {{"issue.fp", 1.0}, {"issue.vsu_int", 1.0}},
+        {{"issue.fp", 2.2}, {"issue.vsu_int", 2.0},
+         {"issue.mma", 2.2}}, cfg));
+    v.push_back(make("rf_spr", 2, 0.4,
+        {{"issue.br", 0.5}},
+        {{"issue.br", 0.3}}, cfg));
+
+    // ---------------- Execution (7) ----------------
+    double aluScale = cfg.aluPorts / 4.0;
+    v.push_back(make("alu_simple", 9 * aluScale, 0.8,
+        {{"issue.alu", 1.0 / cfg.aluPorts}},
+        {{"issue.alu", 3.2}, {"sw.alu", 5.5 / 307.0}}, cfg));
+    v.push_back(make("alu_complex", 7, 0.4,
+        {{"issue.mul", 3.0}, {"issue.div", 10.0}},
+        {{"issue.mul", 12.0}, {"issue.div", 40.0}}, cfg));
+    v.push_back(make("bru", 4, 0.7,
+        {{"issue.br", 1.0}},
+        {{"issue.br", 2.0}}, cfg));
+    double fpScale = cfg.fpPorts / 2.0;
+    v.push_back(make("vsu_fp0", 13 * fpScale, 0.75,
+        {{"issue.fp", 1.0 / cfg.fpPorts}},
+        {{"vsu.fp", 9.0}, {"fp.scalar", 6.0},
+         {"sw.vsu", 8.0 / 307.0}}, cfg));
+    v.push_back(make("vsu_fp1", 13 * fpScale, 0.75,
+        {{"issue.fp", 1.0 / cfg.fpPorts}},
+        {{"vsu.fp", 7.5}, {"sw.fp", 5.0 / 307.0}}, cfg));
+    v.push_back(make("vsu_int", 9 * cfg.vsuIntPorts / 2.0, 0.7,
+        {{"issue.vsu_int", 1.0}},
+        {{"vsu.int", 7.0}}, cfg));
+    v.push_back(make("crypto_dfu", 6, 0.2,
+        {{"issue.vsu_int", 0.1}},
+        {}, cfg));
+
+    // ---------------- MMA (2) ----------------
+    {
+        double grid = cfg.mmaUnits > 0 ? 11.0 * cfg.mmaUnits : 0.0;
+        // The 4x4 outer-product grid: one ger produces 512 result bits
+        // from 256 input bits; energy per flop is far below the VSU's.
+        ComponentSpec mmaGrid = make("mma_grid", grid, 0.3,
+            {{"mma.ger", 1.0}},
+            {{"mma.ger", 44.0}, {"sw.mma", 16.0 / 307.0}}, cfg);
+        mmaGrid.powerGated = true;
+        v.push_back(mmaGrid);
+        ComponentSpec mmaAcc = make("mma_acc",
+            cfg.mmaUnits > 0 ? 5.0 * cfg.mmaUnits : 0.0, 0.3,
+            {{"mma.ger", 1.0}, {"mma.move", 1.0}},
+            {{"mma.ger", 9.0}, {"mma.move", 12.0}}, cfg);
+        mmaAcc.powerGated = true;
+        v.push_back(mmaAcc);
+    }
+
+    // ---------------- LSU (8) ----------------
+    // The EA-tagged, slice-oriented LSU avoids per-access translation
+    // and uses the cache index as an address proxy: lower control
+    // energy per access (§II-B).
+    double lsuEvt = cfg.eaTaggedL1 ? 1.6 : 2.4;
+    v.push_back(make("lsu_ctl", 16 * (cfg.ldPorts + cfg.stPorts) / 4.0,
+        0.8,
+        {{"lsu.ld", 0.5 / cfg.ldPorts}, {"lsu.st", 0.5 / cfg.stPorts}},
+        {{"lsu.ld", lsuEvt}, {"lsu.st", lsuEvt}}, cfg));
+    v.push_back(make("l1d_array",
+        3.0 + cfg.l1d.sizeBytes / (64.0 * 1024.0), 0.5,
+        {{"l1d.read", 1.0}, {"l1d.write", 1.0}},
+        {{"l1d.read", 10.0}, {"l1d.write", 8.0},
+         {"l1d.miss", 14.0}}, cfg));
+    v.push_back(make("derat", 3, 0.5,
+        {{"derat.access", 0.3}},
+        {{"derat.access", 6.0}, {"derat.miss", 12.0}}, cfg));
+    v.push_back(make("tlb", 2.0 + cfg.tlbEntries / 1024.0, 0.3,
+        {{"tlb.access", 1.0}},
+        {{"tlb.access", 8.0}, {"tlb.miss", 100.0}}, cfg));
+    v.push_back(make("ldq", cfg.ldqSizeSmt * 0.045, 0.7,
+        {{"lsu.ld", 1.0}},
+        {{"lsu.ld", 1.5}}, cfg));
+    v.push_back(make("stq", cfg.stqSizeSmt * 0.05, 0.7,
+        {{"lsu.st", 1.0}},
+        {{"lsu.st", 1.5}}, cfg));
+    v.push_back(make("lmq", 2, 0.5,
+        {{"l1d.miss", 1.5}},
+        {{"l1d.miss", 3.0}}, cfg));
+    v.push_back(make("prefetch", 3, 0.5,
+        {{"l1d.miss", 2.0}},
+        {{"pf.issued", 6.0}, {"l1d.miss", 1.0}}, cfg));
+
+    return v;
+}
+
+std::vector<ComponentSpec>
+chipComponents(const CoreConfig& cfg)
+{
+    std::vector<ComponentSpec> v;
+    v.push_back(make("l2_ctl", 28, 0.5,
+        {{"l2.access", 1.0}},
+        {{"l2.access", 22.0}}, cfg));
+    ComponentSpec l2a = make("l2_array", 0.0, 0.0,
+        {},
+        {{"l2.access", 28.0}, {"l2.miss", 10.0}}, cfg);
+    l2a.leakagePj = cfg.l2.sizeBytes / (1024.0 * 1024.0) * 55.0;
+    v.push_back(l2a);
+    ComponentSpec l3a = make("l3_array", 10.0, 0.2,
+        {{"l3.access", 1.5}},
+        {{"l3.access", 45.0}, {"l3.miss", 15.0}}, cfg);
+    l3a.leakagePj += cfg.l3.sizeBytes / (1024.0 * 1024.0) * 40.0;
+    v.push_back(l3a);
+    v.push_back(make("mem_if", 12, 0.4,
+        {{"mem.access", 3.0}},
+        {{"mem.access", 150.0}}, cfg));
+    return v;
+}
+
+} // namespace p10ee::power

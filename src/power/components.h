@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The 39-component core power decomposition (paper §III-B/§III-D).
+ *
+ * The paper's Einspower flow reports power at hardware-macro granularity;
+ * its bottom-up M1-linked model decomposes the core into 39 components.
+ * This module defines the same decomposition for the simulator: each
+ * component carries a latch population, a clock-gating behaviour (which
+ * activity counters enable its latch clocks), per-event switching
+ * energies, and leakage — derived mechanistically from the CoreConfig so
+ * the POWER9/POWER10 power difference follows from the designs, not from
+ * per-machine fudge tables.
+ */
+
+#ifndef P10EE_POWER_COMPONENTS_H
+#define P10EE_POWER_COMPONENTS_H
+
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+
+namespace p10ee::power {
+
+/** One named driver: a stat name with a weight. */
+struct Driver
+{
+    std::string stat;
+    double weight = 1.0;
+};
+
+/** Power description of one core component. */
+struct ComponentSpec
+{
+    std::string name;
+
+    /** Latch population in kilolatches. */
+    double kLatches = 0.0;
+
+    /**
+     * Fraction of cycles this component's latch clocks run regardless of
+     * activity — the clock-gating inefficiency. POWER9-era designs added
+     * gating late (high base); POWER10 designs are "off by default".
+     */
+    double baseClockFrac = 0.0;
+
+    /**
+     * Activity that enables the component's clocks: clocked cycles are
+     * min(cycles, sum of weight*count over drivers) on the aggregate
+     * path.
+     */
+    std::vector<Driver> clockDrivers;
+
+    /** Switching events (data/logic/array) with per-event energy (pJ). */
+    std::vector<Driver> eventDrivers;
+
+    /**
+     * Ghost-switching factor: extra data switching that does not
+     * correspond to a write (paper §II-B tracked and minimized this).
+     */
+    double ghostFactor = 0.0;
+
+    /** Static leakage in pJ per cycle (always on unless power-gated). */
+    double leakagePj = 0.0;
+
+    /** True for the MMA unit: can be power-gated when idle (§IV-A). */
+    bool powerGated = false;
+
+    /** Latch-clock energy scale (design-style, from the CoreConfig). */
+    double clockEnergyScale = 1.0;
+};
+
+/**
+ * Build the 39-component core decomposition for @p cfg. Component
+ * count is fixed; populations and gating derive from the configuration.
+ */
+std::vector<ComponentSpec> coreComponents(const core::CoreConfig& cfg);
+
+/**
+ * Chip-level additions outside the core's 39 components: L2/L3 arrays
+ * and control plus the memory interface.
+ */
+std::vector<ComponentSpec> chipComponents(const core::CoreConfig& cfg);
+
+} // namespace p10ee::power
+
+#endif // P10EE_POWER_COMPONENTS_H

@@ -1,0 +1,88 @@
+#include "power/cycle_stats.h"
+
+#include <map>
+
+#include "isa/op.h"
+
+namespace p10ee::power::cyc {
+
+int
+idOf(const std::string& name)
+{
+    static const std::map<std::string, int> table = {
+        {"issue.alu", kIssueAlu}, {"issue.mul", kIssueMul},
+        {"issue.div", kIssueDiv}, {"issue.fp", kIssueFp},
+        {"issue.vsu_int", kIssueVsuInt}, {"issue.ld", kIssueLd},
+        {"issue.st", kIssueSt}, {"issue.br", kIssueBr},
+        {"issue.mma", kIssueMma}, {"vsu.fp", kVsuFp},
+        {"vsu.int", kVsuInt}, {"fp.scalar", kFpScalar},
+        {"mma.ger", kMmaGer}, {"mma.move", kMmaMove},
+        {"lsu.ld", kLsuLd}, {"lsu.st", kLsuSt},
+        {"l1d.read", kL1dRead}, {"l1d.write", kL1dWrite},
+        {"rf.read", kRfRead}, {"rf.write", kRfWrite},
+        {"sw.alu", kSwAlu}, {"sw.fp", kSwFp}, {"sw.vsu", kSwVsu},
+        {"sw.ls", kSwLs}, {"sw.mma", kSwMma},
+    };
+    auto it = table.find(name);
+    return it == table.end() ? -1 : it->second;
+}
+
+namespace {
+
+template <typename T>
+void
+addEvents(const core::InstrTiming& t, T* ev)
+{
+    using isa::OpClass;
+    T tg = static_cast<T>(t.toggle * 1024.0f);
+    switch (t.op) {
+      case OpClass::IntAlu:
+        ev[kIssueAlu] += 1; ev[kSwAlu] += tg; break;
+      case OpClass::IntMul:
+        ev[kIssueMul] += 1; ev[kSwAlu] += tg; break;
+      case OpClass::IntDiv:
+        ev[kIssueDiv] += 1; ev[kSwAlu] += tg; break;
+      case OpClass::FpScalar:
+        ev[kIssueFp] += 1; ev[kFpScalar] += 1; ev[kSwFp] += tg; break;
+      case OpClass::VsuFp:
+        ev[kIssueFp] += 1; ev[kVsuFp] += 1; ev[kSwVsu] += tg; break;
+      case OpClass::VsuInt:
+      case OpClass::CryptoDfu:
+        ev[kIssueVsuInt] += 1; ev[kVsuInt] += 1; ev[kSwVsu] += tg; break;
+      case OpClass::Load:
+      case OpClass::Load32B:
+        ev[kIssueLd] += 1; ev[kLsuLd] += 1; ev[kL1dRead] += 1;
+        ev[kSwLs] += tg; break;
+      case OpClass::Store:
+      case OpClass::Store32B:
+        ev[kIssueSt] += 1; ev[kLsuSt] += 1; ev[kL1dWrite] += 1;
+        ev[kSwLs] += tg; break;
+      case OpClass::Branch:
+      case OpClass::BranchIndirect:
+        ev[kIssueBr] += 1; break;
+      case OpClass::MmaGer:
+        ev[kIssueMma] += 1; ev[kMmaGer] += 1; ev[kSwMma] += tg; break;
+      case OpClass::MmaMove:
+        ev[kIssueMma] += 1; ev[kMmaMove] += 1; break;
+      default:
+        break;
+    }
+    ev[kRfRead] += 2;
+    ev[kRfWrite] += 1;
+}
+
+} // namespace
+
+void
+addInstrEvents(const core::InstrTiming& timing, float* ev)
+{
+    addEvents(timing, ev);
+}
+
+void
+addInstrEvents(const core::InstrTiming& timing, double* ev)
+{
+    addEvents(timing, ev);
+}
+
+} // namespace p10ee::power::cyc

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Per-cycle-reconstructible activity stats shared by the power paths.
+ *
+ * The instruction event trace lets the power model rebuild these
+ * counters at any temporal granularity (per cycle for the detailed
+ * reference, per interval for APEX, per window for the Power Proxy).
+ * Stats not listed here (front-end, cache, predictor counters) are
+ * treated as temporally flat within a run.
+ */
+
+#ifndef P10EE_POWER_CYCLE_STATS_H
+#define P10EE_POWER_CYCLE_STATS_H
+
+#include <string>
+
+#include "core/result.h"
+
+namespace p10ee::power::cyc {
+
+/** Identifiers of the per-cycle-reconstructible stats. */
+enum CycleStat : int {
+    kIssueAlu, kIssueMul, kIssueDiv, kIssueFp, kIssueVsuInt,
+    kIssueLd, kIssueSt, kIssueBr, kIssueMma,
+    kVsuFp, kVsuInt, kFpScalar, kMmaGer, kMmaMove,
+    kLsuLd, kLsuSt, kL1dRead, kL1dWrite, kRfRead, kRfWrite,
+    kSwAlu, kSwFp, kSwVsu, kSwLs, kSwMma,
+    kNumCycleStats
+};
+
+/** Per-cycle id of a stat name, or -1 when it is a flat stat. */
+int idOf(const std::string& name);
+
+/** Accumulate one instruction's events into @p ev[kNumCycleStats]. */
+void addInstrEvents(const core::InstrTiming& timing, float* ev);
+
+/** Double-precision accumulate variant (interval/window sums). */
+void addInstrEvents(const core::InstrTiming& timing, double* ev);
+
+} // namespace p10ee::power::cyc
+
+#endif // P10EE_POWER_CYCLE_STATS_H

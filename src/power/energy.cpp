@@ -1,0 +1,281 @@
+#include "power/energy.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/assert.h"
+#include "isa/op.h"
+#include "power/cycle_stats.h"
+
+namespace p10ee::power {
+
+using core::RunResult;
+
+namespace {
+
+/** Latch-clock energy per kilolatch per clocked cycle (pJ). */
+constexpr double kClockPjPerKlatch = 13.0;
+
+} // namespace
+
+EnergyModel::EnergyModel(const core::CoreConfig& cfg, bool includeChip)
+    : components_(coreComponents(cfg))
+{
+    if (includeChip) {
+        auto chip = chipComponents(cfg);
+        components_.insert(components_.end(), chip.begin(), chip.end());
+    }
+}
+
+double
+EnergyModel::statOf(const common::StatSnapshot& stats,
+                    const std::string& name) const
+{
+    auto it = stats.find(name);
+    return it == stats.end() ? 0.0 : static_cast<double>(it->second);
+}
+
+double
+EnergyModel::componentPower(const ComponentSpec& comp,
+                            const common::StatSnapshot& stats,
+                            uint64_t cycles) const
+{
+    P10_ASSERT(cycles > 0, "zero-cycle window");
+    double cyc = static_cast<double>(cycles);
+
+    double clocked = comp.baseClockFrac;
+    for (const auto& d : comp.clockDrivers)
+        clocked += d.weight * statOf(stats, d.stat) / cyc;
+    clocked = std::min(1.0, clocked);
+    double clockPj = comp.kLatches * kClockPjPerKlatch *
+        comp.clockEnergyScale * clocked;
+
+    double switchPj = 0.0;
+    for (const auto& d : comp.eventDrivers)
+        switchPj += d.weight * statOf(stats, d.stat) / cyc;
+    switchPj *= 1.0 + comp.ghostFactor;
+
+    double leak = comp.leakagePj;
+    if (comp.powerGated) {
+        double activity = statOf(stats, "mma.ger") +
+                          statOf(stats, "mma.move");
+        if (activity == 0.0) {
+            leak = 0.0;
+            clockPj = 0.0;
+            switchPj = 0.0;
+        }
+    }
+    return clockPj + switchPj + leak;
+}
+
+double
+EnergyModel::staticPj() const
+{
+    double s = 0.0;
+    for (const auto& comp : components_) {
+        if (comp.powerGated)
+            continue; // gated units contribute no idle floor
+        s += comp.leakagePj + comp.kLatches * kClockPjPerKlatch *
+                                  comp.clockEnergyScale *
+                                  comp.baseClockFrac;
+    }
+    return s;
+}
+
+PowerBreakdown
+EnergyModel::evalCounters(const RunResult& run) const
+{
+    PowerBreakdown out;
+    double cyc = static_cast<double>(run.cycles ? run.cycles : 1);
+    for (const auto& comp : components_) {
+        double clocked = comp.baseClockFrac;
+        for (const auto& d : comp.clockDrivers)
+            clocked += d.weight * statOf(run.stats, d.stat) / cyc;
+        clocked = std::min(1.0, clocked);
+        double clockPj = comp.kLatches * kClockPjPerKlatch *
+        comp.clockEnergyScale * clocked;
+
+        double switchPj = 0.0;
+        for (const auto& d : comp.eventDrivers)
+            switchPj += d.weight * statOf(run.stats, d.stat) / cyc;
+        switchPj *= 1.0 + comp.ghostFactor;
+
+        double leak = comp.leakagePj;
+        if (comp.powerGated) {
+            double act = statOf(run.stats, "mma.ger") +
+                         statOf(run.stats, "mma.move");
+            if (act == 0.0) {
+                leak = 0.0;
+                clockPj = 0.0;
+                switchPj = 0.0;
+            }
+        }
+        out.clockPj += clockPj;
+        out.switchPj += switchPj;
+        out.leakPj += leak;
+        out.perComponent[comp.name] = clockPj + switchPj + leak;
+    }
+    out.totalPj = out.clockPj + out.switchPj + out.leakPj;
+    return out;
+}
+
+double
+EnergyModel::windowPowerPj(const RunResult& run, const double* eventSums,
+                           uint64_t windowCycles) const
+{
+    P10_ASSERT(windowCycles > 0, "empty window");
+    double wc = static_cast<double>(windowCycles);
+    double runCyc = static_cast<double>(run.cycles ? run.cycles : 1);
+    double mmaActivity = statOf(run.stats, "mma.ger") +
+                         statOf(run.stats, "mma.move");
+
+    double total = 0.0;
+    for (const auto& comp : components_) {
+        if (comp.powerGated && mmaActivity == 0.0)
+            continue;
+        double clocked = comp.baseClockFrac;
+        for (const auto& d : comp.clockDrivers) {
+            int id = cyc::idOf(d.stat);
+            double perCycle = id >= 0
+                ? eventSums[id] / wc
+                : statOf(run.stats, d.stat) / runCyc;
+            clocked += d.weight * perCycle;
+        }
+        clocked = std::min(1.0, clocked);
+        double p = comp.kLatches * kClockPjPerKlatch *
+            comp.clockEnergyScale * clocked;
+
+        double sw = 0.0;
+        for (const auto& d : comp.eventDrivers) {
+            int id = cyc::idOf(d.stat);
+            double perCycle = id >= 0
+                ? eventSums[id] / wc
+                : statOf(run.stats, d.stat) / runCyc;
+            sw += d.weight * perCycle;
+        }
+        p += sw * (1.0 + comp.ghostFactor);
+        p += comp.leakagePj;
+        total += p;
+    }
+    return total;
+}
+
+std::vector<float>
+EnergyModel::perCyclePower(const RunResult& run) const
+{
+    P10_ASSERT(!run.timings.empty(),
+               "detailed path needs collectTimings");
+    size_t cycles = static_cast<size_t>(run.cycles ? run.cycles : 1);
+
+    // Rebuild per-cycle event vectors from the instruction trace.
+    std::vector<std::array<float, cyc::kNumCycleStats>> ev(
+        cycles, std::array<float, cyc::kNumCycleStats>{});
+    for (const auto& t : run.timings) {
+        size_t c = std::min<size_t>(t.issue, cycles - 1);
+        cyc::addInstrEvents(t, ev[c].data());
+    }
+
+    // Pre-resolve each driver: per-cycle id or flat per-cycle value.
+    struct Resolved
+    {
+        int id;
+        double weight;
+        double flat; ///< per-cycle value when id < 0
+    };
+    struct CompResolved
+    {
+        const ComponentSpec* spec;
+        std::vector<Resolved> clocks;
+        std::vector<Resolved> events;
+        bool gatedOff;
+    };
+    double runCyc = static_cast<double>(cycles);
+    double mmaActivity = statOf(run.stats, "mma.ger") +
+                         statOf(run.stats, "mma.move");
+    std::vector<CompResolved> resolved;
+    resolved.reserve(components_.size());
+    for (const auto& comp : components_) {
+        CompResolved cr;
+        cr.spec = &comp;
+        cr.gatedOff = comp.powerGated && mmaActivity == 0.0;
+        for (const auto& d : comp.clockDrivers) {
+            int id = cyc::idOf(d.stat);
+            cr.clocks.push_back(
+                {id, d.weight,
+                 id < 0 ? statOf(run.stats, d.stat) / runCyc : 0.0});
+        }
+        for (const auto& d : comp.eventDrivers) {
+            int id = cyc::idOf(d.stat);
+            cr.events.push_back(
+                {id, d.weight,
+                 id < 0 ? statOf(run.stats, d.stat) / runCyc : 0.0});
+        }
+        resolved.push_back(std::move(cr));
+    }
+
+    // The expensive reference walk: every cycle, every component, and
+    // within each component its 16 latch sub-groups — the granularity
+    // RTL-level power simulation (and SERMiner) works at. Sub-group g
+    // clocks when the component's enable fraction covers it, so the
+    // sum over groups reproduces the component's clocked fraction
+    // exactly while each group's on/off state is individually resolved.
+    constexpr int kLatchGroups = 16;
+    std::vector<float> power(cycles, 0.0f);
+    for (size_t c = 0; c < cycles; ++c) {
+        double total = 0.0;
+        const auto& e = ev[c];
+        for (const auto& cr : resolved) {
+            if (cr.gatedOff)
+                continue;
+            double clocked = cr.spec->baseClockFrac;
+            for (const auto& d : cr.clocks)
+                clocked += d.weight *
+                    (d.id >= 0 ? e[static_cast<size_t>(d.id)] : d.flat);
+            clocked = std::min(1.0, clocked);
+
+            double groupPj = cr.spec->kLatches * kClockPjPerKlatch *
+                cr.spec->clockEnergyScale /
+                static_cast<double>(kLatchGroups);
+            double p = 0.0;
+            double covered = clocked * kLatchGroups;
+            for (int g = 0; g < kLatchGroups; ++g) {
+                double remaining = covered - static_cast<double>(g);
+                if (remaining <= 0.0)
+                    break;
+                p += groupPj * std::min(1.0, remaining);
+            }
+
+            double sw = 0.0;
+            for (const auto& d : cr.events)
+                sw += d.weight *
+                    (d.id >= 0 ? e[static_cast<size_t>(d.id)] : d.flat);
+            p += sw * (1.0 + cr.spec->ghostFactor);
+            p += cr.spec->leakagePj;
+            total += p;
+        }
+        power[c] = static_cast<float>(total);
+    }
+    return power;
+}
+
+PowerBreakdown
+EnergyModel::evalPerCycle(const RunResult& run) const
+{
+    std::vector<float> series = perCyclePower(run);
+    PowerBreakdown out;
+    double sum = 0.0;
+    for (float p : series)
+        sum += p;
+    out.totalPj = sum / static_cast<double>(series.size());
+    // Component split on the detailed path is reported via the counter
+    // path; the detailed path's deliverable is the total and the series.
+    PowerBreakdown agg = evalCounters(run);
+    out.clockPj = agg.clockPj;
+    out.switchPj = agg.switchPj;
+    out.leakPj = agg.leakPj;
+    out.perComponent = agg.perComponent;
+    return out;
+}
+
+} // namespace p10ee::power

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The Einspower-substitute energy model and its two evaluation paths.
+ *
+ * Two ways to evaluate the same component model:
+ *  - evalCounters(): the APEX path — aggregate switching counters rolled
+ *    up with pre-extracted groupings (paper §III-C: LFSR counters read
+ *    at intervals, simplified on-the-fly power report).
+ *  - evalPerCycle(): the detailed path — walk every cycle of the run,
+ *    rebuild per-cycle unit activity from the instruction event trace,
+ *    apply per-cycle clock gating, and integrate. This is the slow,
+ *    reference-grade computation standing in for RTL-level Einspower.
+ *
+ * The APEX claim reproduced here: the counter path matches the detailed
+ * path's energy while being orders of magnitude cheaper to evaluate
+ * (bench_apex_speedup measures both).
+ */
+
+#ifndef P10EE_POWER_ENERGY_H
+#define P10EE_POWER_ENERGY_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "power/components.h"
+
+namespace p10ee::power {
+
+/** Power result, all in pJ per cycle (divide by cycle time for watts). */
+struct PowerBreakdown
+{
+    double totalPj = 0.0;
+    double clockPj = 0.0;  ///< latch-clock power
+    double switchPj = 0.0; ///< logic/data/array switching
+    double leakPj = 0.0;   ///< leakage + active-idle
+    std::map<std::string, double> perComponent;
+
+    /** Absolute watts at @p ghz (nominal operating point 4.0 GHz). */
+    double
+    watts(double ghz = 4.0) const
+    {
+        return totalPj * ghz * 1e-3;
+    }
+
+    /** Workload-dependent ("active") power: total minus static. */
+    double activePj() const { return totalPj - leakPj; }
+};
+
+/** The component-based energy model for one core configuration. */
+class EnergyModel
+{
+  public:
+    /**
+     * @param cfg machine whose component population to model.
+     * @param includeChip add the L2/L3/memory-interface components
+     *        (the "chip model" of Fig. 10) on top of the 39-component
+     *        core.
+     */
+    explicit EnergyModel(const core::CoreConfig& cfg,
+                         bool includeChip = true);
+
+    /** APEX-style fast rollup from aggregate counters. */
+    PowerBreakdown evalCounters(const core::RunResult& run) const;
+
+    /**
+     * Static power (pJ/cycle): leakage plus zero-activity latch-clock
+     * power (the "active-idle" floor). The paper's active-power error
+     * metrics exclude this component.
+     */
+    double staticPj() const;
+
+    /**
+     * Detailed cycle-by-cycle evaluation.
+     * @pre run.timings non-empty (RunOptions::collectTimings).
+     */
+    PowerBreakdown evalPerCycle(const core::RunResult& run) const;
+
+    /**
+     * Per-cycle total power series (pJ), for the Power Proxy
+     * granularity study and the droop model.
+     * @pre run.timings non-empty.
+     */
+    std::vector<float> perCyclePower(const core::RunResult& run) const;
+
+    /** The component decomposition in use. */
+    const std::vector<ComponentSpec>& components() const
+    {
+        return components_;
+    }
+
+    /**
+     * Power of a single component from aggregate counters, for the
+     * bottom-up per-component models of Fig. 12.
+     */
+    double componentPower(const ComponentSpec& comp,
+                          const common::StatSnapshot& stats,
+                          uint64_t cycles) const;
+
+    /**
+     * Average power (pJ/cycle) of a sub-window described by per-window
+     * event sums of the per-cycle-reconstructible stats; flat stats are
+     * spread uniformly from @p run. Used by the APEX interval extractor
+     * and the Power Proxy granularity study.
+     *
+     * @param eventSums array of cyc::kNumCycleStats sums.
+     * @param windowCycles length of the sub-window.
+     */
+    double windowPowerPj(const core::RunResult& run,
+                         const double* eventSums,
+                         uint64_t windowCycles) const;
+
+  private:
+    double statOf(const common::StatSnapshot& stats,
+                  const std::string& name) const;
+
+    std::vector<ComponentSpec> components_;
+};
+
+} // namespace p10ee::power
+
+#endif // P10EE_POWER_ENERGY_H

@@ -1,0 +1,209 @@
+#include "ras/serminer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/assert.h"
+#include "power/components.h"
+
+namespace p10ee::ras {
+
+namespace {
+
+double
+statOf(const common::StatSnapshot& stats, const std::string& name)
+{
+    auto it = stats.find(name);
+    return it == stats.end() ? 0.0 : static_cast<double>(it->second);
+}
+
+/**
+ * Average operand-toggle factor of a run: the zero/random data axis of
+ * the Microprobe testcases scales observed latch switching.
+ */
+double
+toggleFactor(const core::RunResult& run)
+{
+    double sw = statOf(run.stats, "sw.alu") + statOf(run.stats, "sw.fp") +
+                statOf(run.stats, "sw.vsu") + statOf(run.stats, "sw.ls") +
+                statOf(run.stats, "sw.mma");
+    double ops = statOf(run.stats, "commit.op");
+    if (ops <= 0.0)
+        return 0.7;
+    double toggle = sw / (1024.0 * ops); // mean per-op toggle in [0,1]
+    return std::clamp(0.3 + 1.4 * toggle, 0.2, 1.0);
+}
+
+} // namespace
+
+SerMiner::SerMiner(const core::CoreConfig& cfg) : cfg_(cfg) {}
+
+double
+SerMiner::totalKlatches() const
+{
+    double total = 0.0;
+    for (const auto& c : power::coreComponents(cfg_))
+        total += c.kLatches;
+    return total;
+}
+
+std::vector<LatchGroup>
+SerMiner::analyze(const std::vector<core::RunResult>& suite) const
+{
+    P10_ASSERT(!suite.empty(), "empty testcase suite");
+    auto comps = power::coreComponents(cfg_);
+
+    // Gating-granularity shape: with fine gating (high quality) most
+    // sub-groups clock only when their specific function runs, so the
+    // multiplier distribution is bottom-heavy; with coarse gating the
+    // whole unit's latches follow the unit clock.
+    double q = cfg_.clockGateQuality;
+    double shape = 0.6 + 2.0 * q;
+    // Fraction of an unused unit's groups that are fully function-gated
+    // (never clock). Fine-grained designs keep more shared glue that
+    // occasionally clocks, leaving fewer never-clocking latches — the
+    // mechanism behind POWER10's ~10% lower static derating (Fig. 14).
+    int funcOffGroups = static_cast<int>(
+        std::lround((1.0 - 0.35 * q) * (kGroups - 1)));
+    // Coarse-gated designs also carry more pure-configuration latches
+    // (mode registers replicated through the unit).
+    int configGroups = q < 0.6 ? 2 : 1;
+
+    std::vector<LatchGroup> groups;
+    for (const auto& comp : comps) {
+        if (comp.kLatches <= 0.0)
+            continue;
+        // Max activity (per-cycle clock-driver events) across the suite.
+        double act = 0.0;
+        double tgl = 0.0;
+        for (const auto& run : suite) {
+            double cyc =
+                static_cast<double>(run.cycles ? run.cycles : 1);
+            double a = 0.0;
+            for (const auto& d : comp.clockDrivers)
+                a += d.weight * statOf(run.stats, d.stat) / cyc;
+            if (a > act) {
+                act = a;
+                tgl = toggleFactor(run);
+            }
+        }
+        bool unitUsed = act > 1e-6;
+
+        for (int g = 0; g < kGroups; ++g) {
+            LatchGroup lg;
+            lg.component = comp.name;
+            lg.kLatches = comp.kLatches / kGroups;
+            if (g < configGroups) {
+                // Configuration latches: set at initialization, never
+                // switch during execution.
+                lg.utilization = 0.0;
+            } else if (!unitUsed) {
+                // Unused unit: function-gated groups never clock; the
+                // remainder is residual glue at the base clock fraction.
+                lg.utilization = g <= funcOffGroups
+                    ? 0.0
+                    : std::min(1.0, comp.baseClockFrac + 0.02);
+            } else {
+                double m = 4.0 * std::pow(
+                    (static_cast<double>(g)) / (kGroups - 1), shape);
+                lg.utilization = std::min(
+                    1.0, (comp.baseClockFrac + act * m) * tgl);
+            }
+            groups.push_back(lg);
+        }
+    }
+    return groups;
+}
+
+double
+SerMiner::staticDeratedFrac(const std::vector<LatchGroup>& groups)
+{
+    double off = 0.0;
+    double total = 0.0;
+    for (const auto& g : groups) {
+        total += g.kLatches;
+        if (g.utilization <= 0.0)
+            off += g.kLatches;
+    }
+    return total > 0.0 ? off / total : 0.0;
+}
+
+double
+SerMiner::deratedFrac(const std::vector<LatchGroup>& groups, double vt)
+{
+    P10_ASSERT(vt > 0.0 && vt <= 1.0, "vulnerability threshold");
+    double cutoff = 1.0 - vt; // minimum switching to count as vulnerable
+    double derated = 0.0;
+    double total = 0.0;
+    for (const auto& g : groups) {
+        total += g.kLatches;
+        if (g.utilization < cutoff)
+            derated += g.kLatches;
+    }
+    return total > 0.0 ? derated / total : 0.0;
+}
+
+ProtectionReport
+SerMiner::protectionCost(const std::vector<LatchGroup>& groups, double vt,
+                         double hardeningCost)
+{
+    P10_ASSERT(vt > 0.0 && vt <= 1.0, "vulnerability threshold");
+    double cutoff = 1.0 - vt;
+    double total = 0.0;
+    double hardened = 0.0;
+    double clockWeighted = 0.0;
+    double hardenedClock = 0.0;
+    double residual = 0.0;
+    for (const auto& g : groups) {
+        total += g.kLatches;
+        clockWeighted += g.kLatches * g.utilization;
+        if (g.utilization >= cutoff) {
+            hardened += g.kLatches;
+            hardenedClock += g.kLatches * g.utilization;
+        } else {
+            residual += g.kLatches * g.utilization;
+        }
+    }
+    ProtectionReport r;
+    if (total > 0.0) {
+        r.protectedFrac = hardened / total;
+        // Hardened latches cost extra power in proportion to their
+        // clocked activity.
+        r.powerOverheadFrac = clockWeighted > 0.0
+            ? hardeningCost * hardenedClock / clockWeighted
+            : 0.0;
+        r.residualRisk = clockWeighted > 0.0
+            ? residual / clockWeighted
+            : 0.0;
+    }
+    return r;
+}
+
+std::vector<std::pair<std::string, double>>
+SerMiner::rankComponents(const std::vector<LatchGroup>& groups)
+{
+    std::map<std::string, double> risk;
+    for (const auto& g : groups)
+        risk[g.component] += g.kLatches * g.utilization;
+    std::vector<std::pair<std::string, double>> ranked(risk.begin(),
+                                                       risk.end());
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) {
+                  return a.second > b.second;
+              });
+    return ranked;
+}
+
+DeratingSummary
+SerMiner::summarize(const std::vector<LatchGroup>& g)
+{
+    DeratingSummary s;
+    s.staticDerated = staticDeratedFrac(g);
+    s.runtime10 = deratedFrac(g, 0.10);
+    s.runtime50 = deratedFrac(g, 0.50);
+    s.runtime90 = deratedFrac(g, 0.90);
+    return s;
+}
+
+} // namespace p10ee::ras

@@ -1,0 +1,89 @@
+#include "socket/socket.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace p10ee::socket {
+
+double
+SocketModel::memIntensity(const core::RunResult& run)
+{
+    auto it = run.stats.find("mem.access");
+    if (it == run.stats.end() || run.instrs == 0)
+        return 0.0;
+    double perKilo = 1000.0 * static_cast<double>(it->second) /
+                     static_cast<double>(run.instrs);
+    // ~20 memory accesses per kilo-instruction saturates the shared
+    // resources in this first-order model.
+    return std::min(1.0, perKilo / 20.0);
+}
+
+double
+SocketModel::voltageAt(double freqGhz) const
+{
+    return cfg_.vNom + cfg_.vSlopePerGhz * (freqGhz - cfg_.fNomGhz);
+}
+
+SocketResult
+SocketModel::evaluate(const core::RunResult& run,
+                      const power::PowerBreakdown& corePower,
+                      int activeCores) const
+{
+    P10_ASSERT(activeCores >= 1 && activeCores <= cfg_.maxCores,
+               "active core count");
+
+    double mem = memIntensity(run);
+    double shareLoss = cfg_.contention * mem *
+                       static_cast<double>(activeCores - 1) /
+                       static_cast<double>(cfg_.maxCores);
+    double perCoreIpc = run.ipc() * std::max(0.2, 1.0 - shareLoss);
+
+    double coreWattsNom = corePower.watts();
+    double leakFrac = corePower.totalPj > 0.0
+        ? corePower.leakPj / corePower.totalPj
+        : 0.15;
+
+    // WOF-style governor: highest common frequency whose projected
+    // socket power fits the envelope.
+    SocketResult best;
+    best.activeCores = activeCores;
+    best.freqGhz = cfg_.fMinGhz;
+    for (double f = cfg_.fMaxGhz; f >= cfg_.fMinGhz - 1e-9; f -= 0.0125) {
+        double vr = voltageAt(f) / cfg_.vNom;
+        double dyn = coreWattsNom * (1.0 - leakFrac) * vr * vr *
+                     (f / cfg_.fNomGhz);
+        double leak = coreWattsNom * leakFrac * vr * vr;
+        double total = (dyn + leak) * activeCores +
+                       cfg_.uncoreWatts * vr * vr;
+        if (total <= cfg_.socketTdpWatts || f <= cfg_.fMinGhz + 1e-9) {
+            best.freqGhz = f;
+            best.watts = total;
+            // Throughput in instructions per ns: IPC x GHz x cores.
+            best.throughput = perCoreIpc * f *
+                              static_cast<double>(activeCores);
+            return best;
+        }
+    }
+    return best;
+}
+
+SocketResult
+SocketModel::bestEfficiencyPoint(const core::RunResult& run,
+                                 const power::PowerBreakdown& corePower)
+    const
+{
+    SocketResult best;
+    double bestEff = 0.0;
+    for (int n = 1; n <= cfg_.maxCores; ++n) {
+        SocketResult r = evaluate(run, corePower, n);
+        if (r.efficiency() > bestEff) {
+            bestEff = r.efficiency();
+            best = r;
+        }
+    }
+    return best;
+}
+
+} // namespace p10ee::socket

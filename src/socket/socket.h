@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Socket-level roll-up (paper Table I, §II-B, §IV-A).
+ *
+ * The paper's socket claims — up to 3x energy efficiency, up to 2.5x
+ * more cores per socket, 10x/21x AI throughput — are roll-ups of
+ * per-core results under a socket power envelope. This model scales a
+ * measured per-core (run, power) pair to N active cores with the two
+ * first-order contention effects (shared L3 capacity and memory
+ * bandwidth), then lets a socket-level WOF governor pick the common
+ * frequency that fills the thermal envelope.
+ */
+
+#ifndef P10EE_SOCKET_SOCKET_H
+#define P10EE_SOCKET_SOCKET_H
+
+#include "core/result.h"
+#include "pm/wof.h"
+#include "power/energy.h"
+
+namespace p10ee::socket {
+
+/** Socket-level configuration around one core design. */
+struct SocketConfig
+{
+    int maxCores = 15;           ///< functional cores (POWER10: 15)
+    double socketTdpWatts = 225.0;
+    double fNomGhz = 4.0;
+    double fMinGhz = 2.8;
+    double fMaxGhz = 4.8;
+    double vNom = 0.95;
+    double vSlopePerGhz = 0.18;
+    double uncoreWatts = 45.0;   ///< interconnect, OMI, PCIe at nominal
+
+    /**
+     * Throughput lost per active core from shared-L3 and memory-
+     * bandwidth contention, scaled by the workload's memory intensity:
+     * perf(core i of N) = perf(1) * (1 - contention * memIntensity *
+     * (N-1)/maxCores).
+     */
+    double contention = 0.25;
+};
+
+/** One socket operating point. */
+struct SocketResult
+{
+    int activeCores = 0;
+    double freqGhz = 0.0;     ///< WOF-selected common frequency
+    double throughput = 0.0;  ///< aggregate instructions per ns
+    double watts = 0.0;
+    double efficiency() const { return throughput / watts; }
+};
+
+/** Scales per-core measurements to socket operating points. */
+class SocketModel
+{
+  public:
+    explicit SocketModel(const SocketConfig& cfg) : cfg_(cfg) {}
+
+    /**
+     * Evaluate the socket with @p activeCores copies of a workload
+     * whose single-core measurement at nominal V/f is (@p run,
+     * @p corePower).
+     */
+    SocketResult evaluate(const core::RunResult& run,
+                          const power::PowerBreakdown& corePower,
+                          int activeCores) const;
+
+    /**
+     * The core count that maximizes socket efficiency for the
+     * workload (the "up to 2.5x more cores" trade).
+     */
+    SocketResult bestEfficiencyPoint(const core::RunResult& run,
+                                     const power::PowerBreakdown&
+                                         corePower) const;
+
+    const SocketConfig& config() const { return cfg_; }
+
+  private:
+    /** Memory intensity in [0,1] from the run's miss traffic. */
+    static double memIntensity(const core::RunResult& run);
+
+    double voltageAt(double freqGhz) const;
+
+    SocketConfig cfg_;
+};
+
+} // namespace p10ee::socket
+
+#endif // P10EE_SOCKET_SOCKET_H

@@ -1,0 +1,175 @@
+#include "workloads/ai_trace.h"
+
+#include <algorithm>
+
+namespace p10ee::workloads {
+
+namespace {
+
+/** Shorthand for building a GemmCall. */
+GemmCall
+call(std::string layer, int m, int n, int k, uint64_t count)
+{
+    GemmCall c;
+    c.layer = std::move(layer);
+    c.dims = {m, n, k};
+    c.count = count;
+    return c;
+}
+
+/**
+ * Non-GEMM phase profile for ResNet-50: image decode, resize, im2col and
+ * tensor packing — streaming, vectorizable data preparation (the class
+ * the paper's "doubling of load and store bandwidth ... to address a
+ * broad range of machine learning and data preparation use cases"
+ * targets).
+ */
+WorkloadProfile
+resnetPreprocProfile()
+{
+    WorkloadProfile p;
+    p.name = "resnet_preproc";
+    p.loadFrac = 0.28; p.storeFrac = 0.12; p.branchFrac = 0.06;
+    p.vsuFrac = 0.38; p.mulFrac = 0.02; p.divFrac = 0.0;
+    p.biasedBranchFrac = 0.96; p.takenBias = 0.80; p.indirectFrac = 0.0;
+    p.wHot = 0.55; p.wWarm = 0.40; p.wCold = 0.045; p.wHuge = 0.005;
+    p.strideFrac = 0.92; p.depChain = 0.18;
+    p.numBlocks = 160; p.seed = 301;
+    return p;
+}
+
+/**
+ * Non-GEMM phase profile for BERT-Large: embedding-table gathers,
+ * tokenization, layer-norm/softmax over large activations — more
+ * memory-latency-bound, so it benefits less from the wider core.
+ */
+WorkloadProfile
+bertPreprocProfile()
+{
+    WorkloadProfile p;
+    p.name = "bert_preproc";
+    p.loadFrac = 0.30; p.storeFrac = 0.12; p.branchFrac = 0.08;
+    p.vsuFrac = 0.32; p.mulFrac = 0.01; p.divFrac = 0.0;
+    p.biasedBranchFrac = 0.94; p.takenBias = 0.76; p.indirectFrac = 0.01;
+    p.wHot = 0.45; p.wWarm = 0.42; p.wCold = 0.10; p.wHuge = 0.03;
+    p.strideFrac = 0.82; p.depChain = 0.26;
+    p.numBlocks = 320; p.seed = 302;
+    return p;
+}
+
+} // namespace
+
+AiModel
+resnet50(int batch)
+{
+    AiModel m;
+    m.name = "ResNet-50";
+    m.batch = batch;
+    m.nonGemmInstrFrac = 0.115;
+    m.nonGemmProfile = resnetPreprocProfile();
+    uint64_t b = static_cast<uint64_t>(batch);
+
+    // im2col GEMM mapping per image: M = out-channels, N = out-H*out-W,
+    // K = in-channels * kh * kw. Stage counts are the ResNet-50 v1
+    // bottleneck-block totals.
+    m.gemms = {
+        call("conv1 7x7/2", 64, 12544, 147, b),
+        // conv2_x: 3 bottlenecks at 56x56 (N=3136).
+        call("conv2 1x1 reduce", 64, 3136, 64, 1 * b),
+        call("conv2 1x1 reduce(256)", 64, 3136, 256, 2 * b),
+        call("conv2 3x3", 64, 3136, 576, 3 * b),
+        call("conv2 1x1 expand", 256, 3136, 64, 3 * b),
+        call("conv2 shortcut", 256, 3136, 64, 1 * b),
+        // conv3_x: 4 bottlenecks at 28x28 (N=784).
+        call("conv3 1x1 reduce", 128, 784, 256, 1 * b),
+        call("conv3 1x1 reduce(512)", 128, 784, 512, 3 * b),
+        call("conv3 3x3", 128, 784, 1152, 4 * b),
+        call("conv3 1x1 expand", 512, 784, 128, 4 * b),
+        call("conv3 shortcut", 512, 784, 256, 1 * b),
+        // conv4_x: 6 bottlenecks at 14x14 (N=196).
+        call("conv4 1x1 reduce", 256, 196, 512, 1 * b),
+        call("conv4 1x1 reduce(1024)", 256, 196, 1024, 5 * b),
+        call("conv4 3x3", 256, 196, 2304, 6 * b),
+        call("conv4 1x1 expand", 1024, 196, 256, 6 * b),
+        call("conv4 shortcut", 1024, 196, 512, 1 * b),
+        // conv5_x: 3 bottlenecks at 7x7 (N=49).
+        call("conv5 1x1 reduce", 512, 49, 1024, 1 * b),
+        call("conv5 1x1 reduce(2048)", 512, 49, 2048, 2 * b),
+        call("conv5 3x3", 512, 49, 4608, 3 * b),
+        call("conv5 1x1 expand", 2048, 49, 512, 3 * b),
+        call("conv5 shortcut", 2048, 49, 1024, 1 * b),
+        // Classifier.
+        call("fc1000", 1000, 1, 2048, b),
+    };
+    return m;
+}
+
+AiModel
+bertLarge(int batch, int seqLen)
+{
+    AiModel m;
+    m.name = "BERT-Large";
+    m.batch = batch;
+    m.nonGemmInstrFrac = 0.07;
+    m.nonGemmProfile = bertPreprocProfile();
+
+    constexpr int kLayers = 24;
+    constexpr int kHidden = 1024;
+    constexpr int kHeads = 16;
+    constexpr int kFfn = 4096;
+    const int headDim = kHidden / kHeads; // 64
+    uint64_t perLayer = static_cast<uint64_t>(batch) * kLayers;
+    uint64_t perHead = perLayer * kHeads;
+
+    m.gemms = {
+        // Q, K, V projections: [S x H] * [H x H].
+        call("qkv proj", seqLen, kHidden, kHidden, 3 * perLayer),
+        // Attention scores: per head [S x d] * [d x S].
+        call("attn scores", seqLen, seqLen, headDim, perHead),
+        // Context: per head [S x S] * [S x d].
+        call("attn context", seqLen, headDim, seqLen, perHead),
+        // Attention output projection.
+        call("attn out proj", seqLen, kHidden, kHidden, perLayer),
+        // Feed-forward expand / contract.
+        call("ffn expand", seqLen, kFfn, kHidden, perLayer),
+        call("ffn contract", seqLen, kHidden, kFfn, perLayer),
+    };
+    return m;
+}
+
+PhasedAiSource::PhasedAiSource(const AiModel& model,
+                               std::vector<isa::TraceInstr> gemmLoop,
+                               uint64_t gemmPhaseLen, int threadId)
+    : name_(model.name + "_e2e"),
+      gemm_(model.name + "_gemm", std::move(gemmLoop)),
+      preproc_(model.nonGemmProfile, threadId),
+      gemmPhaseLen_(gemmPhaseLen),
+      preprocPhaseLen_(static_cast<uint64_t>(
+          static_cast<double>(gemmPhaseLen) * model.nonGemmInstrFrac /
+          (1.0 - model.nonGemmInstrFrac))),
+      phaseLeft_(gemmPhaseLen)
+{
+}
+
+isa::TraceInstr
+PhasedAiSource::next()
+{
+    if (phaseLeft_ == 0) {
+        inGemm_ = !inGemm_;
+        phaseLeft_ = inGemm_ ? gemmPhaseLen_
+                             : std::max<uint64_t>(1, preprocPhaseLen_);
+    }
+    --phaseLeft_;
+    return inGemm_ ? gemm_.next() : preproc_.next();
+}
+
+uint64_t
+totalGemmFlops(const AiModel& model)
+{
+    uint64_t total = 0;
+    for (const auto& g : model.gemms)
+        total += mma::gemmFlops(g.dims) * g.count;
+    return total;
+}
+
+} // namespace p10ee::workloads

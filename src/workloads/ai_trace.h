@@ -1,0 +1,104 @@
+/**
+ * @file
+ * End-to-end AI inference workload models (paper §II-C.2, Fig. 6).
+ *
+ * The paper evaluates PyTorch FP32 ResNet-50 (ImageNet, batch 100) and
+ * BERT-Large (SQuAD v1.1, batch 8) traces whose GEMM calls run on an
+ * OpenBLAS kernel (8x16 SGEMM panels on the MMA). The proprietary traces
+ * are substituted by layer-accurate GEMM call inventories derived from
+ * the public model architectures, combined with a non-GEMM phase profile
+ * that stands in for data loading and pre/post-processing. This is the
+ * Tracepoints idea (§III-A): represent the end-to-end application by
+ * its BLAS call composition plus CPI-representative epochs of the rest.
+ */
+
+#ifndef P10EE_WORKLOADS_AI_TRACE_H
+#define P10EE_WORKLOADS_AI_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mma/gemm.h"
+#include "workloads/synthetic.h"
+
+namespace p10ee::workloads {
+
+/** One distinct GEMM shape and how often the model calls it. */
+struct GemmCall
+{
+    std::string layer;  ///< layer (group) name
+    mma::GemmDims dims; ///< per-call problem size
+    uint64_t count = 1; ///< dynamic calls (already includes batch)
+};
+
+/** An end-to-end AI inference workload. */
+struct AiModel
+{
+    std::string name;
+    int batch = 1;
+    std::vector<GemmCall> gemms;
+
+    /**
+     * Fraction of dynamic instructions outside GEMM kernels on the
+     * baseline (POWER9/VSU) build: data loading, im2col/packing,
+     * activation functions, tokenization. BERT-Large carries a larger
+     * data-movement share (the paper attributes its lower no-MMA
+     * speedup to "the greater contribution of data-loading and
+     * preprocessing").
+     */
+    double nonGemmInstrFrac = 0.2;
+
+    /** Profile realizing the non-GEMM phase's behaviour. */
+    WorkloadProfile nonGemmProfile;
+};
+
+/** ResNet-50 v1 inference at @p batch (paper uses 100). */
+AiModel resnet50(int batch = 100);
+
+/** BERT-Large inference at @p batch, @p seqLen (paper: 8, SQuAD). */
+AiModel bertLarge(int batch = 8, int seqLen = 384);
+
+/** Total FP32 multiply-add flops over all GEMM calls (2*m*n*k each). */
+uint64_t totalGemmFlops(const AiModel& model);
+
+/**
+ * End-to-end phased instruction stream for an AI model: alternates
+ * GEMM-kernel phases (a supplied kernel inner loop) with
+ * preprocessing phases drawn from the model's non-GEMM profile, in the
+ * model's instruction proportions. This is the stream shape a core
+ * executing the inference actually sees — bursts of MMA/VSU work
+ * separated by data preparation — and is what the MMA power-gating and
+ * droop studies exercise.
+ */
+class PhasedAiSource : public InstrSource
+{
+  public:
+    /**
+     * @param model the AI model (phase proportions + preproc profile).
+     * @param gemmLoop one inner-loop instruction window of the GEMM
+     *        kernel (from a mma::VectorSink).
+     * @param gemmPhaseLen instructions per GEMM burst.
+     * @param threadId shifts the preprocessing footprint.
+     */
+    PhasedAiSource(const AiModel& model,
+                   std::vector<isa::TraceInstr> gemmLoop,
+                   uint64_t gemmPhaseLen = 20000, int threadId = 0);
+
+    isa::TraceInstr next() override;
+
+    std::string name() const override { return name_; }
+
+  private:
+    std::string name_;
+    ReplaySource gemm_;
+    SyntheticWorkload preproc_;
+    uint64_t gemmPhaseLen_;
+    uint64_t preprocPhaseLen_;
+    uint64_t phaseLeft_;
+    bool inGemm_ = true;
+};
+
+} // namespace p10ee::workloads
+
+#endif // P10EE_WORKLOADS_AI_TRACE_H

@@ -1,0 +1,106 @@
+#include "workloads/chopstix.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/assert.h"
+#include "isa/op.h"
+
+namespace p10ee::workloads {
+
+ExtractionResult
+extractProxies(const WorkloadProfile& profile, uint64_t sampleInstrs,
+               int topK)
+{
+    P10_ASSERT(topK > 0 && sampleInstrs > 0, "extraction parameters");
+    SyntheticWorkload wl(profile);
+
+    // Pass 1: profile dynamic instructions per static block and capture
+    // the first complete traversal of every block (code + the data
+    // state of that visit, exactly what Chopstix snapshots).
+    std::vector<uint64_t> blockInstrs(
+        static_cast<size_t>(wl.numBlocks()), 0);
+    std::map<int, std::vector<isa::TraceInstr>> capture;
+    std::map<int, std::vector<isa::TraceInstr>> inFlight;
+
+    for (uint64_t i = 0; i < sampleInstrs; ++i) {
+        int blk = wl.currentBlock();
+        isa::TraceInstr in = wl.next();
+        ++blockInstrs[static_cast<size_t>(blk)];
+        if (capture.find(blk) == capture.end()) {
+            inFlight[blk].push_back(in);
+            if (isa::isBranch(in.op)) {
+                capture[blk] = std::move(inFlight[blk]);
+                inFlight.erase(blk);
+            }
+        }
+    }
+
+    uint64_t total = 0;
+    for (uint64_t c : blockInstrs)
+        total += c;
+
+    // Chopstix extracts *functions*; group consecutive blocks into
+    // function-sized units (the generator lays functions out
+    // contiguously) and rank the functions by dynamic instructions.
+    int funcSize = std::max(1, wl.numBlocks() / 48);
+    int numFuncs = (wl.numBlocks() + funcSize - 1) / funcSize;
+    std::vector<uint64_t> funcInstrs(static_cast<size_t>(numFuncs), 0);
+    for (size_t b = 0; b < blockInstrs.size(); ++b)
+        funcInstrs[b / static_cast<size_t>(funcSize)] += blockInstrs[b];
+
+    std::vector<int> order(funcInstrs.size());
+    for (size_t f = 0; f < order.size(); ++f)
+        order[f] = static_cast<int>(f);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+        return funcInstrs[static_cast<size_t>(a)] >
+               funcInstrs[static_cast<size_t>(b)];
+    });
+
+    ExtractionResult result;
+    for (int rank = 0; rank < topK &&
+                       rank < static_cast<int>(order.size()); ++rank) {
+        int f = order[static_cast<size_t>(rank)];
+        if (funcInstrs[static_cast<size_t>(f)] == 0)
+            continue;
+        // Concatenate the captured traversals of the function's blocks
+        // into one endless loop.
+        SnippetProxy proxy;
+        proxy.name = profile.name + "#f" + std::to_string(f);
+        proxy.weight = static_cast<double>(
+                           funcInstrs[static_cast<size_t>(f)]) /
+                       static_cast<double>(total);
+        for (int b = f * funcSize;
+             b < std::min((f + 1) * funcSize, wl.numBlocks()); ++b) {
+            auto it = capture.find(b);
+            if (it == capture.end() || it->second.empty())
+                continue;
+            // Intermediate captured branches fall through so the loop
+            // walks the whole function.
+            size_t start = proxy.loop.size();
+            proxy.loop.insert(proxy.loop.end(), it->second.begin(),
+                              it->second.end());
+            if (!proxy.loop.empty() && start > 0) {
+                isa::TraceInstr& prevTail = proxy.loop[start - 1];
+                prevTail.taken = false;
+            }
+        }
+        if (proxy.loop.empty())
+            continue;
+        // Close the loop: the final branch jumps back to the start.
+        isa::TraceInstr& tail = proxy.loop.back();
+        tail.taken = true;
+        tail.target = proxy.loop.front().pc;
+        result.proxies.push_back(std::move(proxy));
+        result.coverage += result.proxies.back().weight;
+    }
+    return result;
+}
+
+std::unique_ptr<InstrSource>
+makeProxySource(const SnippetProxy& proxy)
+{
+    return std::make_unique<ReplaySource>(proxy.name, proxy.loop);
+}
+
+} // namespace p10ee::workloads

@@ -1,0 +1,179 @@
+#include "workloads/kernels.h"
+
+#include "common/assert.h"
+#include "isa/op.h"
+
+namespace p10ee::workloads {
+
+using isa::OpClass;
+using isa::TraceInstr;
+namespace reg = isa::reg;
+
+LoopKernelSource::LoopKernelSource(std::string name,
+                                   std::vector<LoopSlot> slots,
+                                   uint64_t footprint, uint64_t seed)
+    : name_(std::move(name)), slots_(std::move(slots)),
+      cursor_(slots_.size(), 0), footprint_(footprint), rng_(seed)
+{
+    P10_ASSERT(!slots_.empty(), "empty kernel loop");
+    P10_ASSERT(isa::isBranch(slots_.back().proto.op),
+               "kernel loop must end in a branch");
+    P10_ASSERT(footprint_ > 0, "zero footprint");
+}
+
+isa::TraceInstr
+LoopKernelSource::next()
+{
+    LoopSlot& slot = slots_[idx_];
+    TraceInstr in = slot.proto;
+    if (isa::isLoad(in.op) || isa::isStore(in.op)) {
+        uint64_t off;
+        if (slot.randomAddr) {
+            off = rng_.below(footprint_ / in.size) * in.size;
+        } else {
+            uint64_t& cur = cursor_[idx_];
+            off = cur;
+            cur = (cur + static_cast<uint64_t>(slot.stride)) % footprint_;
+        }
+        in.addr = slot.base + off;
+    }
+    idx_ = (idx_ + 1) % slots_.size();
+    return in;
+}
+
+namespace {
+
+/** Convenience builder for loop slots. */
+LoopSlot
+slot(OpClass op, uint16_t dest, uint16_t s0, uint16_t s1, uint64_t pc,
+     float toggle = 0.3f)
+{
+    LoopSlot ls;
+    ls.proto.op = op;
+    ls.proto.dest = dest;
+    ls.proto.src[0] = s0;
+    ls.proto.src[1] = s1;
+    ls.proto.pc = pc;
+    ls.proto.toggle = toggle;
+    return ls;
+}
+
+constexpr uint16_t kV0 = reg::kVsrBase + 0;
+constexpr uint16_t kV1 = reg::kVsrBase + 1;
+constexpr uint16_t kV2 = reg::kVsrBase + 2;
+constexpr uint16_t kVa = reg::kVsrBase + 3; ///< scalar multiplier
+constexpr uint16_t kPtr = reg::kGprBase + 5;
+constexpr uint64_t kPc = 0x20000;
+
+LoopSlot
+branchBack(uint64_t pc, uint64_t target)
+{
+    LoopSlot ls = slot(OpClass::Branch, reg::kNone, reg::kCtr,
+                       reg::kNone, pc);
+    ls.proto.taken = true;
+    ls.proto.target = target;
+    return ls;
+}
+
+} // namespace
+
+std::unique_ptr<InstrSource>
+makeDaxpy(uint64_t footprint)
+{
+    // Unrolled once: 2 x-loads, 2 y-loads, 2 FMAs, 2 stores, bump, branch.
+    std::vector<LoopSlot> s;
+    uint64_t pc = kPc;
+    for (int u = 0; u < 2; ++u) {
+        LoopSlot lx = slot(OpClass::Load, kV0, kPtr, reg::kNone, pc);
+        lx.base = 0x4000000; lx.stride = 32; lx.proto.size = 16;
+        pc += 4; s.push_back(lx);
+        LoopSlot ly = slot(OpClass::Load, kV1, kPtr, reg::kNone, pc);
+        ly.base = 0x5000000; ly.stride = 32; ly.proto.size = 16;
+        pc += 4; s.push_back(ly);
+        LoopSlot fma = slot(OpClass::VsuFp, kV2, kV0, kV1, pc, 0.4f);
+        fma.proto.src[2] = kVa;
+        pc += 4; s.push_back(fma);
+        LoopSlot st = slot(OpClass::Store, reg::kNone, kV2, kPtr, pc);
+        st.base = 0x5000000; st.stride = 32; st.proto.size = 16;
+        pc += 4; s.push_back(st);
+    }
+    s.push_back(slot(OpClass::IntAlu, kPtr, kPtr, reg::kNone, pc));
+    pc += 4;
+    s.push_back(branchBack(pc, kPc));
+    return std::make_unique<LoopKernelSource>("daxpy", std::move(s),
+                                              footprint);
+}
+
+std::unique_ptr<InstrSource>
+makeStreamTriad(uint64_t footprint)
+{
+    std::vector<LoopSlot> s;
+    uint64_t pc = kPc + 0x1000;
+    LoopSlot lb = slot(OpClass::Load, kV0, kPtr, reg::kNone, pc);
+    lb.base = 0x8000000; lb.stride = 16; lb.proto.size = 16;
+    pc += 4; s.push_back(lb);
+    LoopSlot lc = slot(OpClass::Load, kV1, kPtr, reg::kNone, pc);
+    lc.base = 0xa000000; lc.stride = 16; lc.proto.size = 16;
+    pc += 4; s.push_back(lc);
+    LoopSlot fma = slot(OpClass::VsuFp, kV2, kV0, kV1, pc, 0.45f);
+    fma.proto.src[2] = kVa;
+    pc += 4; s.push_back(fma);
+    LoopSlot st = slot(OpClass::Store, reg::kNone, kV2, kPtr, pc);
+    st.base = 0xc000000; st.stride = 16; st.proto.size = 16;
+    pc += 4; s.push_back(st);
+    s.push_back(slot(OpClass::IntAlu, kPtr, kPtr, reg::kNone, pc));
+    pc += 4;
+    s.push_back(branchBack(pc, kPc + 0x1000));
+    return std::make_unique<LoopKernelSource>("stream_triad", std::move(s),
+                                              footprint);
+}
+
+std::unique_ptr<InstrSource>
+makePointerChase(uint64_t footprint)
+{
+    std::vector<LoopSlot> s;
+    uint64_t pc = kPc + 0x2000;
+    constexpr uint16_t kLink = reg::kGprBase + 6;
+    // The load consumes its own previous result: a serial chain the
+    // prefetcher cannot break.
+    LoopSlot ld = slot(OpClass::Load, kLink, kLink, reg::kNone, pc);
+    ld.base = 0x10000000; ld.randomAddr = true; ld.proto.size = 8;
+    pc += 4; s.push_back(ld);
+    s.push_back(slot(OpClass::IntAlu, kLink, kLink, reg::kNone, pc));
+    pc += 4;
+    s.push_back(branchBack(pc, kPc + 0x2000));
+    return std::make_unique<LoopKernelSource>("pointer_chase",
+                                              std::move(s), footprint);
+}
+
+std::unique_ptr<InstrSource>
+makeDdLoop(int depDistance, bool randomData, uint64_t seed)
+{
+    P10_ASSERT(depDistance == 0 || depDistance == 1,
+               "only DD0/DD1 modeled");
+    float toggle = randomData ? 0.5f : 0.02f;
+    std::vector<LoopSlot> s;
+    uint64_t pcBase = kPc + 0x3000;
+    uint64_t pc = pcBase;
+    constexpr int kBodyLen = 16;
+    for (int i = 0; i < kBodyLen; ++i) {
+        uint16_t dest = static_cast<uint16_t>(
+            reg::kGprBase + 8 + (i % (depDistance == 0 ? 1 : 2)));
+        // DD0: every op reads and writes r8 (serial chain).
+        // DD1: alternating r8/r9 chains (two independent chains).
+        LoopSlot a = slot(OpClass::IntAlu, dest, dest, reg::kNone, pc,
+                          toggle);
+        pc += 4;
+        s.push_back(a);
+    }
+    s.push_back(slot(OpClass::IntAlu, kPtr, kPtr, reg::kNone, pc, toggle));
+    pc += 4;
+    s.push_back(branchBack(pc, pcBase));
+    std::string name = "dd";
+    name += depDistance == 0 ? "0" : "1";
+    name += randomData ? "_random" : "_zero";
+    return std::make_unique<LoopKernelSource>(name, std::move(s),
+                                              64 * 1024, seed);
+}
+
+} // namespace p10ee::workloads

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Well-known code kernels and the loop-kernel source machinery.
+ *
+ * The paper's proxy suite is complemented "with well-known code kernels
+ * — e.g. daxpy — and synthetic microbenchmarks targeted to various
+ * aspects of the microarchitecture" (§III-A). LoopKernelSource provides
+ * the shared machinery: a fixed instruction-template loop whose memory
+ * operands advance through a footprint each iteration.
+ */
+
+#ifndef P10EE_WORKLOADS_KERNELS_H
+#define P10EE_WORKLOADS_KERNELS_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "isa/instr.h"
+#include "workloads/source.h"
+
+namespace p10ee::workloads {
+
+/** One instruction slot of a loop-kernel body. */
+struct LoopSlot
+{
+    isa::TraceInstr proto;   ///< prototype instruction (pc/regs fixed)
+    int64_t stride = 0;      ///< address advance per iteration (mem ops)
+    bool randomAddr = false; ///< random address in footprint instead
+    uint64_t base = 0;       ///< base effective address (mem ops)
+};
+
+/**
+ * Endless loop of instruction templates with advancing memory cursors.
+ * The final slot must be the backward branch; it is emitted taken on
+ * every iteration (an endless measurement loop).
+ */
+class LoopKernelSource : public InstrSource
+{
+  public:
+    /**
+     * @param footprint wrap length in bytes for the striding cursors.
+     * @param seed RNG seed for randomAddr slots.
+     */
+    LoopKernelSource(std::string name, std::vector<LoopSlot> slots,
+                     uint64_t footprint, uint64_t seed = 7);
+
+    isa::TraceInstr next() override;
+
+    std::string name() const override { return name_; }
+
+  private:
+    std::string name_;
+    std::vector<LoopSlot> slots_;
+    std::vector<uint64_t> cursor_; ///< per-slot running offset
+    uint64_t footprint_;
+    common::Xoshiro rng_;
+    size_t idx_ = 0;
+};
+
+/** DAXPY: y[i] += a * x[i], 128-bit VSU loop over @p footprint bytes. */
+std::unique_ptr<InstrSource> makeDaxpy(uint64_t footprint = 512 * 1024);
+
+/** STREAM triad: a[i] = b[i] + s * c[i] over @p footprint bytes. */
+std::unique_ptr<InstrSource> makeStreamTriad(uint64_t footprint =
+                                                 8 * 1024 * 1024);
+
+/**
+ * Serial pointer chase: each load's address depends on the previous
+ * load's result; random placement in @p footprint defeats prefetching.
+ */
+std::unique_ptr<InstrSource> makePointerChase(uint64_t footprint =
+                                                  32 * 1024 * 1024);
+
+/**
+ * Microprobe-style dependency-distance loop (Fig. 13 testcases).
+ *
+ * @param depDistance 0: every ALU op depends on its predecessor (serial);
+ *        1: ops depend on the op two back (pairwise ILP).
+ * @param randomData true: operand toggle ~0.5 ("random"); false: ~0
+ *        ("zero"). This axis drives data-switching power and SERMiner's
+ *        runtime derating.
+ */
+std::unique_ptr<InstrSource> makeDdLoop(int depDistance, bool randomData,
+                                        uint64_t seed = 11);
+
+} // namespace p10ee::workloads
+
+#endif // P10EE_WORKLOADS_KERNELS_H

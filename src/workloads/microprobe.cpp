@@ -1,0 +1,49 @@
+#include "workloads/microprobe.h"
+
+#include "workloads/kernels.h"
+#include "workloads/spec_profiles.h"
+#include "workloads/synthetic.h"
+
+namespace p10ee::workloads {
+
+std::vector<MicroprobeCase>
+fig13Suite()
+{
+    std::vector<MicroprobeCase> suite;
+    const int smtLevels[] = {1, 2, 4};
+    for (int smt : smtLevels) {
+        std::string prefix = smt == 1 ? "st" : "smt" + std::to_string(smt);
+        for (int dd = 0; dd <= 1; ++dd) {
+            for (int rnd = 0; rnd <= 1; ++rnd) {
+                MicroprobeCase tc;
+                tc.name = prefix + "_dd" + std::to_string(dd) +
+                          (rnd ? "_random" : "_zero");
+                tc.smt = smt;
+                tc.depDistance = dd;
+                tc.randomData = rnd != 0;
+                suite.push_back(tc);
+            }
+        }
+        MicroprobeCase spec;
+        spec.name = prefix + "_spec";
+        spec.smt = smt;
+        spec.specSuite = true;
+        suite.push_back(spec);
+    }
+    return suite;
+}
+
+std::unique_ptr<InstrSource>
+makeCaseSource(const MicroprobeCase& tc, int threadId)
+{
+    if (tc.specSuite) {
+        const auto& suite = specint2017();
+        const WorkloadProfile& p =
+            suite[static_cast<size_t>(threadId) % suite.size()];
+        return std::make_unique<SyntheticWorkload>(p, threadId);
+    }
+    return makeDdLoop(tc.depDistance, tc.randomData,
+                      11 + static_cast<uint64_t>(threadId));
+}
+
+} // namespace p10ee::workloads

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Microprobe-style synthetic testcase suite (paper §III-E.2, Fig. 13).
+ *
+ * SERMiner's derating estimates run over a grid of synthetic testcases
+ * generated for varying SMT level (ST, SMT2, SMT4), dependency distance
+ * (DD0, DD1) and latch data initialization (zero, random), plus the SPEC
+ * proxies at each SMT level. This module enumerates that grid and builds
+ * per-thread instruction sources for each case.
+ */
+
+#ifndef P10EE_WORKLOADS_MICROPROBE_H
+#define P10EE_WORKLOADS_MICROPROBE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/source.h"
+
+namespace p10ee::workloads {
+
+/** One point of the Fig. 13 testcase grid. */
+struct MicroprobeCase
+{
+    std::string name;    ///< e.g. "smt2_dd0_random"
+    int smt = 1;         ///< thread count (1, 2, 4)
+    int depDistance = 0; ///< 0 or 1; ignored for SPEC cases
+    bool randomData = false;
+    bool specSuite = false; ///< SPEC proxy mix instead of a DD loop
+};
+
+/** The full ST/SMT2/SMT4 x DD0/DD1 x zero/random + SPEC grid. */
+std::vector<MicroprobeCase> fig13Suite();
+
+/**
+ * Build the instruction source for thread @p threadId of @p tc.
+ * SPEC cases rotate through the SPECint profiles per thread; DD cases
+ * replicate the same loop with a per-thread seed.
+ */
+std::unique_ptr<InstrSource> makeCaseSource(const MicroprobeCase& tc,
+                                            int threadId);
+
+} // namespace p10ee::workloads
+
+#endif // P10EE_WORKLOADS_MICROPROBE_H

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Instruction-source abstraction consumed by the core timing model.
+ *
+ * Mirrors the paper's proxy-workload methodology (§III-A): every workload
+ * — SPECint proxy, Microprobe synthetic, BLAS kernel window, AI phase —
+ * is an endless, repeatable stream of pre-decoded instructions that the
+ * model executes for a measurement window.
+ */
+
+#ifndef P10EE_WORKLOADS_SOURCE_H
+#define P10EE_WORKLOADS_SOURCE_H
+
+#include <string>
+#include <vector>
+
+#include "isa/instr.h"
+
+namespace p10ee::workloads {
+
+/** Endless, deterministic stream of pre-decoded instructions. */
+class InstrSource
+{
+  public:
+    virtual ~InstrSource() = default;
+
+    /** Produce the next dynamic instruction. Streams never end. */
+    virtual isa::TraceInstr next() = 0;
+
+    /** Workload name for reports. */
+    virtual std::string name() const = 0;
+};
+
+/**
+ * Replays a fixed instruction vector as an endless loop — the shape of a
+ * Chopstix proxy: an L1-contained captured snippet turned into an
+ * endless loop with consistent, repeatable behaviour.
+ */
+class ReplaySource : public InstrSource
+{
+  public:
+    /** @param instrs loop body; must be non-empty. */
+    ReplaySource(std::string name, std::vector<isa::TraceInstr> instrs);
+
+    isa::TraceInstr next() override;
+
+    std::string name() const override { return name_; }
+
+    /** Length of the replayed loop body. */
+    size_t loopLength() const { return instrs_.size(); }
+
+  private:
+    std::string name_;
+    std::vector<isa::TraceInstr> instrs_;
+    size_t cursor_ = 0;
+};
+
+} // namespace p10ee::workloads
+
+#endif // P10EE_WORKLOADS_SOURCE_H

@@ -1,0 +1,211 @@
+#include "workloads/spec_profiles.h"
+
+#include "common/assert.h"
+
+namespace p10ee::workloads {
+
+namespace {
+
+/**
+ * Profile constants follow the benchmarks' published characterizations:
+ * mcf/omnetpp memory-bound with pointer chasing, deepsjeng/leela with
+ * hard-to-predict branches, exchange2 almost entirely core-resident,
+ * x264 SIMD-heavy and streaming, gcc/xalancbmk with large instruction
+ * footprints. The `warm` working-set weights are the mechanism behind
+ * the Fig. 4 L2 ablation: those accesses fit a 2MB L2 but miss a 512KB
+ * one.
+ */
+std::vector<WorkloadProfile>
+makeSpec()
+{
+    std::vector<WorkloadProfile> v;
+
+    WorkloadProfile p;
+
+    p = {};
+    p.name = "perlbench";
+    p.loadFrac = 0.28; p.storeFrac = 0.14; p.branchFrac = 0.21;
+    p.mulFrac = 0.01; p.divFrac = 0.001;
+    p.biasedBranchFrac = 0.93; p.takenBias = 0.62; p.indirectFrac = 0.05;
+    p.indirectTargets = 6;
+    p.wHot = 0.806; p.wWarm = 0.190; p.wCold = 0.003; p.wHuge = 0.001;
+    p.strideFrac = 0.50; p.depChain = 0.40;
+    p.numBlocks = 1400; p.seed = 101;
+    v.push_back(p);
+
+    p = {};
+    p.name = "gcc";
+    p.loadFrac = 0.26; p.storeFrac = 0.13; p.branchFrac = 0.22;
+    p.mulFrac = 0.01; p.divFrac = 0.001;
+    p.biasedBranchFrac = 0.90; p.takenBias = 0.58; p.indirectFrac = 0.04;
+    p.indirectTargets = 8;
+    p.wHot = 0.740; p.wWarm = 0.244; p.wCold = 0.012; p.wHuge = 0.004;
+    p.strideFrac = 0.35; p.depChain = 0.42;
+    p.numBlocks = 5200; p.seed = 102; // large instruction footprint
+    v.push_back(p);
+
+    p = {};
+    p.name = "mcf";
+    p.loadFrac = 0.34; p.storeFrac = 0.09; p.branchFrac = 0.19;
+    p.mulFrac = 0.02; p.divFrac = 0.001;
+    p.biasedBranchFrac = 0.85; p.takenBias = 0.55; p.indirectFrac = 0.01;
+    p.wHot = 0.500; p.wWarm = 0.260; p.wCold = 0.160; p.wHuge = 0.080;
+    p.strideFrac = 0.12; p.depChain = 0.50; // pointer chasing
+    p.numBlocks = 180; p.seed = 103;
+    v.push_back(p);
+
+    p = {};
+    p.name = "omnetpp";
+    p.loadFrac = 0.31; p.storeFrac = 0.16; p.branchFrac = 0.20;
+    p.mulFrac = 0.01; p.divFrac = 0.001;
+    p.biasedBranchFrac = 0.88; p.takenBias = 0.60; p.indirectFrac = 0.05;
+    p.indirectTargets = 10;
+    p.wHot = 0.600; p.wWarm = 0.290; p.wCold = 0.080; p.wHuge = 0.030;
+    p.strideFrac = 0.18; p.depChain = 0.48;
+    p.numBlocks = 1600; p.seed = 104;
+    v.push_back(p);
+
+    p = {};
+    p.name = "xalancbmk";
+    p.loadFrac = 0.30; p.storeFrac = 0.11; p.branchFrac = 0.24;
+    p.mulFrac = 0.01; p.divFrac = 0.0005;
+    p.biasedBranchFrac = 0.90; p.takenBias = 0.64; p.indirectFrac = 0.06;
+    p.indirectTargets = 6;
+    p.wHot = 0.786; p.wWarm = 0.210; p.wCold = 0.003; p.wHuge = 0.001;
+    p.strideFrac = 0.40; p.depChain = 0.38;
+    p.numBlocks = 3400; p.seed = 105;
+    v.push_back(p);
+
+    p = {};
+    p.name = "x264";
+    p.loadFrac = 0.30; p.storeFrac = 0.12; p.branchFrac = 0.08;
+    p.vsuFrac = 0.22; p.mulFrac = 0.03; p.divFrac = 0.0005;
+    p.biasedBranchFrac = 0.93; p.takenBias = 0.75; p.indirectFrac = 0.01;
+    p.wHot = 0.706; p.wWarm = 0.290; p.wCold = 0.003; p.wHuge = 0.001;
+    p.strideFrac = 0.85; p.depChain = 0.25; // streaming SIMD
+    p.numBlocks = 420; p.seed = 106;
+    v.push_back(p);
+
+    p = {};
+    p.name = "deepsjeng";
+    p.loadFrac = 0.25; p.storeFrac = 0.10; p.branchFrac = 0.19;
+    p.mulFrac = 0.03; p.divFrac = 0.001;
+    p.biasedBranchFrac = 0.80; p.takenBias = 0.55; p.indirectFrac = 0.02;
+    p.wHot = 0.882; p.wWarm = 0.115; p.wCold = 0.002; p.wHuge = 0.001;
+    p.strideFrac = 0.30; p.depChain = 0.45; // hard branches
+    p.numBlocks = 900; p.seed = 107;
+    v.push_back(p);
+
+    p = {};
+    p.name = "leela";
+    p.loadFrac = 0.24; p.storeFrac = 0.09; p.branchFrac = 0.17;
+    p.fpFrac = 0.04; p.mulFrac = 0.03; p.divFrac = 0.002;
+    p.biasedBranchFrac = 0.85; p.takenBias = 0.57; p.indirectFrac = 0.02;
+    p.wHot = 0.862; p.wWarm = 0.135; p.wCold = 0.002; p.wHuge = 0.001;
+    p.strideFrac = 0.28; p.depChain = 0.48;
+    p.numBlocks = 760; p.seed = 108;
+    v.push_back(p);
+
+    p = {};
+    p.name = "exchange2";
+    p.loadFrac = 0.19; p.storeFrac = 0.09; p.branchFrac = 0.16;
+    p.mulFrac = 0.02; p.divFrac = 0.0005;
+    p.biasedBranchFrac = 0.96; p.takenBias = 0.68; p.indirectFrac = 0.0;
+    p.wHot = 0.970; p.wWarm = 0.030; p.wCold = 0.000; p.wHuge = 0.000;
+    p.strideFrac = 0.55; p.depChain = 0.35; // core-resident
+    p.numBlocks = 300; p.seed = 109;
+    v.push_back(p);
+
+    p = {};
+    p.name = "xz";
+    p.loadFrac = 0.27; p.storeFrac = 0.10; p.branchFrac = 0.14;
+    p.mulFrac = 0.04; p.divFrac = 0.001;
+    p.biasedBranchFrac = 0.85; p.takenBias = 0.60; p.indirectFrac = 0.005;
+    p.wHot = 0.606; p.wWarm = 0.380; p.wCold = 0.010; p.wHuge = 0.004;
+    p.strideFrac = 0.60; p.depChain = 0.52;
+    p.numBlocks = 140; p.seed = 110; // execution concentrated (99% cov.)
+    v.push_back(p);
+
+    return v;
+}
+
+std::vector<WorkloadProfile>
+makeExtras()
+{
+    std::vector<WorkloadProfile> v;
+    WorkloadProfile p;
+
+    // Commercial / transactional: flat profile, large code and data
+    // footprints, frequent indirect calls.
+    p = {};
+    p.name = "commercial";
+    p.loadFrac = 0.32; p.storeFrac = 0.16; p.branchFrac = 0.22;
+    p.mulFrac = 0.01; p.divFrac = 0.001;
+    p.biasedBranchFrac = 0.80; p.takenBias = 0.58; p.indirectFrac = 0.12;
+    p.indirectDominance = 0.50;
+    p.indirectTargets = 12;
+    p.wHot = 0.550; p.wWarm = 0.350; p.wCold = 0.070; p.wHuge = 0.030;
+    p.strideFrac = 0.22; p.depChain = 0.40;
+    p.numBlocks = 6200; p.seed = 201;
+    v.push_back(p);
+
+    // Interpreted-language (Python-like): dispatch-loop dominated,
+    // indirect-branch heavy — the paper's 38% flush-reduction class.
+    p = {};
+    p.name = "python_interp";
+    p.loadFrac = 0.30; p.storeFrac = 0.13; p.branchFrac = 0.24;
+    p.mulFrac = 0.01; p.divFrac = 0.001;
+    p.biasedBranchFrac = 0.75; p.takenBias = 0.56; p.indirectFrac = 0.18;
+    p.indirectDominance = 0.30;
+    p.indirectTargets = 16;
+    p.wHot = 0.740; p.wWarm = 0.240; p.wCold = 0.015; p.wHuge = 0.005;
+    p.strideFrac = 0.20; p.depChain = 0.50;
+    p.numBlocks = 2400; p.seed = 202;
+    v.push_back(p);
+
+    // ML/analytics: SIMD-dominated streaming compute — the class that
+    // "gains close to twofold" from doubling the VSX units (Fig. 4 star).
+    p = {};
+    p.name = "ml_analytics";
+    p.loadFrac = 0.26; p.storeFrac = 0.08; p.branchFrac = 0.05;
+    p.vsuFrac = 0.44; p.mulFrac = 0.01; p.divFrac = 0.0;
+    p.biasedBranchFrac = 0.97; p.takenBias = 0.80; p.indirectFrac = 0.0;
+    p.wHot = 0.500; p.wWarm = 0.440; p.wCold = 0.050; p.wHuge = 0.010;
+    p.strideFrac = 0.92; p.depChain = 0.18;
+    p.numBlocks = 120; p.seed = 203;
+    v.push_back(p);
+
+    return v;
+}
+
+} // namespace
+
+const std::vector<WorkloadProfile>&
+specint2017()
+{
+    static const std::vector<WorkloadProfile> suite = makeSpec();
+    return suite;
+}
+
+const std::vector<WorkloadProfile>&
+extraGroups()
+{
+    static const std::vector<WorkloadProfile> suite = makeExtras();
+    return suite;
+}
+
+const WorkloadProfile&
+profileByName(const std::string& name)
+{
+    for (const auto& p : specint2017())
+        if (p.name == name)
+            return p;
+    for (const auto& p : extraGroups())
+        if (p.name == name)
+            return p;
+    P10_ASSERT(false, "unknown workload profile");
+    static WorkloadProfile unreachable;
+    return unreachable;
+}
+
+} // namespace p10ee::workloads

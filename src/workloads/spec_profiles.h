@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Named workload profiles standing in for the SPECint 2017 suite.
+ *
+ * The paper's 1935 Chopstix proxies covered ~70% of SPECint execution;
+ * this substitute provides one representative profile per benchmark,
+ * with instruction mixes, branch behaviour, and working sets following
+ * the benchmarks' published characterizations. Extra groups model the
+ * "commercial / Python / ISV" workload classes whose maximum gains Fig. 4
+ * marks with stars.
+ */
+
+#ifndef P10EE_WORKLOADS_SPEC_PROFILES_H
+#define P10EE_WORKLOADS_SPEC_PROFILES_H
+
+#include <vector>
+
+#include "workloads/synthetic.h"
+
+namespace p10ee::workloads {
+
+/** The ten SPECint-2017-rate-like profiles. */
+const std::vector<WorkloadProfile>& specint2017();
+
+/**
+ * Extra workload groups of relevance to IBM Systems (paper Fig. 4
+ * stars): a commercial/transactional profile, a Python-interpreter-like
+ * profile, and an ML/analytics profile that leans on the SIMD engines.
+ */
+const std::vector<WorkloadProfile>& extraGroups();
+
+/**
+ * Look up any profile (SPECint or extra group) by name.
+ * Aborts when the name is unknown.
+ */
+const WorkloadProfile& profileByName(const std::string& name);
+
+} // namespace p10ee::workloads
+
+#endif // P10EE_WORKLOADS_SPEC_PROFILES_H

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Profile-driven synthetic workload generator.
+ *
+ * Substitutes for the paper's Chopstix-extracted SPECint proxy workloads
+ * (§III-A): each profile describes a benchmark's instruction mix, branch
+ * behaviour, working-set distribution, and ILP, and the generator walks a
+ * synthesized static control-flow graph, producing an endless dynamic
+ * instruction stream with those properties. Behaviour is mechanistic —
+ * branch outcomes come from per-branch bias/pattern state the predictor
+ * must actually learn, and memory addresses come from real region
+ * cursors the cache models actually index.
+ */
+
+#ifndef P10EE_WORKLOADS_SYNTHETIC_H
+#define P10EE_WORKLOADS_SYNTHETIC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "isa/instr.h"
+#include "workloads/source.h"
+
+namespace p10ee::workloads {
+
+/**
+ * Data-region tiers every profile's memory accesses are spread over.
+ * Sizes straddle the POWER9/POWER10 cache-size boundaries: `hot` fits
+ * any L1; `warm` is sized so eight SMT copies fit a 2MB L2 but thrash a
+ * 512KB one (the Fig. 4 L2-ablation signal); `cold` fits an L3 region
+ * for one copy but spills at SMT8; `huge` always comes from memory.
+ */
+struct RegionSizes
+{
+    uint64_t hot = 4 * 1024;
+    uint64_t warm = 80 * 1024;
+    uint64_t cold = 2560 * 1024;
+    uint64_t huge = 64ull * 1024 * 1024;
+};
+
+/** Statistical description of one benchmark-like workload. */
+struct WorkloadProfile
+{
+    std::string name;
+
+    // Instruction mix as fractions of the dynamic stream; the remainder
+    // after all listed classes is IntAlu.
+    double loadFrac = 0.25;
+    double storeFrac = 0.10;
+    double branchFrac = 0.18;
+    double fpFrac = 0.0;     ///< scalar FP
+    double vsuFrac = 0.0;    ///< 128-bit SIMD
+    double mulFrac = 0.02;
+    double divFrac = 0.002;
+
+    // Branch behaviour.
+    double biasedBranchFrac = 0.85; ///< strongly biased / patterned
+    double takenBias = 0.6;         ///< mean taken rate of biased branches
+    double indirectFrac = 0.03;     ///< fraction of branches indirect
+    int indirectTargets = 4;        ///< distinct targets per indirect
+    /**
+     * Probability an indirect branch goes to its dominant target; the
+     * remainder cycles through the other targets (the interpreter
+     * dispatch-loop pattern when this is low).
+     */
+    double indirectDominance = 0.75;
+
+    // Memory behaviour: access weights over the region tiers
+    // (normalized internally) and the fraction of accesses that stream
+    // with a fixed stride (prefetchable).
+    double wHot = 0.70;
+    double wWarm = 0.20;
+    double wCold = 0.07;
+    double wHuge = 0.03;
+    double strideFrac = 0.5;
+
+    // ILP: probability that an operand comes from a recently produced
+    // value (short dependence chains) rather than an old stable one.
+    double depChain = 0.35;
+
+    /**
+     * Fraction of eligible ops emitted as Power ISA 3.1 prefixed
+     * (8-byte) instructions: pc-relative addressing and long
+     * immediates. Zero for binaries that must also run on POWER9.
+     */
+    double prefixedFrac = 0.0;
+
+    // Static code shape.
+    int numBlocks = 256;
+    int avgBlockLen = 10;
+
+    uint64_t seed = 1;
+};
+
+/**
+ * CFG-walking instruction generator for one profile.
+ *
+ * Construction synthesizes the static code (blocks, templates, branch
+ * personalities); next() walks it. Two generators with the same profile
+ * and seed produce identical streams.
+ */
+class SyntheticWorkload : public InstrSource
+{
+  public:
+    /**
+     * @param profile statistical description to realize.
+     * @param threadId shifts data/code base addresses so SMT threads
+     *        running the same profile touch distinct footprints.
+     */
+    explicit SyntheticWorkload(const WorkloadProfile& profile,
+                               int threadId = 0);
+
+    isa::TraceInstr next() override;
+
+    std::string name() const override { return profile_.name; }
+
+    /** The profile this stream realizes. */
+    const WorkloadProfile& profile() const { return profile_; }
+
+    /** Static basic-block count (for Chopstix coverage accounting). */
+    int numBlocks() const { return static_cast<int>(blocks_.size()); }
+
+    /** Index of the block the walker is currently in. */
+    int currentBlock() const { return curBlock_; }
+
+  private:
+    /** One static instruction template. */
+    struct Template
+    {
+        isa::OpClass op;
+        uint16_t dest;
+        uint16_t src[3];
+        bool prefixed = false; ///< 8-byte prefixed encoding
+        uint32_t pcOff = 0;    ///< byte offset within the block
+        // Memory personality.
+        int regionTier = -1; ///< -1: not a memory op
+        bool strided = false;
+        uint16_t accessSize = 8;
+        uint32_t stride = 64;
+        // Branch personality.
+        bool isBranch = false;
+        bool biased = false;
+        double bias = 0.5;
+        uint32_t patternPeriod = 0; ///< >0: deterministic period pattern
+        bool indirect = false;
+        int takenTarget = 0;  ///< block index when taken
+        int fallthrough = 0;  ///< block index when not taken
+        std::vector<int> indirectTargetBlocks;
+    };
+
+    struct Block
+    {
+        uint64_t pcBase;
+        std::vector<Template> instrs;
+    };
+
+    void buildStaticCode();
+    isa::TraceInstr instantiate(const Template& tmpl, uint64_t pc);
+
+    WorkloadProfile profile_;
+    RegionSizes regions_;
+    common::Xoshiro rng_;
+    uint64_t dataBase_;
+    uint64_t codeBase_;
+
+    std::vector<Block> blocks_;
+    int curBlock_ = 0;
+    size_t curInstr_ = 0;
+
+    // Streaming cursors, one per region tier.
+    uint64_t cursor_[4] = {0, 0, 0, 0};
+    // Per-branch dynamic counters for pattern branches, indexed densely.
+    std::vector<uint32_t> branchCount_;
+    uint64_t dynInstrs_ = 0;
+};
+
+} // namespace p10ee::workloads
+
+#endif // P10EE_WORKLOADS_SYNTHETIC_H

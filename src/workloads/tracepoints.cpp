@@ -1,0 +1,203 @@
+#include "workloads/tracepoints.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.h"
+
+namespace p10ee::workloads {
+
+namespace {
+
+double
+metricDistance(const std::vector<double>& a, const std::vector<double>& b)
+{
+    P10_ASSERT(a.size() == b.size(), "metric dimension mismatch");
+    double d = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        double diff = a[i] - b[i];
+        d += diff * diff;
+    }
+    return d;
+}
+
+} // namespace
+
+TraceSelection
+tracepointsSelect(const std::vector<Epoch>& epochs, int numBins, int perBin)
+{
+    P10_ASSERT(!epochs.empty() && numBins > 0 && perBin > 0,
+               "tracepoints parameters");
+
+    double lo = std::numeric_limits<double>::max();
+    double hi = std::numeric_limits<double>::lowest();
+    for (const auto& e : epochs) {
+        lo = std::min(lo, e.cpi);
+        hi = std::max(hi, e.cpi);
+    }
+    if (hi <= lo)
+        hi = lo + 1e-9;
+
+    // Assign epochs to CPI bins.
+    std::vector<std::vector<int>> bins(static_cast<size_t>(numBins));
+    for (size_t i = 0; i < epochs.size(); ++i) {
+        int b = static_cast<int>((epochs[i].cpi - lo) / (hi - lo) *
+                                 numBins);
+        b = std::clamp(b, 0, numBins - 1);
+        bins[static_cast<size_t>(b)].push_back(static_cast<int>(i));
+    }
+
+    TraceSelection sel;
+    size_t nMetrics = epochs.front().metrics.size();
+    for (const auto& bin : bins) {
+        if (bin.empty())
+            continue;
+        // Bin centroid over the auxiliary metrics.
+        std::vector<double> centroid(nMetrics, 0.0);
+        for (int idx : bin)
+            for (size_t m = 0; m < nMetrics; ++m)
+                centroid[m] += epochs[static_cast<size_t>(idx)].metrics[m];
+        for (double& c : centroid)
+            c /= static_cast<double>(bin.size());
+
+        // Pick the perBin epochs nearest the centroid: they match the
+        // bin's aggregate behaviour, not just its CPI.
+        std::vector<int> ranked = bin;
+        std::sort(ranked.begin(), ranked.end(), [&](int a, int b) {
+            return metricDistance(
+                       epochs[static_cast<size_t>(a)].metrics, centroid) <
+                   metricDistance(
+                       epochs[static_cast<size_t>(b)].metrics, centroid);
+        });
+        int take = std::min<int>(perBin, static_cast<int>(ranked.size()));
+        double binWeight = static_cast<double>(bin.size()) /
+                           static_cast<double>(epochs.size());
+        for (int t = 0; t < take; ++t) {
+            sel.epochs.push_back(ranked[static_cast<size_t>(t)]);
+            sel.weights.push_back(binWeight / take);
+        }
+    }
+    return sel;
+}
+
+TraceSelection
+simpointSelect(const std::vector<Epoch>& epochs, int k, int iterations)
+{
+    P10_ASSERT(!epochs.empty() && k > 0, "simpoint parameters");
+    k = std::min<int>(k, static_cast<int>(epochs.size()));
+
+    // Deterministic farthest-point seeding over BBVs.
+    std::vector<std::vector<double>> centers;
+    centers.push_back(epochs.front().bbv);
+    while (static_cast<int>(centers.size()) < k) {
+        size_t far = 0;
+        double best = -1.0;
+        for (size_t i = 0; i < epochs.size(); ++i) {
+            double nearest = std::numeric_limits<double>::max();
+            for (const auto& c : centers)
+                nearest = std::min(nearest,
+                                   metricDistance(epochs[i].bbv, c));
+            if (nearest > best) {
+                best = nearest;
+                far = i;
+            }
+        }
+        centers.push_back(epochs[far].bbv);
+    }
+
+    std::vector<int> assign(epochs.size(), 0);
+    for (int it = 0; it < iterations; ++it) {
+        // Assignment step.
+        for (size_t i = 0; i < epochs.size(); ++i) {
+            double best = std::numeric_limits<double>::max();
+            for (size_t c = 0; c < centers.size(); ++c) {
+                double d = metricDistance(epochs[i].bbv, centers[c]);
+                if (d < best) {
+                    best = d;
+                    assign[i] = static_cast<int>(c);
+                }
+            }
+        }
+        // Update step.
+        for (size_t c = 0; c < centers.size(); ++c) {
+            std::vector<double> sum(centers[c].size(), 0.0);
+            int count = 0;
+            for (size_t i = 0; i < epochs.size(); ++i) {
+                if (assign[i] != static_cast<int>(c))
+                    continue;
+                ++count;
+                for (size_t m = 0; m < sum.size(); ++m)
+                    sum[m] += epochs[i].bbv[m];
+            }
+            if (count == 0)
+                continue;
+            for (size_t m = 0; m < sum.size(); ++m)
+                centers[c][m] = sum[m] / count;
+        }
+    }
+
+    TraceSelection sel;
+    for (size_t c = 0; c < centers.size(); ++c) {
+        int bestIdx = -1;
+        double best = std::numeric_limits<double>::max();
+        int count = 0;
+        for (size_t i = 0; i < epochs.size(); ++i) {
+            if (assign[i] != static_cast<int>(c))
+                continue;
+            ++count;
+            double d = metricDistance(epochs[i].bbv, centers[c]);
+            if (d < best) {
+                best = d;
+                bestIdx = static_cast<int>(i);
+            }
+        }
+        if (bestIdx < 0)
+            continue;
+        sel.epochs.push_back(bestIdx);
+        sel.weights.push_back(static_cast<double>(count) /
+                              static_cast<double>(epochs.size()));
+    }
+    return sel;
+}
+
+double
+selectionCpi(const std::vector<Epoch>& epochs, const TraceSelection& sel)
+{
+    double cpi = 0.0;
+    for (size_t i = 0; i < sel.epochs.size(); ++i)
+        cpi += sel.weights[i] *
+               epochs[static_cast<size_t>(sel.epochs[i])].cpi;
+    return cpi;
+}
+
+double
+selectionMetric(const std::vector<Epoch>& epochs, const TraceSelection& sel,
+                size_t m)
+{
+    double v = 0.0;
+    for (size_t i = 0; i < sel.epochs.size(); ++i)
+        v += sel.weights[i] *
+             epochs[static_cast<size_t>(sel.epochs[i])].metrics[m];
+    return v;
+}
+
+double
+aggregateCpi(const std::vector<Epoch>& epochs)
+{
+    double cpi = 0.0;
+    for (const auto& e : epochs)
+        cpi += e.cpi;
+    return epochs.empty() ? 0.0 : cpi / static_cast<double>(epochs.size());
+}
+
+double
+aggregateMetric(const std::vector<Epoch>& epochs, size_t m)
+{
+    double v = 0.0;
+    for (const auto& e : epochs)
+        v += e.metrics[m];
+    return epochs.empty() ? 0.0 : v / static_cast<double>(epochs.size());
+}
+
+} // namespace p10ee::workloads

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tracepoints trace selection vs Simpoint BBV clustering (paper §III-A).
+ *
+ * Simpoints cluster Basic Block Vectors from simulation; the paper argues
+ * BBVs miss architectural behaviour (cache misses, branch misses,
+ * periodicity) and work poorly for interpreted languages, and proposes
+ * Tracepoints: bin hardware performance-counter epochs into histograms
+ * by CPI and other metrics, then pick epochs from bins so the selection
+ * matches the application's aggregate behaviour. Both methods are
+ * implemented here so the paper's comparison can be run.
+ */
+
+#ifndef P10EE_WORKLOADS_TRACEPOINTS_H
+#define P10EE_WORKLOADS_TRACEPOINTS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace p10ee::workloads {
+
+/** Per-epoch measurement record (a few ms of hardware counters). */
+struct Epoch
+{
+    double cpi = 0.0;
+    /**
+     * Additional performance metrics per instruction (cache misses,
+     * branch mispredictions, vector-op fraction...). All epochs in a
+     * set must use the same metric ordering.
+     */
+    std::vector<double> metrics;
+    /** Basic-block execution vector (only used by the Simpoint path). */
+    std::vector<double> bbv;
+};
+
+/** Chosen representative epochs with replay weights (sum to 1). */
+struct TraceSelection
+{
+    std::vector<int> epochs;
+    std::vector<double> weights;
+};
+
+/**
+ * Tracepoints selection: histogram epochs by CPI into @p numBins bins,
+ * pick up to @p perBin representatives per non-empty bin (those closest
+ * to the bin's metric centroid), and weight each by its bin's share of
+ * the run.
+ */
+TraceSelection tracepointsSelect(const std::vector<Epoch>& epochs,
+                                 int numBins, int perBin);
+
+/**
+ * Simpoint-style selection: k-means over BBVs (@p k clusters,
+ * deterministic farthest-point seeding), one representative per cluster
+ * weighted by cluster size.
+ */
+TraceSelection simpointSelect(const std::vector<Epoch>& epochs, int k,
+                              int iterations = 25);
+
+/** Weighted-mean CPI of a selection. */
+double selectionCpi(const std::vector<Epoch>& epochs,
+                    const TraceSelection& sel);
+
+/** Weighted-mean of metric @p m of a selection. */
+double selectionMetric(const std::vector<Epoch>& epochs,
+                       const TraceSelection& sel, size_t m);
+
+/** Unweighted aggregate CPI of the full epoch set. */
+double aggregateCpi(const std::vector<Epoch>& epochs);
+
+/** Unweighted aggregate of metric @p m over the full epoch set. */
+double aggregateMetric(const std::vector<Epoch>& epochs, size_t m);
+
+} // namespace p10ee::workloads
+
+#endif // P10EE_WORKLOADS_TRACEPOINTS_H

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Integration-level tests for the core timing model: determinism,
+ * accounting invariants, and the qualitative behaviours the paper's
+ * design changes rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/core.h"
+#include "mma/gemm.h"
+#include "workloads/kernels.h"
+#include "workloads/spec_profiles.h"
+#include "workloads/synthetic.h"
+
+using namespace p10ee;
+using core::CoreModel;
+using core::RunOptions;
+
+namespace {
+
+core::RunResult
+runProfile(const core::CoreConfig& cfg, const std::string& name, int smt,
+           uint64_t instrs, bool timings = false)
+{
+    const auto& prof = workloads::profileByName(name);
+    std::vector<std::unique_ptr<workloads::SyntheticWorkload>> srcs;
+    std::vector<workloads::InstrSource*> ptrs;
+    for (int t = 0; t < smt; ++t) {
+        srcs.push_back(
+            std::make_unique<workloads::SyntheticWorkload>(prof, t));
+        ptrs.push_back(srcs.back().get());
+    }
+    CoreModel m(cfg);
+    RunOptions o;
+    o.warmupInstrs = 20000u * static_cast<unsigned>(smt);
+    o.measureInstrs = instrs;
+    o.collectTimings = timings;
+    return m.run(ptrs, o);
+}
+
+core::RunResult
+runLoop(const core::CoreConfig& cfg,
+        const std::vector<isa::TraceInstr>& loop, uint64_t instrs,
+        bool timings = false)
+{
+    workloads::ReplaySource src("loop", loop);
+    CoreModel m(cfg);
+    RunOptions o;
+    o.warmupInstrs = 15000;
+    o.measureInstrs = instrs;
+    o.collectTimings = timings;
+    return m.run({&src}, o);
+}
+
+} // namespace
+
+TEST(CoreModel, DeterministicRuns)
+{
+    auto cfg = core::power10();
+    auto a = runProfile(cfg, "perlbench", 2, 40000);
+    auto b = runProfile(cfg, "perlbench", 2, 40000);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instrs, b.instrs);
+    EXPECT_EQ(a.stats, b.stats);
+}
+
+TEST(CoreModel, InstructionAccounting)
+{
+    auto cfg = core::power10();
+    auto r = runProfile(cfg, "xz", 1, 30000);
+    EXPECT_EQ(r.instrs, 30000u);
+    EXPECT_EQ(r.stats.at("commit.instr"), 30000u);
+    // Fusion absorbs some instructions into fewer internal ops.
+    EXPECT_LE(r.stats.at("commit.op"), r.stats.at("commit.instr"));
+    EXPECT_EQ(r.stats.at("commit.op"), r.ops);
+}
+
+TEST(CoreModel, IpcWithinPhysicalBounds)
+{
+    for (auto cfg : {core::power9(), core::power10()}) {
+        auto r = runProfile(cfg, "exchange2", 1, 40000);
+        EXPECT_GT(r.ipc(), 0.1);
+        EXPECT_LE(r.ipc(), cfg.fetchWidth);
+    }
+}
+
+TEST(CoreModel, Power10OutperformsPower9OnSuite)
+{
+    double sum9 = 0.0, sum10 = 0.0;
+    for (const char* name : {"perlbench", "x264", "xz", "deepsjeng"}) {
+        sum9 += runProfile(core::power9(), name, 1, 40000).ipc();
+        sum10 += runProfile(core::power10(), name, 1, 40000).ipc();
+    }
+    EXPECT_GT(sum10, sum9 * 1.1);
+}
+
+TEST(CoreModel, FusionOnlyOnPower10)
+{
+    auto r9 = runProfile(core::power9(), "exchange2", 1, 40000);
+    auto r10 = runProfile(core::power10(), "exchange2", 1, 40000);
+    EXPECT_EQ(r9.stats.count("fusion.pair"), 0u);
+    EXPECT_GT(r10.stats.at("fusion.pair"), 500u);
+}
+
+TEST(CoreModel, EaTaggingCutsTranslations)
+{
+    // POWER9 translates on every access; POWER10 only on L1 misses.
+    auto r9 = runProfile(core::power9(), "perlbench", 1, 40000);
+    auto r10 = runProfile(core::power10(), "perlbench", 1, 40000);
+    double perLoad9 = static_cast<double>(r9.stats.at("derat.access")) /
+                      static_cast<double>(r9.stats.at("lsu.ld"));
+    double perLoad10 = static_cast<double>(r10.stats.at("derat.access")) /
+                       static_cast<double>(r10.stats.at("lsu.ld"));
+    EXPECT_GT(perLoad9, 0.9);  // nearly every load translates
+    EXPECT_LT(perLoad10, 0.3); // only misses translate
+}
+
+TEST(CoreModel, StoreMergingOnlyOnPower10)
+{
+    auto daxpy = workloads::makeDaxpy(32 * 1024);
+    CoreModel m9(core::power9()), m10(core::power10());
+    RunOptions o;
+    o.warmupInstrs = 10000;
+    o.measureInstrs = 30000;
+    auto r9 = m9.run({daxpy.get()}, o);
+    auto daxpy2 = workloads::makeDaxpy(32 * 1024);
+    auto r10 = m10.run({daxpy2.get()}, o);
+    EXPECT_EQ(r9.stats.count("lsu.st_merge"), 0u);
+    EXPECT_GT(r10.stats.at("lsu.st_merge"), 1000u);
+}
+
+TEST(CoreModel, InfiniteL2NeverMissesL2)
+{
+    const auto& prof = workloads::profileByName("mcf");
+    workloads::SyntheticWorkload src(prof);
+    CoreModel m(core::power10());
+    RunOptions o;
+    o.warmupInstrs = 20000;
+    o.measureInstrs = 30000;
+    o.infiniteL2 = true;
+    auto r = m.run({&src}, o);
+    EXPECT_EQ(r.stats.count("l2.miss"), 0u);
+    EXPECT_EQ(r.stats.count("mem.access"), 0u);
+}
+
+TEST(CoreModel, InfiniteL2SpeedsUpMemoryBound)
+{
+    auto chip = runProfile(core::power10(), "mcf", 1, 30000);
+    const auto& prof = workloads::profileByName("mcf");
+    workloads::SyntheticWorkload src(prof);
+    CoreModel m(core::power10());
+    RunOptions o;
+    o.warmupInstrs = 20000;
+    o.measureInstrs = 30000;
+    o.infiniteL2 = true;
+    auto coreOnly = m.run({&src}, o);
+    EXPECT_GT(coreOnly.ipc(), chip.ipc() * 1.3);
+}
+
+TEST(CoreModel, PointerChaseSlowerThanStreaming)
+{
+    auto chase = workloads::makePointerChase(16 * 1024 * 1024);
+    auto daxpy = workloads::makeDaxpy(16 * 1024 * 1024);
+    CoreModel m1(core::power10()), m2(core::power10());
+    RunOptions o;
+    o.warmupInstrs = 10000;
+    o.measureInstrs = 20000;
+    auto rChase = m1.run({chase.get()}, o);
+    auto rDaxpy = m2.run({daxpy.get()}, o);
+    EXPECT_LT(rChase.ipc() * 3.0, rDaxpy.ipc());
+}
+
+TEST(CoreModel, PrefetcherCoversStreams)
+{
+    auto cfg = core::power10();
+    auto weak = cfg;
+    weak.prefetchStreams = 1;
+    weak.prefetchDepth = 1;
+    auto strong = runProfile(cfg, "x264", 1, 40000);
+    auto crippled = runProfile(weak, "x264", 1, 40000);
+    EXPECT_GT(strong.ipc(), crippled.ipc());
+}
+
+TEST(CoreModel, SmtIncreasesThroughput)
+{
+    auto st = runProfile(core::power10(), "perlbench", 1, 40000);
+    auto smt4 = runProfile(core::power10(), "perlbench", 4, 80000);
+    EXPECT_GT(smt4.ipc(), st.ipc() * 1.2);
+}
+
+TEST(CoreModel, TimingsCoverMeasuredInstructions)
+{
+    auto r = runProfile(core::power10(), "xz", 1, 25000, true);
+    // A handful of measurement-boundary stragglers are excluded.
+    EXPECT_GE(r.timings.size(), 23500u); // in-flight window at the boundary
+    EXPECT_LE(r.timings.size(), 25000u);
+    for (size_t i = 0; i < r.timings.size(); i += 97) {
+        ASSERT_LE(r.timings[i].issue, r.timings[i].complete);
+        ASSERT_LE(r.timings[i].complete, r.cycles + 2000);
+    }
+}
+
+TEST(CoreModel, FlopAccountingOnGemm)
+{
+    constexpr int kD = 16;
+    std::vector<double> a(kD * kD, 1.0), b(kD * kD, 1.0), c(kD * kD, 0.0);
+    mma::VectorSink sink;
+    mma::dgemmMma(a.data(), b.data(), c.data(), {kD, kD, kD}, &sink);
+    auto r = runLoop(core::power10(), sink.instrs(), 60000);
+    // Every MmaGer contributes 16 flops.
+    EXPECT_EQ(r.flops, 16u * r.stats.at("mma.ger"));
+    EXPECT_GT(r.flopsPerCycle(), 4.0);
+}
+
+TEST(CoreModel, MmaChainsBeatVsuChains)
+{
+    // The MMA's in-unit accumulators allow back-to-back ger issue; the
+    // same GEMM via VSU FMAs stalls on accumulator latency (paper
+    // §II-C bullet 3).
+    constexpr int kD = 32;
+    std::vector<double> a(kD * kD, 1.0), b(kD * kD, 1.0);
+    std::vector<double> c1(kD * kD, 0.0), c2(kD * kD, 0.0);
+    mma::VectorSink mmaSink, vsuSink;
+    mma::dgemmMma(a.data(), b.data(), c1.data(), {kD, kD, kD}, &mmaSink);
+    mma::dgemmVsu(a.data(), b.data(), c2.data(), {kD, kD, kD}, &vsuSink);
+    auto rm = runLoop(core::power10(), mmaSink.instrs(), 80000);
+    auto rv = runLoop(core::power10(), vsuSink.instrs(), 80000);
+    EXPECT_GT(rm.flopsPerCycle(), rv.flopsPerCycle() * 2.0);
+}
+
+TEST(CoreModel, BiggerWindowHelpsMemoryBound)
+{
+    auto cfg = core::power10();
+    auto small = cfg;
+    small.robSize = 128;
+    auto big = runProfile(cfg, "mcf", 1, 30000);
+    auto narrow = runProfile(small, "mcf", 1, 30000);
+    EXPECT_GE(big.ipc(), narrow.ipc());
+}
+
+TEST(CoreModel, MispredictsCostCycles)
+{
+    auto cfg = core::power10();
+    auto blind = cfg;
+    blind.bp.bimodalBits = 4;
+    blind.bp.gshareBits = 4;
+    blind.bp.choiceBits = 4;
+    blind.bp.secondGshare = false;
+    blind.bp.localPattern = false;
+    auto good = runProfile(cfg, "deepsjeng", 1, 40000);
+    auto bad = runProfile(blind, "deepsjeng", 1, 40000);
+    EXPECT_GT(bad.perKilo("bp.mispredict"),
+              good.perKilo("bp.mispredict"));
+    EXPECT_GT(good.ipc(), bad.ipc());
+}
+
+TEST(CoreModel, WastedWorkTracksMispredicts)
+{
+    auto r = runProfile(core::power10(), "deepsjeng", 1, 40000);
+    if (r.stats.at("bp.mispredict") > 0)
+        EXPECT_GT(r.stats.at("flush.wasted"), r.stats.at("bp.mispredict"));
+}
+
+TEST(CoreModel, RunResultHelpers)
+{
+    core::RunResult r;
+    r.cycles = 200;
+    r.instrs = 100;
+    r.flops = 400;
+    r.stats["x"] = 50;
+    EXPECT_DOUBLE_EQ(r.ipc(), 0.5);
+    EXPECT_DOUBLE_EQ(r.cpi(), 2.0);
+    EXPECT_DOUBLE_EQ(r.flopsPerCycle(), 2.0);
+    EXPECT_DOUBLE_EQ(r.perKilo("x"), 500.0);
+    EXPECT_DOUBLE_EQ(r.perKilo("missing"), 0.0);
+}

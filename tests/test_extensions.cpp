@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Tests for the extension features: BF16 MMA ops, prefixed (8-byte)
+ * instructions, and the SERMiner protection-policy costing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/rng.h"
+#include "core/core.h"
+#include "mma/engine.h"
+#include "mma/gemm.h"
+#include "ras/serminer.h"
+#include "workloads/spec_profiles.h"
+#include "workloads/synthetic.h"
+
+using namespace p10ee;
+
+// ---------------- BF16 ----------------
+
+TEST(Bf16, RoundTripExactForRepresentable)
+{
+    for (float v : {0.0f, 1.0f, -2.5f, 0.15625f, 65536.0f}) {
+        EXPECT_EQ(mma::fromBf16(mma::toBf16(v)), v);
+    }
+}
+
+TEST(Bf16, RoundingIsNearest)
+{
+    // 1.0 + 2^-9 is not representable in bf16 (7 fraction bits); it
+    // must round to 1.0, while 1.0 + 2^-7 survives.
+    EXPECT_EQ(mma::fromBf16(mma::toBf16(1.0f + 0.001953125f)), 1.0f);
+    EXPECT_EQ(mma::fromBf16(mma::toBf16(1.0f + 0.0078125f)),
+              1.0078125f);
+}
+
+TEST(Bf16, GerMatchesFloatOuterProduct)
+{
+    mma::MmaEngine e;
+    uint16_t x[8], y[8];
+    float xf[8], yf[8];
+    common::Xoshiro r(5);
+    for (int i = 0; i < 8; ++i) {
+        xf[i] = static_cast<float>(r.uniform() - 0.5);
+        yf[i] = static_cast<float>(r.uniform() - 0.5);
+        x[i] = mma::toBf16(xf[i]);
+        y[i] = mma::toBf16(yf[i]);
+    }
+    e.xvbf16ger2pp(0, x, y);
+    for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 4; ++j) {
+            float want = mma::fromBf16(x[2 * i]) *
+                             mma::fromBf16(y[2 * j]) +
+                         mma::fromBf16(x[2 * i + 1]) *
+                             mma::fromBf16(y[2 * j + 1]);
+            EXPECT_FLOAT_EQ(e.acc(0).f32[i][j], want);
+        }
+    }
+}
+
+TEST(Bf16, GemmTracksFp32WithinPrecision)
+{
+    constexpr int kM = 16, kN = 32, kK = 24;
+    mma::GemmDims dims{kM, kN, kK};
+    std::vector<float> af(kM * kK), bf(kK * kN);
+    std::vector<uint16_t> a(kM * kK), b(kK * kN);
+    common::Xoshiro r(9);
+    for (size_t i = 0; i < af.size(); ++i) {
+        af[i] = static_cast<float>(r.uniform() - 0.5);
+        a[i] = mma::toBf16(af[i]);
+        af[i] = mma::fromBf16(a[i]); // quantized reference inputs
+    }
+    for (size_t i = 0; i < bf.size(); ++i) {
+        bf[i] = static_cast<float>(r.uniform() - 0.5);
+        b[i] = mma::toBf16(bf[i]);
+        bf[i] = mma::fromBf16(b[i]);
+    }
+    std::vector<float> want(kM * kN, 0.0f), got(kM * kN, 0.0f);
+    mma::sgemmRef(af.data(), bf.data(), want.data(), dims);
+    mma::bgemmMma(a.data(), b.data(), got.data(), dims);
+    for (size_t i = 0; i < want.size(); ++i)
+        ASSERT_NEAR(got[i], want[i], 1e-4f) << i;
+}
+
+TEST(Bf16, EmitsMmaStream)
+{
+    constexpr int kM = 8, kN = 16, kK = 8;
+    std::vector<uint16_t> a(kM * kK, mma::toBf16(1.0f));
+    std::vector<uint16_t> b(kK * kN, mma::toBf16(1.0f));
+    std::vector<float> c(kM * kN, 0.0f);
+    mma::VectorSink sink;
+    mma::bgemmMma(a.data(), b.data(), c.data(), {kM, kN, kK}, &sink);
+    int gers = 0;
+    for (const auto& in : sink.instrs())
+        gers += in.op == isa::OpClass::MmaGer;
+    EXPECT_EQ(gers, 8 * kK / 2); // rank-2: 8 accumulators per 2 k-steps
+    EXPECT_FLOAT_EQ(c[0], static_cast<float>(kK));
+}
+
+// ---------------- Prefixed instructions ----------------
+
+namespace {
+
+workloads::WorkloadProfile
+prefixedProfile()
+{
+    workloads::WorkloadProfile p =
+        workloads::profileByName("exchange2");
+    p.name = "prefixed_exchange2";
+    p.prefixedFrac = 0.30;
+    return p;
+}
+
+core::RunResult
+runProfile(const core::CoreConfig& cfg,
+           const workloads::WorkloadProfile& prof, uint64_t instrs)
+{
+    workloads::SyntheticWorkload src(prof);
+    core::CoreModel m(cfg);
+    core::RunOptions o;
+    o.warmupInstrs = 20000;
+    o.measureInstrs = instrs;
+    return m.run({&src}, o);
+}
+
+} // namespace
+
+TEST(Prefix, GeneratorEmitsEightBytePcs)
+{
+    workloads::SyntheticWorkload src(prefixedProfile());
+    int prefixed = 0;
+    uint64_t prevPc = 0;
+    bool prevPrefixed = false;
+    bool sawEightByteStep = false;
+    for (int i = 0; i < 20000; ++i) {
+        auto in = src.next();
+        prefixed += in.prefixed;
+        if (prevPrefixed && in.pc == prevPc + 8)
+            sawEightByteStep = true;
+        prevPc = in.pc;
+        prevPrefixed = in.prefixed;
+    }
+    EXPECT_GT(prefixed, 3000);
+    EXPECT_TRUE(sawEightByteStep);
+}
+
+TEST(Prefix, Power10FusesPower9Cracks)
+{
+    auto prof = prefixedProfile();
+    auto r9 = runProfile(core::power9(), prof, 30000);
+    auto r10 = runProfile(core::power10(), prof, 30000);
+    EXPECT_GT(r9.stats.at("decode.cracked"), 1000u);
+    EXPECT_EQ(r9.stats.count("decode.prefix_fused"), 0u);
+    EXPECT_GT(r10.stats.at("decode.prefix_fused"), 1000u);
+    EXPECT_EQ(r10.stats.count("decode.cracked"), 0u);
+}
+
+TEST(Prefix, CrackingCostsDecodeBandwidth)
+{
+    // On a decode-bound workload, prefixed instructions hurt the
+    // cracking machine more than the fusing one.
+    auto plain = workloads::profileByName("exchange2");
+    auto pre = prefixedProfile();
+    auto cfg9 = core::power9();
+    double slowdown9 = runProfile(cfg9, plain, 30000).ipc() /
+                       runProfile(cfg9, pre, 30000).ipc();
+    auto cfg10 = core::power10();
+    double slowdown10 = runProfile(cfg10, plain, 30000).ipc() /
+                        runProfile(cfg10, pre, 30000).ipc();
+    EXPECT_GT(slowdown9, slowdown10 * 0.99);
+}
+
+// ---------------- SERMiner protection policy ----------------
+
+namespace {
+
+std::vector<ras::LatchGroup>
+analyzeSpec(const core::CoreConfig& cfg)
+{
+    const auto& prof = workloads::profileByName("perlbench");
+    workloads::SyntheticWorkload src(prof);
+    core::CoreModel m(cfg);
+    core::RunOptions o;
+    o.warmupInstrs = 20000;
+    o.measureInstrs = 30000;
+    std::vector<core::RunResult> suite;
+    suite.push_back(m.run({&src}, o));
+    return ras::SerMiner(cfg).analyze(suite);
+}
+
+} // namespace
+
+TEST(Protection, HigherVtProtectsMoreAtMoreCost)
+{
+    auto groups = analyzeSpec(core::power10());
+    auto loose = ras::SerMiner::protectionCost(groups, 0.1);
+    auto strict = ras::SerMiner::protectionCost(groups, 0.9);
+    EXPECT_GT(strict.protectedFrac, loose.protectedFrac);
+    EXPECT_GT(strict.powerOverheadFrac, loose.powerOverheadFrac);
+    EXPECT_LT(strict.residualRisk, loose.residualRisk);
+}
+
+TEST(Protection, Power10CheaperAtIsoResilience)
+{
+    // The Fig. 14 conclusion: POWER10 attains the same residual risk
+    // with a lower protection power overhead.
+    auto g9 = analyzeSpec(core::power9());
+    auto g10 = analyzeSpec(core::power10());
+    auto r9 = ras::SerMiner::protectionCost(g9, 0.5);
+    // Find the POWER10 VT that reaches at most POWER9's residual risk.
+    for (double vt = 0.05; vt <= 1.0; vt += 0.05) {
+        auto r10 = ras::SerMiner::protectionCost(g10, vt);
+        if (r10.residualRisk <= r9.residualRisk) {
+            EXPECT_LT(r10.powerOverheadFrac,
+                      r9.powerOverheadFrac * 1.3);
+            return;
+        }
+    }
+    FAIL() << "POWER10 never reached POWER9's residual risk";
+}
+
+TEST(Protection, RankingIdentifiesHotComponents)
+{
+    auto groups = analyzeSpec(core::power10());
+    auto ranked = ras::SerMiner::rankComponents(groups);
+    ASSERT_GE(ranked.size(), 10u);
+    // Descending risk order.
+    for (size_t i = 1; i < ranked.size(); ++i)
+        EXPECT_LE(ranked[i].second, ranked[i - 1].second);
+    // An idle unit cannot outrank the busiest ones.
+    EXPECT_NE(ranked.front().first, "crypto_dfu");
+}

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * End-to-end integration tests: the headline paper claims must hold as
+ * inequalities/bands when the whole stack runs together.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/core.h"
+#include "mma/gemm.h"
+#include "power/energy.h"
+#include "workloads/chopstix.h"
+#include "workloads/spec_profiles.h"
+#include "workloads/synthetic.h"
+
+using namespace p10ee;
+
+namespace {
+
+struct Outcome
+{
+    double ipc;
+    double powerPj;
+};
+
+Outcome
+measure(const core::CoreConfig& cfg, const std::string& name, int smt)
+{
+    const auto& prof = workloads::profileByName(name);
+    std::vector<std::unique_ptr<workloads::SyntheticWorkload>> srcs;
+    std::vector<workloads::InstrSource*> ptrs;
+    for (int t = 0; t < smt; ++t) {
+        srcs.push_back(
+            std::make_unique<workloads::SyntheticWorkload>(prof, t));
+        ptrs.push_back(srcs.back().get());
+    }
+    core::CoreModel m(cfg);
+    core::RunOptions o;
+    o.warmupInstrs = 25000u * static_cast<unsigned>(smt);
+    o.measureInstrs = 60000;
+    auto run = m.run(ptrs, o);
+    power::EnergyModel energy(cfg);
+    return {run.ipc(), energy.evalCounters(run).totalPj};
+}
+
+} // namespace
+
+TEST(Headline, CorePerfPerWattBand)
+{
+    // Table I: 2.6x perf/W at the core level. Allow a generous band —
+    // the claim under test is "more than 2x, less than 3.5x".
+    double lg = 0.0;
+    int n = 0;
+    for (const char* name :
+         {"perlbench", "gcc", "x264", "deepsjeng", "xz", "leela"}) {
+        auto p9 = measure(core::power9(), name, 8);
+        auto p10 = measure(core::power10(), name, 8);
+        lg += std::log((p10.ipc / p10.powerPj) / (p9.ipc / p9.powerPj));
+        ++n;
+    }
+    double ratio = std::exp(lg / n);
+    EXPECT_GT(ratio, 2.0);
+    EXPECT_LT(ratio, 3.5);
+}
+
+TEST(Headline, Power10UsesLessPowerAtMoreThroughput)
+{
+    for (const char* name : {"perlbench", "xz"}) {
+        auto p9 = measure(core::power9(), name, 8);
+        auto p10 = measure(core::power10(), name, 8);
+        EXPECT_GT(p10.ipc, p9.ipc) << name;
+        EXPECT_LT(p10.powerPj, p9.powerPj) << name;
+    }
+}
+
+TEST(Headline, Fig5RatiosInBand)
+{
+    constexpr int kD = 64;
+    std::vector<double> a(kD * kD, 1.0), b(kD * kD, 1.0);
+    std::vector<double> c1(kD * kD, 0.0), c2(kD * kD, 0.0);
+    mma::VectorSink vsu, mmaSink;
+    mma::dgemmVsu(a.data(), b.data(), c1.data(), {kD, kD, kD}, &vsu);
+    mma::dgemmMma(a.data(), b.data(), c2.data(), {kD, kD, kD}, &mmaSink);
+
+    auto runKernel = [](const core::CoreConfig& cfg,
+                        const std::vector<isa::TraceInstr>& loop) {
+        workloads::ReplaySource src("k", loop);
+        core::CoreModel m(cfg);
+        core::RunOptions o;
+        o.warmupInstrs = 15000;
+        o.measureInstrs = 80000;
+        return m.run({&src}, o);
+    };
+    auto r9 = runKernel(core::power9(), vsu.instrs());
+    auto r10v = runKernel(core::power10(), vsu.instrs());
+    auto r10m = runKernel(core::power10(), mmaSink.instrs());
+
+    double vsuGain = r10v.flopsPerCycle() / r9.flopsPerCycle();
+    double mmaGain = r10m.flopsPerCycle() / r9.flopsPerCycle();
+    EXPECT_GT(vsuGain, 1.5); // paper: 1.95x
+    EXPECT_LT(vsuGain, 2.4);
+    EXPECT_GT(mmaGain, 4.3); // paper: 5.47x
+    EXPECT_LT(mmaGain, 6.8);
+
+    power::EnergyModel e9(core::power9()), e10(core::power10());
+    double pv = e10.evalCounters(r10v).totalPj /
+                e9.evalCounters(r9).totalPj;
+    double pm = e10.evalCounters(r10m).totalPj /
+                e9.evalCounters(r9).totalPj;
+    // Both POWER10 variants reduce core power despite more throughput.
+    EXPECT_LT(pv, 1.0);
+    EXPECT_LT(pm, 1.0);
+    // The MMA version does more work and burns more than the VSU one.
+    EXPECT_GT(pm, pv);
+}
+
+TEST(Headline, FlushedWorkReduced)
+{
+    auto run = [](const core::CoreConfig& cfg) {
+        const auto& prof = workloads::profileByName("deepsjeng");
+        std::vector<std::unique_ptr<workloads::SyntheticWorkload>> srcs;
+        std::vector<workloads::InstrSource*> ptrs;
+        for (int t = 0; t < 8; ++t) {
+            srcs.push_back(
+                std::make_unique<workloads::SyntheticWorkload>(prof, t));
+            ptrs.push_back(srcs.back().get());
+        }
+        core::CoreModel m(cfg);
+        core::RunOptions o;
+        o.warmupInstrs = 160000;
+        o.measureInstrs = 60000;
+        return m.run(ptrs, o);
+    };
+    auto r9 = run(core::power9());
+    auto r10 = run(core::power10());
+    EXPECT_LT(r10.perKilo("flush.wasted"), r9.perKilo("flush.wasted"));
+}
+
+TEST(Headline, ChopstixProxiesRunOnTheCore)
+{
+    // The methodology loop: extract proxies, replay them on the model,
+    // and confirm they are L1-contained (tiny instruction footprints).
+    auto extraction =
+        workloads::extractProxies(workloads::profileByName("xz"),
+                                  120000, 5);
+    ASSERT_FALSE(extraction.proxies.empty());
+    auto src = workloads::makeProxySource(extraction.proxies.front());
+    core::CoreModel m(core::power10());
+    core::RunOptions o;
+    o.warmupInstrs = 10000;
+    o.measureInstrs = 20000;
+    auto r = m.run({src.get()}, o);
+    EXPECT_GT(r.ipc(), 0.3);
+    EXPECT_LT(r.perKilo("l1i.miss"), 1.0); // L1-contained code
+}
+
+TEST(Headline, AblationGroupsAllContribute)
+{
+    // Full POWER10 must beat every remove-one configuration on a
+    // SPECint-wide geomean at SMT8 (each group pays for itself).
+    auto geo = [](const core::CoreConfig& cfg) {
+        double lg = 0.0;
+        int n = 0;
+        for (const char* name : {"perlbench", "x264", "xz", "mcf"}) {
+            lg += std::log(measure(cfg, name, 8).ipc);
+            ++n;
+        }
+        return std::exp(lg / n);
+    };
+    double full = geo(core::power10());
+    for (int g = 0; g < static_cast<int>(core::AblationGroup::NumGroups);
+         ++g) {
+        double without = geo(core::power10Without(
+            static_cast<core::AblationGroup>(g)));
+        EXPECT_GT(full, without * 0.93)
+            << core::ablationGroupName(
+                   static_cast<core::AblationGroup>(g));
+    }
+}

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Unit tests for the ISA abstraction: operation classes and the
+ * fusion-pair table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/fusion.h"
+#include "isa/instr.h"
+#include "isa/op.h"
+
+using namespace p10ee::isa;
+namespace reg = p10ee::isa::reg;
+
+namespace {
+
+TraceInstr
+make(OpClass op, uint16_t dest = reg::kNone, uint16_t s0 = reg::kNone,
+     uint16_t s1 = reg::kNone)
+{
+    TraceInstr in;
+    in.op = op;
+    in.dest = dest;
+    in.src[0] = s0;
+    in.src[1] = s1;
+    return in;
+}
+
+TraceInstr
+makeStore(uint64_t addr, uint16_t size)
+{
+    TraceInstr in;
+    in.op = OpClass::Store;
+    in.src[0] = 5;
+    in.src[1] = 1;
+    in.addr = addr;
+    in.size = size;
+    return in;
+}
+
+} // namespace
+
+TEST(OpClassify, LoadStoreBranchVsuMma)
+{
+    EXPECT_TRUE(isLoad(OpClass::Load));
+    EXPECT_TRUE(isLoad(OpClass::Load32B));
+    EXPECT_FALSE(isLoad(OpClass::Store));
+    EXPECT_TRUE(isStore(OpClass::Store32B));
+    EXPECT_TRUE(isBranch(OpClass::BranchIndirect));
+    EXPECT_FALSE(isBranch(OpClass::IntAlu));
+    EXPECT_TRUE(isVsu(OpClass::VsuFp));
+    EXPECT_TRUE(isVsu(OpClass::VsuInt));
+    EXPECT_TRUE(isMma(OpClass::MmaGer));
+    EXPECT_TRUE(isMma(OpClass::MmaMove));
+    EXPECT_FALSE(isMma(OpClass::VsuFp));
+}
+
+TEST(OpClassify, NamesAreUniqueAndNonEmpty)
+{
+    std::set<std::string> seen;
+    for (int i = 0; i < static_cast<int>(OpClass::NumOpClasses); ++i) {
+        auto name = opClassName(static_cast<OpClass>(i));
+        EXPECT_FALSE(name.empty());
+        EXPECT_TRUE(seen.insert(name).second) << name;
+    }
+}
+
+TEST(OpClassify, FlopAccounting)
+{
+    // VSU 128b FMA: 2 lanes x 2 ops; MMA ger: 4x2 FP64 tile x FMA.
+    EXPECT_EQ(flopsPerInstr(OpClass::VsuFp), 4);
+    EXPECT_EQ(flopsPerInstr(OpClass::MmaGer), 16);
+    EXPECT_EQ(flopsPerInstr(OpClass::FpScalar), 2);
+    EXPECT_EQ(flopsPerInstr(OpClass::Load), 0);
+    EXPECT_EQ(flopsPerInstr(OpClass::IntAlu), 0);
+}
+
+TEST(Fusion, DependentAluPairCollapses)
+{
+    TraceInstr a = make(OpClass::IntAlu, 10, 1, 2);
+    TraceInstr b = make(OpClass::IntAlu, 11, 10); // reads a's dest
+    EXPECT_EQ(classifyFusion(a, b), FusionKind::AluAlu);
+    EXPECT_TRUE(fusesToSingleOp(FusionKind::AluAlu));
+}
+
+TEST(Fusion, IndependentAluPairDoesNotFuse)
+{
+    TraceInstr a = make(OpClass::IntAlu, 10, 1, 2);
+    TraceInstr b = make(OpClass::IntAlu, 11, 3, 4);
+    EXPECT_EQ(classifyFusion(a, b), FusionKind::None);
+}
+
+TEST(Fusion, WideDependentPairSharesIssue)
+{
+    TraceInstr a = make(OpClass::IntAlu, 10, 1, 2);
+    TraceInstr b = make(OpClass::IntAlu, 11, 10, 3);
+    b.src[2] = 4; // 2 + 3 - 1 = 4 sources > 3
+    EXPECT_EQ(classifyFusion(a, b), FusionKind::SharedIssue);
+    EXPECT_FALSE(fusesToSingleOp(FusionKind::SharedIssue));
+}
+
+TEST(Fusion, CompareBranchFuses)
+{
+    TraceInstr cmp = make(OpClass::IntAlu, 20, 1, 2);
+    TraceInstr br = make(OpClass::Branch, reg::kNone, 20);
+    EXPECT_EQ(classifyFusion(cmp, br), FusionKind::AluBranch);
+}
+
+TEST(Fusion, IndependentBranchDoesNotFuse)
+{
+    TraceInstr alu = make(OpClass::IntAlu, 20, 1, 2);
+    TraceInstr br = make(OpClass::Branch, reg::kNone, 21);
+    EXPECT_EQ(classifyFusion(alu, br), FusionKind::None);
+}
+
+TEST(Fusion, ConsecutiveStoresFuse)
+{
+    TraceInstr a = makeStore(0x1000, 8);
+    TraceInstr b = makeStore(0x1008, 8);
+    EXPECT_EQ(classifyFusion(a, b), FusionKind::StoreStore);
+}
+
+TEST(Fusion, NonConsecutiveStoresDoNotFuse)
+{
+    TraceInstr a = makeStore(0x1000, 8);
+    TraceInstr b = makeStore(0x1018, 8);
+    EXPECT_EQ(classifyFusion(a, b), FusionKind::None);
+}
+
+TEST(Fusion, WideStoresDoNotFuse)
+{
+    // Paper: "two stores up to 16 bytes in length each".
+    TraceInstr a = makeStore(0x1000, 32);
+    a.op = OpClass::Store; // force the 32-byte size through Store class
+    TraceInstr b = makeStore(0x1020, 32);
+    EXPECT_EQ(classifyFusion(a, b), FusionKind::None);
+}
+
+TEST(Fusion, ConsecutiveLoadsFuse)
+{
+    TraceInstr a = make(OpClass::Load, 10, 1);
+    a.addr = 0x2000;
+    a.size = 16;
+    TraceInstr b = make(OpClass::Load, 11, 1);
+    b.addr = 0x2010;
+    b.size = 16;
+    EXPECT_EQ(classifyFusion(a, b), FusionKind::LoadLoad);
+}
+
+TEST(Fusion, AddressFormingLoadFuses)
+{
+    TraceInstr addis = make(OpClass::IntAlu, 9, 1, 2);
+    TraceInstr ld = make(OpClass::Load, 10, 9);
+    ld.addr = 0x3000;
+    ld.size = 8;
+    EXPECT_EQ(classifyFusion(addis, ld), FusionKind::AluLoadAddr);
+}
+
+TEST(Fusion, NoFusionAcrossTakenBranch)
+{
+    TraceInstr br = make(OpClass::Branch, reg::kNone, 20);
+    br.taken = true;
+    TraceInstr alu = make(OpClass::IntAlu, 11, 20);
+    EXPECT_EQ(classifyFusion(br, alu), FusionKind::None);
+}
+
+TEST(Fusion, KindNamesDistinct)
+{
+    std::set<std::string> names;
+    for (int k = 0; k < static_cast<int>(FusionKind::NumFusionKinds); ++k)
+        EXPECT_TRUE(
+            names.insert(fusionKindName(static_cast<FusionKind>(k)))
+                .second);
+}
+
+TEST(TraceInstrTest, NumSrcsCountsUsed)
+{
+    TraceInstr in = make(OpClass::IntAlu, 5, 1, 2);
+    EXPECT_EQ(in.numSrcs(), 2);
+    in.src[2] = 3;
+    EXPECT_EQ(in.numSrcs(), 3);
+    TraceInstr empty = make(OpClass::Nop);
+    EXPECT_EQ(empty.numSrcs(), 0);
+}
+
+TEST(TraceInstrTest, RegisterSpaceLayout)
+{
+    // The architectural register spaces must not overlap.
+    EXPECT_LT(reg::kGprBase + reg::kNumGpr, reg::kVsrBase + reg::kNumVsr);
+    EXPECT_LT(reg::kVsrBase + reg::kNumVsr,
+              static_cast<int>(reg::kCrBase));
+    EXPECT_LT(reg::kCrBase + reg::kNumCr, reg::kAccBase + reg::kNumAcc);
+    EXPECT_EQ(reg::kAccBase + reg::kNumAcc, reg::kNumArchRegs);
+    EXPECT_GT(reg::kNone, reg::kNumArchRegs);
+}

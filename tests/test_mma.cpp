@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Tests for the MMA functional engine and the GEMM kernels: numerical
+ * correctness against naive references (parameterized over problem
+ * sizes) and instruction-stream emission properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "isa/op.h"
+#include "mma/engine.h"
+#include "mma/gemm.h"
+
+using namespace p10ee;
+using mma::GemmDims;
+using mma::MmaEngine;
+
+namespace {
+
+void
+fillRandom(std::vector<double>& v, uint64_t seed)
+{
+    common::Xoshiro r(seed);
+    for (auto& x : v)
+        x = r.uniform() * 2.0 - 1.0;
+}
+
+void
+fillRandom(std::vector<float>& v, uint64_t seed)
+{
+    common::Xoshiro r(seed);
+    for (auto& x : v)
+        x = static_cast<float>(r.uniform() * 2.0 - 1.0);
+}
+
+void
+fillRandom(std::vector<int8_t>& v, uint64_t seed)
+{
+    common::Xoshiro r(seed);
+    for (auto& x : v)
+        x = static_cast<int8_t>(r.below(255)) ;
+}
+
+} // namespace
+
+TEST(MmaEngine, SetAcczZeroes)
+{
+    MmaEngine e;
+    float x[4] = {1, 2, 3, 4};
+    float y[4] = {1, 1, 1, 1};
+    e.xvf32gerpp(2, x, y);
+    e.xxsetaccz(2);
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            EXPECT_EQ(e.acc(2).f32[i][j], 0.0f);
+}
+
+TEST(MmaEngine, Fp32OuterProduct)
+{
+    MmaEngine e;
+    float x[4] = {1, 2, 3, 4};
+    float y[4] = {10, 20, 30, 40};
+    e.xvf32gerpp(0, x, y);
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            EXPECT_FLOAT_EQ(e.acc(0).f32[i][j], x[i] * y[j]);
+}
+
+TEST(MmaEngine, Fp32Accumulates)
+{
+    MmaEngine e;
+    float x[4] = {1, 1, 1, 1};
+    float y[4] = {2, 2, 2, 2};
+    e.xvf32gerpp(1, x, y);
+    e.xvf32gerpp(1, x, y);
+    EXPECT_FLOAT_EQ(e.acc(1).f32[3][3], 4.0f);
+}
+
+TEST(MmaEngine, Fp32GerOverwrites)
+{
+    MmaEngine e;
+    float x[4] = {1, 1, 1, 1};
+    float y[4] = {5, 5, 5, 5};
+    e.xvf32gerpp(0, x, y);
+    e.xvf32ger(0, x, y); // implicit zero first
+    EXPECT_FLOAT_EQ(e.acc(0).f32[0][0], 5.0f);
+}
+
+TEST(MmaEngine, Fp64OuterProduct)
+{
+    MmaEngine e;
+    double x[4] = {1.5, -2.0, 0.25, 8.0};
+    double y[2] = {3.0, -1.0};
+    e.xvf64gerpp(3, x, y);
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 2; ++j)
+            EXPECT_DOUBLE_EQ(e.acc(3).f64[i][j], x[i] * y[j]);
+}
+
+TEST(MmaEngine, Int8Rank4DotProducts)
+{
+    MmaEngine e;
+    int8_t x[16], y[16];
+    for (int i = 0; i < 16; ++i) {
+        x[i] = static_cast<int8_t>(i - 8);
+        y[i] = static_cast<int8_t>(2 * i - 15);
+    }
+    e.xvi8ger4pp(0, x, y);
+    for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 4; ++j) {
+            int32_t want = 0;
+            for (int k = 0; k < 4; ++k)
+                want += static_cast<int32_t>(x[4 * i + k]) *
+                        static_cast<int32_t>(y[4 * j + k]);
+            EXPECT_EQ(e.acc(0).i32[i][j], want);
+        }
+    }
+}
+
+TEST(MmaEngine, Int16Rank2DotProducts)
+{
+    MmaEngine e;
+    int16_t x[8], y[8];
+    for (int i = 0; i < 8; ++i) {
+        x[i] = static_cast<int16_t>(100 * i - 350);
+        y[i] = static_cast<int16_t>(-50 * i + 175);
+    }
+    e.xvi16ger2pp(5, x, y);
+    for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 4; ++j) {
+            int32_t want = 0;
+            for (int k = 0; k < 2; ++k)
+                want += static_cast<int32_t>(x[2 * i + k]) *
+                        static_cast<int32_t>(y[2 * j + k]);
+            EXPECT_EQ(e.acc(5).i32[i][j], want);
+        }
+    }
+}
+
+TEST(MmaEngine, MfaccCopiesOut)
+{
+    MmaEngine e;
+    double x[4] = {1, 2, 3, 4};
+    double y[2] = {5, 6};
+    e.xvf64gerpp(7, x, y);
+    double out[4][2];
+    e.xxmfacc(7, out);
+    EXPECT_DOUBLE_EQ(out[2][1], 18.0);
+}
+
+TEST(GemmHelpers, FlopCount)
+{
+    EXPECT_EQ(mma::gemmFlops({8, 8, 8}), 1024u);
+    EXPECT_EQ(mma::gemmFlops({16, 32, 4}), 4096u);
+}
+
+// ---- Parameterized kernel-vs-reference sweeps ----
+
+class DgemmSizes : public ::testing::TestWithParam<GemmDims>
+{
+};
+
+TEST_P(DgemmSizes, MmaMatchesReference)
+{
+    GemmDims d = GetParam();
+    std::vector<double> a(static_cast<size_t>(d.m) * d.k);
+    std::vector<double> b(static_cast<size_t>(d.k) * d.n);
+    std::vector<double> want(static_cast<size_t>(d.m) * d.n, 0.5);
+    fillRandom(a, 100 + d.m);
+    fillRandom(b, 200 + d.n);
+    std::vector<double> got = want;
+    mma::dgemmRef(a.data(), b.data(), want.data(), d);
+    mma::dgemmMma(a.data(), b.data(), got.data(), d);
+    for (size_t i = 0; i < want.size(); ++i)
+        ASSERT_NEAR(got[i], want[i], 1e-9) << "at " << i;
+}
+
+TEST_P(DgemmSizes, VsuMatchesReference)
+{
+    GemmDims d = GetParam();
+    if (d.n % 4 != 0)
+        GTEST_SKIP();
+    std::vector<double> a(static_cast<size_t>(d.m) * d.k);
+    std::vector<double> b(static_cast<size_t>(d.k) * d.n);
+    std::vector<double> want(static_cast<size_t>(d.m) * d.n, -1.0);
+    fillRandom(a, 300 + d.k);
+    fillRandom(b, 400 + d.m);
+    std::vector<double> got = want;
+    mma::dgemmRef(a.data(), b.data(), want.data(), d);
+    mma::dgemmVsu(a.data(), b.data(), got.data(), d);
+    for (size_t i = 0; i < want.size(); ++i)
+        ASSERT_NEAR(got[i], want[i], 1e-9) << "at " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, DgemmSizes,
+    ::testing::Values(GemmDims{8, 8, 1}, GemmDims{8, 8, 8},
+                      GemmDims{16, 8, 4}, GemmDims{8, 16, 32},
+                      GemmDims{24, 24, 24}, GemmDims{32, 16, 7},
+                      GemmDims{16, 32, 33}, GemmDims{40, 8, 13}));
+
+class SgemmSizes : public ::testing::TestWithParam<GemmDims>
+{
+};
+
+TEST_P(SgemmSizes, MmaPanelMatchesReference)
+{
+    GemmDims d = GetParam();
+    std::vector<float> a(static_cast<size_t>(d.m) * d.k);
+    std::vector<float> b(static_cast<size_t>(d.k) * d.n);
+    std::vector<float> want(static_cast<size_t>(d.m) * d.n, 0.25f);
+    fillRandom(a, 500 + d.m);
+    fillRandom(b, 600 + d.n);
+    std::vector<float> got = want;
+    mma::sgemmRef(a.data(), b.data(), want.data(), d);
+    mma::sgemmMma(a.data(), b.data(), got.data(), d);
+    for (size_t i = 0; i < want.size(); ++i)
+        ASSERT_NEAR(got[i], want[i], 1e-3f) << "at " << i;
+}
+
+TEST_P(SgemmSizes, VsuMatchesReference)
+{
+    GemmDims d = GetParam();
+    if (d.n % 8 != 0)
+        GTEST_SKIP();
+    std::vector<float> a(static_cast<size_t>(d.m) * d.k);
+    std::vector<float> b(static_cast<size_t>(d.k) * d.n);
+    std::vector<float> want(static_cast<size_t>(d.m) * d.n, 1.0f);
+    fillRandom(a, 700 + d.k);
+    fillRandom(b, 800 + d.m);
+    std::vector<float> got = want;
+    mma::sgemmRef(a.data(), b.data(), want.data(), d);
+    mma::sgemmVsu(a.data(), b.data(), got.data(), d);
+    for (size_t i = 0; i < want.size(); ++i)
+        ASSERT_NEAR(got[i], want[i], 1e-3f) << "at " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, SgemmSizes,
+    ::testing::Values(GemmDims{8, 16, 1}, GemmDims{8, 16, 16},
+                      GemmDims{16, 16, 8}, GemmDims{8, 32, 24},
+                      GemmDims{24, 48, 17}, GemmDims{32, 16, 64}));
+
+class IgemmSizes : public ::testing::TestWithParam<GemmDims>
+{
+};
+
+TEST_P(IgemmSizes, Int8MatchesReference)
+{
+    GemmDims d = GetParam();
+    std::vector<int8_t> a(static_cast<size_t>(d.m) * d.k);
+    std::vector<int8_t> b(static_cast<size_t>(d.k) * d.n);
+    std::vector<int32_t> want(static_cast<size_t>(d.m) * d.n, 7);
+    fillRandom(a, 900 + d.m);
+    fillRandom(b, 1000 + d.n);
+    std::vector<int32_t> got = want;
+    mma::igemmRef(a.data(), b.data(), want.data(), d);
+    mma::igemmMma(a.data(), b.data(), got.data(), d);
+    for (size_t i = 0; i < want.size(); ++i)
+        ASSERT_EQ(got[i], want[i]) << "at " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, IgemmSizes,
+    ::testing::Values(GemmDims{8, 16, 4}, GemmDims{8, 16, 32},
+                      GemmDims{16, 32, 8}, GemmDims{24, 16, 64}));
+
+// ---- Emission properties ----
+
+TEST(GemmEmission, MmaStreamComposition)
+{
+    constexpr int kM = 8, kN = 8, kK = 16;
+    std::vector<double> a(kM * kK, 1.0), b(kK * kN, 1.0), c(kM * kN, 0.0);
+    mma::VectorSink sink;
+    mma::dgemmMma(a.data(), b.data(), c.data(), {kM, kN, kK}, &sink);
+
+    int gers = 0, moves = 0, loads = 0, stores = 0, branches = 0;
+    for (const auto& in : sink.instrs()) {
+        EXPECT_TRUE(in.gemm);
+        switch (in.op) {
+          case isa::OpClass::MmaGer: ++gers; break;
+          case isa::OpClass::MmaMove: ++moves; break;
+          case isa::OpClass::Load32B: ++loads; break;
+          case isa::OpClass::Store32B: ++stores; break;
+          case isa::OpClass::Branch: ++branches; break;
+          default: break;
+        }
+    }
+    EXPECT_EQ(gers, 8 * kK);      // 8 accumulators per k step
+    EXPECT_EQ(moves, 16);         // 8 setaccz + 8 mfacc (one tile)
+    EXPECT_EQ(loads, 4 * kK);     // 2 A + 2 B 32-byte loads per k
+    EXPECT_EQ(stores, 16);        // 8 rows x 2 32-byte stores
+    EXPECT_EQ(branches, kK);
+}
+
+TEST(GemmEmission, LoopPcsRepeatPerIteration)
+{
+    constexpr int kM = 8, kN = 8, kK = 4;
+    std::vector<double> a(kM * kK, 1.0), b(kK * kN, 1.0), c(kM * kN, 0.0);
+    mma::VectorSink sink;
+    mma::dgemmMma(a.data(), b.data(), c.data(), {kM, kN, kK}, &sink);
+
+    // Collect PCs of the ger ops; each iteration must reuse the same 8.
+    std::set<uint64_t> gerPcs;
+    for (const auto& in : sink.instrs())
+        if (in.op == isa::OpClass::MmaGer)
+            gerPcs.insert(in.pc);
+    EXPECT_EQ(gerPcs.size(), 8u);
+}
+
+TEST(GemmEmission, BackwardBranchTakenExceptLastIteration)
+{
+    constexpr int kM = 8, kN = 8, kK = 5;
+    std::vector<double> a(kM * kK, 1.0), b(kK * kN, 1.0), c(kM * kN, 0.0);
+    mma::VectorSink sink;
+    mma::dgemmMma(a.data(), b.data(), c.data(), {kM, kN, kK}, &sink);
+    int taken = 0, notTaken = 0;
+    for (const auto& in : sink.instrs()) {
+        if (isa::isBranch(in.op))
+            (in.taken ? taken : notTaken)++;
+    }
+    EXPECT_EQ(taken, kK - 1);
+    EXPECT_EQ(notTaken, 1);
+}
+
+TEST(GemmEmission, AccumulateChainsUseAccAsSourceAndDest)
+{
+    constexpr int kM = 8, kN = 16, kK = 8;
+    std::vector<float> a(kM * kK, 1.0f), b(kK * kN, 1.0f),
+        c(kM * kN, 0.0f);
+    mma::VectorSink sink;
+    mma::sgemmMma(a.data(), b.data(), c.data(), {kM, kN, kK}, &sink);
+    for (const auto& in : sink.instrs()) {
+        if (in.op != isa::OpClass::MmaGer)
+            continue;
+        ASSERT_GE(in.dest, isa::reg::kAccBase);
+        EXPECT_EQ(in.src[0], in.dest); // pp form accumulates
+    }
+}
+
+TEST(GemmEmission, NoSinkMeansPureNumerics)
+{
+    constexpr int kM = 8, kN = 8, kK = 8;
+    std::vector<double> a(kM * kK), b(kK * kN), want(kM * kN, 0.0);
+    fillRandom(a, 1);
+    fillRandom(b, 2);
+    std::vector<double> got = want;
+    mma::dgemmRef(a.data(), b.data(), want.data(), {kM, kN, kK});
+    mma::dgemmMma(a.data(), b.data(), got.data(), {kM, kN, kK}, nullptr);
+    for (size_t i = 0; i < want.size(); ++i)
+        ASSERT_NEAR(got[i], want[i], 1e-9);
+}

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests for the counter-based power-model training: datasets, greedy
+ * selection, constraints, bottom-up composition, and the Power Proxy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/core.h"
+#include "model/bottomup.h"
+#include "model/dataset.h"
+#include "model/proxy.h"
+#include "model/regress.h"
+#include "workloads/spec_profiles.h"
+#include "workloads/synthetic.h"
+
+using namespace p10ee;
+
+namespace {
+
+/** Shared fixture state: a small corpus of runs (built once). */
+class ModelCorpus : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        cfg_ = new core::CoreConfig(core::power10());
+        energy_ = new power::EnergyModel(*cfg_);
+        runs_ = new std::vector<core::RunResult>();
+        for (const char* name :
+             {"perlbench", "x264", "mcf", "exchange2", "xz", "leela",
+              "deepsjeng", "gcc"}) {
+            for (int smt : {1, 2}) {
+                const auto& prof = workloads::profileByName(name);
+                std::vector<std::unique_ptr<workloads::SyntheticWorkload>>
+                    srcs;
+                std::vector<workloads::InstrSource*> ptrs;
+                for (int t = 0; t < smt; ++t) {
+                    srcs.push_back(
+                        std::make_unique<workloads::SyntheticWorkload>(
+                            prof, t));
+                    ptrs.push_back(srcs.back().get());
+                }
+                core::CoreModel m(*cfg_);
+                core::RunOptions o;
+                o.warmupInstrs = 20000u * static_cast<unsigned>(smt);
+                o.measureInstrs = 30000;
+                o.collectTimings = smt == 1;
+                runs_->push_back(m.run(ptrs, o));
+            }
+        }
+        ds_ = new model::Dataset(
+            model::buildAggregateDataset(*runs_, *energy_));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete ds_;
+        delete runs_;
+        delete energy_;
+        delete cfg_;
+    }
+
+    static core::CoreConfig* cfg_;
+    static power::EnergyModel* energy_;
+    static std::vector<core::RunResult>* runs_;
+    static model::Dataset* ds_;
+};
+
+core::CoreConfig* ModelCorpus::cfg_ = nullptr;
+power::EnergyModel* ModelCorpus::energy_ = nullptr;
+std::vector<core::RunResult>* ModelCorpus::runs_ = nullptr;
+model::Dataset* ModelCorpus::ds_ = nullptr;
+
+} // namespace
+
+TEST_F(ModelCorpus, DatasetShape)
+{
+    EXPECT_EQ(ds_->samples.size(), 16u);
+    EXPECT_GT(ds_->featureNames.size(), 30u);
+    for (const auto& s : ds_->samples) {
+        EXPECT_EQ(s.features.size(), ds_->featureNames.size());
+        EXPECT_GT(s.target, 0.0); // active power positive
+    }
+}
+
+TEST_F(ModelCorpus, FeatureIndexLookup)
+{
+    int idx = ds_->featureIndex("issue.alu");
+    ASSERT_GE(idx, 0);
+    EXPECT_EQ(ds_->featureNames[static_cast<size_t>(idx)], "issue.alu");
+    EXPECT_EQ(ds_->featureIndex("no.such.counter"), -1);
+}
+
+TEST_F(ModelCorpus, ErrorDecreasesWithInputs)
+{
+    model::ModelOptions o1, o4, o12;
+    o1.maxInputs = 1;
+    o4.maxInputs = 4;
+    o12.maxInputs = 12;
+    double e1 = model::meanAbsErrorFrac(model::trainModel(*ds_, o1), *ds_);
+    double e4 = model::meanAbsErrorFrac(model::trainModel(*ds_, o4), *ds_);
+    double e12 =
+        model::meanAbsErrorFrac(model::trainModel(*ds_, o12), *ds_);
+    EXPECT_GE(e1, e4 - 1e-9);
+    EXPECT_GE(e4, e12 - 1e-9);
+    EXPECT_LT(e12, 0.10);
+}
+
+TEST_F(ModelCorpus, NonNegativeConstraintHolds)
+{
+    model::ModelOptions o;
+    o.maxInputs = 10;
+    o.nonNegative = true;
+    auto m = model::trainModel(*ds_, o);
+    for (double w : m.weights())
+        EXPECT_GE(w, 0.0);
+}
+
+TEST_F(ModelCorpus, SelectionIsDeterministic)
+{
+    model::ModelOptions o;
+    o.maxInputs = 6;
+    auto a = model::trainModel(*ds_, o);
+    auto b = model::trainModel(*ds_, o);
+    EXPECT_EQ(a.inputs(), b.inputs());
+    EXPECT_EQ(a.weights(), b.weights());
+}
+
+TEST_F(ModelCorpus, NoDuplicateInputsSelected)
+{
+    model::ModelOptions o;
+    o.maxInputs = 12;
+    auto m = model::trainModel(*ds_, o);
+    std::set<int> unique(m.inputs().begin(), m.inputs().end());
+    EXPECT_EQ(unique.size(), m.inputs().size());
+}
+
+TEST_F(ModelCorpus, QuantizationRoundsWeights)
+{
+    model::ModelOptions o;
+    o.maxInputs = 6;
+    auto m = model::trainModel(*ds_, o);
+    m.quantize(0.5);
+    for (double w : m.weights())
+        EXPECT_NEAR(w, std::round(w / 0.5) * 0.5, 1e-12);
+}
+
+TEST_F(ModelCorpus, BottomUpComposition)
+{
+    // Core-scope datasets for the 39-component decomposition.
+    power::EnergyModel coreEnergy(*cfg_, /*includeChip=*/false);
+    auto comps = model::buildComponentDatasets(*runs_, coreEnergy);
+    EXPECT_EQ(comps.size(), 39u);
+    auto bu = model::BottomUpModel::train(comps, 2);
+    EXPECT_EQ(bu.models().size(), 39u);
+    EXPECT_LE(bu.distinctInputs(), 78);
+    EXPECT_GT(bu.distinctInputs(), 3);
+
+    auto coreDs = model::buildAggregateDataset(*runs_, coreEnergy);
+    model::ModelOptions o;
+    o.maxInputs = 20;
+    auto td = model::trainModel(coreDs, o);
+    double diff = model::bottomUpVsTopDown(bu, td, coreDs,
+                                           coreEnergy.staticPj());
+    EXPECT_LT(diff, 0.10); // the two approaches agree within 10%
+}
+
+TEST_F(ModelCorpus, ProxyDesignAccuracies)
+{
+    auto design = model::designProxy(*ds_, 16, energy_->staticPj());
+    EXPECT_EQ(design.model.inputs().size(), 16u);
+    EXPECT_LT(design.activeErrorFrac, 0.15);
+    // Including static contributors shrinks the relative error (the
+    // paper's 9.8% -> <5% step).
+    EXPECT_LT(design.totalErrorFrac, design.activeErrorFrac);
+}
+
+TEST_F(ModelCorpus, WindowDatasetGranularity)
+{
+    auto coarse = model::buildWindowDataset(*runs_, *energy_, 4096);
+    auto fine = model::buildWindowDataset(*runs_, *energy_, 512);
+    EXPECT_GT(fine.samples.size(), coarse.samples.size());
+    for (const auto& s : fine.samples)
+        ASSERT_EQ(s.features.size(), fine.featureNames.size());
+}
+
+TEST_F(ModelCorpus, FinerGranularityHarderToPredict)
+{
+    auto train = model::buildWindowDataset(*runs_, *energy_, 1024);
+    auto design = model::designProxy(train, 16, energy_->staticPj());
+    auto coarse = model::buildWindowDataset(*runs_, *energy_, 2048);
+    auto fine = model::buildWindowDataset(*runs_, *energy_, 16);
+    double errCoarse = model::totalPowerError(design.model, coarse,
+                                              energy_->staticPj());
+    double errFine = model::totalPowerError(design.model, fine,
+                                            energy_->staticPj());
+    EXPECT_GT(errFine, errCoarse);
+}
+
+TEST(ModelUnit, PredictIsLinear)
+{
+    // A hand-built model: 2*f0 + intercept 1 (via a tiny dataset).
+    model::Dataset ds;
+    ds.featureNames = {"a", "b"};
+    for (int i = 0; i < 20; ++i) {
+        model::Sample s;
+        s.features = {static_cast<double>(i), 1.0};
+        s.target = 2.0 * i + 1.0;
+        ds.samples.push_back(s);
+    }
+    model::ModelOptions o;
+    o.maxInputs = 2;
+    o.nonNegative = false;
+    auto m = model::trainModel(ds, o);
+    EXPECT_NEAR(m.predict({10.0, 1.0}), 21.0, 1e-6);
+    EXPECT_NEAR(model::meanAbsErrorFrac(m, ds), 0.0, 1e-6);
+}

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Tests for the component energy model and the APEX extraction paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/core.h"
+#include "mma/gemm.h"
+#include "power/apex.h"
+#include "power/components.h"
+#include "power/cycle_stats.h"
+#include "power/energy.h"
+#include "workloads/spec_profiles.h"
+#include "workloads/synthetic.h"
+
+using namespace p10ee;
+using power::EnergyModel;
+
+namespace {
+
+core::RunResult
+runProfile(const core::CoreConfig& cfg, const std::string& name,
+           uint64_t instrs, bool timings)
+{
+    const auto& prof = workloads::profileByName(name);
+    workloads::SyntheticWorkload src(prof);
+    core::CoreModel m(cfg);
+    core::RunOptions o;
+    o.warmupInstrs = 20000;
+    o.measureInstrs = instrs;
+    o.collectTimings = timings;
+    return m.run({&src}, o);
+}
+
+} // namespace
+
+TEST(Components, CoreHas39Components)
+{
+    EXPECT_EQ(power::coreComponents(core::power9()).size(), 39u);
+    EXPECT_EQ(power::coreComponents(core::power10()).size(), 39u);
+    EXPECT_EQ(power::chipComponents(core::power10()).size(), 4u);
+}
+
+TEST(Components, MmaGatedOnlyOnPower10)
+{
+    int gated = 0;
+    double gatedLatches = 0.0;
+    for (const auto& c : power::coreComponents(core::power10())) {
+        if (c.powerGated) {
+            ++gated;
+            gatedLatches += c.kLatches;
+        }
+    }
+    EXPECT_EQ(gated, 2); // mma_grid + mma_acc
+    EXPECT_GT(gatedLatches, 0.0);
+    for (const auto& c : power::coreComponents(core::power9())) {
+        if (c.powerGated) {
+            EXPECT_EQ(c.kLatches, 0.0);
+        }
+    }
+}
+
+TEST(Components, Power10GatesBetter)
+{
+    auto c9 = power::coreComponents(core::power9());
+    auto c10 = power::coreComponents(core::power10());
+    double base9 = 0.0, base10 = 0.0;
+    for (size_t i = 0; i < c9.size(); ++i) {
+        base9 += c9[i].baseClockFrac;
+        base10 += c10[i].baseClockFrac;
+    }
+    // "Latch clocks off by default": far smaller ungated fraction.
+    EXPECT_LT(base10, base9 * 0.4);
+}
+
+TEST(Energy, BreakdownSumsToTotal)
+{
+    auto cfg = core::power10();
+    EnergyModel em(cfg);
+    auto r = runProfile(cfg, "perlbench", 30000, false);
+    auto b = em.evalCounters(r);
+    EXPECT_NEAR(b.totalPj, b.clockPj + b.switchPj + b.leakPj, 1e-6);
+    double perComp = 0.0;
+    for (const auto& [name, pj] : b.perComponent)
+        perComp += pj;
+    EXPECT_NEAR(perComp, b.totalPj, 1e-6);
+    EXPECT_GT(b.totalPj, 0.0);
+}
+
+TEST(Energy, StaticBelowTotal)
+{
+    auto cfg = core::power10();
+    EnergyModel em(cfg);
+    auto r = runProfile(cfg, "x264", 30000, false);
+    EXPECT_LT(em.staticPj(), em.evalCounters(r).totalPj);
+}
+
+TEST(Energy, MoreActivityMorePower)
+{
+    auto cfg = core::power10();
+    EnergyModel em(cfg);
+    auto fast = runProfile(cfg, "exchange2", 30000, false); // high IPC
+    auto slow = runProfile(cfg, "mcf", 30000, false);       // stalls
+    EXPECT_GT(em.evalCounters(fast).totalPj,
+              em.evalCounters(slow).totalPj);
+}
+
+TEST(Energy, Power10CheaperThanPower9AtIsoWork)
+{
+    EnergyModel e9(core::power9());
+    EnergyModel e10(core::power10());
+    auto r9 = runProfile(core::power9(), "perlbench", 30000, false);
+    auto r10 = runProfile(core::power10(), "perlbench", 30000, false);
+    EXPECT_LT(e10.evalCounters(r10).totalPj,
+              e9.evalCounters(r9).totalPj * 0.85);
+}
+
+TEST(Energy, MmaPowerGatedWhenIdle)
+{
+    auto cfg = core::power10();
+    EnergyModel em(cfg);
+    auto r = runProfile(cfg, "perlbench", 30000, false); // no MMA work
+    auto b = em.evalCounters(r);
+    EXPECT_DOUBLE_EQ(b.perComponent.at("mma_grid"), 0.0);
+    EXPECT_DOUBLE_EQ(b.perComponent.at("mma_acc"), 0.0);
+}
+
+TEST(Energy, MmaPoweredWhenActive)
+{
+    auto cfg = core::power10();
+    EnergyModel em(cfg);
+    constexpr int kD = 16;
+    std::vector<double> a(kD * kD, 1.0), b(kD * kD, 1.0), c(kD * kD, 0.0);
+    mma::VectorSink sink;
+    mma::dgemmMma(a.data(), b.data(), c.data(), {kD, kD, kD}, &sink);
+    workloads::ReplaySource src("g", sink.instrs());
+    core::CoreModel m(cfg);
+    core::RunOptions o;
+    o.warmupInstrs = 5000;
+    o.measureInstrs = 20000;
+    auto r = m.run({&src}, o);
+    auto pb = em.evalCounters(r);
+    EXPECT_GT(pb.perComponent.at("mma_grid"), 0.0);
+}
+
+TEST(Energy, WattsConversion)
+{
+    power::PowerBreakdown b;
+    b.totalPj = 2500.0;
+    EXPECT_NEAR(b.watts(4.0), 10.0, 1e-9);
+}
+
+TEST(Energy, DetailedMatchesCounters)
+{
+    auto cfg = core::power10();
+    EnergyModel em(cfg);
+    auto r = runProfile(cfg, "xz", 40000, true);
+    auto agg = em.evalCounters(r);
+    auto det = em.evalPerCycle(r);
+    EXPECT_NEAR(det.totalPj / agg.totalPj, 1.0, 0.06);
+}
+
+TEST(Energy, PerCycleSeriesLengthAndPositivity)
+{
+    auto cfg = core::power10();
+    EnergyModel em(cfg);
+    auto r = runProfile(cfg, "x264", 30000, true);
+    auto series = em.perCyclePower(r);
+    EXPECT_EQ(series.size(), r.cycles);
+    for (size_t i = 0; i < series.size(); i += 211)
+        ASSERT_GT(series[i], 0.0f);
+}
+
+TEST(Energy, WindowPowerMatchesFullWindow)
+{
+    auto cfg = core::power10();
+    EnergyModel em(cfg);
+    auto r = runProfile(cfg, "leela", 30000, true);
+    // One window covering the whole run, fed with the full event sums.
+    std::array<double, power::cyc::kNumCycleStats> sums{};
+    for (const auto& t : r.timings)
+        power::cyc::addInstrEvents(t, sums.data());
+    double window = em.windowPowerPj(r, sums.data(), r.cycles);
+    double agg = em.evalCounters(r).totalPj;
+    EXPECT_NEAR(window / agg, 1.0, 0.03);
+}
+
+TEST(Apex, IntervalCountAndValues)
+{
+    auto cfg = core::power10();
+    EnergyModel em(cfg);
+    auto r = runProfile(cfg, "perlbench", 30000, true);
+    power::ApexExtractor apex(em, 500);
+    auto intervals = apex.intervalPower(r);
+    EXPECT_EQ(intervals.size(), (r.cycles + 499) / 500);
+    for (float v : intervals)
+        ASSERT_GT(v, 0.0f);
+}
+
+TEST(Apex, MatchesDetailedWithinTolerance)
+{
+    auto cfg = core::power10();
+    EnergyModel em(cfg);
+    auto r = runProfile(cfg, "deepsjeng", 50000, true);
+    auto cmp = power::compareApexVsDetailed(em, r, 1000);
+    EXPECT_LT(cmp.meanAbsErrorFrac, 0.06);
+    EXPECT_GT(cmp.speedup, 3.0);
+}
+
+TEST(Apex, SpeedupGrowsWithRunLength)
+{
+    auto cfg = core::power10();
+    EnergyModel em(cfg);
+    auto r = runProfile(cfg, "mcf", 60000, true);
+    auto cmp = power::compareApexVsDetailed(em, r, 1000);
+    // Memory-bound runs have many cycles per instruction: the per-cycle
+    // reference pays for every cycle while APEX pays per instruction.
+    EXPECT_GT(cmp.speedup, 20.0);
+}
+
+TEST(CycleStats, IdMappingRoundTrips)
+{
+    EXPECT_EQ(power::cyc::idOf("issue.alu"), power::cyc::kIssueAlu);
+    EXPECT_EQ(power::cyc::idOf("sw.mma"), power::cyc::kSwMma);
+    EXPECT_EQ(power::cyc::idOf("bp.mispredict"), -1); // flat stat
+}
+
+TEST(CycleStats, InstrEventAccumulation)
+{
+    core::InstrTiming t;
+    t.op = isa::OpClass::Load;
+    t.toggle = 0.5f;
+    double ev[power::cyc::kNumCycleStats] = {};
+    power::cyc::addInstrEvents(t, ev);
+    EXPECT_EQ(ev[power::cyc::kIssueLd], 1.0);
+    EXPECT_EQ(ev[power::cyc::kLsuLd], 1.0);
+    EXPECT_EQ(ev[power::cyc::kL1dRead], 1.0);
+    EXPECT_EQ(ev[power::cyc::kRfWrite], 1.0);
+    EXPECT_NEAR(ev[power::cyc::kSwLs], 512.0, 1.0);
+}

@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Tests for SERMiner derating, the power-management stack (WOF,
+ * throttling, DDS, MMA gating) and the pipeline-depth model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/core.h"
+#include "pipeline/depth.h"
+#include "pm/gating.h"
+#include "pm/throttle.h"
+#include "pm/wof.h"
+#include "power/energy.h"
+#include "ras/serminer.h"
+#include "workloads/kernels.h"
+#include "workloads/microprobe.h"
+#include "workloads/spec_profiles.h"
+
+using namespace p10ee;
+
+namespace {
+
+core::RunResult
+runCase(const core::CoreConfig& cfg, const workloads::MicroprobeCase& tc)
+{
+    std::vector<std::unique_ptr<workloads::InstrSource>> srcs;
+    std::vector<workloads::InstrSource*> ptrs;
+    for (int t = 0; t < tc.smt; ++t) {
+        srcs.push_back(workloads::makeCaseSource(tc, t));
+        ptrs.push_back(srcs.back().get());
+    }
+    core::CoreModel m(cfg);
+    core::RunOptions o;
+    o.warmupInstrs = 15000u * static_cast<unsigned>(tc.smt);
+    o.measureInstrs = 30000;
+    return m.run(ptrs, o);
+}
+
+workloads::MicroprobeCase
+caseNamed(const std::string& name)
+{
+    for (const auto& tc : workloads::fig13Suite())
+        if (tc.name == name)
+            return tc;
+    ADD_FAILURE() << "missing case " << name;
+    return {};
+}
+
+} // namespace
+
+// ---------------- SERMiner ----------------
+
+TEST(SerMiner, GroupStructure)
+{
+    auto cfg = core::power10();
+    ras::SerMiner miner(cfg);
+    std::vector<core::RunResult> suite;
+    suite.push_back(runCase(cfg, caseNamed("st_dd0_zero")));
+    auto groups = miner.analyze(suite);
+    EXPECT_EQ(groups.size(), 39u * 16u);
+    for (const auto& g : groups) {
+        ASSERT_GE(g.utilization, 0.0);
+        ASSERT_LE(g.utilization, 1.0);
+        ASSERT_GT(g.kLatches, 0.0);
+    }
+}
+
+TEST(SerMiner, DeratingMonotonicInVt)
+{
+    auto cfg = core::power10();
+    ras::SerMiner miner(cfg);
+    std::vector<core::RunResult> suite;
+    suite.push_back(runCase(cfg, caseNamed("st_spec")));
+    auto groups = miner.analyze(suite);
+    double prev = 1.1;
+    for (double vt : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+        double d = ras::SerMiner::deratedFrac(groups, vt);
+        EXPECT_LE(d, prev);
+        prev = d;
+    }
+}
+
+TEST(SerMiner, StaticSubsetOfDerated)
+{
+    auto cfg = core::power9();
+    ras::SerMiner miner(cfg);
+    std::vector<core::RunResult> suite;
+    suite.push_back(runCase(cfg, caseNamed("smt2_dd1_random")));
+    auto groups = miner.analyze(suite);
+    auto s = ras::SerMiner::summarize(groups);
+    EXPECT_LE(s.staticDerated, s.runtime90 + 1e-9);
+    EXPECT_GT(s.staticDerated, 0.05);
+    EXPECT_LT(s.staticDerated, 0.7);
+}
+
+TEST(SerMiner, ZeroDataDeratesMoreThanRandom)
+{
+    auto cfg = core::power10();
+    ras::SerMiner miner(cfg);
+    std::vector<core::RunResult> zeroSuite, randomSuite;
+    zeroSuite.push_back(runCase(cfg, caseNamed("st_dd0_zero")));
+    randomSuite.push_back(runCase(cfg, caseNamed("st_dd0_random")));
+    auto gz = miner.analyze(zeroSuite);
+    auto gr = miner.analyze(randomSuite);
+    EXPECT_GT(ras::SerMiner::deratedFrac(gz, 0.5),
+              ras::SerMiner::deratedFrac(gr, 0.5));
+}
+
+TEST(SerMiner, Power10RuntimeDeratingHigher)
+{
+    // The Fig. 14 headline: despite more latches, the fine-gated design
+    // leaves more of them below any switching threshold.
+    ras::SerMiner m9(core::power9()), m10(core::power10());
+    std::vector<core::RunResult> s9, s10;
+    s9.push_back(runCase(core::power9(), caseNamed("st_spec")));
+    s10.push_back(runCase(core::power10(), caseNamed("st_spec")));
+    auto g9 = m9.analyze(s9);
+    auto g10 = m10.analyze(s10);
+    EXPECT_GT(ras::SerMiner::deratedFrac(g10, 0.9),
+              ras::SerMiner::deratedFrac(g9, 0.9));
+    EXPECT_GT(m10.totalKlatches(), m9.totalKlatches());
+}
+
+TEST(SerMiner, Power10StaticDeratingLower)
+{
+    ras::SerMiner m9(core::power9()), m10(core::power10());
+    std::vector<core::RunResult> s9, s10;
+    s9.push_back(runCase(core::power9(), caseNamed("st_dd0_zero")));
+    s10.push_back(runCase(core::power10(), caseNamed("st_dd0_zero")));
+    EXPECT_LT(ras::SerMiner::staticDeratedFrac(m10.analyze(s10)),
+              ras::SerMiner::staticDeratedFrac(m9.analyze(s9)));
+}
+
+// ---------------- WOF ----------------
+
+TEST(Wof, DeterministicSolves)
+{
+    pm::Wof wof{pm::WofParams{}};
+    for (double ceff : {0.4, 0.7, 1.0}) {
+        auto a = wof.optimize(ceff);
+        auto b = wof.optimize(ceff);
+        EXPECT_EQ(a.freqGhz, b.freqGhz);
+        EXPECT_EQ(a.voltage, b.voltage);
+    }
+}
+
+TEST(Wof, LighterWorkloadsBoostHigher)
+{
+    pm::Wof wof{pm::WofParams{}};
+    double prev = 0.0;
+    for (double ceff : {1.0, 0.8, 0.6, 0.4}) {
+        double f = wof.optimize(ceff).freqGhz;
+        EXPECT_GE(f, prev);
+        prev = f;
+    }
+}
+
+TEST(Wof, StaysWithinFrequencyAndPowerLimits)
+{
+    pm::WofParams p;
+    pm::Wof wof(p);
+    for (double ceff = 0.2; ceff <= 1.4; ceff += 0.1) {
+        auto pt = wof.optimize(ceff);
+        EXPECT_GE(pt.freqGhz, p.fMinGhz - 1e-9);
+        EXPECT_LE(pt.freqGhz, p.fMaxGhz + 1e-9);
+        if (pt.freqGhz > p.fMinGhz + 1e-9)
+            EXPECT_LE(pt.powerWatts, p.tdpWatts + 1e-9);
+    }
+}
+
+TEST(Wof, MmaGatingBuysFrequency)
+{
+    pm::Wof wof{pm::WofParams{}};
+    // At a Ceff where the budget binds, reclaiming MMA leakage helps.
+    auto off = wof.optimize(0.95, /*mmaGated=*/false);
+    auto on = wof.optimize(0.95, /*mmaGated=*/true);
+    EXPECT_GE(on.freqGhz, off.freqGhz);
+}
+
+TEST(Wof, VoltageTracksFrequency)
+{
+    pm::WofParams p;
+    pm::Wof wof(p);
+    EXPECT_NEAR(wof.voltageAt(p.fNomGhz), p.vNom, 1e-12);
+    EXPECT_GT(wof.voltageAt(p.fNomGhz + 0.4), p.vNom);
+}
+
+// ---------------- Throttling / DDS ----------------
+
+TEST(Throttle, CapsPowerNearBudget)
+{
+    std::vector<float> raw(2000, 100.0f);
+    for (size_t i = 500; i < 1500; ++i)
+        raw[i] = 160.0f; // a hot phase
+    pm::ThrottleParams p;
+    p.budgetPj = 120.0;
+    auto trace = pm::runThrottleLoop(raw, p);
+    EXPECT_LT(trace.meanPowerPj, 125.0);
+    EXPECT_LT(trace.overBudgetFrac, 0.1);
+    EXPECT_GT(trace.meanPerf, 0.5);
+    for (int level : trace.level) {
+        ASSERT_GE(level, 0);
+        ASSERT_LT(level, p.levels);
+    }
+}
+
+TEST(Throttle, NoThrottleUnderBudget)
+{
+    std::vector<float> raw(500, 50.0f);
+    pm::ThrottleParams p;
+    p.budgetPj = 100.0;
+    auto trace = pm::runThrottleLoop(raw, p);
+    EXPECT_DOUBLE_EQ(trace.meanPerf, 1.0);
+    EXPECT_DOUBLE_EQ(trace.overBudgetFrac, 0.0);
+}
+
+TEST(Droop, StepCausesDroopAndRecovery)
+{
+    // Idle then a current step.
+    std::vector<float> power(4000, 500.0f);
+    for (size_t i = 1000; i < 4000; ++i)
+        power[i] = 4000.0f;
+    pm::DroopParams p;
+    p.ddsEnabled = false;
+    auto trace = pm::simulateDroop(power, p);
+    EXPECT_LT(trace.minVoltage, p.supplyVolts);
+    EXPECT_GT(trace.minVoltage, 0.7); // sane physical range
+    // Voltage recovers toward the new steady state by the end.
+    EXPECT_GT(trace.voltage.back(), trace.minVoltage);
+}
+
+TEST(Droop, DdsArrestsTheDroop)
+{
+    std::vector<float> power(4000, 500.0f);
+    for (size_t i = 1000; i < 4000; ++i)
+        power[i] = 5000.0f;
+    pm::DroopParams on;
+    pm::DroopParams off = on;
+    off.ddsEnabled = false;
+    auto withDds = pm::simulateDroop(power, on);
+    auto noDds = pm::simulateDroop(power, off);
+    EXPECT_GE(withDds.minVoltage, noDds.minVoltage);
+    EXPECT_GT(withDds.ddsTrips, 0);
+    EXPECT_GT(withDds.throttledCycles, 0u);
+}
+
+// ---------------- MMA gating ----------------
+
+TEST(Gating, IdleUnitFullyGated)
+{
+    std::vector<core::InstrTiming> timings(100); // no MMA ops
+    pm::GatingParams p;
+    auto r = pm::simulateGating(timings, 100000, p);
+    EXPECT_DOUBLE_EQ(r.gatedFrac, 1.0);
+    EXPECT_EQ(r.wakeStalls, 0u);
+}
+
+TEST(Gating, BurstyUseGatesBetweenBursts)
+{
+    std::vector<core::InstrTiming> timings;
+    for (uint32_t burst : {10000u, 60000u}) {
+        for (uint32_t i = 0; i < 100; ++i) {
+            core::InstrTiming t;
+            t.op = isa::OpClass::MmaGer;
+            t.issue = burst + i;
+            timings.push_back(t);
+        }
+    }
+    pm::GatingParams p;
+    p.idleLimit = 2000;
+    auto r = pm::simulateGating(timings, 100000, p);
+    EXPECT_GT(r.gatedCycles, 50000u);
+    EXPECT_GE(r.powerOffEvents, 2);
+}
+
+TEST(Gating, HintsHideWakeLatency)
+{
+    std::vector<core::InstrTiming> timings;
+    core::InstrTiming t;
+    t.op = isa::OpClass::MmaGer;
+    t.issue = 50000;
+    timings.push_back(t);
+    pm::GatingParams hints;
+    hints.hintLead = hints.wakeLatency + 16;
+    pm::GatingParams noHints = hints;
+    noHints.hintsEnabled = false;
+    auto a = pm::simulateGating(timings, 100000, hints);
+    auto b = pm::simulateGating(timings, 100000, noHints);
+    EXPECT_EQ(a.wakeStalls, 0u);
+    EXPECT_EQ(b.wakeStalls, noHints.wakeLatency);
+}
+
+// ---------------- Pipeline depth ----------------
+
+TEST(PipelineDepth, OptimumNear27Fo4)
+{
+    pipeline::DepthParams p;
+    for (double target : {1.0, 0.8, 0.65, 0.5}) {
+        double opt = pipeline::optimalFo4(p, target);
+        EXPECT_GE(opt, 24.0) << target;
+        EXPECT_LE(opt, 32.0) << target;
+    }
+}
+
+TEST(PipelineDepth, BaselineNormalization)
+{
+    pipeline::DepthParams p;
+    auto pt = pipeline::evaluateDepth(p, p.baseFo4, 1.0);
+    EXPECT_NEAR(pt.freq, 1.0, 1e-9);
+    EXPECT_NEAR(pt.ipc, 1.0, 1e-9);
+    EXPECT_NEAR(pt.bips, 1.0, 1e-9);
+}
+
+TEST(PipelineDepth, DeeperPipesCostPower)
+{
+    pipeline::DepthParams p;
+    auto deep = pipeline::evaluateDepth(p, 16.0, 10.0);  // no cap
+    auto shallow = pipeline::evaluateDepth(p, 36.0, 10.0);
+    EXPECT_GT(deep.power, shallow.power);
+    EXPECT_GT(deep.freq, shallow.freq);
+    EXPECT_LT(deep.ipc, shallow.ipc);
+}
+
+TEST(PipelineDepth, PowerLimitingEngagesAtLowTargets)
+{
+    pipeline::DepthParams p;
+    auto pt = pipeline::evaluateDepth(p, 18.0, 0.5);
+    EXPECT_TRUE(pt.powerLimited);
+    EXPECT_LT(pt.voltage, 1.0);
+    EXPECT_LE(pt.power, 0.5 + 1e-6);
+}
+
+TEST(PipelineDepth, SweepShapes)
+{
+    pipeline::DepthParams p;
+    auto pts = pipeline::sweep(p, {20.0, 27.0, 36.0}, 0.8);
+    ASSERT_EQ(pts.size(), 3u);
+    EXPECT_GT(pts[0].stages, pts[2].stages);
+}
+
+TEST(PipelineDepth, LowerTargetsLowerBips)
+{
+    pipeline::DepthParams p;
+    double prev = 1e9;
+    for (double target : {1.0, 0.8, 0.6, 0.4}) {
+        double b = pipeline::evaluateDepth(p, 27.0, target).bips;
+        EXPECT_LT(b, prev + 1e-12);
+        prev = b;
+    }
+}

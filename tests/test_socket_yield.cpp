@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the socket roll-up model and the PFLY/CLY yield analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/core.h"
+#include "pm/yield.h"
+#include "socket/socket.h"
+#include "workloads/spec_profiles.h"
+#include "workloads/synthetic.h"
+
+using namespace p10ee;
+
+namespace {
+
+struct CoreMeasurement
+{
+    core::RunResult run;
+    power::PowerBreakdown power;
+};
+
+CoreMeasurement
+measureCore(const core::CoreConfig& cfg, const char* name)
+{
+    const auto& prof = workloads::profileByName(name);
+    std::vector<std::unique_ptr<workloads::SyntheticWorkload>> srcs;
+    std::vector<workloads::InstrSource*> ptrs;
+    for (int t = 0; t < 8; ++t) {
+        srcs.push_back(
+            std::make_unique<workloads::SyntheticWorkload>(prof, t));
+        ptrs.push_back(srcs.back().get());
+    }
+    core::CoreModel m(cfg);
+    core::RunOptions o;
+    o.warmupInstrs = 120000;
+    o.measureInstrs = 50000;
+    CoreMeasurement out;
+    out.run = m.run(ptrs, o);
+    power::EnergyModel energy(cfg);
+    out.power = energy.evalCounters(out.run);
+    return out;
+}
+
+} // namespace
+
+TEST(Socket, MoreCoresMoreThroughputUntilPowerBinds)
+{
+    socket::SocketConfig sc;
+    socket::SocketModel sock(sc);
+    auto m = measureCore(core::power10(), "perlbench");
+    double prev = 0.0;
+    for (int n : {1, 4, 8, 15}) {
+        auto r = sock.evaluate(m.run, m.power, n);
+        EXPECT_GT(r.throughput, prev) << n;
+        EXPECT_LE(r.watts, sc.socketTdpWatts * 1.02);
+        prev = r.throughput;
+    }
+}
+
+TEST(Socket, FrequencyDropsAsCoresFill)
+{
+    socket::SocketConfig sc;
+    socket::SocketModel sock(sc);
+    auto m = measureCore(core::power10(), "x264");
+    auto few = sock.evaluate(m.run, m.power, 2);
+    auto many = sock.evaluate(m.run, m.power, 15);
+    EXPECT_GE(few.freqGhz, many.freqGhz);
+}
+
+TEST(Socket, MemoryBoundWorkloadsContendMore)
+{
+    socket::SocketConfig sc;
+    socket::SocketModel sock(sc);
+    auto cpu = measureCore(core::power10(), "exchange2");
+    auto mem = measureCore(core::power10(), "mcf");
+    auto cpu1 = sock.evaluate(cpu.run, cpu.power, 1);
+    auto cpu15 = sock.evaluate(cpu.run, cpu.power, 15);
+    auto mem1 = sock.evaluate(mem.run, mem.power, 1);
+    auto mem15 = sock.evaluate(mem.run, mem.power, 15);
+    // Normalize by the WOF frequency so the comparison isolates the
+    // shared-resource contention from power-limited clocking.
+    double cpuScale = (cpu15.throughput / cpu15.freqGhz / 15.0) /
+                      (cpu1.throughput / cpu1.freqGhz);
+    double memScale = (mem15.throughput / mem15.freqGhz / 15.0) /
+                      (mem1.throughput / mem1.freqGhz);
+    EXPECT_GT(cpuScale, memScale);
+}
+
+TEST(Socket, Power10SocketMoreEfficientThanPower9)
+{
+    socket::SocketConfig sc;
+    socket::SocketModel sock(sc);
+    auto m9 = measureCore(core::power9(), "perlbench");
+    auto m10 = measureCore(core::power10(), "perlbench");
+    auto b9 = sock.bestEfficiencyPoint(m9.run, m9.power);
+    auto b10 = sock.bestEfficiencyPoint(m10.run, m10.power);
+    // The halved core power lets POWER10 fill the socket with more
+    // cores at better efficiency (Table I's socket-level claim).
+    EXPECT_GT(b10.efficiency(), b9.efficiency() * 1.5);
+    EXPECT_GE(b10.activeCores, b9.activeCores);
+}
+
+TEST(Yield, DeterministicForSeed)
+{
+    pm::YieldParams p;
+    auto a = pm::analyzeYield(p, 20000, 7);
+    auto b = pm::analyzeYield(p, 20000, 7);
+    EXPECT_EQ(a.cly, b.cly);
+    EXPECT_EQ(a.pfly, b.pfly);
+    EXPECT_EQ(a.freqBins, b.freqBins);
+}
+
+TEST(Yield, FractionsAreProbabilities)
+{
+    pm::YieldParams p;
+    auto r = pm::analyzeYield(p, 50000, 11);
+    EXPECT_GT(r.cly, 0.0);
+    EXPECT_LE(r.cly, 1.0);
+    EXPECT_GT(r.pfly, 0.0);
+    EXPECT_LE(r.pfly, 1.0);
+    EXPECT_LE(r.sellable, std::min(r.cly, r.pfly) + 1e-12);
+    uint64_t binned = 0;
+    for (uint64_t b : r.freqBins)
+        binned += b;
+    EXPECT_EQ(binned, 50000u);
+}
+
+TEST(Yield, SparesImproveCly)
+{
+    pm::YieldParams strict;
+    strict.coresPerChip = 15;
+    strict.coresOffered = 15;
+    pm::YieldParams spare = strict;
+    spare.coresPerChip = 16; // one spare core on the die
+    auto a = pm::analyzeYield(strict, 40000, 13);
+    auto b = pm::analyzeYield(spare, 40000, 13);
+    EXPECT_GT(b.cly, a.cly + 0.1);
+}
+
+TEST(Yield, TighterPowerLimitHurtsPfly)
+{
+    pm::YieldParams loose;
+    pm::YieldParams tight = loose;
+    tight.socketPowerLimit = loose.powerNomWatts *
+        loose.coresOffered + loose.uncoreWatts; // no headroom
+    auto a = pm::analyzeYield(loose, 40000, 17);
+    auto b = pm::analyzeYield(tight, 40000, 17);
+    EXPECT_LE(b.pfly, a.pfly);
+}
+
+TEST(Yield, LowerDefectRateHelps)
+{
+    pm::YieldParams bad;
+    bad.coreDefectProb = 0.10;
+    pm::YieldParams good = bad;
+    good.coreDefectProb = 0.01;
+    auto a = pm::analyzeYield(bad, 30000, 19);
+    auto b = pm::analyzeYield(good, 30000, 19);
+    EXPECT_GT(b.cly, a.cly);
+}
