@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Fault-injection campaign: observed masking versus SERMiner-predicted
+ * derating (the empirical cross-check of the paper's §III-E claim).
+ *
+ * Runs a >=1000-injection single-bit-upset campaign against a POWER10
+ * core, with sites drawn from the SERMiner latch population, and
+ * reports the observed outcome split per component next to the derated
+ * fraction SERMiner predicts for it at VT = 10/50/90%. A second, small
+ * campaign raises the synthetic transient-infrastructure failure rate
+ * to demonstrate the retry-with-backoff and skip-and-record paths: a
+ * campaign never aborts on an individual failed injection.
+ *
+ * Everything derives from one fixed seed; re-running the bench
+ * reproduces every number bit-for-bit.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "fault/campaign.h"
+
+using namespace p10ee;
+
+int
+main()
+{
+    const auto cfg = core::power10();
+    const workloads::WorkloadProfile* prof =
+        workloads::findProfile("perlbench");
+    if (prof == nullptr) {
+        std::fprintf(stderr, "error: workload profile missing\n");
+        return 1;
+    }
+
+    fault::CampaignSpec spec;
+    spec.smt = 2;
+    spec.seed = 2021;
+    spec.injections = 1200;
+    spec.warmupInstrs = 2000;
+    spec.measureInstrs = 4000;
+
+    fault::CampaignRunner runner(cfg, *prof, spec);
+    auto res = runner.run();
+    if (!res.ok()) {
+        std::fprintf(stderr, "error: %s\n", res.error().str().c_str());
+        return 1;
+    }
+    const fault::CampaignReport& rep = res.value();
+
+    std::printf("golden run: %llu cycles, %.1f pJ/cyc proxy power; "
+                "%d injections (seed %llu, smt%d, %s)\n\n",
+                static_cast<unsigned long long>(rep.goldenCycles),
+                rep.goldenPowerPj, spec.injections,
+                static_cast<unsigned long long>(spec.seed), spec.smt,
+                prof->name.c_str());
+
+    common::Table t(
+        "observed outcome split vs SERMiner-predicted derating");
+    t.header({"component", "class", "inj", "masked", "corr", "sdc",
+              "crash", "VT10", "VT50", "VT90"});
+    for (const auto& [comp, tally] : rep.perComponent) {
+        const auto& p = rep.predicted.at(comp);
+        t.row({comp,
+               fault::siteClassName(fault::SiteModel::classify(comp)),
+               std::to_string(tally.injections),
+               common::fmtPct(tally.maskedFrac()),
+               common::fmtPct(tally.injections
+                                  ? static_cast<double>(tally.corrected) /
+                                        tally.injections
+                                  : 0.0),
+               common::fmtPct(tally.injections
+                                  ? static_cast<double>(tally.sdc) /
+                                        tally.injections
+                                  : 0.0),
+               common::fmtPct(tally.injections
+                                  ? static_cast<double>(tally.crash) /
+                                        tally.injections
+                                  : 0.0),
+               common::fmtPct(p.vt10), common::fmtPct(p.vt50),
+               common::fmtPct(p.vt90)});
+    }
+    t.row({"TOTAL", "-", std::to_string(rep.total.injections),
+           common::fmtPct(rep.total.maskedFrac()),
+           common::fmtPct(static_cast<double>(rep.total.corrected) /
+                          rep.total.injections),
+           common::fmtPct(static_cast<double>(rep.total.sdc) /
+                          rep.total.injections),
+           common::fmtPct(static_cast<double>(rep.total.crash) /
+                          rep.total.injections),
+           common::fmtPct(rep.predictedSummary.runtime10),
+           common::fmtPct(rep.predictedSummary.runtime50),
+           common::fmtPct(rep.predictedSummary.runtime90)});
+    t.print();
+
+    std::printf("\nper execution class:\n");
+    for (const auto& [cls, tally] : rep.perClass)
+        std::printf("  %-17s %4d inj  masked %s\n", cls.c_str(),
+                    tally.injections,
+                    common::fmtPct(tally.maskedFrac()).c_str());
+
+    // Power-proxy robustness: how counter upsets fared against the
+    // governor's range guard.
+    const auto proxyIt = rep.perClass.find("proxy-counter");
+    if (proxyIt != rep.perClass.end()) {
+        const auto& px = proxyIt->second;
+        std::printf("\npower-proxy counter upsets: %d injected, "
+                    "%d clamped by the range guard (corrected), "
+                    "%d SDC (power estimate off by >2%%), "
+                    "%d below tolerance (masked)\n",
+                    px.injections, px.corrected, px.sdc, px.masked);
+    }
+
+    // Robustness demonstration: a hostile-infrastructure campaign.
+    // One third of injection attempts fail transiently; the runner
+    // retries with backoff and records what it must abandon.
+    fault::CampaignSpec hostile = spec;
+    hostile.injections = 200;
+    hostile.infraFailProb = 0.33;
+    hostile.maxRetries = 2;
+    fault::CampaignRunner hostileRunner(cfg, *prof, hostile);
+    auto hres = hostileRunner.run();
+    if (!hres.ok()) {
+        std::fprintf(stderr, "error: %s\n", hres.error().str().c_str());
+        return 1;
+    }
+    std::printf("\nhostile-infra campaign (33%% transient failure "
+                "rate): %d/%d injections completed, %d retries "
+                "absorbed, %d skipped after retry exhaustion — "
+                "no abort\n",
+                hres.value().total.injections, hostile.injections,
+                hres.value().retriesTotal, hres.value().skipped);
+
+    std::printf("\npaper: SERMiner derates latches by utilization "
+                "without injections;\nthis campaign observes the "
+                "masking those deratings predict\n");
+    return 0;
+}

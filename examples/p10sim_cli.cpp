@@ -9,6 +9,7 @@
  *              --instrs 200000 [--csv] [--ablate <group>]
  */
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,8 +42,34 @@ usage()
         "  --instrs N                     measured instructions\n"
         "  --warmup N                     warmup instructions per "
         "thread\n"
+        "  --seed N                       perturb the workload seed "
+        "(default 0: profile default)\n"
         "  --csv                          machine-readable output\n"
         "  --list                         list workloads and exit\n");
+}
+
+/** One-line diagnostic, then usage, then the exit-2 contract. */
+[[noreturn]] void
+fail(const std::string& message)
+{
+    std::fprintf(stderr, "p10sim_cli: error: %s\n", message.c_str());
+    usage();
+    std::exit(2);
+}
+
+/** Strict base-10 u64 parse: the whole string or nothing. */
+bool
+parseU64(const char* s, uint64_t& out)
+{
+    if (s == nullptr || *s == '\0' || *s == '-' || *s == '+')
+        return false;
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(s, &end, 10);
+    if (errno != 0 || end == s || *end != '\0')
+        return false;
+    out = v;
+    return true;
 }
 
 } // namespace
@@ -56,16 +83,23 @@ main(int argc, char** argv)
     int smt = 1;
     uint64_t instrs = 200000;
     uint64_t warmup = 50000;
+    uint64_t seed = 0;
     bool csv = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         auto needValue = [&](const char* flag) -> const char* {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "%s needs a value\n", flag);
-                std::exit(2);
-            }
+            if (i + 1 >= argc)
+                fail(std::string(flag) + " needs a value");
             return argv[++i];
+        };
+        auto needU64 = [&](const char* flag) -> uint64_t {
+            const char* v = needValue(flag);
+            uint64_t out = 0;
+            if (!parseU64(v, out))
+                fail(std::string(flag) +
+                     " needs a non-negative integer, got '" + v + "'");
+            return out;
         };
         if (arg == "--config") {
             configName = needValue("--config");
@@ -74,11 +108,21 @@ main(int argc, char** argv)
         } else if (arg == "--workload") {
             workload = needValue("--workload");
         } else if (arg == "--smt") {
-            smt = std::atoi(needValue("--smt"));
+            const char* v = needValue("--smt");
+            uint64_t parsed = 0;
+            if (!parseU64(v, parsed) || parsed < 1 || parsed > 8)
+                fail(std::string("--smt must be an integer in [1,8], "
+                                 "got '") +
+                     v + "'");
+            smt = static_cast<int>(parsed);
         } else if (arg == "--instrs") {
-            instrs = std::strtoull(needValue("--instrs"), nullptr, 10);
+            instrs = needU64("--instrs");
+            if (instrs == 0)
+                fail("--instrs must be > 0");
         } else if (arg == "--warmup") {
-            warmup = std::strtoull(needValue("--warmup"), nullptr, 10);
+            warmup = needU64("--warmup");
+        } else if (arg == "--seed") {
+            seed = needU64("--seed");
         } else if (arg == "--csv") {
             csv = true;
         } else if (arg == "--list") {
@@ -88,13 +132,8 @@ main(int argc, char** argv)
                 std::printf("%s\n", p.name.c_str());
             return 0;
         } else {
-            usage();
-            return 2;
+            fail("unknown option '" + arg + "'");
         }
-    }
-    if (smt < 1 || smt > 8 || instrs == 0) {
-        usage();
-        return 2;
     }
 
     core::CoreConfig cfg;
@@ -108,33 +147,26 @@ main(int argc, char** argv)
                 found = true;
             }
         }
-        if (!found) {
-            std::fprintf(stderr, "unknown ablation group '%s'\n",
-                         ablate.c_str());
-            return 2;
-        }
+        if (!found)
+            fail("unknown ablation group '" + ablate + "'");
     } else if (configName == "power9") {
         cfg = core::power9();
     } else if (configName == "power10") {
         cfg = core::power10();
     } else {
-        std::fprintf(stderr, "unknown config '%s'\n",
-                     configName.c_str());
-        return 2;
+        fail("unknown config '" + configName + "'");
     }
+    if (auto ok = cfg.validate(); !ok.ok())
+        fail(ok.error().str());
 
-    bool known = false;
-    for (const auto& p : workloads::specint2017())
-        known |= p.name == workload;
-    for (const auto& p : workloads::extraGroups())
-        known |= p.name == workload;
-    if (!known) {
-        std::fprintf(stderr,
-                     "unknown workload '%s' (see --list)\n",
-                     workload.c_str());
-        return 2;
-    }
-    const auto& profile = workloads::profileByName(workload);
+    const workloads::WorkloadProfile* found =
+        workloads::findProfile(workload);
+    if (found == nullptr)
+        fail("unknown workload '" + workload + "' (see --list)");
+    workloads::WorkloadProfile profile = *found;
+    // A distinct seed reruns the same statistical workload over fresh
+    // stream realizations (confidence intervals for sweeps).
+    profile.seed += seed;
     std::vector<std::unique_ptr<workloads::SyntheticWorkload>> sources;
     std::vector<workloads::InstrSource*> threads;
     for (int t = 0; t < smt; ++t) {

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Local CI: build and test the tree twice — a plain Release build and
+# an ASan+UBSan build — mirroring what a hosted pipeline would run.
+# Any test failure or sanitizer report fails the script.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_flavour() {
+    local name="$1"
+    shift
+    echo "=== ${name}: configure ==="
+    cmake -B "build-${name}" -S . "$@"
+    echo "=== ${name}: build ==="
+    cmake --build "build-${name}" -j "$(nproc)"
+    echo "=== ${name}: ctest ==="
+    ctest --test-dir "build-${name}" --output-on-failure -j "$(nproc)"
+}
+
+run_flavour release -DCMAKE_BUILD_TYPE=Release
+
+# halt_on_error makes any UBSan finding fail ctest instead of printing
+# and continuing; detect_leaks stays on by default under ASan.
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+run_flavour asan-ubsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DP10EE_SANITIZE=address,undefined
+
+echo "=== CI green: release + asan-ubsan ==="

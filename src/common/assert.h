@@ -6,6 +6,16 @@
  * violated invariant aborts (gem5's panic() semantics). Kept enabled in
  * release builds: the cost is negligible relative to simulation work and
  * silent state corruption in a power model is worse than an abort.
+ *
+ * Recoverable *input* errors (user configs, CLI flags, campaign specs)
+ * must NOT use these macros — they return common::Expected / Error
+ * (see common/error.h) so batch sweeps can skip-and-record instead of
+ * dying.
+ *
+ * Both macros evaluate the condition exactly once (it is captured into
+ * a local bool before testing), so conditions with side effects — none
+ * exist in-tree today, and new ones are discouraged — cannot fire
+ * twice. The message / format arguments are evaluated only on failure.
  */
 
 #ifndef P10EE_COMMON_ASSERT_H
@@ -14,12 +24,30 @@
 #include <cstdio>
 #include <cstdlib>
 
-/** Abort with a message when a simulator invariant does not hold. */
+/** Abort with a fixed message when a simulator invariant does not hold. */
 #define P10_ASSERT(cond, msg)                                              \
     do {                                                                   \
-        if (!(cond)) {                                                     \
+        const bool p10_assert_ok_ = static_cast<bool>(cond);               \
+        if (!p10_assert_ok_) {                                             \
             std::fprintf(stderr, "p10ee panic: %s:%d: %s: %s\n",           \
                          __FILE__, __LINE__, #cond, msg);                  \
+            std::abort();                                                  \
+        }                                                                  \
+    } while (0)
+
+/**
+ * Abort with a printf-style message when an invariant does not hold.
+ * @p fmt must be a string literal; the stringized condition is passed
+ * through a "%s" conversion so `%` characters inside the condition
+ * text (e.g. `x % 8 == 0`) cannot be misread as conversions.
+ */
+#define P10_ASSERT_FMT(cond, fmt, ...)                                     \
+    do {                                                                   \
+        const bool p10_assert_ok_ = static_cast<bool>(cond);               \
+        if (!p10_assert_ok_) {                                             \
+            std::fprintf(stderr, "p10ee panic: %s:%d: %s: " fmt "\n",      \
+                         __FILE__, __LINE__,                               \
+                         #cond __VA_OPT__(, ) __VA_ARGS__);                \
             std::abort();                                                  \
         }                                                                  \
     } while (0)

@@ -209,4 +209,95 @@ BranchPredictor::updateIndirect(uint64_t pc, uint64_t target, int thread)
     ph = (ph << 4) ^ (mix(target) & 0xf);
 }
 
+// ---- Fault-injection surface ----
+//
+// Flat bit layout, in declaration order: 2-bit saturating counters
+// expose their two live bits; local histories 16 bits; tags 8 bits;
+// indirect entries expose 48 target + 16 tag + 1 valid bits; the
+// per-thread global/path history registers expose all 64 bits.
+
+namespace {
+constexpr uint64_t kIndirectEntryBits = 48 + 16 + 1;
+constexpr uint64_t kHistRegBits = 64;
+} // namespace
+
+uint64_t
+BranchPredictor::stateBits() const
+{
+    uint64_t bits = 0;
+    bits += bimodal_.size() * 2;
+    bits += gshare_.size() * 2;
+    bits += gshare2_.size() * 2;
+    bits += gshare2Meta_.size() * 2;
+    bits += choice_.size() * 2;
+    bits += localHist_.size() * 16;
+    bits += localTag_.size() * 8;
+    bits += localPattern_.size() * 2;
+    bits += indirect_.size() * kIndirectEntryBits;
+    bits += 2 * kMaxThreads * kHistRegBits; // ghist_ + pathHist_
+    return bits;
+}
+
+void
+BranchPredictor::flipStateBit(uint64_t bit)
+{
+    P10_ASSERT(bit < stateBits(), "predictor state bit out of range");
+
+    auto span = [&bit](uint64_t width) {
+        if (bit < width)
+            return true;
+        bit -= width;
+        return false;
+    };
+
+    if (span(bimodal_.size() * 2)) {
+        bimodal_[bit / 2] ^= static_cast<uint8_t>(1u << (bit % 2));
+        return;
+    }
+    if (span(gshare_.size() * 2)) {
+        gshare_[bit / 2] ^= static_cast<uint8_t>(1u << (bit % 2));
+        return;
+    }
+    if (span(gshare2_.size() * 2)) {
+        gshare2_[bit / 2] ^= static_cast<uint8_t>(1u << (bit % 2));
+        return;
+    }
+    if (span(gshare2Meta_.size() * 2)) {
+        gshare2Meta_[bit / 2] ^= static_cast<uint8_t>(1u << (bit % 2));
+        return;
+    }
+    if (span(choice_.size() * 2)) {
+        choice_[bit / 2] ^= static_cast<uint8_t>(1u << (bit % 2));
+        return;
+    }
+    if (span(localHist_.size() * 16)) {
+        localHist_[bit / 16] ^= static_cast<uint16_t>(1u << (bit % 16));
+        return;
+    }
+    if (span(localTag_.size() * 8)) {
+        localTag_[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+        return;
+    }
+    if (span(localPattern_.size() * 2)) {
+        localPattern_[bit / 2] ^= static_cast<uint8_t>(1u << (bit % 2));
+        return;
+    }
+    if (span(indirect_.size() * kIndirectEntryBits)) {
+        IndirectEntry& e = indirect_[bit / kIndirectEntryBits];
+        uint64_t b = bit % kIndirectEntryBits;
+        if (b < 48)
+            e.target ^= 1ull << b;
+        else if (b < 64)
+            e.tag ^= 1ull << (b - 48);
+        else
+            e.valid = !e.valid;
+        return;
+    }
+    if (span(static_cast<uint64_t>(kMaxThreads) * kHistRegBits)) {
+        ghist_[bit / kHistRegBits] ^= 1ull << (bit % kHistRegBits);
+        return;
+    }
+    pathHist_[bit / kHistRegBits] ^= 1ull << (bit % kHistRegBits);
+}
+
 } // namespace p10ee::core

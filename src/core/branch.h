@@ -45,6 +45,21 @@ class BranchPredictor
     /** Train the indirect target cache. */
     void updateIndirect(uint64_t pc, uint64_t target, int thread = 0);
 
+    // ---- Fault-injection surface (src/fault) ----
+    // Predictor state is performance-hint state: an upset can slow the
+    // machine down (extra mispredicts) but never corrupt architected
+    // results, which is exactly what the campaign engine verifies.
+
+    /**
+     * Total mutable predictor state bits: every table counter, local
+     * history, indirect tag/target/valid bit and per-thread history
+     * register, as one flat bit-addressable space.
+     */
+    uint64_t stateBits() const;
+
+    /** Flip one state bit. @pre bit < stateBits(). */
+    void flipStateBit(uint64_t bit);
+
   private:
     struct IndirectEntry
     {

@@ -56,6 +56,8 @@ CacheModel::access(uint64_t addr, bool install)
         Way& way = base[w];
         if (way.valid && way.tag == tag) {
             way.lru = stamp_;
+            if (way.poisoned)
+                ++poisonedHits_;
             return true;
         }
     }
@@ -73,6 +75,7 @@ CacheModel::access(uint64_t addr, bool install)
         victim->tag = tag;
         victim->valid = true;
         victim->lru = stamp_;
+        victim->poisoned = false;
     }
     return false;
 }
@@ -102,6 +105,34 @@ CacheModel::reset()
     for (auto& w : ways_store_)
         w = Way{};
     stamp_ = 0;
+    poisonedHits_ = 0;
+}
+
+uint64_t
+CacheModel::stateBits() const
+{
+    return ways_store_.size() * (kTagBits + 1);
+}
+
+void
+CacheModel::flipStateBit(uint64_t bit)
+{
+    P10_ASSERT(bit < stateBits(), "cache state bit out of range");
+    Way& way = ways_store_[bit / (kTagBits + 1)];
+    uint64_t b = bit % (kTagBits + 1);
+    if (b < kTagBits) {
+        way.tag ^= 1ull << b;
+        // A valid line under a corrupted tag now answers for the wrong
+        // address; an invalid way's tag is meaningless.
+        if (way.valid)
+            way.poisoned = true;
+    } else {
+        way.valid = !way.valid;
+        // Flipping valid ON resurrects whatever tag the way last held
+        // (or the ~0 reset pattern): its contents are undefined.
+        if (way.valid)
+            way.poisoned = true;
+    }
 }
 
 TranslationCache::TranslationCache(int entries, uint32_t pageBytes,

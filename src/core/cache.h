@@ -47,12 +47,32 @@ class CacheModel
     uint32_t numSets() const { return numSets_; }
     uint32_t ways() const { return ways_; }
 
+    // ---- Fault-injection surface (src/fault) ----
+    // A flipped tag bit makes the original line unreachable (a clean
+    // miss-and-refetch: the "corrected" outcome) but leaves a way whose
+    // tag no longer matches its contents; a later demand hit on such a
+    // poisoned way models consuming wrong data past the tag check — the
+    // silent-data-corruption outcome the campaign engine counts.
+
+    /** Flat injectable state bits: per way, tag bits plus the valid bit. */
+    uint64_t stateBits() const;
+
+    /** Flip one tag/valid bit. @pre bit < stateBits(). */
+    void flipStateBit(uint64_t bit);
+
+    /** Demand hits that landed on a corrupted (poisoned) way so far. */
+    uint64_t poisonedHits() const { return poisonedHits_; }
+
+    /** Tag bits exposed per way in the injectable space. */
+    static constexpr uint64_t kTagBits = 44;
+
   private:
     struct Way
     {
         uint64_t tag = ~0ull;
         uint64_t lru = 0;
         bool valid = false;
+        bool poisoned = false; ///< tag corrupted while holding a line
     };
 
     uint64_t setIndex(uint64_t addr) const;
@@ -62,6 +82,7 @@ class CacheModel
     uint32_t lineSize_;
     uint32_t numSets_;
     uint64_t stamp_ = 0;
+    uint64_t poisonedHits_ = 0;
     std::vector<Way> ways_store_; ///< numSets_ x ways_, row-major
 };
 
@@ -78,6 +99,9 @@ class TranslationCache
     bool access(uint64_t addr);
 
     void reset() { tags_.reset(); }
+
+    /** Underlying tag array (fault-injection surface). */
+    CacheModel& tags() { return tags_; }
 
   private:
     CacheModel tags_;

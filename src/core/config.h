@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/error.h"
+
 namespace p10ee::core {
 
 /** Geometry and latency of one cache level. */
@@ -171,6 +173,17 @@ struct CoreConfig
     {
         return threads <= 1 ? stqSize : stqSizeSmt / threads;
     }
+
+    /**
+     * Check every field a CoreModel / EnergyModel will consume and
+     * return all violations as one InvalidConfig error (empty Status
+     * on success). User-supplied configurations must pass through this
+     * before reaching the models: construction from an invalid config
+     * is a programming error (P10_ASSERT), but *receiving* one from a
+     * user is not, so sweeps and campaign runners validate first and
+     * skip-and-record instead of aborting.
+     */
+    common::Status validate() const;
 };
 
 /** The POWER9 baseline core. */

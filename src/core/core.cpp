@@ -87,6 +87,22 @@ CoreModel::CoreModel(const CoreConfig& cfg)
 
 CoreModel::~CoreModel() = default;
 
+CacheModel&
+CoreModel::arrayState(ArrayId id)
+{
+    switch (id) {
+      case ArrayId::L1I: return l1i_;
+      case ArrayId::L1D: return l1d_;
+      case ArrayId::L2: return l2_;
+      case ArrayId::L3: return l3_;
+      case ArrayId::Tlb: return tlb_.tags();
+      case ArrayId::Ierat: return ierat_.tags();
+      case ArrayId::Derat: return derat_.tags();
+    }
+    P10_ASSERT(false, "unknown array id");
+    return l1i_;
+}
+
 int
 CoreModel::latencyOf(OpClass op) const
 {
@@ -613,10 +629,27 @@ CoreModel::run(const std::vector<workloads::InstrSource*>& sources,
     timings_.clear();
     opsCommitted_ = 0;
     flops_ = 0;
-    for (uint64_t i = 0; i < opts.measureInstrs; ++i)
+    bool timedOut = false;
+    for (uint64_t i = 0; i < opts.measureInstrs; ++i) {
+        if (opts.onInject && i == opts.injectAtInstr)
+            opts.onInject(*this);
         stepOne();
+        // Cycle-budget guard: checked on the commit front so a run
+        // whose progress collapses (fault campaigns, degenerate
+        // configs) stops instead of burning the whole sweep's time.
+        if (opts.maxCycles != 0 && (i & 0x3f) == 0) {
+            uint64_t front = 0;
+            for (const auto& ts : threads_)
+                front = std::max(front, ts->lastCommit);
+            if (front - baseCycle > opts.maxCycles) {
+                timedOut = true;
+                break;
+            }
+        }
+    }
 
     RunResult result;
+    result.timedOut = timedOut;
     uint64_t endCycle = 0;
     uint64_t endInstrs = 0;
     for (const auto& ts : threads_) {

@@ -24,6 +24,7 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -39,6 +40,8 @@
 
 namespace p10ee::core {
 
+class CoreModel;
+
 /** Options for one measurement run. */
 struct RunOptions
 {
@@ -46,6 +49,23 @@ struct RunOptions
     uint64_t measureInstrs = 100000;
     bool collectTimings = false;    ///< fill RunResult::timings
     bool infiniteL2 = false;        ///< APEX "core model" mode (Fig. 10)
+
+    /**
+     * Cycle budget for the measurement window; 0 = unbounded. A run
+     * whose commit front passes the budget stops early with
+     * RunResult::timedOut set — the fault-injection campaign's
+     * crash-timeout detector, and a general guard for batch sweeps.
+     */
+    uint64_t maxCycles = 0;
+
+    /**
+     * Fault-injection hook: after @p injectAtInstr instructions of the
+     * measurement window have been processed, @p onInject is called
+     * once with the model so it can flip bits in live structures
+     * (branch tables, cache tags). Inactive when onInject is empty.
+     */
+    uint64_t injectAtInstr = 0;
+    std::function<void(CoreModel&)> onInject;
 };
 
 /** One core instance; construct per run (state is not reusable). */
@@ -67,6 +87,19 @@ class CoreModel
 
     /** The configuration this core realizes. */
     const CoreConfig& config() const { return cfg_; }
+
+    // ---- Fault-injection surface (src/fault) ----
+    // Mutable access to the model's bit-addressable structures, used by
+    // RunOptions::onInject callbacks to plant single-bit upsets mid-run.
+
+    /** Tag/translation arrays addressable by the injection engine. */
+    enum class ArrayId { L1I, L1D, L2, L3, Tlb, Ierat, Derat };
+
+    /** The live branch predictor. */
+    BranchPredictor& branchState() { return bp_; }
+
+    /** The live tag array behind @p id. */
+    CacheModel& arrayState(ArrayId id);
 
   private:
     struct ThreadState;

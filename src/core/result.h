@@ -37,6 +37,12 @@ struct RunResult
     uint64_t ops = 0;     ///< internal ops after fusion
     uint64_t flops = 0;   ///< double-precision-equivalent flops
 
+    /**
+     * The run stopped at RunOptions::maxCycles before finishing its
+     * instruction window (the campaign engine's crash-timeout signal).
+     */
+    bool timedOut = false;
+
     /** Activity counters accumulated over the window. */
     common::StatSnapshot stats;
 

@@ -1,0 +1,441 @@
+#include "fault/campaign.h"
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "common/assert.h"
+#include "isa/instr.h"
+#include "mma/engine.h"
+#include "model/proxy.h"
+#include "workloads/synthetic.h"
+
+namespace p10ee::fault {
+
+namespace {
+
+/**
+ * Fate split of an upset that lands in *live* control state. A live
+ * control upset either hangs/machine-checks the core (the paper-era
+ * designs detect most control parity errors), is caught by the
+ * flush-and-refetch recovery paths, or silently alters an in-flight
+ * decision. The split is a modeling assumption, held fixed so campaign
+ * results are comparable across designs.
+ */
+constexpr double kControlCrashFrac = 0.35;
+constexpr double kControlCorrectedFrac = 0.35;
+
+/** Counter bits eligible for upset (counts stay far below 2^48). */
+constexpr uint64_t kCounterBits = 48;
+
+/** Grace instructions scanned past the window in dead-value analysis. */
+constexpr uint64_t kRfGrace = 512;
+
+} // namespace
+
+void
+OutcomeTally::count(Outcome o)
+{
+    ++injections;
+    switch (o) {
+    case Outcome::Masked: ++masked; break;
+    case Outcome::Corrected: ++corrected; break;
+    case Outcome::Sdc: ++sdc; break;
+    case Outcome::CrashTimeout: ++crash; break;
+    }
+}
+
+common::Status
+CampaignSpec::validate() const
+{
+    std::string err;
+    auto add = [&err](const char* m) {
+        if (!err.empty())
+            err += "; ";
+        err += m;
+    };
+
+    if (smt < 1 || smt > 8)
+        add("smt must be in [1,8]");
+    if (injections < 1)
+        add("injections must be >= 1");
+    if (measureInstrs == 0)
+        add("measureInstrs must be > 0");
+    if (!std::isfinite(cycleBudgetFactor) || cycleBudgetFactor < 1.0)
+        add("cycleBudgetFactor must be finite and >= 1");
+    if (maxRetries < 0)
+        add("maxRetries must be >= 0");
+    if (!(infraFailProb >= 0.0 && infraFailProb < 1.0))
+        add("infraFailProb must be in [0,1)");
+    if (!(sdcPowerTolFrac > 0.0))
+        add("sdcPowerTolFrac must be > 0");
+
+    if (!err.empty())
+        return common::Error::invalidArgument("CampaignSpec: " + err);
+    return common::okStatus();
+}
+
+CampaignRunner::CampaignRunner(const core::CoreConfig& cfg,
+                               const workloads::WorkloadProfile& profile,
+                               const CampaignSpec& spec)
+    : cfg_(cfg), profile_(profile), spec_(spec)
+{
+    // Fold the campaign seed into the workload so distinct campaign
+    // seeds exercise distinct (but internally reproducible) streams.
+    profile_.seed = profile.seed ^ (spec.seed * 0x9e3779b97f4a7c15ull);
+}
+
+core::RunResult
+CampaignRunner::runCore(
+    uint64_t maxCycles, uint64_t injectAt,
+    const std::function<void(core::CoreModel&)>& onInject,
+    const std::function<void(core::CoreModel&)>& afterRun) const
+{
+    std::vector<std::unique_ptr<workloads::SyntheticWorkload>> streams;
+    std::vector<workloads::InstrSource*> ptrs;
+    streams.reserve(static_cast<size_t>(spec_.smt));
+    for (int t = 0; t < spec_.smt; ++t) {
+        streams.push_back(
+            std::make_unique<workloads::SyntheticWorkload>(profile_, t));
+        ptrs.push_back(streams.back().get());
+    }
+
+    core::CoreModel model(cfg_);
+    core::RunOptions opts;
+    opts.warmupInstrs = spec_.warmupInstrs;
+    opts.measureInstrs = spec_.measureInstrs;
+    opts.maxCycles = maxCycles;
+    opts.injectAtInstr = injectAt;
+    opts.onInject = onInject;
+
+    core::RunResult r = model.run(ptrs, opts);
+    if (afterRun)
+        afterRun(model);
+    return r;
+}
+
+Outcome
+CampaignRunner::injectCoreState(const InjectionSite& site,
+                                common::Xoshiro& rng) const
+{
+    const uint64_t budget =
+        static_cast<uint64_t>(spec_.cycleBudgetFactor *
+                              static_cast<double>(golden_.cycles)) +
+        1;
+
+    const bool isArray = site.cls == SiteClass::CacheArray;
+    core::CoreModel::ArrayId id = core::CoreModel::ArrayId::L1D;
+    if (isArray) {
+        if (site.component == "l1i_array")
+            id = core::CoreModel::ArrayId::L1I;
+        else if (site.component == "l1d_array")
+            id = core::CoreModel::ArrayId::L1D;
+        else if (site.component == "tlb")
+            id = core::CoreModel::ArrayId::Tlb;
+        else if (site.component == "ierat")
+            id = core::CoreModel::ArrayId::Ierat;
+        else
+            id = core::CoreModel::ArrayId::Derat;
+    }
+
+    uint64_t poisonedHits = 0;
+    auto onInject = [&](core::CoreModel& m) {
+        if (isArray) {
+            core::CacheModel& arr = m.arrayState(id);
+            arr.flipStateBit(rng.below(arr.stateBits()));
+        } else {
+            core::BranchPredictor& bp = m.branchState();
+            bp.flipStateBit(rng.below(bp.stateBits()));
+        }
+    };
+    auto afterRun = [&](core::CoreModel& m) {
+        if (isArray)
+            poisonedHits = m.arrayState(id).poisonedHits();
+    };
+
+    core::RunResult r = runCore(budget, site.atInstr, onInject, afterRun);
+
+    if (r.timedOut)
+        return Outcome::CrashTimeout;
+    if (isArray && poisonedHits > 0)
+        return Outcome::Sdc; // wrong data consumed past the tag check
+    const bool identical =
+        r.cycles == golden_.cycles && r.stats == golden_.stats;
+    return identical ? Outcome::Masked : Outcome::Corrected;
+}
+
+Outcome
+CampaignRunner::injectRegisterFile(const InjectionSite& site,
+                                   common::Xoshiro& rng) const
+{
+    using namespace isa;
+
+    // Architectural register span the component's latches back.
+    uint16_t base = reg::kGprBase;
+    uint16_t count = reg::kNumGpr;
+    if (site.component == "rf_vsr") {
+        base = reg::kVsrBase;
+        count = reg::kNumVsr;
+    } else if (site.component == "rf_spr") {
+        base = reg::kCtr;
+        count = reg::kNumArchRegs - reg::kCtr;
+    } else if (site.component == "rename_map") {
+        // A mapper upset redirects one architectural name; its fate is
+        // that of the value the name should have held.
+        base = reg::kGprBase;
+        count = reg::kVsrBase + reg::kNumVsr;
+    }
+    const uint16_t target =
+        static_cast<uint16_t>(base + rng.below(count));
+    const int thread = static_cast<int>(rng.below(
+        static_cast<uint64_t>(spec_.smt)));
+
+    // Dead-value analysis over the exact committed stream: the upset
+    // corrupts the value register `target` holds at the injection
+    // instant. If the stream reads it before overwriting it, the wrong
+    // value is architecturally consumed (SDC); if it is overwritten
+    // first, or never referenced again, the fault is masked.
+    workloads::SyntheticWorkload stream(profile_, thread);
+    const uint64_t skip = spec_.warmupInstrs + site.atInstr;
+    for (uint64_t i = 0; i < skip; ++i)
+        stream.next();
+
+    const uint64_t horizon =
+        spec_.measureInstrs - site.atInstr + kRfGrace;
+    for (uint64_t i = 0; i < horizon; ++i) {
+        const TraceInstr in = stream.next();
+        for (uint16_t s : in.src)
+            if (s == target)
+                return Outcome::Sdc;
+        if (in.dest == target)
+            return Outcome::Masked;
+    }
+    return Outcome::Masked; // value dead beyond the window
+}
+
+Outcome
+CampaignRunner::injectMma(const InjectionSite& site,
+                          common::Xoshiro& rng) const
+{
+    // An accumulator group is live only as often as the workload clocks
+    // it (perlbench never primes an accumulator; ml_analytics nearly
+    // always holds one); an idle accumulator holds no architected data
+    // and its upsets are masked by definition.
+    if (!rng.chance(site.utilization))
+        return Outcome::Masked;
+
+    // Fixed FP32 GEMM-like schedule over accumulators 0..5 (6 and 7
+    // stay idle): rank-1 accumulation with one mid-kernel re-zero and
+    // one overwrite, so the kernel has real masking windows. The upset
+    // lands after a deterministic step; the architected outputs (the
+    // xxmfacc read-back of the live accumulators) are compared
+    // bit-for-bit against a clean pass.
+    constexpr int kSteps = 48;
+    constexpr int kLiveAccs = 6;
+
+    const int flipStep = static_cast<int>(rng.below(kSteps));
+    const int flipAcc = static_cast<int>(rng.below(mma::kNumAcc));
+    const int flipBit = static_cast<int>(rng.below(512));
+
+    auto kernel = [&](mma::MmaEngine& eng, bool faulty) {
+        for (int s = 0; s < kSteps; ++s) {
+            float x[4], y[4];
+            for (int i = 0; i < 4; ++i) {
+                x[i] = static_cast<float>((s * 5 + i * 3) % 17 - 8);
+                y[i] = static_cast<float>((s * 7 + i * 11) % 13 - 6);
+            }
+            const int a = s % kLiveAccs;
+            if (s == kSteps / 2)
+                eng.xxsetaccz(1); // re-zero: masks earlier acc1 upsets
+            if (s == 30)
+                eng.xvf32ger(2, x, y); // overwrite: masks acc2 upsets
+            else
+                eng.xvf32gerpp(a, x, y);
+            if (faulty && s == flipStep)
+                eng.injectBitFlip(flipAcc, flipBit);
+        }
+    };
+
+    mma::MmaEngine gold;
+    mma::MmaEngine faulty;
+    kernel(gold, false);
+    kernel(faulty, true);
+
+    for (int a = 0; a < kLiveAccs; ++a) {
+        float outG[4][4], outF[4][4];
+        gold.xxmfacc(a, outG);
+        faulty.xxmfacc(a, outF);
+        if (std::memcmp(outG, outF, sizeof(outG)) != 0)
+            return Outcome::Sdc;
+    }
+    return Outcome::Masked;
+}
+
+Outcome
+CampaignRunner::injectProxyCounter(common::Xoshiro& rng) const
+{
+    P10_ASSERT(!counterKeys_.empty(), "no corruptible counters");
+
+    const std::string& key =
+        counterKeys_[rng.below(counterKeys_.size())];
+    const int bit = static_cast<int>(rng.below(kCounterBits));
+
+    core::RunResult corrupt = golden_;
+    corrupt.stats[key] ^= 1ull << bit;
+
+    // The governor's range guard sees the corrupted read-out first.
+    model::CounterScreen screen =
+        model::screenCounters(corrupt.stats, corrupt.cycles);
+    corrupt.stats = screen.cleaned;
+
+    const double pj = energy_->evalCounters(corrupt).totalPj;
+    const double err = goldenPowerPj_ > 0.0
+                           ? std::fabs(pj - goldenPowerPj_) /
+                                 goldenPowerPj_
+                           : 0.0;
+
+    if (err > spec_.sdcPowerTolFrac)
+        return Outcome::Sdc; // a wild power estimate reached consumers
+    if (screen.flagged > 0)
+        return Outcome::Corrected; // guard caught and clamped the read
+    return Outcome::Masked; // estimate moved within tolerance
+}
+
+Outcome
+CampaignRunner::injectControl(const InjectionSite& site,
+                              common::Xoshiro& rng) const
+{
+    // A control latch clocked a fraction `utilization` of cycles holds
+    // live state with that probability at a uniformly-drawn upset
+    // instant; a dead latch's upset is overwritten at its next clock
+    // before anything samples it — SERMiner's derating argument.
+    if (!rng.chance(site.utilization))
+        return Outcome::Masked;
+
+    const double u = rng.uniform();
+    if (u < kControlCrashFrac)
+        return Outcome::CrashTimeout;
+    if (u < kControlCrashFrac + kControlCorrectedFrac)
+        return Outcome::Corrected;
+    return Outcome::Sdc;
+}
+
+common::Expected<Outcome>
+CampaignRunner::executeOnce(const InjectionSite& site,
+                            common::Xoshiro& rng) const
+{
+    if (spec_.infraFailProb > 0.0 && rng.chance(spec_.infraFailProb))
+        return common::Error::transient(
+            "synthetic injection-harness failure");
+
+    switch (site.cls) {
+    case SiteClass::BranchPredictor:
+    case SiteClass::CacheArray:
+        return injectCoreState(site, rng);
+    case SiteClass::RegisterFile:
+        return injectRegisterFile(site, rng);
+    case SiteClass::MmaAccumulator:
+        return injectMma(site, rng);
+    case SiteClass::ProxyCounter:
+        return injectProxyCounter(rng);
+    case SiteClass::Control:
+        return injectControl(site, rng);
+    }
+    return common::Error{common::ErrorCode::Internal,
+                         "unknown site class"};
+}
+
+common::Expected<CampaignReport>
+CampaignRunner::run()
+{
+    if (auto s = spec_.validate(); !s.ok())
+        return s.error();
+    if (auto s = cfg_.validate(); !s.ok())
+        return s.error();
+
+    golden_ = runCore(/*maxCycles=*/0, /*injectAt=*/0, nullptr);
+    energy_.emplace(cfg_);
+    goldenPowerPj_ = energy_->evalCounters(golden_).totalPj;
+
+    counterKeys_.clear();
+    for (const auto& [key, value] : golden_.stats) {
+        (void)value;
+        if (key != "cycles")
+            counterKeys_.push_back(key);
+    }
+    if (counterKeys_.empty())
+        return common::Error{common::ErrorCode::Internal,
+                             "golden run produced no counters"};
+
+    auto sm = SiteModel::build(cfg_, {golden_});
+    if (!sm.ok())
+        return sm.error();
+    sites_.emplace(std::move(sm).value());
+
+    CampaignReport rep;
+    rep.goldenCycles = golden_.cycles;
+    rep.goldenPowerPj = goldenPowerPj_;
+    rep.predictedSummary = sites_->predictedSummary();
+    rep.records.reserve(static_cast<size_t>(spec_.injections));
+
+    for (int i = 0; i < spec_.injections; ++i) {
+        // Every injection owns a generator derived from the master
+        // seed, so any single injection replays in isolation.
+        common::Xoshiro rng(spec_.seed +
+                            0x9e3779b97f4a7c15ull *
+                                static_cast<uint64_t>(i + 1));
+
+        const InjectionSite site =
+            sites_->sample(rng, spec_.measureInstrs);
+
+        InjectionRecord rec;
+        rec.id = i;
+        rec.component = site.component;
+        rec.cls = site.cls;
+        rec.atInstr = site.atInstr;
+
+        int attempts = 0;
+        for (;;) {
+            auto out = executeOnce(site, rng);
+            if (out.ok()) {
+                rec.outcome = out.value();
+                break;
+            }
+            if (out.error().code != common::ErrorCode::Transient ||
+                attempts >= spec_.maxRetries) {
+                rec.skipped = true; // graceful skip-and-record
+                break;
+            }
+            ++attempts;
+            ++rep.retriesTotal;
+            // Exponential backoff, modeled deterministically: burn a
+            // doubling number of generator draws per attempt (the
+            // wall-clock harness analogue would sleep 2^attempts
+            // units before re-dispatching).
+            for (int b = 0; b < (1 << attempts); ++b)
+                rng.next();
+        }
+        rec.retries = attempts;
+
+        if (rec.skipped) {
+            ++rep.skipped;
+        } else {
+            rep.total.count(rec.outcome);
+            rep.perComponent[rec.component].count(rec.outcome);
+            rep.perClass[siteClassName(rec.cls)].count(rec.outcome);
+            if (rep.predicted.find(rec.component) ==
+                rep.predicted.end()) {
+                PredictedDerating p;
+                p.vt10 = sites_->predictedDerating(rec.component, 0.10);
+                p.vt50 = sites_->predictedDerating(rec.component, 0.50);
+                p.vt90 = sites_->predictedDerating(rec.component, 0.90);
+                rep.predicted.emplace(rec.component, p);
+            }
+        }
+        rep.records.push_back(std::move(rec));
+    }
+    return rep;
+}
+
+} // namespace p10ee::fault

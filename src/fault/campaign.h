@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Deterministic fault-injection campaign runner.
+ *
+ * A campaign compares N independently seeded single-bit upsets against
+ * one golden (fault-free) run of the same seeded workload. Each
+ * injection draws a site from the SERMiner-weighted latch population
+ * (fault.h) and executes the class-specific experiment:
+ *
+ *  - branch-predictor / cache-array: re-run the core with a
+ *    RunOptions::onInject hook that flips a real bit in the live
+ *    structure, under a cycle budget; classify by golden-comparison
+ *    (and, for arrays, by whether a poisoned way was ever consumed);
+ *  - register-file: dead-value analysis over the exact committed
+ *    register stream (read-before-overwrite = SDC);
+ *  - mma-accumulator: a real MmaEngine GEMM schedule with the flip
+ *    planted mid-kernel, final accumulators compared bit-for-bit;
+ *  - proxy-counter: corrupt one counter read-out, pass it through the
+ *    screenCounters() range guard, and score the resulting power
+ *    estimate against the clean one;
+ *  - control: utilization-weighted liveness model (a latch holding no
+ *    live state masks by definition; a live control upset splits
+ *    between recovery, SDC, and hang).
+ *
+ * Everything derives from CampaignSpec::seed: per-injection generators
+ * are seeded as seed x index, so a campaign is bit-for-bit reproducible
+ * and any single injection can be replayed in isolation. Individual
+ * injections never abort the campaign — transient infrastructure
+ * failures are retried with exponential backoff and, when the retry
+ * budget is exhausted, recorded as skipped.
+ */
+
+#ifndef P10EE_FAULT_CAMPAIGN_H
+#define P10EE_FAULT_CAMPAIGN_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "core/config.h"
+#include "core/core.h"
+#include "core/result.h"
+#include "fault/fault.h"
+#include "power/energy.h"
+#include "workloads/spec_profiles.h"
+
+namespace p10ee::fault {
+
+/** Parameters of one campaign. */
+struct CampaignSpec
+{
+    int smt = 1;              ///< SMT threads in the modeled run
+    uint64_t seed = 1;        ///< master seed; everything derives from it
+    int injections = 1000;
+    uint64_t warmupInstrs = 2000;
+    uint64_t measureInstrs = 4000;
+
+    /**
+     * Per-injection cycle budget as a multiple of the golden run's
+     * cycles; a faulty re-run exceeding it is classified crash-timeout.
+     */
+    double cycleBudgetFactor = 8.0;
+
+    int maxRetries = 2; ///< retries after a transient infra failure
+
+    /**
+     * Probability that one injection attempt hits a synthetic transient
+     * infrastructure failure (drawn from the injection's own seeded
+     * stream). Zero in normal use; tests raise it to exercise the
+     * retry/backoff/skip machinery deterministically.
+     */
+    double infraFailProb = 0.0;
+
+    /** Proxy power-estimate error fraction above which a corrupted
+        counter read counts as SDC. */
+    double sdcPowerTolFrac = 0.02;
+
+    /** Structured validation of user-supplied campaign parameters. */
+    common::Status validate() const;
+};
+
+/** Ledger of one injection. */
+struct InjectionRecord
+{
+    int id = 0;
+    std::string component;
+    SiteClass cls = SiteClass::Control;
+    uint64_t atInstr = 0;
+    Outcome outcome = Outcome::Masked;
+    int retries = 0;     ///< transient failures retried before success
+    bool skipped = false; ///< retry budget exhausted; outcome invalid
+};
+
+/** Outcome histogram. */
+struct OutcomeTally
+{
+    int injections = 0;
+    int masked = 0;
+    int corrected = 0;
+    int sdc = 0;
+    int crash = 0;
+
+    void count(Outcome o);
+
+    /** Observed masking rate (the SERMiner-comparable number). */
+    double
+    maskedFrac() const
+    {
+        return injections ? static_cast<double>(masked) / injections
+                          : 0.0;
+    }
+};
+
+/** SERMiner-predicted derating for one component at VT=10/50/90%. */
+struct PredictedDerating
+{
+    double vt10 = 0.0;
+    double vt50 = 0.0;
+    double vt90 = 0.0;
+};
+
+/** Aggregate result of a campaign. */
+struct CampaignReport
+{
+    uint64_t goldenCycles = 0;
+    double goldenPowerPj = 0.0; ///< clean proxy power, pJ/cycle
+
+    OutcomeTally total;
+    std::map<std::string, OutcomeTally> perComponent;
+    std::map<std::string, OutcomeTally> perClass;
+
+    /** SERMiner predictions per injected component. */
+    std::map<std::string, PredictedDerating> predicted;
+
+    /** Population-wide SERMiner summary. */
+    ras::DeratingSummary predictedSummary;
+
+    std::vector<InjectionRecord> records;
+    int skipped = 0;      ///< injections abandoned after retries
+    int retriesTotal = 0; ///< transient failures absorbed by retry
+};
+
+/**
+ * Executes campaigns. Construction is cheap; run() performs the golden
+ * run, builds the site population, and executes every injection.
+ */
+class CampaignRunner
+{
+  public:
+    CampaignRunner(const core::CoreConfig& cfg,
+                   const workloads::WorkloadProfile& profile,
+                   const CampaignSpec& spec);
+
+    /**
+     * Run the campaign. Invalid configuration or spec yields a
+     * structured error; individual injection failures never do.
+     */
+    common::Expected<CampaignReport> run();
+
+  private:
+    /**
+     * One seeded core run; @p afterRun (optional) reads model state
+     * (e.g. poisoned-hit counts) before the model is destroyed.
+     */
+    core::RunResult runCore(
+        uint64_t maxCycles, uint64_t injectAt,
+        const std::function<void(core::CoreModel&)>& onInject,
+        const std::function<void(core::CoreModel&)>& afterRun = {}) const;
+
+    common::Expected<Outcome> executeOnce(const InjectionSite& site,
+                                          common::Xoshiro& rng) const;
+
+    Outcome injectCoreState(const InjectionSite& site,
+                            common::Xoshiro& rng) const;
+    Outcome injectRegisterFile(const InjectionSite& site,
+                               common::Xoshiro& rng) const;
+    Outcome injectMma(const InjectionSite& site,
+                      common::Xoshiro& rng) const;
+    Outcome injectProxyCounter(common::Xoshiro& rng) const;
+    Outcome injectControl(const InjectionSite& site,
+                          common::Xoshiro& rng) const;
+
+    core::CoreConfig cfg_;
+    workloads::WorkloadProfile profile_;
+    CampaignSpec spec_;
+
+    // Populated by run().
+    core::RunResult golden_;
+    double goldenPowerPj_ = 0.0;
+    std::vector<std::string> counterKeys_; ///< corruptible counter names
+    std::optional<SiteModel> sites_;
+    std::optional<power::EnergyModel> energy_;
+};
+
+} // namespace p10ee::fault
+
+#endif // P10EE_FAULT_CAMPAIGN_H

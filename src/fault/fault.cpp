@@ -1,0 +1,134 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace p10ee::fault {
+
+const char*
+siteClassName(SiteClass c)
+{
+    switch (c) {
+    case SiteClass::BranchPredictor: return "branch-predictor";
+    case SiteClass::CacheArray: return "cache-array";
+    case SiteClass::RegisterFile: return "register-file";
+    case SiteClass::MmaAccumulator: return "mma-accumulator";
+    case SiteClass::ProxyCounter: return "proxy-counter";
+    case SiteClass::Control: return "control";
+    }
+    return "?";
+}
+
+const char*
+outcomeName(Outcome o)
+{
+    switch (o) {
+    case Outcome::Masked: return "masked";
+    case Outcome::Corrected: return "corrected";
+    case Outcome::Sdc: return "sdc";
+    case Outcome::CrashTimeout: return "crash-timeout";
+    }
+    return "?";
+}
+
+SiteClass
+SiteModel::classify(const std::string& c)
+{
+    if (c == "bp_bimodal" || c == "bp_gshare" || c == "bp_indirect")
+        return SiteClass::BranchPredictor;
+    if (c == "l1i_array" || c == "l1d_array" || c == "tlb" ||
+        c == "ierat" || c == "derat")
+        return SiteClass::CacheArray;
+    if (c == "rf_gpr" || c == "rf_vsr" || c == "rf_spr" ||
+        c == "rename_map")
+        return SiteClass::RegisterFile;
+    if (c == "mma_grid" || c == "mma_acc")
+        return SiteClass::MmaAccumulator;
+    if (c == kProxyCounterComponent)
+        return SiteClass::ProxyCounter;
+    return SiteClass::Control;
+}
+
+SiteModel::SiteModel(core::CoreConfig cfg,
+                     std::vector<ras::LatchGroup> groups)
+    : cfg_(std::move(cfg)), groups_(std::move(groups))
+{
+    cumK_.reserve(groups_.size());
+    for (const auto& g : groups_) {
+        totalK_ += g.kLatches;
+        cumK_.push_back(totalK_);
+    }
+}
+
+common::Expected<SiteModel>
+SiteModel::build(const core::CoreConfig& cfg,
+                 const std::vector<core::RunResult>& suite)
+{
+    if (auto s = cfg.validate(); !s.ok())
+        return s.error();
+    if (suite.empty())
+        return common::Error::invalidArgument(
+            "SiteModel: empty testcase suite");
+    for (const auto& r : suite) {
+        if (r.cycles == 0)
+            return common::Error::invalidArgument(
+                "SiteModel: suite contains a zero-cycle run");
+    }
+
+    ras::SerMiner miner(cfg);
+    std::vector<ras::LatchGroup> groups = miner.analyze(suite);
+
+    // The power-proxy counter bank is injectable state too, but it is
+    // infrastructure rather than microarchitecture, so SERMiner does
+    // not model it; append it as one always-clocking group (the
+    // counters accumulate nearly every cycle).
+    ras::LatchGroup proxy;
+    proxy.component = kProxyCounterComponent;
+    proxy.kLatches = 2.0; // ~32 counters x 64 bits
+    proxy.utilization = 0.95;
+    groups.push_back(proxy);
+
+    return SiteModel(cfg, std::move(groups));
+}
+
+InjectionSite
+SiteModel::sample(common::Xoshiro& rng, uint64_t windowInstrs) const
+{
+    P10_ASSERT(totalK_ > 0.0, "site population is empty");
+    P10_ASSERT(windowInstrs > 0, "injection window is empty");
+
+    const double r = rng.uniform() * totalK_;
+    const auto it = std::upper_bound(cumK_.begin(), cumK_.end(), r);
+    const size_t idx = std::min<size_t>(
+        static_cast<size_t>(it - cumK_.begin()), groups_.size() - 1);
+    const ras::LatchGroup& g = groups_[idx];
+
+    InjectionSite site;
+    site.component = g.component;
+    site.cls = classify(g.component);
+    site.utilization = g.utilization;
+    site.atInstr = rng.below(windowInstrs);
+    return site;
+}
+
+double
+SiteModel::predictedDerating(const std::string& component,
+                             double vt) const
+{
+    std::vector<ras::LatchGroup> own;
+    for (const auto& g : groups_)
+        if (g.component == component)
+            own.push_back(g);
+    if (own.empty())
+        return 0.0;
+    return ras::SerMiner::deratedFrac(own, vt);
+}
+
+ras::DeratingSummary
+SiteModel::predictedSummary() const
+{
+    return ras::SerMiner::summarize(groups_);
+}
+
+} // namespace p10ee::fault

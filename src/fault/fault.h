@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Fault-injection model: sites, outcome taxonomy, and the SERMiner-
+ * weighted site population.
+ *
+ * SERMiner (§III-E) *predicts* which latches can take a soft-error
+ * harmlessly from clock utilization alone; this module closes the loop
+ * by actually injecting transient single-bit upsets into the modeled
+ * architectural state and observing what happens. Injection sites are
+ * drawn from the same latch population SERMiner scores — each power
+ * component's LatchGroups, weighted by latch count — so a campaign's
+ * observed masking rate per component is directly comparable to the
+ * derating SERMiner predicts for it (the Fig. 13/14 cross-validation).
+ *
+ * Outcome taxonomy (standard fault-injection classes):
+ *  - masked:    the fault had no observable effect — golden and faulty
+ *               runs are bit-identical;
+ *  - corrected: observable divergence but no architected-state damage
+ *               (predictor retrains, a lost cache line refetches, a
+ *               recovery path catches the upset);
+ *  - sdc:       silent data corruption — architected results or
+ *               consumed readings differ without any error signal;
+ *  - crash-timeout: the run died or blew its cycle budget.
+ */
+
+#ifndef P10EE_FAULT_FAULT_H
+#define P10EE_FAULT_FAULT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/config.h"
+#include "core/result.h"
+#include "ras/serminer.h"
+
+namespace p10ee::fault {
+
+/** How an injection into a component is physically executed. */
+enum class SiteClass {
+    BranchPredictor, ///< real bit flip in the live predictor tables
+    CacheArray,      ///< real bit flip in a tag/translation array
+    RegisterFile,    ///< dead-value analysis over the register stream
+    MmaAccumulator,  ///< real bit flip in an MmaEngine accumulator
+    ProxyCounter,    ///< corrupted power-proxy counter read-out
+    Control,         ///< sequencer/issue control state (liveness model)
+};
+
+/** Stable lower-case name of @p c. */
+const char* siteClassName(SiteClass c);
+
+/** Outcome class of one injection. */
+enum class Outcome { Masked, Corrected, Sdc, CrashTimeout };
+
+/** Stable lower-case name of @p o. */
+const char* outcomeName(Outcome o);
+
+/** One sampled injection site. */
+struct InjectionSite
+{
+    std::string component;  ///< power-component / SERMiner group name
+    SiteClass cls = SiteClass::Control;
+    double utilization = 0.0; ///< SERMiner latch-group utilization
+    uint64_t atInstr = 0;     ///< measure-window instruction of upset
+};
+
+/**
+ * The injectable latch population of one core design: SERMiner's latch
+ * groups (from a golden-run analysis) plus the power-proxy counter
+ * bank, sampled with probability proportional to latch population —
+ * the uniform-over-latches upset model.
+ */
+class SiteModel
+{
+  public:
+    /**
+     * Analyze @p suite with SERMiner under @p cfg and build the site
+     * population. Returns structured errors for an invalid config or
+     * an empty suite (user/campaign input, never an abort).
+     */
+    static common::Expected<SiteModel> build(
+        const core::CoreConfig& cfg,
+        const std::vector<core::RunResult>& suite);
+
+    /** Execution class a component's upsets belong to. */
+    static SiteClass classify(const std::string& component);
+
+    /**
+     * Draw one site: a latch group weighted by population, and an
+     * injection instant uniform over @p windowInstrs.
+     */
+    InjectionSite sample(common::Xoshiro& rng,
+                         uint64_t windowInstrs) const;
+
+    /** The latch groups backing the population. */
+    const std::vector<ras::LatchGroup>& groups() const
+    {
+        return groups_;
+    }
+
+    /** Total kilolatches in the population. */
+    double totalKlatches() const { return totalK_; }
+
+    /**
+     * SERMiner-predicted derated (soft-error-safe) fraction at
+     * vulnerability threshold @p vt, over @p component's groups only —
+     * the prediction a campaign's observed masking rate is validated
+     * against. Returns 0 for an unknown component.
+     */
+    double predictedDerating(const std::string& component,
+                             double vt) const;
+
+    /** Summary over the whole population (VT = 10/50/90%). */
+    ras::DeratingSummary predictedSummary() const;
+
+  private:
+    SiteModel(core::CoreConfig cfg, std::vector<ras::LatchGroup> groups);
+
+    core::CoreConfig cfg_;
+    std::vector<ras::LatchGroup> groups_;
+    std::vector<double> cumK_; ///< cumulative kLatches over groups_
+    double totalK_ = 0.0;
+};
+
+/** Name of the synthetic proxy-counter-bank component in a SiteModel. */
+inline constexpr const char* kProxyCounterComponent = "proxy_counters";
+
+} // namespace p10ee::fault
+
+#endif // P10EE_FAULT_FAULT_H

@@ -47,6 +47,16 @@ MmaEngine::acc(int a) const
 }
 
 void
+MmaEngine::injectBitFlip(int a, int bit)
+{
+    P10_ASSERT(a >= 0 && a < kNumAcc, "accumulator index");
+    P10_ASSERT_FMT(bit >= 0 && bit < 512,
+                   "accumulator bit %d outside the 512-bit state", bit);
+    accs_[a].raw[bit / 8] ^=
+        static_cast<uint8_t>(1u << (bit % 8));
+}
+
+void
 MmaEngine::xvf32gerpp(int a, const float x[4], const float y[4])
 {
     P10_ASSERT(a >= 0 && a < kNumAcc, "accumulator index");

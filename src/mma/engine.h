@@ -117,6 +117,15 @@ class MmaEngine
     /** xxmfacc for the INT32 view. */
     void xxmfacc(int a, int32_t out[4][4]) const;
 
+    /**
+     * Fault-injection surface: flip one bit of accumulator @p a's
+     * 512-bit state. @p bit in [0, 512). A flipped accumulator bit is
+     * architecturally silent until the accumulator is read back
+     * (xxmfacc) without an intervening zero/overwrite — exactly the
+     * masking window the campaign engine measures.
+     */
+    void injectBitFlip(int a, int bit);
+
   private:
     std::array<Acc, kNumAcc> accs_;
 };

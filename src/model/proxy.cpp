@@ -33,4 +33,27 @@ totalPowerError(const CounterModel& model, const Dataset& windowDs,
     return sumRef > 0.0 ? sumErr / sumRef : 0.0;
 }
 
+CounterScreen
+screenCounters(const common::StatSnapshot& stats, uint64_t cycles,
+               double maxPerCycle)
+{
+    CounterScreen screen;
+    screen.cleaned = stats;
+    if (cycles == 0 || maxPerCycle <= 0.0)
+        return screen;
+    const double cap = static_cast<double>(cycles) * maxPerCycle;
+    const uint64_t capU = cap >= 1.8e19
+        ? ~0ull
+        : static_cast<uint64_t>(cap);
+    for (auto& [name, value] : screen.cleaned) {
+        if (name == "cycles")
+            continue;
+        if (value > capU) {
+            value = capU;
+            ++screen.flagged;
+        }
+    }
+    return screen;
+}
+
 } // namespace p10ee::model

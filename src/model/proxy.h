@@ -14,6 +14,7 @@
 #ifndef P10EE_MODEL_PROXY_H
 #define P10EE_MODEL_PROXY_H
 
+#include "common/stats.h"
 #include "model/regress.h"
 
 namespace p10ee::model {
@@ -41,6 +42,27 @@ ProxyDesign designProxy(const Dataset& ds, int numCounters,
  */
 double totalPowerError(const CounterModel& model, const Dataset& windowDs,
                        double staticPj);
+
+/** Outcome of screening one counter snapshot for implausible reads. */
+struct CounterScreen
+{
+    common::StatSnapshot cleaned; ///< snapshot with flagged reads clamped
+    int flagged = 0;              ///< counters caught by the range check
+};
+
+/**
+ * Range-check a counter snapshot before it reaches the proxy / WOF /
+ * throttle consumers. Every proxy input is an event count bounded by
+ * the machine's issue structure: nothing can bank more than
+ * @p maxPerCycle events per cycle, so a read-out above
+ * cycles x maxPerCycle is a corrupted or torn read (the failure mode
+ * the fault campaign's counter-upset experiments exercise). Flagged
+ * counters are clamped to that bound — the conservative fallback a
+ * hardware governor applies rather than trusting a wild estimate.
+ * The "cycles" entry itself is exempt (it defines the window).
+ */
+CounterScreen screenCounters(const common::StatSnapshot& stats,
+                             uint64_t cycles, double maxPerCycle = 64.0);
 
 } // namespace p10ee::model
 

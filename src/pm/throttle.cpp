@@ -1,8 +1,7 @@
 #include "pm/throttle.h"
 
 #include <algorithm>
-
-#include "common/assert.h"
+#include <cmath>
 
 namespace p10ee::pm {
 
@@ -10,33 +9,63 @@ ThrottleTrace
 runThrottleLoop(const std::vector<float>& rawPowerPj,
                 const ThrottleParams& params)
 {
-    P10_ASSERT(!rawPowerPj.empty(), "empty power series");
-    P10_ASSERT(params.budgetPj > 0.0, "throttle budget");
-
     ThrottleTrace trace;
+    // Degenerate inputs are user/campaign input, not invariants: an
+    // empty proxy series has nothing to control.
+    if (rawPowerPj.empty())
+        return trace;
+
+    const int levels = std::max(1, params.levels);
+    int fallback = params.staleFallbackLevel;
+    if (fallback < 0 || fallback >= levels)
+        fallback = levels - 1;
+    const bool budgetUsable = params.budgetPj > 0.0;
+
     trace.level.reserve(rawPowerPj.size());
     trace.powerPj.reserve(rawPowerPj.size());
 
     int level = 0;
+    double lastGood = 0.0;
+    bool haveGood = false;
     double sumPower = 0.0;
     double sumPerf = 0.0;
     size_t over = 0;
-    for (float raw : rawPowerPj) {
+    for (float rawReading : rawPowerPj) {
+        double raw = rawReading;
+        const bool usable = std::isfinite(raw) && raw >= 0.0;
+        if (!usable) {
+            // Stale/corrupt proxy read-out: no trustworthy estimate,
+            // so account with the last good reading and force the
+            // conservative fallback step for this interval.
+            ++trace.staleIntervals;
+            raw = haveGood ? lastGood : 0.0;
+            level = fallback;
+        } else {
+            lastGood = raw;
+            haveGood = true;
+            if (!budgetUsable)
+                level = fallback;
+        }
+
         double scaled = raw * (1.0 - params.powerPerLevel * level);
         trace.level.push_back(level);
         trace.powerPj.push_back(scaled);
         sumPower += scaled;
         sumPerf += 1.0 - params.perfPerLevel * level;
-        if (scaled > params.budgetPj)
+        if (!budgetUsable || scaled > params.budgetPj)
             ++over;
+
+        if (!usable || !budgetUsable)
+            continue;
 
         // Proportional step controller: the proxy estimate at the end
         // of the interval moves the limiter far enough to cover the
         // observed overshoot, and relaxes one step at a time.
         if (scaled > params.budgetPj) {
-            double over = scaled / params.budgetPj - 1.0;
-            int steps = 1 + static_cast<int>(over / params.powerPerLevel);
-            level = std::min(params.levels - 1, level + steps);
+            double overshoot = scaled / params.budgetPj - 1.0;
+            int steps =
+                1 + static_cast<int>(overshoot / params.powerPerLevel);
+            level = std::min(levels - 1, level + steps);
         } else if (level > 0) {
             double relaxed =
                 raw * (1.0 - params.powerPerLevel * (level - 1));
@@ -55,10 +84,11 @@ DroopTrace
 simulateDroop(const std::vector<float>& powerPjPerCycle,
               const DroopParams& p)
 {
-    P10_ASSERT(!powerPjPerCycle.empty(), "empty power series");
     DroopTrace trace;
-    trace.voltage.reserve(powerPjPerCycle.size());
     trace.minVoltage = p.supplyVolts;
+    if (powerPjPerCycle.empty())
+        return trace;
+    trace.voltage.reserve(powerPjPerCycle.size());
 
     // Second-order (RLC-like) droop state: z is the voltage sag, u its
     // rate. The steady-state sag of current i is i * gridOhms.
@@ -66,6 +96,13 @@ simulateDroop(const std::vector<float>& powerPjPerCycle,
     double u = 0.0;
     double w = p.naturalFreq;
     int throttleLeft = 0;
+
+    // Re-trip hysteresis state: hold starts at the configured value
+    // and escalates geometrically while trips land hot on each other.
+    const double growth = std::max(1.0, p.backoffGrowth);
+    const int holdCap = std::max(p.throttleCycles, p.maxThrottleCycles);
+    int hold = std::max(1, p.throttleCycles);
+    int64_t lastRelease = INT64_MIN / 2; // cycle the last hold ended
 
     // Current baseline so the series starts at equilibrium. Power
     // arrives as pJ/cycle; watts = pJ/cycle x GHz x 1e-3.
@@ -82,12 +119,16 @@ simulateDroop(const std::vector<float>& powerPjPerCycle,
     base /= static_cast<double>(lead);
     z = ampsOf(base) * p.gridOhms;
 
+    int64_t cycle = -1;
     for (float pw : powerPjPerCycle) {
+        ++cycle;
         double current = ampsOf(pw);
         if (throttleLeft > 0) {
             current *= p.throttleCut;
             --throttleLeft;
             ++trace.throttledCycles;
+            if (throttleLeft == 0)
+                lastRelease = cycle;
         }
         double target = current * p.gridOhms;
         double acc = w * w * (target - z) - 2.0 * p.damping * w * u;
@@ -101,7 +142,21 @@ simulateDroop(const std::vector<float>& powerPjPerCycle,
         // engages the coarse throttle the cycle the margin collapses.
         if (p.ddsEnabled && v < p.ddsThresholdVolts &&
             throttleLeft == 0) {
-            throttleLeft = p.throttleCycles;
+            if (growth > 1.0) {
+                if (cycle - lastRelease <= p.retripWindowCycles &&
+                    trace.ddsTrips > 0) {
+                    // The droop came back as soon as we let go: hold
+                    // longer this time instead of oscillating.
+                    int escalated = static_cast<int>(std::min<double>(
+                        holdCap, static_cast<double>(hold) * growth));
+                    if (escalated > hold)
+                        ++trace.backoffEscalations;
+                    hold = escalated;
+                } else {
+                    hold = std::max(1, p.throttleCycles);
+                }
+            }
+            throttleLeft = hold;
             ++trace.ddsTrips;
         }
     }

@@ -16,6 +16,7 @@
 #ifndef P10EE_PM_THROTTLE_H
 #define P10EE_PM_THROTTLE_H
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -29,6 +30,15 @@ struct ThrottleParams
     double powerPerLevel = 0.08;///< power cut per step
     double perfPerLevel = 0.10; ///< throughput cut per step
     int intervalCycles = 64;    ///< proxy read-out period
+
+    /**
+     * Limiter step engaged while the proxy reading is unusable (NaN,
+     * infinite or negative — a stale read-out or a corrupted counter).
+     * -1 selects the most conservative step (levels-1): with no
+     * trustworthy power estimate the controller must assume the worst
+     * rather than run unthrottled against the budget.
+     */
+    int staleFallbackLevel = -1;
 };
 
 /** Outcome of a fine-grained throttling run. */
@@ -39,11 +49,21 @@ struct ThrottleTrace
     double meanPowerPj = 0.0;
     double overBudgetFrac = 0.0;  ///< intervals still above budget
     double meanPerf = 0.0;        ///< throughput retained (0..1)
+    size_t staleIntervals = 0;    ///< unusable proxy readings seen
 };
 
 /**
  * Run the proxy-feedback throttle loop on an unthrottled per-interval
  * power series (the proxy estimate of the running workload).
+ *
+ * Degenerate inputs degrade gracefully instead of asserting (batch
+ * campaigns feed this from user specs and possibly-corrupt proxies):
+ * an empty series returns an empty trace; levels < 1 is clamped to a
+ * single (pass-through) step; a non-positive budget is unsatisfiable,
+ * so the controller pins the fallback step and reports every interval
+ * over budget. Unusable readings (NaN/inf/negative) engage
+ * ThrottleParams::staleFallbackLevel for that interval and carry the
+ * last good reading for power accounting.
  */
 ThrottleTrace runThrottleLoop(const std::vector<float>& rawPowerPj,
                               const ThrottleParams& params);
@@ -61,6 +81,19 @@ struct DroopParams
     int throttleCycles = 48;     ///< coarse-throttle hold per trip
     double throttleCut = 0.5;    ///< activity cut while engaged
     bool ddsEnabled = true;
+
+    /**
+     * Re-trip hysteresis: when a new trip lands within
+     * @p retripWindowCycles of the previous throttle release, the hold
+     * time is multiplied by @p backoffGrowth (capped at
+     * @p maxThrottleCycles) — a droop that never recovers escalates to
+     * longer, calmer holds instead of oscillating trip/release at the
+     * grid's resonant frequency. 1.0 disables (the pre-hysteresis
+     * behaviour).
+     */
+    double backoffGrowth = 1.0;
+    int retripWindowCycles = 16;
+    int maxThrottleCycles = 1024;
 };
 
 /** Droop simulation result. */
@@ -70,6 +103,7 @@ struct DroopTrace
     double minVoltage = 0.0;
     int ddsTrips = 0;
     uint64_t throttledCycles = 0;
+    int backoffEscalations = 0; ///< trips that lengthened the hold
 };
 
 /**

@@ -194,18 +194,25 @@ extraGroups()
     return suite;
 }
 
-const WorkloadProfile&
-profileByName(const std::string& name)
+const WorkloadProfile*
+findProfile(const std::string& name)
 {
     for (const auto& p : specint2017())
         if (p.name == name)
-            return p;
+            return &p;
     for (const auto& p : extraGroups())
         if (p.name == name)
-            return p;
-    P10_ASSERT(false, "unknown workload profile");
-    static WorkloadProfile unreachable;
-    return unreachable;
+            return &p;
+    return nullptr;
+}
+
+const WorkloadProfile&
+profileByName(const std::string& name)
+{
+    const WorkloadProfile* p = findProfile(name);
+    P10_ASSERT_FMT(p != nullptr, "unknown workload profile '%s'",
+                   name.c_str());
+    return *p;
 }
 
 } // namespace p10ee::workloads

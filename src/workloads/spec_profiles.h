@@ -30,8 +30,16 @@ const std::vector<WorkloadProfile>& specint2017();
 const std::vector<WorkloadProfile>& extraGroups();
 
 /**
+ * Look up any profile (SPECint or extra group) by name; nullptr when
+ * unknown. The non-aborting lookup user-facing paths (CLI, campaign
+ * specs) validate against.
+ */
+const WorkloadProfile* findProfile(const std::string& name);
+
+/**
  * Look up any profile (SPECint or extra group) by name.
- * Aborts when the name is unknown.
+ * Aborts when the name is unknown — callers holding user input must
+ * use findProfile() instead.
  */
 const WorkloadProfile& profileByName(const std::string& name);
 

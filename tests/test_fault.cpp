@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Fault-injection engine tests: site population, campaign determinism,
+ * outcome classification, structured error paths, and the
+ * retry/backoff/skip machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+#include "fault/campaign.h"
+#include "fault/fault.h"
+#include "workloads/spec_profiles.h"
+
+using namespace p10ee;
+
+namespace {
+
+fault::CampaignSpec
+smallSpec()
+{
+    fault::CampaignSpec spec;
+    spec.smt = 1;
+    spec.seed = 42;
+    spec.injections = 60;
+    spec.warmupInstrs = 500;
+    spec.measureInstrs = 1500;
+    return spec;
+}
+
+} // namespace
+
+TEST(SiteModel, ClassifiesComponents)
+{
+    using fault::SiteClass;
+    using fault::SiteModel;
+    EXPECT_EQ(SiteModel::classify("bp_gshare"),
+              SiteClass::BranchPredictor);
+    EXPECT_EQ(SiteModel::classify("l1d_array"), SiteClass::CacheArray);
+    EXPECT_EQ(SiteModel::classify("derat"), SiteClass::CacheArray);
+    EXPECT_EQ(SiteModel::classify("rf_vsr"), SiteClass::RegisterFile);
+    EXPECT_EQ(SiteModel::classify("rename_map"),
+              SiteClass::RegisterFile);
+    EXPECT_EQ(SiteModel::classify("mma_acc"),
+              SiteClass::MmaAccumulator);
+    EXPECT_EQ(SiteModel::classify(fault::kProxyCounterComponent),
+              SiteClass::ProxyCounter);
+    EXPECT_EQ(SiteModel::classify("instr_table"), SiteClass::Control);
+}
+
+TEST(SiteModel, RejectsEmptySuiteAndBadConfig)
+{
+    auto cfg = core::power10();
+    auto bad = fault::SiteModel::build(cfg, {});
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().code, common::ErrorCode::InvalidArgument);
+
+    core::CoreConfig broken = cfg;
+    broken.fetchWidth = 0;
+    core::RunResult dummy;
+    dummy.cycles = 100;
+    auto bad2 = fault::SiteModel::build(broken, {dummy});
+    ASSERT_FALSE(bad2.ok());
+    EXPECT_EQ(bad2.error().code, common::ErrorCode::InvalidConfig);
+}
+
+TEST(SiteModel, SamplesOnlyKnownComponentsWithinWindow)
+{
+    auto cfg = core::power10();
+    core::RunResult run;
+    run.cycles = 1000;
+    run.instrs = 1000;
+    run.stats["cycles"] = 1000;
+    auto sm = fault::SiteModel::build(cfg, {run});
+    ASSERT_TRUE(sm.ok());
+    const fault::SiteModel& model = sm.value();
+
+    common::Xoshiro rng(7);
+    for (int i = 0; i < 200; ++i) {
+        auto site = model.sample(rng, 500);
+        EXPECT_LT(site.atInstr, 500u);
+        bool known = false;
+        for (const auto& g : model.groups())
+            known |= g.component == site.component;
+        EXPECT_TRUE(known) << site.component;
+    }
+}
+
+TEST(CampaignSpec, ValidateCollectsAllClauses)
+{
+    fault::CampaignSpec spec;
+    spec.smt = 0;
+    spec.injections = 0;
+    spec.measureInstrs = 0;
+    spec.cycleBudgetFactor = 0.5;
+    spec.maxRetries = -1;
+    spec.infraFailProb = 1.5;
+    spec.sdcPowerTolFrac = 0.0;
+    auto s = spec.validate();
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.error().code, common::ErrorCode::InvalidArgument);
+    const std::string msg = s.error().message;
+    EXPECT_NE(msg.find("smt"), std::string::npos);
+    EXPECT_NE(msg.find("injections"), std::string::npos);
+    EXPECT_NE(msg.find("measureInstrs"), std::string::npos);
+    EXPECT_NE(msg.find("cycleBudgetFactor"), std::string::npos);
+    EXPECT_NE(msg.find("maxRetries"), std::string::npos);
+    EXPECT_NE(msg.find("infraFailProb"), std::string::npos);
+    EXPECT_NE(msg.find("sdcPowerTolFrac"), std::string::npos);
+
+    EXPECT_TRUE(smallSpec().validate().ok());
+}
+
+TEST(Campaign, InvalidSpecYieldsStructuredError)
+{
+    auto spec = smallSpec();
+    spec.smt = 99;
+    fault::CampaignRunner runner(
+        core::power10(), workloads::profileByName("xz"), spec);
+    auto res = runner.run();
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.error().code, common::ErrorCode::InvalidArgument);
+}
+
+TEST(Campaign, InvalidConfigYieldsStructuredError)
+{
+    core::CoreConfig cfg = core::power10();
+    cfg.l1d.ways = 0;
+    fault::CampaignRunner runner(
+        cfg, workloads::profileByName("xz"), smallSpec());
+    auto res = runner.run();
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.error().code, common::ErrorCode::InvalidConfig);
+}
+
+TEST(Campaign, RunsAndAccountsEveryInjection)
+{
+    auto spec = smallSpec();
+    fault::CampaignRunner runner(
+        core::power10(), workloads::profileByName("xz"), spec);
+    auto res = runner.run();
+    ASSERT_TRUE(res.ok()) << res.error().str();
+    const fault::CampaignReport& rep = res.value();
+
+    EXPECT_GT(rep.goldenCycles, 0u);
+    EXPECT_GT(rep.goldenPowerPj, 0.0);
+    EXPECT_EQ(static_cast<int>(rep.records.size()), spec.injections);
+    EXPECT_EQ(rep.total.injections + rep.skipped, spec.injections);
+    EXPECT_EQ(rep.skipped, 0); // no infra failures configured
+    EXPECT_EQ(rep.total.masked + rep.total.corrected + rep.total.sdc +
+                  rep.total.crash,
+              rep.total.injections);
+
+    int perComponent = 0;
+    for (const auto& [comp, tally] : rep.perComponent) {
+        perComponent += tally.injections;
+        // Every injected component carries a SERMiner prediction.
+        ASSERT_TRUE(rep.predicted.count(comp)) << comp;
+        const auto& p = rep.predicted.at(comp);
+        EXPECT_GE(p.vt90, 0.0);
+        EXPECT_LE(p.vt10, 1.0);
+        // Derating is monotone in VT from above: more VT, fewer derated.
+        EXPECT_GE(p.vt10 + 1e-12, p.vt50);
+        EXPECT_GE(p.vt50 + 1e-12, p.vt90);
+    }
+    EXPECT_EQ(perComponent, rep.total.injections);
+}
+
+TEST(Campaign, BitForBitReproducible)
+{
+    auto spec = smallSpec();
+    auto runOnce = [&spec]() {
+        fault::CampaignRunner runner(
+            core::power10(), workloads::profileByName("xz"), spec);
+        auto res = runner.run();
+        EXPECT_TRUE(res.ok());
+        return std::move(res).value();
+    };
+    const auto a = runOnce();
+    const auto b = runOnce();
+
+    EXPECT_EQ(a.goldenCycles, b.goldenCycles);
+    EXPECT_EQ(a.goldenPowerPj, b.goldenPowerPj); // exact, not approx
+    ASSERT_EQ(a.records.size(), b.records.size());
+    for (size_t i = 0; i < a.records.size(); ++i) {
+        EXPECT_EQ(a.records[i].component, b.records[i].component);
+        EXPECT_EQ(a.records[i].atInstr, b.records[i].atInstr);
+        EXPECT_EQ(a.records[i].outcome, b.records[i].outcome);
+        EXPECT_EQ(a.records[i].retries, b.records[i].retries);
+        EXPECT_EQ(a.records[i].skipped, b.records[i].skipped);
+    }
+}
+
+TEST(Campaign, DifferentSeedsDiffer)
+{
+    auto spec = smallSpec();
+    fault::CampaignRunner a(core::power10(),
+                            workloads::profileByName("xz"), spec);
+    spec.seed = 43;
+    fault::CampaignRunner b(core::power10(),
+                            workloads::profileByName("xz"), spec);
+    auto ra = a.run();
+    auto rb = b.run();
+    ASSERT_TRUE(ra.ok());
+    ASSERT_TRUE(rb.ok());
+    bool anyDiff =
+        ra.value().goldenCycles != rb.value().goldenCycles;
+    const auto& recA = ra.value().records;
+    const auto& recB = rb.value().records;
+    for (size_t i = 0; i < recA.size() && !anyDiff; ++i)
+        anyDiff = recA[i].component != recB[i].component ||
+                  recA[i].atInstr != recB[i].atInstr;
+    EXPECT_TRUE(anyDiff);
+}
+
+TEST(Campaign, TransientFailuresRetryThenSkipWithoutAborting)
+{
+    auto spec = smallSpec();
+    spec.injections = 120;
+    spec.infraFailProb = 0.5;
+    spec.maxRetries = 1;
+    fault::CampaignRunner runner(
+        core::power10(), workloads::profileByName("xz"), spec);
+    auto res = runner.run();
+    ASSERT_TRUE(res.ok()) << res.error().str();
+    const auto& rep = res.value();
+
+    // At 50% failure and one retry, both paths must trigger.
+    EXPECT_GT(rep.retriesTotal, 0);
+    EXPECT_GT(rep.skipped, 0);
+    EXPECT_LT(rep.skipped, spec.injections); // most still complete
+    EXPECT_EQ(rep.total.injections + rep.skipped, spec.injections);
+    for (const auto& rec : rep.records)
+        EXPECT_LE(rec.retries, spec.maxRetries);
+
+    // The hostile campaign is as reproducible as a clean one.
+    fault::CampaignRunner again(
+        core::power10(), workloads::profileByName("xz"), spec);
+    auto res2 = again.run();
+    ASSERT_TRUE(res2.ok());
+    EXPECT_EQ(res2.value().skipped, rep.skipped);
+    EXPECT_EQ(res2.value().retriesTotal, rep.retriesTotal);
+}
+
+TEST(Campaign, ZeroRetriesSkipsOnFirstTransient)
+{
+    auto spec = smallSpec();
+    spec.injections = 40;
+    spec.infraFailProb = 0.9;
+    spec.maxRetries = 0;
+    fault::CampaignRunner runner(
+        core::power10(), workloads::profileByName("xz"), spec);
+    auto res = runner.run();
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(res.value().retriesTotal, 0);
+    EXPECT_GT(res.value().skipped, 0);
+}
+
+TEST(Campaign, NamesAreStable)
+{
+    EXPECT_STREQ(fault::outcomeName(fault::Outcome::Masked), "masked");
+    EXPECT_STREQ(fault::outcomeName(fault::Outcome::CrashTimeout),
+                 "crash-timeout");
+    EXPECT_STREQ(fault::siteClassName(fault::SiteClass::ProxyCounter),
+                 "proxy-counter");
+}
