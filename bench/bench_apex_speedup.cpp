@@ -19,8 +19,11 @@
 using namespace p10ee;
 
 int
-main()
+main(int argc, char** argv)
 {
+    auto ctx = bench::benchInit(argc, argv, "bench_apex_speedup");
+    const uint64_t kInstrs = ctx.instrsOr(200000);
+    const uint64_t kWarmup = ctx.warmupOr(30000);
     auto p10 = core::power10();
     power::EnergyModel energy(p10);
 
@@ -36,10 +39,11 @@ main()
         workloads::SyntheticWorkload src(prof);
         core::CoreModel m(p10);
         core::RunOptions o;
-        o.warmupInstrs = 30000;
-        o.measureInstrs = 200000;
+        o.warmupInstrs = kWarmup;
+        o.measureInstrs = kInstrs;
         o.collectTimings = true;
         auto run = m.run({&src}, o);
+        bench::accountSimInstrs(o.warmupInstrs + run.instrs);
 
         auto cmp = power::compareApexVsDetailed(energy, run, 1000);
         t.row({name, common::fmt(cmp.detailedMeanPj, 1),
@@ -57,5 +61,8 @@ main()
                 "AWAN hardware accelerator);\nmeasured: %.0fx average "
                 "algorithmic speedup, worst-case error %.2f%%\n",
                 sumSpeedup / n, worstErr * 100.0);
-    return 0;
+    ctx.report.addScalar("mean_speedup", sumSpeedup / n);
+    ctx.report.addScalar("worst_error_frac", worstErr);
+    ctx.report.addTable(t);
+    return bench::benchFinish(ctx);
 }

@@ -15,17 +15,20 @@
  * reproduces every number bit-for-bit.
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_util.h"
 #include "common/table.h"
 #include "fault/campaign.h"
+#include "fault/report.h"
 
 using namespace p10ee;
 
 int
-main()
+main(int argc, char** argv)
 {
+    auto ctx = bench::benchInit(argc, argv, "bench_fault_campaign");
     const auto cfg = core::power10();
     const workloads::WorkloadProfile* prof =
         workloads::findProfile("perlbench");
@@ -37,9 +40,25 @@ main()
     fault::CampaignSpec spec;
     spec.smt = 2;
     spec.seed = 2021;
-    spec.injections = 1200;
-    spec.warmupInstrs = 2000;
+    // --instrs scales the campaign size (the CI smoke runs a tiny one).
+    spec.injections = static_cast<int>(ctx.instrsOr(1200));
+    spec.warmupInstrs = ctx.warmupOr(2000);
     spec.measureInstrs = 4000;
+
+    // Per-injection progress: a line every ~10% keeps long campaigns
+    // observable without flooding the console.
+    const int progressEvery = spec.injections >= 10
+                                  ? spec.injections / 10
+                                  : 1;
+    spec.onProgress = [&](const fault::InjectionRecord& r) {
+        bench::accountSimInstrs(spec.warmupInstrs +
+                                spec.measureInstrs);
+        if ((r.id + 1) % progressEvery == 0)
+            std::printf("  [%4d/%d] last: %s -> %s%s\n", r.id + 1,
+                        spec.injections, r.component.c_str(),
+                        fault::outcomeName(r.outcome),
+                        r.skipped ? " (skipped)" : "");
+    };
 
     fault::CampaignRunner runner(cfg, *prof, spec);
     auto res = runner.run();
@@ -116,7 +135,8 @@ main()
     // One third of injection attempts fail transiently; the runner
     // retries with backoff and records what it must abandon.
     fault::CampaignSpec hostile = spec;
-    hostile.injections = 200;
+    hostile.onProgress = nullptr;
+    hostile.injections = std::min(200, spec.injections);
     hostile.infraFailProb = 0.33;
     hostile.maxRetries = 2;
     fault::CampaignRunner hostileRunner(cfg, *prof, hostile);
@@ -135,5 +155,9 @@ main()
     std::printf("\npaper: SERMiner derates latches by utilization "
                 "without injections;\nthis campaign observes the "
                 "masking those deratings predict\n");
-    return 0;
+    ctx.report.meta().config = cfg.name;
+    ctx.report.meta().workload = prof->name;
+    ctx.report.meta().seed = spec.seed;
+    fault::addCampaignReport(rep, ctx.report);
+    return bench::benchFinish(ctx);
 }

@@ -16,8 +16,12 @@
 using namespace p10ee;
 
 int
-main()
+main(int argc, char** argv)
 {
+    auto ctx =
+        bench::benchInit(argc, argv, "bench_fig10_core_vs_chip");
+    const uint64_t kInstrs = ctx.instrsOr(80000);
+    const uint64_t kWarmup = ctx.warmupOr(80000);
     auto p10 = core::power10();
     power::EnergyModel energy(p10);
 
@@ -46,10 +50,12 @@ main()
                 }
                 core::CoreModel m(p10);
                 core::RunOptions o;
-                o.warmupInstrs = 80000;
-                o.measureInstrs = 80000;
+                o.warmupInstrs = kWarmup;
+                o.measureInstrs = kInstrs;
                 o.infiniteL2 = infiniteL2;
-                return m.run(ptrs, o);
+                auto run = m.run(ptrs, o);
+                bench::accountSimInstrs(o.warmupInstrs + run.instrs);
+                return run;
             };
             auto coreRun = runMode(true);
             auto chipRun = runMode(false);
@@ -65,5 +71,6 @@ main()
         }
     }
     t.print();
-    return 0;
+    ctx.report.addTable(t);
+    return bench::benchFinish(ctx);
 }

@@ -19,8 +19,12 @@
 using namespace p10ee;
 
 int
-main()
+main(int argc, char** argv)
 {
+    auto ctx = bench::benchInit(argc, argv, "bench_fig11_m1_model");
+    const uint64_t kSuiteInstrs = ctx.instrsOr(60000);
+    const uint64_t kCaseInstrs = ctx.instrsOr(50000);
+    const uint64_t kCaseWarmup = ctx.warmupOr(20000);
     auto p10 = core::power10();
     power::EnergyModel energy(p10);
 
@@ -30,7 +34,7 @@ main()
     std::vector<core::RunResult> runs;
     for (const auto& prof : workloads::specint2017()) {
         for (int smt : {1, 2, 4}) {
-            auto e = bench::runOne(p10, prof, smt, 60000);
+            auto e = bench::runOne(p10, prof, smt, kSuiteInstrs);
             runs.push_back(std::move(e.run));
         }
     }
@@ -43,9 +47,10 @@ main()
         }
         core::CoreModel m(p10);
         core::RunOptions o;
-        o.warmupInstrs = 20000;
-        o.measureInstrs = 50000;
+        o.warmupInstrs = kCaseWarmup;
+        o.measureInstrs = kCaseInstrs;
         runs.push_back(m.run(ptrs, o));
+        bench::accountSimInstrs(o.warmupInstrs + runs.back().instrs);
     }
     std::vector<std::unique_ptr<workloads::InstrSource>> kernels;
     kernels.push_back(workloads::makeDaxpy());
@@ -54,9 +59,10 @@ main()
     for (const auto& kern : kernels) {
         core::CoreModel m(p10);
         core::RunOptions o;
-        o.warmupInstrs = 20000;
-        o.measureInstrs = 50000;
+        o.warmupInstrs = kCaseWarmup;
+        o.measureInstrs = kCaseInstrs;
         runs.push_back(m.run({kern.get()}, o));
+        bench::accountSimInstrs(o.warmupInstrs + runs.back().instrs);
     }
 
     auto ds = model::buildAggregateDataset(runs, energy);
@@ -83,5 +89,11 @@ main()
                k >= 24 ? "<2.5% at max inputs" : "-"});
     }
     t.print();
-    return 0;
+    model::ModelOptions best;
+    best.maxInputs = 32;
+    ctx.report.addScalar(
+        "error_at_max_inputs",
+        model::meanAbsErrorFrac(model::trainModel(ds, best), ds));
+    ctx.report.addTable(t);
+    return bench::benchFinish(ctx);
 }

@@ -19,8 +19,11 @@
 using namespace p10ee;
 
 int
-main()
+main(int argc, char** argv)
 {
+    auto ctx =
+        bench::benchInit(argc, argv, "bench_fig12_topdown_bottomup");
+    const uint64_t kInstrs = ctx.instrsOr(50000);
     auto p10 = core::power10();
     // Core scope only: the bottom-up decomposition is the 39-component
     // core breakdown.
@@ -32,13 +35,13 @@ main()
             for (uint64_t seed = 0; seed < 2; ++seed) {
                 workloads::WorkloadProfile p = prof;
                 p.seed = prof.seed + seed * 1319;
-                auto e = bench::runOne(p10, p, smt, 50000);
+                auto e = bench::runOne(p10, p, smt, kInstrs);
                 runs.push_back(std::move(e.run));
             }
         }
     }
     for (const auto& prof : workloads::extraGroups()) {
-        auto e = bench::runOne(p10, prof, 4, 50000);
+        auto e = bench::runOne(p10, prof, 4, kInstrs);
         runs.push_back(std::move(e.run));
     }
 
@@ -67,5 +70,8 @@ main()
            "3.42%"});
     t.row({"top-down error vs reference", common::fmtPct(tdErr), "-"});
     t.print();
-    return 0;
+    ctx.report.addScalar("topdown_vs_bottomup_diff", diff);
+    ctx.report.addScalar("topdown_error", tdErr);
+    ctx.report.addTable(t);
+    return bench::benchFinish(ctx);
 }

@@ -15,8 +15,10 @@
 using namespace p10ee;
 
 int
-main()
+main(int argc, char** argv)
 {
+    auto ctx = bench::benchInit(argc, argv, "bench_fig13_derating");
+    const uint64_t kInstrs = ctx.instrsOr(50000);
     auto p10 = core::power10();
     ras::SerMiner miner(p10);
 
@@ -33,10 +35,12 @@ main()
         }
         core::CoreModel m(p10);
         core::RunOptions o;
-        o.warmupInstrs = 20000u * static_cast<unsigned>(tc.smt);
-        o.measureInstrs = 50000;
+        o.warmupInstrs =
+            ctx.warmupOr(20000u * static_cast<unsigned>(tc.smt));
+        o.measureInstrs = kInstrs;
         std::vector<core::RunResult> suite;
         suite.push_back(m.run(ptrs, o));
+        bench::accountSimInstrs(o.warmupInstrs + suite.back().instrs);
 
         auto groups = miner.analyze(suite);
         auto s = ras::SerMiner::summarize(groups);
@@ -48,5 +52,6 @@ main()
     std::printf("\npaper shape: static ~30-55%% varying by suite; "
                 "runtime derating falls from VT=10%% to VT=90%%;\n"
                 "zero-data cases derate more than random-data cases.\n");
-    return 0;
+    ctx.report.addTable(t);
+    return bench::benchFinish(ctx);
 }

@@ -21,6 +21,8 @@ using namespace p10ee;
 
 namespace {
 
+uint64_t kInstrs = 50000; ///< overridable via --instrs
+
 /** Average derating over the Fig. 13 suite for one design. */
 std::vector<double>
 averageDerating(const core::CoreConfig& cfg,
@@ -40,9 +42,10 @@ averageDerating(const core::CoreConfig& cfg,
         core::CoreModel m(cfg);
         core::RunOptions o;
         o.warmupInstrs = 20000u * static_cast<unsigned>(tc.smt);
-        o.measureInstrs = 50000;
+        o.measureInstrs = kInstrs;
         std::vector<core::RunResult> suite;
         suite.push_back(m.run(ptrs, o));
+        bench::accountSimInstrs(o.warmupInstrs + suite.back().instrs);
         auto groups = miner.analyze(suite);
         for (size_t i = 0; i < vts.size(); ++i)
             sums[i] += ras::SerMiner::deratedFrac(groups, vts[i]);
@@ -58,8 +61,11 @@ averageDerating(const core::CoreConfig& cfg,
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    auto ctx =
+        bench::benchInit(argc, argv, "bench_fig14_derating_p9p10");
+    kInstrs = ctx.instrsOr(kInstrs);
     const std::vector<double> vts = {0.1, 0.2, 0.3, 0.4, 0.5,
                                      0.6, 0.7, 0.8, 0.9};
     auto p9 = core::power9();
@@ -100,9 +106,10 @@ main()
         core::CoreModel m(cfg);
         core::RunOptions o;
         o.warmupInstrs = 30000;
-        o.measureInstrs = 50000;
+        o.measureInstrs = kInstrs;
         std::vector<core::RunResult> suite;
         suite.push_back(m.run(ptrs, o));
+        bench::accountSimInstrs(o.warmupInstrs + suite.back().instrs);
         return ras::SerMiner(cfg).analyze(suite);
     };
     auto g9 = analyzeOne(p9);
@@ -123,5 +130,8 @@ main()
     prot.print();
     std::printf("paper: POWER10 enhances RAS while reducing the "
                 "associated power overheads\n");
-    return 0;
+    ctx.report.addScalar("static_derating_delta", static10 - static9);
+    ctx.report.addTable(t);
+    ctx.report.addTable(prot);
+    return bench::benchFinish(ctx);
 }

@@ -20,8 +20,12 @@
 using namespace p10ee;
 
 int
-main()
+main(int argc, char** argv)
 {
+    auto ctx =
+        bench::benchInit(argc, argv, "bench_fig15_power_proxy");
+    const uint64_t kInstrs = ctx.instrsOr(60000);
+    const uint64_t kWarmup = ctx.warmupOr(60000);
     auto p10 = core::power10();
     power::EnergyModel energy(p10);
 
@@ -37,10 +41,11 @@ main()
         }
         core::CoreModel m(p10);
         core::RunOptions o;
-        o.warmupInstrs = 60000;
-        o.measureInstrs = 60000;
+        o.warmupInstrs = kWarmup;
+        o.measureInstrs = kInstrs;
         o.collectTimings = true;
         runs.push_back(m.run(ptrs, o));
+        bench::accountSimInstrs(o.warmupInstrs + runs.back().instrs);
     }
     {
         // A GEMM phase exercises the MMA counters too.
@@ -49,7 +54,8 @@ main()
             c(kD * kD, 0.0);
         mma::VectorSink sink;
         mma::dgemmMma(a.data(), b.data(), c.data(), {kD, kD, kD}, &sink);
-        auto e = bench::runStream(p10, "dgemm_mma", sink.instrs(), 60000,
+        auto e = bench::runStream(p10, "dgemm_mma", sink.instrs(),
+                                  kInstrs,
                                   /*collectTimings=*/true);
         runs.push_back(std::move(e.run));
     }
@@ -89,5 +95,11 @@ main()
                g == 50 ? "near-best at >=50 cycles" : "-"});
     }
     b.print();
-    return 0;
+    ctx.report.addScalar("shipped_active_error",
+                         shipped.activeErrorFrac);
+    ctx.report.addScalar("shipped_total_error",
+                         shipped.totalErrorFrac);
+    ctx.report.addTable(a);
+    ctx.report.addTable(b);
+    return bench::benchFinish(ctx);
 }

@@ -8,14 +8,17 @@
 
 #include <cstdio>
 
+#include "bench_util.h"
 #include "common/table.h"
 #include "pipeline/depth.h"
 
 using namespace p10ee;
 
 int
-main()
+main(int argc, char** argv)
 {
+    auto ctx =
+        bench::benchInit(argc, argv, "bench_fig2_pipeline_depth");
     pipeline::DepthParams params;
     const std::vector<double> fo4s = {14, 17, 20, 23, 27, 31, 36, 42, 48};
     const std::vector<double> targets = {1.0, 0.9, 0.8, 0.65, 0.5};
@@ -49,5 +52,11 @@ main()
                  common::fmt(pipeline::optimalFo4(params, t), 1),
                  "27 (stable over 0.5-1.0x)"});
     opt.print();
-    return 0;
+    ctx.report.addScalar("optimal_fo4_at_full_power",
+                         pipeline::optimalFo4(params, 1.0));
+    ctx.report.addScalar("optimal_fo4_at_half_power",
+                         pipeline::optimalFo4(params, 0.5));
+    ctx.report.addTable(table);
+    ctx.report.addTable(opt);
+    return bench::benchFinish(ctx);
 }

@@ -25,7 +25,7 @@ using bench::runSuite;
 
 namespace {
 
-constexpr uint64_t kInstrs = 150000;
+uint64_t kInstrs = 150000; ///< overridable via --instrs
 
 double
 suiteGain(const core::CoreConfig& full, const core::CoreConfig& without,
@@ -55,8 +55,10 @@ maxGroupGain(const core::CoreConfig& full, const core::CoreConfig& without,
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    auto ctx = bench::benchInit(argc, argv, "bench_fig4_ablation");
+    kInstrs = ctx.instrsOr(kInstrs);
     const auto& spec = workloads::specint2017();
     core::CoreConfig p10 = core::power10();
 
@@ -118,5 +120,10 @@ main()
                                         i9.run.perKilo("flush.wasted")),
                "38%"});
     flush.print();
-    return 0;
+    ctx.report.addScalar("total_gain_smt8",
+                         p10Smt.geoMeanIpc() / p9Smt.geoMeanIpc() -
+                             1.0);
+    ctx.report.addTable(table);
+    ctx.report.addTable(flush);
+    return bench::benchFinish(ctx);
 }

@@ -18,8 +18,9 @@
 using namespace p10ee;
 
 int
-main()
+main(int argc, char** argv)
 {
+    auto ctx = bench::benchInit(argc, argv, "bench_fig5_dgemm");
     // OpenBLAS-representative kernel: measurement windows cover the
     // inner loop plus tile transitions, as in the paper's 5K-cycle
     // windows with cross-inner-loop effects.
@@ -31,7 +32,7 @@ main()
     mma::dgemmVsu(a.data(), b.data(), cv.data(), {kM, kN, kK}, &vsu);
     mma::dgemmMma(a.data(), b.data(), cm.data(), {kM, kN, kK}, &mmaSink);
 
-    constexpr uint64_t kInstrs = 150000;
+    const uint64_t kInstrs = ctx.instrsOr(150000);
     auto p9 = core::power9();
     auto p10 = core::power10();
     auto r9 = bench::runStream(p9, "dgemm_vsu", vsu.instrs(), kInstrs);
@@ -68,5 +69,10 @@ main()
     abs.row({"P10 MMA flops/cycle", common::fmt(f10m),
              "27.9 (87.1% of peak)"});
     abs.print();
-    return 0;
+    ctx.report.addScalar("p10_vsu_rel_flops", f10v / f9);
+    ctx.report.addScalar("p10_mma_rel_flops", f10m / f9);
+    ctx.report.addScalar("p10_mma_rel_power", w10m / w9);
+    ctx.report.addTable(t);
+    ctx.report.addTable(abs);
+    return bench::benchFinish(ctx);
 }

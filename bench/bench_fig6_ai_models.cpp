@@ -28,6 +28,8 @@ using namespace p10ee;
 
 namespace {
 
+uint64_t kInstrs = 120000; ///< overridable via --instrs
+
 /** Ops/cycle and ops/instruction of one kernel window on one machine. */
 struct KernelRate
 {
@@ -39,7 +41,7 @@ KernelRate
 measureKernel(const core::CoreConfig& cfg,
               const std::vector<isa::TraceInstr>& loop, uint64_t kernelOps)
 {
-    auto entry = bench::runStream(cfg, "gemm_kernel", loop, 120000);
+    auto entry = bench::runStream(cfg, "gemm_kernel", loop, kInstrs);
     KernelRate r;
     r.opsPerInstr = static_cast<double>(kernelOps) /
                     static_cast<double>(loop.size());
@@ -72,8 +74,10 @@ compose(double totalOps, double nonGemmInstrs, const KernelRate& kr,
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    auto ctx = bench::benchInit(argc, argv, "bench_fig6_ai_models");
+    kInstrs = ctx.instrsOr(kInstrs);
     auto p9 = core::power9();
     auto p10 = core::power10();
 
@@ -127,8 +131,9 @@ main()
                          (1.0 - model.nonGemmInstrFrac);
 
         // Non-GEMM phase IPC on each machine.
-        auto n9 = bench::runOne(p9, model.nonGemmProfile, 1, 120000);
-        auto n10 = bench::runOne(p10, model.nonGemmProfile, 1, 120000);
+        auto n9 = bench::runOne(p9, model.nonGemmProfile, 1, kInstrs);
+        auto n10 =
+            bench::runOne(p10, model.nonGemmProfile, 1, kInstrs);
 
         EndToEnd e9 = compose(totalOps, nonGemm, k9, n9.run.ipc());
         EndToEnd e10v =
@@ -162,6 +167,10 @@ main()
                common::fmtX(rows[idx].paperNoMma) + " / " +
                    common::fmtX(rows[idx].paperMma)});
         t.print();
+        ctx.report.addTable(t);
+        ctx.report.addScalar(std::string(rows[idx].name) +
+                                 ".speedup_mma",
+                             e9.cycles / e10m.cycles);
 
         socketFp32 =
             std::max(socketFp32, e9.cycles / e10m.cycles * 2.5 * 1.1);
@@ -178,5 +187,8 @@ main()
     s.row({"INT8 socket speedup", common::fmtX(socketInt8),
            "up to 21x"});
     s.print();
-    return 0;
+    ctx.report.addScalar("socket_fp32_speedup", socketFp32);
+    ctx.report.addScalar("socket_int8_speedup", socketInt8);
+    ctx.report.addTable(s);
+    return bench::benchFinish(ctx);
 }

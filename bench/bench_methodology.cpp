@@ -46,8 +46,9 @@ measureEpoch(const workloads::WorkloadProfile& prof, uint64_t seedShift)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    auto ctx = bench::benchInit(argc, argv, "bench_methodology");
     // ---- Chopstix coverage ----
     common::Table cov("§III-A — Chopstix proxy extraction coverage "
                       "(top 10 hottest blocks per benchmark)");
@@ -116,5 +117,12 @@ main()
     // MMA-awareness: the same composition machinery keys on BLAS call
     // counts (see bench_fig6_ai_models), which is what makes the traces
     // transferable between a VSU machine and an MMA machine.
-    return 0;
+    ctx.report.addScalar("chopstix_mean_coverage", sum / n);
+    ctx.report.addScalar("tracepoints_cpi_error",
+                         std::abs(tpCpi - agg) / agg);
+    ctx.report.addScalar("simpoint_cpi_error",
+                         std::abs(spCpi - agg) / agg);
+    ctx.report.addTable(cov);
+    ctx.report.addTable(t);
+    return bench::benchFinish(ctx);
 }

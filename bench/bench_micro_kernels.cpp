@@ -9,9 +9,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/core.h"
+#include "obs/report.h"
 #include "mma/gemm.h"
 #include "power/apex.h"
 #include "power/energy.h"
@@ -123,6 +128,72 @@ BM_SyntheticGeneration(benchmark::State& state)
 }
 BENCHMARK(BM_SyntheticGeneration);
 
+/**
+ * ConsoleReporter that additionally captures each run's adjusted real
+ * time, so the shared JSON report can carry the numbers google-benchmark
+ * prints.
+ */
+class CapturingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    std::vector<std::pair<std::string, double>> results;
+
+    void
+    ReportRuns(const std::vector<Run>& runs) override
+    {
+        for (const auto& r : runs)
+            if (!r.error_occurred)
+                results.emplace_back(r.benchmark_name(),
+                                     r.GetAdjustedRealTime());
+        ConsoleReporter::ReportRuns(runs);
+    }
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    // The shared bench flags (--json and, ignored here, --instrs /
+    // --warmup — iteration counts are google-benchmark's business) are
+    // stripped before benchmark::Initialize sees the argv.
+    std::string jsonPath;
+    std::vector<char*> args;
+    args.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--json" && i + 1 < argc)
+            jsonPath = argv[++i];
+        else if ((a == "--instrs" || a == "--warmup") && i + 1 < argc)
+            ++i;
+        else
+            args.push_back(argv[i]);
+    }
+    int bargc = static_cast<int>(args.size());
+    benchmark::Initialize(&bargc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(bargc, args.data()))
+        return 1;
+
+    auto start = std::chrono::steady_clock::now();
+    CapturingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+
+    if (jsonPath.empty())
+        return 0;
+    obs::JsonReport report;
+    report.meta().tool = "bench_micro_kernels";
+    report.meta().git = obs::gitDescribe();
+    std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - start;
+    report.meta().wallSeconds = wall.count();
+    for (const auto& [name, seconds] : reporter.results)
+        report.addScalar(name, seconds);
+    auto st = report.writeTo(jsonPath);
+    if (!st.ok()) {
+        std::fprintf(stderr, "bench_micro_kernels: %s\n",
+                     st.error().message.c_str());
+        return 1;
+    }
+    return 0;
+}

@@ -24,7 +24,7 @@ using bench::runSuite;
 
 namespace {
 
-constexpr uint64_t kInstrs = 100000;
+uint64_t kInstrs = 100000; ///< overridable via --instrs
 
 double
 suitePower(const core::CoreConfig& cfg)
@@ -36,8 +36,10 @@ suitePower(const core::CoreConfig& cfg)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    auto ctx = bench::benchInit(argc, argv, "bench_power_ablation");
+    kInstrs = ctx.instrsOr(kInstrs);
     core::CoreConfig p10 = core::power10();
     core::CoreConfig p9 = core::power9();
     double base = suitePower(p10);
@@ -94,5 +96,7 @@ main()
                 "these decisions; no single figure is given per item —\n"
                 "this bench documents how this reproduction distributes "
                 "the gap.\n");
-    return 0;
+    ctx.report.addScalar("p9_vs_p10_power", p9Power / base);
+    ctx.report.addTable(t);
+    return bench::benchFinish(ctx);
 }

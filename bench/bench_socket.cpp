@@ -16,8 +16,10 @@
 using namespace p10ee;
 
 int
-main()
+main(int argc, char** argv)
 {
+    auto ctx = bench::benchInit(argc, argv, "bench_socket");
+    const uint64_t kInstrs = ctx.instrsOr(60000);
     socket::SocketConfig sc;
     socket::SocketModel sock(sc);
 
@@ -27,7 +29,7 @@ main()
               "thr/W"});
     for (auto cfg : {core::power9(), core::power10()}) {
         auto e = bench::runOne(cfg, workloads::profileByName("perlbench"),
-                               8, 60000);
+                               8, kInstrs);
         for (int n : {4, 8, 12, 15}) {
             auto r = sock.evaluate(e.run, e.power, n);
             t.row({cfg.name, std::to_string(n),
@@ -42,10 +44,10 @@ main()
     // "up to 3x socket" claim's structure.
     auto e9 = bench::runOne(core::power9(),
                             workloads::profileByName("perlbench"), 8,
-                            60000);
+                            kInstrs);
     auto e10 = bench::runOne(core::power10(),
                              workloads::profileByName("perlbench"), 8,
-                             60000);
+                             kInstrs);
     auto b9 = sock.bestEfficiencyPoint(e9.run, e9.power);
     auto b10 = sock.bestEfficiencyPoint(e10.run, e10.power);
     std::printf("\nbest-efficiency points: POWER9 %d cores @ %.2f GHz "
@@ -86,5 +88,10 @@ main()
                common::fmtPct(r.pfly), common::fmtPct(r.sellable)});
     }
     y.print();
-    return 0;
+    ctx.report.addScalar("socket_efficiency_ratio",
+                         b10.efficiency() / b9.efficiency());
+    ctx.report.addScalar("baseline_sellable", baseline.sellable);
+    ctx.report.addTable(t);
+    ctx.report.addTable(y);
+    return bench::benchFinish(ctx);
 }

@@ -15,8 +15,9 @@ using namespace p10ee;
 using bench::runSuite;
 
 int
-main()
+main(int argc, char** argv)
 {
+    auto ctx = bench::benchInit(argc, argv, "bench_table1");
     core::CoreConfig p9 = core::power9();
     core::CoreConfig p10 = core::power10();
 
@@ -37,7 +38,8 @@ main()
                   "2x deeper OoO window"});
 
     const auto& spec = workloads::specint2017();
-    constexpr uint64_t kInstrs = 150000;
+    const uint64_t kInstrs = ctx.instrsOr(150000);
+    const uint64_t kWarmup = ctx.warmupOr(30000);
 
     // Core-level: SPECint at ST and SMT8 on both machines, with the
     // component power model evaluated over each run.
@@ -46,8 +48,8 @@ main()
     eff.header({"metric", "mode", "POWER9", "POWER10", "ratio",
                 "paper"});
     for (int smt : {1, 8}) {
-        auto r9 = runSuite(p9, spec, smt, kInstrs);
-        auto r10 = runSuite(p10, spec, smt, kInstrs);
+        auto r9 = runSuite(p9, spec, smt, kInstrs, kWarmup);
+        auto r10 = runSuite(p10, spec, smt, kInstrs, kWarmup);
         double perf = r10.geoMeanIpc() / r9.geoMeanIpc();
         double power = r10.meanPowerPj() / r9.meanPowerPj();
         double effRatio = r10.geoMeanEfficiency() /
@@ -66,8 +68,8 @@ main()
 
     // Socket-level roll-up: up to 2.5x more cores per socket at the
     // same socket power envelope (enabled by the halved core power).
-    auto r9s = runSuite(p9, spec, 8, kInstrs);
-    auto r10s = runSuite(p10, spec, 8, kInstrs);
+    auto r9s = runSuite(p9, spec, 8, kInstrs, kWarmup);
+    auto r10s = runSuite(p10, spec, 8, kInstrs, kWarmup);
     double coreEff =
         r10s.geoMeanEfficiency() / r9s.geoMeanEfficiency();
     double socketPerf = (r10s.geoMeanIpc() * 2.5) / r9s.geoMeanIpc();
@@ -78,5 +80,12 @@ main()
 
     features.print();
     eff.print();
-    return 0;
+    ctx.report.addScalar("perf_per_watt_smt8",
+                         r10s.geoMeanEfficiency() /
+                             r9s.geoMeanEfficiency());
+    ctx.report.addScalar("socket_efficiency",
+                         socketPerf / socketPower);
+    ctx.report.addTable(features);
+    ctx.report.addTable(eff);
+    return bench::benchFinish(ctx);
 }

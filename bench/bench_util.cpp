@@ -1,8 +1,100 @@
 #include "bench_util.h"
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace p10ee::bench {
+
+namespace {
+
+/** Instructions simulated since benchInit (all runs, all threads). */
+uint64_t g_simInstrs = 0;
+
+[[noreturn]] void
+usageExit(const std::string& tool, const std::string& why)
+{
+    std::fprintf(stderr, "%s: %s\n", tool.c_str(), why.c_str());
+    std::fprintf(stderr,
+                 "usage: %s [--json <path>] [--instrs <n>] "
+                 "[--warmup <n>]\n",
+                 tool.c_str());
+    std::exit(2);
+}
+
+uint64_t
+parseCount(const std::string& tool, const char* flag, const char* text)
+{
+    char* end = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(text, &end, 10);
+    if (errno != 0 || end == text || *end != '\0')
+        usageExit(tool, std::string(flag) + " expects a non-negative "
+                            "integer, got '" + text + "'");
+    return static_cast<uint64_t>(v);
+}
+
+} // namespace
+
+void
+accountSimInstrs(uint64_t n)
+{
+    g_simInstrs += n;
+}
+
+BenchContext
+benchInit(int argc, char** argv, const std::string& tool)
+{
+    BenchContext ctx;
+    ctx.report.meta().tool = tool;
+    ctx.report.meta().git = obs::gitDescribe();
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&](const char* flag) -> const char* {
+            if (i + 1 >= argc)
+                usageExit(tool, std::string(flag) + " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--json")
+            ctx.jsonPath = next("--json");
+        else if (arg == "--instrs")
+            ctx.instrsOverride =
+                parseCount(tool, "--instrs", next("--instrs"));
+        else if (arg == "--warmup") {
+            ctx.warmupOverride =
+                parseCount(tool, "--warmup", next("--warmup"));
+            ctx.warmupSet = true;
+        } else
+            usageExit(tool, "unknown argument '" + arg + "'");
+    }
+    g_simInstrs = 0;
+    ctx.start = std::chrono::steady_clock::now();
+    return ctx;
+}
+
+int
+benchFinish(BenchContext& ctx)
+{
+    auto& meta = ctx.report.meta();
+    std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - ctx.start;
+    meta.wallSeconds = wall.count();
+    meta.simInstrs = g_simInstrs;
+    meta.hostMips = meta.wallSeconds > 0.0
+                        ? static_cast<double>(g_simInstrs) /
+                              meta.wallSeconds / 1e6
+                        : 0.0;
+    if (ctx.jsonPath.empty())
+        return 0;
+    auto st = ctx.report.writeTo(ctx.jsonPath);
+    if (!st.ok()) {
+        std::fprintf(stderr, "%s: %s\n", meta.tool.c_str(),
+                     st.error().message.c_str());
+        return 1;
+    }
+    return 0;
+}
 
 double
 SuiteResult::geoMeanIpc() const
@@ -58,6 +150,7 @@ runOne(const core::CoreConfig& cfg,
     SuiteEntry entry;
     entry.workload = profile.name;
     entry.run = model.run(ptrs, opts);
+    accountSimInstrs(opts.warmupInstrs + entry.run.instrs);
     power::EnergyModel energy(cfg);
     entry.power = energy.evalCounters(entry.run);
     return entry;
@@ -77,6 +170,7 @@ runStream(const core::CoreConfig& cfg, const std::string& name,
     SuiteEntry entry;
     entry.workload = name;
     entry.run = model.run({&src}, opts);
+    accountSimInstrs(opts.warmupInstrs + entry.run.instrs);
     power::EnergyModel energy(cfg);
     entry.power = energy.evalCounters(entry.run);
     return entry;

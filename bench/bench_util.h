@@ -11,16 +11,77 @@
 #ifndef P10EE_BENCH_BENCH_UTIL_H
 #define P10EE_BENCH_BENCH_UTIL_H
 
+#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/core.h"
+#include "obs/report.h"
 #include "power/energy.h"
 #include "workloads/spec_profiles.h"
 #include "workloads/synthetic.h"
 
 namespace p10ee::bench {
+
+/**
+ * Shared bench-binary harness: common flag parsing plus the
+ * machine-readable report every bench emits.
+ *
+ * Flags understood by every bench (all optional):
+ *   --json <path>   write a "p10ee-report/1" JSON report after the run
+ *   --instrs <n>    override the bench's measurement window
+ *   --warmup <n>    override the bench's warmup window
+ *
+ * Typical use:
+ *   auto ctx = bench::benchInit(argc, argv, "bench_table1");
+ *   const uint64_t instrs = ctx.instrsOr(150000);
+ *   ...
+ *   ctx.report.addTable(table);
+ *   return bench::benchFinish(ctx);
+ */
+struct BenchContext
+{
+    obs::JsonReport report;
+    std::string jsonPath;        ///< empty = report not requested
+    uint64_t instrsOverride = 0; ///< 0 = use the bench default
+    uint64_t warmupOverride = 0;
+    bool warmupSet = false;
+    std::chrono::steady_clock::time_point start;
+
+    /** The measurement window: the --instrs override or @p def. */
+    uint64_t
+    instrsOr(uint64_t def) const
+    {
+        return instrsOverride ? instrsOverride : def;
+    }
+
+    /** The warmup window: the --warmup override or @p def. */
+    uint64_t
+    warmupOr(uint64_t def) const
+    {
+        return warmupSet ? warmupOverride : def;
+    }
+};
+
+/**
+ * Parse the shared bench flags and start the wall clock. Unknown flags
+ * and malformed values print usage and exit(2); benches keep no flags
+ * of their own.
+ */
+BenchContext benchInit(int argc, char** argv, const std::string& tool);
+
+/**
+ * Finish the run: stamp wall-clock and host sim-speed (from the
+ * instructions accounted by runSuite/runOne/runStream since
+ * benchInit) into the report meta and, when --json was given, write
+ * the report. Returns the process exit code (non-zero when the report
+ * could not be written).
+ */
+int benchFinish(BenchContext& ctx);
+
+/** Add @p n simulated instructions to the host-MIPS accounting. */
+void accountSimInstrs(uint64_t n);
 
 /** One workload's outcome on one configuration. */
 struct SuiteEntry

@@ -19,8 +19,12 @@
 using namespace p10ee;
 
 int
-main()
+main(int argc, char** argv)
 {
+    auto ctx = bench::benchInit(argc, argv, "bench_wof_pm");
+    const uint64_t kSuiteInstrs = ctx.instrsOr(80000);
+    const uint64_t kRunInstrs = ctx.instrsOr(150000);
+    const uint64_t kWarmup = ctx.warmupOr(30000);
     auto p10 = core::power10();
     power::EnergyModel energy(p10);
     pm::WofParams wp;
@@ -36,7 +40,7 @@ main()
     for (const char* name :
          {"exchange2", "x264", "perlbench", "xz", "mcf", "omnetpp"}) {
         auto e = bench::runOne(p10, workloads::profileByName(name), 8,
-                               80000);
+                               kSuiteInstrs);
         designPj = std::max(designPj, e.power.totalPj);
         loads.emplace_back(name, e.power.totalPj);
     }
@@ -55,10 +59,11 @@ main()
     workloads::SyntheticWorkload src(prof);
     core::CoreModel m(p10);
     core::RunOptions o;
-    o.warmupInstrs = 30000;
-    o.measureInstrs = 150000;
+    o.warmupInstrs = kWarmup;
+    o.measureInstrs = kRunInstrs;
     o.collectTimings = true;
     auto run = m.run({&src}, o);
+    bench::accountSimInstrs(o.warmupInstrs + run.instrs);
 
     power::ApexExtractor apex(energy, 64);
     auto intervals = apex.intervalPower(run);
@@ -67,9 +72,12 @@ main()
         mean += v;
     mean /= static_cast<double>(intervals.size());
 
+    // Publish the control loops' telemetry into the report so the
+    // throttle/droop dynamics land in the JSON artifact.
+    obs::TimeSeriesRecorder pmRec(64);
     pm::ThrottleParams tp;
     tp.budgetPj = mean * 0.9; // clamp to 90% of the unthrottled mean
-    auto trace = pm::runThrottleLoop(intervals, tp);
+    auto trace = pm::runThrottleLoop(intervals, tp, &pmRec);
     common::Table t2("Proxy-driven fine-grained throttling (x264)");
     t2.header({"metric", "value"});
     t2.row({"unthrottled mean (pJ/cyc)", common::fmt(mean, 1)});
@@ -84,7 +92,7 @@ main()
     pm::DroopParams dpOn;
     pm::DroopParams dpOff = dpOn;
     dpOff.ddsEnabled = false;
-    auto withDds = pm::simulateDroop(perCycle, dpOn);
+    auto withDds = pm::simulateDroop(perCycle, dpOn, &pmRec);
     auto noDds = pm::simulateDroop(perCycle, dpOff);
     common::Table t3("Digital Droop Sensor response");
     t3.header({"config", "min voltage", "DDS trips",
@@ -125,5 +133,16 @@ main()
             std::to_string(noHints.wakeStalls),
             common::fmtPct(noHints.leakageSavedFrac)});
     t4.print();
-    return 0;
+    ctx.report.addScalar("throttle.mean_perf", trace.meanPerf);
+    ctx.report.addScalar("throttle.over_budget_frac",
+                         trace.overBudgetFrac);
+    ctx.report.addScalar("dds.min_voltage", withDds.minVoltage);
+    ctx.report.addScalar("dds.trips",
+                         static_cast<double>(withDds.ddsTrips));
+    ctx.report.addTable(t1);
+    ctx.report.addTable(t2);
+    ctx.report.addTable(t3);
+    ctx.report.addTable(t4);
+    ctx.report.addTimeSeries(pmRec);
+    return bench::benchFinish(ctx);
 }

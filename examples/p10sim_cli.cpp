@@ -6,10 +6,14 @@
  * downstream user drives parameter sweeps with.
  *
  *   p10sim_cli --config power10 --workload xz --smt 4 \
- *              --instrs 200000 [--csv] [--ablate <group>]
+ *              --instrs 200000 [--csv] [--ablate <group>] \
+ *              [--trace-out trace.json] [--stats-json stats.json] \
+ *              [--sample-interval 1024]
  */
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +23,14 @@
 
 #include "common/table.h"
 #include "core/core.h"
+#include "model/dataset.h"
+#include "model/proxy.h"
+#include "obs/perfetto.h"
+#include "obs/report.h"
+#include "obs/timeseries.h"
+#include "pm/throttle.h"
+#include "pm/wof.h"
+#include "power/apex.h"
 #include "power/energy.h"
 #include "workloads/spec_profiles.h"
 #include "workloads/synthetic.h"
@@ -45,6 +57,12 @@ usage()
         "  --seed N                       perturb the workload seed "
         "(default 0: profile default)\n"
         "  --csv                          machine-readable output\n"
+        "  --trace-out <path>             write a Chrome/Perfetto "
+        "trace of the run\n"
+        "  --stats-json <path>            write a p10ee-report/1 JSON "
+        "report\n"
+        "  --sample-interval N            telemetry interval in cycles "
+        "(default 1024)\n"
         "  --list                         list workloads and exit\n");
 }
 
@@ -85,6 +103,9 @@ main(int argc, char** argv)
     uint64_t warmup = 50000;
     uint64_t seed = 0;
     bool csv = false;
+    std::string traceOut;
+    std::string statsJson;
+    uint64_t sampleInterval = 1024;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -125,6 +146,16 @@ main(int argc, char** argv)
             seed = needU64("--seed");
         } else if (arg == "--csv") {
             csv = true;
+        } else if (arg == "--trace-out") {
+            traceOut = needValue("--trace-out");
+        } else if (arg == "--stats-json") {
+            statsJson = needValue("--stats-json");
+        } else if (arg == "--sample-interval") {
+            const char* v = needValue("--sample-interval");
+            if (!parseU64(v, sampleInterval) || sampleInterval == 0)
+                fail(std::string("--sample-interval must be a positive "
+                                 "integer, got '") +
+                     v + "'");
         } else if (arg == "--list") {
             for (const auto& p : workloads::specint2017())
                 std::printf("%s\n", p.name.c_str());
@@ -179,9 +210,79 @@ main(int argc, char** argv)
     core::RunOptions opts;
     opts.warmupInstrs = warmup * static_cast<uint64_t>(smt);
     opts.measureInstrs = instrs;
+    obs::TimeSeriesRecorder rec(sampleInterval);
+    const bool telemetry = !traceOut.empty() || !statsJson.empty();
+    if (telemetry) {
+        opts.recorder = &rec;
+        // Power tracks need per-cycle timings; only pay for them when a
+        // trace or report was requested.
+        opts.collectTimings = true;
+    }
+    const auto wallStart = std::chrono::steady_clock::now();
     auto run = model.run(threads, opts);
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - wallStart;
     power::EnergyModel energy(cfg);
     auto power = energy.evalCounters(run);
+
+    if (telemetry && !run.timings.empty()) {
+        // Reference interval power from the detailed model, plus the
+        // quantized counter-proxy estimate next to it — the live
+        // governor's view vs the model it approximates.
+        power::ApexExtractor apex(energy, sampleInterval);
+        const std::vector<float> intervals = apex.intervalPower(run);
+        auto powerTrack = rec.counter("power.total_pj", "pJ/cyc");
+        for (size_t i = 0; i < intervals.size(); ++i)
+            rec.sample(powerTrack, (i + 1) * sampleInterval,
+                       intervals[i]);
+
+        auto ds = model::buildWindowDataset({run}, energy,
+                                            sampleInterval);
+        if (!ds.samples.empty()) {
+            auto proxy = model::designProxy(
+                ds, 16, energy.staticPj());
+            auto proxyTrack = rec.counter("power.proxy_pj", "pJ/cyc");
+            auto refTrack = rec.counter("power.ref_pj", "pJ/cyc");
+            for (size_t i = 0; i < ds.samples.size(); ++i) {
+                const auto& s = ds.samples[i];
+                const uint64_t cyc = (i + 1) * sampleInterval;
+                rec.sample(proxyTrack, cyc,
+                           proxy.model.predict(s.features) +
+                               energy.staticPj());
+                rec.sample(refTrack, cyc,
+                           s.target + energy.staticPj());
+            }
+        }
+
+        if (!intervals.empty()) {
+            double mean = 0.0;
+            float peak = intervals.front();
+            for (float v : intervals) {
+                mean += v;
+                peak = std::max(peak, v);
+            }
+            mean /= static_cast<double>(intervals.size());
+
+            pm::ThrottleParams tp;
+            tp.budgetPj = mean * 0.9;
+            tp.intervalCycles = static_cast<int>(sampleInterval);
+            pm::runThrottleLoop(intervals, tp, &rec);
+
+            pm::DroopParams dp;
+            pm::simulateDroop(energy.perCyclePower(run), dp, &rec);
+
+            // WOF: the frequency headroom each interval's effective
+            // capacitance leaves relative to the run's own peak.
+            pm::Wof wof{pm::WofParams{}};
+            auto wofTrack = rec.counter("pm.wof.freq_ghz", "GHz");
+            for (size_t i = 0; i < intervals.size(); ++i) {
+                const double ratio =
+                    peak > 0.0f ? intervals[i] / peak : 1.0;
+                rec.sample(wofTrack, (i + 1) * sampleInterval,
+                           wof.optimize(ratio).freqGhz);
+            }
+        }
+    }
 
     common::Table t("p10sim: " + workload + " on " + cfg.name +
                     " SMT" + std::to_string(smt));
@@ -203,5 +304,53 @@ main(int argc, char** argv)
         t.printCsv();
     else
         t.print();
+
+    // Output-path failures after a finished run are recoverable
+    // diagnostics (exit 1), not usage errors (exit 2): the simulation
+    // results above are still valid.
+    if (!traceOut.empty()) {
+        auto st = obs::writePerfettoTrace(rec, traceOut, 4.0);
+        if (!st.ok()) {
+            std::fprintf(stderr, "p10sim_cli: error: %s\n",
+                         st.error().message.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "wrote trace: %s (%zu samples)\n",
+                     traceOut.c_str(), rec.sampleCount());
+    }
+    if (!statsJson.empty()) {
+        obs::JsonReport report;
+        report.meta().tool = "p10sim_cli";
+        report.meta().config = cfg.name;
+        report.meta().workload = workload;
+        report.meta().seed = profile.seed;
+        report.meta().git = obs::gitDescribe();
+        report.meta().wallSeconds = wall.count();
+        report.meta().simInstrs = opts.warmupInstrs + run.instrs;
+        report.meta().hostMips =
+            wall.count() > 0.0
+                ? static_cast<double>(opts.warmupInstrs + run.instrs) /
+                      wall.count() / 1e6
+                : 0.0;
+        report.addScalar("ipc", run.ipc());
+        report.addScalar("cycles", static_cast<double>(run.cycles));
+        report.addScalar("instrs", static_cast<double>(run.instrs));
+        report.addScalar("power_w", power.watts());
+        report.addScalar("clock_w", power.clockPj * 0.004);
+        report.addScalar("switch_w", power.switchPj * 0.004);
+        report.addScalar("leak_w", power.leakPj * 0.004);
+        report.addScalar("ipc_per_w", run.ipc() / power.watts());
+        for (const auto& [comp, pj] : power.perComponent)
+            report.addScalar("power.pj_per_cycle." + comp, pj);
+        report.addTable(t);
+        report.addTimeSeries(rec);
+        auto st = report.writeTo(statsJson);
+        if (!st.ok()) {
+            std::fprintf(stderr, "p10sim_cli: error: %s\n",
+                         st.error().message.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "wrote report: %s\n", statsJson.c_str());
+    }
     return 0;
 }

@@ -19,6 +19,41 @@ run_flavour() {
 
 run_flavour release -DCMAKE_BUILD_TYPE=Release
 
+# Bench smoke: every bench binary must run on a tiny budget and emit a
+# schema-valid machine-readable report; the CLI must emit a loadable
+# Perfetto trace. Validation failures fail CI — schema drift breaks
+# here instead of in downstream consumers.
+echo "=== bench smoke: JSON reports + trace validation ==="
+smoke_dir="build-release/bench-smoke"
+mkdir -p "${smoke_dir}"
+for bench in build-release/bench/bench_*; do
+    { [ -f "${bench}" ] && [ -x "${bench}" ]; } || continue
+    name="$(basename "${bench}")"
+    json="${smoke_dir}/BENCH_${name#bench_}.json"
+    case "${name}" in
+    bench_micro_kernels)
+        args=(--json "${json}" --benchmark_min_time=0.01)
+        ;;
+    bench_fault_campaign)
+        # --instrs scales the injection count for this bench.
+        args=(--json "${json}" --instrs 30 --warmup 500)
+        ;;
+    *)
+        args=(--json "${json}" --instrs 3000 --warmup 500)
+        ;;
+    esac
+    echo "--- smoke: ${name}"
+    "${bench}" "${args[@]}" >/dev/null
+done
+echo "--- smoke: p10sim_cli --trace-out/--stats-json"
+build-release/examples/p10sim_cli --workload perlbench \
+    --instrs 20000 --warmup 5000 --sample-interval 512 \
+    --trace-out "${smoke_dir}/trace.json" \
+    --stats-json "${smoke_dir}/CLI_p10sim.json" >/dev/null
+python3 scripts/validate_report.py \
+    "${smoke_dir}"/BENCH_*.json "${smoke_dir}"/CLI_*.json
+python3 scripts/validate_report.py --trace "${smoke_dir}/trace.json"
+
 # halt_on_error makes any UBSan finding fail ctest instead of printing
 # and continuing; detect_leaks stays on by default under ASan.
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"

@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Validate p10ee machine-readable artifacts.
+
+Default mode checks "p10ee-report/1" reports (the BENCH_*.json /
+--stats-json format documented in src/obs/report.h): exact top-level
+shape, the meta block, and the scalar/table/series sections. With
+--trace, files are checked as Chrome/Perfetto JSON traces instead
+(loadable JSON, a traceEvents array, counter and slice events well
+formed).
+
+Usage:
+  validate_report.py report.json [more.json ...]
+  validate_report.py --trace trace.json [more.json ...]
+
+Exits non-zero naming every failing file; CI runs it over every
+artifact the bench smoke stage emits. Stdlib only.
+"""
+
+import json
+import sys
+
+NUM = (int, float)
+
+
+def _fail(errors, path, msg):
+    errors.append(f"{path}: {msg}")
+
+
+def validate_report(path, doc, errors):
+    if not isinstance(doc, dict):
+        return _fail(errors, path, "top level is not an object")
+    expected_keys = {"schema", "meta", "scalars", "tables", "series"}
+    if set(doc) != expected_keys:
+        return _fail(
+            errors, path,
+            f"top-level keys {sorted(doc)} != {sorted(expected_keys)}")
+    if doc["schema"] != "p10ee-report/1":
+        return _fail(errors, path,
+                     f"schema '{doc['schema']}' != 'p10ee-report/1'")
+
+    meta = doc["meta"]
+    meta_types = {
+        "tool": str, "config": str, "workload": str, "seed": int,
+        "git": str, "wall_s": NUM, "sim_instrs": int, "host_mips": NUM,
+    }
+    if not isinstance(meta, dict) or set(meta) != set(meta_types):
+        return _fail(errors, path, f"meta keys {sorted(meta)} wrong")
+    for key, typ in meta_types.items():
+        if not isinstance(meta[key], typ) or isinstance(meta[key], bool):
+            _fail(errors, path, f"meta.{key} has wrong type")
+    if not meta.get("tool"):
+        _fail(errors, path, "meta.tool is empty")
+    if isinstance(meta.get("wall_s"), NUM) and meta["wall_s"] < 0:
+        _fail(errors, path, "meta.wall_s is negative")
+
+    scalars = doc["scalars"]
+    if not isinstance(scalars, dict):
+        _fail(errors, path, "scalars is not an object")
+    else:
+        for name, value in scalars.items():
+            if value is not None and not isinstance(value, NUM):
+                _fail(errors, path, f"scalar '{name}' is not numeric")
+
+    tables = doc["tables"]
+    if not isinstance(tables, list):
+        _fail(errors, path, "tables is not an array")
+    else:
+        for i, t in enumerate(tables):
+            if (not isinstance(t, dict)
+                    or set(t) != {"title", "columns", "rows"}):
+                _fail(errors, path, f"tables[{i}] malformed")
+                continue
+            ncol = len(t["columns"])
+            if not all(isinstance(c, str) for c in t["columns"]):
+                _fail(errors, path, f"tables[{i}] non-string column")
+            for j, row in enumerate(t["rows"]):
+                if len(row) != ncol:
+                    _fail(errors, path,
+                          f"tables[{i}].rows[{j}] has {len(row)} cells, "
+                          f"expected {ncol}")
+                if not all(isinstance(c, str) for c in row):
+                    _fail(errors, path,
+                          f"tables[{i}].rows[{j}] non-string cell")
+
+    series = doc["series"]
+    if not isinstance(series, list):
+        _fail(errors, path, "series is not an array")
+    else:
+        for i, s in enumerate(series):
+            if (not isinstance(s, dict)
+                    or set(s) != {"name", "unit", "x", "y"}):
+                _fail(errors, path, f"series[{i}] malformed")
+                continue
+            if len(s["x"]) != len(s["y"]):
+                _fail(errors, path,
+                      f"series[{i}] ('{s['name']}') x/y length mismatch")
+            for axis in ("x", "y"):
+                if not all(v is None or isinstance(v, NUM)
+                           for v in s[axis]):
+                    _fail(errors, path,
+                          f"series[{i}].{axis} non-numeric entry")
+
+
+def validate_trace(path, doc, errors):
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return _fail(errors, path, "no traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        return _fail(errors, path, "traceEvents empty")
+    counters = 0
+    slices = 0
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph not in ("M", "C", "X"):
+            _fail(errors, path, f"traceEvents[{i}] unknown ph '{ph}'")
+            continue
+        if "name" not in e:
+            _fail(errors, path, f"traceEvents[{i}] has no name")
+        if ph == "C":
+            counters += 1
+            if not isinstance(e.get("ts"), NUM):
+                _fail(errors, path, f"traceEvents[{i}] bad ts")
+            if not isinstance(e.get("args"), dict):
+                _fail(errors, path, f"traceEvents[{i}] bad args")
+        elif ph == "X":
+            slices += 1
+            dur = e.get("dur")
+            if not isinstance(dur, NUM) or dur <= 0:
+                _fail(errors, path, f"traceEvents[{i}] bad dur")
+    if counters == 0:
+        _fail(errors, path, "trace has no counter events")
+
+
+def main(argv):
+    args = argv[1:]
+    trace_mode = False
+    if args and args[0] == "--trace":
+        trace_mode = True
+        args = args[1:]
+    if not args:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    errors = []
+    for path in args:
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as exc:
+            _fail(errors, path, f"unreadable: {exc}")
+            continue
+        if trace_mode:
+            validate_trace(path, doc, errors)
+        else:
+            validate_report(path, doc, errors)
+
+    if errors:
+        for e in errors:
+            print(f"validate_report: {e}", file=sys.stderr)
+        print(f"validate_report: {len(errors)} problem(s) in "
+              f"{len(args)} file(s)", file=sys.stderr)
+        return 1
+    kind = "trace" if trace_mode else "report"
+    print(f"validate_report: {len(args)} {kind} file(s) OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -7,23 +7,43 @@
 
 namespace p10ee::common {
 
+StatId
+StatRegistry::id(const std::string& name)
+{
+    auto it = index_.find(name);
+    if (it != index_.end())
+        return it->second;
+    StatId sid{static_cast<uint32_t>(values_.size())};
+    values_.push_back(0);
+    index_.emplace(name, sid);
+    return sid;
+}
+
 void
 StatRegistry::add(const std::string& name, uint64_t delta)
 {
-    counters_[name] += delta;
+    add(id(name), delta);
 }
 
 uint64_t
 StatRegistry::get(const std::string& name) const
 {
-    auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
+    auto it = index_.find(name);
+    return it == index_.end() ? 0 : values_[it->second.v];
 }
 
 StatSnapshot
 StatRegistry::snapshot() const
 {
-    return counters_;
+    // Interned-but-never-incremented counters stay out of snapshots:
+    // consumers test feature activity by key presence (a POWER9 run
+    // must not grow "decode.prefix_fused" just because the model
+    // interned it up front).
+    StatSnapshot out;
+    for (const auto& [name, sid] : index_)
+        if (values_[sid.v] != 0)
+            out.emplace_hint(out.end(), name, values_[sid.v]);
+    return out;
 }
 
 StatSnapshot
@@ -42,7 +62,7 @@ StatRegistry::delta(const StatSnapshot& earlier, const StatSnapshot& later)
 void
 StatRegistry::clear()
 {
-    for (auto& [name, value] : counters_)
+    for (auto& value : values_)
         value = 0;
 }
 
@@ -50,8 +70,8 @@ std::vector<std::string>
 StatRegistry::names() const
 {
     std::vector<std::string> out;
-    out.reserve(counters_.size());
-    for (const auto& [name, value] : counters_)
+    out.reserve(index_.size());
+    for (const auto& [name, sid] : index_)
         out.push_back(name);
     return out;
 }
@@ -84,10 +104,12 @@ Histogram::binCenter(int i) const
     return lo_ + (i + 0.5) * width;
 }
 
-double
+Expected<double>
 Histogram::percentile(double fraction) const
 {
-    P10_ASSERT(total_ > 0, "percentile of empty histogram");
+    if (total_ == 0)
+        return Error::invalidArgument(
+            "percentile of an empty histogram");
     double target = fraction * static_cast<double>(total_);
     double seen = 0.0;
     double width = (hi_ - lo_) / bins();

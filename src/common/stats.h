@@ -3,10 +3,18 @@
  * Named statistic counters and histograms.
  *
  * The core timing model exposes its activity through a StatRegistry: a
- * flat map of named 64-bit counters. The power model, the M1-linked
+ * set of named 64-bit counters. The power model, the M1-linked
  * counter-model trainer, SERMiner and the Power Proxy all consume the
  * same registry, mirroring how the paper's tools all consume RTLSim
  * activity stats.
+ *
+ * Two access paths share one counter store:
+ *  - the string-keyed path (add/get by name) for cold call sites and
+ *    consumers written against the union of P9/P10 counter sets;
+ *  - the interned fast path: id() interns a name once into a StatId,
+ *    and add(StatId)/get(StatId) are a bare array index — what the
+ *    core model's per-instruction call sites use, so per-cycle
+ *    accounting costs no string hashing or map lookups.
  */
 
 #ifndef P10EE_COMMON_STATS_H
@@ -17,20 +25,48 @@
 #include <string>
 #include <vector>
 
+#include "common/error.h"
+
 namespace p10ee::common {
 
 /** A snapshot of every counter at a point in simulated time. */
 using StatSnapshot = std::map<std::string, uint64_t>;
 
+/** Interned handle to one StatRegistry counter (registry-specific). */
+struct StatId
+{
+    uint32_t v = UINT32_MAX;
+
+    bool valid() const { return v != UINT32_MAX; }
+};
+
 /**
  * Registry of named monotonically increasing event counters.
  *
- * Counters are created on first touch; reads of unknown names return 0 so
- * that consumers can be written against the union of P9/P10 counter sets.
+ * Counters are created on first touch; reads of unknown names return 0
+ * so that consumers can be written against the union of P9/P10 counter
+ * sets.
  */
 class StatRegistry
 {
   public:
+    /**
+     * Intern @p name, creating its counter at 0 if needed. The returned
+     * handle stays valid for the registry's lifetime; interning the
+     * same name again returns the same handle.
+     */
+    StatId id(const std::string& name);
+
+    /** Add @p delta to the interned counter (the hot path). */
+    void
+    add(StatId id, uint64_t delta = 1)
+    {
+        values_[id.v] += delta;
+    }
+
+    /** Current value of the interned counter. */
+    uint64_t get(StatId id) const { return values_[id.v]; }
+
     /** Add @p delta to counter @p name (creating it at 0 if needed). */
     void add(const std::string& name, uint64_t delta = 1);
 
@@ -47,14 +83,15 @@ class StatRegistry
     static StatSnapshot delta(const StatSnapshot& earlier,
                               const StatSnapshot& later);
 
-    /** Reset all counters to zero (keeps the names). */
+    /** Reset all counters to zero (keeps the names and handles). */
     void clear();
 
     /** Sorted list of all counter names seen so far. */
     std::vector<std::string> names() const;
 
   private:
-    std::map<std::string, uint64_t> counters_;
+    std::map<std::string, StatId> index_;
+    std::vector<uint64_t> values_;
 };
 
 /**
@@ -87,9 +124,12 @@ class Histogram
 
     /**
      * Value below which @p fraction of the samples fall (linear within
-     * the bin). @pre total() > 0.
+     * the bin). An empty histogram is an input condition, not a
+     * programming error — report generation over an empty series must
+     * degrade gracefully — so it returns a recoverable Error instead
+     * of aborting.
      */
-    double percentile(double fraction) const;
+    Expected<double> percentile(double fraction) const;
 
   private:
     double lo_;

@@ -34,6 +34,14 @@ class Table
     /** Render as CSV (header first) to stdout. */
     void printCsv() const;
 
+    // Structured access for the machine-readable report emitters.
+    const std::string& title() const { return title_; }
+    const std::vector<std::string>& columns() const { return header_; }
+    const std::vector<std::vector<std::string>>& data() const
+    {
+        return rows_;
+    }
+
   private:
     std::string title_;
     std::vector<std::string> header_;

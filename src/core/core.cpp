@@ -83,6 +83,70 @@ CoreModel::CoreModel(const CoreConfig& cfg)
 {
     if (cfg.lsCombined > 0)
         lsCombinedRing_ = std::make_unique<ThrottleRing>(cfg.lsCombined);
+
+    // Intern every fixed-name counter once; the per-instruction path
+    // then runs entirely on array-indexed StatIds.
+    ids_.l2Access = stats_.id("l2.access");
+    ids_.l2Miss = stats_.id("l2.miss");
+    ids_.l3Access = stats_.id("l3.access");
+    ids_.l3Miss = stats_.id("l3.miss");
+    ids_.memAccess = stats_.id("mem.access");
+    ids_.memAccessInstr = stats_.id("mem.access_instr");
+    ids_.ieratAccess = stats_.id("ierat.access");
+    ids_.ieratMiss = stats_.id("ierat.miss");
+    ids_.deratAccess = stats_.id("derat.access");
+    ids_.deratMiss = stats_.id("derat.miss");
+    ids_.tlbAccess = stats_.id("tlb.access");
+    ids_.tlbMiss = stats_.id("tlb.miss");
+    ids_.fetchLine = stats_.id("fetch.line");
+    ids_.l1iMiss = stats_.id("l1i.miss");
+    ids_.fetchPrefix = stats_.id("fetch.prefix");
+    ids_.fetchInstr = stats_.id("fetch.instr");
+    ids_.bpLookup = stats_.id("bp.lookup");
+    ids_.bpIndirectMispredict = stats_.id("bp.indirect_mispredict");
+    ids_.bpMispredict = stats_.id("bp.mispredict");
+    ids_.flushWasted = stats_.id("flush.wasted");
+    ids_.flushStall = stats_.id("flush.stall");
+    ids_.fusionPair = stats_.id("fusion.pair");
+    ids_.commitInstr = stats_.id("commit.instr");
+    ids_.lsuStFused = stats_.id("lsu.st_fused");
+    ids_.decodePrefixFused = stats_.id("decode.prefix_fused");
+    ids_.decodeCracked = stats_.id("decode.cracked");
+    ids_.decodeOp = stats_.id("decode.op");
+    ids_.dispatchOp = stats_.id("dispatch.op");
+    ids_.renameWrite = stats_.id("rename.write");
+    ids_.rfRead = stats_.id("rf.read");
+    ids_.fusionSharedIssue = stats_.id("fusion.shared_issue");
+    ids_.issueAlu = stats_.id("issue.alu");
+    ids_.issueMul = stats_.id("issue.mul");
+    ids_.issueDiv = stats_.id("issue.div");
+    ids_.issueFp = stats_.id("issue.fp");
+    ids_.issueVsuInt = stats_.id("issue.vsu_int");
+    ids_.issueLd = stats_.id("issue.ld");
+    ids_.issueSt = stats_.id("issue.st");
+    ids_.issueBr = stats_.id("issue.br");
+    ids_.issueMma = stats_.id("issue.mma");
+    ids_.issueTotal = stats_.id("issue.total");
+    ids_.lsuLd = stats_.id("lsu.ld");
+    ids_.l1dRead = stats_.id("l1d.read");
+    ids_.l1dMiss = stats_.id("l1d.miss");
+    ids_.pfIssued = stats_.id("pf.issued");
+    ids_.lsuSt = stats_.id("lsu.st");
+    ids_.lsuStMerge = stats_.id("lsu.st_merge");
+    ids_.l1dWrite = stats_.id("l1d.write");
+    ids_.l1dMissSt = stats_.id("l1d.miss_st");
+    ids_.mmaGer = stats_.id("mma.ger");
+    ids_.mmaMove = stats_.id("mma.move");
+    ids_.vsuFp = stats_.id("vsu.fp");
+    ids_.vsuInt = stats_.id("vsu.int");
+    ids_.fpScalar = stats_.id("fp.scalar");
+    ids_.swAlu = stats_.id("sw.alu");
+    ids_.swFp = stats_.id("sw.fp");
+    ids_.swVsu = stats_.id("sw.vsu");
+    ids_.swLs = stats_.id("sw.ls");
+    ids_.swMma = stats_.id("sw.mma");
+    ids_.rfWrite = stats_.id("rf.write");
+    ids_.commitOp = stats_.id("commit.op");
 }
 
 CoreModel::~CoreModel() = default;
@@ -128,27 +192,27 @@ CoreModel::missLatency(uint64_t addr, uint64_t when, bool isInstr,
                        uint8_t tier)
 {
     // L2 lookup (bandwidth-limited array port).
-    stats_.add("l2.access");
+    stats_.add(ids_.l2Access);
     uint64_t start = l2Server_.serve(when);
     uint64_t queue = start - when;
     if (infiniteL2_ || l2_.access(addr))
         return queue + cfg_.l2.latency;
-    stats_.add("l2.miss");
+    stats_.add(ids_.l2Miss);
     if (tier != 0xff)
         stats_.add("l2.miss.tier" + std::to_string(tier));
 
-    stats_.add("l3.access");
+    stats_.add(ids_.l3Access);
     uint64_t l3start = l3Server_.serve(start + cfg_.l2.latency);
     queue = l3start - when;
     if (l3_.access(addr)) {
         l2_.install(addr); // inclusive fill
         return queue + cfg_.l3.latency;
     }
-    stats_.add("l3.miss");
+    stats_.add(ids_.l3Miss);
 
-    stats_.add("mem.access");
+    stats_.add(ids_.memAccess);
     if (isInstr)
-        stats_.add("mem.access_instr");
+        stats_.add(ids_.memAccessInstr);
     uint64_t mstart = memServer_.serve(l3start + cfg_.l3.latency);
     queue = mstart - when;
     l3_.install(addr);
@@ -161,14 +225,14 @@ CoreModel::translate(ThreadState& ts, uint64_t addr, bool isInstr)
 {
     (void)ts;
     TranslationCache& erat = isInstr ? ierat_ : derat_;
-    stats_.add(isInstr ? "ierat.access" : "derat.access");
+    stats_.add(isInstr ? ids_.ieratAccess : ids_.deratAccess);
     if (erat.access(addr))
         return 0;
-    stats_.add(isInstr ? "ierat.miss" : "derat.miss");
-    stats_.add("tlb.access");
+    stats_.add(isInstr ? ids_.ieratMiss : ids_.deratMiss);
+    stats_.add(ids_.tlbAccess);
     if (tlb_.access(addr))
         return cfg_.eratMissPenalty;
-    stats_.add("tlb.miss");
+    stats_.add(ids_.tlbMiss);
     return cfg_.eratMissPenalty + cfg_.tlbMissPenalty;
 }
 
@@ -188,12 +252,12 @@ CoreModel::fetchCycle(ThreadState& ts, const TraceInstr& in)
     }
     uint64_t line = in.pc / cfg_.l1i.lineSize;
     if (line != ts.lastILine) {
-        stats_.add("fetch.line");
+        stats_.add(ids_.fetchLine);
         // RA-tagged L1I (POWER9): translate on every line fetch.
         if (!cfg_.eaTaggedL1)
             f += translate(ts, in.pc, true);
         if (!l1i_.access(in.pc)) {
-            stats_.add("l1i.miss");
+            stats_.add(ids_.l1iMiss);
             // EA-tagged L1I (POWER10): translate only on the miss.
             if (cfg_.eaTaggedL1)
                 f += translate(ts, in.pc, true);
@@ -205,10 +269,10 @@ CoreModel::fetchCycle(ThreadState& ts, const TraceInstr& in)
     // An 8-byte prefixed instruction occupies two fetch slots.
     if (in.prefixed) {
         fetchRing_.record(f);
-        stats_.add("fetch.prefix");
+        stats_.add(ids_.fetchPrefix);
     }
     ts.nextFetch = f;
-    stats_.add("fetch.instr");
+    stats_.add(ids_.fetchInstr);
     return f;
 }
 
@@ -216,21 +280,21 @@ void
 CoreModel::resolveBranch(int t, ThreadState& ts, const TraceInstr& in,
                          uint64_t fetched, uint64_t resolve)
 {
-    stats_.add("bp.lookup");
+    stats_.add(ids_.bpLookup);
     bool predTaken = bp_.predictDirection(in.pc, t);
     bool mispredict = predTaken != in.taken;
     if (in.op == OpClass::BranchIndirect) {
         uint64_t predTarget = bp_.predictIndirect(in.pc, t);
         if (in.taken && predTarget != in.target) {
             mispredict = true;
-            stats_.add("bp.indirect_mispredict");
+            stats_.add(ids_.bpIndirectMispredict);
         }
         bp_.updateIndirect(in.pc, in.target, t);
     }
     bp_.updateDirection(in.pc, in.taken, t);
 
     if (mispredict) {
-        stats_.add("bp.mispredict");
+        stats_.add(ids_.bpMispredict);
         uint64_t redirect = resolve + cfg_.redirectPenalty;
         // Wrong-path instructions are fetched from the mispredicted
         // branch until it resolves; that is the flushed work whose
@@ -240,9 +304,17 @@ CoreModel::resolveBranch(int t, ThreadState& ts, const TraceInstr& in,
         uint64_t wasted = span *
             static_cast<uint64_t>(cfg_.fetchWidth) /
             static_cast<uint64_t>(numThreads_);
-        stats_.add("flush.wasted", std::min<uint64_t>(wasted, 256));
+        stats_.add(ids_.flushWasted, std::min<uint64_t>(wasted, 256));
+        // Telemetry: the wrong-path window (mispredicted fetch through
+        // redirect) as a duration slice on the flush track.
+        if (rec_ != nullptr && measuring_ &&
+            fetched >= measureBaseCycle_) {
+            rec_->beginSlice(flushSlices_, "flush",
+                             fetched - measureBaseCycle_);
+            rec_->endSlice(flushSlices_, redirect - measureBaseCycle_);
+        }
         if (redirect > ts.nextFetch) {
-            stats_.add("flush.stall", redirect - ts.nextFetch);
+            stats_.add(ids_.flushStall, redirect - ts.nextFetch);
             ts.nextFetch = redirect;
         }
         ts.lastILine = ~0ull; // refetch after flush
@@ -280,8 +352,8 @@ CoreModel::processInstr(int t, const TraceInstr& in)
         // The second instruction of the pair is absorbed into the op
         // created for the first: no decode/dispatch/issue resources,
         // results available with the fused op.
-        stats_.add("fusion.pair");
-        stats_.add("commit.instr");
+        stats_.add(ids_.fusionPair);
+        stats_.add(ids_.commitInstr);
         if (in.dest != reg::kNone) {
             ts.regReady[in.dest] = ts.prevComplete;
             ts.regProducer[in.dest] = in.op;
@@ -289,7 +361,7 @@ CoreModel::processInstr(int t, const TraceInstr& in)
         if (isa::isBranch(in.op))
             resolveBranch(t, ts, in, f, ts.prevComplete);
         if (isa::isStore(in.op))
-            stats_.add("lsu.st_fused");
+            stats_.add(ids_.lsuStFused);
         if (measuring_) {
             flops_ += static_cast<uint64_t>(isa::flopsPerInstr(in.op));
             // Boundary stragglers (issued before the measurement base)
@@ -321,15 +393,15 @@ CoreModel::processInstr(int t, const TraceInstr& in)
     if (in.prefixed) {
         if (cfg_.prefixSupport) {
             // Prefix fusion: the pair decodes as one internal op.
-            stats_.add("decode.prefix_fused");
+            stats_.add(ids_.decodePrefixFused);
         } else {
             // Legacy cracking: prefix and suffix each take a slot.
             decodeRing_.record(d);
-            stats_.add("decode.cracked");
+            stats_.add(ids_.decodeCracked);
         }
     }
     ts.lastDecode = d;
-    stats_.add("decode.op");
+    stats_.add(ids_.decodeOp);
 
     // ---------------- Dispatch (structure allocation) ----------------
     uint64_t disp = d + static_cast<uint64_t>(cfg_.frontendStages - 2);
@@ -358,16 +430,16 @@ CoreModel::processInstr(int t, const TraceInstr& in)
     }
     disp = dispatchRing_.record(disp);
     ts.fetchBuf.push_back(disp);
-    stats_.add("dispatch.op");
+    stats_.add(ids_.dispatchOp);
     if (in.dest != reg::kNone)
-        stats_.add("rename.write");
+        stats_.add(ids_.renameWrite);
 
     // ---------------- Operand readiness ----------------
     uint64_t ready = disp + 1;
     for (uint16_t s : in.src) {
         if (s == reg::kNone)
             continue;
-        stats_.add("rf.read");
+        stats_.add(ids_.rfRead);
         uint64_t r;
         if (in.op == OpClass::MmaGer && s >= reg::kAccBase &&
             s == in.dest) {
@@ -386,39 +458,39 @@ CoreModel::processInstr(int t, const TraceInstr& in)
         // Dependent pair sharing an issue entry: optimized wakeup lets
         // the consumer issue right behind the producer.
         ready = std::max(disp + 1, ts.prevIssue + 1);
-        stats_.add("fusion.shared_issue");
+        stats_.add(ids_.fusionSharedIssue);
     }
 
     // ---------------- Issue (port + width arbitration) ----------------
     ThrottleRing* port = nullptr;
-    const char* issueStat = "issue.alu";
+    common::StatId issueStat = ids_.issueAlu;
     switch (in.op) {
       case OpClass::IntAlu:
-        port = &aluRing_; issueStat = "issue.alu"; break;
+        port = &aluRing_; issueStat = ids_.issueAlu; break;
       case OpClass::IntMul:
-        port = &aluRing_; issueStat = "issue.mul"; break;
+        port = &aluRing_; issueStat = ids_.issueMul; break;
       case OpClass::IntDiv:
-        port = &aluRing_; issueStat = "issue.div"; break;
+        port = &aluRing_; issueStat = ids_.issueDiv; break;
       case OpClass::FpScalar:
       case OpClass::VsuFp:
-        port = &fpRing_; issueStat = "issue.fp"; break;
+        port = &fpRing_; issueStat = ids_.issueFp; break;
       case OpClass::VsuInt:
       case OpClass::CryptoDfu:
-        port = &vsuIntRing_; issueStat = "issue.vsu_int"; break;
+        port = &vsuIntRing_; issueStat = ids_.issueVsuInt; break;
       case OpClass::Load:
       case OpClass::Load32B:
-        port = &ldRing_; issueStat = "issue.ld"; break;
+        port = &ldRing_; issueStat = ids_.issueLd; break;
       case OpClass::Store:
       case OpClass::Store32B:
-        port = &stRing_; issueStat = "issue.st"; break;
+        port = &stRing_; issueStat = ids_.issueSt; break;
       case OpClass::Branch:
       case OpClass::BranchIndirect:
-        port = &brRing_; issueStat = "issue.br"; break;
+        port = &brRing_; issueStat = ids_.issueBr; break;
       case OpClass::MmaGer:
       case OpClass::MmaMove:
-        port = &mmaRing_; issueStat = "issue.mma"; break;
+        port = &mmaRing_; issueStat = ids_.issueMma; break;
       default:
-        port = &aluRing_; issueStat = "issue.alu"; break;
+        port = &aluRing_; issueStat = ids_.issueAlu; break;
     }
     bool needsLsShared = lsCombinedRing_ &&
         (isa::isLoad(in.op) || isa::isStore(in.op) || isa::isVsu(in.op) ||
@@ -442,21 +514,21 @@ CoreModel::processInstr(int t, const TraceInstr& in)
     if (needsLsShared)
         lsCombinedRing_->claimAt(issue);
     stats_.add(issueStat);
-    stats_.add("issue.total");
+    stats_.add(ids_.issueTotal);
 
     // ---------------- Execute ----------------
     uint64_t complete = issue + static_cast<uint64_t>(latencyOf(in.op));
 
     if (isa::isLoad(in.op)) {
-        stats_.add("lsu.ld");
-        stats_.add("l1d.read");
+        stats_.add(ids_.lsuLd);
+        stats_.add(ids_.l1dRead);
         if (!cfg_.eaTaggedL1)
             complete += translate(ts, in.addr, false);
         uint64_t line = in.addr / cfg_.l1d.lineSize;
         if (l1d_.access(in.addr)) {
             complete = issue + cfg_.l1d.latency;
         } else {
-            stats_.add("l1d.miss");
+            stats_.add(ids_.l1dMiss);
             if (in.memTier != 0xff)
                 stats_.add("l1d.miss.tier" +
                            std::to_string(in.memTier));
@@ -483,15 +555,15 @@ CoreModel::processInstr(int t, const TraceInstr& in)
 
             prefetcher_.onMiss(line, pfScratch_);
             for (uint64_t pfLine : pfScratch_) {
-                stats_.add("pf.issued");
+                stats_.add(ids_.pfIssued);
                 l1d_.install(pfLine * cfg_.l1d.lineSize);
                 l2_.install(pfLine * cfg_.l1d.lineSize);
             }
         }
         ts.ldq.push_back(complete);
-        stats_.add("sw.ls", toggleWeight(in.toggle));
+        stats_.add(ids_.swLs, toggleWeight(in.toggle));
     } else if (isa::isStore(in.op)) {
-        stats_.add("lsu.st");
+        stats_.add(ids_.lsuSt);
         complete = issue + 1; // AGEN; data drains post-commit
         if (!cfg_.eaTaggedL1)
             complete += translate(ts, in.addr, false);
@@ -499,37 +571,37 @@ CoreModel::processInstr(int t, const TraceInstr& in)
         if (cfg_.storeMerge && line == ts.lastStoreLine) {
             // Gathered into the neighbouring STQ entry: no extra L1
             // write or RFO traffic.
-            stats_.add("lsu.st_merge");
+            stats_.add(ids_.lsuStMerge);
         } else {
-            stats_.add("l1d.write");
+            stats_.add(ids_.l1dWrite);
             if (!l1d_.access(in.addr)) {
-                stats_.add("l1d.miss_st");
+                stats_.add(ids_.l1dMissSt);
                 // Write-allocate fill charged to the bandwidth servers
                 // only; the store itself does not stall.
                 (void)missLatency(in.addr, complete, false, in.memTier);
             }
         }
         ts.lastStoreLine = line;
-        stats_.add("sw.ls", toggleWeight(in.toggle));
+        stats_.add(ids_.swLs, toggleWeight(in.toggle));
     } else if (in.op == OpClass::MmaGer) {
-        stats_.add("mma.ger");
-        stats_.add("sw.mma", toggleWeight(in.toggle));
+        stats_.add(ids_.mmaGer);
+        stats_.add(ids_.swMma, toggleWeight(in.toggle));
         if (in.dest >= reg::kAccBase)
             ts.accChain[in.dest - reg::kAccBase] =
                 issue + static_cast<uint64_t>(cfg_.mmaAccLat);
     } else if (in.op == OpClass::MmaMove) {
-        stats_.add("mma.move");
+        stats_.add(ids_.mmaMove);
     } else if (in.op == OpClass::VsuFp) {
-        stats_.add("vsu.fp");
-        stats_.add("sw.vsu", toggleWeight(in.toggle));
+        stats_.add(ids_.vsuFp);
+        stats_.add(ids_.swVsu, toggleWeight(in.toggle));
     } else if (in.op == OpClass::VsuInt) {
-        stats_.add("vsu.int");
-        stats_.add("sw.vsu", toggleWeight(in.toggle));
+        stats_.add(ids_.vsuInt);
+        stats_.add(ids_.swVsu, toggleWeight(in.toggle));
     } else if (in.op == OpClass::FpScalar) {
-        stats_.add("fp.scalar");
-        stats_.add("sw.fp", toggleWeight(in.toggle));
+        stats_.add(ids_.fpScalar);
+        stats_.add(ids_.swFp, toggleWeight(in.toggle));
     } else {
-        stats_.add("sw.alu", toggleWeight(in.toggle));
+        stats_.add(ids_.swAlu, toggleWeight(in.toggle));
     }
 
     if (isa::isBranch(in.op))
@@ -539,7 +611,7 @@ CoreModel::processInstr(int t, const TraceInstr& in)
     if (in.dest != reg::kNone) {
         ts.regReady[in.dest] = complete;
         ts.regProducer[in.dest] = in.op;
-        stats_.add("rf.write");
+        stats_.add(ids_.rfWrite);
     }
 
     // ---------------- Commit ----------------
@@ -549,8 +621,8 @@ CoreModel::processInstr(int t, const TraceInstr& in)
     ts.rob.push_back(cm);
     if (takesStqEntry)
         ts.stq.push_back(cm + 2); // drain to L1 shortly after commit
-    stats_.add("commit.instr");
-    stats_.add("commit.op");
+    stats_.add(ids_.commitInstr);
+    stats_.add(ids_.commitOp);
 
     if (measuring_) {
         ++opsCommitted_;
@@ -578,6 +650,41 @@ CoreModel::processInstr(int t, const TraceInstr& in)
     // A taken branch ends the sequential pair window.
     if (isa::isBranch(in.op) && in.taken)
         ts.havePrev = false;
+}
+
+void
+CoreModel::maybeSample(uint64_t /*i*/)
+{
+    uint64_t front = 0;
+    for (const auto& ts : threads_)
+        front = std::max(front, ts->lastCommit);
+    if (front <= measureBaseCycle_)
+        return;
+    uint64_t rel = front - measureBaseCycle_;
+    const uint64_t interval = rec_->interval();
+    while (rel >= nextSampleCycle_) {
+        uint64_t commits = stats_.get(ids_.commitInstr);
+        double ipc = static_cast<double>(commits - lastSampleCommits_) /
+                     static_cast<double>(interval);
+        lastSampleCommits_ = commits;
+        size_t rob = 0, ldq = 0, stq = 0, ibuf = 0;
+        for (const auto& ts : threads_) {
+            rob += ts->rob.size();
+            ldq += ts->ldq.size();
+            stq += ts->stq.size();
+            ibuf += ts->fetchBuf.size();
+        }
+        rec_->sample(ipcTrack_, nextSampleCycle_, ipc);
+        rec_->sample(robTrack_, nextSampleCycle_,
+                     static_cast<double>(rob));
+        rec_->sample(ldqTrack_, nextSampleCycle_,
+                     static_cast<double>(ldq));
+        rec_->sample(stqTrack_, nextSampleCycle_,
+                     static_cast<double>(stq));
+        rec_->sample(ibufTrack_, nextSampleCycle_,
+                     static_cast<double>(ibuf));
+        nextSampleCycle_ += interval;
+    }
 }
 
 RunResult
@@ -629,11 +736,26 @@ CoreModel::run(const std::vector<workloads::InstrSource*>& sources,
     timings_.clear();
     opsCommitted_ = 0;
     flops_ = 0;
+
+    rec_ = opts.recorder;
+    if (rec_ != nullptr) {
+        ipcTrack_ = rec_->counter("core.ipc", "ipc");
+        robTrack_ = rec_->counter("core.occ.rob", "entries");
+        ldqTrack_ = rec_->counter("core.occ.ldq", "entries");
+        stqTrack_ = rec_->counter("core.occ.stq", "entries");
+        ibufTrack_ = rec_->counter("core.occ.ibuf", "entries");
+        flushSlices_ = rec_->slices("core.flush");
+        nextSampleCycle_ = rec_->interval();
+        lastSampleCommits_ = stats_.get(ids_.commitInstr);
+    }
+
     bool timedOut = false;
     for (uint64_t i = 0; i < opts.measureInstrs; ++i) {
         if (opts.onInject && i == opts.injectAtInstr)
             opts.onInject(*this);
         stepOne();
+        if (rec_ != nullptr)
+            maybeSample(i);
         // Cycle-budget guard: checked on the commit front so a run
         // whose progress collapses (fault campaigns, degenerate
         // configs) stops instead of burning the whole sweep's time.
@@ -655,6 +777,11 @@ CoreModel::run(const std::vector<workloads::InstrSource*>& sources,
     for (const auto& ts : threads_) {
         endCycle = std::max(endCycle, ts->lastCommit);
         endInstrs += ts->instrs;
+    }
+    if (rec_ != nullptr) {
+        rec_->closeOpenSlices(endCycle > baseCycle ? endCycle - baseCycle
+                                                   : 0);
+        rec_ = nullptr;
     }
     result.cycles = endCycle > baseCycle ? endCycle - baseCycle : 1;
     result.instrs = endInstrs - baseInstrs;

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "obs/timeseries.h"
 #include "core/branch.h"
 #include "core/cache.h"
 #include "core/config.h"
@@ -66,6 +67,15 @@ struct RunOptions
      */
     uint64_t injectAtInstr = 0;
     std::function<void(CoreModel&)> onInject;
+
+    /**
+     * Optional telemetry sink. When set, the measurement window
+     * publishes interval samples (at recorder->interval() cycles) of
+     * IPC and ROB/LDQ/STQ/ibuffer occupancy, plus duration slices for
+     * mispredict-flush episodes. Cycle stamps are relative to the
+     * measurement-window start, matching RunResult::timings.
+     */
+    obs::TimeSeriesRecorder* recorder = nullptr;
 };
 
 /** One core instance; construct per run (state is not reusable). */
@@ -104,7 +114,32 @@ class CoreModel
   private:
     struct ThreadState;
 
+    /**
+     * Interned handles for every fixed-name counter the per-instruction
+     * path touches; add(StatId) is an array index, so per-cycle
+     * accounting stays off the string-keyed map. Dynamically named
+     * counters (the l1d/l2 per-tier miss breakdowns) keep the string
+     * path — they are rare and unbounded in name.
+     */
+    struct HotIds
+    {
+        common::StatId l2Access, l2Miss, l3Access, l3Miss, memAccess,
+            memAccessInstr, ieratAccess, ieratMiss, deratAccess,
+            deratMiss, tlbAccess, tlbMiss, fetchLine, l1iMiss,
+            fetchPrefix, fetchInstr, bpLookup, bpIndirectMispredict,
+            bpMispredict, flushWasted, flushStall, fusionPair,
+            commitInstr, lsuStFused, decodePrefixFused, decodeCracked,
+            decodeOp, dispatchOp, renameWrite, rfRead,
+            fusionSharedIssue, issueAlu, issueMul, issueDiv, issueFp,
+            issueVsuInt, issueLd, issueSt, issueBr, issueMma,
+            issueTotal, lsuLd, l1dRead, l1dMiss, pfIssued, lsuSt,
+            lsuStMerge, l1dWrite, l1dMissSt, mmaGer, mmaMove, vsuFp,
+            vsuInt, fpScalar, swAlu, swFp, swVsu, swLs, swMma, rfWrite,
+            commitOp;
+    };
+
     void processInstr(int t, const isa::TraceInstr& in);
+    void maybeSample(uint64_t i);
     uint64_t fetchCycle(ThreadState& ts, const isa::TraceInstr& in);
     uint64_t missLatency(uint64_t addr, uint64_t when, bool isInstr,
                          uint8_t tier = 0xff);
@@ -115,6 +150,7 @@ class CoreModel
 
     CoreConfig cfg_;
     common::StatRegistry stats_;
+    HotIds ids_;
     int numThreads_ = 1;
     bool measuring_ = false;
     uint64_t measureBaseCycle_ = 0;
@@ -123,6 +159,14 @@ class CoreModel
     std::vector<InstrTiming> timings_;
     uint64_t opsCommitted_ = 0;
     uint64_t flops_ = 0;
+
+    // Telemetry (active only while a RunOptions::recorder is attached).
+    obs::TimeSeriesRecorder* rec_ = nullptr;
+    obs::TrackId ipcTrack_, robTrack_, ldqTrack_, stqTrack_,
+        ibufTrack_;
+    obs::TrackId flushSlices_;
+    uint64_t nextSampleCycle_ = 0;  ///< relative to measurement base
+    uint64_t lastSampleCommits_ = 0;
 
     // Shared structures.
     CacheModel l1i_;

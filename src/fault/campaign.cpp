@@ -433,6 +433,8 @@ CampaignRunner::run()
                 rep.predicted.emplace(rec.component, p);
             }
         }
+        if (spec_.onProgress)
+            spec_.onProgress(rec);
         rep.records.push_back(std::move(rec));
     }
     return rep;

@@ -50,6 +50,8 @@
 
 namespace p10ee::fault {
 
+struct InjectionRecord;
+
 /** Parameters of one campaign. */
 struct CampaignSpec
 {
@@ -78,6 +80,14 @@ struct CampaignSpec
     /** Proxy power-estimate error fraction above which a corrupted
         counter read counts as SDC. */
     double sdcPowerTolFrac = 0.02;
+
+    /**
+     * Progress hook: called once per completed injection with its
+     * finished ledger entry (after retry/skip resolution), in campaign
+     * order. Long campaigns report live progress through it; it must
+     * not throw. Empty disables.
+     */
+    std::function<void(const InjectionRecord&)> onProgress;
 
     /** Structured validation of user-supplied campaign parameters. */
     common::Status validate() const;

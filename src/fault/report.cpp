@@ -1,0 +1,86 @@
+#include "fault/report.h"
+
+#include "common/table.h"
+
+namespace p10ee::fault {
+
+namespace {
+
+void
+tallyRow(common::Table& t, const std::string& name,
+         const OutcomeTally& o)
+{
+    t.row({name, std::to_string(o.injections),
+           std::to_string(o.masked), std::to_string(o.corrected),
+           std::to_string(o.sdc), std::to_string(o.crash),
+           common::fmtPct(o.maskedFrac())});
+}
+
+} // namespace
+
+void
+addCampaignReport(const CampaignReport& rep, obs::JsonReport& out)
+{
+    out.addScalar("campaign.golden_cycles",
+                  static_cast<double>(rep.goldenCycles));
+    out.addScalar("campaign.golden_power_pj", rep.goldenPowerPj);
+    out.addScalar("campaign.injections",
+                  static_cast<double>(rep.total.injections));
+    out.addScalar("campaign.masked_frac", rep.total.maskedFrac());
+    out.addScalar("campaign.sdc", static_cast<double>(rep.total.sdc));
+    out.addScalar("campaign.crash",
+                  static_cast<double>(rep.total.crash));
+    out.addScalar("campaign.corrected",
+                  static_cast<double>(rep.total.corrected));
+    out.addScalar("campaign.skipped",
+                  static_cast<double>(rep.skipped));
+    out.addScalar("campaign.retries",
+                  static_cast<double>(rep.retriesTotal));
+    out.addScalar("campaign.predicted.static",
+                  rep.predictedSummary.staticDerated);
+    out.addScalar("campaign.predicted.vt50",
+                  rep.predictedSummary.runtime50);
+
+    common::Table byComp("Outcomes by component");
+    byComp.header({"component", "inj", "masked", "corrected", "sdc",
+                   "crash", "masked%"});
+    tallyRow(byComp, "TOTAL", rep.total);
+    for (const auto& [name, tally] : rep.perComponent)
+        tallyRow(byComp, name, tally);
+    out.addTable(byComp);
+
+    common::Table byClass("Outcomes by site class");
+    byClass.header({"class", "inj", "masked", "corrected", "sdc",
+                    "crash", "masked%"});
+    for (const auto& [name, tally] : rep.perClass)
+        tallyRow(byClass, name, tally);
+    out.addTable(byClass);
+
+    common::Table pred("SERMiner predicted derating");
+    pred.header({"component", "vt10", "vt50", "vt90", "observed"});
+    for (const auto& [name, p] : rep.predicted) {
+        auto it = rep.perComponent.find(name);
+        double obs =
+            it != rep.perComponent.end() ? it->second.maskedFrac() : 0.0;
+        pred.row({name, common::fmtPct(p.vt10), common::fmtPct(p.vt50),
+                  common::fmtPct(p.vt90), common::fmtPct(obs)});
+    }
+    out.addTable(pred);
+
+    // Outcome ledger as a series: x = injection id, y = outcome code
+    // (0 masked, 1 corrected, 2 sdc, 3 crash, -1 skipped). Downstream
+    // tooling can re-derive running masking-rate convergence from it.
+    std::vector<double> x, y;
+    x.reserve(rep.records.size());
+    y.reserve(rep.records.size());
+    for (const InjectionRecord& r : rep.records) {
+        x.push_back(static_cast<double>(r.id));
+        y.push_back(r.skipped ? -1.0
+                              : static_cast<double>(
+                                    static_cast<int>(r.outcome)));
+    }
+    out.addSeries("campaign.outcome", "code", std::move(x),
+                  std::move(y));
+}
+
+} // namespace p10ee::fault

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Structured (machine-readable) campaign reporting.
+ *
+ * Folds a fault::CampaignReport into the shared obs::JsonReport shape:
+ * outcome tallies become scalars and tables, the SERMiner-predicted
+ * deratings become a per-component table, and the per-injection ledger
+ * becomes an outcome-over-injection series so campaign convergence is
+ * visible in downstream tooling.
+ */
+
+#ifndef P10EE_FAULT_REPORT_H
+#define P10EE_FAULT_REPORT_H
+
+#include "fault/campaign.h"
+#include "obs/report.h"
+
+namespace p10ee::fault {
+
+/**
+ * Append @p rep's content (scalars, per-component / per-class tables,
+ * predicted deratings, injection-outcome series) to @p out. The
+ * caller keeps ownership of meta and any other content in @p out.
+ */
+void addCampaignReport(const CampaignReport& rep, obs::JsonReport& out);
+
+} // namespace p10ee::fault
+
+#endif // P10EE_FAULT_REPORT_H

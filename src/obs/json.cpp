@@ -1,0 +1,176 @@
+#include "obs/json.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "common/assert.h"
+
+namespace p10ee::obs {
+
+std::string
+JsonWriter::escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+JsonWriter::number(double d)
+{
+    if (!std::isfinite(d))
+        return "null";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", d);
+    return buf;
+}
+
+void
+JsonWriter::preValue()
+{
+    if (afterKey_) {
+        afterKey_ = false;
+        return;
+    }
+    if (!needComma_.empty()) {
+        if (needComma_.back())
+            out_ += ',';
+        needComma_.back() = true;
+    }
+}
+
+JsonWriter&
+JsonWriter::beginObject()
+{
+    preValue();
+    out_ += '{';
+    needComma_.push_back(false);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::endObject()
+{
+    P10_ASSERT(!needComma_.empty(), "endObject with nothing open");
+    needComma_.pop_back();
+    out_ += '}';
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::beginArray()
+{
+    preValue();
+    out_ += '[';
+    needComma_.push_back(false);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::endArray()
+{
+    P10_ASSERT(!needComma_.empty(), "endArray with nothing open");
+    needComma_.pop_back();
+    out_ += ']';
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::key(std::string_view k)
+{
+    P10_ASSERT(!needComma_.empty(), "key outside an object");
+    if (needComma_.back())
+        out_ += ',';
+    needComma_.back() = true;
+    out_ += '"';
+    out_ += escape(k);
+    out_ += "\":";
+    afterKey_ = true;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(std::string_view s)
+{
+    preValue();
+    out_ += '"';
+    out_ += escape(s);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(double d)
+{
+    preValue();
+    out_ += number(d);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(uint64_t v)
+{
+    preValue();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(int64_t v)
+{
+    preValue();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(bool b)
+{
+    preValue();
+    out_ += b ? "true" : "false";
+    return *this;
+}
+
+const std::string&
+JsonWriter::str() const
+{
+    P10_ASSERT(needComma_.empty(), "unclosed container in JSON document");
+    return out_;
+}
+
+common::Status
+writeTextFile(const std::string& path, const std::string& content)
+{
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr)
+        return common::Error::invalidArgument(
+            "cannot write '" + path + "': " + std::strerror(errno));
+    size_t wrote = std::fwrite(content.data(), 1, content.size(), f);
+    int closeErr = std::fclose(f);
+    if (wrote != content.size() || closeErr != 0)
+        return common::Error::transient("short write to '" + path + "'");
+    return common::okStatus();
+}
+
+} // namespace p10ee::obs

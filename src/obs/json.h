@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Minimal deterministic JSON serializer for the observability layer.
+ *
+ * The exporters (Perfetto traces, machine-readable bench reports) must
+ * emit byte-identical output for identical inputs — the determinism
+ * regression diffs whole files — so this writer controls every
+ * formatting decision: no locale dependence, fixed number formatting,
+ * insertion-ordered keys, no whitespace.
+ */
+
+#ifndef P10EE_OBS_JSON_H
+#define P10EE_OBS_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+
+namespace p10ee::obs {
+
+/**
+ * Streaming JSON writer. Commas are inserted automatically; the caller
+ * is responsible for well-formed nesting (checked by assertions). A
+ * non-finite double serializes as null (JSON has no NaN/inf).
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter& beginObject();
+    JsonWriter& endObject();
+    JsonWriter& beginArray();
+    JsonWriter& endArray();
+
+    /** Object key; must be followed by exactly one value or container. */
+    JsonWriter& key(std::string_view k);
+
+    JsonWriter& value(std::string_view s);
+    JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+    JsonWriter& value(double d);
+    JsonWriter& value(uint64_t v);
+    JsonWriter& value(int64_t v);
+    JsonWriter& value(int v) { return value(static_cast<int64_t>(v)); }
+    JsonWriter& value(bool b);
+
+    /** The finished document. @pre all containers closed. */
+    const std::string& str() const;
+
+    /** Escape @p s per JSON string rules (without the quotes). */
+    static std::string escape(std::string_view s);
+
+    /** Fixed, locale-free formatting of @p d ("%.12g"; null if !finite). */
+    static std::string number(double d);
+
+  private:
+    void preValue();
+
+    std::string out_;
+    /** One entry per open container: whether a comma is pending. */
+    std::vector<bool> needComma_;
+    bool afterKey_ = false;
+};
+
+/**
+ * Write @p content to @p path, shared by every exporter. An unwritable
+ * path is an input error (common::Error), never an abort: report and
+ * trace emission must not kill a batch sweep.
+ */
+common::Status writeTextFile(const std::string& path,
+                             const std::string& content);
+
+} // namespace p10ee::obs
+
+#endif // P10EE_OBS_JSON_H

@@ -1,0 +1,144 @@
+#include "obs/perfetto.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace p10ee::obs {
+
+namespace {
+
+/** Simulated cycle -> trace-event microseconds at the nominal clock. */
+double
+cycleToUs(uint64_t cycle, double ghz)
+{
+    return static_cast<double>(cycle) / (ghz * 1000.0);
+}
+
+} // namespace
+
+std::string
+toPerfettoJson(const TimeSeriesRecorder& rec, double ghz)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("displayTimeUnit").value("ns");
+    w.key("traceEvents").beginArray();
+
+    // Process / thread naming metadata. Counters live on tid 1; each
+    // slice track gets its own named pseudo-thread so Perfetto shows it
+    // as a separate lane.
+    w.beginObject();
+    w.key("ph").value("M");
+    w.key("pid").value(1);
+    w.key("tid").value(1);
+    w.key("name").value("process_name");
+    w.key("args").beginObject().key("name").value("p10sim").endObject();
+    w.endObject();
+    const auto& sliceTracks = rec.sliceTracks();
+    for (size_t i = 0; i < sliceTracks.size(); ++i) {
+        w.beginObject();
+        w.key("ph").value("M");
+        w.key("pid").value(1);
+        w.key("tid").value(static_cast<uint64_t>(i + 2));
+        w.key("name").value("thread_name");
+        w.key("args").beginObject();
+        w.key("name").value(sliceTracks[i].name);
+        w.endObject();
+        w.endObject();
+    }
+
+    for (const auto& t : rec.counters()) {
+        const std::string argKey = t.unit.empty() ? "value" : t.unit;
+        for (size_t i = 0; i < t.cycle.size(); ++i) {
+            w.beginObject();
+            w.key("ph").value("C");
+            w.key("pid").value(1);
+            w.key("tid").value(1);
+            w.key("name").value(t.name);
+            w.key("ts").value(cycleToUs(t.cycle[i], ghz));
+            w.key("args").beginObject();
+            w.key(argKey).value(t.value[i]);
+            w.endObject();
+            w.endObject();
+        }
+    }
+
+    for (size_t i = 0; i < sliceTracks.size(); ++i) {
+        for (const auto& s : sliceTracks[i].slices) {
+            w.beginObject();
+            w.key("ph").value("X");
+            w.key("pid").value(1);
+            w.key("tid").value(static_cast<uint64_t>(i + 2));
+            w.key("name").value(s.label);
+            w.key("ts").value(cycleToUs(s.begin, ghz));
+            // Zero-duration slices are invisible; give every episode at
+            // least one cycle of width.
+            w.key("dur").value(cycleToUs(
+                s.end > s.begin ? s.end - s.begin : 1, ghz));
+            w.endObject();
+        }
+    }
+
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+common::Status
+writePerfettoTrace(const TimeSeriesRecorder& rec, const std::string& path,
+                   double ghz)
+{
+    return writeTextFile(path, toPerfettoJson(rec, ghz));
+}
+
+std::string
+toCsv(const TimeSeriesRecorder& rec)
+{
+    const auto& tracks = rec.counters();
+
+    std::string out = "cycle";
+    for (const auto& t : tracks) {
+        out += ',';
+        out += t.name;
+    }
+    out += '\n';
+
+    std::vector<uint64_t> cycles;
+    for (const auto& t : tracks)
+        cycles.insert(cycles.end(), t.cycle.begin(), t.cycle.end());
+    std::sort(cycles.begin(), cycles.end());
+    cycles.erase(std::unique(cycles.begin(), cycles.end()),
+                 cycles.end());
+
+    std::vector<size_t> at(tracks.size(), 0);
+    for (uint64_t c : cycles) {
+        out += std::to_string(c);
+        for (size_t k = 0; k < tracks.size(); ++k) {
+            const auto& t = tracks[k];
+            out += ',';
+            // Duplicate samples on one cycle resolve to the last one.
+            bool have = false;
+            double v = 0.0;
+            while (at[k] < t.cycle.size() && t.cycle[at[k]] == c) {
+                v = t.value[at[k]];
+                have = true;
+                ++at[k];
+            }
+            if (have)
+                out += JsonWriter::number(v);
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+common::Status
+writeCsv(const TimeSeriesRecorder& rec, const std::string& path)
+{
+    return writeTextFile(path, toCsv(rec));
+}
+
+} // namespace p10ee::obs

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Chrome/Perfetto trace export of a recorded time series.
+ *
+ * Emits the Chrome JSON trace-event format (which Perfetto's UI loads
+ * directly): every counter track becomes a "C" counter series and every
+ * slice track becomes its own named pseudo-thread of complete ("X")
+ * duration events, so droop episodes, throttle engagements and flush
+ * windows line up under the IPC/power/voltage plots on one timeline.
+ *
+ * Timestamps: the trace-event format counts microseconds; simulated
+ * cycles are converted at the nominal clock (@p ghz), so one trace
+ * microsecond equals ghz*1000 cycles of simulated time.
+ */
+
+#ifndef P10EE_OBS_PERFETTO_H
+#define P10EE_OBS_PERFETTO_H
+
+#include <string>
+
+#include "common/error.h"
+#include "obs/timeseries.h"
+
+namespace p10ee::obs {
+
+/** Serialize @p rec as a Chrome/Perfetto JSON trace document. */
+std::string toPerfettoJson(const TimeSeriesRecorder& rec,
+                           double ghz = 4.0);
+
+/** toPerfettoJson() to a file; unwritable path is a recoverable Error. */
+common::Status writePerfettoTrace(const TimeSeriesRecorder& rec,
+                                  const std::string& path,
+                                  double ghz = 4.0);
+
+/**
+ * Serialize the counter tracks as CSV: a "cycle" column followed by one
+ * column per track (header row names them). Tracks sampled on the same
+ * cycle share a row; a track with no sample at that cycle leaves its
+ * cell empty.
+ */
+std::string toCsv(const TimeSeriesRecorder& rec);
+
+/** toCsv() to a file; unwritable path is a recoverable Error. */
+common::Status writeCsv(const TimeSeriesRecorder& rec,
+                        const std::string& path);
+
+} // namespace p10ee::obs
+
+#endif // P10EE_OBS_PERFETTO_H

@@ -1,0 +1,95 @@
+#include "obs/timeseries.h"
+
+#include "common/assert.h"
+
+namespace p10ee::obs {
+
+TimeSeriesRecorder::TimeSeriesRecorder(uint64_t intervalCycles)
+    : interval_(intervalCycles == 0 ? 1 : intervalCycles)
+{}
+
+TrackId
+TimeSeriesRecorder::counter(const std::string& name,
+                            const std::string& unit)
+{
+    for (uint32_t i = 0; i < counters_.size(); ++i)
+        if (counters_[i].name == name)
+            return {i};
+    CounterTrack t;
+    t.name = name;
+    t.unit = unit;
+    t.cycle.reserve(256);
+    t.value.reserve(256);
+    counters_.push_back(std::move(t));
+    return {static_cast<uint32_t>(counters_.size() - 1)};
+}
+
+void
+TimeSeriesRecorder::sample(TrackId track, uint64_t cycle, double value)
+{
+    P10_ASSERT(track.v < counters_.size(), "sample on unknown track");
+    CounterTrack& t = counters_[track.v];
+    t.cycle.push_back(cycle);
+    t.value.push_back(value);
+}
+
+TrackId
+TimeSeriesRecorder::slices(const std::string& name)
+{
+    for (uint32_t i = 0; i < sliceTracks_.size(); ++i)
+        if (sliceTracks_[i].name == name)
+            return {i};
+    SliceTrack t;
+    t.name = name;
+    sliceTracks_.push_back(std::move(t));
+    return {static_cast<uint32_t>(sliceTracks_.size() - 1)};
+}
+
+void
+TimeSeriesRecorder::beginSlice(TrackId track, const std::string& label,
+                               uint64_t cycle)
+{
+    P10_ASSERT(track.v < sliceTracks_.size(),
+               "beginSlice on unknown track");
+    SliceTrack& t = sliceTracks_[track.v];
+    if (t.open)
+        endSlice(track, cycle);
+    Slice s;
+    s.label = label;
+    s.begin = cycle;
+    s.end = cycle;
+    t.slices.push_back(std::move(s));
+    t.open = true;
+}
+
+void
+TimeSeriesRecorder::endSlice(TrackId track, uint64_t cycle)
+{
+    P10_ASSERT(track.v < sliceTracks_.size(),
+               "endSlice on unknown track");
+    SliceTrack& t = sliceTracks_[track.v];
+    if (!t.open)
+        return;
+    Slice& s = t.slices.back();
+    s.end = cycle > s.begin ? cycle : s.begin;
+    t.open = false;
+}
+
+void
+TimeSeriesRecorder::closeOpenSlices(uint64_t cycle)
+{
+    for (uint32_t i = 0; i < sliceTracks_.size(); ++i)
+        if (sliceTracks_[i].open)
+            endSlice({i}, cycle);
+}
+
+uint64_t
+TimeSeriesRecorder::sampleCount() const
+{
+    uint64_t n = 0;
+    for (const auto& t : counters_)
+        n += t.cycle.size();
+    return n;
+}
+
+} // namespace p10ee::obs

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Interval time-series recording — the repo's analogue of the paper's
+ * APEX interval counter read-outs (§III-C).
+ *
+ * A TimeSeriesRecorder is the one sink every layer publishes into: the
+ * core timing loop samples IPC and queue occupancies at a configurable
+ * cycle interval, the power paths publish per-interval pJ/cycle, and
+ * the pm control loops publish throttle levels, DDS state and WOF
+ * decisions. Producers register tracks up front and receive interned
+ * TrackId handles, so publishing on the hot path is an array index plus
+ * an amortized push_back — no string hashing, no map lookups.
+ *
+ * Two track flavours, matching the Perfetto data model the exporters
+ * target:
+ *  - counter tracks: (cycle, value) samples, rendered as counter plots;
+ *  - slice tracks: labeled [begin, end) episodes (droop events,
+ *    throttle engagements, pipeline-flush windows), rendered as
+ *    duration slices.
+ */
+
+#ifndef P10EE_OBS_TIMESERIES_H
+#define P10EE_OBS_TIMESERIES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace p10ee::obs {
+
+/** Interned handle to a registered track. */
+struct TrackId
+{
+    uint32_t v = UINT32_MAX;
+
+    bool valid() const { return v != UINT32_MAX; }
+};
+
+/** Collects counter samples and duration slices from one run. */
+class TimeSeriesRecorder
+{
+  public:
+    /** One counter track's accumulated samples. */
+    struct CounterTrack
+    {
+        std::string name;
+        std::string unit;
+        std::vector<uint64_t> cycle;
+        std::vector<double> value;
+    };
+
+    /** One labeled episode on a slice track. */
+    struct Slice
+    {
+        std::string label;
+        uint64_t begin = 0;
+        uint64_t end = 0;
+    };
+
+    /** One slice track's accumulated episodes. */
+    struct SliceTrack
+    {
+        std::string name;
+        std::vector<Slice> slices;
+        bool open = false; ///< a beginSlice awaits its endSlice
+    };
+
+    /** @param intervalCycles suggested sampling period for producers. */
+    explicit TimeSeriesRecorder(uint64_t intervalCycles = 1024);
+
+    /** Sampling period producers should honor (cycles). */
+    uint64_t interval() const { return interval_; }
+
+    /**
+     * Register (or look up) the counter track @p name. Registering the
+     * same name twice returns the same handle; the first @p unit wins.
+     */
+    TrackId counter(const std::string& name, const std::string& unit = "");
+
+    /** Append one sample. Samples must arrive in non-decreasing cycle
+        order per track (exporters rely on it). */
+    void sample(TrackId track, uint64_t cycle, double value);
+
+    /** Register (or look up) the slice track @p name. */
+    TrackId slices(const std::string& name);
+
+    /** Open a labeled episode at @p cycle. A still-open episode on the
+        same track is closed first (episodes never nest). */
+    void beginSlice(TrackId track, const std::string& label,
+                    uint64_t cycle);
+
+    /** Close the open episode at @p cycle. No-op when none is open. */
+    void endSlice(TrackId track, uint64_t cycle);
+
+    /** Close every still-open episode at @p cycle (end of run). */
+    void closeOpenSlices(uint64_t cycle);
+
+    const std::vector<CounterTrack>& counters() const
+    {
+        return counters_;
+    }
+
+    const std::vector<SliceTrack>& sliceTracks() const
+    {
+        return sliceTracks_;
+    }
+
+    /** Total samples across all counter tracks. */
+    uint64_t sampleCount() const;
+
+  private:
+    uint64_t interval_;
+    std::vector<CounterTrack> counters_;
+    std::vector<SliceTrack> sliceTracks_;
+};
+
+} // namespace p10ee::obs
+
+#endif // P10EE_OBS_TIMESERIES_H

@@ -7,13 +7,27 @@ namespace p10ee::pm {
 
 ThrottleTrace
 runThrottleLoop(const std::vector<float>& rawPowerPj,
-                const ThrottleParams& params)
+                const ThrottleParams& params,
+                obs::TimeSeriesRecorder* recorder)
 {
     ThrottleTrace trace;
     // Degenerate inputs are user/campaign input, not invariants: an
     // empty proxy series has nothing to control.
     if (rawPowerPj.empty())
         return trace;
+
+    obs::TrackId levelTrack, powerTrack, episodeTrack;
+    if (recorder != nullptr) {
+        levelTrack = recorder->counter("pm.throttle.level", "level");
+        powerTrack =
+            recorder->counter("pm.throttle.power_pj", "pJ/cycle");
+        episodeTrack = recorder->slices("pm.throttle");
+    }
+    const uint64_t cyclesPer =
+        params.intervalCycles > 0
+            ? static_cast<uint64_t>(params.intervalCycles)
+            : 1;
+    bool episodeOpen = false;
 
     const int levels = std::max(1, params.levels);
     int fallback = params.staleFallbackLevel;
@@ -50,6 +64,21 @@ runThrottleLoop(const std::vector<float>& rawPowerPj,
         double scaled = raw * (1.0 - params.powerPerLevel * level);
         trace.level.push_back(level);
         trace.powerPj.push_back(scaled);
+        if (recorder != nullptr) {
+            uint64_t cycle =
+                static_cast<uint64_t>(trace.level.size() - 1) *
+                cyclesPer;
+            recorder->sample(levelTrack, cycle,
+                             static_cast<double>(level));
+            recorder->sample(powerTrack, cycle, scaled);
+            if (level > 0 && !episodeOpen) {
+                recorder->beginSlice(episodeTrack, "throttle", cycle);
+                episodeOpen = true;
+            } else if (level == 0 && episodeOpen) {
+                recorder->endSlice(episodeTrack, cycle);
+                episodeOpen = false;
+            }
+        }
         sumPower += scaled;
         sumPerf += 1.0 - params.perfPerLevel * level;
         if (!budgetUsable || scaled > params.budgetPj)
@@ -73,6 +102,10 @@ runThrottleLoop(const std::vector<float>& rawPowerPj,
                 level = std::max(0, level - 1);
         }
     }
+    if (recorder != nullptr && episodeOpen)
+        recorder->endSlice(episodeTrack,
+                           static_cast<uint64_t>(rawPowerPj.size()) *
+                               cyclesPer);
     double n = static_cast<double>(rawPowerPj.size());
     trace.meanPowerPj = sumPower / n;
     trace.overBudgetFrac = static_cast<double>(over) / n;
@@ -82,13 +115,22 @@ runThrottleLoop(const std::vector<float>& rawPowerPj,
 
 DroopTrace
 simulateDroop(const std::vector<float>& powerPjPerCycle,
-              const DroopParams& p)
+              const DroopParams& p, obs::TimeSeriesRecorder* recorder)
 {
     DroopTrace trace;
     trace.minVoltage = p.supplyVolts;
     if (powerPjPerCycle.empty())
         return trace;
     trace.voltage.reserve(powerPjPerCycle.size());
+
+    obs::TrackId voltTrack, engagedTrack, droopTrack;
+    uint64_t sampleEvery = 1;
+    if (recorder != nullptr) {
+        voltTrack = recorder->counter("pm.dds.voltage", "V");
+        engagedTrack = recorder->counter("pm.dds.engaged", "");
+        droopTrack = recorder->slices("pm.dds");
+        sampleEvery = recorder->interval();
+    }
 
     // Second-order (RLC-like) droop state: z is the voltage sag, u its
     // rate. The steady-state sag of current i is i * gridOhms.
@@ -127,8 +169,12 @@ simulateDroop(const std::vector<float>& powerPjPerCycle,
             current *= p.throttleCut;
             --throttleLeft;
             ++trace.throttledCycles;
-            if (throttleLeft == 0)
+            if (throttleLeft == 0) {
                 lastRelease = cycle;
+                if (recorder != nullptr)
+                    recorder->endSlice(droopTrack,
+                                       static_cast<uint64_t>(cycle));
+            }
         }
         double target = current * p.gridOhms;
         double acc = w * w * (target - z) - 2.0 * p.damping * w * u;
@@ -137,6 +183,14 @@ simulateDroop(const std::vector<float>& powerPjPerCycle,
         double v = p.supplyVolts - z;
         trace.voltage.push_back(static_cast<float>(v));
         trace.minVoltage = std::min(trace.minVoltage, v);
+        if (recorder != nullptr &&
+            static_cast<uint64_t>(cycle) % sampleEvery == 0) {
+            recorder->sample(voltTrack, static_cast<uint64_t>(cycle),
+                             v);
+            recorder->sample(engagedTrack,
+                             static_cast<uint64_t>(cycle),
+                             throttleLeft > 0 ? 1.0 : 0.0);
+        }
 
         // The DDS measures timing margin in the sub-ns range and
         // engages the coarse throttle the cycle the margin collapses.
@@ -158,8 +212,14 @@ simulateDroop(const std::vector<float>& powerPjPerCycle,
             }
             throttleLeft = hold;
             ++trace.ddsTrips;
+            if (recorder != nullptr)
+                recorder->beginSlice(droopTrack, "droop",
+                                     static_cast<uint64_t>(cycle));
         }
     }
+    if (recorder != nullptr)
+        recorder->closeOpenSlices(
+            static_cast<uint64_t>(powerPjPerCycle.size()));
     return trace;
 }
 

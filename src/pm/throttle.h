@@ -20,6 +20,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/timeseries.h"
+
 namespace p10ee::pm {
 
 /** Proxy-driven fine-grained throttle loop parameters. */
@@ -64,9 +66,16 @@ struct ThrottleTrace
  * over budget. Unusable readings (NaN/inf/negative) engage
  * ThrottleParams::staleFallbackLevel for that interval and carry the
  * last good reading for power accounting.
+ *
+ * With @p recorder set, each interval publishes the engaged limiter
+ * step ("pm.throttle.level") and resulting power
+ * ("pm.throttle.power_pj"), and contiguous throttled stretches become
+ * duration slices on the "pm.throttle" track. Interval i stamps cycle
+ * i * ThrottleParams::intervalCycles.
  */
 ThrottleTrace runThrottleLoop(const std::vector<float>& rawPowerPj,
-                              const ThrottleParams& params);
+                              const ThrottleParams& params,
+                              obs::TimeSeriesRecorder* recorder = nullptr);
 
 /** Power-grid and DDS parameters. */
 struct DroopParams
@@ -110,9 +119,15 @@ struct DroopTrace
  * Drive the second-order grid model with a per-cycle power series
  * (current = power / supply). With the DDS enabled, trips engage the
  * coarse throttle, which cuts current and arrests the droop.
+ *
+ * With @p recorder set, the supply voltage ("pm.dds.voltage") and
+ * coarse-throttle state ("pm.dds.engaged") are sampled every
+ * recorder->interval() cycles, and each trip-to-release episode
+ * becomes a "droop" duration slice on the "pm.dds" track.
  */
 DroopTrace simulateDroop(const std::vector<float>& powerPjPerCycle,
-                         const DroopParams& params);
+                         const DroopParams& params,
+                         obs::TimeSeriesRecorder* recorder = nullptr);
 
 } // namespace p10ee::pm
 

@@ -153,8 +153,43 @@ TEST(Histogram, PercentileMedian)
     Histogram h(0.0, 100.0, 100);
     for (int i = 0; i < 100; ++i)
         h.record(i + 0.5);
-    EXPECT_NEAR(h.percentile(0.5), 50.0, 1.5);
-    EXPECT_NEAR(h.percentile(0.9), 90.0, 1.5);
+    EXPECT_NEAR(h.percentile(0.5).value(), 50.0, 1.5);
+    EXPECT_NEAR(h.percentile(0.9).value(), 90.0, 1.5);
+}
+
+TEST(Histogram, PercentileOfEmptyIsRecoverableError)
+{
+    Histogram h(0.0, 100.0, 10);
+    auto p = h.percentile(0.5);
+    ASSERT_FALSE(p.ok());
+    EXPECT_EQ(p.error().code, ErrorCode::InvalidArgument);
+    // A report generator can fall back instead of crashing.
+    EXPECT_DOUBLE_EQ(p.valueOr(0.0), 0.0);
+}
+
+TEST(StatRegistry, InternedIdPathAgreesWithStringPath)
+{
+    StatRegistry s;
+    StatId fast = s.id("issue.alu");
+    for (int i = 0; i < 100; ++i)
+        s.add(fast);
+    s.add("issue.alu", 5);
+    EXPECT_EQ(s.get(fast), 105u);
+    EXPECT_EQ(s.get("issue.alu"), 105u);
+    EXPECT_EQ(s.snapshot().at("issue.alu"), 105u);
+    // Re-interning yields the same handle.
+    EXPECT_EQ(s.id("issue.alu").v, fast.v);
+}
+
+TEST(StatRegistry, InternedIdSurvivesClear)
+{
+    StatRegistry s;
+    StatId sid = s.id("x");
+    s.add(sid, 7);
+    s.clear();
+    EXPECT_EQ(s.get(sid), 0u);
+    s.add(sid, 3);
+    EXPECT_EQ(s.get("x"), 3u);
 }
 
 TEST(Histogram, BinCenter)

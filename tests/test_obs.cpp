@@ -1,0 +1,433 @@
+/**
+ * @file
+ * Observability-layer tests: the TimeSeriesRecorder contract, golden
+ * files for the Perfetto/CSV/JSON emitters, the determinism regression
+ * (two identically-seeded runs must serialize byte-identically), the
+ * pm publishing paths, the recoverable write-error path, and the fault
+ * campaign's progress hook and structured report.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/core.h"
+#include "fault/campaign.h"
+#include "fault/report.h"
+#include "obs/json.h"
+#include "obs/perfetto.h"
+#include "obs/report.h"
+#include "obs/timeseries.h"
+#include "pm/throttle.h"
+#include "workloads/spec_profiles.h"
+#include "workloads/synthetic.h"
+
+using namespace p10ee;
+
+// ---------------------------------------------------------------------
+// TimeSeriesRecorder contract
+// ---------------------------------------------------------------------
+
+TEST(Recorder, CounterRegistrationIsIdempotent)
+{
+    obs::TimeSeriesRecorder rec(64);
+    auto a = rec.counter("ipc", "instr/cyc");
+    auto b = rec.counter("ipc", "other-unit-ignored");
+    EXPECT_TRUE(a.valid());
+    EXPECT_EQ(a.v, b.v);
+    ASSERT_EQ(rec.counters().size(), 1u);
+    EXPECT_EQ(rec.counters()[0].unit, "instr/cyc");
+}
+
+TEST(Recorder, DefaultTrackIdIsInvalid)
+{
+    obs::TrackId id;
+    EXPECT_FALSE(id.valid());
+}
+
+TEST(Recorder, SamplesAccumulatePerTrack)
+{
+    obs::TimeSeriesRecorder rec(16);
+    auto a = rec.counter("a");
+    auto b = rec.counter("b");
+    rec.sample(a, 16, 1.0);
+    rec.sample(a, 32, 2.0);
+    rec.sample(b, 16, -1.0);
+    EXPECT_EQ(rec.sampleCount(), 3u);
+    ASSERT_EQ(rec.counters()[0].cycle.size(), 2u);
+    EXPECT_EQ(rec.counters()[0].cycle[1], 32u);
+    EXPECT_DOUBLE_EQ(rec.counters()[0].value[1], 2.0);
+    ASSERT_EQ(rec.counters()[1].value.size(), 1u);
+}
+
+TEST(Recorder, SlicesNeverNestAndCloseAtEnd)
+{
+    obs::TimeSeriesRecorder rec(16);
+    auto t = rec.slices("episodes");
+    rec.beginSlice(t, "first", 10);
+    // A second begin closes the first at its own begin cycle.
+    rec.beginSlice(t, "second", 20);
+    rec.endSlice(t, 30);
+    rec.beginSlice(t, "dangling", 40);
+    rec.closeOpenSlices(50);
+
+    ASSERT_EQ(rec.sliceTracks().size(), 1u);
+    const auto& st = rec.sliceTracks()[0];
+    ASSERT_EQ(st.slices.size(), 3u);
+    EXPECT_EQ(st.slices[0].label, "first");
+    EXPECT_EQ(st.slices[0].end, 20u);
+    EXPECT_EQ(st.slices[1].label, "second");
+    EXPECT_EQ(st.slices[1].end, 30u);
+    EXPECT_EQ(st.slices[2].label, "dangling");
+    EXPECT_EQ(st.slices[2].end, 50u);
+    EXPECT_FALSE(st.open);
+}
+
+TEST(Recorder, EndSliceWithoutOpenIsNoOp)
+{
+    obs::TimeSeriesRecorder rec;
+    auto t = rec.slices("episodes");
+    rec.endSlice(t, 5);
+    EXPECT_TRUE(rec.sliceTracks()[0].slices.empty());
+}
+
+// ---------------------------------------------------------------------
+// Golden files: the emitters' exact byte-level output
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** A tiny fixed recorder the golden tests share. */
+obs::TimeSeriesRecorder
+goldenRecorder()
+{
+    obs::TimeSeriesRecorder rec(4);
+    auto ipc = rec.counter("ipc");
+    auto pw = rec.counter("power", "pJ");
+    rec.sample(ipc, 0, 1.5);
+    rec.sample(ipc, 4, 2.0);
+    rec.sample(pw, 4, 12.25);
+    auto ep = rec.slices("ep");
+    rec.beginSlice(ep, "droop", 2);
+    rec.endSlice(ep, 6);
+    return rec;
+}
+
+} // namespace
+
+TEST(PerfettoGolden, ExactTraceBytes)
+{
+    // ghz=4.0: ts[us] = cycle/4000.
+    const std::string expected =
+        "{\"displayTimeUnit\":\"ns\",\"traceEvents\":["
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"process_name\","
+        "\"args\":{\"name\":\"p10sim\"}},"
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":2,\"name\":\"thread_name\","
+        "\"args\":{\"name\":\"ep\"}},"
+        "{\"ph\":\"C\",\"pid\":1,\"tid\":1,\"name\":\"ipc\",\"ts\":0,"
+        "\"args\":{\"value\":1.5}},"
+        "{\"ph\":\"C\",\"pid\":1,\"tid\":1,\"name\":\"ipc\","
+        "\"ts\":0.001,\"args\":{\"value\":2}},"
+        "{\"ph\":\"C\",\"pid\":1,\"tid\":1,\"name\":\"power\","
+        "\"ts\":0.001,\"args\":{\"pJ\":12.25}},"
+        "{\"ph\":\"X\",\"pid\":1,\"tid\":2,\"name\":\"droop\","
+        "\"ts\":0.0005,\"dur\":0.001}"
+        "]}";
+    EXPECT_EQ(obs::toPerfettoJson(goldenRecorder(), 4.0), expected);
+}
+
+TEST(PerfettoGolden, ZeroDurationSliceGetsOneCycleWidth)
+{
+    obs::TimeSeriesRecorder rec;
+    auto t = rec.slices("ep");
+    rec.beginSlice(t, "blip", 8);
+    rec.endSlice(t, 8);
+    const std::string json = obs::toPerfettoJson(rec, 4.0);
+    // 1 cycle at 4 GHz = 0.00025 us.
+    EXPECT_NE(json.find("\"dur\":0.00025"), std::string::npos);
+}
+
+TEST(CsvGolden, ExactCsvBytes)
+{
+    const std::string expected = "cycle,ipc,power\n"
+                                 "0,1.5,\n"
+                                 "4,2,12.25\n";
+    EXPECT_EQ(obs::toCsv(goldenRecorder()), expected);
+}
+
+TEST(ReportGolden, ExactJsonBytes)
+{
+    obs::JsonReport r;
+    r.meta().tool = "t";
+    r.meta().seed = 7;
+    r.meta().git = "abc123";
+    r.meta().wallSeconds = 0.5;
+    r.meta().simInstrs = 1000;
+    r.meta().hostMips = 0.002;
+    r.addScalar("b", 2.0);
+    r.addScalar("a", 1.5); // scalars serialize sorted by name
+    common::Table t("T");
+    t.header({"k", "v"});
+    t.row({"x", "1"});
+    r.addTable(t);
+    r.addSeries("s", "u", {0.0, 1.0}, {2.0, 3.0});
+
+    const std::string expected =
+        "{\"schema\":\"p10ee-report/1\","
+        "\"meta\":{\"tool\":\"t\",\"config\":\"\",\"workload\":\"\","
+        "\"seed\":7,\"git\":\"abc123\",\"wall_s\":0.5,"
+        "\"sim_instrs\":1000,\"host_mips\":0.002},"
+        "\"scalars\":{\"a\":1.5,\"b\":2},"
+        "\"tables\":[{\"title\":\"T\",\"columns\":[\"k\",\"v\"],"
+        "\"rows\":[[\"x\",\"1\"]]}],"
+        "\"series\":[{\"name\":\"s\",\"unit\":\"u\",\"x\":[0,1],"
+        "\"y\":[2,3]}]}";
+    EXPECT_EQ(r.toJson(), expected);
+}
+
+TEST(JsonWriterEdgeCases, EscapingAndNonFinite)
+{
+    EXPECT_EQ(obs::JsonWriter::escape("a\"b\\c\n\t"),
+              "a\\\"b\\\\c\\n\\t");
+    EXPECT_EQ(obs::JsonWriter::number(0.0 / 0.0), "null");
+    EXPECT_EQ(obs::JsonWriter::number(1.0 / 0.0), "null");
+    EXPECT_EQ(obs::JsonWriter::number(0.1), "0.1");
+}
+
+// ---------------------------------------------------------------------
+// Determinism regression: identically-seeded runs -> identical bytes
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct SerializedRun
+{
+    std::string trace;
+    std::string report;
+};
+
+SerializedRun
+telemetryRun()
+{
+    const auto cfg = core::power10();
+    const auto& prof = workloads::profileByName("perlbench");
+    workloads::SyntheticWorkload src(prof);
+    core::CoreModel m(cfg);
+    obs::TimeSeriesRecorder rec(256);
+    core::RunOptions o;
+    o.warmupInstrs = 4000;
+    o.measureInstrs = 20000;
+    o.recorder = &rec;
+    auto run = m.run({&src}, o);
+
+    obs::JsonReport rep;
+    rep.meta().tool = "determinism-test";
+    rep.addScalar("ipc", run.ipc());
+    rep.addTimeSeries(rec);
+    return {obs::toPerfettoJson(rec, 4.0), rep.toJson()};
+}
+
+} // namespace
+
+TEST(Determinism, TwoSeededRunsSerializeByteIdentically)
+{
+    auto a = telemetryRun();
+    auto b = telemetryRun();
+    EXPECT_FALSE(a.trace.empty());
+    EXPECT_GT(a.report.size(), 100u);
+    EXPECT_EQ(a.trace, b.trace);
+    EXPECT_EQ(a.report, b.report);
+}
+
+TEST(Determinism, CoreRunPublishesExpectedTracks)
+{
+    const auto cfg = core::power10();
+    const auto& prof = workloads::profileByName("perlbench");
+    workloads::SyntheticWorkload src(prof);
+    core::CoreModel m(cfg);
+    obs::TimeSeriesRecorder rec(256);
+    core::RunOptions o;
+    o.warmupInstrs = 2000;
+    o.measureInstrs = 20000;
+    o.recorder = &rec;
+    m.run({&src}, o);
+
+    std::vector<std::string> names;
+    for (const auto& t : rec.counters())
+        names.push_back(t.name);
+    for (const char* want :
+         {"core.ipc", "core.occ.rob", "core.occ.ldq", "core.occ.stq",
+          "core.occ.ibuf"}) {
+        bool found = false;
+        for (const auto& n : names)
+            found = found || n == want;
+        EXPECT_TRUE(found) << "missing counter track " << want;
+    }
+    EXPECT_GT(rec.sampleCount(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// pm publishing paths
+// ---------------------------------------------------------------------
+
+TEST(PmTelemetry, ThrottleLoopPublishesLevelsAndEpisodes)
+{
+    // Alternate under/over budget so the limiter engages and releases.
+    std::vector<float> power;
+    for (int i = 0; i < 40; ++i)
+        power.push_back(i % 10 < 5 ? 1.0f : 4.0f);
+    pm::ThrottleParams tp;
+    tp.budgetPj = 2.0;
+    tp.intervalCycles = 64;
+    obs::TimeSeriesRecorder rec(64);
+    auto tr = pm::runThrottleLoop(power, tp, &rec);
+    ASSERT_EQ(tr.level.size(), power.size());
+
+    const obs::TimeSeriesRecorder::CounterTrack* level = nullptr;
+    for (const auto& t : rec.counters())
+        if (t.name == "pm.throttle.level")
+            level = &t;
+    ASSERT_NE(level, nullptr);
+    EXPECT_EQ(level->cycle.size(), power.size());
+    // Cycle stamps advance by the control interval.
+    EXPECT_EQ(level->cycle[1] - level->cycle[0],
+              static_cast<uint64_t>(tp.intervalCycles));
+
+    const obs::TimeSeriesRecorder::SliceTrack* ep = nullptr;
+    for (const auto& t : rec.sliceTracks())
+        if (t.name == "pm.throttle")
+            ep = &t;
+    ASSERT_NE(ep, nullptr);
+    EXPECT_FALSE(ep->slices.empty());
+    EXPECT_FALSE(ep->open);
+}
+
+TEST(PmTelemetry, DroopSimPublishesVoltageAndEpisodes)
+{
+    // A hard power step excites the underdamped grid enough to trip
+    // the DDS at least once.
+    std::vector<float> power(6000, 500.0f);
+    for (size_t i = 1000; i < power.size(); ++i)
+        power[i] = 6000.0f;
+    pm::DroopParams dp;
+    obs::TimeSeriesRecorder rec(64);
+    auto dt = pm::simulateDroop(power, dp, &rec);
+    ASSERT_GE(dt.ddsTrips, 1);
+
+    bool haveVolt = false;
+    for (const auto& t : rec.counters())
+        if (t.name == "pm.dds.voltage") {
+            haveVolt = true;
+            EXPECT_FALSE(t.cycle.empty());
+        }
+    EXPECT_TRUE(haveVolt);
+
+    const obs::TimeSeriesRecorder::SliceTrack* ep = nullptr;
+    for (const auto& t : rec.sliceTracks())
+        if (t.name == "pm.dds")
+            ep = &t;
+    ASSERT_NE(ep, nullptr);
+    EXPECT_GE(static_cast<int>(ep->slices.size()), 1);
+    for (const auto& s : ep->slices)
+        EXPECT_EQ(s.label, "droop");
+}
+
+TEST(PmTelemetry, NullRecorderStillWorks)
+{
+    std::vector<float> power(200, 3.0f);
+    pm::ThrottleParams tp;
+    tp.budgetPj = 2.0;
+    auto tr = pm::runThrottleLoop(power, tp, nullptr);
+    EXPECT_EQ(tr.level.size(), power.size());
+    auto dt = pm::simulateDroop(power, pm::DroopParams{}, nullptr);
+    EXPECT_EQ(dt.voltage.size(), power.size());
+}
+
+// ---------------------------------------------------------------------
+// Recoverable write-error path
+// ---------------------------------------------------------------------
+
+TEST(WriteErrors, UnwritablePathIsRecoverableError)
+{
+    auto st = obs::writeTextFile("/nonexistent-dir/x/y.json", "{}");
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.error().code, common::ErrorCode::InvalidArgument);
+    EXPECT_NE(st.error().message.find("/nonexistent-dir/x/y.json"),
+              std::string::npos);
+
+    obs::JsonReport r;
+    EXPECT_FALSE(r.writeTo("/nonexistent-dir/x/y.json").ok());
+    EXPECT_FALSE(
+        obs::writePerfettoTrace(obs::TimeSeriesRecorder(),
+                                "/nonexistent-dir/x/y.json")
+            .ok());
+}
+
+TEST(WriteErrors, RoundTripThroughTmp)
+{
+    const std::string path =
+        ::testing::TempDir() + "p10ee_obs_roundtrip.json";
+    obs::JsonReport r;
+    r.meta().tool = "roundtrip";
+    ASSERT_TRUE(r.writeTo(path).ok());
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    size_t n = std::fread(buf, 1, sizeof(buf), f);
+    std::fclose(f);
+    EXPECT_EQ(std::string(buf, n), r.toJson());
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Campaign progress hook + structured report
+// ---------------------------------------------------------------------
+
+TEST(CampaignTelemetry, ProgressHookSeesEveryInjectionInOrder)
+{
+    const auto cfg = core::power10();
+    const auto& prof = workloads::profileByName("perlbench");
+    fault::CampaignSpec spec;
+    spec.seed = 99;
+    spec.injections = 25;
+    spec.warmupInstrs = 500;
+    spec.measureInstrs = 1500;
+    std::vector<int> ids;
+    spec.onProgress = [&](const fault::InjectionRecord& r) {
+        ids.push_back(r.id);
+    };
+    fault::CampaignRunner runner(cfg, prof, spec);
+    auto res = runner.run();
+    ASSERT_TRUE(res.ok());
+    ASSERT_EQ(ids.size(), 25u);
+    for (int i = 0; i < 25; ++i)
+        EXPECT_EQ(ids[static_cast<size_t>(i)], i);
+    EXPECT_EQ(res.value().records.size(), 25u);
+}
+
+TEST(CampaignTelemetry, StructuredReportCarriesCampaign)
+{
+    const auto cfg = core::power10();
+    const auto& prof = workloads::profileByName("perlbench");
+    fault::CampaignSpec spec;
+    spec.seed = 99;
+    spec.injections = 25;
+    spec.warmupInstrs = 500;
+    spec.measureInstrs = 1500;
+    fault::CampaignRunner runner(cfg, prof, spec);
+    auto res = runner.run();
+    ASSERT_TRUE(res.ok());
+
+    obs::JsonReport rep;
+    rep.meta().tool = "test";
+    fault::addCampaignReport(res.value(), rep);
+    const std::string json = rep.toJson();
+    EXPECT_NE(json.find("\"campaign.injections\":25"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"campaign.masked_frac\""), std::string::npos);
+    EXPECT_NE(json.find("Outcomes by component"), std::string::npos);
+    EXPECT_NE(json.find("\"campaign.outcome\""), std::string::npos);
+}
