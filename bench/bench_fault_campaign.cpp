@@ -44,9 +44,14 @@ main(int argc, char** argv)
     spec.injections = static_cast<int>(ctx.instrsOr(1200));
     spec.warmupInstrs = ctx.warmupOr(2000);
     spec.measureInstrs = 4000;
+    // Injections fold by index, so the report is identical at any
+    // --jobs value (the campaign determinism test checks exactly this).
+    spec.jobs = ctx.jobs;
 
     // Per-injection progress: a line every ~10% keeps long campaigns
-    // observable without flooding the console.
+    // observable without flooding the console. The ledger goes to
+    // stderr — with --jobs > 1 it arrives in completion order, and
+    // stdout must stay byte-identical at any jobs value.
     const int progressEvery = spec.injections >= 10
                                   ? spec.injections / 10
                                   : 1;
@@ -54,10 +59,11 @@ main(int argc, char** argv)
         bench::accountSimInstrs(spec.warmupInstrs +
                                 spec.measureInstrs);
         if ((r.id + 1) % progressEvery == 0)
-            std::printf("  [%4d/%d] last: %s -> %s%s\n", r.id + 1,
-                        spec.injections, r.component.c_str(),
-                        fault::outcomeName(r.outcome),
-                        r.skipped ? " (skipped)" : "");
+            std::fprintf(stderr, "  [%4d/%d] last: %s -> %s%s\n",
+                         r.id + 1, spec.injections,
+                         r.component.c_str(),
+                         fault::outcomeName(r.outcome),
+                         r.skipped ? " (skipped)" : "");
     };
 
     fault::CampaignRunner runner(cfg, *prof, spec);

@@ -36,7 +36,7 @@ main(int argc, char** argv)
     for (const auto& base : workloads::specint2017()) {
         for (uint64_t seed = 0; seed < 4; ++seed) {
             workloads::WorkloadProfile prof = base;
-            prof.seed = base.seed + seed * 977;
+            prof.seed = common::splitSeed(base.seed, seed);
 
             auto runMode = [&](bool infiniteL2) {
                 std::vector<std::unique_ptr<

@@ -34,7 +34,7 @@ main(int argc, char** argv)
         for (int smt : {1, 2, 4, 8}) {
             for (uint64_t seed = 0; seed < 2; ++seed) {
                 workloads::WorkloadProfile p = prof;
-                p.seed = prof.seed + seed * 1319;
+                p.seed = common::splitSeed(prof.seed, seed);
                 auto e = bench::runOne(p10, p, smt, kInstrs);
                 runs.push_back(std::move(e.run));
             }

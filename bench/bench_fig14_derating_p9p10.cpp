@@ -23,16 +23,22 @@ namespace {
 
 uint64_t kInstrs = 50000; ///< overridable via --instrs
 
-/** Average derating over the Fig. 13 suite for one design. */
+/** Average derating over the Fig. 13 suite for one design. Test cases
+    are independent: they run as a grid (parallel under --jobs), each
+    with its own CoreModel and SerMiner, and the average folds the
+    per-case results in suite order. */
 std::vector<double>
-averageDerating(const core::CoreConfig& cfg,
+averageDerating(const bench::BenchContext& ctx,
+                const core::CoreConfig& cfg,
                 const std::vector<double>& vts, double* staticOut)
 {
-    ras::SerMiner miner(cfg);
-    std::vector<double> sums(vts.size(), 0.0);
-    double staticSum = 0.0;
-    int n = 0;
-    for (const auto& tc : workloads::fig13Suite()) {
+    const auto& cases = workloads::fig13Suite();
+    const size_t n = cases.size();
+    std::vector<std::vector<double>> perCase(
+        n, std::vector<double>(vts.size(), 0.0));
+    std::vector<double> perCaseStatic(n, 0.0);
+    bench::runGrid(ctx, n, [&](size_t k) {
+        const auto& tc = cases[k];
         std::vector<std::unique_ptr<workloads::InstrSource>> srcs;
         std::vector<workloads::InstrSource*> ptrs;
         for (int th = 0; th < tc.smt; ++th) {
@@ -46,15 +52,23 @@ averageDerating(const core::CoreConfig& cfg,
         std::vector<core::RunResult> suite;
         suite.push_back(m.run(ptrs, o));
         bench::accountSimInstrs(o.warmupInstrs + suite.back().instrs);
+        ras::SerMiner miner(cfg);
         auto groups = miner.analyze(suite);
         for (size_t i = 0; i < vts.size(); ++i)
-            sums[i] += ras::SerMiner::deratedFrac(groups, vts[i]);
-        staticSum += ras::SerMiner::staticDeratedFrac(groups);
-        ++n;
+            perCase[k][i] = ras::SerMiner::deratedFrac(groups, vts[i]);
+        perCaseStatic[k] = ras::SerMiner::staticDeratedFrac(groups);
+    });
+
+    std::vector<double> sums(vts.size(), 0.0);
+    double staticSum = 0.0;
+    for (size_t k = 0; k < n; ++k) {
+        for (size_t i = 0; i < vts.size(); ++i)
+            sums[i] += perCase[k][i];
+        staticSum += perCaseStatic[k];
     }
     for (double& s : sums)
-        s /= n;
-    *staticOut = staticSum / n;
+        s /= static_cast<double>(n);
+    *staticOut = staticSum / static_cast<double>(n);
     return sums;
 }
 
@@ -72,8 +86,8 @@ main(int argc, char** argv)
     auto p10 = core::power10();
 
     double static9 = 0.0, static10 = 0.0;
-    auto d9 = averageDerating(p9, vts, &static9);
-    auto d10 = averageDerating(p10, vts, &static10);
+    auto d9 = averageDerating(ctx, p9, vts, &static9);
+    auto d10 = averageDerating(ctx, p10, vts, &static10);
 
     common::Table t("Fig. 14 — derating vs VT, POWER9 vs POWER10 "
                     "(averaged across all workloads)");

@@ -25,7 +25,7 @@ workloads::Epoch
 measureEpoch(const workloads::WorkloadProfile& prof, uint64_t seedShift)
 {
     workloads::WorkloadProfile p = prof;
-    p.seed = prof.seed + seedShift * 7919;
+    p.seed = common::splitSeed(prof.seed, seedShift);
     auto entry = bench::runOne(core::power10(), p, 1, 12000, 12000);
     workloads::Epoch e;
     e.cpi = entry.run.cpi();

@@ -15,6 +15,8 @@
  */
 
 #include <cstdio>
+#include <utility>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/table.h"
@@ -42,8 +44,6 @@ main(int argc, char** argv)
     kInstrs = ctx.instrsOr(kInstrs);
     core::CoreConfig p10 = core::power10();
     core::CoreConfig p9 = core::power9();
-    double base = suitePower(p10);
-    double p9Power = suitePower(p9);
 
     common::Table t(
         "Power-side ablation: SPECint SMT8 core power with one "
@@ -51,42 +51,57 @@ main(int argc, char** argv)
     t.header({"reverted feature", "power vs full POWER10",
               "share of the P9->P10 gap"});
 
-    auto row = [&](const char* name, core::CoreConfig cfg) {
-        double w = suitePower(cfg);
-        double gapShare = (w - base) / (p9Power - base);
-        t.row({name, common::fmtX(w / base),
-               common::fmtPct(gapShare)});
-    };
-
+    // The two reference machines plus the six one-feature reverts are
+    // eight independent design points: one grid, parallel under
+    // --jobs, rows emitted in declaration order.
+    std::vector<std::pair<const char*, core::CoreConfig>> variants;
+    variants.emplace_back("(base) full POWER10", p10);
+    variants.emplace_back("(context) POWER9 total", p9);
     {
         auto c = p10;
         c.clockGateQuality = p9.clockGateQuality;
-        row("clock gating (off-by-default design)", c);
+        variants.emplace_back("clock gating (off-by-default design)", c);
     }
     {
         auto c = p10;
         c.dataGateQuality = p9.dataGateQuality;
-        row("ghost/data switching suppression", c);
+        variants.emplace_back("ghost/data switching suppression", c);
     }
     {
         auto c = p10;
         c.switchEnergyScale = p9.switchEnergyScale;
-        row("circuit redesign (CSA / pass-gate sum)", c);
+        variants.emplace_back("circuit redesign (CSA / pass-gate sum)",
+                              c);
     }
     {
         auto c = p10;
         c.latchClockScale = p9.latchClockScale;
-        row("local clock buffer / latch preplacement", c);
+        variants.emplace_back("local clock buffer / latch preplacement",
+                              c);
     }
     {
         auto c = p10;
         c.unifiedRf = false;
-        row("unified sliced RF (RS removal)", c);
+        variants.emplace_back("unified sliced RF (RS removal)", c);
     }
     {
         auto c = p10;
         c.eaTaggedL1 = false;
-        row("EA-tagged L1 (translation on miss only)", c);
+        variants.emplace_back("EA-tagged L1 (translation on miss only)",
+                              c);
+    }
+
+    std::vector<double> power(variants.size(), 0.0);
+    bench::runGrid(ctx, variants.size(), [&](size_t i) {
+        power[i] = suitePower(variants[i].second);
+    });
+    const double base = power[0];
+    const double p9Power = power[1];
+
+    for (size_t i = 2; i < variants.size(); ++i) {
+        const double gapShare = (power[i] - base) / (p9Power - base);
+        t.row({variants[i].first, common::fmtX(power[i] / base),
+               common::fmtPct(gapShare)});
     }
     t.row({"(context) POWER9 total", common::fmtX(p9Power / base),
            "100%"});

@@ -1,16 +1,21 @@
 #include "bench_util.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
+#include "sweep/pool.h"
+
 namespace p10ee::bench {
 
 namespace {
 
-/** Instructions simulated since benchInit (all runs, all threads). */
-uint64_t g_simInstrs = 0;
+/** Instructions simulated since benchInit (all runs, all threads).
+    Atomic: grid points account concurrently under --jobs. */
+std::atomic<uint64_t> g_simInstrs{0};
 
 [[noreturn]] void
 usageExit(const std::string& tool, const std::string& why)
@@ -18,7 +23,7 @@ usageExit(const std::string& tool, const std::string& why)
     std::fprintf(stderr, "%s: %s\n", tool.c_str(), why.c_str());
     std::fprintf(stderr,
                  "usage: %s [--json <path>] [--instrs <n>] "
-                 "[--warmup <n>]\n",
+                 "[--warmup <n>] [--jobs <n>]\n",
                  tool.c_str());
     std::exit(2);
 }
@@ -40,7 +45,7 @@ parseCount(const std::string& tool, const char* flag, const char* text)
 void
 accountSimInstrs(uint64_t n)
 {
-    g_simInstrs += n;
+    g_simInstrs.fetch_add(n, std::memory_order_relaxed);
 }
 
 BenchContext
@@ -65,12 +70,36 @@ benchInit(int argc, char** argv, const std::string& tool)
             ctx.warmupOverride =
                 parseCount(tool, "--warmup", next("--warmup"));
             ctx.warmupSet = true;
+        } else if (arg == "--jobs") {
+            const uint64_t n =
+                parseCount(tool, "--jobs", next("--jobs"));
+            if (n < 1 || n > 256)
+                usageExit(tool, "--jobs must be in [1,256]");
+            ctx.jobs = static_cast<int>(n);
         } else
             usageExit(tool, "unknown argument '" + arg + "'");
     }
-    g_simInstrs = 0;
+    g_simInstrs.store(0, std::memory_order_relaxed);
     ctx.start = std::chrono::steady_clock::now();
     return ctx;
+}
+
+void
+runGrid(const BenchContext& ctx, size_t n,
+        const std::function<void(size_t)>& fn)
+{
+    if (ctx.jobs <= 1 || n <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    const int threads =
+        static_cast<int>(std::min<size_t>(
+            static_cast<size_t>(ctx.jobs), n));
+    sweep::ThreadPool pool(threads);
+    pool.parallelFor(n, [&fn](uint64_t i) {
+        fn(static_cast<size_t>(i));
+    });
 }
 
 int
@@ -80,9 +109,11 @@ benchFinish(BenchContext& ctx)
     std::chrono::duration<double> wall =
         std::chrono::steady_clock::now() - ctx.start;
     meta.wallSeconds = wall.count();
-    meta.simInstrs = g_simInstrs;
+    const uint64_t simInstrs =
+        g_simInstrs.load(std::memory_order_relaxed);
+    meta.simInstrs = simInstrs;
     meta.hostMips = meta.wallSeconds > 0.0
-                        ? static_cast<double>(g_simInstrs) /
+                        ? static_cast<double>(simInstrs) /
                               meta.wallSeconds / 1e6
                         : 0.0;
     if (ctx.jsonPath.empty())

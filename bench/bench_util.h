@@ -12,6 +12,8 @@
 #define P10EE_BENCH_BENCH_UTIL_H
 
 #include <chrono>
+#include <cstddef>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -32,6 +34,7 @@ namespace p10ee::bench {
  *   --json <path>   write a "p10ee-report/1" JSON report after the run
  *   --instrs <n>    override the bench's measurement window
  *   --warmup <n>    override the bench's warmup window
+ *   --jobs <n>      worker threads for runGrid-parallel benches
  *
  * Typical use:
  *   auto ctx = bench::benchInit(argc, argv, "bench_table1");
@@ -47,6 +50,7 @@ struct BenchContext
     uint64_t instrsOverride = 0; ///< 0 = use the bench default
     uint64_t warmupOverride = 0;
     bool warmupSet = false;
+    int jobs = 1; ///< worker threads for runGrid (1 = serial)
     std::chrono::steady_clock::time_point start;
 
     /** The measurement window: the --instrs override or @p def. */
@@ -80,8 +84,20 @@ BenchContext benchInit(int argc, char** argv, const std::string& tool);
  */
 int benchFinish(BenchContext& ctx);
 
-/** Add @p n simulated instructions to the host-MIPS accounting. */
+/** Add @p n simulated instructions to the host-MIPS accounting.
+    Thread-safe: grid points account concurrently under --jobs. */
 void accountSimInstrs(uint64_t n);
+
+/**
+ * Run fn(0) .. fn(n-1), on a sweep::ThreadPool of min(ctx.jobs, n)
+ * workers when --jobs asks for parallelism, serially (and
+ * pool-free) otherwise. Grid points must be independent and write
+ * only to index-keyed slots — every figure bench's sweep already has
+ * that shape, which is what makes its output identical at any --jobs
+ * value.
+ */
+void runGrid(const BenchContext& ctx, size_t n,
+             const std::function<void(size_t)>& fn);
 
 /** One workload's outcome on one configuration. */
 struct SuiteEntry

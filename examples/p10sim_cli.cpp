@@ -21,10 +21,12 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/table.h"
 #include "core/core.h"
 #include "model/dataset.h"
 #include "model/proxy.h"
+#include "obs/json.h"
 #include "obs/perfetto.h"
 #include "obs/report.h"
 #include "obs/timeseries.h"
@@ -196,8 +198,11 @@ main(int argc, char** argv)
         fail("unknown workload '" + workload + "' (see --list)");
     workloads::WorkloadProfile profile = *found;
     // A distinct seed reruns the same statistical workload over fresh
-    // stream realizations (confidence intervals for sweeps).
-    profile.seed += seed;
+    // stream realizations (confidence intervals for sweeps); stream
+    // derivation matches p10sweep_cli's seed axis, so any sweep shard
+    // replays in isolation with the same --seed value.
+    if (seed != 0)
+        profile.seed = common::splitSeed(profile.seed, seed);
     std::vector<std::unique_ptr<workloads::SyntheticWorkload>> sources;
     std::vector<workloads::InstrSource*> threads;
     for (int t = 0; t < smt; ++t) {
@@ -308,6 +313,12 @@ main(int argc, char** argv)
     // Output-path failures after a finished run are recoverable
     // diagnostics (exit 1), not usage errors (exit 2): the simulation
     // results above are still valid.
+    if (auto st = obs::distinctOutputPaths({traceOut, statsJson});
+        !st.ok()) {
+        std::fprintf(stderr, "p10sim_cli: error: %s\n",
+                     st.error().message.c_str());
+        return 1;
+    }
     if (!traceOut.empty()) {
         auto st = obs::writePerfettoTrace(rec, traceOut, 4.0);
         if (!st.ok()) {

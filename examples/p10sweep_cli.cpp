@@ -1,0 +1,192 @@
+/**
+ * @file
+ * `p10sweep_cli` — parallel sweep driver over the whole stack: expand a
+ * JSON sweep spec into (config x workload x SMT x seed) shards, run
+ * them on a work-stealing pool, and fold the results into one
+ * deterministic p10ee-report/1 document.
+ *
+ *   p10sweep_cli --spec sweep.json --jobs 8 --out report.json [--csv]
+ *
+ * The merged report is byte-identical for a given spec regardless of
+ * --jobs — diff it across thread counts to audit the determinism
+ * contract. Host timing (wall seconds, host MIPS) is real but lives on
+ * stderr only, never in the merged artifact.
+ *
+ * Exit codes: 2 for flag/spec validation errors (matching p10sim_cli),
+ * 1 for recoverable post-validation failures (output collisions,
+ * unwritable outputs), 0 otherwise — failed shards are recorded in the
+ * report, not turned into a process failure.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+
+#include "common/table.h"
+#include "obs/json.h"
+#include "sweep/pool.h"
+#include "sweep/runner.h"
+#include "sweep/spec.h"
+#include "workloads/spec_profiles.h"
+
+using namespace p10ee;
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: p10sweep_cli --spec <sweep.json> [options]\n"
+        "  --spec <path>       sweep specification (JSON; required)\n"
+        "  --jobs N            pool threads in [1,256] (default:\n"
+        "                      hardware concurrency)\n"
+        "  --out <path>        write the merged p10ee-report/1 JSON\n"
+        "  --csv               machine-readable summary\n"
+        "  --list              list workload profiles and exit\n"
+        "\n"
+        "spec keys: configs (power9|power10|ablate:<group>), workloads,\n"
+        "  smt, seeds, instrs, warmup, max_cycles, max_retries,\n"
+        "  infra_fail_prob, seed, sample_interval, shard_reports_dir\n");
+}
+
+/** One-line diagnostic, then usage, then the exit-2 contract. */
+[[noreturn]] void
+fail(const std::string& message)
+{
+    std::fprintf(stderr, "p10sweep_cli: error: %s\n", message.c_str());
+    usage();
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string specPath;
+    std::string out;
+    int jobs = sweep::ThreadPool::defaultThreads();
+    bool csv = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto needValue = [&](const char* flag) -> const char* {
+            if (i + 1 >= argc)
+                fail(std::string(flag) + " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--spec") {
+            specPath = needValue("--spec");
+        } else if (arg == "--jobs") {
+            const char* v = needValue("--jobs");
+            char* end = nullptr;
+            const long parsed = std::strtol(v, &end, 10);
+            if (end == v || *end != '\0' || parsed < 1 || parsed > 256)
+                fail(std::string("--jobs must be an integer in "
+                                 "[1,256], got '") +
+                     v + "'");
+            jobs = static_cast<int>(parsed);
+        } else if (arg == "--out") {
+            out = needValue("--out");
+        } else if (arg == "--csv") {
+            csv = true;
+        } else if (arg == "--list") {
+            for (const auto& p : workloads::specint2017())
+                std::printf("%s\n", p.name.c_str());
+            for (const auto& p : workloads::extraGroups())
+                std::printf("%s\n", p.name.c_str());
+            return 0;
+        } else {
+            fail("unknown option '" + arg + "'");
+        }
+    }
+    if (specPath.empty())
+        fail("--spec is required");
+
+    auto specOr = sweep::SweepSpec::fromJsonFile(specPath);
+    if (!specOr)
+        fail(specOr.error().str());
+    const sweep::SweepSpec& spec = specOr.value();
+
+    sweep::SweepRunner runner(spec);
+    const uint64_t total = spec.shardCount();
+    uint64_t done = 0;
+    runner.onProgress = [&done, total](const sweep::ShardResult& s) {
+        // Serialized by the runner; completion order is scheduling-
+        // dependent, which is fine for a progress stream.
+        ++done;
+        const std::string retries =
+            s.retries > 0
+                ? " (retries " + std::to_string(s.retries) + ")"
+                : "";
+        std::fprintf(stderr, "[%llu/%llu] %s %s%s\n",
+                     static_cast<unsigned long long>(done),
+                     static_cast<unsigned long long>(total),
+                     s.key.c_str(),
+                     s.ok ? "ok" : common::errorCodeName(s.error.code),
+                     retries.c_str());
+    };
+
+    const auto wallStart = std::chrono::steady_clock::now();
+    auto resultOr = runner.run(jobs);
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wallStart)
+                            .count();
+    if (!resultOr) {
+        const common::Error& e = resultOr.error();
+        const bool usageClass =
+            e.code == common::ErrorCode::InvalidConfig ||
+            e.code == common::ErrorCode::InvalidArgument ||
+            e.code == common::ErrorCode::NotFound;
+        std::fprintf(stderr, "p10sweep_cli: error: %s\n",
+                     e.str().c_str());
+        // Bad names/fields are usage errors (2); collisions and
+        // unwritable outputs are recoverable runtime errors (1).
+        return usageClass ? 2 : 1;
+    }
+    const sweep::SweepResult& result = resultOr.value();
+
+    // Host timing is reported here and only here: the merged artifact
+    // must stay a pure function of the spec.
+    std::fprintf(stderr,
+                 "sweep: %zu shards (%llu ok, %llu failed) on %d "
+                 "jobs in %.2fs, %.2f host-MIPS\n",
+                 result.shards.size(),
+                 static_cast<unsigned long long>(result.okCount),
+                 static_cast<unsigned long long>(result.failed), jobs,
+                 wall,
+                 wall > 0.0
+                     ? static_cast<double>(result.simInstrs) / wall / 1e6
+                     : 0.0);
+
+    common::Table t("p10sweep: " + specPath);
+    t.header({"metric", "value"});
+    t.row({"shards", std::to_string(result.shards.size())});
+    t.row({"ok", std::to_string(result.okCount)});
+    t.row({"failed", std::to_string(result.failed)});
+    t.row({"retries", std::to_string(result.retriesTotal)});
+    t.row({"geomean_ipc", common::fmt(result.geoMeanIpc(), 4)});
+    t.row({"mean_power_w", common::fmt(result.meanPowerW(), 3)});
+    if (csv)
+        t.printCsv();
+    else
+        t.print();
+
+    if (!out.empty()) {
+        obs::JsonReport report =
+            sweep::SweepRunner::merge(spec, result, "p10sweep_cli");
+        auto st = report.writeTo(out);
+        if (!st.ok()) {
+            std::fprintf(stderr, "p10sweep_cli: error: %s\n",
+                         st.error().message.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "wrote report: %s\n", out.c_str());
+    }
+    return 0;
+}

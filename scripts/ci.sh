@@ -54,10 +54,50 @@ python3 scripts/validate_report.py \
     "${smoke_dir}"/BENCH_*.json "${smoke_dir}"/CLI_*.json
 python3 scripts/validate_report.py --trace "${smoke_dir}/trace.json"
 
+# Sweep smoke: the merged report must be byte-identical at any --jobs
+# value (same build flavour — never compare across flavours, FP
+# contraction differs) and pass the sweep-specific schema checks.
+echo "=== sweep smoke: --jobs determinism + merged-report validation ==="
+cat > "${smoke_dir}/sweep_smoke.json" <<'EOF'
+{
+  "configs": ["power9", "power10"],
+  "workloads": ["perlbench", "mcf"],
+  "smt": [1, 2],
+  "seeds": 2,
+  "instrs": 3000,
+  "warmup": 500,
+  "seed": 7
+}
+EOF
+build-release/examples/p10sweep_cli --spec "${smoke_dir}/sweep_smoke.json" \
+    --jobs 1 --out "${smoke_dir}/SWEEP_j1.json" >/dev/null
+build-release/examples/p10sweep_cli --spec "${smoke_dir}/sweep_smoke.json" \
+    --jobs 8 --out "${smoke_dir}/SWEEP_j8.json" >/dev/null
+cmp "${smoke_dir}/SWEEP_j1.json" "${smoke_dir}/SWEEP_j8.json"
+python3 scripts/validate_report.py --sweep "${smoke_dir}/SWEEP_j1.json"
+
 # halt_on_error makes any UBSan finding fail ctest instead of printing
 # and continuing; detect_leaks stays on by default under ASan.
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 run_flavour asan-ubsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DP10EE_SANITIZE=address,undefined
 
-echo "=== CI green: release + asan-ubsan ==="
+# TSan flavour: only the parallel paths (thread pool, sweep runner,
+# parallel fault campaign) need race coverage, so build just those
+# targets instead of the whole tree. gtest_discover_tests does not
+# cooperate with partial builds, so the test binary runs directly.
+echo "=== tsan: configure + build parallel targets ==="
+export TSAN_OPTIONS="halt_on_error=1"
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DP10EE_SANITIZE=thread
+cmake --build build-tsan -j "$(nproc)" \
+    --target test_sweep bench_fault_campaign p10sweep_cli
+echo "=== tsan: test_sweep ==="
+build-tsan/tests/test_sweep
+echo "=== tsan: parallel campaign + sweep smoke ==="
+build-tsan/bench/bench_fault_campaign --instrs 20 --warmup 500 \
+    --jobs 4 >/dev/null
+build-tsan/examples/p10sweep_cli --spec "${smoke_dir}/sweep_smoke.json" \
+    --jobs 4 >/dev/null
+
+echo "=== CI green: release + asan-ubsan + tsan ==="

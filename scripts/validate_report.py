@@ -6,11 +6,16 @@ Default mode checks "p10ee-report/1" reports (the BENCH_*.json /
 shape, the meta block, and the scalar/table/series sections. With
 --trace, files are checked as Chrome/Perfetto JSON traces instead
 (loadable JSON, a traceEvents array, counter and slice events well
-formed).
+formed). With --sweep, files get the default report checks plus the
+merged-sweep invariants from src/sweep/runner.h: a "sweep shards"
+table whose row count matches the sweep.shards scalar, unique shard
+ids, valid status values, and the zeroed wall-clock meta fields that
+make merged reports a pure function of the spec.
 
 Usage:
   validate_report.py report.json [more.json ...]
   validate_report.py --trace trace.json [more.json ...]
+  validate_report.py --sweep merged.json [more.json ...]
 
 Exits non-zero naming every failing file; CI runs it over every
 artifact the bench smoke stage emits. Stdlib only.
@@ -101,6 +106,63 @@ def validate_report(path, doc, errors):
                           f"series[{i}].{axis} non-numeric entry")
 
 
+SWEEP_COLUMNS = ["shard", "config", "workload", "smt", "seed",
+                 "status", "retries", "cycles", "ipc", "power_w"]
+SWEEP_STATUSES = {"ok", "invalid_argument", "invalid_config",
+                  "not_found", "timeout", "transient", "internal"}
+
+
+def validate_sweep(path, doc, errors):
+    """Merged sweep report: the default checks plus sweep invariants."""
+    before = len(errors)
+    validate_report(path, doc, errors)
+    if len(errors) != before:
+        return
+
+    scalars = doc["scalars"]
+    for name in ("sweep.shards", "sweep.ok", "sweep.failed",
+                 "sweep.retries"):
+        if not isinstance(scalars.get(name), NUM):
+            _fail(errors, path, f"missing numeric scalar '{name}'")
+
+    table = next((t for t in doc["tables"]
+                  if t["title"] == "sweep shards"), None)
+    if table is None:
+        return _fail(errors, path, "no 'sweep shards' table")
+    if table["columns"] != SWEEP_COLUMNS:
+        return _fail(errors, path,
+                     f"'sweep shards' columns {table['columns']} != "
+                     f"{SWEEP_COLUMNS}")
+
+    rows = table["rows"]
+    if scalars.get("sweep.shards") != len(rows):
+        _fail(errors, path,
+              f"sweep.shards={scalars.get('sweep.shards')} but the "
+              f"'sweep shards' table has {len(rows)} rows")
+    shard_ids = [row[0] for row in rows]
+    if len(set(shard_ids)) != len(shard_ids):
+        _fail(errors, path, "duplicate shard ids in 'sweep shards'")
+    ok_rows = 0
+    for j, row in enumerate(rows):
+        status = row[SWEEP_COLUMNS.index("status")]
+        if status not in SWEEP_STATUSES:
+            _fail(errors, path,
+                  f"'sweep shards' rows[{j}] bad status '{status}'")
+        ok_rows += status == "ok"
+    if scalars.get("sweep.ok") != ok_rows:
+        _fail(errors, path,
+              f"sweep.ok={scalars.get('sweep.ok')} but {ok_rows} rows "
+              f"have status ok")
+
+    # Merged reports must be a pure function of the spec: real timing
+    # goes to stderr, never into the artifact.
+    meta = doc["meta"]
+    if meta.get("wall_s") != 0:
+        _fail(errors, path, "merged report meta.wall_s is not 0")
+    if meta.get("host_mips") != 0:
+        _fail(errors, path, "merged report meta.host_mips is not 0")
+
+
 def validate_trace(path, doc, errors):
     if not isinstance(doc, dict) or "traceEvents" not in doc:
         return _fail(errors, path, "no traceEvents array")
@@ -133,14 +195,19 @@ def validate_trace(path, doc, errors):
 
 def main(argv):
     args = argv[1:]
-    trace_mode = False
-    if args and args[0] == "--trace":
-        trace_mode = True
+    mode = "report"
+    if args and args[0] in ("--trace", "--sweep"):
+        mode = args[0][2:]
         args = args[1:]
     if not args:
         print(__doc__.strip(), file=sys.stderr)
         return 2
 
+    validators = {
+        "report": validate_report,
+        "trace": validate_trace,
+        "sweep": validate_sweep,
+    }
     errors = []
     for path in args:
         try:
@@ -149,10 +216,7 @@ def main(argv):
         except (OSError, ValueError) as exc:
             _fail(errors, path, f"unreadable: {exc}")
             continue
-        if trace_mode:
-            validate_trace(path, doc, errors)
-        else:
-            validate_report(path, doc, errors)
+        validators[mode](path, doc, errors)
 
     if errors:
         for e in errors:
@@ -160,8 +224,7 @@ def main(argv):
         print(f"validate_report: {len(errors)} problem(s) in "
               f"{len(args)} file(s)", file=sys.stderr)
         return 1
-    kind = "trace" if trace_mode else "report"
-    print(f"validate_report: {len(args)} {kind} file(s) OK")
+    print(f"validate_report: {len(args)} {mode} file(s) OK")
     return 0
 
 

@@ -17,6 +17,33 @@
 namespace p10ee::common {
 
 /**
+ * Derive the seed of sub-stream @p streamId from @p master.
+ *
+ * SplitMix64-style: the master seed is advanced by streamId + 1 golden
+ * ratio increments and pushed through the SplitMix64 finalizer twice,
+ * so neighbouring stream ids land on statistically independent seeds.
+ * This is THE way to fan one seed out into per-shard / per-injection /
+ * per-replica generators: additive schemes (`seed + i`, `seed + i * K`)
+ * put sibling streams a constant apart in seed space, and any
+ * structure the seeding function fails to break shows up as
+ * correlated replicas — exactly what a sweep's confidence intervals
+ * must not contain.
+ */
+inline uint64_t
+splitSeed(uint64_t master, uint64_t streamId)
+{
+    uint64_t z = master + 0x9e3779b97f4a7c15ull * (streamId + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    // Second finalizer round decorrelates masters that differ only in
+    // low bits (workload seeds are small consecutive integers).
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/**
  * Xoshiro256** PRNG (Blackman & Vigna). Small, fast, and with exactly
  * specified output for a given seed, unlike the standard distributions.
  */
@@ -24,7 +51,7 @@ class Xoshiro
 {
   public:
     /** Construct from a 64-bit seed via SplitMix64 state expansion. */
-    explicit Xoshiro(uint64_t seed)
+    explicit Xoshiro(uint64_t seed) : seed_(seed)
     {
         // SplitMix64 to fill the four state words; avoids the all-zero
         // state that Xoshiro cannot escape.
@@ -36,6 +63,20 @@ class Xoshiro
             word = z ^ (z >> 31);
         }
     }
+
+    /**
+     * Independent generator for sub-stream @p streamId, derived from
+     * this generator's construction seed (not its current state, so a
+     * split is reproducible no matter how many draws preceded it).
+     */
+    Xoshiro
+    split(uint64_t streamId) const
+    {
+        return Xoshiro(splitSeed(seed_, streamId));
+    }
+
+    /** The seed this generator was constructed from. */
+    uint64_t seed() const { return seed_; }
 
     /** Next raw 64-bit output. */
     uint64_t
@@ -109,6 +150,7 @@ class Xoshiro
         return (x << k) | (x >> (64 - k));
     }
 
+    uint64_t seed_;
     uint64_t state_[4];
 };
 

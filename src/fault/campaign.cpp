@@ -3,7 +3,10 @@
 #include <cmath>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <utility>
+
+#include "sweep/pool.h"
 
 #include "common/assert.h"
 #include "isa/instr.h"
@@ -66,6 +69,8 @@ CampaignSpec::validate() const
         add("cycleBudgetFactor must be finite and >= 1");
     if (maxRetries < 0)
         add("maxRetries must be >= 0");
+    if (jobs < 1 || jobs > 256)
+        add("jobs must be in [1,256]");
     if (!(infraFailProb >= 0.0 && infraFailProb < 1.0))
         add("infraFailProb must be in [0,1)");
     if (!(sdcPowerTolFrac > 0.0))
@@ -83,7 +88,7 @@ CampaignRunner::CampaignRunner(const core::CoreConfig& cfg,
 {
     // Fold the campaign seed into the workload so distinct campaign
     // seeds exercise distinct (but internally reproducible) streams.
-    profile_.seed = profile.seed ^ (spec.seed * 0x9e3779b97f4a7c15ull);
+    profile_.seed = common::splitSeed(profile.seed, spec.seed);
 }
 
 core::RunResult
@@ -377,47 +382,63 @@ CampaignRunner::run()
     rep.goldenCycles = golden_.cycles;
     rep.goldenPowerPj = goldenPowerPj_;
     rep.predictedSummary = sites_->predictedSummary();
-    rep.records.reserve(static_cast<size_t>(spec_.injections));
 
-    for (int i = 0; i < spec_.injections; ++i) {
-        // Every injection owns a generator derived from the master
-        // seed, so any single injection replays in isolation.
-        common::Xoshiro rng(spec_.seed +
-                            0x9e3779b97f4a7c15ull *
-                                static_cast<uint64_t>(i + 1));
+    // Injections are independent by construction — each owns a
+    // generator derived from the master seed, so any single injection
+    // replays in isolation and the loop parallelizes with no
+    // coordination beyond where the record lands. Records are produced
+    // by index and folded in index order below, so the report is
+    // bit-for-bit identical at any jobs value.
+    rep.records.resize(static_cast<size_t>(spec_.injections));
+    std::mutex progressMu;
+    sweep::ThreadPool pool(spec_.jobs);
+    pool.parallelFor(
+        static_cast<uint64_t>(spec_.injections), [&](uint64_t idx) {
+            const int i = static_cast<int>(idx);
+            common::Xoshiro rng(common::splitSeed(
+                spec_.seed, static_cast<uint64_t>(i)));
 
-        const InjectionSite site =
-            sites_->sample(rng, spec_.measureInstrs);
+            const InjectionSite site =
+                sites_->sample(rng, spec_.measureInstrs);
 
-        InjectionRecord rec;
-        rec.id = i;
-        rec.component = site.component;
-        rec.cls = site.cls;
-        rec.atInstr = site.atInstr;
+            InjectionRecord rec;
+            rec.id = i;
+            rec.component = site.component;
+            rec.cls = site.cls;
+            rec.atInstr = site.atInstr;
 
-        int attempts = 0;
-        for (;;) {
-            auto out = executeOnce(site, rng);
-            if (out.ok()) {
-                rec.outcome = out.value();
-                break;
+            int attempts = 0;
+            for (;;) {
+                auto out = executeOnce(site, rng);
+                if (out.ok()) {
+                    rec.outcome = out.value();
+                    break;
+                }
+                if (out.error().code != common::ErrorCode::Transient ||
+                    attempts >= spec_.maxRetries) {
+                    rec.skipped = true; // graceful skip-and-record
+                    break;
+                }
+                ++attempts;
+                // Exponential backoff, modeled deterministically: burn
+                // a doubling number of generator draws per attempt
+                // (the wall-clock harness analogue would sleep
+                // 2^attempts units before re-dispatching).
+                for (int b = 0; b < (1 << attempts); ++b)
+                    rng.next();
             }
-            if (out.error().code != common::ErrorCode::Transient ||
-                attempts >= spec_.maxRetries) {
-                rec.skipped = true; // graceful skip-and-record
-                break;
-            }
-            ++attempts;
-            ++rep.retriesTotal;
-            // Exponential backoff, modeled deterministically: burn a
-            // doubling number of generator draws per attempt (the
-            // wall-clock harness analogue would sleep 2^attempts
-            // units before re-dispatching).
-            for (int b = 0; b < (1 << attempts); ++b)
-                rng.next();
-        }
-        rec.retries = attempts;
+            rec.retries = attempts;
 
+            if (spec_.onProgress) {
+                std::lock_guard<std::mutex> lk(progressMu);
+                spec_.onProgress(rec);
+            }
+            rep.records[idx] = std::move(rec);
+        });
+
+    // Index-ordered fold of the tallies: identical at any jobs value.
+    for (const InjectionRecord& rec : rep.records) {
+        rep.retriesTotal += rec.retries;
         if (rec.skipped) {
             ++rep.skipped;
         } else {
@@ -433,9 +454,6 @@ CampaignRunner::run()
                 rep.predicted.emplace(rec.component, p);
             }
         }
-        if (spec_.onProgress)
-            spec_.onProgress(rec);
-        rep.records.push_back(std::move(rec));
     }
     return rep;
 }

@@ -23,8 +23,9 @@
  *    between recovery, SDC, and hang).
  *
  * Everything derives from CampaignSpec::seed: per-injection generators
- * are seeded as seed x index, so a campaign is bit-for-bit reproducible
- * and any single injection can be replayed in isolation. Individual
+ * are seeded via common::splitSeed(seed, index), so a campaign is
+ * bit-for-bit reproducible (at any CampaignSpec::jobs value) and any
+ * single injection can be replayed in isolation. Individual
  * injections never abort the campaign — transient infrastructure
  * failures are retried with exponential backoff and, when the retry
  * budget is exhausted, recorded as skipped.
@@ -70,6 +71,15 @@ struct CampaignSpec
     int maxRetries = 2; ///< retries after a transient infra failure
 
     /**
+     * Worker threads for the injection loop (sweep::ThreadPool).
+     * Injections are independent by construction — each owns a
+     * generator derived from (seed, index) and records land by index —
+     * so the report is bit-for-bit identical at any jobs value; the
+     * thread count is purely a throughput knob.
+     */
+    int jobs = 1;
+
+    /**
      * Probability that one injection attempt hits a synthetic transient
      * infrastructure failure (drawn from the injection's own seeded
      * stream). Zero in normal use; tests raise it to exercise the
@@ -83,9 +93,11 @@ struct CampaignSpec
 
     /**
      * Progress hook: called once per completed injection with its
-     * finished ledger entry (after retry/skip resolution), in campaign
-     * order. Long campaigns report live progress through it; it must
-     * not throw. Empty disables.
+     * finished ledger entry (after retry/skip resolution). Calls are
+     * serialized under a mutex; with jobs > 1 they arrive in
+     * completion order, not campaign order (the report's records are
+     * always in campaign order regardless). It must not throw. Empty
+     * disables.
      */
     std::function<void(const InjectionRecord&)> onProgress;
 

@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/assert.h"
@@ -157,6 +158,334 @@ JsonWriter::str() const
 {
     P10_ASSERT(needComma_.empty(), "unclosed container in JSON document");
     return out_;
+}
+
+common::Status
+distinctOutputPaths(const std::vector<std::string>& paths)
+{
+    for (size_t i = 0; i < paths.size(); ++i) {
+        if (paths[i].empty())
+            continue;
+        for (size_t j = i + 1; j < paths.size(); ++j)
+            if (paths[i] == paths[j])
+                return common::Error::invalidArgument(
+                    "two outputs target the same file '" + paths[i] +
+                    "'; give each output a distinct path");
+    }
+    return common::okStatus();
+}
+
+namespace {
+
+/** Recursive-descent JSON parser over a string_view. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string_view text) : text_(text) {}
+
+    common::Expected<JsonValue>
+    parse()
+    {
+        skipWs();
+        JsonValue v;
+        if (auto s = parseValue(v, 0); !s.ok())
+            return s.error();
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing content after JSON document");
+        return v;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 64;
+
+    common::Error
+    fail(const std::string& msg) const
+    {
+        size_t line = 1, col = 1;
+        for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+            if (text_[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+        return common::Error::invalidArgument(
+            "JSON parse error at " + std::to_string(line) + ":" +
+            std::to_string(col) + ": " + msg);
+    }
+
+    bool atEnd() const { return pos_ >= text_.size(); }
+    char peek() const { return text_[pos_]; }
+
+    void
+    skipWs()
+    {
+        while (!atEnd() && (peek() == ' ' || peek() == '\t' ||
+                            peek() == '\n' || peek() == '\r'))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (atEnd() || peek() != c)
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    bool
+    consumeWord(std::string_view w)
+    {
+        if (text_.substr(pos_, w.size()) != w)
+            return false;
+        pos_ += w.size();
+        return true;
+    }
+
+    common::Status
+    parseValue(JsonValue& out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting deeper than 64 levels");
+        if (atEnd())
+            return fail("unexpected end of input");
+        switch (peek()) {
+          case '{': return parseObject(out, depth);
+          case '[': return parseArray(out, depth);
+          case '"': {
+              out.kind = JsonValue::Kind::String;
+              return parseString(out.string);
+          }
+          case 't':
+            if (!consumeWord("true"))
+                return fail("invalid literal");
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return common::okStatus();
+          case 'f':
+            if (!consumeWord("false"))
+                return fail("invalid literal");
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return common::okStatus();
+          case 'n':
+            if (!consumeWord("null"))
+                return fail("invalid literal");
+            out.kind = JsonValue::Kind::Null;
+            return common::okStatus();
+          default: return parseNumber(out);
+        }
+    }
+
+    common::Status
+    parseObject(JsonValue& out, int depth)
+    {
+        ++pos_; // '{'
+        out.kind = JsonValue::Kind::Object;
+        skipWs();
+        if (consume('}'))
+            return common::okStatus();
+        for (;;) {
+            skipWs();
+            if (atEnd() || peek() != '"')
+                return fail("expected object key");
+            std::string key;
+            if (auto s = parseString(key); !s.ok())
+                return s;
+            for (const auto& [existing, v] : out.object) {
+                (void)v;
+                if (existing == key)
+                    return fail("duplicate object key '" + key + "'");
+            }
+            skipWs();
+            if (!consume(':'))
+                return fail("expected ':' after object key");
+            skipWs();
+            JsonValue member;
+            if (auto s = parseValue(member, depth + 1); !s.ok())
+                return s;
+            out.object.emplace_back(std::move(key), std::move(member));
+            skipWs();
+            if (consume('}'))
+                return common::okStatus();
+            if (!consume(','))
+                return fail("expected ',' or '}' in object");
+        }
+    }
+
+    common::Status
+    parseArray(JsonValue& out, int depth)
+    {
+        ++pos_; // '['
+        out.kind = JsonValue::Kind::Array;
+        skipWs();
+        if (consume(']'))
+            return common::okStatus();
+        for (;;) {
+            skipWs();
+            JsonValue elem;
+            if (auto s = parseValue(elem, depth + 1); !s.ok())
+                return s;
+            out.array.push_back(std::move(elem));
+            skipWs();
+            if (consume(']'))
+                return common::okStatus();
+            if (!consume(','))
+                return fail("expected ',' or ']' in array");
+        }
+    }
+
+    common::Status
+    parseString(std::string& out)
+    {
+        ++pos_; // opening quote
+        out.clear();
+        while (!atEnd()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return common::okStatus();
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("unescaped control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (atEnd())
+                break;
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                  unsigned cp = 0;
+                  if (!parseHex4(cp))
+                      return fail("bad \\u escape");
+                  if (cp >= 0xD800 && cp <= 0xDBFF) {
+                      // Surrogate pair: the low half must follow.
+                      unsigned lo = 0;
+                      if (!consumeWord("\\u") || !parseHex4(lo) ||
+                          lo < 0xDC00 || lo > 0xDFFF)
+                          return fail("unpaired UTF-16 surrogate");
+                      cp = 0x10000 + ((cp - 0xD800) << 10) +
+                           (lo - 0xDC00);
+                  } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                      return fail("unpaired UTF-16 surrogate");
+                  }
+                  appendUtf8(out, cp);
+                  break;
+              }
+              default: return fail("unknown escape character");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseHex4(unsigned& out)
+    {
+        if (pos_ + 4 > text_.size())
+            return false;
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = text_[pos_++];
+            out <<= 4;
+            if (c >= '0' && c <= '9')
+                out |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                out |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                out |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                return false;
+        }
+        return true;
+    }
+
+    static void
+    appendUtf8(std::string& out, unsigned cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    common::Status
+    parseNumber(JsonValue& out)
+    {
+        const size_t start = pos_;
+        while (!atEnd() && ((peek() >= '0' && peek() <= '9') ||
+                            peek() == '.' || peek() == 'e' ||
+                            peek() == 'E' || peek() == '+' ||
+                            peek() == '-'))
+            ++pos_;
+        if (pos_ == start)
+            return fail("unexpected character");
+        // strtod needs a terminated buffer; numbers are short.
+        const std::string token(text_.substr(start, pos_ - start));
+        errno = 0;
+        char* end = nullptr;
+        const double d = std::strtod(token.c_str(), &end);
+        if (errno != 0 || end != token.c_str() + token.size())
+            return fail("malformed number '" + token + "'");
+        out.kind = JsonValue::Kind::Number;
+        out.number = d;
+        return common::okStatus();
+    }
+
+    std::string_view text_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+const JsonValue*
+JsonValue::find(std::string_view key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto& [k, v] : object)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+common::Expected<uint64_t>
+JsonValue::asU64(const std::string& what) const
+{
+    if (kind != Kind::Number)
+        return common::Error::invalidArgument(what + " must be a number");
+    if (number < 0.0 || number != static_cast<double>(
+                                      static_cast<uint64_t>(number)))
+        return common::Error::invalidArgument(
+            what + " must be a non-negative integer");
+    return static_cast<uint64_t>(number);
+}
+
+common::Expected<JsonValue>
+parseJson(std::string_view text)
+{
+    return JsonParser(text).parse();
 }
 
 common::Status

@@ -1,20 +1,29 @@
 /**
  * @file
- * Minimal deterministic JSON serializer for the observability layer.
+ * Minimal deterministic JSON for the observability layer: a serializer
+ * and a parser, both dependency-free.
  *
  * The exporters (Perfetto traces, machine-readable bench reports) must
  * emit byte-identical output for identical inputs — the determinism
- * regression diffs whole files — so this writer controls every
+ * regression diffs whole files — so the writer controls every
  * formatting decision: no locale dependence, fixed number formatting,
  * insertion-ordered keys, no whitespace.
+ *
+ * The parser exists for the *input* side of the same contract: sweep
+ * specs (src/sweep) are user-authored JSON files, and malformed input
+ * must surface as a recoverable common::Error with a position, never an
+ * abort. It builds a small insertion-ordered DOM (JsonValue) — ample
+ * for config-sized documents, not meant for telemetry-sized ones.
  */
 
 #ifndef P10EE_OBS_JSON_H
 #define P10EE_OBS_JSON_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/error.h"
@@ -70,6 +79,55 @@ class JsonWriter
  */
 common::Status writeTextFile(const std::string& path,
                              const std::string& content);
+
+/**
+ * Reject duplicate entries in a set of output paths. Paths compare
+ * textually (no filesystem canonicalization — two spellings of one
+ * file are the caller's foot-gun); empty strings mean "output not
+ * requested" and are ignored. Every writer of user-named artifacts
+ * (CLI flags, sweep shard outputs) checks this *before* producing
+ * anything, so a collision is a recoverable Error instead of one
+ * output silently overwriting another.
+ */
+common::Status distinctOutputPaths(const std::vector<std::string>& paths);
+
+/** Parsed JSON value: a small insertion-ordered DOM. */
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    /** Insertion-ordered; duplicate keys are rejected at parse time. */
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Member @p key of an object, or nullptr (also for non-objects). */
+    const JsonValue* find(std::string_view key) const;
+
+    /**
+     * The number as a non-negative integer; error when this is not a
+     * number, is negative, or has a fractional part. @p what names the
+     * field in the error message.
+     */
+    common::Expected<uint64_t> asU64(const std::string& what) const;
+};
+
+/**
+ * Parse one JSON document (the whole string must be consumed). Errors
+ * carry 1-based line:column positions. Nesting is bounded (64 levels)
+ * so stack depth stays under control on hostile input.
+ */
+common::Expected<JsonValue> parseJson(std::string_view text);
 
 } // namespace p10ee::obs
 

@@ -8,10 +8,25 @@ TimeSeriesRecorder::TimeSeriesRecorder(uint64_t intervalCycles)
     : interval_(intervalCycles == 0 ? 1 : intervalCycles)
 {}
 
+void
+TimeSeriesRecorder::checkOwner()
+{
+    const std::thread::id self = std::this_thread::get_id();
+    std::thread::id expected; // default id = not yet bound
+    if (owner_.compare_exchange_strong(expected, self,
+                                       std::memory_order_relaxed))
+        return; // first mutation binds the owner
+    P10_ASSERT(expected == self,
+               "TimeSeriesRecorder published from a second thread; the "
+               "single-owner-per-shard contract gives every sweep shard "
+               "its own recorder");
+}
+
 TrackId
 TimeSeriesRecorder::counter(const std::string& name,
                             const std::string& unit)
 {
+    checkOwner();
     for (uint32_t i = 0; i < counters_.size(); ++i)
         if (counters_[i].name == name)
             return {i};
@@ -27,6 +42,7 @@ TimeSeriesRecorder::counter(const std::string& name,
 void
 TimeSeriesRecorder::sample(TrackId track, uint64_t cycle, double value)
 {
+    checkOwner();
     P10_ASSERT(track.v < counters_.size(), "sample on unknown track");
     CounterTrack& t = counters_[track.v];
     t.cycle.push_back(cycle);
@@ -36,6 +52,7 @@ TimeSeriesRecorder::sample(TrackId track, uint64_t cycle, double value)
 TrackId
 TimeSeriesRecorder::slices(const std::string& name)
 {
+    checkOwner();
     for (uint32_t i = 0; i < sliceTracks_.size(); ++i)
         if (sliceTracks_[i].name == name)
             return {i};
@@ -49,6 +66,7 @@ void
 TimeSeriesRecorder::beginSlice(TrackId track, const std::string& label,
                                uint64_t cycle)
 {
+    checkOwner();
     P10_ASSERT(track.v < sliceTracks_.size(),
                "beginSlice on unknown track");
     SliceTrack& t = sliceTracks_[track.v];
@@ -65,6 +83,7 @@ TimeSeriesRecorder::beginSlice(TrackId track, const std::string& label,
 void
 TimeSeriesRecorder::endSlice(TrackId track, uint64_t cycle)
 {
+    checkOwner();
     P10_ASSERT(track.v < sliceTracks_.size(),
                "endSlice on unknown track");
     SliceTrack& t = sliceTracks_[track.v];

@@ -17,13 +17,28 @@
  *  - slice tracks: labeled [begin, end) episodes (droop events,
  *    throttle engagements, pipeline-flush windows), rendered as
  *    duration slices.
+ *
+ * Threading contract — single owner per shard: a recorder belongs to
+ * exactly one publishing thread. The parallel sweep engine (src/sweep)
+ * gives every shard its own recorder, created and published into on
+ * that shard's worker thread; merging happens after the pool joins, by
+ * reading finished recorders from the coordinating thread (reads are
+ * const and unchecked). The owner is bound on the first mutating call
+ * and every later mutation asserts it, so publishing one recorder from
+ * two threads — the classic way a pool misuse would silently interleave
+ * track data — panics at the first cross-thread publish instead of
+ * corrupting tracks. The check is one relaxed atomic load per publish
+ * (amortized over the sampling interval) and stays on in release
+ * builds, like every other invariant in this tree.
  */
 
 #ifndef P10EE_OBS_TIMESERIES_H
 #define P10EE_OBS_TIMESERIES_H
 
+#include <atomic>
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace p10ee::obs {
@@ -68,6 +83,27 @@ class TimeSeriesRecorder
     /** @param intervalCycles suggested sampling period for producers. */
     explicit TimeSeriesRecorder(uint64_t intervalCycles = 1024);
 
+    /** Moves carry the owner binding (the atomic member would
+        otherwise delete them); a moved recorder still belongs to the
+        thread that published into it. */
+    TimeSeriesRecorder(TimeSeriesRecorder&& other) noexcept
+        : interval_(other.interval_),
+          owner_(other.owner_.load(std::memory_order_relaxed)),
+          counters_(std::move(other.counters_)),
+          sliceTracks_(std::move(other.sliceTracks_))
+    {}
+
+    TimeSeriesRecorder&
+    operator=(TimeSeriesRecorder&& other) noexcept
+    {
+        interval_ = other.interval_;
+        owner_.store(other.owner_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+        counters_ = std::move(other.counters_);
+        sliceTracks_ = std::move(other.sliceTracks_);
+        return *this;
+    }
+
     /** Sampling period producers should honor (cycles). */
     uint64_t interval() const { return interval_; }
 
@@ -109,7 +145,14 @@ class TimeSeriesRecorder
     uint64_t sampleCount() const;
 
   private:
+    /**
+     * Bind the publishing thread on first mutation; panic when a
+     * second thread publishes (see the threading contract above).
+     */
+    void checkOwner();
+
     uint64_t interval_;
+    std::atomic<std::thread::id> owner_{std::thread::id()};
     std::vector<CounterTrack> counters_;
     std::vector<SliceTrack> sliceTracks_;
 };

@@ -1,0 +1,182 @@
+#include "sweep/pool.h"
+
+#include <utility>
+
+#include "common/assert.h"
+
+namespace p10ee::sweep {
+
+namespace {
+
+/**
+ * Worker identity for nested submits: which pool this thread belongs
+ * to (nullptr off-pool) and its deque index in it.
+ */
+thread_local ThreadPool* t_pool = nullptr;
+thread_local size_t t_self = 0;
+
+} // namespace
+
+ThreadPool::ThreadPool(int threads)
+{
+    const size_t n = threads < 1 ? 1 : static_cast<size_t>(threads);
+    deques_.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        deques_.push_back(std::make_unique<Deque>());
+    workers_.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        // Drain-then-stop: destruction waits for every submitted task
+        // (dropping queued shards on teardown would make results
+        // depend on destructor timing). Errors raised since the last
+        // wait() are intentionally dropped here — call wait() to
+        // observe them.
+        std::unique_lock<std::mutex> lk(mu_);
+        doneCv_.wait(lk, [this] {
+            return pending_.load(std::memory_order_acquire) == 0;
+        });
+        stopping_ = true;
+        workCv_.notify_all();
+    }
+    for (auto& w : workers_)
+        w.join();
+}
+
+int
+ThreadPool::defaultThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    P10_ASSERT(static_cast<bool>(task), "submit of an empty task");
+    pending_.fetch_add(1, std::memory_order_acq_rel);
+    // Count before pushing so queued_ never under-reports work (a
+    // transient over-report only costs a spurious wake-up).
+    queued_.fetch_add(1, std::memory_order_acq_rel);
+
+    if (t_pool == this) {
+        // Nested submit: the owner's end of its own deque, so nested
+        // work runs depth-first (and cache-warm) before older tasks.
+        Deque& d = *deques_[t_self];
+        std::lock_guard<std::mutex> lk(d.mu);
+        d.q.push_front(std::move(task));
+    } else {
+        // External submit: appended round-robin, so each deque runs
+        // its externally submitted tasks in submission order (a
+        // single-worker pool degenerates to a plain FIFO executor,
+        // which progress streams rely on).
+        Deque& d = *deques_[nextDeque_.fetch_add(
+                                1, std::memory_order_relaxed) %
+                            deques_.size()];
+        std::lock_guard<std::mutex> lk(d.mu);
+        d.q.push_back(std::move(task));
+    }
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        workCv_.notify_one();
+    }
+}
+
+bool
+ThreadPool::runOne(size_t self)
+{
+    std::function<void()> task;
+    {
+        // Own deque, owner's end: nested submits (pushed to the
+        // front) run depth-first, then external tasks in submission
+        // order.
+        Deque& d = *deques_[self];
+        std::lock_guard<std::mutex> lk(d.mu);
+        if (!d.q.empty()) {
+            task = std::move(d.q.front());
+            d.q.pop_front();
+        }
+    }
+    if (!task) {
+        // Steal from the opposite end of a victim's deque, away from
+        // the owner's working front (the Chase-Lev discipline).
+        for (size_t k = 1; k < deques_.size() && !task; ++k) {
+            Deque& d = *deques_[(self + k) % deques_.size()];
+            std::lock_guard<std::mutex> lk(d.mu);
+            if (!d.q.empty()) {
+                task = std::move(d.q.back());
+                d.q.pop_back();
+            }
+        }
+    }
+    if (!task)
+        return false;
+    queued_.fetch_sub(1, std::memory_order_acq_rel);
+    runTask(task);
+    return true;
+}
+
+void
+ThreadPool::runTask(std::function<void()>& task)
+{
+    try {
+        task();
+    } catch (...) {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (!firstError_)
+            firstError_ = std::current_exception();
+    }
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lk(mu_);
+        doneCv_.notify_all();
+    }
+}
+
+void
+ThreadPool::workerLoop(size_t self)
+{
+    t_pool = this;
+    t_self = self;
+    for (;;) {
+        if (runOne(self))
+            continue;
+        std::unique_lock<std::mutex> lk(mu_);
+        workCv_.wait(lk, [this] {
+            return stopping_ ||
+                   queued_.load(std::memory_order_acquire) > 0;
+        });
+        if (stopping_ && queued_.load(std::memory_order_acquire) <= 0)
+            break;
+    }
+    t_pool = nullptr;
+}
+
+void
+ThreadPool::wait()
+{
+    P10_ASSERT(t_pool != this,
+               "ThreadPool::wait() from inside a task would deadlock");
+    std::unique_lock<std::mutex> lk(mu_);
+    doneCv_.wait(lk, [this] {
+        return pending_.load(std::memory_order_acquire) == 0;
+    });
+    if (firstError_) {
+        std::exception_ptr e = std::exchange(firstError_, nullptr);
+        std::rethrow_exception(e);
+    }
+}
+
+void
+ThreadPool::parallelFor(uint64_t n,
+                        const std::function<void(uint64_t)>& fn)
+{
+    for (uint64_t i = 0; i < n; ++i)
+        submit([&fn, i] { fn(i); });
+    wait();
+}
+
+} // namespace p10ee::sweep

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Work-stealing thread pool — the execution substrate of the sweep
+ * engine (and of every other layer that fans simulation work out:
+ * parallel fault campaigns, the fig-sweep benches' grid points).
+ *
+ * Scheduling follows the Chase–Lev discipline: every worker owns a
+ * deque and takes work from its own end — nested submits land there
+ * and run depth-first (cache-warm), external submits are appended at
+ * the other end and run in submission order — while idle workers
+ * steal from the end away from the victim's working front. Each deque
+ * is guarded by its own small mutex rather than the lock-free
+ * Chase–Lev protocol: sweep
+ * tasks are whole simulations (milliseconds to seconds), so deque
+ * operations are nanoseconds against milliseconds of work and the
+ * mutex is never contended in practice — while staying trivially
+ * TSan-clean, which the lock-free version is famously hard to get
+ * right. No external dependencies; <thread> + <mutex> only.
+ *
+ * Error contract: a task that throws never takes the pool down. The
+ * first exception is captured and rethrown from the next wait() on the
+ * submitting thread; later tasks keep running (a sweep must finish its
+ * other shards even when one dies).
+ */
+
+#ifndef P10EE_SWEEP_POOL_H
+#define P10EE_SWEEP_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace p10ee::sweep {
+
+class ThreadPool
+{
+  public:
+    /**
+     * Spawn @p threads workers (clamped to >= 1). Oversubscription is
+     * allowed and harmless for the coarse tasks this pool runs — the
+     * determinism of sweep results never depends on the thread count.
+     */
+    explicit ThreadPool(int threads);
+
+    /** Drains every submitted task, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Worker count (the constructor's clamped argument). */
+    int threads() const { return static_cast<int>(workers_.size()); }
+
+    /**
+     * Enqueue @p task. Calls from a worker thread push onto that
+     * worker's own deque (depth-first); external calls round-robin
+     * across deques and run in submission order per deque (a
+     * one-worker pool is a plain FIFO executor), with idle workers
+     * stealing the balance.
+     */
+    void submit(std::function<void()> task);
+
+    /**
+     * Block until every submitted task has finished; rethrows the
+     * first exception any task raised since the last wait(). Must not
+     * be called from inside a task (it would wait for itself).
+     */
+    void wait();
+
+    /**
+     * submit() fn(0) .. fn(n-1), then wait(). The convenience shape
+     * every sweep/campaign/bench grid uses: the index is the shard
+     * identity, so results keyed by it are scheduling-independent.
+     */
+    void parallelFor(uint64_t n, const std::function<void(uint64_t)>& fn);
+
+    /** A sensible default worker count: the hardware concurrency. */
+    static int defaultThreads();
+
+  private:
+    struct Deque
+    {
+        std::mutex mu;
+        std::deque<std::function<void()>> q;
+    };
+
+    void workerLoop(size_t self);
+
+    /** Pop own bottom or steal a victim's top; false when idle. */
+    bool runOne(size_t self);
+
+    void runTask(std::function<void()>& task);
+
+    std::vector<std::unique_ptr<Deque>> deques_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mu_; ///< guards the condition variables and firstError_
+    std::condition_variable workCv_; ///< new work or shutdown
+    std::condition_variable doneCv_; ///< pending_ reached zero
+    std::exception_ptr firstError_;
+
+    /** Tasks sitting in deques (wake-up hint; may transiently lead). */
+    std::atomic<int64_t> queued_{0};
+    /** Tasks submitted and not yet finished (wait() watches this). */
+    std::atomic<int64_t> pending_{0};
+    std::atomic<uint64_t> nextDeque_{0}; ///< external submit round-robin
+    bool stopping_ = false;              ///< under mu_
+};
+
+} // namespace p10ee::sweep
+
+#endif // P10EE_SWEEP_POOL_H

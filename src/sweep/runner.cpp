@@ -1,0 +1,318 @@
+#include "sweep/runner.h"
+
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/core.h"
+#include "obs/json.h"
+#include "obs/timeseries.h"
+#include "power/energy.h"
+#include "sweep/pool.h"
+#include "workloads/synthetic.h"
+
+namespace p10ee::sweep {
+
+using common::Error;
+using common::Expected;
+using common::Status;
+
+double
+SweepResult::geoMeanIpc() const
+{
+    double logSum = 0.0;
+    uint64_t n = 0;
+    for (const ShardResult& s : shards)
+        if (s.ok && s.ipc > 0.0) {
+            logSum += std::log(s.ipc);
+            ++n;
+        }
+    return n == 0 ? 0.0 : std::exp(logSum / static_cast<double>(n));
+}
+
+double
+SweepResult::meanPowerW() const
+{
+    double sum = 0.0;
+    uint64_t n = 0;
+    for (const ShardResult& s : shards)
+        if (s.ok) {
+            sum += s.powerW;
+            ++n;
+        }
+    return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+namespace {
+
+/** Shard-report filename: the key with path separators flattened. */
+std::string
+shardReportPath(const std::string& dir, const ShardSpec& shard)
+{
+    std::string flat = shard.key();
+    for (char& c : flat)
+        if (c == '/')
+            c = '_';
+    return dir + "/" + flat + ".json";
+}
+
+} // namespace
+
+ShardResult
+SweepRunner::runShard(const ShardSpec& shard) const
+{
+    ShardResult res;
+    res.index = shard.index;
+    res.key = shard.key();
+
+    // Every shard owns a generator derived from (master seed, shard
+    // index), so any one shard replays in isolation — the campaign
+    // engine's idiom, keyed on the sweep's shard identity.
+    common::Xoshiro infraRng(
+        common::splitSeed(spec_.seed, shard.index));
+
+    const auto wallStart = std::chrono::steady_clock::now();
+    int attempts = 0;
+    for (;;) {
+        // Synthetic transient infrastructure failure (tests of the
+        // retry machinery); drawn before the run like a dispatch that
+        // never reached the simulator.
+        if (spec_.infraFailProb > 0.0 &&
+            infraRng.chance(spec_.infraFailProb)) {
+            if (attempts >= spec_.maxRetries) {
+                res.error = Error::transient(
+                    "shard " + res.key + ": infrastructure failure "
+                    "persisted through " +
+                    std::to_string(attempts) + " retries");
+                break;
+            }
+            ++attempts;
+            // Exponential backoff, modeled deterministically: burn a
+            // doubling number of generator draws per attempt (the
+            // wall-clock harness analogue would sleep 2^attempts
+            // units before re-dispatching).
+            for (int b = 0; b < (1 << attempts); ++b)
+                infraRng.next();
+            continue;
+        }
+
+        std::vector<std::unique_ptr<workloads::SyntheticWorkload>>
+            sources;
+        std::vector<workloads::InstrSource*> threads;
+        for (int t = 0; t < shard.smt; ++t) {
+            sources.push_back(
+                std::make_unique<workloads::SyntheticWorkload>(
+                    shard.profile, t));
+            threads.push_back(sources.back().get());
+        }
+
+        core::CoreModel model(shard.config);
+        core::RunOptions opts;
+        opts.warmupInstrs =
+            spec_.warmup * static_cast<uint64_t>(shard.smt);
+        opts.measureInstrs = spec_.instrs;
+        opts.maxCycles = spec_.maxCycles;
+
+        // The recorder is created here, on the worker thread, so its
+        // single-owner binding lands on this shard's thread.
+        std::unique_ptr<obs::TimeSeriesRecorder> rec;
+        if (spec_.sampleInterval > 0) {
+            rec = std::make_unique<obs::TimeSeriesRecorder>(
+                spec_.sampleInterval);
+            opts.recorder = rec.get();
+        }
+
+        auto run = model.run(threads, opts);
+        if (run.timedOut) {
+            // A cycle-budget overrun is deterministic — retrying would
+            // reproduce it, so it is recorded immediately.
+            res.error = Error::timeout(
+                "shard " + res.key + ": exceeded cycle budget of " +
+                std::to_string(spec_.maxCycles) + " cycles");
+            break;
+        }
+
+        power::EnergyModel energy(shard.config);
+        const auto power = energy.evalCounters(run);
+
+        res.ok = true;
+        res.cycles = run.cycles;
+        res.instrs = run.instrs;
+        res.ipc = run.ipc();
+        res.powerW = power.watts();
+        res.ipcPerW = power.watts() > 0.0 ? res.ipc / power.watts()
+                                          : 0.0;
+
+        if (rec) {
+            for (const auto& track : rec->counters())
+                if (track.name == "core.ipc") {
+                    res.ipcX.reserve(track.cycle.size());
+                    res.ipcY.reserve(track.value.size());
+                    for (size_t i = 0; i < track.cycle.size(); ++i) {
+                        res.ipcX.push_back(
+                            static_cast<double>(track.cycle[i]));
+                        res.ipcY.push_back(track.value[i]);
+                    }
+                }
+        }
+
+        if (!spec_.shardReportsDir.empty()) {
+            obs::JsonReport report;
+            report.meta().tool = "p10sweep_shard";
+            report.meta().config = shard.configName;
+            report.meta().workload = shard.profile.name;
+            report.meta().seed = shard.profile.seed;
+            report.meta().git = obs::gitDescribe();
+            report.addScalar("ipc", res.ipc);
+            report.addScalar("cycles",
+                             static_cast<double>(res.cycles));
+            report.addScalar("instrs",
+                             static_cast<double>(res.instrs));
+            report.addScalar("power_w", res.powerW);
+            report.addScalar("ipc_per_w", res.ipcPerW);
+            if (rec)
+                report.addTimeSeries(*rec);
+            auto st = report.writeTo(
+                shardReportPath(spec_.shardReportsDir, shard));
+            if (!st.ok()) {
+                // A lost side artifact degrades the shard to a
+                // recorded failure; the sweep itself continues.
+                res.ok = false;
+                res.error = st.error();
+            }
+        }
+        break;
+    }
+    res.retries = attempts;
+    res.wallSeconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - wallStart)
+                          .count();
+    return res;
+}
+
+Expected<SweepResult>
+SweepRunner::run(int jobs)
+{
+    Expected<std::vector<ShardSpec>> expanded = spec_.expand();
+    if (!expanded)
+        return expanded.error();
+    const std::vector<ShardSpec>& shards = expanded.value();
+
+    if (!spec_.shardReportsDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(spec_.shardReportsDir, ec);
+        if (ec)
+            return Error::invalidArgument(
+                "cannot create shard report directory '" +
+                spec_.shardReportsDir + "': " + ec.message());
+        // Keys are unique by construction; this guards the flattening
+        // above against ever mapping two shards onto one file.
+        std::vector<std::string> paths;
+        paths.reserve(shards.size());
+        for (const ShardSpec& s : shards)
+            paths.push_back(shardReportPath(spec_.shardReportsDir, s));
+        if (Status st = obs::distinctOutputPaths(paths); !st)
+            return st.error();
+    }
+
+    SweepResult result;
+    result.shards.resize(shards.size());
+
+    std::mutex progressMu;
+    ThreadPool pool(jobs);
+    pool.parallelFor(shards.size(), [&](uint64_t i) {
+        ShardResult shard = runShard(shards[i]);
+        if (onProgress) {
+            std::lock_guard<std::mutex> lk(progressMu);
+            onProgress(shard);
+        }
+        // Slot i is this task's alone — results land by index, which
+        // is what makes the fold below scheduling-independent.
+        result.shards[i] = std::move(shard);
+    });
+
+    // Index-ordered fold: aggregates come out identical no matter how
+    // many threads ran the shards or in what order they finished.
+    for (const ShardResult& s : result.shards) {
+        result.retriesTotal += static_cast<uint64_t>(s.retries);
+        if (s.ok) {
+            ++result.okCount;
+            result.simInstrs +=
+                s.instrs + spec_.warmup * static_cast<uint64_t>(
+                                              shards[s.index].smt);
+        } else {
+            ++result.failed;
+        }
+    }
+    return result;
+}
+
+obs::JsonReport
+SweepRunner::merge(const SweepSpec& spec, const SweepResult& result,
+                   const std::string& tool)
+{
+    obs::JsonReport report;
+    report.meta().tool = tool;
+    report.meta().seed = spec.seed;
+    report.meta().git = obs::gitDescribe();
+    // Byte-determinism: every field of the merged report must be a
+    // pure function of the spec. Wall-clock and host throughput never
+    // are, so they are pinned to zero here (the CLI reports real
+    // timing on stderr); simulated instruction counts ARE
+    // deterministic and stay.
+    report.meta().wallSeconds = 0.0;
+    report.meta().hostMips = 0.0;
+    report.meta().simInstrs = result.simInstrs;
+
+    report.addScalar("sweep.shards",
+                     static_cast<double>(result.shards.size()));
+    report.addScalar("sweep.ok", static_cast<double>(result.okCount));
+    report.addScalar("sweep.failed",
+                     static_cast<double>(result.failed));
+    report.addScalar("sweep.retries",
+                     static_cast<double>(result.retriesTotal));
+    report.addScalar("sweep.geomean_ipc", result.geoMeanIpc());
+    report.addScalar("sweep.mean_power_w", result.meanPowerW());
+
+    common::Table t("sweep shards");
+    t.header({"shard", "config", "workload", "smt", "seed", "status",
+              "retries", "cycles", "ipc", "power_w"});
+    for (const ShardResult& s : result.shards) {
+        // key = "config/workload/smtN/seedK" — split it back into the
+        // table's axis columns.
+        std::vector<std::string> parts;
+        size_t start = 0;
+        for (size_t pos = 0; pos <= s.key.size(); ++pos)
+            if (pos == s.key.size() || s.key[pos] == '/') {
+                parts.push_back(s.key.substr(start, pos - start));
+                start = pos + 1;
+            }
+        const std::string config = parts.size() > 0 ? parts[0] : "";
+        const std::string workload = parts.size() > 1 ? parts[1] : "";
+        const std::string smt =
+            parts.size() > 2 && parts[2].size() > 3
+                ? parts[2].substr(3)
+                : "";
+        const std::string seed =
+            parts.size() > 3 && parts[3].size() > 4
+                ? parts[3].substr(4)
+                : "";
+        t.row({std::to_string(s.index), config, workload, smt, seed,
+               s.ok ? "ok" : common::errorCodeName(s.error.code),
+               std::to_string(s.retries), std::to_string(s.cycles),
+               common::fmt(s.ipc, 4), common::fmt(s.powerW, 3)});
+    }
+    report.addTable(t);
+
+    for (const ShardResult& s : result.shards)
+        if (!s.ipcX.empty())
+            report.addSeries("shard." + s.key + ".ipc", "ipc", s.ipcX,
+                             s.ipcY);
+    return report;
+}
+
+} // namespace p10ee::sweep

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Sweep execution and deterministic merge.
+ *
+ * The SweepRunner executes every shard of an expanded SweepSpec as a
+ * fully isolated simulation — its own CoreModel, its own
+ * TimeSeriesRecorder (created on the worker thread; the recorder's
+ * single-owner contract enforces the isolation), its own RNG streams
+ * derived from (spec seed, shard index) — on a work-stealing
+ * ThreadPool. Shards never share mutable state, so the thread count is
+ * purely a throughput knob.
+ *
+ * Failure semantics per shard: a run that exceeds the spec's cycle
+ * budget is recorded as a timeout; a transient infrastructure failure
+ * is retried up to max_retries with deterministic exponential backoff
+ * (the generator-draw-burning idiom fault::CampaignRunner uses);
+ * anything still failing is skipped-and-recorded. One bad shard never
+ * kills a sweep.
+ *
+ * Determinism contract: merge() produces a p10ee-report/1 document that
+ * is a pure function of the spec. Results are stored by shard index and
+ * folded in index order, every number in the report derives from
+ * simulation state (never from the host clock — meta wall_s and
+ * host_mips are fixed at zero in merged reports; real timing goes to
+ * stderr in the CLI), so the merged JSON is byte-identical across
+ * --jobs values and scheduling orders. The determinism test diffs the
+ * whole file.
+ */
+
+#ifndef P10EE_SWEEP_RUNNER_H
+#define P10EE_SWEEP_RUNNER_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "obs/report.h"
+#include "sweep/spec.h"
+
+namespace p10ee::sweep {
+
+/** Outcome of one shard (ok or recorded failure — never both halves). */
+struct ShardResult
+{
+    uint64_t index = 0;
+    std::string key;
+
+    bool ok = false;
+    /** Failure category + message when !ok (timeout, transient, ...). */
+    common::Error error;
+    int retries = 0; ///< transient-failure retries consumed
+
+    // Simulation results (valid when ok).
+    uint64_t cycles = 0;
+    uint64_t instrs = 0;
+    double ipc = 0.0;
+    double powerW = 0.0;
+    double ipcPerW = 0.0;
+
+    /** Host wall-clock of this shard (diagnostic only; NEVER merged). */
+    double wallSeconds = 0.0;
+
+    /** Per-shard IPC telemetry when the spec samples (x = cycle). */
+    std::vector<double> ipcX;
+    std::vector<double> ipcY;
+};
+
+/** All shard outcomes plus fold-level aggregates, in shard-index order. */
+struct SweepResult
+{
+    std::vector<ShardResult> shards;
+    uint64_t okCount = 0;
+    uint64_t failed = 0;
+    uint64_t retriesTotal = 0;
+    /** Simulated instructions (warmup + measured) across ok shards. */
+    uint64_t simInstrs = 0;
+
+    /** Geometric-mean IPC over ok shards (0 when none). */
+    double geoMeanIpc() const;
+
+    /** Arithmetic-mean power over ok shards (0 when none). */
+    double meanPowerW() const;
+};
+
+/** Executes a SweepSpec's shards in parallel and merges the results. */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(SweepSpec spec) : spec_(std::move(spec)) {}
+
+    /**
+     * Called after each shard finishes, from worker threads but
+     * serialized under a mutex. Completion order is scheduling-
+     * dependent — anything deterministic must come from the returned
+     * SweepResult, not from this stream.
+     */
+    std::function<void(const ShardResult&)> onProgress;
+
+    /**
+     * Validate, expand, and run every shard on @p jobs pool threads.
+     * Returns the results in shard-index order regardless of
+     * completion order. Errors are pre-flight only (invalid spec,
+     * unknown names, unwritable shard-report directory); shard
+     * failures are recorded in the result instead.
+     */
+    common::Expected<SweepResult> run(int jobs);
+
+    /** The spec this runner executes. */
+    const SweepSpec& spec() const { return spec_; }
+
+    /**
+     * Fold @p result into one deterministic p10ee-report/1 document
+     * (see the determinism contract above). @p tool names the emitting
+     * binary in the report meta.
+     */
+    static obs::JsonReport merge(const SweepSpec& spec,
+                                 const SweepResult& result,
+                                 const std::string& tool);
+
+  private:
+    /** Run one shard in isolation (worker-thread context). */
+    ShardResult runShard(const ShardSpec& shard) const;
+
+    SweepSpec spec_;
+};
+
+} // namespace p10ee::sweep
+
+#endif // P10EE_SWEEP_RUNNER_H

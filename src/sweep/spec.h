@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Sweep specification: the declarative grid a sweep runs.
+ *
+ * The paper's methodology is a sweep — APEX power extraction, M1-linked
+ * counter models and SERMiner derating are all evaluated over grids of
+ * (core config x workload x seed) — and this type is that grid made
+ * first-class: a SweepSpec names its axes, validates like every other
+ * user input in the tree (structured Error, never an abort), and
+ * expands into a flat, deterministically ordered list of shard jobs.
+ *
+ * The expansion order is part of the format: shards are numbered in
+ * nested-loop order, configs outermost, then workloads, then SMT
+ * levels, then seed replicas. The shard index is the identity every
+ * downstream guarantee hangs off — per-shard RNG streams derive from
+ * it (common::splitSeed), and the merge stage folds results in index
+ * order, which is what makes merged reports byte-identical no matter
+ * how many threads executed the shards or in what order they finished.
+ */
+
+#ifndef P10EE_SWEEP_SPEC_H
+#define P10EE_SWEEP_SPEC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "core/config.h"
+#include "workloads/spec_profiles.h"
+
+namespace p10ee::sweep {
+
+/** One expanded grid point: an isolated simulation job. */
+struct ShardSpec
+{
+    uint64_t index = 0; ///< position in expansion order (the identity)
+    std::string configName;
+    core::CoreConfig config;
+    /** Profile with the replica seed already derived (splitSeed). */
+    workloads::WorkloadProfile profile;
+    int smt = 1;
+    uint64_t seedIndex = 0;
+
+    /** "config/workload/smtN/seedK" — stable human-readable identity. */
+    std::string key() const;
+};
+
+/** The declarative sweep grid (what `--spec sweep.json` deserializes). */
+struct SweepSpec
+{
+    /** Machine names: "power9", "power10", or "ablate:<group>". */
+    std::vector<std::string> configs;
+    /** Workload profile names (see `p10sim_cli --list`). */
+    std::vector<std::string> workloads;
+    std::vector<int> smt = {1};
+    /** Seed replicas per grid point; replica k runs the profile under
+        splitSeed(profile.seed, k), replica 0 the profile default. */
+    uint64_t seeds = 1;
+
+    uint64_t instrs = 20000; ///< measured instructions per shard
+    uint64_t warmup = 5000;  ///< warmup instructions per thread
+
+    /** Per-shard cycle budget; 0 = unbounded. A shard exceeding it is
+        recorded as a timeout failure, never retried. */
+    uint64_t maxCycles = 0;
+
+    int maxRetries = 2; ///< retries after a transient infra failure
+
+    /** Synthetic transient-failure probability per attempt, drawn from
+        the shard's own seeded stream (tests of the retry machinery;
+        zero in normal use). */
+    double infraFailProb = 0.0;
+
+    /** Master seed: per-shard infrastructure streams derive from it. */
+    uint64_t seed = 1;
+
+    /** Telemetry sampling interval per shard; 0 = no telemetry. */
+    uint64_t sampleInterval = 0;
+
+    /** When non-empty, every shard also writes its own p10ee-report/1
+        file under this directory (created if missing). */
+    std::string shardReportsDir;
+
+    /** Structured validation of user-supplied fields. */
+    common::Status validate() const;
+
+    /** Grid size (product of the axis lengths). */
+    uint64_t shardCount() const;
+
+    /**
+     * Expand the grid into shard jobs in the documented order.
+     * Resolves config and workload names; unknown names are NotFound
+     * errors naming the offender.
+     */
+    common::Expected<std::vector<ShardSpec>> expand() const;
+
+    /** Parse a spec from JSON text. Unknown keys are errors — a typo
+        in an axis name must not silently shrink a sweep. */
+    static common::Expected<SweepSpec> fromJson(const std::string& text);
+
+    /** fromJson() over the contents of @p path. */
+    static common::Expected<SweepSpec> fromJsonFile(
+        const std::string& path);
+
+    /** Resolve "power9" / "power10" / "ablate:<group>". */
+    static common::Expected<core::CoreConfig> resolveConfig(
+        const std::string& name);
+};
+
+} // namespace p10ee::sweep
+
+#endif // P10EE_SWEEP_SPEC_H

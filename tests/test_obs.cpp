@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/core.h"
@@ -92,6 +93,27 @@ TEST(Recorder, EndSliceWithoutOpenIsNoOp)
     auto t = rec.slices("episodes");
     rec.endSlice(t, 5);
     EXPECT_TRUE(rec.sliceTracks()[0].slices.empty());
+}
+
+TEST(RecorderDeathTest, SecondThreadPublishingPanics)
+{
+    // The single-owner-per-shard contract: a recorder belongs to the
+    // thread that first mutated it, and a publish from any other
+    // thread is a programming error the assert must catch before
+    // track data interleaves. threadsafe style re-executes the death
+    // statement in a fresh child, which is required when the
+    // statement spawns threads.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    obs::TimeSeriesRecorder rec;
+    auto track = rec.counter("core.ipc");
+    rec.sample(track, 0, 1.0); // binds this thread as the owner
+    EXPECT_DEATH(
+        {
+            std::thread other(
+                [&rec, track] { rec.sample(track, 64, 2.0); });
+            other.join();
+        },
+        "single-owner");
 }
 
 // ---------------------------------------------------------------------
