@@ -6,7 +6,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 
+#include "ckpt/checkpoint.h"
+#include "common/hash.h"
 #include "sweep/pool.h"
 
 namespace p10ee::bench {
@@ -17,13 +20,17 @@ namespace {
     Atomic: grid points account concurrently under --jobs. */
 std::atomic<uint64_t> g_simInstrs{0};
 
+/** Warmup-snapshot directory (--ckpt-dir); set once in benchInit
+    before any workers start, read-only afterwards. */
+std::string g_ckptDir;
+
 [[noreturn]] void
 usageExit(const std::string& tool, const std::string& why)
 {
     std::fprintf(stderr, "%s: %s\n", tool.c_str(), why.c_str());
     std::fprintf(stderr,
                  "usage: %s [--json <path>] [--instrs <n>] "
-                 "[--warmup <n>] [--jobs <n>]\n",
+                 "[--warmup <n>] [--jobs <n>] [--ckpt-dir <d>]\n",
                  tool.c_str());
     std::exit(2);
 }
@@ -76,8 +83,18 @@ benchInit(int argc, char** argv, const std::string& tool)
             if (n < 1 || n > 256)
                 usageExit(tool, "--jobs must be in [1,256]");
             ctx.jobs = static_cast<int>(n);
+        } else if (arg == "--ckpt-dir") {
+            ctx.ckptDir = next("--ckpt-dir");
         } else
             usageExit(tool, "unknown argument '" + arg + "'");
+    }
+    g_ckptDir = ctx.ckptDir;
+    if (!g_ckptDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(g_ckptDir, ec);
+        if (ec || !std::filesystem::is_directory(g_ckptDir))
+            usageExit(tool, "--ckpt-dir: cannot create directory '" +
+                                g_ckptDir + "'");
     }
     g_simInstrs.store(0, std::memory_order_relaxed);
     ctx.start = std::chrono::steady_clock::now();
@@ -166,22 +183,80 @@ runOne(const core::CoreConfig& cfg,
 {
     std::vector<std::unique_ptr<workloads::SyntheticWorkload>> sources;
     std::vector<workloads::InstrSource*> ptrs;
-    for (int t = 0; t < smt; ++t) {
-        auto src = std::make_unique<workloads::SyntheticWorkload>(
-            profile, t);
-        ptrs.push_back(src.get());
-        sources.push_back(std::move(src));
-    }
-    core::CoreModel model(cfg);
+    std::vector<workloads::SyntheticWorkload*> walkers;
+    auto build = [&]() {
+        sources.clear();
+        ptrs.clear();
+        walkers.clear();
+        for (int t = 0; t < smt; ++t) {
+            auto src = std::make_unique<workloads::SyntheticWorkload>(
+                profile, t);
+            ptrs.push_back(src.get());
+            walkers.push_back(src.get());
+            sources.push_back(std::move(src));
+        }
+    };
+    build();
+    auto model = std::make_unique<core::CoreModel>(cfg);
     core::RunOptions opts;
     // Warmup scales with thread count: SMT copies multiply the footprint
     // that caches and predictors must absorb before steady state.
     opts.warmupInstrs = warmupInstrs * static_cast<uint64_t>(smt);
     opts.measureInstrs = measureInstrs;
+
+    // Opt-in warmup-snapshot reuse (--ckpt-dir): restore the warmed
+    // machine when a matching snapshot exists, capture one otherwise.
+    // Content-addressed on everything that determines the warmed state,
+    // so a config/profile/smt/warmup change misses instead of aliasing.
+    std::string ckptPath;
+    bool restored = false;
+    if (!g_ckptDir.empty() && opts.warmupInstrs > 0) {
+        common::Fnv1a h;
+        h.u64(ckpt::configHash(cfg));
+        h.u64(workloads::profileHash(profile));
+        h.u64(static_cast<uint64_t>(smt));
+        h.u64(opts.warmupInstrs);
+        char hex[17];
+        std::snprintf(hex, sizeof(hex), "%016llx",
+                      static_cast<unsigned long long>(h.digest()));
+        ckptPath = g_ckptDir + "/" + hex + ".ckpt";
+        if (auto ckOr = ckpt::Checkpoint::load(ckptPath)) {
+            model->beginRun(ptrs);
+            if (ckOr.value().restore(*model, walkers).ok()) {
+                restored = true;
+            } else {
+                // A failed restore leaves model and walkers partially
+                // mutated; rebuild both and fall through to a cold
+                // warmup (which rewrites the stale snapshot).
+                build();
+                model = std::make_unique<core::CoreModel>(cfg);
+            }
+        }
+    }
+    if (!restored) {
+        model->beginRun(ptrs);
+        model->advance(opts.warmupInstrs);
+        if (!ckptPath.empty()) {
+            ckpt::CheckpointMeta meta;
+            meta.configName = cfg.name;
+            meta.workload = profile.name;
+            meta.warmupInstrs = opts.warmupInstrs;
+            meta.seed = profile.seed;
+            auto ck = ckpt::Checkpoint::capture(*model, walkers, meta);
+            // Best-effort: an unwritable snapshot directory degrades
+            // to re-simulating warmups, never fails the bench.
+            auto st = ck.save(ckptPath);
+            (void)st;
+        }
+    }
+
     SuiteEntry entry;
     entry.workload = profile.name;
-    entry.run = model.run(ptrs, opts);
-    accountSimInstrs(opts.warmupInstrs + entry.run.instrs);
+    entry.run = model->measure(opts);
+    // Host-MIPS accounting counts what was actually simulated: a
+    // restored warmup cost no simulation.
+    accountSimInstrs((restored ? 0 : opts.warmupInstrs) +
+                     entry.run.instrs);
     power::EnergyModel energy(cfg);
     entry.power = energy.evalCounters(entry.run);
     return entry;

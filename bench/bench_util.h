@@ -35,6 +35,13 @@ namespace p10ee::bench {
  *   --instrs <n>    override the bench's measurement window
  *   --warmup <n>    override the bench's warmup window
  *   --jobs <n>      worker threads for runGrid-parallel benches
+ *   --ckpt-dir <d>  memoize warmup snapshots: runOne checkpoints the
+ *                   machine after warmup into <d> (content-addressed
+ *                   on config + profile + smt + warmup) and later
+ *                   invocations restore instead of re-simulating the
+ *                   warmup; measured results are bit-identical either
+ *                   way (meta sim_instrs/host_mips count only what was
+ *                   actually simulated)
  *
  * Typical use:
  *   auto ctx = bench::benchInit(argc, argv, "bench_table1");
@@ -51,6 +58,7 @@ struct BenchContext
     uint64_t warmupOverride = 0;
     bool warmupSet = false;
     int jobs = 1; ///< worker threads for runGrid (1 = serial)
+    std::string ckptDir; ///< empty = warmup snapshots not requested
     std::chrono::steady_clock::time_point start;
 
     /** The measurement window: the --instrs override or @p def. */

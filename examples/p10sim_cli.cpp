@@ -8,7 +8,13 @@
  *   p10sim_cli --config power10 --workload xz --smt 4 \
  *              --instrs 200000 [--csv] [--ablate <group>] \
  *              [--trace-out trace.json] [--stats-json stats.json] \
- *              [--sample-interval 1024]
+ *              [--sample-interval 1024] \
+ *              [--ckpt-save warm.ckpt | --ckpt-load warm.ckpt]
+ *
+ * --ckpt-save snapshots the machine after warmup (before the measured
+ * window) into a versioned checkpoint file; --ckpt-load restores such
+ * a snapshot and skips the warmup entirely. A loaded run's measured
+ * window is bit-identical to the saving run's.
  */
 
 #include <algorithm>
@@ -21,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "core/core.h"
@@ -65,6 +72,10 @@ usage()
         "report\n"
         "  --sample-interval N            telemetry interval in cycles "
         "(default 1024)\n"
+        "  --ckpt-save <path>             checkpoint the machine after "
+        "warmup, then measure\n"
+        "  --ckpt-load <path>             restore a warmup checkpoint "
+        "and skip the warmup\n"
         "  --list                         list workloads and exit\n");
 }
 
@@ -107,6 +118,8 @@ main(int argc, char** argv)
     bool csv = false;
     std::string traceOut;
     std::string statsJson;
+    std::string ckptSave;
+    std::string ckptLoad;
     uint64_t sampleInterval = 1024;
 
     for (int i = 1; i < argc; ++i) {
@@ -152,6 +165,10 @@ main(int argc, char** argv)
             traceOut = needValue("--trace-out");
         } else if (arg == "--stats-json") {
             statsJson = needValue("--stats-json");
+        } else if (arg == "--ckpt-save") {
+            ckptSave = needValue("--ckpt-save");
+        } else if (arg == "--ckpt-load") {
+            ckptLoad = needValue("--ckpt-load");
         } else if (arg == "--sample-interval") {
             const char* v = needValue("--sample-interval");
             if (!parseU64(v, sampleInterval) || sampleInterval == 0)
@@ -168,6 +185,8 @@ main(int argc, char** argv)
             fail("unknown option '" + arg + "'");
         }
     }
+    if (!ckptSave.empty() && !ckptLoad.empty())
+        fail("--ckpt-save and --ckpt-load are mutually exclusive");
 
     core::CoreConfig cfg;
     if (!ablate.empty()) {
@@ -223,8 +242,55 @@ main(int argc, char** argv)
         // trace or report was requested.
         opts.collectTimings = true;
     }
+    std::vector<workloads::SyntheticWorkload*> walkers;
+    for (auto& s : sources)
+        walkers.push_back(s.get());
+
     const auto wallStart = std::chrono::steady_clock::now();
-    auto run = model.run(threads, opts);
+    core::RunResult run;
+    if (!ckptLoad.empty()) {
+        auto ckOr = ckpt::Checkpoint::load(ckptLoad);
+        if (!ckOr)
+            fail(ckOr.error().str());
+        const ckpt::Checkpoint& ck = ckOr.value();
+        // The config hash and thread count are checked by restore();
+        // the workload identity must be checked here, since a walker
+        // state can be in-range for more than one static code.
+        if (ck.meta().workload != workload ||
+            ck.meta().seed != profile.seed)
+            fail("checkpoint " + ckptLoad + " was captured for "
+                 "workload '" + ck.meta().workload + "' seed " +
+                 std::to_string(ck.meta().seed) + ", not '" + workload +
+                 "' seed " + std::to_string(profile.seed));
+        model.beginRun(threads);
+        if (auto st = ck.restore(model, walkers); !st.ok())
+            fail(st.error().str());
+        std::fprintf(stderr,
+                     "restored checkpoint: %s (skipping %llu warmup "
+                     "instructions)\n",
+                     ckptLoad.c_str(),
+                     static_cast<unsigned long long>(
+                         ck.meta().warmupInstrs));
+    } else {
+        model.beginRun(threads);
+        model.advance(opts.warmupInstrs);
+        if (!ckptSave.empty()) {
+            ckpt::CheckpointMeta meta;
+            meta.configName = cfg.name;
+            meta.workload = workload;
+            meta.warmupInstrs = opts.warmupInstrs;
+            meta.seed = profile.seed;
+            auto ck = ckpt::Checkpoint::capture(model, walkers, meta);
+            if (auto st = ck.save(ckptSave); !st.ok()) {
+                std::fprintf(stderr, "p10sim_cli: error: %s\n",
+                             st.error().message.c_str());
+                return 1;
+            }
+            std::fprintf(stderr, "wrote checkpoint: %s (%zu bytes)\n",
+                         ckptSave.c_str(), ck.payloadBytes());
+        }
+    }
+    run = model.measure(opts);
     const std::chrono::duration<double> wall =
         std::chrono::steady_clock::now() - wallStart;
     power::EnergyModel energy(cfg);

@@ -6,11 +6,15 @@
  * deterministic p10ee-report/1 document.
  *
  *   p10sweep_cli --spec sweep.json --jobs 8 --out report.json [--csv]
+ *                [--cache-dir cache/]
  *
  * The merged report is byte-identical for a given spec regardless of
  * --jobs — diff it across thread counts to audit the determinism
- * contract. Host timing (wall seconds, host MIPS) is real but lives on
- * stderr only, never in the merged artifact.
+ * contract. With --cache-dir, shard results are memoized on disk
+ * (content-addressed, see sweep/cache.h): a warm re-run simulates zero
+ * shards and still emits the byte-identical merged report. Host timing
+ * (wall seconds, host MIPS) and cache provenance are real but live on
+ * stderr (or the --cache-stats sidecar), never in the merged artifact.
  *
  * Exit codes: 2 for flag/spec validation errors (matching p10sim_cli),
  * 1 for recoverable post-validation failures (output collisions,
@@ -46,6 +50,10 @@ usage()
         "  --jobs N            pool threads in [1,256] (default:\n"
         "                      hardware concurrency)\n"
         "  --out <path>        write the merged p10ee-report/1 JSON\n"
+        "  --cache-dir <dir>   memoize shard results on disk; warm\n"
+        "                      runs skip already-simulated shards\n"
+        "  --cache-stats <path> write cache-provenance sidecar report\n"
+        "                      (requires --cache-dir)\n"
         "  --csv               machine-readable summary\n"
         "  --list              list workload profiles and exit\n"
         "\n"
@@ -70,6 +78,8 @@ main(int argc, char** argv)
 {
     std::string specPath;
     std::string out;
+    std::string cacheDir;
+    std::string cacheStatsOut;
     int jobs = sweep::ThreadPool::defaultThreads();
     bool csv = false;
 
@@ -93,6 +103,10 @@ main(int argc, char** argv)
             jobs = static_cast<int>(parsed);
         } else if (arg == "--out") {
             out = needValue("--out");
+        } else if (arg == "--cache-dir") {
+            cacheDir = needValue("--cache-dir");
+        } else if (arg == "--cache-stats") {
+            cacheStatsOut = needValue("--cache-stats");
         } else if (arg == "--csv") {
             csv = true;
         } else if (arg == "--list") {
@@ -107,6 +121,8 @@ main(int argc, char** argv)
     }
     if (specPath.empty())
         fail("--spec is required");
+    if (!cacheStatsOut.empty() && cacheDir.empty())
+        fail("--cache-stats requires --cache-dir");
 
     auto specOr = sweep::SweepSpec::fromJsonFile(specPath);
     if (!specOr)
@@ -114,6 +130,7 @@ main(int argc, char** argv)
     const sweep::SweepSpec& spec = specOr.value();
 
     sweep::SweepRunner runner(spec);
+    runner.cacheDir = cacheDir;
     const uint64_t total = spec.shardCount();
     uint64_t done = 0;
     runner.onProgress = [&done, total](const sweep::ShardResult& s) {
@@ -163,6 +180,12 @@ main(int argc, char** argv)
                  wall > 0.0
                      ? static_cast<double>(result.simInstrs) / wall / 1e6
                      : 0.0);
+    if (!cacheDir.empty())
+        std::fprintf(
+            stderr, "cache: %llu cached, %llu simulated (%s)\n",
+            static_cast<unsigned long long>(result.cachedShards),
+            static_cast<unsigned long long>(result.simulatedShards),
+            cacheDir.c_str());
 
     common::Table t("p10sweep: " + specPath);
     t.header({"metric", "value"});
@@ -187,6 +210,18 @@ main(int argc, char** argv)
             return 1;
         }
         std::fprintf(stderr, "wrote report: %s\n", out.c_str());
+    }
+    if (!cacheStatsOut.empty()) {
+        obs::JsonReport stats =
+            sweep::SweepRunner::cacheStats(result, "p10sweep_cli");
+        auto st = stats.writeTo(cacheStatsOut);
+        if (!st.ok()) {
+            std::fprintf(stderr, "p10sweep_cli: error: %s\n",
+                         st.error().message.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "wrote cache stats: %s\n",
+                     cacheStatsOut.c_str());
     }
     return 0;
 }

@@ -8,16 +8,27 @@ cd "$(dirname "$0")/.."
 
 run_flavour() {
     local name="$1"
-    shift
+    local tier="$2"
+    shift 2
     echo "=== ${name}: configure ==="
     cmake -B "build-${name}" -S . "$@"
     echo "=== ${name}: build ==="
     cmake --build "build-${name}" -j "$(nproc)"
-    echo "=== ${name}: ctest ==="
-    ctest --test-dir "build-${name}" --output-on-failure -j "$(nproc)"
+    if [ "${tier}" = "tier1" ]; then
+        # Fast tier only (see tests/CMakeLists.txt labels): sanitizer
+        # flavours re-check correctness, not the slow golden/property
+        # sweeps, which run once in the release flavour below.
+        echo "=== ${name}: ctest -L tier1 ==="
+        ctest --test-dir "build-${name}" --output-on-failure \
+            -j "$(nproc)" -L tier1
+    else
+        echo "=== ${name}: ctest (full) ==="
+        ctest --test-dir "build-${name}" --output-on-failure \
+            -j "$(nproc)"
+    fi
 }
 
-run_flavour release -DCMAKE_BUILD_TYPE=Release
+run_flavour release full -DCMAKE_BUILD_TYPE=Release
 
 # Bench smoke: every bench binary must run on a tiny budget and emit a
 # schema-valid machine-readable report; the CLI must emit a loadable
@@ -76,11 +87,52 @@ build-release/examples/p10sweep_cli --spec "${smoke_dir}/sweep_smoke.json" \
 cmp "${smoke_dir}/SWEEP_j1.json" "${smoke_dir}/SWEEP_j8.json"
 python3 scripts/validate_report.py --sweep "${smoke_dir}/SWEEP_j1.json"
 
+# Cache smoke: a cold run populates the shard cache, a warm re-run must
+# simulate zero shards, and both merged reports must be byte-identical
+# to each other and to the cache-less runs above. The --cache-stats
+# sidecars carry the provenance split, checked for conservation by the
+# validator.
+echo "=== cache smoke: warm-vs-cold byte identity ==="
+rm -rf "${smoke_dir}/shard-cache"
+build-release/examples/p10sweep_cli --spec "${smoke_dir}/sweep_smoke.json" \
+    --jobs 8 --out "${smoke_dir}/SWEEP_cold.json" \
+    --cache-dir "${smoke_dir}/shard-cache" \
+    --cache-stats "${smoke_dir}/CACHE_cold.json" >/dev/null
+build-release/examples/p10sweep_cli --spec "${smoke_dir}/sweep_smoke.json" \
+    --jobs 8 --out "${smoke_dir}/SWEEP_warm.json" \
+    --cache-dir "${smoke_dir}/shard-cache" \
+    --cache-stats "${smoke_dir}/CACHE_warm.json" >/dev/null
+cmp "${smoke_dir}/SWEEP_cold.json" "${smoke_dir}/SWEEP_warm.json"
+cmp "${smoke_dir}/SWEEP_j1.json" "${smoke_dir}/SWEEP_warm.json"
+python3 scripts/validate_report.py \
+    "${smoke_dir}/CACHE_cold.json" "${smoke_dir}/CACHE_warm.json"
+python3 - "${smoke_dir}/CACHE_cold.json" "${smoke_dir}/CACHE_warm.json" \
+    <<'EOF'
+import json, sys
+cold = json.load(open(sys.argv[1]))["scalars"]
+warm = json.load(open(sys.argv[2]))["scalars"]
+assert cold["sweep.cached"] == 0, cold
+assert cold["sweep.simulated"] == cold["sweep.shards"], cold
+assert warm["sweep.simulated"] == 0, warm
+assert warm["sweep.cached"] == warm["sweep.shards"], warm
+print("cache smoke: cold simulated all, warm simulated none")
+EOF
+
 # halt_on_error makes any UBSan finding fail ctest instead of printing
 # and continuing; detect_leaks stays on by default under ASan.
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
-run_flavour asan-ubsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+run_flavour asan-ubsan tier1 -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DP10EE_SANITIZE=address,undefined
+
+# The hostile-input surfaces (checkpoint/cache deserializers, spec
+# parsing) must also hold under the sanitizers, and their fuzz tests
+# are tier1-labelled — but be explicit here so a label change cannot
+# silently drop them from sanitizer coverage.
+echo "=== asan-ubsan: hostile-input fuzz suites ==="
+build-asan-ubsan/tests/test_ckpt \
+    --gtest_filter='*Fuzz*:*Corrupt*:*Truncat*' >/dev/null
+build-asan-ubsan/tests/test_sweep_cache \
+    --gtest_filter='*Fuzz*:*Corrupt*:*Stale*' >/dev/null
 
 # TSan flavour: only the parallel paths (thread pool, sweep runner,
 # parallel fault campaign) need race coverage, so build just those

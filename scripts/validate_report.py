@@ -10,7 +10,10 @@ formed). With --sweep, files get the default report checks plus the
 merged-sweep invariants from src/sweep/runner.h: a "sweep shards"
 table whose row count matches the sweep.shards scalar, unique shard
 ids, valid status values, and the zeroed wall-clock meta fields that
-make merged reports a pure function of the spec.
+make merged reports a pure function of the spec. Reports carrying
+cache provenance (the sweep.cached / sweep.simulated scalars emitted
+by p10sweep_cli --cache-stats) additionally get the conservation
+check: cached + simulated shards must sum to the total.
 
 Usage:
   validate_report.py report.json [more.json ...]
@@ -86,6 +89,25 @@ def validate_report(path, doc, errors):
                 if not all(isinstance(c, str) for c in row):
                     _fail(errors, path,
                           f"tables[{i}].rows[{j}] non-string cell")
+
+    # Cache-provenance conservation: whenever a report carries the
+    # sweep.cached / sweep.simulated split (the --cache-stats sidecar,
+    # or any future report embedding it), every shard must be accounted
+    # exactly once.
+    if isinstance(scalars, dict) and "sweep.cached" in scalars:
+        cached = scalars.get("sweep.cached")
+        simulated = scalars.get("sweep.simulated")
+        total = scalars.get("sweep.shards")
+        if not isinstance(simulated, NUM):
+            _fail(errors, path,
+                  "sweep.cached present without numeric sweep.simulated")
+        elif not isinstance(total, NUM) or not isinstance(cached, NUM):
+            _fail(errors, path,
+                  "sweep.cached present without numeric sweep.shards")
+        elif cached + simulated != total:
+            _fail(errors, path,
+                  f"sweep.cached ({cached}) + sweep.simulated "
+                  f"({simulated}) != sweep.shards ({total})")
 
     series = doc["series"]
     if not isinstance(series, list):

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Deterministic non-cryptographic hashing (FNV-1a, 64-bit).
+ *
+ * Content-addressed artifacts — the sweep shard cache, checkpoint
+ * config hashes — need a hash that is stable across platforms, builds
+ * and standard libraries. std::hash guarantees none of that, so the
+ * library pins FNV-1a/64: fully specified, byte-order independent
+ * (input is consumed as bytes the caller serializes explicitly), and
+ * fast enough that hashing a canonicalized spec is free next to one
+ * simulated shard.
+ */
+
+#ifndef P10EE_COMMON_HASH_H
+#define P10EE_COMMON_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace p10ee::common {
+
+/** Streaming FNV-1a/64 hasher. Feed bytes, read digest() at any point. */
+class Fnv1a
+{
+  public:
+    static constexpr uint64_t kOffsetBasis = 0xcbf29ce484222325ull;
+    static constexpr uint64_t kPrime = 0x100000001b3ull;
+
+    /** Absorb @p len raw bytes. */
+    Fnv1a&
+    bytes(const void* data, size_t len)
+    {
+        const auto* p = static_cast<const unsigned char*>(data);
+        for (size_t i = 0; i < len; ++i) {
+            h_ ^= p[i];
+            h_ *= kPrime;
+        }
+        return *this;
+    }
+
+    /** Absorb a string's bytes (no terminator, no length prefix). */
+    Fnv1a& str(std::string_view s) { return bytes(s.data(), s.size()); }
+
+    /**
+     * Absorb one 64-bit value as eight little-endian bytes, so the
+     * digest is identical on any host byte order.
+     */
+    Fnv1a&
+    u64(uint64_t v)
+    {
+        unsigned char b[8];
+        for (int i = 0; i < 8; ++i)
+            b[i] = static_cast<unsigned char>(v >> (8 * i));
+        return bytes(b, 8);
+    }
+
+    /** Current digest (the hasher stays usable). */
+    uint64_t digest() const { return h_; }
+
+  private:
+    uint64_t h_ = kOffsetBasis;
+};
+
+/** One-shot FNV-1a/64 of a byte string. */
+inline uint64_t
+fnv1a64(std::string_view s)
+{
+    return Fnv1a().str(s).digest();
+}
+
+} // namespace p10ee::common
+
+#endif // P10EE_COMMON_HASH_H

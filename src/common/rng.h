@@ -14,6 +14,8 @@
 
 #include <cstdint>
 
+#include "common/serialize.h"
+
 namespace p10ee::common {
 
 /**
@@ -141,6 +143,38 @@ class Xoshiro
         double v = __builtin_exp2(u * __builtin_log2(static_cast<double>(n)));
         uint64_t k = static_cast<uint64_t>(v) - 1;
         return k >= n ? n - 1 : k;
+    }
+
+    /**
+     * Serialize the construction seed plus the current state words, so
+     * a restored generator continues the exact output sequence AND
+     * still split()s identically to the original.
+     */
+    void
+    saveState(BinWriter& w) const
+    {
+        w.u64(seed_);
+        for (uint64_t word : state_)
+            w.u64(word);
+    }
+
+    /** Restore from saveState(); rejects the unreachable all-zero state. */
+    Status
+    loadState(BinReader& r)
+    {
+        uint64_t seed = r.u64();
+        uint64_t state[4];
+        for (auto& word : state)
+            word = r.u64();
+        if (r.failed())
+            return r.status("rng state");
+        if ((state[0] | state[1] | state[2] | state[3]) == 0)
+            return Error::invalidArgument(
+                "rng state: all-zero Xoshiro state");
+        seed_ = seed;
+        for (int i = 0; i < 4; ++i)
+            state_[i] = state[i];
+        return okStatus();
     }
 
   private:

@@ -66,6 +66,14 @@ StatRegistry::clear()
         value = 0;
 }
 
+void
+StatRegistry::restore(const StatSnapshot& snap)
+{
+    clear();
+    for (const auto& [name, value] : snap)
+        values_[id(name).v] = value;
+}
+
 std::vector<std::string>
 StatRegistry::names() const
 {

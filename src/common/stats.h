@@ -86,6 +86,15 @@ class StatRegistry
     /** Reset all counters to zero (keeps the names and handles). */
     void clear();
 
+    /**
+     * Overwrite all counters with @p snap: existing counters not in the
+     * snapshot go to zero, snapshot entries are set to their saved
+     * values (interning new names as needed). Handles already interned
+     * stay valid — this is how checkpoint restore rewinds a registry
+     * without invalidating the core model's cached StatIds.
+     */
+    void restore(const StatSnapshot& snap);
+
     /** Sorted list of all counter names seen so far. */
     std::vector<std::string> names() const;
 

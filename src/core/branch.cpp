@@ -300,4 +300,107 @@ BranchPredictor::flipStateBit(uint64_t bit)
     pathHist_[bit / kHistRegBits] ^= 1ull << (bit % kHistRegBits);
 }
 
+// ---- Checkpoint surface ----
+
+namespace {
+
+/** u8 tables: length prefix + raw counters. */
+void
+saveU8Vec(common::BinWriter& w, const std::vector<uint8_t>& v)
+{
+    w.u64(v.size());
+    for (uint8_t x : v)
+        w.u8(x);
+}
+
+common::Status
+loadU8Vec(common::BinReader& r, std::vector<uint8_t>& v)
+{
+    uint64_t n = r.u64();
+    if (r.failed() || n != v.size())
+        return common::Error::invalidArgument(
+            "predictor table size mismatch");
+    for (auto& x : v)
+        x = r.u8();
+    return r.status("predictor table");
+}
+
+} // namespace
+
+void
+BranchPredictor::saveState(common::BinWriter& w) const
+{
+    saveU8Vec(w, bimodal_);
+    saveU8Vec(w, gshare_);
+    saveU8Vec(w, gshare2_);
+    saveU8Vec(w, gshare2Meta_);
+    saveU8Vec(w, choice_);
+    w.u64(localHist_.size());
+    for (uint16_t x : localHist_)
+        w.u16(x);
+    saveU8Vec(w, localTag_);
+    saveU8Vec(w, localPattern_);
+    w.u64(indirect_.size());
+    for (const IndirectEntry& e : indirect_) {
+        w.u64(e.tag);
+        w.u64(e.target);
+        w.u64(e.lru);
+        w.b(e.valid);
+    }
+    for (int t = 0; t < kMaxThreads; ++t)
+        w.u64(ghist_[t]);
+    for (int t = 0; t < kMaxThreads; ++t)
+        w.u64(pathHist_[t]);
+    w.u64(stamp_);
+    w.b(lastBimodal_);
+    w.b(lastGlobal_);
+    w.b(lastUsedLocal_);
+    w.b(lastLocal_);
+}
+
+common::Status
+BranchPredictor::loadState(common::BinReader& r)
+{
+    if (auto st = loadU8Vec(r, bimodal_); !st.ok())
+        return st;
+    if (auto st = loadU8Vec(r, gshare_); !st.ok())
+        return st;
+    if (auto st = loadU8Vec(r, gshare2_); !st.ok())
+        return st;
+    if (auto st = loadU8Vec(r, gshare2Meta_); !st.ok())
+        return st;
+    if (auto st = loadU8Vec(r, choice_); !st.ok())
+        return st;
+    uint64_t nLocal = r.u64();
+    if (r.failed() || nLocal != localHist_.size())
+        return common::Error::invalidArgument(
+            "predictor table size mismatch");
+    for (auto& x : localHist_)
+        x = r.u16();
+    if (auto st = loadU8Vec(r, localTag_); !st.ok())
+        return st;
+    if (auto st = loadU8Vec(r, localPattern_); !st.ok())
+        return st;
+    uint64_t nInd = r.u64();
+    if (r.failed() || nInd != indirect_.size())
+        return common::Error::invalidArgument(
+            "predictor table size mismatch");
+    for (IndirectEntry& e : indirect_) {
+        e.tag = r.u64();
+        e.target = r.u64();
+        e.lru = r.u64();
+        e.valid = r.b();
+    }
+    for (int t = 0; t < kMaxThreads; ++t)
+        ghist_[t] = r.u64();
+    for (int t = 0; t < kMaxThreads; ++t)
+        pathHist_[t] = r.u64();
+    stamp_ = r.u64();
+    lastBimodal_ = r.b();
+    lastGlobal_ = r.b();
+    lastUsedLocal_ = r.b();
+    lastLocal_ = r.b();
+    return r.status("branch predictor");
+}
+
 } // namespace p10ee::core

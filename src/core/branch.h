@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serialize.h"
 #include "core/config.h"
 
 namespace p10ee::core {
@@ -59,6 +60,14 @@ class BranchPredictor
 
     /** Flip one state bit. @pre bit < stateBits(). */
     void flipStateBit(uint64_t bit);
+
+    // ---- Checkpoint surface (src/ckpt) ----
+
+    /** Serialize table sizes (for validation) plus all mutable state. */
+    void saveState(common::BinWriter& w) const;
+
+    /** Restore from saveState(); table sizes must match this config. */
+    common::Status loadState(common::BinReader& r);
 
   private:
     struct IndirectEntry

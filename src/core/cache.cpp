@@ -135,6 +135,52 @@ CacheModel::flipStateBit(uint64_t bit)
     }
 }
 
+void
+CacheModel::saveState(common::BinWriter& w) const
+{
+    w.u32(ways_);
+    w.u32(lineSize_);
+    w.u32(numSets_);
+    w.u64(stamp_);
+    w.u64(poisonedHits_);
+    for (const Way& way : ways_store_) {
+        w.u64(way.tag);
+        w.u64(way.lru);
+        w.b(way.valid);
+        w.b(way.poisoned);
+    }
+}
+
+common::Status
+CacheModel::loadState(common::BinReader& r)
+{
+    uint32_t ways = r.u32();
+    uint32_t lineSize = r.u32();
+    uint32_t numSets = r.u32();
+    if (r.failed() || ways != ways_ || lineSize != lineSize_ ||
+        numSets != numSets_)
+        return common::Error::invalidArgument("cache geometry mismatch");
+    uint64_t stamp = r.u64();
+    uint64_t poisonedHits = r.u64();
+    // 18 serialized bytes per way; reject truncated input before the
+    // element loop so a corrupt buffer cannot half-apply.
+    if (!r.fits(ways_store_.size(), 18))
+        return r.status("cache state");
+    std::vector<Way> store(ways_store_.size());
+    for (Way& way : store) {
+        way.tag = r.u64();
+        way.lru = r.u64();
+        way.valid = r.b();
+        way.poisoned = r.b();
+    }
+    if (r.failed())
+        return r.status("cache state");
+    stamp_ = stamp;
+    poisonedHits_ = poisonedHits;
+    ways_store_ = std::move(store);
+    return common::okStatus();
+}
+
 TranslationCache::TranslationCache(int entries, uint32_t pageBytes,
                                    uint32_t ways)
     : tags_(static_cast<uint64_t>(entries) * pageBytes,

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serialize.h"
 #include "core/config.h"
 
 namespace p10ee::core {
@@ -66,6 +67,18 @@ class CacheModel
     /** Tag bits exposed per way in the injectable space. */
     static constexpr uint64_t kTagBits = 44;
 
+    // ---- Checkpoint surface (src/ckpt) ----
+
+    /** Serialize geometry (for validation) plus all mutable state. */
+    void saveState(common::BinWriter& w) const;
+
+    /**
+     * Restore from saveState(). Geometry must match this instance's;
+     * corrupt or mismatched input leaves the model unchanged or reset,
+     * never out of bounds.
+     */
+    common::Status loadState(common::BinReader& r);
+
   private:
     struct Way
     {
@@ -102,6 +115,13 @@ class TranslationCache
 
     /** Underlying tag array (fault-injection surface). */
     CacheModel& tags() { return tags_; }
+
+    /** Checkpoint passthroughs to the underlying tag array. */
+    void saveState(common::BinWriter& w) const { tags_.saveState(w); }
+    common::Status loadState(common::BinReader& r)
+    {
+        return tags_.loadState(r);
+    }
 
   private:
     CacheModel tags_;

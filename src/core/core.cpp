@@ -687,14 +687,15 @@ CoreModel::maybeSample(uint64_t /*i*/)
     }
 }
 
-RunResult
-CoreModel::run(const std::vector<workloads::InstrSource*>& sources,
-               const RunOptions& opts)
+void
+CoreModel::beginRun(const std::vector<workloads::InstrSource*>& sources,
+                    bool infiniteL2)
 {
     P10_ASSERT(!sources.empty(), "no instruction sources");
     numThreads_ = static_cast<int>(sources.size());
     collectTimings_ = false;
-    infiniteL2_ = opts.infiniteL2;
+    measuring_ = false;
+    infiniteL2_ = infiniteL2;
 
     threads_.clear();
     for (auto* src : sources) {
@@ -702,25 +703,48 @@ CoreModel::run(const std::vector<workloads::InstrSource*>& sources,
         ts->src = src;
         threads_.push_back(std::move(ts));
     }
+}
 
-    auto stepOne = [&]() {
-        // Earliest-fetch-first SMT arbitration.
-        int pick = 0;
-        uint64_t best = threads_[0]->nextFetch;
-        for (int t = 1; t < numThreads_; ++t) {
-            if (threads_[static_cast<size_t>(t)]->nextFetch < best) {
-                best = threads_[static_cast<size_t>(t)]->nextFetch;
-                pick = t;
-            }
+void
+CoreModel::stepOne()
+{
+    // Earliest-fetch-first SMT arbitration.
+    int pick = 0;
+    uint64_t best = threads_[0]->nextFetch;
+    for (int t = 1; t < numThreads_; ++t) {
+        if (threads_[static_cast<size_t>(t)]->nextFetch < best) {
+            best = threads_[static_cast<size_t>(t)]->nextFetch;
+            pick = t;
         }
-        TraceInstr in = threads_[static_cast<size_t>(pick)]->src->next();
-        processInstr(pick, in);
-    };
+    }
+    TraceInstr in = threads_[static_cast<size_t>(pick)]->src->next();
+    processInstr(pick, in);
+}
 
+void
+CoreModel::advance(uint64_t instrs)
+{
+    P10_ASSERT(!threads_.empty(), "advance before beginRun");
+    P10_ASSERT(!measuring_, "advance inside a measurement window");
     // Warmup: trains caches, predictors, prefetch streams.
-    measuring_ = false;
-    for (uint64_t i = 0; i < opts.warmupInstrs; ++i)
+    for (uint64_t i = 0; i < instrs; ++i)
         stepOne();
+}
+
+RunResult
+CoreModel::run(const std::vector<workloads::InstrSource*>& sources,
+               const RunOptions& opts)
+{
+    beginRun(sources, opts.infiniteL2);
+    advance(opts.warmupInstrs);
+    return measure(opts);
+}
+
+RunResult
+CoreModel::measure(const RunOptions& opts)
+{
+    P10_ASSERT(!threads_.empty(), "measure before beginRun");
+    infiniteL2_ = opts.infiniteL2;
 
     uint64_t baseCycle = 0;
     uint64_t baseInstrs = 0;
@@ -792,6 +816,269 @@ CoreModel::run(const std::vector<workloads::InstrSource*>& sources,
     result.stats["cycles"] = result.cycles;
     result.timings = std::move(timings_);
     return result;
+}
+
+// ---- Checkpoint surface ----
+
+namespace {
+
+void
+saveDeque(common::BinWriter& w, const std::deque<uint64_t>& d)
+{
+    w.u64(d.size());
+    for (uint64_t x : d)
+        w.u64(x);
+}
+
+common::Status
+loadDeque(common::BinReader& r, std::deque<uint64_t>& d)
+{
+    uint64_t n = r.u64();
+    if (!r.fits(n, 8))
+        return r.status("pipeline queue");
+    d.clear();
+    for (uint64_t i = 0; i < n; ++i)
+        d.push_back(r.u64());
+    return r.status("pipeline queue");
+}
+
+void
+saveInstr(common::BinWriter& w, const TraceInstr& in)
+{
+    w.u8(static_cast<uint8_t>(in.op));
+    for (uint16_t s : in.src)
+        w.u16(s);
+    w.u16(in.dest);
+    w.u64(in.pc);
+    w.u64(in.addr);
+    w.u16(in.size);
+    w.u8(in.memTier);
+    w.b(in.taken);
+    w.u64(in.target);
+    w.b(in.prefixed);
+    w.b(in.gemm);
+    w.f32(in.toggle);
+}
+
+common::Status
+loadInstr(common::BinReader& r, TraceInstr& in)
+{
+    uint8_t op = r.u8();
+    if (r.failed() ||
+        op >= static_cast<uint8_t>(OpClass::NumOpClasses))
+        return common::Error::invalidArgument(
+            "instruction op class out of range");
+    in.op = static_cast<OpClass>(op);
+    for (auto& s : in.src)
+        s = r.u16();
+    in.dest = r.u16();
+    in.pc = r.u64();
+    in.addr = r.u64();
+    in.size = r.u16();
+    in.memTier = r.u8();
+    in.taken = r.b();
+    in.target = r.u64();
+    in.prefixed = r.b();
+    in.gemm = r.b();
+    in.toggle = r.f32();
+    return r.status("instruction record");
+}
+
+} // namespace
+
+void
+CoreModel::saveThread(common::BinWriter& w, const ThreadState& ts) const
+{
+    w.u64(ts.nextFetch);
+    w.u64(ts.lastDecode);
+    w.u64(ts.lastCommit);
+    w.u64(ts.instrs);
+    for (uint64_t v : ts.regReady)
+        w.u64(v);
+    for (OpClass p : ts.regProducer)
+        w.u8(static_cast<uint8_t>(p));
+    for (uint64_t v : ts.accChain)
+        w.u64(v);
+    saveDeque(w, ts.rob);
+    saveDeque(w, ts.fetchBuf);
+    saveDeque(w, ts.ldq);
+    saveDeque(w, ts.stq);
+    saveDeque(w, ts.lmq);
+    w.u64(ts.lastILine);
+    w.u64(ts.lastStoreLine);
+    w.b(ts.havePrev);
+    saveInstr(w, ts.prev);
+    w.u64(ts.prevIssue);
+    w.u64(ts.prevComplete);
+}
+
+common::Status
+CoreModel::loadThread(common::BinReader& r, ThreadState& ts)
+{
+    ts.nextFetch = r.u64();
+    ts.lastDecode = r.u64();
+    ts.lastCommit = r.u64();
+    ts.instrs = r.u64();
+    for (auto& v : ts.regReady)
+        v = r.u64();
+    for (auto& p : ts.regProducer) {
+        uint8_t raw = r.u8();
+        if (!r.failed() &&
+            raw >= static_cast<uint8_t>(OpClass::NumOpClasses))
+            return common::Error::invalidArgument(
+                "register producer op class out of range");
+        p = static_cast<OpClass>(raw);
+    }
+    for (auto& v : ts.accChain)
+        v = r.u64();
+    if (auto st = loadDeque(r, ts.rob); !st.ok())
+        return st;
+    if (auto st = loadDeque(r, ts.fetchBuf); !st.ok())
+        return st;
+    if (auto st = loadDeque(r, ts.ldq); !st.ok())
+        return st;
+    if (auto st = loadDeque(r, ts.stq); !st.ok())
+        return st;
+    if (auto st = loadDeque(r, ts.lmq); !st.ok())
+        return st;
+    ts.lastILine = r.u64();
+    ts.lastStoreLine = r.u64();
+    ts.havePrev = r.b();
+    if (auto st = loadInstr(r, ts.prev); !st.ok())
+        return st;
+    ts.prevIssue = r.u64();
+    ts.prevComplete = r.u64();
+    return r.status("thread state");
+}
+
+void
+CoreModel::saveState(common::BinWriter& w) const
+{
+    P10_ASSERT(!threads_.empty(), "saveState before beginRun");
+    P10_ASSERT(!measuring_, "saveState inside a measurement window");
+
+    w.u32(static_cast<uint32_t>(numThreads_));
+
+    common::StatSnapshot snap = stats_.snapshot();
+    w.u64(snap.size());
+    for (const auto& [name, value] : snap) {
+        w.str(name);
+        w.u64(value);
+    }
+
+    l1i_.saveState(w);
+    l1d_.saveState(w);
+    l2_.saveState(w);
+    l3_.saveState(w);
+    ierat_.saveState(w);
+    derat_.saveState(w);
+    tlb_.saveState(w);
+    bp_.saveState(w);
+    prefetcher_.saveState(w);
+    saveDeque(w, lmq_);
+
+    // Every future ring probe happens at a cycle >= the fetch cycle of
+    // the next processed instruction, which is >= the minimum nextFetch
+    // across threads (nextFetch is monotonic per thread), so slots
+    // stamped below that horizon are dead and need not be saved.
+    uint64_t minCycle = ~0ull;
+    for (const auto& ts : threads_)
+        minCycle = std::min(minCycle, ts->nextFetch);
+    fetchRing_.saveState(w, minCycle);
+    decodeRing_.saveState(w, minCycle);
+    dispatchRing_.saveState(w, minCycle);
+    issueRing_.saveState(w, minCycle);
+    commitRing_.saveState(w, minCycle);
+    aluRing_.saveState(w, minCycle);
+    fpRing_.saveState(w, minCycle);
+    vsuIntRing_.saveState(w, minCycle);
+    ldRing_.saveState(w, minCycle);
+    stRing_.saveState(w, minCycle);
+    brRing_.saveState(w, minCycle);
+    mmaRing_.saveState(w, minCycle);
+    w.b(lsCombinedRing_ != nullptr);
+    if (lsCombinedRing_)
+        lsCombinedRing_->saveState(w, minCycle);
+
+    l2Server_.saveState(w);
+    l3Server_.saveState(w);
+    memServer_.saveState(w);
+
+    for (const auto& ts : threads_)
+        saveThread(w, *ts);
+}
+
+common::Status
+CoreModel::loadState(common::BinReader& r)
+{
+    P10_ASSERT(!threads_.empty(), "loadState before beginRun");
+
+    uint32_t nThreads = r.u32();
+    if (r.failed() || nThreads != static_cast<uint32_t>(numThreads_))
+        return common::Error::invalidArgument(
+            "checkpoint thread count mismatch");
+
+    uint64_t nStats = r.u64();
+    // Name + value cost at least 12 bytes per entry (u32 length + u64).
+    if (!r.fits(nStats, 12))
+        return r.status("stat snapshot");
+    common::StatSnapshot snap;
+    for (uint64_t i = 0; i < nStats; ++i) {
+        std::string name = r.str();
+        uint64_t value = r.u64();
+        if (r.failed())
+            return r.status("stat snapshot");
+        snap[name] = value;
+    }
+    stats_.restore(snap);
+
+    if (auto st = l1i_.loadState(r); !st.ok())
+        return st;
+    if (auto st = l1d_.loadState(r); !st.ok())
+        return st;
+    if (auto st = l2_.loadState(r); !st.ok())
+        return st;
+    if (auto st = l3_.loadState(r); !st.ok())
+        return st;
+    if (auto st = ierat_.loadState(r); !st.ok())
+        return st;
+    if (auto st = derat_.loadState(r); !st.ok())
+        return st;
+    if (auto st = tlb_.loadState(r); !st.ok())
+        return st;
+    if (auto st = bp_.loadState(r); !st.ok())
+        return st;
+    if (auto st = prefetcher_.loadState(r); !st.ok())
+        return st;
+    if (auto st = loadDeque(r, lmq_); !st.ok())
+        return st;
+
+    ThrottleRing* rings[] = {&fetchRing_, &decodeRing_, &dispatchRing_,
+                             &issueRing_, &commitRing_, &aluRing_,
+                             &fpRing_, &vsuIntRing_, &ldRing_, &stRing_,
+                             &brRing_, &mmaRing_};
+    for (ThrottleRing* ring : rings)
+        if (auto st = ring->loadState(r); !st.ok())
+            return st;
+    bool hasLsCombined = r.b();
+    if (r.failed() || hasLsCombined != (lsCombinedRing_ != nullptr))
+        return common::Error::invalidArgument(
+            "combined load/store ring presence mismatch");
+    if (lsCombinedRing_)
+        if (auto st = lsCombinedRing_->loadState(r); !st.ok())
+            return st;
+
+    if (auto st = l2Server_.loadState(r); !st.ok())
+        return st;
+    if (auto st = l3Server_.loadState(r); !st.ok())
+        return st;
+    if (auto st = memServer_.loadState(r); !st.ok())
+        return st;
+
+    for (auto& ts : threads_)
+        if (auto st = loadThread(r, *ts); !st.ok())
+            return st;
+    return r.status("core state");
 }
 
 } // namespace p10ee::core

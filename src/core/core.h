@@ -91,9 +91,48 @@ class CoreModel
     /**
      * Run @p threads SMT hardware threads, one instruction source each,
      * for warmup + measurement, and return the measurement window.
+     * Equivalent to beginRun + advance(warmup) + measure.
      */
     RunResult run(const std::vector<workloads::InstrSource*>& threads,
                   const RunOptions& opts);
+
+    // ---- Split-phase run API (src/ckpt warmup fast-forward) ----
+    // beginRun binds sources and resets per-run state; advance() steps
+    // instructions without opening a measurement window (warmup);
+    // measure() then runs the measured region. A checkpoint captured
+    // between advance() and measure() lets later runs skip the warmup:
+    // restore + measure() is bit-identical to advance + measure().
+
+    /** Bind one instruction source per SMT thread and reset run state. */
+    void beginRun(const std::vector<workloads::InstrSource*>& threads,
+                  bool infiniteL2 = false);
+
+    /** Step @p instrs instructions outside any measurement window. */
+    void advance(uint64_t instrs);
+
+    /**
+     * Run the measurement window (opts.warmupInstrs is ignored — any
+     * warmup has already been advance()d or restored) and return it.
+     */
+    RunResult measure(const RunOptions& opts);
+
+    // ---- Checkpoint surface (src/ckpt) ----
+
+    /**
+     * Serialize all state that determines future simulation: stats,
+     * tag arrays, predictor/prefetcher tables, throttle rings,
+     * bandwidth servers and per-thread pipeline state. Must be called
+     * between beginRun/advance and measure (never mid-measurement);
+     * instruction sources are serialized separately by the owner.
+     */
+    void saveState(common::BinWriter& w) const;
+
+    /**
+     * Restore state saved by saveState() into a model constructed with
+     * the same config and beginRun() with the same thread count. On
+     * failure the model is partially mutated and must be discarded.
+     */
+    common::Status loadState(common::BinReader& r);
 
     /** The configuration this core realizes. */
     const CoreConfig& config() const { return cfg_; }
@@ -138,8 +177,11 @@ class CoreModel
             commitOp;
     };
 
+    void stepOne();
     void processInstr(int t, const isa::TraceInstr& in);
     void maybeSample(uint64_t i);
+    void saveThread(common::BinWriter& w, const ThreadState& ts) const;
+    common::Status loadThread(common::BinReader& r, ThreadState& ts);
     uint64_t fetchCycle(ThreadState& ts, const isa::TraceInstr& in);
     uint64_t missLatency(uint64_t addr, uint64_t when, bool isInstr,
                          uint8_t tier = 0xff);

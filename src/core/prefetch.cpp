@@ -69,4 +69,37 @@ StreamPrefetcher::reset()
     stamp_ = 0;
 }
 
+void
+StreamPrefetcher::saveState(common::BinWriter& w) const
+{
+    w.u64(streams_.size());
+    w.u32(static_cast<uint32_t>(depth_));
+    w.u64(stamp_);
+    for (const Stream& s : streams_) {
+        w.u64(s.nextLine);
+        w.u64(s.lru);
+        w.u32(static_cast<uint32_t>(s.confidence));
+        w.b(s.valid);
+    }
+}
+
+common::Status
+StreamPrefetcher::loadState(common::BinReader& r)
+{
+    uint64_t n = r.u64();
+    uint32_t depth = r.u32();
+    if (r.failed() || n != streams_.size() ||
+        depth != static_cast<uint32_t>(depth_))
+        return common::Error::invalidArgument(
+            "prefetcher geometry mismatch");
+    stamp_ = r.u64();
+    for (Stream& s : streams_) {
+        s.nextLine = r.u64();
+        s.lru = r.u64();
+        s.confidence = static_cast<int>(r.u32());
+        s.valid = r.b();
+    }
+    return r.status("stream prefetcher");
+}
+
 } // namespace p10ee::core

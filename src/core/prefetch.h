@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serialize.h"
+
 namespace p10ee::core {
 
 /**
@@ -29,6 +31,12 @@ class StreamPrefetcher
 
     /** Drop all stream state. */
     void reset();
+
+    /** Serialize geometry (for validation) plus all stream state. */
+    void saveState(common::BinWriter& w) const;
+
+    /** Restore from saveState(); geometry must match this instance's. */
+    common::Status loadState(common::BinReader& r);
 
   private:
     struct Stream

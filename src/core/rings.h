@@ -6,10 +6,12 @@
 #ifndef P10EE_CORE_RINGS_H
 #define P10EE_CORE_RINGS_H
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "common/assert.h"
+#include "common/serialize.h"
 
 namespace p10ee::core {
 
@@ -76,6 +78,59 @@ class ThrottleRing
 
     int width() const { return width_; }
 
+    /**
+     * Serialize only the slots that can still influence the future:
+     * stamped entries with stamp >= @p minCycle. Slots stamped below
+     * minCycle can never be read again (every later probe targets a
+     * cycle >= minCycle, and a slot is consulted only when its stamp
+     * equals the probed cycle), so dropping them keeps checkpoints
+     * small — a ring is 64K slots but typically has a handful live.
+     */
+    void
+    saveState(common::BinWriter& w, uint64_t minCycle) const
+    {
+        w.u64(static_cast<uint64_t>(width_));
+        w.u64(mask_);
+        uint64_t live = 0;
+        for (size_t i = 0; i <= mask_; ++i)
+            if (stamp_[i] != ~0ull && stamp_[i] >= minCycle)
+                ++live;
+        w.u64(live);
+        for (size_t i = 0; i <= mask_; ++i)
+            if (stamp_[i] != ~0ull && stamp_[i] >= minCycle) {
+                w.u64(stamp_[i]);
+                w.u16(count_[i]);
+            }
+    }
+
+    /** Restore from saveState(); fails on geometry or range mismatch. */
+    common::Status
+    loadState(common::BinReader& r)
+    {
+        uint64_t width = r.u64();
+        uint64_t mask = r.u64();
+        if (r.failed() || width != static_cast<uint64_t>(width_) ||
+            mask != mask_)
+            return common::Error::invalidArgument(
+                "throttle ring geometry mismatch");
+        uint64_t live = r.u64();
+        if (!r.fits(live, 10)) // 8-byte stamp + 2-byte count per entry
+            return r.status("throttle ring");
+        std::fill(stamp_.begin(), stamp_.end(), ~0ull);
+        std::fill(count_.begin(), count_.end(), 0);
+        for (uint64_t k = 0; k < live; ++k) {
+            uint64_t stamp = r.u64();
+            uint16_t count = r.u16();
+            if (r.failed() || stamp == ~0ull || count == 0 ||
+                count > static_cast<uint64_t>(width_))
+                return common::Error::invalidArgument(
+                    "throttle ring entry out of range");
+            stamp_[stamp & mask_] = stamp;
+            count_[stamp & mask_] = count;
+        }
+        return r.status("throttle ring");
+    }
+
   private:
     int width_;
     size_t mask_;
@@ -106,6 +161,27 @@ class BandwidthServer
     }
 
     void setOccupancy(uint32_t occ) { occupancy_ = occ; }
+
+    /** Serialize the busy horizon (occupancy is config, checked on load). */
+    void
+    saveState(common::BinWriter& w) const
+    {
+        w.u32(occupancy_);
+        w.u64(nextFree_);
+    }
+
+    /** Restore from saveState(); fails if occupancy differs. */
+    common::Status
+    loadState(common::BinReader& r)
+    {
+        uint32_t occ = r.u32();
+        uint64_t nextFree = r.u64();
+        if (r.failed() || occ != occupancy_)
+            return common::Error::invalidArgument(
+                "bandwidth server occupancy mismatch");
+        nextFree_ = nextFree;
+        return common::okStatus();
+    }
 
   private:
     uint32_t occupancy_;

@@ -1,0 +1,224 @@
+#include "sweep/cache.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "ckpt/checkpoint.h"
+#include "common/assert.h"
+#include "common/hash.h"
+#include "common/serialize.h"
+#include "obs/json.h"
+
+namespace p10ee::sweep {
+
+using common::BinReader;
+using common::BinWriter;
+using common::Error;
+using common::ErrorCode;
+using common::Fnv1a;
+using common::Status;
+
+namespace {
+
+constexpr char kMagic[8] = {'P', '1', '0', 'S', 'H', 'R', 'D', '\0'};
+
+void
+serializeResult(BinWriter& w, const ShardResult& s)
+{
+    w.u64(s.index);
+    w.str(s.key);
+    w.b(s.ok);
+    w.u8(static_cast<uint8_t>(s.error.code));
+    w.str(s.error.message);
+    w.u64(static_cast<uint64_t>(s.retries));
+    w.u64(s.cycles);
+    w.u64(s.instrs);
+    w.f64(s.ipc);
+    w.f64(s.powerW);
+    w.f64(s.ipcPerW);
+    // wallSeconds is host-clock provenance, deliberately not persisted:
+    // a cached shard replays with wallSeconds == 0.
+    w.u64(s.ipcX.size());
+    for (size_t i = 0; i < s.ipcX.size(); ++i) {
+        w.f64(s.ipcX[i]);
+        w.f64(s.ipcY[i]);
+    }
+}
+
+std::optional<ShardResult>
+deserializeResult(BinReader& r)
+{
+    ShardResult s;
+    s.index = r.u64();
+    s.key = r.str();
+    s.ok = r.b();
+    uint8_t code = r.u8();
+    if (code > static_cast<uint8_t>(ErrorCode::Internal)) {
+        return std::nullopt;
+    }
+    s.error.code = static_cast<ErrorCode>(code);
+    s.error.message = r.str();
+    s.retries = static_cast<int>(r.u64());
+    s.cycles = r.u64();
+    s.instrs = r.u64();
+    s.ipc = r.f64();
+    s.powerW = r.f64();
+    s.ipcPerW = r.f64();
+    s.wallSeconds = 0.0;
+    uint64_t n = r.u64();
+    if (!r.fits(n, 16))
+        return std::nullopt;
+    s.ipcX.resize(static_cast<size_t>(n));
+    s.ipcY.resize(static_cast<size_t>(n));
+    for (size_t i = 0; i < s.ipcX.size(); ++i) {
+        s.ipcX[i] = r.f64();
+        s.ipcY[i] = r.f64();
+    }
+    if (r.failed())
+        return std::nullopt;
+    return s;
+}
+
+} // namespace
+
+ShardCache::ShardCache(std::string dir) : dir_(std::move(dir))
+{
+    P10_ASSERT(!dir_.empty(), "ShardCache requires a directory path");
+}
+
+Status
+ShardCache::prepare() const
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec || !std::filesystem::is_directory(dir_))
+        return Error::invalidArgument(
+            "cannot create cache directory: " + dir_);
+    return common::okStatus();
+}
+
+std::string
+ShardCache::canonicalKeyJson(const SweepSpec& spec, const ShardSpec& shard)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("shard_index").value(shard.index);
+    w.key("config").value(shard.configName);
+    w.key("config_hash").value(ckpt::configHash(shard.config));
+    w.key("workload").value(shard.profile.name);
+    w.key("profile_hash").value(workloads::profileHash(shard.profile));
+    w.key("profile_seed").value(shard.profile.seed);
+    w.key("smt").value(shard.smt);
+    w.key("seed_index").value(shard.seedIndex);
+    w.key("instrs").value(spec.instrs);
+    w.key("warmup").value(spec.warmup);
+    w.key("max_cycles").value(spec.maxCycles);
+    w.key("max_retries").value(spec.maxRetries);
+    w.key("infra_fail_prob").value(spec.infraFailProb);
+    w.key("sweep_seed").value(spec.seed);
+    w.key("sample_interval").value(spec.sampleInterval);
+    w.endObject();
+    return w.str();
+}
+
+uint64_t
+ShardCache::shardKey(const SweepSpec& spec, const ShardSpec& shard)
+{
+    Fnv1a h;
+    h.str(canonicalKeyJson(spec, shard));
+    h.u64(kCacheFormatVersion);
+    h.u64(ckpt::kStateSchemaVersion);
+    return h.digest();
+}
+
+std::string
+ShardCache::entryPath(uint64_t key) const
+{
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(key));
+    return dir_ + "/" + hex + ".shard";
+}
+
+std::optional<ShardResult>
+ShardCache::lookup(const SweepSpec& spec, const ShardSpec& shard) const
+{
+    uint64_t key = shardKey(spec, shard);
+    std::ifstream f(entryPath(key), std::ios::binary);
+    if (!f)
+        return std::nullopt;
+    std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(f)),
+                               std::istreambuf_iterator<char>());
+
+    // Container validation: magic, versions, stored key, checksum.
+    BinReader r(bytes);
+    for (char c : kMagic)
+        if (r.u8() != static_cast<uint8_t>(c))
+            return std::nullopt;
+    if (r.u32() != kCacheFormatVersion)
+        return std::nullopt;
+    if (r.u32() != ckpt::kStateSchemaVersion)
+        return std::nullopt;
+    if (r.u64() != key)
+        return std::nullopt;
+    if (r.failed() || bytes.size() < r.position() + 8)
+        return std::nullopt;
+    BinReader tail(bytes.data() + bytes.size() - 8, 8);
+    Fnv1a h;
+    h.bytes(bytes.data(), bytes.size() - 8);
+    if (h.digest() != tail.u64())
+        return std::nullopt;
+
+    BinReader body(bytes.data() + r.position(),
+                   bytes.size() - r.position() - 8);
+    auto res = deserializeResult(body);
+    if (!res || body.remaining() != 0)
+        return std::nullopt;
+    // Identity paranoia: a 64-bit key collision must not substitute one
+    // shard's result for another's.
+    if (res->index != shard.index || res->key != shard.key())
+        return std::nullopt;
+    return res;
+}
+
+Status
+ShardCache::insert(const SweepSpec& spec, const ShardSpec& shard,
+                   const ShardResult& result) const
+{
+    uint64_t key = shardKey(spec, shard);
+    BinWriter w;
+    for (char c : kMagic)
+        w.u8(static_cast<uint8_t>(c));
+    w.u32(kCacheFormatVersion);
+    w.u32(ckpt::kStateSchemaVersion);
+    w.u64(key);
+    serializeResult(w, result);
+    std::vector<uint8_t> bytes = w.takeBytes();
+    Fnv1a h;
+    h.bytes(bytes.data(), bytes.size());
+    BinWriter tail;
+    tail.u64(h.digest());
+    bytes.insert(bytes.end(), tail.bytes().begin(), tail.bytes().end());
+
+    std::string path = entryPath(key);
+    // Distinct shard indices never race on one temp name within a run;
+    // across runs the rename target is byte-identical anyway.
+    std::string tmp = path + ".tmp" + std::to_string(shard.index);
+    {
+        std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+        if (!f)
+            return Error::transient("cannot write cache entry: " + tmp);
+        f.write(reinterpret_cast<const char*>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+        if (!f)
+            return Error::transient("short write: " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return Error::transient("cache entry rename failed: " + path);
+    }
+    return common::okStatus();
+}
+
+} // namespace p10ee::sweep

@@ -12,6 +12,7 @@
 #include "obs/json.h"
 #include "obs/timeseries.h"
 #include "power/energy.h"
+#include "sweep/cache.h"
 #include "sweep/pool.h"
 #include "workloads/synthetic.h"
 
@@ -202,6 +203,19 @@ SweepRunner::run(int jobs)
         return expanded.error();
     const std::vector<ShardSpec>& shards = expanded.value();
 
+    std::unique_ptr<ShardCache> cache;
+    if (!cacheDir.empty()) {
+        if (!spec_.shardReportsDir.empty())
+            return Error::invalidArgument(
+                "cache directory and shard_reports_dir are mutually "
+                "exclusive: a cached shard replays its result without "
+                "re-simulating, so it cannot reproduce per-shard "
+                "report files");
+        cache = std::make_unique<ShardCache>(cacheDir);
+        if (Status st = cache->prepare(); !st)
+            return st.error();
+    }
+
     if (!spec_.shardReportsDir.empty()) {
         std::error_code ec;
         std::filesystem::create_directories(spec_.shardReportsDir, ec);
@@ -225,7 +239,24 @@ SweepRunner::run(int jobs)
     std::mutex progressMu;
     ThreadPool pool(jobs);
     pool.parallelFor(shards.size(), [&](uint64_t i) {
-        ShardResult shard = runShard(shards[i]);
+        ShardResult shard;
+        bool hit = false;
+        if (cache) {
+            if (auto cached = cache->lookup(spec_, shards[i])) {
+                shard = std::move(*cached);
+                shard.fromCache = true;
+                hit = true;
+            }
+        }
+        if (!hit) {
+            shard = runShard(shards[i]);
+            if (cache) {
+                // Best-effort: an unwritable cache degrades to not
+                // caching; it must never fail the sweep.
+                Status st = cache->insert(spec_, shards[i], shard);
+                (void)st;
+            }
+        }
         if (onProgress) {
             std::lock_guard<std::mutex> lk(progressMu);
             onProgress(shard);
@@ -239,6 +270,10 @@ SweepRunner::run(int jobs)
     // many threads ran the shards or in what order they finished.
     for (const ShardResult& s : result.shards) {
         result.retriesTotal += static_cast<uint64_t>(s.retries);
+        if (s.fromCache)
+            ++result.cachedShards;
+        else
+            ++result.simulatedShards;
         if (s.ok) {
             ++result.okCount;
             result.simInstrs +=
@@ -312,6 +347,24 @@ SweepRunner::merge(const SweepSpec& spec, const SweepResult& result,
         if (!s.ipcX.empty())
             report.addSeries("shard." + s.key + ".ipc", "ipc", s.ipcX,
                              s.ipcY);
+    return report;
+}
+
+obs::JsonReport
+SweepRunner::cacheStats(const SweepResult& result,
+                        const std::string& tool)
+{
+    obs::JsonReport report;
+    report.meta().tool = tool;
+    report.meta().git = obs::gitDescribe();
+    report.meta().wallSeconds = 0.0;
+    report.meta().hostMips = 0.0;
+    report.addScalar("sweep.shards",
+                     static_cast<double>(result.shards.size()));
+    report.addScalar("sweep.cached",
+                     static_cast<double>(result.cachedShards));
+    report.addScalar("sweep.simulated",
+                     static_cast<double>(result.simulatedShards));
     return report;
 }
 

@@ -62,6 +62,13 @@ struct ShardResult
     /** Host wall-clock of this shard (diagnostic only; NEVER merged). */
     double wallSeconds = 0.0;
 
+    /**
+     * Replayed from the shard cache instead of simulated (provenance
+     * only — cached and simulated results are byte-identical in the
+     * merged report, so this flag never influences merge()).
+     */
+    bool fromCache = false;
+
     /** Per-shard IPC telemetry when the spec samples (x = cycle). */
     std::vector<double> ipcX;
     std::vector<double> ipcY;
@@ -74,8 +81,14 @@ struct SweepResult
     uint64_t okCount = 0;
     uint64_t failed = 0;
     uint64_t retriesTotal = 0;
-    /** Simulated instructions (warmup + measured) across ok shards. */
+    /** Simulated instructions (warmup + measured) across ok shards —
+        counted identically for cached and simulated shards, so the
+        merged report's meta is cache-independent. */
     uint64_t simInstrs = 0;
+
+    /** Provenance split (cached + simulated == shards.size()). */
+    uint64_t cachedShards = 0;
+    uint64_t simulatedShards = 0;
 
     /** Geometric-mean IPC over ok shards (0 when none). */
     double geoMeanIpc() const;
@@ -99,6 +112,18 @@ class SweepRunner
     std::function<void(const ShardResult&)> onProgress;
 
     /**
+     * When non-empty, shard results are memoized in this directory
+     * (see sweep/cache.h): already-cached shards replay instead of
+     * simulating, and freshly simulated shards are inserted. The
+     * merged report is byte-identical either way; only
+     * SweepResult::cachedShards / simulatedShards and stderr
+     * provenance differ. Incompatible with spec.shardReportsDir
+     * (cached shards cannot reproduce per-shard report files) —
+     * combining them is a pre-flight error.
+     */
+    std::string cacheDir;
+
+    /**
      * Validate, expand, and run every shard on @p jobs pool threads.
      * Returns the results in shard-index order regardless of
      * completion order. Errors are pre-flight only (invalid spec,
@@ -118,6 +143,15 @@ class SweepRunner
     static obs::JsonReport merge(const SweepSpec& spec,
                                  const SweepResult& result,
                                  const std::string& tool);
+
+    /**
+     * Cache-provenance sidecar report (sweep.shards / sweep.cached /
+     * sweep.simulated). Deliberately separate from merge(): provenance
+     * depends on cache warmth, so folding it into the merged report
+     * would break the byte-identity contract.
+     */
+    static obs::JsonReport cacheStats(const SweepResult& result,
+                                      const std::string& tool);
 
   private:
     /** Run one shard in isolation (worker-thread context). */

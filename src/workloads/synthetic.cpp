@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/assert.h"
+#include "common/hash.h"
 
 namespace p10ee::workloads {
 
@@ -24,6 +25,40 @@ constexpr uint16_t kRotVsr = reg::kVsrBase + 4;
 constexpr int kNumRotVsr = 48;
 
 } // namespace
+
+uint64_t
+profileHash(const WorkloadProfile& p)
+{
+    // Every field, in declaration order: a field missing here would let
+    // two different workloads alias one cache entry or checkpoint.
+    common::BinWriter w;
+    w.str(p.name);
+    w.f64(p.loadFrac);
+    w.f64(p.storeFrac);
+    w.f64(p.branchFrac);
+    w.f64(p.fpFrac);
+    w.f64(p.vsuFrac);
+    w.f64(p.mulFrac);
+    w.f64(p.divFrac);
+    w.f64(p.biasedBranchFrac);
+    w.f64(p.takenBias);
+    w.f64(p.indirectFrac);
+    w.u64(static_cast<uint64_t>(p.indirectTargets));
+    w.f64(p.indirectDominance);
+    w.f64(p.wHot);
+    w.f64(p.wWarm);
+    w.f64(p.wCold);
+    w.f64(p.wHuge);
+    w.f64(p.strideFrac);
+    w.f64(p.depChain);
+    w.f64(p.prefixedFrac);
+    w.u64(static_cast<uint64_t>(p.numBlocks));
+    w.u64(static_cast<uint64_t>(p.avgBlockLen));
+    w.u64(p.seed);
+    common::Fnv1a h;
+    h.bytes(w.bytes().data(), w.size());
+    return h.digest();
+}
 
 ReplaySource::ReplaySource(std::string name,
                            std::vector<isa::TraceInstr> instrs)
@@ -352,6 +387,51 @@ SyntheticWorkload::next()
         ++curInstr_;
     }
     return in;
+}
+
+void
+SyntheticWorkload::saveState(common::BinWriter& w) const
+{
+    rng_.saveState(w);
+    w.u32(static_cast<uint32_t>(curBlock_));
+    w.u64(curInstr_);
+    for (uint64_t c : cursor_)
+        w.u64(c);
+    w.u64(branchCount_.size());
+    for (uint32_t c : branchCount_)
+        w.u32(c);
+    w.u64(dynInstrs_);
+}
+
+common::Status
+SyntheticWorkload::loadState(common::BinReader& r)
+{
+    common::Xoshiro rng = rng_;
+    if (auto st = rng.loadState(r); !st.ok())
+        return st;
+    uint32_t curBlock = r.u32();
+    uint64_t curInstr = r.u64();
+    uint64_t cursor[4];
+    for (auto& c : cursor)
+        c = r.u64();
+    uint64_t nBranch = r.u64();
+    if (r.failed() || curBlock >= blocks_.size() ||
+        curInstr >= blocks_[curBlock].instrs.size() ||
+        nBranch != branchCount_.size())
+        return common::Error::invalidArgument(
+            "workload walker state out of range");
+    for (auto& c : branchCount_)
+        c = r.u32();
+    uint64_t dynInstrs = r.u64();
+    if (r.failed())
+        return r.status("workload state");
+    rng_ = rng;
+    curBlock_ = static_cast<int>(curBlock);
+    curInstr_ = curInstr;
+    for (int i = 0; i < 4; ++i)
+        cursor_[i] = cursor[i];
+    dynInstrs_ = dynInstrs;
+    return common::okStatus();
 }
 
 } // namespace p10ee::workloads

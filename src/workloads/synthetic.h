@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/serialize.h"
 #include "isa/instr.h"
 #include "workloads/source.h"
 
@@ -95,6 +96,15 @@ struct WorkloadProfile
 };
 
 /**
+ * Deterministic FNV-1a content hash over every WorkloadProfile field,
+ * stable across platforms. Used wherever a profile keys persisted
+ * state (sweep shard cache entries, warmup checkpoints): a profile
+ * whose *definition* changed invalidates by content even when its name
+ * did not.
+ */
+uint64_t profileHash(const WorkloadProfile& p);
+
+/**
  * CFG-walking instruction generator for one profile.
  *
  * Construction synthesizes the static code (blocks, templates, branch
@@ -124,6 +134,21 @@ class SyntheticWorkload : public InstrSource
 
     /** Index of the block the walker is currently in. */
     int currentBlock() const { return curBlock_; }
+
+    // ---- Checkpoint surface (src/ckpt) ----
+    // The static code is rebuilt deterministically from (profile,
+    // threadId) at construction, so only the walker's dynamic state is
+    // serialized: RNG, block cursor, region cursors, branch counters.
+
+    /** Serialize the dynamic walker state. */
+    void saveState(common::BinWriter& w) const;
+
+    /**
+     * Restore state saved by saveState() into a generator constructed
+     * from the same profile and threadId; cursor and counter ranges
+     * are validated against the rebuilt static code.
+     */
+    common::Status loadState(common::BinReader& r);
 
   private:
     /** One static instruction template. */
