@@ -55,15 +55,14 @@ main(int argc, char** argv)
     const int progressEvery = spec.injections >= 10
                                   ? spec.injections / 10
                                   : 1;
-    spec.onProgress = [&](const fault::InjectionRecord& r) {
+    spec.onProgress = [&](const api::ProgressEvent& ev) {
         bench::accountSimInstrs(spec.warmupInstrs +
                                 spec.measureInstrs);
-        if ((r.id + 1) % progressEvery == 0)
-            std::fprintf(stderr, "  [%4d/%d] last: %s -> %s%s\n",
-                         r.id + 1, spec.injections,
-                         r.component.c_str(),
-                         fault::outcomeName(r.outcome),
-                         r.skipped ? " (skipped)" : "");
+        if ((ev.index + 1) % static_cast<uint64_t>(progressEvery) == 0)
+            std::fprintf(stderr, "  [%4llu/%llu] last: %s -> %s\n",
+                         static_cast<unsigned long long>(ev.index + 1),
+                         static_cast<unsigned long long>(ev.total),
+                         ev.key.c_str(), ev.status.c_str());
     };
 
     fault::CampaignRunner runner(cfg, *prof, spec);

@@ -5,9 +5,9 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <filesystem>
 
+#include "api/args.h"
 #include "ckpt/checkpoint.h"
 #include "common/hash.h"
 #include "sweep/pool.h"
@@ -24,29 +24,6 @@ std::atomic<uint64_t> g_simInstrs{0};
     before any workers start, read-only afterwards. */
 std::string g_ckptDir;
 
-[[noreturn]] void
-usageExit(const std::string& tool, const std::string& why)
-{
-    std::fprintf(stderr, "%s: %s\n", tool.c_str(), why.c_str());
-    std::fprintf(stderr,
-                 "usage: %s [--json <path>] [--instrs <n>] "
-                 "[--warmup <n>] [--jobs <n>] [--ckpt-dir <d>]\n",
-                 tool.c_str());
-    std::exit(2);
-}
-
-uint64_t
-parseCount(const std::string& tool, const char* flag, const char* text)
-{
-    char* end = nullptr;
-    errno = 0;
-    unsigned long long v = std::strtoull(text, &end, 10);
-    if (errno != 0 || end == text || *end != '\0')
-        usageExit(tool, std::string(flag) + " expects a non-negative "
-                            "integer, got '" + text + "'");
-    return static_cast<uint64_t>(v);
-}
-
 } // namespace
 
 void
@@ -55,50 +32,59 @@ accountSimInstrs(uint64_t n)
     g_simInstrs.fetch_add(n, std::memory_order_relaxed);
 }
 
-BenchContext
-benchInit(int argc, char** argv, const std::string& tool)
+common::Expected<BenchContext>
+tryBenchInit(int argc, char** argv, const std::string& tool)
 {
     BenchContext ctx;
     ctx.report.meta().tool = tool;
     ctx.report.meta().git = obs::gitDescribe();
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        auto next = [&](const char* flag) -> const char* {
-            if (i + 1 >= argc)
-                usageExit(tool, std::string(flag) + " needs a value");
-            return argv[++i];
-        };
-        if (arg == "--json")
-            ctx.jsonPath = next("--json");
-        else if (arg == "--instrs")
-            ctx.instrsOverride =
-                parseCount(tool, "--instrs", next("--instrs"));
-        else if (arg == "--warmup") {
-            ctx.warmupOverride =
-                parseCount(tool, "--warmup", next("--warmup"));
-            ctx.warmupSet = true;
-        } else if (arg == "--jobs") {
-            const uint64_t n =
-                parseCount(tool, "--jobs", next("--jobs"));
-            if (n < 1 || n > 256)
-                usageExit(tool, "--jobs must be in [1,256]");
-            ctx.jobs = static_cast<int>(n);
-        } else if (arg == "--ckpt-dir") {
-            ctx.ckptDir = next("--ckpt-dir");
-        } else
-            usageExit(tool, "unknown argument '" + arg + "'");
+
+    api::ArgParser parser(
+        tool, "Regenerate one paper figure/table and optionally emit "
+              "the machine-readable report.");
+    api::stdflags::out(parser, &ctx.jsonPath);
+    api::stdflags::instrs(parser, &ctx.instrsOverride);
+    api::stdflags::warmup(parser, &ctx.warmupOverride, &ctx.warmupSet);
+    api::stdflags::jobs(parser, &ctx.jobs);
+    parser.str("--ckpt-dir", &ctx.ckptDir, "dir",
+               "memoize warmup snapshots; matching runs restore "
+               "instead of re-simulating the warmup");
+    if (auto st = parser.parse(argc, argv); !st)
+        return st.error();
+    ctx.helpText = parser.help();
+    if (parser.helpRequested()) {
+        ctx.helpRequested = true;
+        return ctx;
     }
+
     g_ckptDir = ctx.ckptDir;
     if (!g_ckptDir.empty()) {
         std::error_code ec;
         std::filesystem::create_directories(g_ckptDir, ec);
         if (ec || !std::filesystem::is_directory(g_ckptDir))
-            usageExit(tool, "--ckpt-dir: cannot create directory '" +
-                                g_ckptDir + "'");
+            return common::Error::invalidArgument(
+                "--ckpt-dir: cannot create directory '" + g_ckptDir +
+                "'");
     }
     g_simInstrs.store(0, std::memory_order_relaxed);
     ctx.start = std::chrono::steady_clock::now();
     return ctx;
+}
+
+BenchContext
+benchInit(int argc, char** argv, const std::string& tool)
+{
+    auto ctxOr = tryBenchInit(argc, argv, tool);
+    if (!ctxOr) {
+        std::fprintf(stderr, "%s: %s\n", tool.c_str(),
+                     ctxOr.error().message.c_str());
+        std::exit(2);
+    }
+    if (ctxOr.value().helpRequested) {
+        std::fputs(ctxOr.value().helpText.c_str(), stdout);
+        std::exit(0);
+    }
+    return std::move(ctxOr).value();
 }
 
 void

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.h"
 #include "core/core.h"
 #include "obs/report.h"
 #include "power/energy.h"
@@ -30,8 +31,10 @@ namespace p10ee::bench {
  * Shared bench-binary harness: common flag parsing plus the
  * machine-readable report every bench emits.
  *
- * Flags understood by every bench (all optional):
- *   --json <path>   write a "p10ee-report/1" JSON report after the run
+ * Flags understood by every bench (all optional; parsed by the shared
+ * api::ArgParser table, so spellings and --help match the CLIs):
+ *   --out <path>    write a "p10ee-report/1" JSON report after the run
+ *                   (--json stays accepted as an alias)
  *   --instrs <n>    override the bench's measurement window
  *   --warmup <n>    override the bench's warmup window
  *   --jobs <n>      worker threads for runGrid-parallel benches
@@ -59,6 +62,8 @@ struct BenchContext
     bool warmupSet = false;
     int jobs = 1; ///< worker threads for runGrid (1 = serial)
     std::string ckptDir; ///< empty = warmup snapshots not requested
+    bool helpRequested = false; ///< --help seen (tryBenchInit callers)
+    std::string helpText;       ///< generated from the flag table
     std::chrono::steady_clock::time_point start;
 
     /** The measurement window: the --instrs override or @p def. */
@@ -77,8 +82,20 @@ struct BenchContext
 };
 
 /**
- * Parse the shared bench flags and start the wall clock. Unknown flags
- * and malformed values print usage and exit(2); benches keep no flags
+ * Parse the shared bench flags and start the wall clock — the
+ * Expected-propagating core. Unknown flags, malformed values and an
+ * uncreatable --ckpt-dir come back as structured Errors (never an exit
+ * or a throw), so a serving process can embed a bench run the same way
+ * the facade embeds everything else. `--help` sets ctx.helpRequested
+ * with the generated text in ctx.helpText.
+ */
+common::Expected<BenchContext> tryBenchInit(int argc, char** argv,
+                                            const std::string& tool);
+
+/**
+ * tryBenchInit for the standalone bench binaries: a parse error prints
+ * the diagnostic and exits 2 (the CLI contract), --help prints and
+ * exits 0. Only this boundary wrapper may exit; benches keep no flags
  * of their own.
  */
 BenchContext benchInit(int argc, char** argv, const std::string& tool);

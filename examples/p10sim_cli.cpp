@@ -1,15 +1,22 @@
 /**
  * @file
- * `p10sim_cli` — a small command-line front end over the whole stack:
- * pick a machine, a workload, an SMT level and a window, and get the
- * run's stats and power as a table or CSV. The scripting entry point a
- * downstream user drives parameter sweeps with.
+ * `p10sim_cli` — the single-run front end over the `p10ee::api`
+ * facade: pick a machine, a workload, an SMT level and a window, and
+ * get the run's stats and power as a table or CSV. The scripting entry
+ * point a downstream user drives parameter sweeps with.
  *
  *   p10sim_cli --config power10 --workload xz --smt 4 \
  *              --instrs 200000 [--csv] [--ablate <group>] \
- *              [--trace-out trace.json] [--stats-json stats.json] \
+ *              [--trace-out trace.json] [--out stats.json] \
  *              [--sample-interval 1024] \
  *              [--ckpt-save warm.ckpt | --ckpt-load warm.ckpt]
+ *
+ * The simulation itself runs through api::Service::runOne — the same
+ * code path a `p10d` run request takes — and the --out report is the
+ * deterministic api::Service::runReport core (host timing zeroed; real
+ * timing goes to stderr) extended with the printed table and the
+ * telemetry series. --stats-json and --json stay accepted as aliases
+ * of --out.
  *
  * --ckpt-save snapshots the machine after warmup (before the measured
  * window) into a versioned checkpoint file; --ckpt-load restores such
@@ -18,19 +25,13 @@
  */
 
 #include <algorithm>
-#include <cerrno>
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <memory>
 #include <string>
-#include <vector>
 
-#include "ckpt/checkpoint.h"
-#include "common/rng.h"
+#include "api/args.h"
+#include "api/service.h"
 #include "common/table.h"
-#include "core/core.h"
 #include "model/dataset.h"
 #include "model/proxy.h"
 #include "obs/json.h"
@@ -42,68 +43,8 @@
 #include "power/apex.h"
 #include "power/energy.h"
 #include "workloads/spec_profiles.h"
-#include "workloads/synthetic.h"
 
 using namespace p10ee;
-
-namespace {
-
-void
-usage()
-{
-    std::fprintf(
-        stderr,
-        "usage: p10sim_cli [options]\n"
-        "  --config power9|power10        machine (default power10)\n"
-        "  --ablate branch_operation|latency_bw|l2_cache|\n"
-        "           decode_double_vsx|queues   revert one POWER10 group\n"
-        "  --workload <name>              SPECint-like profile "
-        "(default perlbench)\n"
-        "  --smt 1..8                     hardware threads (default 1)\n"
-        "  --instrs N                     measured instructions\n"
-        "  --warmup N                     warmup instructions per "
-        "thread\n"
-        "  --seed N                       perturb the workload seed "
-        "(default 0: profile default)\n"
-        "  --csv                          machine-readable output\n"
-        "  --trace-out <path>             write a Chrome/Perfetto "
-        "trace of the run\n"
-        "  --stats-json <path>            write a p10ee-report/1 JSON "
-        "report\n"
-        "  --sample-interval N            telemetry interval in cycles "
-        "(default 1024)\n"
-        "  --ckpt-save <path>             checkpoint the machine after "
-        "warmup, then measure\n"
-        "  --ckpt-load <path>             restore a warmup checkpoint "
-        "and skip the warmup\n"
-        "  --list                         list workloads and exit\n");
-}
-
-/** One-line diagnostic, then usage, then the exit-2 contract. */
-[[noreturn]] void
-fail(const std::string& message)
-{
-    std::fprintf(stderr, "p10sim_cli: error: %s\n", message.c_str());
-    usage();
-    std::exit(2);
-}
-
-/** Strict base-10 u64 parse: the whole string or nothing. */
-bool
-parseU64(const char* s, uint64_t& out)
-{
-    if (s == nullptr || *s == '\0' || *s == '-' || *s == '+')
-        return false;
-    char* end = nullptr;
-    errno = 0;
-    const unsigned long long v = std::strtoull(s, &end, 10);
-    if (errno != 0 || end == s || *end != '\0')
-        return false;
-    out = v;
-    return true;
-}
-
-} // namespace
 
 int
 main(int argc, char** argv)
@@ -116,186 +57,115 @@ main(int argc, char** argv)
     uint64_t warmup = 50000;
     uint64_t seed = 0;
     bool csv = false;
+    bool list = false;
     std::string traceOut;
-    std::string statsJson;
+    std::string out;
     std::string ckptSave;
     std::string ckptLoad;
     uint64_t sampleInterval = 1024;
 
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        auto needValue = [&](const char* flag) -> const char* {
-            if (i + 1 >= argc)
-                fail(std::string(flag) + " needs a value");
-            return argv[++i];
-        };
-        auto needU64 = [&](const char* flag) -> uint64_t {
-            const char* v = needValue(flag);
-            uint64_t out = 0;
-            if (!parseU64(v, out))
-                fail(std::string(flag) +
-                     " needs a non-negative integer, got '" + v + "'");
-            return out;
-        };
-        if (arg == "--config") {
-            configName = needValue("--config");
-        } else if (arg == "--ablate") {
-            ablate = needValue("--ablate");
-        } else if (arg == "--workload") {
-            workload = needValue("--workload");
-        } else if (arg == "--smt") {
-            const char* v = needValue("--smt");
-            uint64_t parsed = 0;
-            if (!parseU64(v, parsed) || parsed < 1 || parsed > 8)
-                fail(std::string("--smt must be an integer in [1,8], "
-                                 "got '") +
-                     v + "'");
-            smt = static_cast<int>(parsed);
-        } else if (arg == "--instrs") {
-            instrs = needU64("--instrs");
-            if (instrs == 0)
-                fail("--instrs must be > 0");
-        } else if (arg == "--warmup") {
-            warmup = needU64("--warmup");
-        } else if (arg == "--seed") {
-            seed = needU64("--seed");
-        } else if (arg == "--csv") {
-            csv = true;
-        } else if (arg == "--trace-out") {
-            traceOut = needValue("--trace-out");
-        } else if (arg == "--stats-json") {
-            statsJson = needValue("--stats-json");
-        } else if (arg == "--ckpt-save") {
-            ckptSave = needValue("--ckpt-save");
-        } else if (arg == "--ckpt-load") {
-            ckptLoad = needValue("--ckpt-load");
-        } else if (arg == "--sample-interval") {
-            const char* v = needValue("--sample-interval");
-            if (!parseU64(v, sampleInterval) || sampleInterval == 0)
-                fail(std::string("--sample-interval must be a positive "
-                                 "integer, got '") +
-                     v + "'");
-        } else if (arg == "--list") {
-            for (const auto& p : workloads::specint2017())
-                std::printf("%s\n", p.name.c_str());
-            for (const auto& p : workloads::extraGroups())
-                std::printf("%s\n", p.name.c_str());
-            return 0;
-        } else {
-            fail("unknown option '" + arg + "'");
-        }
+    api::ArgParser parser(
+        "p10sim_cli",
+        "Run one simulation (machine x workload x SMT) and report "
+        "stats and power.");
+    parser.str("--config", &configName, "power9|power10",
+               "machine (default power10)");
+    parser.str("--ablate", &ablate, "<group>",
+               "revert one POWER10 group (branch_operation|latency_bw|"
+               "l2_cache|decode_double_vsx|queues)");
+    parser.str("--workload", &workload, "<name>",
+               "SPECint-like profile (default perlbench)");
+    parser.intRange("--smt", &smt, 1, 8,
+                    "hardware threads (1, 2, 4 or 8; default 1)");
+    api::stdflags::instrs(parser, &instrs);
+    api::stdflags::warmup(parser, &warmup);
+    api::stdflags::seed(parser, &seed);
+    parser.boolean("--csv", &csv, "machine-readable output");
+    parser.str("--trace-out", &traceOut, "<path>",
+               "write a Chrome/Perfetto trace of the run");
+    api::stdflags::out(parser, &out);
+    parser.u64("--sample-interval", &sampleInterval,
+               "telemetry interval in cycles (default 1024)", 1);
+    parser.str("--ckpt-save", &ckptSave, "<path>",
+               "checkpoint the machine after warmup, then measure");
+    parser.str("--ckpt-load", &ckptLoad, "<path>",
+               "restore a warmup checkpoint and skip the warmup");
+    parser.boolean("--list", &list, "list workloads and exit");
+    if (auto st = parser.parse(argc, argv); !st) {
+        std::fprintf(stderr, "p10sim_cli: error: %s\n",
+                     st.error().message.c_str());
+        std::fputs(parser.help().c_str(), stderr);
+        return 2;
     }
-    if (!ckptSave.empty() && !ckptLoad.empty())
-        fail("--ckpt-save and --ckpt-load are mutually exclusive");
-
-    core::CoreConfig cfg;
-    if (!ablate.empty()) {
-        bool found = false;
-        for (int g = 0;
-             g < static_cast<int>(core::AblationGroup::NumGroups); ++g) {
-            auto group = static_cast<core::AblationGroup>(g);
-            if (core::ablationGroupName(group) == ablate) {
-                cfg = core::power10Without(group);
-                found = true;
-            }
-        }
-        if (!found)
-            fail("unknown ablation group '" + ablate + "'");
-    } else if (configName == "power9") {
-        cfg = core::power9();
-    } else if (configName == "power10") {
-        cfg = core::power10();
-    } else {
-        fail("unknown config '" + configName + "'");
+    if (parser.helpRequested()) {
+        std::fputs(parser.help().c_str(), stdout);
+        return 0;
     }
-    if (auto ok = cfg.validate(); !ok.ok())
-        fail(ok.error().str());
-
-    const workloads::WorkloadProfile* found =
-        workloads::findProfile(workload);
-    if (found == nullptr)
-        fail("unknown workload '" + workload + "' (see --list)");
-    workloads::WorkloadProfile profile = *found;
-    // A distinct seed reruns the same statistical workload over fresh
-    // stream realizations (confidence intervals for sweeps); stream
-    // derivation matches p10sweep_cli's seed axis, so any sweep shard
-    // replays in isolation with the same --seed value.
-    if (seed != 0)
-        profile.seed = common::splitSeed(profile.seed, seed);
-    std::vector<std::unique_ptr<workloads::SyntheticWorkload>> sources;
-    std::vector<workloads::InstrSource*> threads;
-    for (int t = 0; t < smt; ++t) {
-        sources.push_back(
-            std::make_unique<workloads::SyntheticWorkload>(profile, t));
-        threads.push_back(sources.back().get());
+    if (list) {
+        for (const auto& p : workloads::specint2017())
+            std::printf("%s\n", p.name.c_str());
+        for (const auto& p : workloads::extraGroups())
+            std::printf("%s\n", p.name.c_str());
+        return 0;
     }
 
-    core::CoreModel model(cfg);
-    core::RunOptions opts;
-    opts.warmupInstrs = warmup * static_cast<uint64_t>(smt);
-    opts.measureInstrs = instrs;
+    api::RunRequest req;
+    // --ablate is sugar for the facade's "ablate:<group>" spelling.
+    req.config = ablate.empty() ? configName : "ablate:" + ablate;
+    req.workload = workload;
+    req.smt = smt;
+    req.instrs = instrs;
+    req.warmup = warmup;
+    req.seed = seed;
+    req.ckptSave = ckptSave;
+    req.ckptLoad = ckptLoad;
+
     obs::TimeSeriesRecorder rec(sampleInterval);
-    const bool telemetry = !traceOut.empty() || !statsJson.empty();
+    const bool telemetry = !traceOut.empty() || !out.empty();
     if (telemetry) {
-        opts.recorder = &rec;
+        req.recorder = &rec;
         // Power tracks need per-cycle timings; only pay for them when a
         // trace or report was requested.
-        opts.collectTimings = true;
+        req.collectTimings = true;
+        req.sampleInterval = sampleInterval;
     }
-    std::vector<workloads::SyntheticWorkload*> walkers;
-    for (auto& s : sources)
-        walkers.push_back(s.get());
 
     const auto wallStart = std::chrono::steady_clock::now();
-    core::RunResult run;
-    if (!ckptLoad.empty()) {
-        auto ckOr = ckpt::Checkpoint::load(ckptLoad);
-        if (!ckOr)
-            fail(ckOr.error().str());
-        const ckpt::Checkpoint& ck = ckOr.value();
-        // The config hash and thread count are checked by restore();
-        // the workload identity must be checked here, since a walker
-        // state can be in-range for more than one static code.
-        if (ck.meta().workload != workload ||
-            ck.meta().seed != profile.seed)
-            fail("checkpoint " + ckptLoad + " was captured for "
-                 "workload '" + ck.meta().workload + "' seed " +
-                 std::to_string(ck.meta().seed) + ", not '" + workload +
-                 "' seed " + std::to_string(profile.seed));
-        model.beginRun(threads);
-        if (auto st = ck.restore(model, walkers); !st.ok())
-            fail(st.error().str());
-        std::fprintf(stderr,
-                     "restored checkpoint: %s (skipping %llu warmup "
-                     "instructions)\n",
-                     ckptLoad.c_str(),
-                     static_cast<unsigned long long>(
-                         ck.meta().warmupInstrs));
-    } else {
-        model.beginRun(threads);
-        model.advance(opts.warmupInstrs);
-        if (!ckptSave.empty()) {
-            ckpt::CheckpointMeta meta;
-            meta.configName = cfg.name;
-            meta.workload = workload;
-            meta.warmupInstrs = opts.warmupInstrs;
-            meta.seed = profile.seed;
-            auto ck = ckpt::Checkpoint::capture(model, walkers, meta);
-            if (auto st = ck.save(ckptSave); !st.ok()) {
-                std::fprintf(stderr, "p10sim_cli: error: %s\n",
-                             st.error().message.c_str());
-                return 1;
-            }
-            std::fprintf(stderr, "wrote checkpoint: %s (%zu bytes)\n",
-                         ckptSave.c_str(), ck.payloadBytes());
-        }
-    }
-    run = model.measure(opts);
+    api::Service service;
+    auto outcomeOr = service.runOne(req);
     const std::chrono::duration<double> wall =
         std::chrono::steady_clock::now() - wallStart;
-    power::EnergyModel energy(cfg);
-    auto power = energy.evalCounters(run);
+    if (!outcomeOr) {
+        const common::Error& e = outcomeOr.error();
+        const bool usageClass =
+            e.code == common::ErrorCode::InvalidConfig ||
+            e.code == common::ErrorCode::InvalidArgument ||
+            e.code == common::ErrorCode::NotFound;
+        std::fprintf(stderr, "p10sim_cli: error: %s\n",
+                     e.str().c_str());
+        if (usageClass)
+            std::fputs(parser.help().c_str(), stderr);
+        return usageClass ? 2 : 1;
+    }
+    const api::RunOutcome& outcome = outcomeOr.value();
+    const core::RunResult& run = outcome.run;
+    const power::PowerBreakdown& power = outcome.power;
+    if (!ckptLoad.empty())
+        std::fprintf(stderr,
+                     "restored checkpoint: %s (warmup skipped)\n",
+                     ckptLoad.c_str());
+    if (!ckptSave.empty())
+        std::fprintf(stderr, "wrote checkpoint: %s\n",
+                     ckptSave.c_str());
+    std::fprintf(stderr, "run: %.2fs host wall, %.2f host-MIPS\n",
+                 wall.count(),
+                 wall.count() > 0.0
+                     ? static_cast<double>(outcome.warmupSimulated +
+                                           run.instrs) /
+                           wall.count() / 1e6
+                     : 0.0);
 
+    power::EnergyModel energy(outcome.config);
     if (telemetry && !run.timings.empty()) {
         // Reference interval power from the detailed model, plus the
         // quantized counter-proxy estimate next to it — the live
@@ -355,8 +225,8 @@ main(int argc, char** argv)
         }
     }
 
-    common::Table t("p10sim: " + workload + " on " + cfg.name +
-                    " SMT" + std::to_string(smt));
+    common::Table t("p10sim: " + workload + " on " +
+                    outcome.config.name + " SMT" + std::to_string(smt));
     t.header({"metric", "value"});
     t.row({"instructions", std::to_string(run.instrs)});
     t.row({"cycles", std::to_string(run.cycles)});
@@ -379,7 +249,7 @@ main(int argc, char** argv)
     // Output-path failures after a finished run are recoverable
     // diagnostics (exit 1), not usage errors (exit 2): the simulation
     // results above are still valid.
-    if (auto st = obs::distinctOutputPaths({traceOut, statsJson});
+    if (auto st = obs::distinctOutputPaths({traceOut, out});
         !st.ok()) {
         std::fprintf(stderr, "p10sim_cli: error: %s\n",
                      st.error().message.c_str());
@@ -395,39 +265,20 @@ main(int argc, char** argv)
         std::fprintf(stderr, "wrote trace: %s (%zu samples)\n",
                      traceOut.c_str(), rec.sampleCount());
     }
-    if (!statsJson.empty()) {
-        obs::JsonReport report;
-        report.meta().tool = "p10sim_cli";
-        report.meta().config = cfg.name;
-        report.meta().workload = workload;
-        report.meta().seed = profile.seed;
-        report.meta().git = obs::gitDescribe();
-        report.meta().wallSeconds = wall.count();
-        report.meta().simInstrs = opts.warmupInstrs + run.instrs;
-        report.meta().hostMips =
-            wall.count() > 0.0
-                ? static_cast<double>(opts.warmupInstrs + run.instrs) /
-                      wall.count() / 1e6
-                : 0.0;
-        report.addScalar("ipc", run.ipc());
-        report.addScalar("cycles", static_cast<double>(run.cycles));
-        report.addScalar("instrs", static_cast<double>(run.instrs));
-        report.addScalar("power_w", power.watts());
-        report.addScalar("clock_w", power.clockPj * 0.004);
-        report.addScalar("switch_w", power.switchPj * 0.004);
-        report.addScalar("leak_w", power.leakPj * 0.004);
-        report.addScalar("ipc_per_w", run.ipc() / power.watts());
-        for (const auto& [comp, pj] : power.perComponent)
-            report.addScalar("power.pj_per_cycle." + comp, pj);
+    if (!out.empty()) {
+        // The deterministic runReport core (what a p10d run request
+        // returns) plus the CLI extras: the printed table and the
+        // telemetry series. Host timing stays on stderr.
+        obs::JsonReport report = api::Service::runReport(req, outcome);
         report.addTable(t);
         report.addTimeSeries(rec);
-        auto st = report.writeTo(statsJson);
+        auto st = report.writeTo(out);
         if (!st.ok()) {
             std::fprintf(stderr, "p10sim_cli: error: %s\n",
                          st.error().message.c_str());
             return 1;
         }
-        std::fprintf(stderr, "wrote report: %s\n", statsJson.c_str());
+        std::fprintf(stderr, "wrote report: %s\n", out.c_str());
     }
     return 0;
 }

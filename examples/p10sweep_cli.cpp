@@ -1,20 +1,22 @@
 /**
  * @file
- * `p10sweep_cli` — parallel sweep driver over the whole stack: expand a
- * JSON sweep spec into (config x workload x SMT x seed) shards, run
- * them on a work-stealing pool, and fold the results into one
- * deterministic p10ee-report/1 document.
+ * `p10sweep_cli` — parallel sweep driver over the `p10ee::api` facade:
+ * expand a JSON sweep spec into (config x workload x SMT x seed)
+ * shards, run them on a work-stealing pool, and fold the results into
+ * one deterministic p10ee-report/1 document.
  *
  *   p10sweep_cli --spec sweep.json --jobs 8 --out report.json [--csv]
  *                [--cache-dir cache/]
  *
  * The merged report is byte-identical for a given spec regardless of
- * --jobs — diff it across thread counts to audit the determinism
- * contract. With --cache-dir, shard results are memoized on disk
- * (content-addressed, see sweep/cache.h): a warm re-run simulates zero
- * shards and still emits the byte-identical merged report. Host timing
- * (wall seconds, host MIPS) and cache provenance are real but live on
- * stderr (or the --cache-stats sidecar), never in the merged artifact.
+ * --jobs — and regardless of entry path: a library runSweep() call or
+ * a `p10d` sweep request for the same spec produces the same bytes
+ * (api::kSweepReportTool pins the tool stamp). With --cache-dir, shard
+ * results are memoized on disk (content-addressed, see sweep/cache.h):
+ * a warm re-run simulates zero shards and still emits the byte-
+ * identical merged report. Host timing (wall seconds, host MIPS) and
+ * cache provenance are real but live on stderr (or the --cache-stats
+ * sidecar), never in the merged artifact.
  *
  * Exit codes: 2 for flag/spec validation errors (matching p10sim_cli),
  * 1 for recoverable post-validation failures (output collisions,
@@ -24,54 +26,15 @@
 
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <mutex>
 #include <string>
 
+#include "api/args.h"
+#include "api/service.h"
 #include "common/table.h"
-#include "obs/json.h"
 #include "sweep/pool.h"
-#include "sweep/runner.h"
-#include "sweep/spec.h"
 #include "workloads/spec_profiles.h"
 
 using namespace p10ee;
-
-namespace {
-
-void
-usage()
-{
-    std::fprintf(
-        stderr,
-        "usage: p10sweep_cli --spec <sweep.json> [options]\n"
-        "  --spec <path>       sweep specification (JSON; required)\n"
-        "  --jobs N            pool threads in [1,256] (default:\n"
-        "                      hardware concurrency)\n"
-        "  --out <path>        write the merged p10ee-report/1 JSON\n"
-        "  --cache-dir <dir>   memoize shard results on disk; warm\n"
-        "                      runs skip already-simulated shards\n"
-        "  --cache-stats <path> write cache-provenance sidecar report\n"
-        "                      (requires --cache-dir)\n"
-        "  --csv               machine-readable summary\n"
-        "  --list              list workload profiles and exit\n"
-        "\n"
-        "spec keys: configs (power9|power10|ablate:<group>), workloads,\n"
-        "  smt, seeds, instrs, warmup, max_cycles, max_retries,\n"
-        "  infra_fail_prob, seed, sample_interval, shard_reports_dir\n");
-}
-
-/** One-line diagnostic, then usage, then the exit-2 contract. */
-[[noreturn]] void
-fail(const std::string& message)
-{
-    std::fprintf(stderr, "p10sweep_cli: error: %s\n", message.c_str());
-    usage();
-    std::exit(2);
-}
-
-} // namespace
 
 int
 main(int argc, char** argv)
@@ -82,75 +45,79 @@ main(int argc, char** argv)
     std::string cacheStatsOut;
     int jobs = sweep::ThreadPool::defaultThreads();
     bool csv = false;
+    bool list = false;
 
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        auto needValue = [&](const char* flag) -> const char* {
-            if (i + 1 >= argc)
-                fail(std::string(flag) + " needs a value");
-            return argv[++i];
-        };
-        if (arg == "--spec") {
-            specPath = needValue("--spec");
-        } else if (arg == "--jobs") {
-            const char* v = needValue("--jobs");
-            char* end = nullptr;
-            const long parsed = std::strtol(v, &end, 10);
-            if (end == v || *end != '\0' || parsed < 1 || parsed > 256)
-                fail(std::string("--jobs must be an integer in "
-                                 "[1,256], got '") +
-                     v + "'");
-            jobs = static_cast<int>(parsed);
-        } else if (arg == "--out") {
-            out = needValue("--out");
-        } else if (arg == "--cache-dir") {
-            cacheDir = needValue("--cache-dir");
-        } else if (arg == "--cache-stats") {
-            cacheStatsOut = needValue("--cache-stats");
-        } else if (arg == "--csv") {
-            csv = true;
-        } else if (arg == "--list") {
-            for (const auto& p : workloads::specint2017())
-                std::printf("%s\n", p.name.c_str());
-            for (const auto& p : workloads::extraGroups())
-                std::printf("%s\n", p.name.c_str());
-            return 0;
-        } else {
-            fail("unknown option '" + arg + "'");
-        }
+    api::ArgParser parser(
+        "p10sweep_cli",
+        "Run a sweep spec on a thread pool and emit the canonical "
+        "merged p10ee-report/1 document.");
+    parser.str("--spec", &specPath, "<path>",
+               "sweep specification (JSON; required)");
+    api::stdflags::jobs(parser, &jobs);
+    api::stdflags::out(parser, &out);
+    api::stdflags::cacheDir(parser, &cacheDir);
+    parser.str("--cache-stats", &cacheStatsOut, "<path>",
+               "write cache-provenance sidecar report (requires "
+               "--cache-dir)");
+    parser.boolean("--csv", &csv, "machine-readable summary");
+    parser.boolean("--list", &list,
+                   "list workload profiles and exit");
+    if (auto st = parser.parse(argc, argv); !st) {
+        std::fprintf(stderr, "p10sweep_cli: error: %s\n",
+                     st.error().message.c_str());
+        std::fputs(parser.help().c_str(), stderr);
+        return 2;
     }
+    if (parser.helpRequested()) {
+        std::fputs(parser.help().c_str(), stdout);
+        return 0;
+    }
+    if (list) {
+        for (const auto& p : workloads::specint2017())
+            std::printf("%s\n", p.name.c_str());
+        for (const auto& p : workloads::extraGroups())
+            std::printf("%s\n", p.name.c_str());
+        return 0;
+    }
+    auto fail = [&parser](const std::string& message) {
+        std::fprintf(stderr, "p10sweep_cli: error: %s\n",
+                     message.c_str());
+        std::fputs(parser.help().c_str(), stderr);
+        return 2;
+    };
     if (specPath.empty())
-        fail("--spec is required");
+        return fail("--spec is required");
     if (!cacheStatsOut.empty() && cacheDir.empty())
-        fail("--cache-stats requires --cache-dir");
+        return fail("--cache-stats requires --cache-dir");
 
     auto specOr = sweep::SweepSpec::fromJsonFile(specPath);
     if (!specOr)
-        fail(specOr.error().str());
+        return fail(specOr.error().str());
     const sweep::SweepSpec& spec = specOr.value();
 
-    sweep::SweepRunner runner(spec);
-    runner.cacheDir = cacheDir;
+    api::Service service(api::Service::Options{cacheDir});
+    api::SweepOptions sweepOpts;
+    sweepOpts.jobs = jobs;
     const uint64_t total = spec.shardCount();
     uint64_t done = 0;
-    runner.onProgress = [&done, total](const sweep::ShardResult& s) {
+    sweepOpts.onProgress = [&done,
+                            total](const api::ProgressEvent& ev) {
         // Serialized by the runner; completion order is scheduling-
         // dependent, which is fine for a progress stream.
         ++done;
         const std::string retries =
-            s.retries > 0
-                ? " (retries " + std::to_string(s.retries) + ")"
+            ev.retries > 0
+                ? " (retries " + std::to_string(ev.retries) + ")"
                 : "";
         std::fprintf(stderr, "[%llu/%llu] %s %s%s\n",
                      static_cast<unsigned long long>(done),
                      static_cast<unsigned long long>(total),
-                     s.key.c_str(),
-                     s.ok ? "ok" : common::errorCodeName(s.error.code),
+                     ev.key.c_str(), ev.status.c_str(),
                      retries.c_str());
     };
 
     const auto wallStart = std::chrono::steady_clock::now();
-    auto resultOr = runner.run(jobs);
+    auto resultOr = service.runSweep(spec, sweepOpts);
     const double wall = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - wallStart)
                             .count();
@@ -201,8 +168,7 @@ main(int argc, char** argv)
         t.print();
 
     if (!out.empty()) {
-        obs::JsonReport report =
-            sweep::SweepRunner::merge(spec, result, "p10sweep_cli");
+        obs::JsonReport report = api::Service::mergedReport(spec, result);
         auto st = report.writeTo(out);
         if (!st.ok()) {
             std::fprintf(stderr, "p10sweep_cli: error: %s\n",
@@ -212,8 +178,7 @@ main(int argc, char** argv)
         std::fprintf(stderr, "wrote report: %s\n", out.c_str());
     }
     if (!cacheStatsOut.empty()) {
-        obs::JsonReport stats =
-            sweep::SweepRunner::cacheStats(result, "p10sweep_cli");
+        obs::JsonReport stats = api::Service::cacheStatsReport(result);
         auto st = stats.writeTo(cacheStatsOut);
         if (!st.ok()) {
             std::fprintf(stderr, "p10sweep_cli: error: %s\n",

@@ -28,6 +28,75 @@ run_flavour() {
     fi
 }
 
+# Daemon smoke: start p10d on an ephemeral port, submit the shared
+# sweep spec through scripts/p10_client.py, schema-validate the report
+# the daemon streams back, byte-compare it against the same flavour's
+# offline p10sweep_cli output (never across flavours — FP contraction
+# differs), query live stats, then SIGTERM and require a graceful
+# drain with exit status 0.
+daemon_smoke() {
+    local build="$1"
+    local tag="$2"
+    local dir="${smoke_dir}/daemon-${tag}"
+    rm -rf "${dir}"
+    mkdir -p "${dir}"
+    echo "=== daemon smoke (${tag}): p10d round-trip + graceful drain ==="
+    "${build}/examples/p10d" --port 0 --executors 2 --jobs 2 \
+        --cache-dir "${dir}/cache" \
+        > "${dir}/p10d.out" 2> "${dir}/p10d.err" &
+    local pid=$!
+    local port=""
+    for _ in $(seq 1 200); do
+        port="$(sed -n \
+            's/^p10d: listening on 127\.0\.0\.1:\([0-9][0-9]*\)$/\1/p' \
+            "${dir}/p10d.out")"
+        [ -n "${port}" ] && break
+        kill -0 "${pid}" 2>/dev/null || break
+        sleep 0.1
+    done
+    if [ -z "${port}" ]; then
+        echo "daemon smoke (${tag}): p10d never announced its port" >&2
+        cat "${dir}/p10d.err" >&2 || true
+        kill "${pid}" 2>/dev/null || true
+        return 1
+    fi
+    "${build}/examples/p10sweep_cli" \
+        --spec "${smoke_dir}/sweep_smoke.json" --jobs 2 \
+        --out "${dir}/CLI_sweep.json" >/dev/null
+    python3 scripts/p10_client.py --port "${port}" --id ci-cold \
+        --spec "${smoke_dir}/sweep_smoke.json" \
+        --out "${dir}/DAEMON_cold.json" 2>/dev/null
+    # Same cache dir, so the repeat must replay entirely from cache and
+    # still produce the same bytes.
+    python3 scripts/p10_client.py --port "${port}" --id ci-warm \
+        --spec "${smoke_dir}/sweep_smoke.json" \
+        --out "${dir}/DAEMON_warm.json" 2> "${dir}/warm.log"
+    grep -q "done (cached 16, simulated 0)" "${dir}/warm.log"
+    python3 scripts/validate_report.py --sweep \
+        "${dir}/DAEMON_cold.json" "${dir}/DAEMON_warm.json"
+    cmp "${dir}/CLI_sweep.json" "${dir}/DAEMON_cold.json"
+    cmp "${dir}/CLI_sweep.json" "${dir}/DAEMON_warm.json"
+    python3 scripts/p10_client.py --port "${port}" --stats \
+        > "${dir}/stats.json"
+    python3 - "${dir}/stats.json" <<'EOF'
+import json, sys
+stats = json.load(open(sys.argv[1]))
+assert stats["event"] == "stats", stats
+assert stats["completed"] == 2, stats
+assert stats["simulated_shards"] == 16, stats
+assert stats["cached_shards"] == 16, stats
+print("daemon stats: 2 completed, 16 simulated + 16 cached shards")
+EOF
+    kill -TERM "${pid}"
+    local status=0
+    wait "${pid}" || status=$?
+    if [ "${status}" -ne 0 ]; then
+        echo "daemon smoke (${tag}): p10d exited ${status} on SIGTERM" >&2
+        return 1
+    fi
+    echo "daemon smoke (${tag}): byte-identical reports, clean drain"
+}
+
 run_flavour release full -DCMAKE_BUILD_TYPE=Release
 
 # Bench smoke: every bench binary must run on a tiny budget and emit a
@@ -43,24 +112,24 @@ for bench in build-release/bench/bench_*; do
     json="${smoke_dir}/BENCH_${name#bench_}.json"
     case "${name}" in
     bench_micro_kernels)
-        args=(--json "${json}" --benchmark_min_time=0.01)
+        args=(--out "${json}" --benchmark_min_time=0.01)
         ;;
     bench_fault_campaign)
         # --instrs scales the injection count for this bench.
-        args=(--json "${json}" --instrs 30 --warmup 500)
+        args=(--out "${json}" --instrs 30 --warmup 500)
         ;;
     *)
-        args=(--json "${json}" --instrs 3000 --warmup 500)
+        args=(--out "${json}" --instrs 3000 --warmup 500)
         ;;
     esac
     echo "--- smoke: ${name}"
     "${bench}" "${args[@]}" >/dev/null
 done
-echo "--- smoke: p10sim_cli --trace-out/--stats-json"
+echo "--- smoke: p10sim_cli --trace-out/--out"
 build-release/examples/p10sim_cli --workload perlbench \
     --instrs 20000 --warmup 5000 --sample-interval 512 \
     --trace-out "${smoke_dir}/trace.json" \
-    --stats-json "${smoke_dir}/CLI_p10sim.json" >/dev/null
+    --out "${smoke_dir}/CLI_p10sim.json" >/dev/null
 python3 scripts/validate_report.py \
     "${smoke_dir}"/BENCH_*.json "${smoke_dir}"/CLI_*.json
 python3 scripts/validate_report.py --trace "${smoke_dir}/trace.json"
@@ -118,11 +187,15 @@ assert warm["sweep.cached"] == warm["sweep.shards"], warm
 print("cache smoke: cold simulated all, warm simulated none")
 EOF
 
+daemon_smoke build-release release
+
 # halt_on_error makes any UBSan finding fail ctest instead of printing
 # and continuing; detect_leaks stays on by default under ASan.
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 run_flavour asan-ubsan tier1 -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DP10EE_SANITIZE=address,undefined
+
+daemon_smoke build-asan-ubsan asan-ubsan
 
 # The hostile-input surfaces (checkpoint/cache deserializers, spec
 # parsing) must also hold under the sanitizers, and their fuzz tests
@@ -143,13 +216,18 @@ export TSAN_OPTIONS="halt_on_error=1"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DP10EE_SANITIZE=thread
 cmake --build build-tsan -j "$(nproc)" \
-    --target test_sweep bench_fault_campaign p10sweep_cli
+    --target test_sweep test_service bench_fault_campaign \
+    p10sweep_cli p10d
 echo "=== tsan: test_sweep ==="
 build-tsan/tests/test_sweep
+echo "=== tsan: test_service (daemon thread model) ==="
+build-tsan/tests/test_service
 echo "=== tsan: parallel campaign + sweep smoke ==="
 build-tsan/bench/bench_fault_campaign --instrs 20 --warmup 500 \
     --jobs 4 >/dev/null
 build-tsan/examples/p10sweep_cli --spec "${smoke_dir}/sweep_smoke.json" \
     --jobs 4 >/dev/null
+
+daemon_smoke build-tsan tsan
 
 echo "=== CI green: release + asan-ubsan + tsan ==="

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""One-shot client for the p10d simulation service.
+
+Connects to a running p10d daemon (scripts/../examples/p10d), submits a
+single request over the newline-delimited JSON protocol documented in
+src/service/protocol.h and DESIGN.md section 11, streams progress events
+to stderr, and writes the final report to --out (or stdout).
+
+The embedded report is recovered from the `done` event by string
+slicing, never by parse-and-reserialize: the daemon guarantees the
+report is the last key of the done line, so the bytes written here are
+byte-identical to what `p10sweep_cli --out` writes for the same spec.
+
+Usage:
+  p10_client.py --port P --spec sweep_spec.json [--id ID] [--out R.json]
+  p10_client.py --port P --run '{"workload":"xz","instrs":10000}'
+  p10_client.py --port P --stats
+  p10_client.py --port P --shutdown
+
+Exit status: 0 on success, 1 on a daemon-reported error or connection
+failure, 2 on usage errors. Stdlib only.
+"""
+
+import argparse
+import json
+import socket
+import sys
+
+REPORT_MARKER = '"report":'
+
+
+def extract_report(done_line):
+    """Slice the verbatim report out of a done event line.
+
+    Mirrors service::extractReport: the report object is the final key
+    of the done line, so it spans from after the marker to the last
+    byte before the envelope's closing brace.
+    """
+    idx = done_line.find(REPORT_MARKER)
+    if idx < 0 or not done_line.rstrip().endswith("}"):
+        raise ValueError("done event carries no report")
+    start = idx + len(REPORT_MARKER)
+    end = done_line.rstrip().rfind("}")
+    return done_line[start:end]
+
+
+def read_lines(sock):
+    """Yield newline-terminated response lines from the daemon."""
+    buf = b""
+    while True:
+        nl = buf.find(b"\n")
+        if nl >= 0:
+            line = buf[:nl].decode("utf-8", errors="replace")
+            buf = buf[nl + 1:]
+            if line:
+                yield line
+            continue
+        chunk = sock.recv(65536)
+        if not chunk:
+            return
+        buf += chunk
+
+
+def build_request(args):
+    if args.spec:
+        with open(args.spec, encoding="utf-8") as f:
+            spec = json.load(f)
+        req = {"type": "sweep", "id": args.id, "spec": spec}
+    elif args.run is not None:
+        fields = json.loads(args.run)
+        if not isinstance(fields, dict):
+            raise ValueError("--run payload must be a JSON object")
+        req = {"type": "run", "id": args.id}
+        req.update(fields)
+    elif args.stats:
+        req = {"type": "stats", "id": args.id}
+    elif args.cancel is not None:
+        req = {"type": "cancel", "id": args.id, "target": args.cancel}
+    else:
+        req = {"type": "shutdown", "id": args.id}
+    if args.priority is not None:
+        req["priority"] = args.priority
+    if args.timeout_cycles is not None:
+        req["timeout_cycles"] = args.timeout_cycles
+    return req
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="p10_client.py",
+        description="one-shot client for the p10d simulation service")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--id", default="cli",
+                        help="request id (default: cli)")
+    parser.add_argument("--priority", type=int, default=None)
+    parser.add_argument("--timeout-cycles", type=int, default=None)
+    parser.add_argument("--out", default=None,
+                        help="write the report here (default: stdout)")
+    what = parser.add_mutually_exclusive_group(required=True)
+    what.add_argument("--spec", default=None,
+                      help="sweep spec JSON file to submit")
+    what.add_argument("--run", default=None, metavar="JSON",
+                      help="single-run request fields as a JSON object")
+    what.add_argument("--stats", action="store_true",
+                      help="query live daemon metrics")
+    what.add_argument("--cancel", default=None, metavar="TARGET",
+                      help="cancel the request with this id")
+    what.add_argument("--shutdown", action="store_true",
+                      help="ask the daemon to drain and exit")
+    args = parser.parse_args(argv[1:])
+
+    try:
+        request = build_request(args)
+    except (OSError, ValueError) as exc:
+        print(f"p10_client: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        sock = socket.create_connection((args.host, args.port),
+                                        timeout=600)
+    except OSError as exc:
+        print(f"p10_client: connect {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+
+    with sock:
+        sock.sendall(json.dumps(request).encode("utf-8") + b"\n")
+        # shutdown(WR) is deliberately not called: the daemon serves
+        # responses on the same connection.
+        for line in read_lines(sock):
+            try:
+                event = json.loads(line)
+            except ValueError:
+                print(f"p10_client: unparseable response: {line}",
+                      file=sys.stderr)
+                return 1
+            kind = event.get("event")
+            if kind == "accepted":
+                print(f"p10_client: accepted "
+                      f"(queue depth {event.get('queue_depth')})",
+                      file=sys.stderr)
+                if request["type"] in ("cancel", "shutdown"):
+                    return 0
+            elif kind == "progress":
+                print(f"p10_client: [{event.get('index')}/"
+                      f"{event.get('total')}] {event.get('key')} "
+                      f"{event.get('status')}", file=sys.stderr)
+            elif kind == "stats":
+                print(line)
+                return 0
+            elif kind == "error":
+                print(f"p10_client: error ({event.get('code')}): "
+                      f"{event.get('message')}", file=sys.stderr)
+                return 1
+            elif kind == "done":
+                report = extract_report(line)
+                print(f"p10_client: done (cached "
+                      f"{event.get('cached_shards')}, simulated "
+                      f"{event.get('simulated_shards')})",
+                      file=sys.stderr)
+                if args.out:
+                    with open(args.out, "w", encoding="utf-8") as f:
+                        f.write(report)
+                else:
+                    print(report)
+                return 0
+            else:
+                print(f"p10_client: unknown event: {line}",
+                      file=sys.stderr)
+                return 1
+    print("p10_client: connection closed before a final event",
+          file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

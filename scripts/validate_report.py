@@ -131,7 +131,8 @@ def validate_report(path, doc, errors):
 SWEEP_COLUMNS = ["shard", "config", "workload", "smt", "seed",
                  "status", "retries", "cycles", "ipc", "power_w"]
 SWEEP_STATUSES = {"ok", "invalid_argument", "invalid_config",
-                  "not_found", "timeout", "transient", "internal"}
+                  "not_found", "timeout", "transient", "overloaded",
+                  "cancelled", "internal"}
 
 
 def validate_sweep(path, doc, errors):

@@ -1,0 +1,201 @@
+#include "api/service.h"
+
+#include <memory>
+#include <vector>
+
+#include "ckpt/checkpoint.h"
+#include "common/rng.h"
+#include "workloads/synthetic.h"
+
+namespace p10ee::api {
+
+using common::Error;
+using common::Expected;
+using common::Status;
+
+Status
+RunRequest::validate() const
+{
+    std::string problems;
+    auto bad = [&problems](const std::string& p) {
+        if (!problems.empty())
+            problems += "; ";
+        problems += p;
+    };
+    if (config.empty())
+        bad("config must name a machine");
+    if (workload.empty())
+        bad("workload must name a profile");
+    if (smt != 1 && smt != 2 && smt != 4 && smt != 8)
+        bad("smt must be 1, 2, 4 or 8 (got " + std::to_string(smt) +
+            ")");
+    if (instrs == 0)
+        bad("instrs must be > 0");
+    if (!ckptSave.empty() && !ckptLoad.empty())
+        bad("ckpt-save and ckpt-load are mutually exclusive");
+    if (!problems.empty())
+        return Error::invalidArgument("run request: " + problems);
+    return common::okStatus();
+}
+
+Expected<RunOutcome>
+Service::runOne(const RunRequest& req) const
+{
+    if (Status st = req.validate(); !st)
+        return st.error();
+
+    // Name resolution is the sweep layer's — one spelling of
+    // "power9" / "power10" / "ablate:<group>" across every entry path.
+    Expected<core::CoreConfig> cfgOr =
+        sweep::SweepSpec::resolveConfig(req.config);
+    if (!cfgOr)
+        return cfgOr.error();
+    core::CoreConfig cfg = std::move(cfgOr.value());
+    if (Status st = cfg.validate(); !st)
+        return st.error();
+
+    const workloads::WorkloadProfile* found =
+        workloads::findProfile(req.workload);
+    if (found == nullptr)
+        return Error::notFound("unknown workload '" + req.workload +
+                               "' (see --list)");
+    workloads::WorkloadProfile profile = *found;
+    // A distinct seed reruns the same statistical workload over fresh
+    // stream realizations; derivation matches the sweep seed axis, so
+    // any sweep shard replays in isolation with the same seed value.
+    if (req.seed != 0)
+        profile.seed = common::splitSeed(profile.seed, req.seed);
+
+    std::vector<std::unique_ptr<workloads::SyntheticWorkload>> sources;
+    std::vector<workloads::InstrSource*> threads;
+    std::vector<workloads::SyntheticWorkload*> walkers;
+    for (int t = 0; t < req.smt; ++t) {
+        sources.push_back(
+            std::make_unique<workloads::SyntheticWorkload>(profile, t));
+        threads.push_back(sources.back().get());
+        walkers.push_back(sources.back().get());
+    }
+
+    RunOutcome out;
+    out.config = cfg;
+    out.profile = profile;
+
+    core::CoreModel model(cfg);
+    core::RunOptions opts;
+    opts.warmupInstrs = req.warmup * static_cast<uint64_t>(req.smt);
+    opts.measureInstrs = req.instrs;
+    opts.maxCycles = req.maxCycles;
+    opts.recorder = req.recorder;
+    opts.collectTimings = req.collectTimings;
+
+    if (!req.ckptLoad.empty()) {
+        Expected<ckpt::Checkpoint> ckOr =
+            ckpt::Checkpoint::load(req.ckptLoad);
+        if (!ckOr)
+            return ckOr.error();
+        const ckpt::Checkpoint& ck = ckOr.value();
+        // The config hash and thread count are checked by restore();
+        // the workload identity must be checked here, since a walker
+        // state can be in-range for more than one static code.
+        if (ck.meta().workload != req.workload ||
+            ck.meta().seed != profile.seed)
+            return Error::invalidArgument(
+                "checkpoint " + req.ckptLoad + " was captured for "
+                "workload '" + ck.meta().workload + "' seed " +
+                std::to_string(ck.meta().seed) + ", not '" +
+                req.workload + "' seed " +
+                std::to_string(profile.seed));
+        model.beginRun(threads);
+        if (Status st = ck.restore(model, walkers); !st)
+            return st.error();
+        out.warmupSimulated = 0;
+    } else {
+        model.beginRun(threads);
+        model.advance(opts.warmupInstrs);
+        out.warmupSimulated = opts.warmupInstrs;
+        if (!req.ckptSave.empty()) {
+            ckpt::CheckpointMeta meta;
+            meta.configName = cfg.name;
+            meta.workload = req.workload;
+            meta.warmupInstrs = opts.warmupInstrs;
+            meta.seed = profile.seed;
+            auto ck = ckpt::Checkpoint::capture(model, walkers, meta);
+            if (Status st = ck.save(req.ckptSave); !st)
+                return st.error();
+        }
+    }
+
+    out.run = model.measure(opts);
+    if (out.run.timedOut)
+        return Error::timeout(
+            "run exceeded cycle budget of " +
+            std::to_string(req.maxCycles) + " cycles");
+    power::EnergyModel energy(cfg);
+    out.power = energy.evalCounters(out.run);
+    return out;
+}
+
+Expected<sweep::SweepResult>
+Service::runSweep(const sweep::SweepSpec& spec,
+                  const SweepOptions& opts) const
+{
+    sweep::SweepSpec effective = spec;
+    if (opts.maxCyclesOverride > 0 &&
+        (effective.maxCycles == 0 ||
+         opts.maxCyclesOverride < effective.maxCycles))
+        effective.maxCycles = opts.maxCyclesOverride;
+
+    sweep::SweepRunner runner(std::move(effective));
+    runner.cacheDir = opts_.cacheDir;
+    runner.onProgress = opts.onProgress;
+    runner.cancel = opts.cancel;
+    return runner.run(opts.jobs);
+}
+
+obs::JsonReport
+Service::mergedReport(const sweep::SweepSpec& spec,
+                      const sweep::SweepResult& result)
+{
+    return sweep::SweepRunner::merge(spec, result, kSweepReportTool);
+}
+
+obs::JsonReport
+Service::cacheStatsReport(const sweep::SweepResult& result)
+{
+    return sweep::SweepRunner::cacheStats(result, kSweepReportTool);
+}
+
+obs::JsonReport
+Service::runReport(const RunRequest& req, const RunOutcome& outcome)
+{
+    obs::JsonReport report;
+    report.meta().tool = "p10sim";
+    report.meta().config = outcome.config.name;
+    report.meta().workload = req.workload;
+    report.meta().seed = outcome.profile.seed;
+    report.meta().git = obs::gitDescribe();
+    // Deterministic by construction: host timing never enters; the
+    // accounted window (warmup budget + measured instructions) is a
+    // pure function of the request even when a checkpoint restore
+    // skipped the warmup simulation.
+    report.meta().wallSeconds = 0.0;
+    report.meta().hostMips = 0.0;
+    report.meta().simInstrs =
+        req.warmup * static_cast<uint64_t>(req.smt) +
+        outcome.run.instrs;
+    report.addScalar("ipc", outcome.ipc());
+    report.addScalar("cycles",
+                     static_cast<double>(outcome.run.cycles));
+    report.addScalar("instrs",
+                     static_cast<double>(outcome.run.instrs));
+    report.addScalar("power_w", outcome.powerW());
+    report.addScalar("clock_w", outcome.power.clockPj * 0.004);
+    report.addScalar("switch_w", outcome.power.switchPj * 0.004);
+    report.addScalar("leak_w", outcome.power.leakPj * 0.004);
+    report.addScalar("ipc_per_w", outcome.ipcPerW());
+    for (const auto& [comp, pj] : outcome.power.perComponent)
+        report.addScalar("power.pj_per_cycle." + comp, pj);
+    return report;
+}
+
+} // namespace p10ee::api

@@ -34,6 +34,8 @@ enum class ErrorCode {
     NotFound,        ///< named entity (workload, component) unknown
     Timeout,         ///< a bounded run exceeded its cycle budget
     Transient,       ///< infrastructure hiccup; retrying may succeed
+    Overloaded,      ///< a bounded queue rejected the request
+    Cancelled,       ///< the caller withdrew the request
     Internal,        ///< unexpected condition surfaced as a value
 };
 
@@ -47,6 +49,8 @@ errorCodeName(ErrorCode code)
       case ErrorCode::NotFound: return "not_found";
       case ErrorCode::Timeout: return "timeout";
       case ErrorCode::Transient: return "transient";
+      case ErrorCode::Overloaded: return "overloaded";
+      case ErrorCode::Cancelled: return "cancelled";
       case ErrorCode::Internal: return "internal";
     }
     return "unknown";
@@ -98,6 +102,18 @@ struct Error
     transient(std::string msg)
     {
         return {ErrorCode::Transient, std::move(msg)};
+    }
+
+    static Error
+    overloaded(std::string msg)
+    {
+        return {ErrorCode::Overloaded, std::move(msg)};
+    }
+
+    static Error
+    cancelled(std::string msg)
+    {
+        return {ErrorCode::Cancelled, std::move(msg)};
     }
 };
 

@@ -430,8 +430,16 @@ CampaignRunner::run()
             rec.retries = attempts;
 
             if (spec_.onProgress) {
+                api::ProgressEvent ev;
+                ev.index = static_cast<uint64_t>(rec.id);
+                ev.total = static_cast<uint64_t>(spec_.injections);
+                ev.key = rec.component;
+                ev.ok = !rec.skipped;
+                ev.status = rec.skipped ? "skipped"
+                                        : outcomeName(rec.outcome);
+                ev.retries = rec.retries;
                 std::lock_guard<std::mutex> lk(progressMu);
-                spec_.onProgress(rec);
+                spec_.onProgress(ev);
             }
             rep.records[idx] = std::move(rec);
         });

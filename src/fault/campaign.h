@@ -41,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "api/types.h"
 #include "common/error.h"
 #include "core/config.h"
 #include "core/core.h"
@@ -92,14 +93,17 @@ struct CampaignSpec
     double sdcPowerTolFrac = 0.02;
 
     /**
-     * Progress hook: called once per completed injection with its
-     * finished ledger entry (after retry/skip resolution). Calls are
-     * serialized under a mutex; with jobs > 1 they arrive in
-     * completion order, not campaign order (the report's records are
-     * always in campaign order regardless). It must not throw. Empty
-     * disables.
+     * Progress hook: called once per completed injection (after
+     * retry/skip resolution) with the shared api::ProgressEvent shape
+     * — index = injection id, key = injected component, status = the
+     * outcome name (or "skipped"). The same signature the sweep runner
+     * and the daemon's streamed progress events use, so one consumer
+     * serves every producer. Calls are serialized under a mutex; with
+     * jobs > 1 they arrive in completion order, not campaign order
+     * (the report's records are always in campaign order regardless).
+     * It must not throw. Empty disables.
      */
-    std::function<void(const InjectionRecord&)> onProgress;
+    api::ProgressFn onProgress;
 
     /** Structured validation of user-supplied campaign parameters. */
     common::Status validate() const;

@@ -1,0 +1,449 @@
+#include "service/daemon.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/json.h"
+
+namespace p10ee::service {
+
+using common::Error;
+using common::Expected;
+using common::Status;
+
+Daemon::Connection::~Connection()
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+void
+Daemon::Connection::sendLine(const std::string& line)
+{
+    std::lock_guard<std::mutex> lock(writeMu);
+    if (!alive.load(std::memory_order_relaxed))
+        return;
+    std::string framed = line;
+    framed += '\n';
+    size_t off = 0;
+    while (off < framed.size()) {
+        // MSG_NOSIGNAL: a peer that hung up must not SIGPIPE the
+        // daemon; the write error just retires this connection.
+        ssize_t n = ::send(fd, framed.data() + off, framed.size() - off,
+                           MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            alive.store(false, std::memory_order_relaxed);
+            return;
+        }
+        off += static_cast<size_t>(n);
+    }
+}
+
+Daemon::Daemon(DaemonOptions opts)
+    : opts_(opts),
+      service_(api::Service::Options{opts.cacheDir}),
+      queue_(opts.queueCapacity),
+      startTime_(std::chrono::steady_clock::now())
+{
+    if (opts_.executors < 1)
+        opts_.executors = 1;
+    if (opts_.jobsPerRequest < 1)
+        opts_.jobsPerRequest = 1;
+}
+
+Daemon::~Daemon()
+{
+    if (!stopped_ && listenFd_ >= 0)
+        waitUntilStopped();
+}
+
+Status
+Daemon::start()
+{
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listenFd_ < 0)
+        return Error::transient(std::string("socket(): ") +
+                                std::strerror(errno));
+    int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK); // localhost only
+    addr.sin_port = htons(opts_.port);
+    if (::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+        Error e = Error::transient(
+            "bind(127.0.0.1:" + std::to_string(opts_.port) +
+            "): " + std::strerror(errno));
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return e;
+    }
+    if (::listen(listenFd_, 16) != 0) {
+        Error e = Error::transient(std::string("listen(): ") +
+                                   std::strerror(errno));
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return e;
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listenFd_, reinterpret_cast<sockaddr*>(&addr),
+                      &len) != 0) {
+        Error e = Error::transient(std::string("getsockname(): ") +
+                                   std::strerror(errno));
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return e;
+    }
+    port_ = ntohs(addr.sin_port);
+
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    executors_.reserve(static_cast<size_t>(opts_.executors));
+    for (int i = 0; i < opts_.executors; ++i)
+        executors_.emplace_back([this] { executorLoop(); });
+    return common::okStatus();
+}
+
+void
+Daemon::requestDrain()
+{
+    draining_.store(true);
+    queue_.drain();
+}
+
+void
+Daemon::waitUntilStopped()
+{
+    requestDrain();
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    // Executors exit once the queue is drained; joining them first
+    // guarantees every in-flight response was written before any
+    // socket is torn down — the "graceful" in graceful drain.
+    for (std::thread& t : executors_)
+        if (t.joinable())
+            t.join();
+    {
+        std::lock_guard<std::mutex> lock(connsMu_);
+        for (const auto& conn : conns_)
+            ::shutdown(conn->fd, SHUT_RDWR); // wake blocked readers
+    }
+    std::vector<std::thread> readers;
+    {
+        std::lock_guard<std::mutex> lock(connsMu_);
+        readers.swap(readers_);
+    }
+    for (std::thread& t : readers)
+        if (t.joinable())
+            t.join();
+    {
+        std::lock_guard<std::mutex> lock(connsMu_);
+        conns_.clear();
+    }
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    stopped_ = true;
+}
+
+void
+Daemon::acceptLoop()
+{
+    while (!draining_.load()) {
+        pollfd pfd{listenFd_, POLLIN, 0};
+        int rc = ::poll(&pfd, 1, 100); // tick so drain is noticed
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (rc == 0 || (pfd.revents & POLLIN) == 0)
+            continue;
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        auto conn = std::make_shared<Connection>(fd);
+        std::lock_guard<std::mutex> lock(connsMu_);
+        conns_.push_back(conn);
+        readers_.emplace_back(
+            [this, conn] { readerLoop(std::move(conn)); });
+    }
+}
+
+void
+Daemon::readerLoop(std::shared_ptr<Connection> conn)
+{
+    std::string pending;
+    char buf[65536];
+    for (;;) {
+        ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            break;
+        pending.append(buf, static_cast<size_t>(n));
+        if (pending.size() > kMaxRequestBytes &&
+            pending.find('\n') >= kMaxRequestBytes) {
+            // The buffered prefix of a single line already exceeds the
+            // request bound: reject and hang up before scanning —
+            // waiting for a terminator would hand a hostile client
+            // unbounded daemon memory, and the check must run before
+            // the line scan or a terminator arriving in the same chunk
+            // that crosses the bound would sneak the line through to
+            // the parser (which rejects it but leaves the connection
+            // up).
+            conn->sendLine(errorLine(
+                "", Error::invalidArgument(
+                        "request line exceeds " +
+                        std::to_string(kMaxRequestBytes) + " bytes")));
+            ::shutdown(conn->fd, SHUT_RDWR);
+            break;
+        }
+        size_t start = 0;
+        for (;;) {
+            size_t nl = pending.find('\n', start);
+            if (nl == std::string::npos)
+                break;
+            std::string_view line(pending.data() + start, nl - start);
+            if (!line.empty())
+                handleLine(conn, line);
+            start = nl + 1;
+        }
+        pending.erase(0, start);
+    }
+    // A final unterminated fragment still gets a response (it is
+    // usually a truncated request, which parses to a structured
+    // error); the client may already be gone, which sendLine absorbs.
+    if (!pending.empty() && pending.size() <= kMaxRequestBytes)
+        handleLine(conn, pending);
+}
+
+void
+Daemon::handleLine(const std::shared_ptr<Connection>& conn,
+                   std::string_view line)
+{
+    Expected<Request> reqOr = Request::parse(line);
+    if (!reqOr) {
+        rejected_.fetch_add(1);
+        conn->sendLine(errorLine("", reqOr.error()));
+        return;
+    }
+    Request& req = reqOr.value();
+
+    switch (req.type) {
+      case RequestType::Stats:
+        conn->sendLine(statsLine(req.id));
+        return;
+      case RequestType::Shutdown:
+        conn->sendLine(acceptedLine(req.id, queue_.depth()));
+        requestDrain();
+        return;
+      case RequestType::Cancel: {
+        std::shared_ptr<std::atomic<bool>> flag;
+        {
+            std::lock_guard<std::mutex> lock(activeMu_);
+            auto it = active_.find(req.target);
+            if (it != active_.end())
+                flag = it->second;
+        }
+        if (!flag) {
+            conn->sendLine(errorLine(
+                req.id, Error::notFound("no queued or running request '" +
+                                        req.target + "'")));
+            return;
+        }
+        flag->store(true);
+        // If it is still queued, retire it now so it never runs; the
+        // submitting client hears a `cancelled` error on its own
+        // connection, the canceller an acknowledgement on this one.
+        if (std::optional<Job> job = queue_.remove(req.target)) {
+            job->send(errorLine(req.target,
+                                Error::cancelled(
+                                    "request cancelled while queued")));
+            finishJob(req.target);
+            cancelled_.fetch_add(1);
+        }
+        conn->sendLine(acceptedLine(req.id, queue_.depth()));
+        return;
+      }
+      case RequestType::Run:
+      case RequestType::Sweep:
+        break;
+    }
+
+    if (draining_.load()) {
+        rejected_.fetch_add(1);
+        conn->sendLine(errorLine(
+            req.id,
+            Error::overloaded("p10d is draining; request rejected")));
+        return;
+    }
+
+    Job job;
+    job.cancel = std::make_shared<std::atomic<bool>>(false);
+    job.send = [conn](const std::string& l) { conn->sendLine(l); };
+    {
+        std::lock_guard<std::mutex> lock(activeMu_);
+        if (active_.count(req.id) != 0) {
+            conn->sendLine(errorLine(
+                req.id,
+                Error::invalidArgument("request id '" + req.id +
+                                       "' is already active")));
+            return;
+        }
+        active_.emplace(req.id, job.cancel);
+    }
+    job.req = std::move(req);
+    const std::string id = job.req.id;
+    if (Status st = queue_.push(std::move(job)); !st) {
+        finishJob(id);
+        rejected_.fetch_add(1);
+        conn->sendLine(errorLine(id, st.error()));
+        return;
+    }
+    conn->sendLine(acceptedLine(id, queue_.depth()));
+}
+
+void
+Daemon::executorLoop()
+{
+    Job job;
+    while (queue_.pop(&job)) {
+        execute(job);
+        finishJob(job.req.id);
+        job = Job{};
+    }
+}
+
+void
+Daemon::execute(Job& job)
+{
+    const std::string& id = job.req.id;
+    if (job.cancel->load()) {
+        // Cancelled between queue removal racing and pop: honour it.
+        cancelled_.fetch_add(1);
+        job.send(errorLine(
+            id, Error::cancelled("request cancelled before execution")));
+        return;
+    }
+
+    if (job.req.type == RequestType::Run) {
+        api::RunRequest run = job.req.run;
+        if (job.req.timeoutCycles != 0 &&
+            (run.maxCycles == 0 ||
+             job.req.timeoutCycles < run.maxCycles))
+            run.maxCycles = job.req.timeoutCycles;
+        Expected<api::RunOutcome> outcome = service_.runOne(run);
+        if (!outcome) {
+            failed_.fetch_add(1);
+            job.send(errorLine(id, outcome.error()));
+            return;
+        }
+        simulatedShards_.fetch_add(1);
+        completed_.fetch_add(1);
+        obs::JsonReport report =
+            api::Service::runReport(run, outcome.value());
+        job.send(doneLine(id, 0, 1, report.toJson()));
+        return;
+    }
+
+    api::SweepOptions sweepOpts;
+    sweepOpts.jobs = opts_.jobsPerRequest;
+    sweepOpts.cancel = job.cancel.get();
+    sweepOpts.maxCyclesOverride = job.req.timeoutCycles;
+    auto send = job.send;
+    sweepOpts.onProgress = [send, id](const api::ProgressEvent& ev) {
+        send(progressLine(id, ev));
+    };
+    Expected<sweep::SweepResult> resultOr =
+        service_.runSweep(job.req.spec, sweepOpts);
+    if (!resultOr) {
+        failed_.fetch_add(1);
+        job.send(errorLine(id, resultOr.error()));
+        return;
+    }
+    const sweep::SweepResult& result = resultOr.value();
+    cachedShards_.fetch_add(result.cachedShards);
+    simulatedShards_.fetch_add(result.simulatedShards -
+                               result.cancelledShards);
+    if (result.cancelledShards > 0) {
+        // A partially-cancelled sweep's report is not the spec's
+        // canonical artifact; report the cancellation instead.
+        cancelled_.fetch_add(1);
+        job.send(errorLine(
+            id, Error::cancelled(
+                    "request cancelled after " +
+                    std::to_string(result.shards.size() -
+                                   result.cancelledShards) +
+                    " of " + std::to_string(result.shards.size()) +
+                    " shards")));
+        return;
+    }
+    completed_.fetch_add(1);
+    obs::JsonReport report =
+        api::Service::mergedReport(job.req.spec, result);
+    job.send(doneLine(id, result.cachedShards, result.simulatedShards,
+                      report.toJson()));
+}
+
+void
+Daemon::finishJob(const std::string& id)
+{
+    std::lock_guard<std::mutex> lock(activeMu_);
+    active_.erase(id);
+}
+
+std::string
+Daemon::statsLine(const std::string& id) const
+{
+    const uint64_t cached = cachedShards_.load();
+    const uint64_t simulated = simulatedShards_.load();
+    const uint64_t shards = cached + simulated;
+    const double uptime =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      startTime_)
+            .count();
+    size_t active = 0;
+    {
+        std::lock_guard<std::mutex> lock(activeMu_);
+        active = active_.size();
+    }
+
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("id").value(id);
+    w.key("event").value("stats");
+    w.key("queue_depth").value(static_cast<uint64_t>(queue_.depth()));
+    w.key("active_requests").value(static_cast<uint64_t>(active));
+    w.key("completed").value(completed_.load());
+    w.key("failed").value(failed_.load());
+    w.key("cancelled").value(cancelled_.load());
+    w.key("rejected").value(rejected_.load());
+    w.key("cached_shards").value(cached);
+    w.key("simulated_shards").value(simulated);
+    w.key("cache_hit_rate")
+        .value(shards > 0 ? static_cast<double>(cached) /
+                                static_cast<double>(shards)
+                          : 0.0);
+    w.key("shards_per_sec")
+        .value(uptime > 0.0 ? static_cast<double>(shards) / uptime
+                            : 0.0);
+    w.key("uptime_s").value(uptime);
+    w.key("draining").value(draining_.load());
+    w.endObject();
+    return w.str();
+}
+
+} // namespace p10ee::service

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The `p10d` wire protocol: newline-delimited JSON over a local TCP
+ * socket (dependency-free, same spirit as the sweep ThreadPool).
+ *
+ * Requests — one JSON object per line, at most kMaxRequestBytes:
+ *
+ *   {"type":"sweep","id":"r1","spec":{...sweep spec...},
+ *    "priority":0,"timeout_cycles":0}
+ *   {"type":"run","id":"r2","config":"power10","workload":"xz",
+ *    "smt":4,"instrs":20000,"warmup":5000,"seed":0}
+ *   {"type":"stats","id":"r3"}
+ *   {"type":"cancel","id":"r4","target":"r1"}
+ *   {"type":"shutdown"}
+ *
+ * Responses — one JSON object per line, interleaved per request id:
+ *
+ *   {"id":"r1","event":"accepted","queue_depth":3}
+ *   {"id":"r1","event":"progress","index":0,"total":8,"key":"...",
+ *    "status":"ok","retries":0,"cached":false}
+ *   {"id":"r1","event":"done","cached_shards":0,"simulated_shards":8,
+ *    "report":{...p10ee-report/1...}}
+ *   {"id":"r1","event":"error","code":"overloaded","message":"..."}
+ *
+ * The `report` member of a `done` line is always the LAST key and its
+ * value is the exact byte sequence the offline tool would write for
+ * the same spec — clients recover it by slicing the line between
+ * `"report":` and the final `}`, never by re-serializing, which is
+ * what keeps the socket path byte-identical to `p10sweep_cli --out`.
+ *
+ * Parsing is hostile-input safe: malformed JSON, wrong-typed fields,
+ * unknown request types, oversized or truncated lines all come back as
+ * structured `common::Error`s (→ `error` events), never aborts — the
+ * facade contract that a bad request must not take the daemon down.
+ */
+
+#ifndef P10EE_SERVICE_PROTOCOL_H
+#define P10EE_SERVICE_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "api/service.h"
+#include "api/types.h"
+#include "common/error.h"
+#include "obs/report.h"
+#include "sweep/spec.h"
+
+namespace p10ee::service {
+
+/** Upper bound on one request line (backpressure against hostile or
+    runaway clients; a spec is config-sized, never telemetry-sized). */
+inline constexpr size_t kMaxRequestBytes = 1u << 20;
+
+/** Priority bounds (higher runs first; FIFO within a priority). */
+inline constexpr int kMinPriority = -100;
+inline constexpr int kMaxPriority = 100;
+
+enum class RequestType { Run, Sweep, Stats, Cancel, Shutdown };
+
+/** One parsed request. */
+struct Request
+{
+    RequestType type = RequestType::Stats;
+    std::string id; ///< required for run/sweep/cancel
+    int priority = 0;
+    /** Per-shard cycle budget; tightens the spec's own max_cycles. */
+    uint64_t timeoutCycles = 0;
+    std::string target;    ///< cancel: the request id to withdraw
+    sweep::SweepSpec spec; ///< sweep payload
+    api::RunRequest run;   ///< run payload
+
+    /**
+     * Parse one request line. Enforces kMaxRequestBytes, strict field
+     * types, unknown-key rejection inside `spec`, and id presence
+     * where the response stream needs one.
+     */
+    static common::Expected<Request> parse(std::string_view line);
+};
+
+// --- Response line builders (no trailing newline) ---
+
+std::string acceptedLine(const std::string& id, size_t queueDepth);
+
+std::string progressLine(const std::string& id,
+                         const api::ProgressEvent& ev);
+
+/** @p reportJson is embedded verbatim as the final `report` member. */
+std::string doneLine(const std::string& id, uint64_t cachedShards,
+                     uint64_t simulatedShards,
+                     const std::string& reportJson);
+
+std::string errorLine(const std::string& id, const common::Error& e);
+
+/**
+ * Slice the verbatim report bytes out of a `done` line (everything
+ * between `"report":` and the line's final `}`). Returns an error when
+ * the line is not a done line. The inverse of doneLine() — the only
+ * sanctioned way to recover a byte-identical report from the wire.
+ */
+common::Expected<std::string> extractReport(std::string_view doneLine);
+
+} // namespace p10ee::service
+
+#endif // P10EE_SERVICE_PROTOCOL_H

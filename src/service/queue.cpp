@@ -1,0 +1,73 @@
+#include "service/queue.h"
+
+namespace p10ee::service {
+
+using common::Error;
+using common::Status;
+
+Status
+JobQueue::push(Job job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (draining_)
+            return Error::overloaded(
+                "p10d is draining; request rejected");
+        if (jobs_.size() >= capacity_)
+            return Error::overloaded(
+                "queue full (" + std::to_string(capacity_) +
+                " pending requests); retry later");
+        // Negated priority: std::map iterates ascending, so the
+        // highest priority lands first; seq breaks ties FIFO.
+        jobs_.emplace(Key{-job.req.priority, nextSeq_++},
+                      std::move(job));
+    }
+    cv_.notify_one();
+    return common::okStatus();
+}
+
+bool
+JobQueue::pop(Job* out)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return draining_ || !jobs_.empty(); });
+    if (jobs_.empty())
+        return false; // draining and drained
+    auto it = jobs_.begin();
+    *out = std::move(it->second);
+    jobs_.erase(it);
+    return true;
+}
+
+std::optional<Job>
+JobQueue::remove(const std::string& id)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+        if (it->second.req.id == id) {
+            Job job = std::move(it->second);
+            jobs_.erase(it);
+            return job;
+        }
+    }
+    return std::nullopt;
+}
+
+void
+JobQueue::drain()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        draining_ = true;
+    }
+    cv_.notify_all();
+}
+
+size_t
+JobQueue::depth() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return jobs_.size();
+}
+
+} // namespace p10ee::service

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Bounded priority queue of daemon jobs.
+ *
+ * The queue is the daemon's backpressure valve: it holds at most
+ * `capacity` accepted-but-not-started requests, ordered by priority
+ * (higher first) with FIFO arrival order inside each priority band. A
+ * push against a full queue — or after drain began — fails with a
+ * structured `overloaded` Error the reader thread turns into an
+ * `error` event, so a flood of requests degrades into polite
+ * rejections instead of unbounded memory growth or an aborted daemon.
+ *
+ * Drain semantics ("graceful"): after drain() no new job is accepted,
+ * but everything already queued still executes — pop() keeps serving
+ * until the queue is empty and only then returns false, which is the
+ * executor threads' exit signal. Cancellation of a *queued* job
+ * removes it before it ever runs; cancelling a *running* job is the
+ * daemon's business (it owns the per-job cancel flags).
+ */
+
+#ifndef P10EE_SERVICE_QUEUE_H
+#define P10EE_SERVICE_QUEUE_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/error.h"
+#include "service/protocol.h"
+
+namespace p10ee::service {
+
+/** One accepted request plus the plumbing to answer it. */
+struct Job
+{
+    Request req;
+    /** Writes one response line back to the submitting client. */
+    std::function<void(const std::string&)> send;
+    /** Cooperative cancellation flag shared with the executor. */
+    std::shared_ptr<std::atomic<bool>> cancel;
+};
+
+class JobQueue
+{
+  public:
+    explicit JobQueue(size_t capacity) : capacity_(capacity) {}
+
+    /**
+     * Enqueue @p job. Fails with Overloaded when the queue is full or
+     * the daemon is draining — never blocks the reader thread.
+     */
+    common::Status push(Job job);
+
+    /**
+     * Dequeue the best job (highest priority, oldest within it),
+     * blocking while the queue is empty. Returns false only when the
+     * queue is draining *and* empty: the executor's signal to exit.
+     */
+    bool pop(Job* out);
+
+    /**
+     * Remove the queued job whose request id is @p id, returning it so
+     * the caller can answer its client. Empty when @p id is not
+     * queued (it may be running or unknown — the daemon decides).
+     */
+    std::optional<Job> remove(const std::string& id);
+
+    /** Stop accepting; wake poppers so they drain the backlog. */
+    void drain();
+
+    size_t depth() const;
+
+  private:
+    /** Key orders by descending priority, then arrival. */
+    using Key = std::pair<int, uint64_t>;
+
+    const size_t capacity_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::map<Key, Job> jobs_;
+    uint64_t nextSeq_ = 0;
+    bool draining_ = false;
+};
+
+} // namespace p10ee::service
+
+#endif // P10EE_SERVICE_QUEUE_H

@@ -34,14 +34,18 @@
 #include <optional>
 #include <string>
 
+#include "api/types.h"
 #include "common/error.h"
 #include "sweep/runner.h"
 #include "sweep/spec.h"
 
 namespace p10ee::sweep {
 
-/** Container-layout version of cache entry files. */
-inline constexpr uint32_t kCacheFormatVersion = 1;
+/** Container-layout version of cache entry files. v2: the serialized
+    common::ErrorCode enum grew Overloaded/Cancelled before Internal,
+    renumbering persisted codes — v1 entries are unreachable, not
+    misread. */
+inline constexpr uint32_t kCacheFormatVersion = 2;
 
 /** One cache directory; cheap to construct, stateless, thread-safe. */
 class ShardCache

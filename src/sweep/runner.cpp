@@ -241,25 +241,47 @@ SweepRunner::run(int jobs)
     pool.parallelFor(shards.size(), [&](uint64_t i) {
         ShardResult shard;
         bool hit = false;
-        if (cache) {
-            if (auto cached = cache->lookup(spec_, shards[i])) {
-                shard = std::move(*cached);
-                shard.fromCache = true;
-                hit = true;
-            }
-        }
-        if (!hit) {
-            shard = runShard(shards[i]);
+        if (cancel != nullptr &&
+            cancel->load(std::memory_order_relaxed)) {
+            // Cooperative cancellation: record without simulating. The
+            // result stays index-complete so the caller can still
+            // account every shard; it is just not publishable.
+            shard.index = shards[i].index;
+            shard.key = shards[i].key();
+            shard.error = Error::cancelled(
+                "shard " + shard.key + ": sweep cancelled");
+        } else {
             if (cache) {
-                // Best-effort: an unwritable cache degrades to not
-                // caching; it must never fail the sweep.
-                Status st = cache->insert(spec_, shards[i], shard);
-                (void)st;
+                if (auto cached = cache->lookup(spec_, shards[i])) {
+                    shard = std::move(*cached);
+                    shard.fromCache = true;
+                    hit = true;
+                }
+            }
+            if (!hit) {
+                shard = runShard(shards[i]);
+                if (cache) {
+                    // Best-effort: an unwritable cache degrades to not
+                    // caching; it must never fail the sweep.
+                    Status st =
+                        cache->insert(spec_, shards[i], shard);
+                    (void)st;
+                }
             }
         }
         if (onProgress) {
+            api::ProgressEvent ev;
+            ev.index = shard.index;
+            ev.total = shards.size();
+            ev.key = shard.key;
+            ev.ok = shard.ok;
+            ev.status = shard.ok
+                            ? "ok"
+                            : common::errorCodeName(shard.error.code);
+            ev.retries = shard.retries;
+            ev.fromCache = shard.fromCache;
             std::lock_guard<std::mutex> lk(progressMu);
-            onProgress(shard);
+            onProgress(ev);
         }
         // Slot i is this task's alone — results land by index, which
         // is what makes the fold below scheduling-independent.
@@ -274,6 +296,8 @@ SweepRunner::run(int jobs)
             ++result.cachedShards;
         else
             ++result.simulatedShards;
+        if (s.error.code == common::ErrorCode::Cancelled)
+            ++result.cancelledShards;
         if (s.ok) {
             ++result.okCount;
             result.simInstrs +=

@@ -30,49 +30,24 @@
 #ifndef P10EE_SWEEP_RUNNER_H
 #define P10EE_SWEEP_RUNNER_H
 
+#include <atomic>
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
+#include "api/types.h"
 #include "common/error.h"
 #include "obs/report.h"
 #include "sweep/spec.h"
 
 namespace p10ee::sweep {
 
-/** Outcome of one shard (ok or recorded failure — never both halves). */
-struct ShardResult
-{
-    uint64_t index = 0;
-    std::string key;
-
-    bool ok = false;
-    /** Failure category + message when !ok (timeout, transient, ...). */
-    common::Error error;
-    int retries = 0; ///< transient-failure retries consumed
-
-    // Simulation results (valid when ok).
-    uint64_t cycles = 0;
-    uint64_t instrs = 0;
-    double ipc = 0.0;
-    double powerW = 0.0;
-    double ipcPerW = 0.0;
-
-    /** Host wall-clock of this shard (diagnostic only; NEVER merged). */
-    double wallSeconds = 0.0;
-
-    /**
-     * Replayed from the shard cache instead of simulated (provenance
-     * only — cached and simulated results are byte-identical in the
-     * merged report, so this flag never influences merge()).
-     */
-    bool fromCache = false;
-
-    /** Per-shard IPC telemetry when the spec samples (x = cycle). */
-    std::vector<double> ipcX;
-    std::vector<double> ipcY;
-};
+/**
+ * Outcome of one shard. The struct itself is public API now (the
+ * daemon returns it, the cache persists it, the runner folds it), so
+ * it lives in api/types.h; this alias keeps the sweep-layer spelling.
+ */
+using ShardResult = api::ShardResult;
 
 /** All shard outcomes plus fold-level aggregates, in shard-index order. */
 struct SweepResult
@@ -86,9 +61,14 @@ struct SweepResult
         merged report's meta is cache-independent. */
     uint64_t simInstrs = 0;
 
-    /** Provenance split (cached + simulated == shards.size()). */
+    /** Provenance split (cached + simulated == shards.size();
+        cancelled shards count as simulated — they took the simulate
+        path, just doing zero work). */
     uint64_t cachedShards = 0;
     uint64_t simulatedShards = 0;
+
+    /** Shards recorded as cancelled (subset of failed). */
+    uint64_t cancelledShards = 0;
 
     /** Geometric-mean IPC over ok shards (0 when none). */
     double geoMeanIpc() const;
@@ -105,11 +85,23 @@ class SweepRunner
 
     /**
      * Called after each shard finishes, from worker threads but
-     * serialized under a mutex. Completion order is scheduling-
-     * dependent — anything deterministic must come from the returned
-     * SweepResult, not from this stream.
+     * serialized under a mutex — the same api::ProgressEvent signature
+     * the fault campaign and the daemon's streamed progress events
+     * use. Completion order is scheduling-dependent — anything
+     * deterministic must come from the returned SweepResult, not from
+     * this stream.
      */
-    std::function<void(const ShardResult&)> onProgress;
+    api::ProgressFn onProgress;
+
+    /**
+     * Cooperative cancellation: when non-null and it flips true,
+     * not-yet-started shards are recorded as `cancelled` failures
+     * without simulating (already-running shards finish). A cancelled
+     * sweep still returns a complete, index-ordered SweepResult, but
+     * its merged report is NOT the spec's canonical one — callers must
+     * treat result.cancelledShards > 0 as "do not publish".
+     */
+    const std::atomic<bool>* cancel = nullptr;
 
     /**
      * When non-empty, shard results are memoized in this directory

@@ -165,7 +165,12 @@ SweepSpec::fromJson(const std::string& text)
     Expected<obs::JsonValue> doc = obs::parseJson(text);
     if (!doc)
         return doc.error();
-    const obs::JsonValue& root = doc.value();
+    return fromJsonValue(doc.value());
+}
+
+Expected<SweepSpec>
+SweepSpec::fromJsonValue(const obs::JsonValue& root)
+{
     if (!root.isObject())
         return Error::invalidConfig("sweep spec must be a JSON object");
 

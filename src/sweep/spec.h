@@ -27,6 +27,7 @@
 
 #include "common/error.h"
 #include "core/config.h"
+#include "obs/json.h"
 #include "workloads/spec_profiles.h"
 
 namespace p10ee::sweep {
@@ -98,6 +99,11 @@ struct SweepSpec
     /** Parse a spec from JSON text. Unknown keys are errors — a typo
         in an axis name must not silently shrink a sweep. */
     static common::Expected<SweepSpec> fromJson(const std::string& text);
+
+    /** fromJson() over an already-parsed DOM node (the daemon embeds
+        specs inside request objects). Same strictness. */
+    static common::Expected<SweepSpec> fromJsonValue(
+        const obs::JsonValue& root);
 
     /** fromJson() over the contents of @p path. */
     static common::Expected<SweepSpec> fromJsonFile(

@@ -418,8 +418,8 @@ TEST(CampaignTelemetry, ProgressHookSeesEveryInjectionInOrder)
     spec.warmupInstrs = 500;
     spec.measureInstrs = 1500;
     std::vector<int> ids;
-    spec.onProgress = [&](const fault::InjectionRecord& r) {
-        ids.push_back(r.id);
+    spec.onProgress = [&](const api::ProgressEvent& ev) {
+        ids.push_back(static_cast<int>(ev.index));
     };
     fault::CampaignRunner runner(cfg, prof, spec);
     auto res = runner.run();

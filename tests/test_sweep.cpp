@@ -394,9 +394,9 @@ TEST(SweepRunner, ProgressCallbackSeesEveryShardExactlyOnce)
     const auto spec = smallSpec();
     sweep::SweepRunner runner(spec);
     std::set<uint64_t> seen;
-    runner.onProgress = [&seen](const sweep::ShardResult& s) {
+    runner.onProgress = [&seen](const api::ProgressEvent& ev) {
         // Serialized by the runner's mutex: plain set insert is safe.
-        EXPECT_TRUE(seen.insert(s.index).second);
+        EXPECT_TRUE(seen.insert(ev.index).second);
     };
     auto result = runner.run(4);
     ASSERT_TRUE(result.ok());
