@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Throughput baselines for every sweep entry path — the numbers behind
+ * the committed BENCH_<date>.json that scripts/bench_diff.py guards:
+ *
+ *  1. host-MIPS per config x SMT for the in-process sweep path (the
+ *     raw simulation speed everything else is built on),
+ *  2. daemon jobs/sec: an in-process `service::Daemon` served over
+ *     real loopback sockets,
+ *  3. fleet shards/sec at N spawned p10d workers through the fabric
+ *     coordinator (lease/heartbeat machinery included).
+ *
+ * Host throughput is inherently machine-dependent, so the guard in
+ * bench_diff.py is structural-plus-tolerance, not byte-identity: the
+ * scalars must exist, be positive, and stay within a generous factor
+ * of the committed baseline.
+ */
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "api/service.h"
+#include "bench_util.h"
+#include "common/table.h"
+#include "fabric/fleet.h"
+#include "fabric/spawn.h"
+#include "service/daemon.h"
+#include "sweep/spec.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace p10ee;
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+sweep::SweepSpec
+benchSpec(uint64_t instrs, uint64_t warmup)
+{
+    sweep::SweepSpec spec;
+    spec.configs = {"power10"};
+    spec.workloads = {"perlbench", "gcc", "mcf", "xz"};
+    spec.smt = {1, 2};
+    spec.seeds = 2;
+    spec.instrs = instrs;
+    spec.warmup = warmup;
+    return spec; // 16 shards
+}
+
+/** Submit one sweep request over a blocking loopback socket and wait
+    for its final event. Returns true on a done event. */
+bool
+submitSweep(uint16_t port, const std::string& id,
+            const sweep::SweepSpec& spec)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return false;
+    }
+    const std::string line = "{\"type\":\"sweep\",\"id\":\"" + id +
+                             "\",\"spec\":" + spec.toJson() + "}\n";
+    size_t off = 0;
+    while (off < line.size()) {
+        const ssize_t n = ::send(fd, line.data() + off,
+                                 line.size() - off, MSG_NOSIGNAL);
+        if (n <= 0) {
+            ::close(fd);
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    std::string buf;
+    char chunk[65536];
+    bool done = false;
+    for (;;) {
+        size_t nl;
+        while ((nl = buf.find('\n')) != std::string::npos) {
+            const std::string resp = buf.substr(0, nl);
+            buf.erase(0, nl + 1);
+            if (resp.find("\"event\":\"done\"") != std::string::npos &&
+                resp.find("\"id\":\"" + id + "\"") !=
+                    std::string::npos) {
+                done = true;
+                break;
+            }
+            if (resp.find("\"event\":\"error\"") != std::string::npos)
+                break;
+        }
+        if (done || buf.empty()) {
+            if (done)
+                break;
+        }
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0)
+            break;
+        buf.append(chunk, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return done;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    auto ctx = bench::benchInit(argc, argv, "bench_fleet");
+    const uint64_t kInstrs = ctx.instrsOr(20000);
+    const uint64_t kWarmup = ctx.warmupOr(5000);
+
+    // --- 1. In-process host-MIPS per config x SMT -------------------
+    common::Table mips("Host simulation speed per config x SMT");
+    mips.header({"config", "smt", "shards", "wall s", "host-MIPS"});
+    for (const std::string& config : {std::string("power9"),
+                                      std::string("power10")}) {
+        for (int smt : {1, 2, 4}) {
+            sweep::SweepSpec spec;
+            spec.configs = {config};
+            spec.workloads = {"perlbench", "gcc", "mcf", "xz"};
+            spec.smt = {smt};
+            spec.seeds = 1;
+            spec.instrs = kInstrs;
+            spec.warmup = kWarmup;
+            api::Service service;
+            api::SweepOptions opts;
+            opts.jobs = ctx.jobs;
+            const auto start = std::chrono::steady_clock::now();
+            auto resultOr = service.runSweep(spec, opts);
+            const double wall = secondsSince(start);
+            if (!resultOr.ok()) {
+                std::fprintf(stderr, "bench_fleet: sweep failed: %s\n",
+                             resultOr.error().str().c_str());
+                return 1;
+            }
+            const uint64_t instrs = resultOr.value().simInstrs;
+            bench::accountSimInstrs(instrs);
+            const double hostMips =
+                wall > 0.0 ? static_cast<double>(instrs) / wall / 1e6
+                           : 0.0;
+            mips.row({config, std::to_string(smt),
+                      std::to_string(resultOr.value().shards.size()),
+                      common::fmt(wall, 3), common::fmt(hostMips, 1)});
+            ctx.report.addScalar("fleet_bench.host_mips." + config +
+                                     ".smt" + std::to_string(smt),
+                                 hostMips);
+        }
+    }
+    mips.print();
+
+    // --- 2. Daemon jobs/sec over loopback sockets -------------------
+    {
+        service::DaemonOptions dopts;
+        dopts.executors = 2;
+        dopts.jobsPerRequest = ctx.jobs;
+        service::Daemon daemon(dopts);
+        if (!daemon.start().ok()) {
+            std::fprintf(stderr, "bench_fleet: daemon start failed\n");
+            return 1;
+        }
+        const sweep::SweepSpec spec = benchSpec(kInstrs / 4, kWarmup);
+        const int kJobs = 8;
+        const auto start = std::chrono::steady_clock::now();
+        int ok = 0;
+        for (int i = 0; i < kJobs; ++i)
+            ok += submitSweep(daemon.port(), "j" + std::to_string(i),
+                              spec)
+                      ? 1
+                      : 0;
+        const double wall = secondsSince(start);
+        daemon.waitUntilStopped();
+        const double jobsPerSec =
+            wall > 0.0 ? static_cast<double>(ok) / wall : 0.0;
+        std::printf("\ndaemon: %d/%d sweep jobs in %.2fs -> %.2f "
+                    "jobs/sec\n",
+                    ok, kJobs, wall, jobsPerSec);
+        ctx.report.addScalar("fleet_bench.daemon_jobs_per_sec",
+                             jobsPerSec);
+        if (ok != kJobs)
+            return 1;
+    }
+
+    // --- 3. Fleet shards/sec at N spawned workers -------------------
+#ifdef P10EE_P10D_BIN
+    {
+        common::Table fleet("Fleet throughput (spawned p10d workers)");
+        fleet.header({"workers", "shards", "wall s", "shards/sec"});
+        const sweep::SweepSpec spec = benchSpec(kInstrs, kWarmup);
+        for (int n : {1, 2, 4}) {
+            std::vector<fabric::SpawnedWorker> workers;
+            fabric::FleetOptions fopts;
+            bool spawnedAll = true;
+            for (int i = 0; i < n; ++i) {
+                auto workerOr = fabric::spawnWorker(P10EE_P10D_BIN);
+                if (!workerOr.ok()) {
+                    std::fprintf(stderr,
+                                 "bench_fleet: spawn failed: %s\n",
+                                 workerOr.error().str().c_str());
+                    spawnedAll = false;
+                    break;
+                }
+                workers.push_back(workerOr.value());
+                fopts.workers.push_back(
+                    {"127.0.0.1", workerOr.value().port});
+            }
+            if (!spawnedAll) {
+                for (fabric::SpawnedWorker& w : workers)
+                    fabric::reapWorker(w, /*kill=*/true);
+                return 1;
+            }
+            fabric::FleetRunner runner(spec, std::move(fopts));
+            const auto start = std::chrono::steady_clock::now();
+            auto resultOr = runner.run();
+            const double wall = secondsSince(start);
+            for (fabric::SpawnedWorker& w : workers) {
+                fabric::signalWorker(w, SIGTERM);
+                fabric::reapWorker(w);
+            }
+            if (!resultOr.ok()) {
+                std::fprintf(stderr, "bench_fleet: fleet failed: %s\n",
+                             resultOr.error().str().c_str());
+                return 1;
+            }
+            bench::accountSimInstrs(resultOr.value().simInstrs);
+            const double shardsPerSec =
+                wall > 0.0 ? static_cast<double>(
+                                 resultOr.value().shards.size()) /
+                                 wall
+                           : 0.0;
+            fleet.row({std::to_string(n),
+                       std::to_string(resultOr.value().shards.size()),
+                       common::fmt(wall, 3),
+                       common::fmt(shardsPerSec, 1)});
+            ctx.report.addScalar("fleet_bench.fleet_shards_per_sec.w" +
+                                     std::to_string(n),
+                                 shardsPerSec);
+        }
+        std::printf("\n");
+        fleet.print();
+    }
+#endif // P10EE_P10D_BIN
+
+    return bench::benchFinish(ctx);
+}

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench report against a committed baseline.
+
+Host throughput numbers (host-MIPS, jobs/sec, shards/sec) are
+machine-dependent, so this guard is structural-plus-tolerance rather
+than byte-identity:
+
+  - every scalar present in the baseline must exist in the current
+    report (a vanished metric means a bench silently stopped measuring
+    something),
+  - every compared scalar must be a positive finite number (a zero or
+    NaN throughput means the bench ran nothing and called it success),
+  - each current value must be within a generous relative factor of
+    its baseline (default 10x either way, tunable via --rel-tol or the
+    P10EE_BENCH_RTOL environment variable — wide enough for different
+    hosts and CI budget settings, tight enough to catch an
+    order-of-magnitude regression or a unit mix-up).
+
+Extra scalars in the current report are reported but never fail the
+diff: new metrics land before their baseline does.
+
+Usage:
+  bench_diff.py BASELINE.json CURRENT.json [--rel-tol 10]
+
+Exit status: 0 when every check passes, 1 otherwise, 2 on usage
+errors. Stdlib only.
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+
+def load_scalars(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "p10ee-report/1":
+        raise ValueError(f"{path}: not a p10ee-report/1 document")
+    scalars = doc.get("scalars")
+    if not isinstance(scalars, dict):
+        raise ValueError(f"{path}: report carries no scalars object")
+    return scalars
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="bench_diff.py",
+        description="tolerance-compare a bench report to its baseline")
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--rel-tol", type=float,
+        default=float(os.environ.get("P10EE_BENCH_RTOL", "10")),
+        help="allowed relative factor either way (default: 10, or "
+             "P10EE_BENCH_RTOL)")
+    args = parser.parse_args(argv[1:])
+    if args.rel_tol < 1.0:
+        print("bench_diff: --rel-tol must be >= 1", file=sys.stderr)
+        return 2
+
+    try:
+        baseline = load_scalars(args.baseline)
+        current = load_scalars(args.current)
+    except (OSError, ValueError) as exc:
+        print(f"bench_diff: {exc}", file=sys.stderr)
+        return 2
+
+    failures = []
+    for key in sorted(baseline):
+        base = baseline[key]
+        if key not in current:
+            failures.append(f"{key}: missing from {args.current}")
+            continue
+        cur = current[key]
+        for label, value in (("baseline", base), ("current", cur)):
+            if (not isinstance(value, (int, float))
+                    or not math.isfinite(value) or value <= 0):
+                failures.append(f"{key}: {label} value {value!r} is "
+                                "not a positive finite number")
+                value = None
+        if base is None or cur is None or not (
+                isinstance(base, (int, float))
+                and isinstance(cur, (int, float))):
+            continue
+        if not (math.isfinite(base) and math.isfinite(cur)
+                and base > 0 and cur > 0):
+            continue
+        ratio = cur / base
+        ok = 1.0 / args.rel_tol <= ratio <= args.rel_tol
+        print(f"bench_diff: {key}: {base:.4g} -> {cur:.4g} "
+              f"({ratio:.2f}x){'' if ok else '  OUT OF TOLERANCE'}")
+        if not ok:
+            failures.append(
+                f"{key}: {cur:.4g} is {ratio:.2f}x the baseline "
+                f"{base:.4g} (allowed: within {args.rel_tol:g}x "
+                "either way)")
+
+    for key in sorted(set(current) - set(baseline)):
+        print(f"bench_diff: note: {key} has no baseline yet "
+              f"({current[key]:.4g})")
+
+    if failures:
+        print(f"bench_diff: {len(failures)} check(s) failed:",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"bench_diff: {len(baseline)} scalar(s) within "
+          f"{args.rel_tol:g}x of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -97,6 +97,38 @@ EOF
     echo "daemon smoke (${tag}): byte-identical reports, clean drain"
 }
 
+# Fleet smoke: spawn a 2-worker p10d fleet through p10fleet, SIGKILL
+# one worker mid-sweep via the built-in chaos harness, and require a
+# zero exit with a merged report byte-identical to the same flavour's
+# offline p10sweep_cli output. Then the degradation ladder's far end:
+# zero workers must complete in-process, exit 0, same bytes again.
+fleet_smoke() {
+    local build="$1"
+    local tag="$2"
+    local dir="${smoke_dir}/fleet-${tag}"
+    rm -rf "${dir}"
+    mkdir -p "${dir}"
+    echo "=== fleet smoke (${tag}): chaos kill + degraded byte identity ==="
+    "${build}/examples/p10sweep_cli" \
+        --spec "${smoke_dir}/sweep_smoke.json" --jobs 2 \
+        --out "${dir}/CLI_sweep.json" >/dev/null
+    "${build}/examples/p10fleet" \
+        --spec "${smoke_dir}/sweep_smoke.json" --spawn 2 \
+        --chaos-kill "0@150" --heartbeat-ms 50 \
+        --out "${dir}/FLEET_chaos.json" \
+        --fleet-stats "${dir}/FLEET_stats.json" \
+        > "${dir}/fleet.out" 2> "${dir}/fleet.err"
+    cmp "${dir}/CLI_sweep.json" "${dir}/FLEET_chaos.json"
+    python3 scripts/validate_report.py --fleet "${dir}/FLEET_stats.json"
+    "${build}/examples/p10fleet" \
+        --spec "${smoke_dir}/sweep_smoke.json" --local-jobs 2 \
+        --out "${dir}/FLEET_degraded.json" \
+        > /dev/null 2> "${dir}/degraded.err"
+    grep -q "no workers configured" "${dir}/degraded.err"
+    cmp "${dir}/CLI_sweep.json" "${dir}/FLEET_degraded.json"
+    echo "fleet smoke (${tag}): chaos and degraded runs byte-identical"
+}
+
 run_flavour release full -DCMAKE_BUILD_TYPE=Release
 
 # Bench smoke: every bench binary must run on a tiny budget and emit a
@@ -188,6 +220,16 @@ print("cache smoke: cold simulated all, warm simulated none")
 EOF
 
 daemon_smoke build-release release
+fleet_smoke build-release release
+
+# Bench baseline diff: the fleet-throughput report from the bench
+# smoke above must stay structurally identical to the committed
+# baseline and within a generous tolerance — catches a bench that
+# silently stops measuring, emits zeros, or regresses by an order of
+# magnitude, while tolerating host-to-host variance.
+echo "=== bench baseline diff: fleet throughput vs committed baseline ==="
+python3 scripts/bench_diff.py BENCH_2026-08-07.json \
+    "${smoke_dir}/BENCH_fleet.json"
 
 # halt_on_error makes any UBSan finding fail ctest instead of printing
 # and continuing; detect_leaks stays on by default under ASan.
@@ -196,6 +238,7 @@ run_flavour asan-ubsan tier1 -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DP10EE_SANITIZE=address,undefined
 
 daemon_smoke build-asan-ubsan asan-ubsan
+fleet_smoke build-asan-ubsan asan-ubsan
 
 # The hostile-input surfaces (checkpoint/cache deserializers, spec
 # parsing) must also hold under the sanitizers, and their fuzz tests
@@ -216,12 +259,14 @@ export TSAN_OPTIONS="halt_on_error=1"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DP10EE_SANITIZE=thread
 cmake --build build-tsan -j "$(nproc)" \
-    --target test_sweep test_service bench_fault_campaign \
-    p10sweep_cli p10d
+    --target test_sweep test_service test_fabric bench_fault_campaign \
+    p10sweep_cli p10d p10fleet
 echo "=== tsan: test_sweep ==="
 build-tsan/tests/test_sweep
 echo "=== tsan: test_service (daemon thread model) ==="
 build-tsan/tests/test_service
+echo "=== tsan: test_fabric (coordinator/worker thread model) ==="
+build-tsan/tests/test_fabric
 echo "=== tsan: parallel campaign + sweep smoke ==="
 build-tsan/bench/bench_fault_campaign --instrs 20 --warmup 500 \
     --jobs 4 >/dev/null
@@ -229,5 +274,6 @@ build-tsan/examples/p10sweep_cli --spec "${smoke_dir}/sweep_smoke.json" \
     --jobs 4 >/dev/null
 
 daemon_smoke build-tsan tsan
+fleet_smoke build-tsan tsan
 
 echo "=== CI green: release + asan-ubsan + tsan ==="

@@ -17,6 +17,13 @@ Usage:
   p10_client.py --port P --stats
   p10_client.py --port P --shutdown
 
+Transient failures — connection refused/reset and the daemon's
+structured `overloaded` backpressure — are retried up to --retries
+times with exponential backoff (1s, 2s, 4s, ... capped at 30s; the
+daemon's overload message itself promises "retry after >= 1s with
+exponential backoff"). Everything else fails fast: a malformed spec
+will not get better by resubmitting it.
+
 Exit status: 0 on success, 1 on a daemon-reported error or connection
 failure, 2 on usage errors. Stdlib only.
 """
@@ -25,6 +32,14 @@ import argparse
 import json
 import socket
 import sys
+import time
+
+BACKOFF_BASE_S = 1.0
+BACKOFF_CAP_S = 30.0
+
+# Outcome of one attempt: retryable failures trigger backoff, the rest
+# are final.
+RETRY = object()
 
 REPORT_MARKER = '"report":'
 
@@ -85,6 +100,85 @@ def build_request(args):
     return req
 
 
+def attempt(args, request):
+    """Run one submit/stream round-trip.
+
+    Returns an exit code, or the RETRY sentinel for transient failures
+    (connection errors, daemon overload backpressure).
+    """
+    try:
+        sock = socket.create_connection((args.host, args.port),
+                                        timeout=args.timeout)
+    except OSError as exc:
+        print(f"p10_client: connect {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return RETRY
+
+    with sock:
+        sock.sendall(json.dumps(request).encode("utf-8") + b"\n")
+        # shutdown(WR) is deliberately not called: the daemon serves
+        # responses on the same connection.
+        try:
+            lines = read_lines(sock)
+            for line in lines:
+                code = handle_event(args, request, line)
+                if code is not None:
+                    return code
+        except socket.timeout:
+            print(f"p10_client: no response within {args.timeout}s",
+                  file=sys.stderr)
+            return RETRY
+    print("p10_client: connection closed before a final event",
+          file=sys.stderr)
+    return RETRY
+
+
+def handle_event(args, request, line):
+    """Process one response line; None means keep streaming."""
+    try:
+        event = json.loads(line)
+    except ValueError:
+        print(f"p10_client: unparseable response: {line}",
+              file=sys.stderr)
+        return 1
+    kind = event.get("event")
+    if kind == "accepted":
+        print(f"p10_client: accepted "
+              f"(queue depth {event.get('queue_depth')})",
+              file=sys.stderr)
+        if request["type"] in ("cancel", "shutdown"):
+            return 0
+        return None
+    if kind == "progress":
+        print(f"p10_client: [{event.get('index')}/"
+              f"{event.get('total')}] {event.get('key')} "
+              f"{event.get('status')}", file=sys.stderr)
+        return None
+    if kind == "stats":
+        print(line)
+        return 0
+    if kind == "error":
+        print(f"p10_client: error ({event.get('code')}): "
+              f"{event.get('message')}", file=sys.stderr)
+        # Overload is the daemon's structured backpressure, the one
+        # error class that resubmitting verbatim is designed to fix.
+        return RETRY if event.get("code") == "overloaded" else 1
+    if kind == "done":
+        report = extract_report(line)
+        print(f"p10_client: done (cached "
+              f"{event.get('cached_shards')}, simulated "
+              f"{event.get('simulated_shards')})",
+              file=sys.stderr)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as f:
+                f.write(report)
+        else:
+            print(report)
+        return 0
+    print(f"p10_client: unknown event: {line}", file=sys.stderr)
+    return 1
+
+
 def main(argv):
     parser = argparse.ArgumentParser(
         prog="p10_client.py",
@@ -93,6 +187,12 @@ def main(argv):
     parser.add_argument("--port", type=int, required=True)
     parser.add_argument("--id", default="cli",
                         help="request id (default: cli)")
+    parser.add_argument("--timeout", type=float, default=600,
+                        help="socket timeout in seconds (default: 600)")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="retry transient failures (connect errors,"
+                             " daemon overload) this many times with"
+                             " exponential backoff (default: 0)")
     parser.add_argument("--priority", type=int, default=None)
     parser.add_argument("--timeout-cycles", type=int, default=None)
     parser.add_argument("--out", default=None,
@@ -110,67 +210,26 @@ def main(argv):
                       help="ask the daemon to drain and exit")
     args = parser.parse_args(argv[1:])
 
+    if args.timeout <= 0 or args.retries < 0:
+        print("p10_client: --timeout must be > 0 and --retries >= 0",
+              file=sys.stderr)
+        return 2
     try:
         request = build_request(args)
     except (OSError, ValueError) as exc:
         print(f"p10_client: {exc}", file=sys.stderr)
         return 2
 
-    try:
-        sock = socket.create_connection((args.host, args.port),
-                                        timeout=600)
-    except OSError as exc:
-        print(f"p10_client: connect {args.host}:{args.port}: {exc}",
-              file=sys.stderr)
-        return 1
-
-    with sock:
-        sock.sendall(json.dumps(request).encode("utf-8") + b"\n")
-        # shutdown(WR) is deliberately not called: the daemon serves
-        # responses on the same connection.
-        for line in read_lines(sock):
-            try:
-                event = json.loads(line)
-            except ValueError:
-                print(f"p10_client: unparseable response: {line}",
-                      file=sys.stderr)
-                return 1
-            kind = event.get("event")
-            if kind == "accepted":
-                print(f"p10_client: accepted "
-                      f"(queue depth {event.get('queue_depth')})",
-                      file=sys.stderr)
-                if request["type"] in ("cancel", "shutdown"):
-                    return 0
-            elif kind == "progress":
-                print(f"p10_client: [{event.get('index')}/"
-                      f"{event.get('total')}] {event.get('key')} "
-                      f"{event.get('status')}", file=sys.stderr)
-            elif kind == "stats":
-                print(line)
-                return 0
-            elif kind == "error":
-                print(f"p10_client: error ({event.get('code')}): "
-                      f"{event.get('message')}", file=sys.stderr)
-                return 1
-            elif kind == "done":
-                report = extract_report(line)
-                print(f"p10_client: done (cached "
-                      f"{event.get('cached_shards')}, simulated "
-                      f"{event.get('simulated_shards')})",
-                      file=sys.stderr)
-                if args.out:
-                    with open(args.out, "w", encoding="utf-8") as f:
-                        f.write(report)
-                else:
-                    print(report)
-                return 0
-            else:
-                print(f"p10_client: unknown event: {line}",
-                      file=sys.stderr)
-                return 1
-    print("p10_client: connection closed before a final event",
-          file=sys.stderr)
+    for tries in range(args.retries + 1):
+        code = attempt(args, request)
+        if code is not RETRY:
+            return code
+        if tries == args.retries:
+            break
+        delay = min(BACKOFF_BASE_S * (2 ** tries), BACKOFF_CAP_S)
+        print(f"p10_client: retrying in {delay:.0f}s "
+              f"({args.retries - tries} left)", file=sys.stderr)
+        time.sleep(delay)
     return 1
 
 

@@ -13,12 +13,18 @@ ids, valid status values, and the zeroed wall-clock meta fields that
 make merged reports a pure function of the spec. Reports carrying
 cache provenance (the sweep.cached / sweep.simulated scalars emitted
 by p10sweep_cli --cache-stats) additionally get the conservation
-check: cached + simulated shards must sum to the total.
+check: cached + simulated shards must sum to the total. With --fleet,
+files are checked as fleet provenance sidecars (p10fleet
+--fleet-stats): the default report checks plus the full fleet.*
+counter set from src/fabric/fleet.h and its internal accounting
+(dead workers never exceed workers, locally-run and skipped shards
+never exceed the shard total, nothing dispatched to an empty fleet).
 
 Usage:
   validate_report.py report.json [more.json ...]
   validate_report.py --trace trace.json [more.json ...]
   validate_report.py --sweep merged.json [more.json ...]
+  validate_report.py --fleet stats.json [more.json ...]
 
 Exits non-zero naming every failing file; CI runs it over every
 artifact the bench smoke stage emits. Stdlib only.
@@ -186,6 +192,47 @@ def validate_sweep(path, doc, errors):
         _fail(errors, path, "merged report meta.host_mips is not 0")
 
 
+FLEET_SCALARS = ["fleet.workers", "fleet.workers_dead",
+                 "fleet.dispatched", "fleet.reassigned",
+                 "fleet.skipped", "fleet.remote_cache_hits",
+                 "fleet.remote_cache_puts", "fleet.local_shards",
+                 "fleet.connect_failures", "fleet.protocol_errors"]
+
+
+def validate_fleet(path, doc, errors):
+    """Fleet provenance sidecar (p10fleet --fleet-stats): the default
+    report checks — which include cache-provenance conservation —
+    plus the fleet.* scalar set and its internal accounting."""
+    before = len(errors)
+    validate_report(path, doc, errors)
+    if len(errors) != before:
+        return
+
+    scalars = doc["scalars"]
+    for name in FLEET_SCALARS + ["sweep.shards", "sweep.cached",
+                                 "sweep.simulated"]:
+        value = scalars.get(name)
+        if not isinstance(value, NUM) or isinstance(value, bool):
+            _fail(errors, path, f"missing numeric scalar '{name}'")
+        elif value < 0:
+            _fail(errors, path, f"scalar '{name}' is negative")
+    if len(errors) != before:
+        return
+
+    if scalars["fleet.workers_dead"] > scalars["fleet.workers"]:
+        _fail(errors, path,
+              "fleet.workers_dead exceeds fleet.workers")
+    # Every shard was finished by a worker, run locally, or skipped —
+    # and nothing was dispatched to a zero-worker fleet.
+    if scalars["fleet.local_shards"] > scalars["sweep.shards"]:
+        _fail(errors, path, "fleet.local_shards exceeds sweep.shards")
+    if scalars["fleet.skipped"] > scalars["sweep.shards"]:
+        _fail(errors, path, "fleet.skipped exceeds sweep.shards")
+    if scalars["fleet.workers"] == 0 and scalars["fleet.dispatched"] > 0:
+        _fail(errors, path,
+              "fleet.dispatched > 0 with fleet.workers == 0")
+
+
 def validate_trace(path, doc, errors):
     if not isinstance(doc, dict) or "traceEvents" not in doc:
         return _fail(errors, path, "no traceEvents array")
@@ -219,7 +266,7 @@ def validate_trace(path, doc, errors):
 def main(argv):
     args = argv[1:]
     mode = "report"
-    if args and args[0] in ("--trace", "--sweep"):
+    if args and args[0] in ("--trace", "--sweep", "--fleet"):
         mode = args[0][2:]
         args = args[1:]
     if not args:
@@ -230,6 +277,7 @@ def main(argv):
         "report": validate_report,
         "trace": validate_trace,
         "sweep": validate_sweep,
+        "fleet": validate_fleet,
     }
     errors = []
     for path in args:

@@ -5,6 +5,7 @@
 
 #include "ckpt/checkpoint.h"
 #include "common/rng.h"
+#include "sweep/cache.h"
 #include "workloads/synthetic.h"
 
 namespace p10ee::api {
@@ -150,6 +151,76 @@ Service::runSweep(const sweep::SweepSpec& spec,
     runner.onProgress = opts.onProgress;
     runner.cancel = opts.cancel;
     return runner.run(opts.jobs);
+}
+
+Expected<ShardOutcome>
+Service::runShard(const sweep::SweepSpec& spec, uint64_t index,
+                  const ShardOptions& opts) const
+{
+    if (!spec.shardReportsDir.empty())
+        return Error::invalidArgument(
+            "single-shard execution cannot honour shard_reports_dir");
+    sweep::SweepSpec effective = spec;
+    if (opts.maxCyclesOverride > 0 &&
+        (effective.maxCycles == 0 ||
+         opts.maxCyclesOverride < effective.maxCycles))
+        effective.maxCycles = opts.maxCyclesOverride;
+
+    Expected<std::vector<sweep::ShardSpec>> shardsOr =
+        effective.expand();
+    if (!shardsOr)
+        return shardsOr.error();
+    const std::vector<sweep::ShardSpec>& shards = shardsOr.value();
+    if (index >= shards.size())
+        return Error::invalidArgument(
+            "shard index " + std::to_string(index) +
+            " out of range (sweep has " +
+            std::to_string(shards.size()) + " shards)");
+    const sweep::ShardSpec& shard = shards[static_cast<size_t>(index)];
+    const uint64_t key = sweep::ShardCache::shardKey(effective, shard);
+
+    std::optional<sweep::ShardCache> cache;
+    if (!opts_.cacheDir.empty()) {
+        cache.emplace(opts_.cacheDir);
+        if (common::Status st = cache->prepare(); !st)
+            return st.error();
+        if (auto hit = cache->lookup(effective, shard)) {
+            ShardOutcome out;
+            out.result = std::move(*hit);
+            out.result.fromCache = true;
+            out.entry =
+                sweep::ShardCache::encodeEntry(effective, shard,
+                                               out.result);
+            return out;
+        }
+    }
+    if (opts.remoteLookup) {
+        if (auto bytes = opts.remoteLookup(key)) {
+            // Full validation before trusting remote bytes: container,
+            // key, checksum, shard identity. Anything wrong is a miss.
+            if (auto hit = sweep::ShardCache::decodeEntry(
+                    *bytes, effective, shard)) {
+                ShardOutcome out;
+                out.result = std::move(*hit);
+                out.result.fromCache = true;
+                out.entry = std::move(*bytes);
+                if (cache)
+                    (void)cache->writeBytes(key, out.entry);
+                return out;
+            }
+        }
+    }
+
+    sweep::SweepRunner runner(effective);
+    ShardOutcome out;
+    out.result = runner.runShard(shard);
+    out.entry =
+        sweep::ShardCache::encodeEntry(effective, shard, out.result);
+    if (cache)
+        (void)cache->insert(effective, shard, out.result);
+    if (opts.remoteStore)
+        opts.remoteStore(key, out.entry);
+    return out;
 }
 
 obs::JsonReport

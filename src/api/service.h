@@ -28,7 +28,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "api/types.h"
 #include "common/error.h"
@@ -107,6 +110,38 @@ struct SweepOptions
 };
 
 /**
+ * Per-call options of a single-shard execution (the fabric worker
+ * path: a `shard` request runs exactly one index of a sweep).
+ */
+struct ShardOptions
+{
+    /** Request-level cycle budget; tightens (never loosens) the
+        spec's own max_cycles. 0 = no override. */
+    uint64_t maxCyclesOverride = 0;
+    /**
+     * Remote cache tier: given the shard's cache key, return the
+     * encoded ShardCache entry bytes or nullopt on miss. Consulted
+     * after the local cache; a probe that times out is just a miss —
+     * the remote tier can only ever save work, never fail a shard.
+     */
+    std::function<std::optional<std::vector<uint8_t>>(uint64_t key)>
+        remoteLookup;
+    /** Best-effort publication of a freshly simulated entry to the
+        remote tier (fire-and-forget). */
+    std::function<void(uint64_t key, const std::vector<uint8_t>& entry)>
+        remoteStore;
+};
+
+/** Outcome of one single-shard execution. */
+struct ShardOutcome
+{
+    ShardResult result; ///< fromCache set when any cache tier hit
+    /** The encoded ShardCache entry for this result — the exact bytes
+        a worker ships in shard_done and a coordinator persists. */
+    std::vector<uint8_t> entry;
+};
+
+/**
  * The facade. Cheap to construct; holds only the shared-cache
  * configuration. Thread-safe: concurrent runOne()/runSweep() calls
  * share the on-disk ShardCache (whose own contract makes concurrent
@@ -130,6 +165,20 @@ class Service
     /** Expand + execute a sweep (shared cache, progress events). */
     common::Expected<sweep::SweepResult> runSweep(
         const sweep::SweepSpec& spec, const SweepOptions& opts) const;
+
+    /**
+     * Run ONE shard of @p spec by expansion index: local cache, then
+     * the remote tier (when wired), then simulation. The result is a
+     * pure function of (spec, index) — identical to what the same
+     * shard produces inside runSweep() — which is what lets a fleet
+     * scatter shards across workers and still merge a byte-identical
+     * report. Errors are pre-flight only (bad spec, index out of
+     * range); a shard that deterministically fails (timeout, exhausted
+     * retries) is an ok ShardOutcome carrying the failure.
+     */
+    common::Expected<ShardOutcome> runShard(
+        const sweep::SweepSpec& spec, uint64_t index,
+        const ShardOptions& opts) const;
 
     /**
      * The canonical merged sweep report: byte-identical across every

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Hex encoding for binary payloads embedded in NDJSON messages.
+ *
+ * The fabric protocol ships ShardCache entry bytes inside JSON strings
+ * (cache_put / cache_result / shard_done). Base64 would be denser, but
+ * hex keeps the codec trivially auditable and the decoder total: every
+ * input either round-trips or is rejected, there is no padding state.
+ * Payloads are small (a shard result is a few hundred bytes), so the 2x
+ * expansion is noise next to the simulation cost being shipped around.
+ */
+
+#ifndef P10EE_COMMON_HEX_H
+#define P10EE_COMMON_HEX_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace p10ee::common {
+
+inline std::string
+hexEncode(const std::vector<uint8_t>& bytes)
+{
+    static const char* digits = "0123456789abcdef";
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (uint8_t b : bytes) {
+        out.push_back(digits[b >> 4]);
+        out.push_back(digits[b & 0xf]);
+    }
+    return out;
+}
+
+/** Strict decode: even length, lowercase-or-uppercase hex digits only.
+    Anything else is nullopt — wire payloads are hostile input. */
+inline std::optional<std::vector<uint8_t>>
+hexDecode(const std::string& text)
+{
+    if (text.size() % 2 != 0)
+        return std::nullopt;
+    auto nibble = [](char c) -> int {
+        if (c >= '0' && c <= '9')
+            return c - '0';
+        if (c >= 'a' && c <= 'f')
+            return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F')
+            return c - 'A' + 10;
+        return -1;
+    };
+    std::vector<uint8_t> out;
+    out.reserve(text.size() / 2);
+    for (size_t i = 0; i < text.size(); i += 2) {
+        int hi = nibble(text[i]);
+        int lo = nibble(text[i + 1]);
+        if (hi < 0 || lo < 0)
+            return std::nullopt;
+        out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+    }
+    return out;
+}
+
+} // namespace p10ee::common
+
+#endif // P10EE_COMMON_HEX_H

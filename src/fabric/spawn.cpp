@@ -1,0 +1,172 @@
+#include "fabric/spawn.h"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace p10ee::fabric {
+
+using common::Error;
+using common::Expected;
+
+namespace {
+
+/** Parse "p10d: listening on 127.0.0.1:<port>" out of @p text. */
+bool
+parseAnnouncement(const std::string& text, uint16_t* port)
+{
+    const std::string marker = "p10d: listening on 127.0.0.1:";
+    size_t at = text.find(marker);
+    if (at == std::string::npos)
+        return false;
+    size_t p = at + marker.size();
+    uint64_t value = 0;
+    bool any = false;
+    while (p < text.size() && text[p] >= '0' && text[p] <= '9') {
+        value = value * 10 + static_cast<uint64_t>(text[p] - '0');
+        if (value > 65535)
+            return false;
+        ++p;
+        any = true;
+    }
+    // Require the line to be complete — a chunk boundary could split
+    // the port digits, and parsing "8" out of "8080" would dial the
+    // wrong daemon.
+    if (!any || p >= text.size() || text[p] != '\n')
+        return false;
+    *port = static_cast<uint16_t>(value);
+    return true;
+}
+
+} // namespace
+
+Expected<SpawnedWorker>
+spawnWorker(const std::string& p10dBinary,
+            const std::vector<std::string>& extraArgs,
+            int announceTimeoutMs)
+{
+    if (::access(p10dBinary.c_str(), X_OK) != 0)
+        return Error::notFound("p10d binary not executable: " +
+                               p10dBinary);
+
+    int pipefd[2];
+    if (::pipe(pipefd) != 0)
+        return Error::transient(std::string("pipe(): ") +
+                                std::strerror(errno));
+
+    pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(pipefd[0]);
+        ::close(pipefd[1]);
+        return Error::transient(std::string("fork(): ") +
+                                std::strerror(errno));
+    }
+    if (pid == 0) {
+        // Child: stdout -> pipe, stderr inherited, exec the daemon.
+        ::close(pipefd[0]);
+        ::dup2(pipefd[1], STDOUT_FILENO);
+        ::close(pipefd[1]);
+        std::vector<std::string> args = {p10dBinary, "--port", "0"};
+        args.insert(args.end(), extraArgs.begin(), extraArgs.end());
+        std::vector<char*> argv;
+        argv.reserve(args.size() + 1);
+        for (std::string& a : args)
+            argv.push_back(a.data());
+        argv.push_back(nullptr);
+        ::execv(p10dBinary.c_str(), argv.data());
+        // exec failed: exit hard without running parent atexit state.
+        std::_Exit(127);
+    }
+
+    ::close(pipefd[1]);
+    SpawnedWorker worker;
+    worker.pid = pid;
+    worker.stdoutFd = pipefd[0];
+
+    std::string seen;
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(announceTimeoutMs);
+    for (;;) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) {
+            reapWorker(worker, /*kill=*/true);
+            return Error::timeout(
+                "worker did not announce a listening port within " +
+                std::to_string(announceTimeoutMs) + "ms");
+        }
+        const int waitMs = static_cast<int>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - now)
+                .count());
+        pollfd pfd{worker.stdoutFd, POLLIN, 0};
+        int rc = ::poll(&pfd, 1, waitMs > 100 ? 100 : waitMs);
+        if (rc < 0 && errno != EINTR) {
+            reapWorker(worker, /*kill=*/true);
+            return Error::transient(std::string("poll(): ") +
+                                    std::strerror(errno));
+        }
+        if (rc <= 0 || (pfd.revents & (POLLIN | POLLHUP)) == 0)
+            continue;
+        char buf[512];
+        ssize_t n = ::read(worker.stdoutFd, buf, sizeof(buf));
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0) {
+            // Child died (or exec failed) before announcing.
+            int status = reapWorker(worker);
+            return Error::transient(
+                "worker exited before announcing (wait status " +
+                std::to_string(status) + ")");
+        }
+        seen.append(buf, static_cast<size_t>(n));
+        if (parseAnnouncement(seen, &worker.port))
+            return worker;
+        if (seen.size() > 4096) {
+            reapWorker(worker, /*kill=*/true);
+            return Error::invalidArgument(
+                "worker stdout is not a p10d announcement");
+        }
+    }
+}
+
+void
+signalWorker(const SpawnedWorker& worker, int sig)
+{
+    if (worker.pid > 0)
+        ::kill(worker.pid, sig);
+}
+
+int
+reapWorker(SpawnedWorker& worker, bool kill)
+{
+    if (worker.pid <= 0)
+        return -1;
+    if (kill)
+        ::kill(worker.pid, SIGKILL);
+    // A SIGSTOPped child never exits; make reaping unconditional so a
+    // chaos run that suspended a worker still cleans up.
+    ::kill(worker.pid, SIGCONT);
+    int status = -1;
+    for (;;) {
+        pid_t r = ::waitpid(worker.pid, &status, 0);
+        if (r < 0 && errno == EINTR)
+            continue;
+        break;
+    }
+    worker.pid = -1;
+    if (worker.stdoutFd >= 0) {
+        ::close(worker.stdoutFd);
+        worker.stdoutFd = -1;
+    }
+    return status;
+}
+
+} // namespace p10ee::fabric

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Coordinator side of the fabric wire protocol.
+ *
+ * The worker side lives in `src/service/protocol.{h,cpp}`: the daemon
+ * parses `shard` / `cache_result` requests and builds `heartbeat` /
+ * `cache_get` / `cache_put` / `shard_done` events. This header is the
+ * mirror image — the line builders a coordinator sends and the strict
+ * parser for the event stream a worker produces.
+ *
+ * Parsing discipline matches the daemon's: a worker's output is
+ * treated as hostile input (a worker can be killed mid-line, replaced
+ * by a confused process on a recycled port, or simply buggy), so every
+ * event kind has a closed key set, every field is type-checked, hex
+ * payloads must decode, and anything else is a structured
+ * `common::Error` the coordinator turns into a worker strike — never
+ * an exception across the wire, never an abort.
+ */
+
+#ifndef P10EE_FABRIC_WIRE_H
+#define P10EE_FABRIC_WIRE_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+#include "sweep/spec.h"
+
+namespace p10ee::fabric {
+
+// --- Request line builders (coordinator -> worker, no newline) ---
+
+/**
+ * A leased shard dispatch: run expansion index @p index of @p spec.
+ * The spec travels as its canonical JSON (SweepSpec::toJson), so the
+ * worker re-expands the identical grid and both sides agree on shard
+ * identity by construction. @p heartbeatMs asks the worker to emit
+ * liveness events while executing (0 = none); @p remoteCache tells it
+ * the coordinator will answer cache_get probes.
+ */
+std::string shardRequestLine(const std::string& id,
+                             const sweep::SweepSpec& spec,
+                             uint64_t index, uint64_t heartbeatMs,
+                             bool remoteCache);
+
+/** Answer to a worker's cache_get: @p entry is ignored on a miss. */
+std::string cacheResultLine(const std::string& id, bool hit,
+                            const std::vector<uint8_t>& entry);
+
+// --- Worker event stream ---
+
+/** One parsed worker event (see protocol.h for the line shapes). */
+struct WorkerEvent
+{
+    enum class Kind
+    {
+        Accepted,  ///< request entered the worker's queue
+        Heartbeat, ///< liveness while a shard executes
+        CacheGet,  ///< worker probes the coordinator's cache tier
+        CachePut,  ///< worker publishes a freshly simulated entry
+        ShardDone, ///< terminal: data is the encoded ShardCache entry
+        Error      ///< terminal: structured failure for this request
+    };
+
+    Kind kind = Kind::Heartbeat;
+    std::string id;
+
+    uint64_t key = 0;          ///< cache_get / cache_put
+    std::vector<uint8_t> data; ///< cache_put / shard_done payload
+    uint64_t index = 0;        ///< shard_done: shard index
+    bool cached = false;       ///< shard_done: served from a cache tier
+    common::Error error;       ///< error: code + message
+
+    /**
+     * Parse one worker line. Strict: closed key set per event kind,
+     * typed fields, bounded length, decodable hex. Any violation is an
+     * Error — the caller's cue to mark the worker suspect.
+     */
+    static common::Expected<WorkerEvent> parse(std::string_view line);
+};
+
+} // namespace p10ee::fabric
+
+#endif // P10EE_FABRIC_WIRE_H

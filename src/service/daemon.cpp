@@ -18,6 +18,16 @@ using common::Error;
 using common::Expected;
 using common::Status;
 
+namespace {
+
+/** How long a worker waits for the coordinator's cache_result before
+    treating the probe as a miss. Generous next to a heartbeat interval
+    (the pump keeps running through the wait) yet bounded — a mute
+    coordinator costs one extra simulation, never a wedged executor. */
+constexpr int kRemoteCacheWaitMs = 2000;
+
+} // namespace
+
 Daemon::Connection::~Connection()
 {
     if (fd >= 0)
@@ -223,11 +233,25 @@ Daemon::readerLoop(std::shared_ptr<Connection> conn)
         }
         pending.erase(0, start);
     }
-    // A final unterminated fragment still gets a response (it is
-    // usually a truncated request, which parses to a structured
-    // error); the client may already be gone, which sendLine absorbs.
-    if (!pending.empty() && pending.size() <= kMaxRequestBytes)
-        handleLine(conn, pending);
+    // EOF mid-line: the peer half-closed (or died) before terminating
+    // its request. Treat the fragment exactly like a malformed request
+    // — a structured error, counted as rejected — and never hand it to
+    // the dispatcher: an unterminated fragment can be a complete,
+    // valid JSON request whose trailing newline died with the client,
+    // and executing it would tie an executor to a connection nobody is
+    // reading. sendLine absorbs the (likely dead) peer.
+    if (!pending.empty()) {
+        rejected_.fetch_add(1);
+        conn->sendLine(errorLine(
+            "", Error::invalidArgument(
+                    "connection closed mid-request (" +
+                    std::to_string(pending.size()) +
+                    " bytes without newline); request discarded")));
+        // Framing violations are connection-fatal (the oversize path
+        // above sets the precedent): hang up so a peer still reading
+        // sees EOF instead of a socket that never speaks again.
+        ::shutdown(conn->fd, SHUT_RDWR);
+    }
 }
 
 void
@@ -278,16 +302,24 @@ Daemon::handleLine(const std::shared_ptr<Connection>& conn,
         conn->sendLine(acceptedLine(req.id, queue_.depth()));
         return;
       }
+      case RequestType::CacheResult:
+        // The answer to one of our own cache_get probes, not a job:
+        // route it to the waiting executor, or drop it silently when
+        // the probe already timed out (a probe is best-effort).
+        routeCacheResult(req);
+        return;
       case RequestType::Run:
       case RequestType::Sweep:
+      case RequestType::Shard:
         break;
     }
 
     if (draining_.load()) {
         rejected_.fetch_add(1);
         conn->sendLine(errorLine(
-            req.id,
-            Error::overloaded("p10d is draining; request rejected")));
+            req.id, Error::overloaded(
+                        "p10d is draining; request rejected — this "
+                        "instance will not accept work again")));
         return;
     }
 
@@ -336,6 +368,11 @@ Daemon::execute(Job& job)
         cancelled_.fetch_add(1);
         job.send(errorLine(
             id, Error::cancelled("request cancelled before execution")));
+        return;
+    }
+
+    if (job.req.type == RequestType::Shard) {
+        executeShard(job);
         return;
     }
 
@@ -396,6 +433,119 @@ Daemon::execute(Job& job)
         api::Service::mergedReport(job.req.spec, result);
     job.send(doneLine(id, result.cachedShards, result.simulatedShards,
                       report.toJson()));
+}
+
+void
+Daemon::executeShard(Job& job)
+{
+    const std::string id = job.req.id;
+
+    // Heartbeats bracket the WHOLE execution — remote cache waits
+    // included — so the coordinator's liveness window never depends on
+    // which phase the shard is in. The pump is joined before the
+    // terminal line goes out: a coordinator never sees a heartbeat
+    // after shard_done.
+    std::atomic<bool> done{false};
+    std::thread heartbeat;
+    if (job.req.heartbeatMs > 0) {
+        auto send = job.send;
+        const uint64_t intervalMs = job.req.heartbeatMs;
+        heartbeat = std::thread([send, id, intervalMs, &done] {
+            auto last = std::chrono::steady_clock::now();
+            while (!done.load()) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10));
+                auto now = std::chrono::steady_clock::now();
+                if (now - last >=
+                    std::chrono::milliseconds(intervalMs)) {
+                    send(heartbeatLine(id));
+                    last = now;
+                }
+            }
+        });
+    }
+
+    api::ShardOptions shardOpts;
+    shardOpts.maxCyclesOverride = job.req.timeoutCycles;
+    if (job.req.remoteCache) {
+        auto send = job.send;
+        shardOpts.remoteLookup = [this, send, id](uint64_t key) {
+            return remoteCacheLookup(send, id, key);
+        };
+        shardOpts.remoteStore =
+            [send, id](uint64_t key,
+                       const std::vector<uint8_t>& entry) {
+                send(cachePutLine(id, key, entry));
+            };
+    }
+    Expected<api::ShardOutcome> outcomeOr =
+        service_.runShard(job.req.spec, job.req.shardIndex, shardOpts);
+
+    done.store(true);
+    if (heartbeat.joinable())
+        heartbeat.join();
+
+    if (!outcomeOr) {
+        failed_.fetch_add(1);
+        job.send(errorLine(id, outcomeOr.error()));
+        return;
+    }
+    const api::ShardOutcome& outcome = outcomeOr.value();
+    if (outcome.result.fromCache)
+        cachedShards_.fetch_add(1);
+    else
+        simulatedShards_.fetch_add(1);
+    completed_.fetch_add(1);
+    job.send(shardDoneLine(id, job.req.shardIndex,
+                           outcome.result.fromCache, outcome.entry));
+}
+
+std::optional<std::vector<uint8_t>>
+Daemon::remoteCacheLookup(
+    const std::function<void(const std::string&)>& send,
+    const std::string& id, uint64_t key)
+{
+    auto wait = std::make_shared<CacheWait>();
+    {
+        std::lock_guard<std::mutex> lock(cacheWaitsMu_);
+        cacheWaits_[id] = wait;
+    }
+    send(cacheGetLine(id, key));
+    std::optional<std::vector<uint8_t>> out;
+    {
+        std::unique_lock<std::mutex> lock(wait->mu);
+        wait->cv.wait_for(
+            lock, std::chrono::milliseconds(kRemoteCacheWaitMs),
+            [&wait] { return wait->delivered; });
+        if (wait->delivered && wait->hit)
+            out = std::move(wait->data);
+    }
+    {
+        std::lock_guard<std::mutex> lock(cacheWaitsMu_);
+        cacheWaits_.erase(id);
+    }
+    return out;
+}
+
+void
+Daemon::routeCacheResult(const Request& req)
+{
+    std::shared_ptr<CacheWait> wait;
+    {
+        std::lock_guard<std::mutex> lock(cacheWaitsMu_);
+        auto it = cacheWaits_.find(req.id);
+        if (it != cacheWaits_.end())
+            wait = it->second;
+    }
+    if (!wait)
+        return; // probe already timed out (or unsolicited): drop
+    std::lock_guard<std::mutex> lock(wait->mu);
+    if (wait->delivered)
+        return; // duplicate answer: first one wins
+    wait->delivered = true;
+    wait->hit = req.cacheHit;
+    wait->data = req.cacheData;
+    wait->cv.notify_all();
 }
 
 void

@@ -32,10 +32,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -112,12 +115,32 @@ class Daemon
         std::atomic<bool> alive{true};
     };
 
+    /**
+     * One in-flight remote-cache probe: the executor parks here after
+     * sending cache_get, the reader thread delivers the coordinator's
+     * cache_result by request id. A probe that times out is simply a
+     * miss — the remote tier can only ever save work.
+     */
+    struct CacheWait
+    {
+        std::mutex mu;
+        std::condition_variable cv;
+        bool delivered = false;
+        bool hit = false;
+        std::vector<uint8_t> data;
+    };
+
     void acceptLoop();
     void readerLoop(std::shared_ptr<Connection> conn);
     void executorLoop();
     void handleLine(const std::shared_ptr<Connection>& conn,
                     std::string_view line);
     void execute(Job& job);
+    void executeShard(Job& job);
+    std::optional<std::vector<uint8_t>> remoteCacheLookup(
+        const std::function<void(const std::string&)>& send,
+        const std::string& id, uint64_t key);
+    void routeCacheResult(const Request& req);
     void finishJob(const std::string& id);
     std::string statsLine(const std::string& id) const;
 
@@ -140,6 +163,10 @@ class Daemon
         detection and cancel routing). */
     mutable std::mutex activeMu_;
     std::map<std::string, std::shared_ptr<std::atomic<bool>>> active_;
+
+    /** In-flight cache_get probes by request id (fabric remote tier). */
+    std::mutex cacheWaitsMu_;
+    std::map<std::string, std::shared_ptr<CacheWait>> cacheWaits_;
 
     // Live metrics (the `stats` request; never part of reports).
     std::chrono::steady_clock::time_point startTime_;

@@ -1,5 +1,8 @@
 #include "service/protocol.h"
 
+#include <cstdio>
+
+#include "common/hex.h"
 #include "obs/json.h"
 
 namespace p10ee::service {
@@ -107,13 +110,19 @@ Request::parse(std::string_view line)
         req.type = RequestType::Cancel;
     else if (type == "shutdown")
         req.type = RequestType::Shutdown;
+    else if (type == "shard")
+        req.type = RequestType::Shard;
+    else if (type == "cache_result")
+        req.type = RequestType::CacheResult;
     else
         return Error::invalidArgument("unknown request type '" + type +
                                       "'");
 
     const bool needsId = req.type == RequestType::Run ||
                          req.type == RequestType::Sweep ||
-                         req.type == RequestType::Cancel;
+                         req.type == RequestType::Cancel ||
+                         req.type == RequestType::Shard ||
+                         req.type == RequestType::CacheResult;
     Expected<std::string> idOr = readString(root, "id", needsId);
     if (!idOr)
         return idOr.error();
@@ -170,6 +179,74 @@ Request::parse(std::string_view line)
         if (req.target.empty())
             return Error::invalidArgument(
                 "cancel 'target' must be non-empty");
+        break;
+      }
+      case RequestType::Shard: {
+        const obs::JsonValue* spec = root.find("spec");
+        if (spec == nullptr)
+            return Error::invalidArgument(
+                "shard request is missing 'spec'");
+        Expected<sweep::SweepSpec> specOr =
+            sweep::SweepSpec::fromJsonValue(*spec);
+        if (!specOr)
+            return specOr.error();
+        req.spec = std::move(specOr.value());
+        const obs::JsonValue* idx = root.find("index");
+        if (idx == nullptr)
+            return Error::invalidArgument(
+                "shard request is missing 'index'");
+        Expected<uint64_t> idxOr = idx->asU64("shard request 'index'");
+        if (!idxOr)
+            return idxOr.error();
+        req.shardIndex = idxOr.value();
+        Expected<uint64_t> hbOr = readU64(root, "heartbeat_ms", 0);
+        if (!hbOr)
+            return hbOr.error();
+        req.heartbeatMs = hbOr.value();
+        if (const obs::JsonValue* rc = root.find("remote_cache")) {
+            if (!rc->isBool())
+                return Error::invalidArgument(
+                    "shard request 'remote_cache' must be a boolean");
+            req.remoteCache = rc->boolean;
+        }
+        for (const auto& [key, v] : root.object) {
+            (void)v;
+            if (key != "type" && key != "id" && key != "priority" &&
+                key != "timeout_cycles" && key != "spec" &&
+                key != "index" && key != "heartbeat_ms" &&
+                key != "remote_cache")
+                return Error::invalidArgument(
+                    "unknown shard request key '" + key + "'");
+        }
+        break;
+      }
+      case RequestType::CacheResult: {
+        const obs::JsonValue* hit = root.find("hit");
+        if (hit == nullptr || !hit->isBool())
+            return Error::invalidArgument(
+                "cache_result 'hit' must be a boolean");
+        req.cacheHit = hit->boolean;
+        const obs::JsonValue* data = root.find("data");
+        if (req.cacheHit) {
+            if (data == nullptr || !data->isString())
+                return Error::invalidArgument(
+                    "cache_result hit requires a 'data' hex string");
+            auto bytes = common::hexDecode(data->string);
+            if (!bytes)
+                return Error::invalidArgument(
+                    "cache_result 'data' is not valid hex");
+            req.cacheData = std::move(*bytes);
+        } else if (data != nullptr) {
+            return Error::invalidArgument(
+                "cache_result miss must not carry 'data'");
+        }
+        for (const auto& [key, v] : root.object) {
+            (void)v;
+            if (key != "type" && key != "id" && key != "hit" &&
+                key != "data")
+                return Error::invalidArgument(
+                    "unknown cache_result key '" + key + "'");
+        }
         break;
       }
       case RequestType::Stats:
@@ -241,6 +318,88 @@ errorLine(const std::string& id, const common::Error& e)
     w.key("message").value(e.message);
     w.endObject();
     return w.str();
+}
+
+std::string
+heartbeatLine(const std::string& id)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("id").value(id);
+    w.key("event").value("heartbeat");
+    w.endObject();
+    return w.str();
+}
+
+std::string
+cacheGetLine(const std::string& id, uint64_t key)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("id").value(id);
+    w.key("event").value("cache_get");
+    w.key("key").value(cacheKeyHex(key));
+    w.endObject();
+    return w.str();
+}
+
+std::string
+cachePutLine(const std::string& id, uint64_t key,
+             const std::vector<uint8_t>& entry)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("id").value(id);
+    w.key("event").value("cache_put");
+    w.key("key").value(cacheKeyHex(key));
+    w.key("data").value(common::hexEncode(entry));
+    w.endObject();
+    return w.str();
+}
+
+std::string
+shardDoneLine(const std::string& id, uint64_t index, bool cached,
+              const std::vector<uint8_t>& entry)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("id").value(id);
+    w.key("event").value("shard_done");
+    w.key("index").value(index);
+    w.key("cached").value(cached);
+    w.key("data").value(common::hexEncode(entry));
+    w.endObject();
+    return w.str();
+}
+
+std::string
+cacheKeyHex(uint64_t key)
+{
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(key));
+    return std::string(hex, 16);
+}
+
+Expected<uint64_t>
+parseCacheKeyHex(const std::string& text)
+{
+    if (text.size() != 16)
+        return Error::invalidArgument(
+            "cache key must be exactly 16 hex digits");
+    uint64_t key = 0;
+    for (char c : text) {
+        int nibble;
+        if (c >= '0' && c <= '9')
+            nibble = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            nibble = c - 'a' + 10;
+        else
+            return Error::invalidArgument(
+                "cache key must be lowercase hex");
+        key = (key << 4) | static_cast<uint64_t>(nibble);
+    }
+    return key;
 }
 
 Expected<std::string>

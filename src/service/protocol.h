@@ -13,6 +13,19 @@
  *   {"type":"cancel","id":"r4","target":"r1"}
  *   {"type":"shutdown"}
  *
+ * The fabric layer (src/fabric) adds two request types a coordinator
+ * sends to worker daemons:
+ *
+ *   {"type":"shard","id":"s5a0","spec":{...},"index":5,
+ *    "heartbeat_ms":200,"remote_cache":true}
+ *   {"type":"cache_result","id":"s5a0","hit":true,"data":"<hex>"}
+ *
+ * `shard` runs ONE shard of the embedded spec (the worker re-expands
+ * the spec and picks the index, so both sides agree on identity by
+ * construction); `cache_result` answers a worker's cache_get probe
+ * ("data" is a hex-encoded ShardCache entry, required exactly when
+ * "hit" is true).
+ *
  * Responses — one JSON object per line, interleaved per request id:
  *
  *   {"id":"r1","event":"accepted","queue_depth":3}
@@ -21,6 +34,19 @@
  *   {"id":"r1","event":"done","cached_shards":0,"simulated_shards":8,
  *    "report":{...p10ee-report/1...}}
  *   {"id":"r1","event":"error","code":"overloaded","message":"..."}
+ *
+ * Fabric events a worker emits while executing a `shard` request:
+ *
+ *   {"id":"s5a0","event":"heartbeat"}
+ *   {"id":"s5a0","event":"cache_get","key":"<16-hex>"}
+ *   {"id":"s5a0","event":"cache_put","key":"<16-hex>","data":"<hex>"}
+ *   {"id":"s5a0","event":"shard_done","index":5,"cached":false,
+ *    "data":"<hex ShardCache entry>"}
+ *
+ * A shard_done payload IS a ShardCache entry (magic, versions, key,
+ * checksum — see sweep/cache.h), so the coordinator validates and
+ * decodes it through the exact code path a local cache hit takes, and
+ * can persist it verbatim into the fleet-wide cache directory.
  *
  * The `report` member of a `done` line is always the LAST key and its
  * value is the exact byte sequence the offline tool would write for
@@ -40,6 +66,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "api/service.h"
 #include "api/types.h"
@@ -57,19 +84,35 @@ inline constexpr size_t kMaxRequestBytes = 1u << 20;
 inline constexpr int kMinPriority = -100;
 inline constexpr int kMaxPriority = 100;
 
-enum class RequestType { Run, Sweep, Stats, Cancel, Shutdown };
+enum class RequestType
+{
+    Run,
+    Sweep,
+    Stats,
+    Cancel,
+    Shutdown,
+    Shard,      ///< fabric: run one shard of the embedded spec
+    CacheResult ///< fabric: answer to an in-flight cache_get probe
+};
 
 /** One parsed request. */
 struct Request
 {
     RequestType type = RequestType::Stats;
-    std::string id; ///< required for run/sweep/cancel
+    std::string id; ///< required for run/sweep/cancel/shard/cache_result
     int priority = 0;
     /** Per-shard cycle budget; tightens the spec's own max_cycles. */
     uint64_t timeoutCycles = 0;
     std::string target;    ///< cancel: the request id to withdraw
-    sweep::SweepSpec spec; ///< sweep payload
+    sweep::SweepSpec spec; ///< sweep + shard payload
     api::RunRequest run;   ///< run payload
+
+    uint64_t shardIndex = 0;  ///< shard: expansion-order index to run
+    uint64_t heartbeatMs = 0; ///< shard: liveness interval (0 = none)
+    bool remoteCache = false; ///< shard: probe the coordinator's cache
+    bool cacheHit = false;    ///< cache_result: probe outcome
+    /** cache_result: decoded entry bytes (present exactly when hit). */
+    std::vector<uint8_t> cacheData;
 
     /**
      * Parse one request line. Enforces kMaxRequestBytes, strict field
@@ -92,6 +135,27 @@ std::string doneLine(const std::string& id, uint64_t cachedShards,
                      const std::string& reportJson);
 
 std::string errorLine(const std::string& id, const common::Error& e);
+
+// --- Fabric event builders (worker -> coordinator, no newline) ---
+
+std::string heartbeatLine(const std::string& id);
+
+std::string cacheGetLine(const std::string& id, uint64_t key);
+
+std::string cachePutLine(const std::string& id, uint64_t key,
+                         const std::vector<uint8_t>& entry);
+
+std::string shardDoneLine(const std::string& id, uint64_t index,
+                          bool cached,
+                          const std::vector<uint8_t>& entry);
+
+/** Cache keys cross the wire as fixed-width 16-hex-digit strings — a
+    JSON number would round through a double and corrupt keys above
+    2^53. */
+std::string cacheKeyHex(uint64_t key);
+
+/** Strict inverse of cacheKeyHex: exactly 16 lowercase hex digits. */
+common::Expected<uint64_t> parseCacheKeyHex(const std::string& text);
 
 /**
  * Slice the verbatim report bytes out of a `done` line (everything

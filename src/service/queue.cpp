@@ -10,13 +10,22 @@ JobQueue::push(Job job)
 {
     {
         std::lock_guard<std::mutex> lock(mu_);
+        // Overload rejections carry the observed depth and a concrete
+        // retry hint so a one-shot client can back off intelligently
+        // instead of guessing (scripts/p10_client.py keys off the
+        // "overloaded" code and these hints).
         if (draining_)
             return Error::overloaded(
-                "p10d is draining; request rejected");
+                "p10d is draining (" + std::to_string(jobs_.size()) +
+                " of " + std::to_string(capacity_) +
+                " queued); this instance will not accept work again — "
+                "submit elsewhere");
         if (jobs_.size() >= capacity_)
             return Error::overloaded(
-                "queue full (" + std::to_string(capacity_) +
-                " pending requests); retry later");
+                "queue full (" + std::to_string(jobs_.size()) + " of " +
+                std::to_string(capacity_) +
+                " pending requests); retry after >= 1s with "
+                "exponential backoff");
         // Negated priority: std::map iterates ascending, so the
         // highest priority lands first; seq breaks ties FIFO.
         jobs_.emplace(Key{-job.req.priority, nextSeq_++},

@@ -1,5 +1,6 @@
 #include "sweep/cache.h"
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -80,6 +81,34 @@ deserializeResult(BinReader& r)
     return s;
 }
 
+/**
+ * Container validation shared by every entry consumer: magic, versions,
+ * stored key, whole-file checksum. On success returns the [offset, len)
+ * of the body between the header and the trailing checksum.
+ */
+std::optional<std::pair<size_t, size_t>>
+validateContainer(const std::vector<uint8_t>& bytes, uint64_t key)
+{
+    BinReader r(bytes);
+    for (char c : kMagic)
+        if (r.u8() != static_cast<uint8_t>(c))
+            return std::nullopt;
+    if (r.u32() != kCacheFormatVersion)
+        return std::nullopt;
+    if (r.u32() != ckpt::kStateSchemaVersion)
+        return std::nullopt;
+    if (r.u64() != key)
+        return std::nullopt;
+    if (r.failed() || bytes.size() < r.position() + 8)
+        return std::nullopt;
+    BinReader tail(bytes.data() + bytes.size() - 8, 8);
+    Fnv1a h;
+    h.bytes(bytes.data(), bytes.size() - 8);
+    if (h.digest() != tail.u64())
+        return std::nullopt;
+    return std::make_pair(r.position(), bytes.size() - r.position() - 8);
+}
+
 } // namespace
 
 ShardCache::ShardCache(std::string dir) : dir_(std::move(dir))
@@ -141,50 +170,9 @@ ShardCache::entryPath(uint64_t key) const
     return dir_ + "/" + hex + ".shard";
 }
 
-std::optional<ShardResult>
-ShardCache::lookup(const SweepSpec& spec, const ShardSpec& shard) const
-{
-    uint64_t key = shardKey(spec, shard);
-    std::ifstream f(entryPath(key), std::ios::binary);
-    if (!f)
-        return std::nullopt;
-    std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(f)),
-                               std::istreambuf_iterator<char>());
-
-    // Container validation: magic, versions, stored key, checksum.
-    BinReader r(bytes);
-    for (char c : kMagic)
-        if (r.u8() != static_cast<uint8_t>(c))
-            return std::nullopt;
-    if (r.u32() != kCacheFormatVersion)
-        return std::nullopt;
-    if (r.u32() != ckpt::kStateSchemaVersion)
-        return std::nullopt;
-    if (r.u64() != key)
-        return std::nullopt;
-    if (r.failed() || bytes.size() < r.position() + 8)
-        return std::nullopt;
-    BinReader tail(bytes.data() + bytes.size() - 8, 8);
-    Fnv1a h;
-    h.bytes(bytes.data(), bytes.size() - 8);
-    if (h.digest() != tail.u64())
-        return std::nullopt;
-
-    BinReader body(bytes.data() + r.position(),
-                   bytes.size() - r.position() - 8);
-    auto res = deserializeResult(body);
-    if (!res || body.remaining() != 0)
-        return std::nullopt;
-    // Identity paranoia: a 64-bit key collision must not substitute one
-    // shard's result for another's.
-    if (res->index != shard.index || res->key != shard.key())
-        return std::nullopt;
-    return res;
-}
-
-Status
-ShardCache::insert(const SweepSpec& spec, const ShardSpec& shard,
-                   const ShardResult& result) const
+std::vector<uint8_t>
+ShardCache::encodeEntry(const SweepSpec& spec, const ShardSpec& shard,
+                        const ShardResult& result)
 {
     uint64_t key = shardKey(spec, shard);
     BinWriter w;
@@ -200,11 +188,57 @@ ShardCache::insert(const SweepSpec& spec, const ShardSpec& shard,
     BinWriter tail;
     tail.u64(h.digest());
     bytes.insert(bytes.end(), tail.bytes().begin(), tail.bytes().end());
+    return bytes;
+}
+
+std::optional<ShardResult>
+ShardCache::decodeEntry(const std::vector<uint8_t>& bytes,
+                        const SweepSpec& spec, const ShardSpec& shard)
+{
+    uint64_t key = shardKey(spec, shard);
+    auto span = validateContainer(bytes, key);
+    if (!span)
+        return std::nullopt;
+    BinReader body(bytes.data() + span->first, span->second);
+    auto res = deserializeResult(body);
+    if (!res || body.remaining() != 0)
+        return std::nullopt;
+    // Identity paranoia: a 64-bit key collision must not substitute one
+    // shard's result for another's.
+    if (res->index != shard.index || res->key != shard.key())
+        return std::nullopt;
+    return res;
+}
+
+std::optional<std::vector<uint8_t>>
+ShardCache::readBytes(uint64_t key) const
+{
+    std::ifstream f(entryPath(key), std::ios::binary);
+    if (!f)
+        return std::nullopt;
+    std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(f)),
+                               std::istreambuf_iterator<char>());
+    if (!validateContainer(bytes, key))
+        return std::nullopt;
+    return bytes;
+}
+
+Status
+ShardCache::writeBytes(uint64_t key,
+                       const std::vector<uint8_t>& bytes) const
+{
+    if (!validateContainer(bytes, key))
+        return Error::invalidArgument(
+            "cache entry bytes fail container validation");
 
     std::string path = entryPath(key);
-    // Distinct shard indices never race on one temp name within a run;
-    // across runs the rename target is byte-identical anyway.
-    std::string tmp = path + ".tmp" + std::to_string(shard.index);
+    // Unique temp names within the process: concurrent writers (worker
+    // threads serving cache_put for the same key) must not collide on
+    // one temp file; across processes the rename target is
+    // byte-identical anyway.
+    static std::atomic<uint64_t> tmpSerial{0};
+    std::string tmp =
+        path + ".tmp" + std::to_string(tmpSerial.fetch_add(1));
     {
         std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
         if (!f)
@@ -219,6 +253,23 @@ ShardCache::insert(const SweepSpec& spec, const ShardSpec& shard,
         return Error::transient("cache entry rename failed: " + path);
     }
     return common::okStatus();
+}
+
+std::optional<ShardResult>
+ShardCache::lookup(const SweepSpec& spec, const ShardSpec& shard) const
+{
+    auto bytes = readBytes(shardKey(spec, shard));
+    if (!bytes)
+        return std::nullopt;
+    return decodeEntry(*bytes, spec, shard);
+}
+
+Status
+ShardCache::insert(const SweepSpec& spec, const ShardSpec& shard,
+                   const ShardResult& result) const
+{
+    return writeBytes(shardKey(spec, shard),
+                      encodeEntry(spec, shard, result));
 }
 
 } // namespace p10ee::sweep

@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "api/types.h"
 #include "common/error.h"
@@ -72,6 +73,45 @@ class ShardCache
 
     /** Entry file path for @p key: "<dir>/<16-hex-digits>.shard". */
     std::string entryPath(uint64_t key) const;
+
+    /**
+     * Serialize @p result into a complete, self-validating entry:
+     * magic + container/schema versions + key + body + whole-file
+     * checksum. This is both the on-disk file format and the fabric
+     * wire format — a worker's shard_done payload IS a cache entry, so
+     * the coordinator persists it verbatim and decodes it through the
+     * same validated path as a local cache hit.
+     */
+    static std::vector<uint8_t> encodeEntry(const SweepSpec& spec,
+                                            const ShardSpec& shard,
+                                            const ShardResult& result);
+
+    /**
+     * Validate and decode one entry for @p shard under @p spec. Any
+     * mismatch — bad magic, stale versions, wrong key, failed checksum,
+     * truncation, identity collision — is nullopt, never an error or an
+     * abort: entry bytes come from disks and sockets, both hostile.
+     */
+    static std::optional<ShardResult> decodeEntry(
+        const std::vector<uint8_t>& bytes, const SweepSpec& spec,
+        const ShardSpec& shard);
+
+    /**
+     * Raw entry bytes for @p key, container-validated (magic, versions,
+     * stored key, checksum) but not identity-checked — the caller that
+     * can name the shard does that via decodeEntry(). Serves the remote
+     * cache tier, where the coordinator answers cache_get by key alone.
+     */
+    std::optional<std::vector<uint8_t>> readBytes(uint64_t key) const;
+
+    /**
+     * Persist pre-encoded entry bytes under @p key (atomic temp +
+     * rename), container-validating first so a hostile or truncated
+     * payload can never be installed as an entry. Best-effort, like
+     * insert().
+     */
+    common::Status writeBytes(uint64_t key,
+                              const std::vector<uint8_t>& bytes) const;
 
     /**
      * Look up the shard's cached result. Any mismatch — absent entry,

@@ -145,10 +145,15 @@ class SweepRunner
     static obs::JsonReport cacheStats(const SweepResult& result,
                                       const std::string& tool);
 
-  private:
-    /** Run one shard in isolation (worker-thread context). */
+    /**
+     * Run one shard in isolation. Public because remote execution
+     * (daemon shard jobs, fabric degraded-mode fallback) runs single
+     * shards outside the pool; the result is a pure function of
+     * (spec, shard), so where it runs cannot matter.
+     */
     ShardResult runShard(const ShardSpec& shard) const;
 
+  private:
     SweepSpec spec_;
 };
 

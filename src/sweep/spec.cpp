@@ -139,6 +139,36 @@ SweepSpec::expand() const
     return shards;
 }
 
+std::string
+SweepSpec::toJson() const
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("configs").beginArray();
+    for (const std::string& c : configs)
+        w.value(c);
+    w.endArray();
+    w.key("workloads").beginArray();
+    for (const std::string& wl : workloads)
+        w.value(wl);
+    w.endArray();
+    w.key("smt").beginArray();
+    for (int t : smt)
+        w.value(t);
+    w.endArray();
+    w.key("seeds").value(seeds);
+    w.key("instrs").value(instrs);
+    w.key("warmup").value(warmup);
+    w.key("max_cycles").value(maxCycles);
+    w.key("max_retries").value(maxRetries);
+    w.key("infra_fail_prob").value(infraFailProb);
+    w.key("seed").value(seed);
+    w.key("sample_interval").value(sampleInterval);
+    w.key("shard_reports_dir").value(shardReportsDir);
+    w.endObject();
+    return w.str();
+}
+
 namespace {
 
 Status

@@ -96,6 +96,15 @@ struct SweepSpec
      */
     common::Expected<std::vector<ShardSpec>> expand() const;
 
+    /**
+     * Canonical JSON rendering of the spec: every field, fixed key
+     * order, fixed number formatting. `fromJson(toJson())` reproduces
+     * the spec exactly, which is what lets a coordinator ship a spec to
+     * remote workers and still meet the byte-identity contract — both
+     * sides expand the same grid from the same text.
+     */
+    std::string toJson() const;
+
     /** Parse a spec from JSON text. Unknown keys are errors — a typo
         in an axis name must not silently shrink a sweep. */
     static common::Expected<SweepSpec> fromJson(const std::string& text);

@@ -110,6 +110,22 @@ class Client
         }
     }
 
+    /** Write @p raw without the NDJSON terminator (half-request). */
+    void
+    sendRaw(const std::string& raw)
+    {
+        size_t off = 0;
+        while (off < raw.size()) {
+            ssize_t n = ::send(fd_, raw.data() + off, raw.size() - off,
+                               MSG_NOSIGNAL);
+            ASSERT_GT(n, 0);
+            off += static_cast<size_t>(n);
+        }
+    }
+
+    /** Half-close: signal EOF to the daemon, keep reading replies. */
+    void shutdownWrite() { ::shutdown(fd_, SHUT_WR); }
+
     /** Next response line ("" on EOF/timeout). */
     std::string
     readLine()
@@ -305,6 +321,37 @@ TEST(JobQueue, OverloadIsStructuredBackpressure)
     ASSERT_FALSE(st.ok());
     EXPECT_EQ(st.error().code, common::ErrorCode::Overloaded);
     EXPECT_EQ(q.depth(), 2u);
+}
+
+TEST(JobQueue, OverloadMessageCarriesDepthAndRetryHint)
+{
+    // The overload error is a client-facing retry contract: it must
+    // name the queue pressure (depth of capacity) and carry a
+    // retry-after hint clients like p10_client.py key their backoff
+    // off, for the full and the draining flavours alike.
+    service::JobQueue full(2);
+    ASSERT_TRUE(full.push(makeJob("a", 0)).ok());
+    ASSERT_TRUE(full.push(makeJob("b", 0)).ok());
+    auto fullSt = full.push(makeJob("c", 0));
+    ASSERT_FALSE(fullSt.ok());
+    EXPECT_NE(fullSt.error().message.find("2 of 2"),
+              std::string::npos)
+        << fullSt.error().message;
+    EXPECT_NE(fullSt.error().message.find("retry after"),
+              std::string::npos)
+        << fullSt.error().message;
+
+    service::JobQueue draining(4);
+    ASSERT_TRUE(draining.push(makeJob("a", 0)).ok());
+    draining.drain();
+    auto drainSt = draining.push(makeJob("b", 0));
+    ASSERT_FALSE(drainSt.ok());
+    EXPECT_NE(drainSt.error().message.find("1 of 4"),
+              std::string::npos)
+        << drainSt.error().message;
+    EXPECT_NE(drainSt.error().message.find("submit elsewhere"),
+              std::string::npos)
+        << drainSt.error().message;
 }
 
 TEST(JobQueue, RemoveWithdrawsQueuedJob)
@@ -518,6 +565,42 @@ TEST(Daemon, OversizedLineIsRejectedAndConnectionDropped)
     Client again(daemon.port());
     again.sendLine("{\"type\":\"stats\"}");
     EXPECT_EQ(field(again.readLine(), "event"), "stats");
+
+    daemon.waitUntilStopped();
+}
+
+TEST(Daemon, HalfClosedRequestIsRejectedNotExecuted)
+{
+    // A peer that dies (or gives up) mid-line leaves a syntactically
+    // complete JSON object in the buffer with no NDJSON terminator.
+    // That fragment is a malformed request by definition — executing
+    // it would run work the client never finished submitting.
+    service::Daemon daemon(service::DaemonOptions{});
+    ASSERT_TRUE(daemon.start().ok());
+
+    {
+        Client client(daemon.port());
+        client.sendRaw(sweepRequest("half"));
+        client.shutdownWrite();
+        std::string line = client.readLine();
+        EXPECT_EQ(field(line, "event"), "error");
+        EXPECT_EQ(field(line, "code"), "invalid_argument");
+        EXPECT_NE(field(line, "message").find("mid-request"),
+                  std::string::npos)
+            << line;
+        EXPECT_EQ(client.readLine(), ""); // no accepted/done follows
+    }
+
+    // Pin the "not executed" half: the fragment was counted rejected,
+    // and nothing ran or is queued behind our back.
+    Client probe(daemon.port());
+    probe.sendLine("{\"type\":\"stats\"}");
+    const std::string stats = probe.readLine();
+    EXPECT_EQ(field(stats, "event"), "stats");
+    EXPECT_EQ(field(stats, "rejected"), "1");
+    EXPECT_EQ(field(stats, "completed"), "0");
+    EXPECT_EQ(field(stats, "active_requests"), "0");
+    EXPECT_EQ(field(stats, "queue_depth"), "0");
 
     daemon.waitUntilStopped();
 }
