@@ -27,6 +27,8 @@
 #include <thread>
 
 #include "api/args.h"
+#include "obs/eventlog.h"
+#include "obs/metrics.h"
 #include "service/daemon.h"
 
 using namespace p10ee;
@@ -48,6 +50,7 @@ main(int argc, char** argv)
 {
     uint64_t port = 0;
     std::string cacheDir;
+    std::string metricsOut;
     int executors = 2;
     int jobsPerRequest = 1;
     uint64_t queueCapacity = 64;
@@ -67,6 +70,9 @@ main(int argc, char** argv)
     parser.u64("--queue-capacity", &queueCapacity,
                "max queued requests before overload rejection", 1,
                4096);
+    parser.str("--metrics-out", &metricsOut, "<path>",
+               "write the final metrics registry as a report sidecar "
+               "after the drain (live values: the `metrics` request)");
     if (auto st = parser.parse(argc, argv); !st) {
         std::fprintf(stderr, "p10d: error: %s\n",
                      st.error().message.c_str());
@@ -108,8 +114,22 @@ main(int argc, char** argv)
     while (g_stop == 0 && !daemon.draining())
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
 
-    std::fprintf(stderr, "p10d: draining\n");
+    // Lifecycle notices are structured event-log lines (stderr JSON);
+    // the stdout announce line above stays plain text — client scripts
+    // and ci.sh scrape it verbatim.
+    obs::eventLog("info", "p10d", "draining");
     daemon.waitUntilStopped();
-    std::fprintf(stderr, "p10d: drained, exiting\n");
+    if (!metricsOut.empty()) {
+        obs::JsonReport sidecar = obs::metrics().toReport("p10d");
+        if (auto st = sidecar.writeTo(metricsOut); !st.ok())
+            obs::eventLog("warn", "p10d",
+                          "cannot write metrics sidecar: " +
+                              st.error().message,
+                          {{"path", metricsOut}});
+        else
+            obs::eventLog("info", "p10d", "wrote metrics sidecar",
+                          {{"path", metricsOut}});
+    }
+    obs::eventLog("info", "p10d", "drained, exiting");
     return 0;
 }

@@ -47,6 +47,7 @@
 #include "common/table.h"
 #include "fabric/fleet.h"
 #include "fabric/spawn.h"
+#include "obs/metrics.h"
 
 using namespace p10ee;
 
@@ -123,6 +124,8 @@ main(int argc, char** argv)
     std::string fleetFile;
     std::string cacheDir;
     std::string fleetStatsOut;
+    std::string traceOut;
+    std::string metricsOut;
     std::string chaosKill;
     std::string chaosStop;
     std::string p10dBinary;
@@ -151,6 +154,11 @@ main(int argc, char** argv)
     api::stdflags::cacheDir(parser, &cacheDir);
     parser.str("--fleet-stats", &fleetStatsOut, "<path>",
                "write scheduling-dependent fleet telemetry sidecar");
+    parser.str("--trace-out", &traceOut, "<path>",
+               "record a distributed flight trace and write the merged "
+               "Perfetto timeline (sidecar; never changes the report)");
+    parser.str("--metrics-out", &metricsOut, "<path>",
+               "write the process metrics registry as a report sidecar");
     parser.intRange("--local-jobs", &localJobs, 1, 256,
                     "pool threads for degraded in-process execution");
     parser.u64("--heartbeat-ms", &heartbeatMs,
@@ -198,6 +206,7 @@ main(int argc, char** argv)
     opts.heartbeatMs = heartbeatMs;
     opts.leaseMs = leaseMs;
     opts.localJobs = localJobs;
+    opts.trace = !traceOut.empty();
 
     if (!workersCsv.empty()) {
         auto listOr = fabric::parseWorkerList(workersCsv);
@@ -404,6 +413,25 @@ main(int argc, char** argv)
         }
         std::fprintf(stderr, "wrote fleet stats: %s\n",
                      fleetStatsOut.c_str());
+    }
+    if (!traceOut.empty()) {
+        auto st = obs::writeTextFile(traceOut, runner.traceJson());
+        if (!st.ok()) {
+            std::fprintf(stderr, "p10fleet: error: %s\n",
+                         st.error().message.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "wrote trace: %s\n", traceOut.c_str());
+    }
+    if (!metricsOut.empty()) {
+        obs::JsonReport sidecar = obs::metrics().toReport("p10fleet");
+        auto st = sidecar.writeTo(metricsOut);
+        if (!st.ok()) {
+            std::fprintf(stderr, "p10fleet: error: %s\n",
+                         st.error().message.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "wrote metrics: %s\n", metricsOut.c_str());
     }
     return 0;
 }

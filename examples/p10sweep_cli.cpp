@@ -31,6 +31,7 @@
 #include "api/args.h"
 #include "api/service.h"
 #include "common/table.h"
+#include "obs/metrics.h"
 #include "sweep/pool.h"
 #include "workloads/spec_profiles.h"
 
@@ -43,6 +44,7 @@ main(int argc, char** argv)
     std::string out;
     std::string cacheDir;
     std::string cacheStatsOut;
+    std::string metricsOut;
     int jobs = sweep::ThreadPool::defaultThreads();
     bool csv = false;
     bool list = false;
@@ -59,6 +61,8 @@ main(int argc, char** argv)
     parser.str("--cache-stats", &cacheStatsOut, "<path>",
                "write cache-provenance sidecar report (requires "
                "--cache-dir)");
+    parser.str("--metrics-out", &metricsOut, "<path>",
+               "write the process metrics registry as a report sidecar");
     parser.boolean("--csv", &csv, "machine-readable summary");
     parser.boolean("--list", &list,
                    "list workload profiles and exit");
@@ -187,6 +191,17 @@ main(int argc, char** argv)
         }
         std::fprintf(stderr, "wrote cache stats: %s\n",
                      cacheStatsOut.c_str());
+    }
+    if (!metricsOut.empty()) {
+        obs::JsonReport sidecar =
+            obs::metrics().toReport("p10sweep_cli");
+        auto st = sidecar.writeTo(metricsOut);
+        if (!st.ok()) {
+            std::fprintf(stderr, "p10sweep_cli: error: %s\n",
+                         st.error().message.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "wrote metrics: %s\n", metricsOut.c_str());
     }
     return 0;
 }

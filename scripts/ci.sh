@@ -100,7 +100,11 @@ EOF
 # Fleet smoke: spawn a 2-worker p10d fleet through p10fleet, SIGKILL
 # one worker mid-sweep via the built-in chaos harness, and require a
 # zero exit with a merged report byte-identical to the same flavour's
-# offline p10sweep_cli output. Then the degradation ladder's far end:
+# offline p10sweep_cli output. Then the same chaos run with the flight
+# recorder on (--trace-out/--metrics-out): the merged bytes must not
+# move, the Perfetto sidecar and the metrics sidecar must validate,
+# and the metrics counters must agree exactly with the fleet-stats
+# sidecar from the same run. Then the degradation ladder's far end:
 # zero workers must complete in-process, exit 0, same bytes again.
 fleet_smoke() {
     local build="$1"
@@ -120,6 +124,34 @@ fleet_smoke() {
         > "${dir}/fleet.out" 2> "${dir}/fleet.err"
     cmp "${dir}/CLI_sweep.json" "${dir}/FLEET_chaos.json"
     python3 scripts/validate_report.py --fleet "${dir}/FLEET_stats.json"
+    "${build}/examples/p10fleet" \
+        --spec "${smoke_dir}/sweep_smoke.json" --spawn 2 \
+        --chaos-kill "0@150" --heartbeat-ms 50 \
+        --out "${dir}/FLEET_traced.json" \
+        --fleet-stats "${dir}/FLEET_traced_stats.json" \
+        --trace-out "${dir}/FLEET_trace.json" \
+        --metrics-out "${dir}/FLEET_metrics.json" \
+        > /dev/null 2> "${dir}/traced.err"
+    # Tracing is a pure observer: same bytes as the untraced CLI run.
+    cmp "${dir}/CLI_sweep.json" "${dir}/FLEET_traced.json"
+    python3 scripts/validate_report.py --trace "${dir}/FLEET_trace.json"
+    python3 scripts/validate_report.py --metrics "${dir}/FLEET_metrics.json"
+    python3 - "${dir}/FLEET_metrics.json" \
+        "${dir}/FLEET_traced_stats.json" <<'EOF'
+import json, sys
+metrics = json.load(open(sys.argv[1]))["scalars"]
+stats = json.load(open(sys.argv[2]))["scalars"]
+# The registry counters and the runner's own stats are two independent
+# recorders of the same run — they must agree exactly (absent metric
+# keys mean the counter never fired, i.e. zero).
+for metric, stat in [("fleet.requeues", "fleet.reassigned"),
+                     ("fleet.skips", "fleet.skipped"),
+                     ("fleet.retirements", "fleet.workers_dead")]:
+    assert metrics.get(metric, 0) == stats[stat], (metric, metrics, stats)
+print("fleet metrics: counters agree with fleet stats "
+      f"(requeues {metrics.get('fleet.requeues', 0)}, "
+      f"lease expiries {metrics.get('fleet.lease_expiries', 0)})")
+EOF
     "${build}/examples/p10fleet" \
         --spec "${smoke_dir}/sweep_smoke.json" --local-jobs 2 \
         --out "${dir}/FLEET_degraded.json" \
@@ -259,14 +291,16 @@ export TSAN_OPTIONS="halt_on_error=1"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DP10EE_SANITIZE=thread
 cmake --build build-tsan -j "$(nproc)" \
-    --target test_sweep test_service test_fabric bench_fault_campaign \
-    p10sweep_cli p10d p10fleet
+    --target test_sweep test_service test_fabric test_obs \
+    bench_fault_campaign p10sweep_cli p10d p10fleet
 echo "=== tsan: test_sweep ==="
 build-tsan/tests/test_sweep
 echo "=== tsan: test_service (daemon thread model) ==="
 build-tsan/tests/test_service
 echo "=== tsan: test_fabric (coordinator/worker thread model) ==="
 build-tsan/tests/test_fabric
+echo "=== tsan: test_obs (metrics registry + span recorder) ==="
+build-tsan/tests/test_obs
 echo "=== tsan: parallel campaign + sweep smoke ==="
 build-tsan/bench/bench_fault_campaign --instrs 20 --warmup 500 \
     --jobs 4 >/dev/null

@@ -15,7 +15,13 @@ Usage:
   p10_client.py --port P --spec sweep_spec.json [--id ID] [--out R.json]
   p10_client.py --port P --run '{"workload":"xz","instrs":10000}'
   p10_client.py --port P --stats
+  p10_client.py --port P --metrics [--watch 2]
   p10_client.py --port P --shutdown
+
+--metrics queries the daemon's live metrics registry (typed counters,
+gauges and histograms in deterministic key order). --watch N re-polls
+a --stats or --metrics query every N seconds until interrupted — a
+poor man's dashboard over the introspection surface.
 
 Transient failures — connection refused/reset and the daemon's
 structured `overloaded` backpressure — are retried up to --retries
@@ -89,6 +95,8 @@ def build_request(args):
         req.update(fields)
     elif args.stats:
         req = {"type": "stats", "id": args.id}
+    elif args.metrics:
+        req = {"type": "metrics", "id": args.id}
     elif args.cancel is not None:
         req = {"type": "cancel", "id": args.id, "target": args.cancel}
     else:
@@ -154,7 +162,7 @@ def handle_event(args, request, line):
               f"{event.get('total')}] {event.get('key')} "
               f"{event.get('status')}", file=sys.stderr)
         return None
-    if kind == "stats":
+    if kind in ("stats", "metrics"):
         print(line)
         return 0
     if kind == "error":
@@ -203,34 +211,63 @@ def main(argv):
     what.add_argument("--run", default=None, metavar="JSON",
                       help="single-run request fields as a JSON object")
     what.add_argument("--stats", action="store_true",
-                      help="query live daemon metrics")
+                      help="query live daemon counters (stats event)")
+    what.add_argument("--metrics", action="store_true",
+                      help="query the daemon's live metrics registry")
     what.add_argument("--cancel", default=None, metavar="TARGET",
                       help="cancel the request with this id")
     what.add_argument("--shutdown", action="store_true",
                       help="ask the daemon to drain and exit")
+    parser.add_argument("--watch", type=float, default=None,
+                        metavar="SECONDS",
+                        help="with --stats/--metrics: re-poll every N "
+                             "seconds until interrupted")
     args = parser.parse_args(argv[1:])
 
     if args.timeout <= 0 or args.retries < 0:
         print("p10_client: --timeout must be > 0 and --retries >= 0",
               file=sys.stderr)
         return 2
+    if args.watch is not None:
+        if not (args.stats or args.metrics):
+            print("p10_client: --watch requires --stats or --metrics",
+                  file=sys.stderr)
+            return 2
+        if args.watch <= 0:
+            print("p10_client: --watch must be > 0", file=sys.stderr)
+            return 2
     try:
         request = build_request(args)
     except (OSError, ValueError) as exc:
         print(f"p10_client: {exc}", file=sys.stderr)
         return 2
 
-    for tries in range(args.retries + 1):
-        code = attempt(args, request)
-        if code is not RETRY:
-            return code
-        if tries == args.retries:
-            break
-        delay = min(BACKOFF_BASE_S * (2 ** tries), BACKOFF_CAP_S)
-        print(f"p10_client: retrying in {delay:.0f}s "
-              f"({args.retries - tries} left)", file=sys.stderr)
-        time.sleep(delay)
-    return 1
+    def submit():
+        for tries in range(args.retries + 1):
+            code = attempt(args, request)
+            if code is not RETRY:
+                return code
+            if tries == args.retries:
+                break
+            delay = min(BACKOFF_BASE_S * (2 ** tries), BACKOFF_CAP_S)
+            print(f"p10_client: retrying in {delay:.0f}s "
+                  f"({args.retries - tries} left)", file=sys.stderr)
+            time.sleep(delay)
+        return 1
+
+    if args.watch is None:
+        return submit()
+    # Polling dashboard: one line per round; a failing poll ends the
+    # loop with its exit code, Ctrl-C ends it cleanly.
+    try:
+        while True:
+            code = submit()
+            if code != 0:
+                return code
+            sys.stdout.flush()
+            time.sleep(args.watch)
+    except KeyboardInterrupt:
+        return 0
 
 
 if __name__ == "__main__":

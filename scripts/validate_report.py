@@ -20,20 +20,36 @@ counter set from src/fabric/fleet.h and its internal accounting
 (dead workers never exceed workers, locally-run and skipped shards
 never exceed the shard total, nothing dispatched to an empty fleet).
 
+With --metrics, files are checked as metrics-registry sidecars
+(p10fleet/p10sweep_cli/p10d --metrics-out): the default report checks
+plus every scalar being numeric and non-negative — counters, gauges
+and histogram expansions (name.count/.max/.sum) can never go below
+zero. Fleet traces (those with a "trace:<id>" pseudo-thread naming the
+root TraceContext) additionally get distributed-trace checks: the
+trace id must have the exact 32-hex + "-" + 16-hex wire shape, slice
+timestamps must be monotonic within each lane, and counter samples
+must be non-negative.
+
 Usage:
   validate_report.py report.json [more.json ...]
   validate_report.py --trace trace.json [more.json ...]
   validate_report.py --sweep merged.json [more.json ...]
   validate_report.py --fleet stats.json [more.json ...]
+  validate_report.py --metrics metrics.json [more.json ...]
 
 Exits non-zero naming every failing file; CI runs it over every
 artifact the bench smoke stage emits. Stdlib only.
 """
 
 import json
+import re
 import sys
 
 NUM = (int, float)
+
+# The wire shape of a TraceContext (src/obs/trace.h): 32 lowercase hex
+# chars, '-', 16 lowercase hex chars.
+TRACE_THREAD_RE = re.compile(r"^trace:[0-9a-f]{32}-[0-9a-f]{16}$")
 
 
 def _fail(errors, path, msg):
@@ -240,7 +256,10 @@ def validate_trace(path, doc, errors):
     if not isinstance(events, list) or not events:
         return _fail(errors, path, "traceEvents empty")
     counters = 0
-    slices = 0
+    thread_names = {}
+    last_ts = {}
+    counter_negative = False
+    monotonic_bad = set()
     for i, e in enumerate(events):
         ph = e.get("ph")
         if ph not in ("M", "C", "X"):
@@ -248,25 +267,78 @@ def validate_trace(path, doc, errors):
             continue
         if "name" not in e:
             _fail(errors, path, f"traceEvents[{i}] has no name")
+        if ph == "M" and e.get("name") == "thread_name":
+            args = e.get("args")
+            if isinstance(args, dict):
+                thread_names[e.get("tid")] = args.get("name", "")
         if ph == "C":
             counters += 1
             if not isinstance(e.get("ts"), NUM):
                 _fail(errors, path, f"traceEvents[{i}] bad ts")
-            if not isinstance(e.get("args"), dict):
+            args = e.get("args")
+            if not isinstance(args, dict):
                 _fail(errors, path, f"traceEvents[{i}] bad args")
+            elif any(isinstance(v, NUM) and v < 0
+                     for v in args.values()):
+                counter_negative = True
         elif ph == "X":
-            slices += 1
             dur = e.get("dur")
             if not isinstance(dur, NUM) or dur <= 0:
                 _fail(errors, path, f"traceEvents[{i}] bad dur")
+            ts = e.get("ts")
+            if isinstance(ts, NUM):
+                tid = e.get("tid")
+                # Lanes are emitted begin-sorted, so within one tid the
+                # slice timestamps must never step backwards.
+                if ts < last_ts.get(tid, float("-inf")):
+                    monotonic_bad.add(tid)
+                last_ts[tid] = ts
     if counters == 0:
         _fail(errors, path, "trace has no counter events")
+
+    # Distributed fleet traces name their root context in a
+    # "trace:<id>" pseudo-thread; those traces additionally guarantee
+    # hex-shaped ids, per-lane monotonic spans and non-negative
+    # counters. Plain p10sim traces have no such thread and are exempt.
+    trace_threads = [n for n in thread_names.values()
+                     if isinstance(n, str) and n.startswith("trace:")]
+    if trace_threads:
+        for name in trace_threads:
+            if not TRACE_THREAD_RE.match(name):
+                _fail(errors, path,
+                      f"trace thread '{name}' is not "
+                      f"trace:<32 hex>-<16 hex>")
+        for tid in sorted(monotonic_bad, key=str):
+            _fail(errors, path,
+                  f"slice timestamps not monotonic on lane "
+                  f"'{thread_names.get(tid, tid)}'")
+        if counter_negative:
+            _fail(errors, path, "negative counter sample")
+
+
+def validate_metrics(path, doc, errors):
+    """Metrics-registry sidecar (--metrics-out): the default report
+    checks plus non-negativity — every registry value (counter, gauge,
+    histogram count/max/sum) is a tally that can never go below zero."""
+    before = len(errors)
+    validate_report(path, doc, errors)
+    if len(errors) != before:
+        return
+    scalars = doc["scalars"]
+    if not scalars:
+        _fail(errors, path, "metrics sidecar has no scalars")
+    for name, value in scalars.items():
+        if not isinstance(value, NUM) or isinstance(value, bool):
+            _fail(errors, path, f"metric '{name}' is not numeric")
+        elif value < 0:
+            _fail(errors, path, f"metric '{name}' is negative")
 
 
 def main(argv):
     args = argv[1:]
     mode = "report"
-    if args and args[0] in ("--trace", "--sweep", "--fleet"):
+    if args and args[0] in ("--trace", "--sweep", "--fleet",
+                            "--metrics"):
         mode = args[0][2:]
         args = args[1:]
     if not args:
@@ -278,6 +350,7 @@ def main(argv):
         "trace": validate_trace,
         "sweep": validate_sweep,
         "fleet": validate_fleet,
+        "metrics": validate_metrics,
     }
     errors = []
     for path in args:

@@ -16,7 +16,9 @@
 
 #include "common/rng.h"
 #include "fabric/wire.h"
+#include "obs/eventlog.h"
 #include "obs/json.h"
+#include "obs/metrics.h"
 #include "service/protocol.h"
 #include "sweep/pool.h"
 
@@ -107,6 +109,29 @@ enum class Attempt
     SoftFail, ///< worker answered with an error event (stays healthy)
     HardFail  ///< lease/heartbeat/connection/protocol failure
 };
+
+/** Fleet fault-machinery instrumentation, interned once per process.
+    Scheduling-dependent by construction — the registry feeds sidecars
+    and the daemon's `metrics` reply, never the merged report. */
+struct FleetMetrics
+{
+    obs::MetricId leaseExpiries =
+        obs::metrics().counter("fleet.lease_expiries");
+    obs::MetricId heartbeatSilences =
+        obs::metrics().counter("fleet.heartbeat_silences");
+    obs::MetricId redials = obs::metrics().counter("fleet.redials");
+    obs::MetricId requeues = obs::metrics().counter("fleet.requeues");
+    obs::MetricId retirements =
+        obs::metrics().counter("fleet.retirements");
+    obs::MetricId skips = obs::metrics().counter("fleet.skips");
+};
+
+FleetMetrics&
+fleetMetrics()
+{
+    static FleetMetrics m;
+    return m;
+}
 
 } // namespace
 
@@ -271,8 +296,24 @@ FleetRunner::leaseDeadlineMs() const
 void
 FleetRunner::warn(const std::string& message)
 {
+    // Warnings leave the fleet as structured event-log lines (one JSON
+    // object with deterministic key order), so a consumer tailing the
+    // CLI's stderr can parse degradation events instead of scraping
+    // prose. The callback signature stays a plain string — the CLI
+    // keeps printing whatever arrives.
     if (opts_.onWarning)
-        opts_.onWarning(message);
+        opts_.onWarning(obs::eventLogLine("warn", "fleet", message));
+}
+
+uint64_t
+FleetRunner::traceNowUs() const
+{
+    if (!opts_.trace)
+        return 0;
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - traceEpoch_)
+            .count());
 }
 
 void
@@ -344,6 +385,23 @@ FleetRunner::workerLoop(size_t workerIdx)
     const std::string label =
         addr.host + ":" + std::to_string(addr.port);
     WorkerConn conn;
+    // Flight recorder: this thread owns spans_[1 + workerIdx] alone
+    // (the single-owner contract), with one lane per lifecycle stage.
+    // worker.queue / worker.exec are reconstructed from the durations
+    // the worker reports on shard_done, anchored at the arrival time —
+    // no cross-process clock sync.
+    const bool tracing = opts_.trace;
+    obs::SpanRecorder* rec = tracing ? &spans_[1 + workerIdx] : nullptr;
+    obs::TrackId dialLane, leaseLane, queueLane, execLane;
+    if (tracing) {
+        const std::string prefix =
+            "w" + std::to_string(workerIdx) + " " + label + " ";
+        dialLane = rec->lane(prefix + "dial");
+        leaseLane = rec->lane(prefix + "lease");
+        queueLane = rec->lane(prefix + "worker.queue");
+        execLane = rec->lane(prefix + "worker.exec");
+    }
+    bool dialedBefore = false;
     // Jitter stream per worker — deterministic seeding (the fabric
     // idiom everywhere), but jitter only shapes timing, never results.
     common::Xoshiro jitterRng(
@@ -390,7 +448,14 @@ FleetRunner::workerLoop(size_t workerIdx)
 
         // Ensure a connection (bounded exponential backoff + jitter).
         while (!conn.open() && !retire) {
+            if (dialedBefore)
+                obs::metrics().add(fleetMetrics().redials);
+            const uint64_t dialBegin = tracing ? traceNowUs() : 0;
             const int fd = tcpConnect(addr.host, addr.port, 2000);
+            dialedBefore = true;
+            if (tracing)
+                rec->add(dialLane, fd >= 0 ? "dial ok" : "dial fail",
+                         dialBegin, traceNowUs());
             if (fd >= 0) {
                 conn.fd = fd;
                 consecutiveConnectFailures = 0;
@@ -423,10 +488,24 @@ FleetRunner::workerLoop(size_t workerIdx)
                                   std::to_string(attempt);
         Attempt outcome = Attempt::Pending;
         api::ShardResult shardResult;
+        // Each attempt gets its own child span id, derived from the
+        // (shard, attempt) slot so retries are distinguishable in the
+        // merged timeline and ids never depend on scheduling.
+        std::string traceWire;
+        if (tracing)
+            traceWire =
+                traceRoot_
+                    .child(idx * static_cast<uint64_t>(
+                                     opts_.maxShardAttempts) +
+                           static_cast<uint64_t>(attempt))
+                    .str();
+        const uint64_t leaseBegin = tracing ? traceNowUs() : 0;
+        const char* failKind = "hard_fail";
 
         if (!conn.sendLine(shardRequestLine(reqId, spec_, idx,
                                             opts_.heartbeatMs,
-                                            cache_ != nullptr)))
+                                            cache_ != nullptr,
+                                            traceWire)))
             outcome = Attempt::HardFail;
 
         const auto leaseDeadline =
@@ -437,11 +516,15 @@ FleetRunner::workerLoop(size_t workerIdx)
             const auto now = std::chrono::steady_clock::now();
             if (now >= leaseDeadline) {
                 outcome = Attempt::HardFail; // lease expired
+                failKind = "lease_expired";
+                obs::metrics().add(fleetMetrics().leaseExpiries);
                 break;
             }
             if (now - lastActivity >=
                 std::chrono::milliseconds(silenceMs)) {
                 outcome = Attempt::HardFail; // heartbeat silence
+                failKind = "silence";
+                obs::metrics().add(fleetMetrics().heartbeatSilences);
                 break;
             }
             std::string line;
@@ -517,10 +600,38 @@ FleetRunner::workerLoop(size_t workerIdx)
                         sweep::ShardCache::shardKey(spec_,
                                                     shards_[idx]),
                         ev.data);
+                if (tracing && !ev.trace.empty()) {
+                    // Anchor the worker-side episodes at the payload's
+                    // arrival: [arrival - exec - queue, arrival - exec)
+                    // waited in the worker's queue, [arrival - exec,
+                    // arrival) executed. Clamped at the epoch so a
+                    // skewed duration can never underflow.
+                    const uint64_t arrival = traceNowUs();
+                    const uint64_t execBegin =
+                        arrival >= ev.execUs ? arrival - ev.execUs : 0;
+                    const uint64_t queueBegin =
+                        execBegin >= ev.queueUs ? execBegin - ev.queueUs
+                                                : 0;
+                    const std::string tag =
+                        "s" + std::to_string(idx) +
+                        (ev.cached ? " cache=hit" : " cache=miss");
+                    rec->add(queueLane, tag, queueBegin, execBegin);
+                    rec->add(execLane, tag, execBegin, arrival);
+                }
                 outcome = Attempt::Success;
                 break;
               }
             }
+        }
+
+        if (tracing) {
+            const char* outcomeName =
+                outcome == Attempt::Success    ? "ok"
+                : outcome == Attempt::SoftFail ? "soft_fail"
+                                               : failKind;
+            rec->add(leaseLane,
+                     reqId + " " + outcomeName, leaseBegin,
+                     traceNowUs());
         }
 
         if (outcome == Attempt::Success) {
@@ -557,6 +668,7 @@ FleetRunner::workerLoop(size_t workerIdx)
                 // degraded report's content never depends on
                 // scheduling.
                 ++stats_.skipped;
+                obs::metrics().add(fleetMetrics().skips);
                 api::ShardResult skipRes;
                 skipRes.index = shards_[idx].index;
                 skipRes.key = shards_[idx].key();
@@ -569,6 +681,7 @@ FleetRunner::workerLoop(size_t workerIdx)
                 recordLocked(idx, std::move(skipRes));
             } else {
                 ++stats_.reassigned;
+                obs::metrics().add(fleetMetrics().requeues);
                 ready_.push_back(idx);
             }
         }
@@ -582,8 +695,10 @@ FleetRunner::workerLoop(size_t workerIdx)
     {
         std::lock_guard<std::mutex> lock(mu_);
         --activeWorkers_;
-        if (retire)
+        if (retire) {
             ++stats_.workersDead;
+            obs::metrics().add(fleetMetrics().retirements);
+        }
     }
     cv_.notify_all();
     if (retire)
@@ -600,10 +715,28 @@ FleetRunner::run()
             "fleet execution cannot honour shard_reports_dir: remote "
             "and cached shards cannot reproduce per-shard report "
             "files");
+    const bool tracing = opts_.trace;
+    traceJson_.clear();
+    spans_.clear();
+    obs::TrackId coordLane;
+    if (tracing) {
+        traceRoot_ = obs::TraceContext::derive(spec_.seed);
+        traceEpoch_ = std::chrono::steady_clock::now();
+        spans_ =
+            std::vector<obs::SpanRecorder>(1 + opts_.workers.size());
+        coordLane = spans_[0].lane("coordinator");
+    }
+
+    const uint64_t expandBegin = traceNowUs();
     Expected<std::vector<sweep::ShardSpec>> shardsOr = spec_.expand();
     if (!shardsOr)
         return shardsOr.error();
     shards_ = std::move(shardsOr.value());
+    if (tracing)
+        spans_[0].add(coordLane,
+                      "expand " + std::to_string(shards_.size()) +
+                          " shards",
+                      expandBegin, traceNowUs());
     if (!opts_.cacheDir.empty()) {
         cache_ = std::make_unique<sweep::ShardCache>(opts_.cacheDir);
         if (Status st = cache_->prepare(); !st)
@@ -627,10 +760,21 @@ FleetRunner::run()
         std::vector<uint64_t> all(total);
         for (uint64_t i = 0; i < total; ++i)
             all[i] = i;
+        const uint64_t localBegin = traceNowUs();
         runLocally(all);
+        if (tracing)
+            spans_[0].add(coordLane,
+                          "local " + std::to_string(total) + " shards",
+                          localBegin, traceNowUs());
     } else {
+        const uint64_t enqueueBegin = traceNowUs();
         for (uint64_t i = 0; i < total; ++i)
             ready_.push_back(i);
+        if (tracing)
+            spans_[0].add(coordLane,
+                          "enqueue " + std::to_string(total) +
+                              " shards",
+                          enqueueBegin, traceNowUs());
         activeWorkers_ = static_cast<int>(opts_.workers.size());
         std::vector<std::thread> threads;
         threads.reserve(opts_.workers.size());
@@ -655,13 +799,21 @@ FleetRunner::run()
                  std::to_string(remaining.size()) +
                  " shards unfinished; degrading to in-process "
                  "execution");
+            const uint64_t localBegin = traceNowUs();
             runLocally(remaining);
+            if (tracing)
+                spans_[0].add(coordLane,
+                              "local " +
+                                  std::to_string(remaining.size()) +
+                                  " shards",
+                              localBegin, traceNowUs());
         }
     }
 
     // Index-ordered fold, identical to SweepRunner::run()'s: the
     // aggregates come out the same no matter which worker (or the
     // local fallback) produced each shard.
+    const uint64_t mergeBegin = traceNowUs();
     sweep::SweepResult result;
     result.shards = std::move(results_);
     for (const api::ShardResult& s : result.shards) {
@@ -680,6 +832,21 @@ FleetRunner::run()
         } else {
             ++result.failed;
         }
+    }
+    if (tracing) {
+        // Every worker thread has joined by now, so reading their
+        // recorders is race-free; the merge itself is the last
+        // coordinator span.
+        spans_[0].add(coordLane,
+                      "merge " +
+                          std::to_string(result.shards.size()) +
+                          " shards",
+                      mergeBegin, traceNowUs());
+        std::vector<const obs::SpanRecorder*> parts;
+        parts.reserve(spans_.size());
+        for (const obs::SpanRecorder& r : spans_)
+            parts.push_back(&r);
+        traceJson_ = obs::mergeFleetTrace(traceRoot_, parts);
     }
     return result;
 }

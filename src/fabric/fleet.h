@@ -43,6 +43,7 @@
 #ifndef P10EE_FABRIC_FLEET_H
 #define P10EE_FABRIC_FLEET_H
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -56,6 +57,7 @@
 #include "api/types.h"
 #include "common/error.h"
 #include "obs/report.h"
+#include "obs/trace.h"
 #include "sweep/cache.h"
 #include "sweep/runner.h"
 #include "sweep/spec.h"
@@ -110,6 +112,14 @@ struct FleetOptions
 
     /** Pool threads for degraded in-process execution. */
     int localJobs = 1;
+
+    /** Record a distributed flight trace: a TraceContext is derived
+        from the spec seed, child contexts ride every shard request on
+        the wire, and after run() the merged Perfetto timeline is
+        available via traceJson(). Off by default — tracing must never
+        change results (the determinism test pins this), only observe
+        them. */
+    bool trace = false;
 
     /** Progress stream (serialized; scheduling-dependent — see
         api::ProgressEvent). */
@@ -167,6 +177,15 @@ class FleetRunner
         const sweep::SweepResult& result, const FleetStats& stats,
         const std::string& tool);
 
+    /** Merged Perfetto trace JSON of the last run() — "" unless
+        options.trace was set. One timeline reconciling every span the
+        coordinator and all workers recorded for this run. */
+    const std::string& traceJson() const { return traceJson_; }
+
+    /** The root trace context of the last run() (invalid unless
+        options.trace was set). */
+    const obs::TraceContext& traceRoot() const { return traceRoot_; }
+
   private:
     struct WorkerConn; // one live socket + line buffer (fleet.cpp)
 
@@ -178,6 +197,9 @@ class FleetRunner
     void warn(const std::string& message);
     void runLocally(const std::vector<uint64_t>& indices);
     uint64_t leaseDeadlineMs() const;
+    /** Microseconds since the run's trace epoch (0 when not tracing —
+        callers only stamp spans behind opts_.trace). */
+    uint64_t traceNowUs() const;
 
     sweep::SweepSpec spec_;
     FleetOptions opts_;
@@ -198,6 +220,15 @@ class FleetRunner
     int activeWorkers_ = 0;
 
     std::mutex progressMu_;
+
+    // Flight-recorder state (all unused when opts_.trace is false).
+    // spans_[0] is the coordinator's recorder; spans_[1 + w] belongs to
+    // worker thread w — one SpanRecorder per thread honours the
+    // single-owner contract, and the merge after join() reads them all.
+    obs::TraceContext traceRoot_;
+    std::chrono::steady_clock::time_point traceEpoch_;
+    std::vector<obs::SpanRecorder> spans_;
+    std::string traceJson_;
 };
 
 } // namespace p10ee::fabric

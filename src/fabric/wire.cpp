@@ -2,6 +2,7 @@
 
 #include "common/hex.h"
 #include "obs/json.h"
+#include "obs/trace.h"
 #include "service/protocol.h"
 
 namespace p10ee::fabric {
@@ -11,7 +12,8 @@ using common::Expected;
 
 std::string
 shardRequestLine(const std::string& id, const sweep::SweepSpec& spec,
-                 uint64_t index, uint64_t heartbeatMs, bool remoteCache)
+                 uint64_t index, uint64_t heartbeatMs, bool remoteCache,
+                 const std::string& trace)
 {
     obs::JsonWriter w;
     w.beginObject();
@@ -20,6 +22,8 @@ shardRequestLine(const std::string& id, const sweep::SweepSpec& spec,
     w.key("index").value(index);
     w.key("heartbeat_ms").value(heartbeatMs);
     w.key("remote_cache").value(remoteCache);
+    if (!trace.empty())
+        w.key("trace").value(trace);
     w.endObject();
     // The spec is embedded as its canonical toJson() rendering — the
     // same splice idiom doneLine() uses for reports.
@@ -74,6 +78,22 @@ readKeyField(const obs::JsonValue& root)
         return Error::invalidArgument(
             "worker event 'key' must be a hex string");
     return service::parseCacheKeyHex(k->string);
+}
+
+/** Optional "trace" member: absent -> "", present -> must be exactly
+    the TraceContext wire shape. Anything else is a protocol
+    violation, same as a malformed cache key. */
+Expected<std::string>
+readTraceField(const obs::JsonValue& root)
+{
+    const obs::JsonValue* tr = root.find("trace");
+    if (tr == nullptr)
+        return std::string();
+    if (!tr->isString() || !obs::TraceContext::parse(tr->string))
+        return Error::invalidArgument(
+            "worker event 'trace' must be 32 lowercase hex chars, "
+            "'-', 16 lowercase hex chars");
+    return tr->string;
 }
 
 Expected<std::vector<uint8_t>>
@@ -133,7 +153,11 @@ WorkerEvent::parse(std::string_view line)
     }
     if (ev->string == "heartbeat") {
         out.kind = Kind::Heartbeat;
-        if (auto st = onlyKeys(root, {"id", "event"}); !st)
+        Expected<std::string> traceOr = readTraceField(root);
+        if (!traceOr)
+            return traceOr.error();
+        out.trace = std::move(traceOr.value());
+        if (auto st = onlyKeys(root, {"id", "event", "trace"}); !st)
             return st.error();
         return out;
     }
@@ -181,8 +205,37 @@ WorkerEvent::parse(std::string_view line)
         if (!dataOr)
             return dataOr.error();
         out.data = std::move(dataOr.value());
-        if (auto st = onlyKeys(
-                root, {"id", "event", "index", "cached", "data"});
+        Expected<std::string> traceOr = readTraceField(root);
+        if (!traceOr)
+            return traceOr.error();
+        out.trace = std::move(traceOr.value());
+        // queue_us / exec_us travel only alongside a trace: an untraced
+        // shard_done carrying timings (or a traced one missing them) is
+        // a protocol violation.
+        const obs::JsonValue* qu = root.find("queue_us");
+        const obs::JsonValue* xu = root.find("exec_us");
+        if (out.trace.empty()) {
+            if (qu != nullptr || xu != nullptr)
+                return Error::invalidArgument(
+                    "shard_done queue_us/exec_us require 'trace'");
+        } else {
+            if (qu == nullptr || xu == nullptr)
+                return Error::invalidArgument(
+                    "traced shard_done must carry queue_us and "
+                    "exec_us");
+            Expected<uint64_t> quOr = qu->asU64("shard_done 'queue_us'");
+            if (!quOr)
+                return quOr.error();
+            out.queueUs = quOr.value();
+            Expected<uint64_t> xuOr = xu->asU64("shard_done 'exec_us'");
+            if (!xuOr)
+                return xuOr.error();
+            out.execUs = xuOr.value();
+        }
+        if (auto st = onlyKeys(root,
+                               {"id", "event", "index", "cached",
+                                "data", "trace", "queue_us",
+                                "exec_us"});
             !st)
             return st.error();
         return out;

@@ -38,12 +38,16 @@ namespace p10ee::fabric {
  * worker re-expands the identical grid and both sides agree on shard
  * identity by construction. @p heartbeatMs asks the worker to emit
  * liveness events while executing (0 = none); @p remoteCache tells it
- * the coordinator will answer cache_get probes.
+ * the coordinator will answer cache_get probes. A non-empty @p trace
+ * (a TraceContext wire string, obs/trace.h) turns on distributed
+ * tracing for this shard: the worker echoes it on heartbeat and
+ * shard_done and reports queue/exec durations on the latter.
  */
 std::string shardRequestLine(const std::string& id,
                              const sweep::SweepSpec& spec,
                              uint64_t index, uint64_t heartbeatMs,
-                             bool remoteCache);
+                             bool remoteCache,
+                             const std::string& trace = "");
 
 /** Answer to a worker's cache_get: @p entry is ignored on a miss. */
 std::string cacheResultLine(const std::string& id, bool hit,
@@ -72,6 +76,13 @@ struct WorkerEvent
     uint64_t index = 0;        ///< shard_done: shard index
     bool cached = false;       ///< shard_done: served from a cache tier
     common::Error error;       ///< error: code + message
+
+    /** heartbeat / shard_done: echoed trace wire string ("" = off).
+        On shard_done a trace comes with worker-side queue-wait and
+        execution durations; the three keys are valid only together. */
+    std::string trace;
+    uint64_t queueUs = 0; ///< shard_done: worker queue wait (us)
+    uint64_t execUs = 0;  ///< shard_done: worker execution time (us)
 
     /**
      * Parse one worker line. Strict: closed key set per event kind,

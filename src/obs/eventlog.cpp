@@ -1,0 +1,33 @@
+#include "obs/eventlog.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace p10ee::obs {
+
+std::string
+eventLogLine(std::string_view level, std::string_view component,
+             std::string_view message, const EventFields& fields)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("level").value(level);
+    w.key("component").value(component);
+    w.key("message").value(message);
+    for (const auto& [key, value] : fields)
+        w.key(key).value(value);
+    w.endObject();
+    return w.str();
+}
+
+void
+eventLog(std::string_view level, std::string_view component,
+         std::string_view message, const EventFields& fields)
+{
+    std::string line = eventLogLine(level, component, message, fields);
+    line.push_back('\n');
+    std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+} // namespace p10ee::obs

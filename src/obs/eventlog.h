@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Structured operational event lines — one JSON object per event, the
+ * stderr analogue of the NDJSON wire protocol.
+ *
+ * The fabric and the daemon used to warn in free-form prose; a fleet of
+ * N workers interleaving prose on one stderr is unparseable. Every
+ * operational event now goes through eventLogLine: a fixed envelope
+ * ("level", "component", "message") followed by caller-supplied fields
+ * in deterministic insertion order, serialized by the same JsonWriter
+ * the artifacts use (no whitespace, fixed escaping). Consumers can grep
+ * the message substring exactly as before, or parse the line as JSON.
+ *
+ * These lines are telemetry, never artifacts: they carry timings and
+ * scheduling detail that the byte-identical report contract forbids.
+ */
+
+#ifndef P10EE_OBS_EVENTLOG_H
+#define P10EE_OBS_EVENTLOG_H
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace p10ee::obs {
+
+/** Ordered extra fields of one event line (values pre-formatted). */
+using EventFields = std::vector<std::pair<std::string, std::string>>;
+
+/**
+ * One structured event line (no trailing newline):
+ * {"level":L,"component":C,"message":M,<fields in given order>}.
+ */
+std::string eventLogLine(std::string_view level,
+                         std::string_view component,
+                         std::string_view message,
+                         const EventFields& fields = {});
+
+/** eventLogLine() + '\n' to stderr, written in one call so concurrent
+    emitters (fleet worker threads, daemon readers) never interleave. */
+void eventLog(std::string_view level, std::string_view component,
+              std::string_view message, const EventFields& fields = {});
+
+} // namespace p10ee::obs
+
+#endif // P10EE_OBS_EVENTLOG_H

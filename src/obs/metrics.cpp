@@ -1,0 +1,165 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "obs/json.h"
+
+namespace p10ee::obs {
+
+MetricId
+MetricsRegistry::intern(const std::string& name, Kind kind)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint32_t n = size_.load(std::memory_order_relaxed);
+    for (uint32_t i = 0; i < n; ++i) {
+        if (nodes_[i].name == name) {
+            P10_ASSERT(nodes_[i].kind == kind,
+                       "metric re-registered with a different shape");
+            return {i};
+        }
+    }
+    P10_ASSERT(n < kCapacity, "metrics registry arena exhausted");
+    nodes_[n].name = name;
+    nodes_[n].kind = kind;
+    // Publish after the node is fully constructed: snapshot() loads
+    // size with acquire and never looks past it.
+    size_.store(n + 1, std::memory_order_release);
+    return {n};
+}
+
+MetricId
+MetricsRegistry::counter(const std::string& name)
+{
+    return intern(name, Kind::Counter);
+}
+
+MetricId
+MetricsRegistry::gauge(const std::string& name)
+{
+    return intern(name, Kind::Gauge);
+}
+
+MetricId
+MetricsRegistry::histogram(const std::string& name)
+{
+    return intern(name, Kind::Histogram);
+}
+
+void
+MetricsRegistry::add(MetricId id, uint64_t delta)
+{
+    if (!id.valid())
+        return;
+    nodes_[id.v].count.fetch_add(delta, std::memory_order_relaxed);
+}
+
+void
+MetricsRegistry::set(MetricId id, int64_t value)
+{
+    if (!id.valid())
+        return;
+    nodes_[id.v].level.store(value, std::memory_order_relaxed);
+}
+
+void
+MetricsRegistry::adjust(MetricId id, int64_t delta)
+{
+    if (!id.valid())
+        return;
+    nodes_[id.v].level.fetch_add(delta, std::memory_order_relaxed);
+}
+
+void
+MetricsRegistry::observe(MetricId id, uint64_t value)
+{
+    if (!id.valid())
+        return;
+    Node& n = nodes_[id.v];
+    n.count.fetch_add(1, std::memory_order_relaxed);
+    n.sum.fetch_add(value, std::memory_order_relaxed);
+    uint64_t seen = n.max.load(std::memory_order_relaxed);
+    while (seen < value &&
+           !n.max.compare_exchange_weak(seen, value,
+                                        std::memory_order_relaxed))
+        ;
+}
+
+std::vector<std::pair<std::string, double>>
+MetricsRegistry::snapshot() const
+{
+    const uint32_t n = size_.load(std::memory_order_acquire);
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(n * 2);
+    for (uint32_t i = 0; i < n; ++i) {
+        const Node& node = nodes_[i];
+        switch (node.kind) {
+        case Kind::Counter:
+            out.emplace_back(node.name,
+                             static_cast<double>(node.count.load(
+                                 std::memory_order_relaxed)));
+            break;
+        case Kind::Gauge:
+            out.emplace_back(node.name,
+                             static_cast<double>(node.level.load(
+                                 std::memory_order_relaxed)));
+            break;
+        case Kind::Histogram:
+            out.emplace_back(node.name + ".count",
+                             static_cast<double>(node.count.load(
+                                 std::memory_order_relaxed)));
+            out.emplace_back(node.name + ".max",
+                             static_cast<double>(node.max.load(
+                                 std::memory_order_relaxed)));
+            out.emplace_back(node.name + ".sum",
+                             static_cast<double>(node.sum.load(
+                                 std::memory_order_relaxed)));
+            break;
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::string
+MetricsRegistry::toJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    for (const auto& [name, value] : snapshot())
+        w.key(name).value(value);
+    w.endObject();
+    return w.str();
+}
+
+JsonReport
+MetricsRegistry::toReport(const std::string& tool) const
+{
+    JsonReport report;
+    report.meta().tool = tool;
+    report.meta().git = gitDescribe();
+    for (const auto& [name, value] : snapshot())
+        report.addScalar(name, value);
+    return report;
+}
+
+void
+MetricsRegistry::reset()
+{
+    const uint32_t n = size_.load(std::memory_order_acquire);
+    for (uint32_t i = 0; i < n; ++i) {
+        nodes_[i].count.store(0, std::memory_order_relaxed);
+        nodes_[i].sum.store(0, std::memory_order_relaxed);
+        nodes_[i].max.store(0, std::memory_order_relaxed);
+        nodes_[i].level.store(0, std::memory_order_relaxed);
+    }
+}
+
+MetricsRegistry&
+metrics()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+} // namespace p10ee::obs

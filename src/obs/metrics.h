@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Process-wide metrics registry — live operational counters for the
+ * service and fabric layers, separate from the deterministic report
+ * pipeline.
+ *
+ * The StatId discipline from the core's StatBag, applied process-wide:
+ * producers intern a metric name once (mutex, linear scan — registration
+ * is cold) and receive a MetricId; every later operation is an array
+ * index plus relaxed atomics, safe from any thread. Three typed shapes:
+ *
+ *  - counter:   monotonically increasing event count (add)
+ *  - gauge:     instantaneous signed level (set / adjust)
+ *  - histogram: count / sum / max of observed values (observe) — enough
+ *               to answer "how many, how much, how bad" without bins
+ *
+ * Storage is a fixed-capacity arena published through an atomic size:
+ * nodes never move, so hot-path access needs no lock and TSan stays
+ * quiet. The dump side (snapshot / toJson / toReport) is deterministic:
+ * histogram names expand to <name>.count/.max/.sum and the whole key
+ * set is emitted sorted, so two dumps of identical values are
+ * byte-identical — the `metrics` NDJSON reply and the --metrics-out
+ * sidecars all ride on it. Values that measure *time* are inherently
+ * nondeterministic; that is fine exactly because metrics live only in
+ * sidecars and wire replies, never in a p10ee-report merged artifact.
+ */
+
+#ifndef P10EE_OBS_METRICS_H
+#define P10EE_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/report.h"
+
+namespace p10ee::obs {
+
+/** Interned handle to a registered metric. */
+struct MetricId
+{
+    uint32_t v = UINT32_MAX;
+
+    bool valid() const { return v != UINT32_MAX; }
+};
+
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    /** Register (or look up) a metric. Re-registering a name with a
+        different shape is a contract violation and panics. */
+    MetricId counter(const std::string& name);
+    MetricId gauge(const std::string& name);
+    MetricId histogram(const std::string& name);
+
+    /** Counter += delta. Invalid ids are ignored (disabled metrics). */
+    void add(MetricId id, uint64_t delta = 1);
+
+    /** Gauge = value / Gauge += delta. */
+    void set(MetricId id, int64_t value);
+    void adjust(MetricId id, int64_t delta);
+
+    /** Histogram: count += 1, sum += value, max = max(max, value). */
+    void observe(MetricId id, uint64_t value);
+
+    /**
+     * Expanded (name, value) pairs, sorted by name: counters and gauges
+     * as-is, histograms as <name>.count / <name>.max / <name>.sum.
+     */
+    std::vector<std::pair<std::string, double>> snapshot() const;
+
+    /** snapshot() as one flat JSON object, deterministic key order. */
+    std::string toJson() const;
+
+    /** snapshot() as a p10ee-report/1 sidecar (scalars only; wall-clock
+        meta stays zeroed like every merged artifact). */
+    JsonReport toReport(const std::string& tool) const;
+
+    /** Zero every value, keeping names interned (ids stay valid). */
+    void reset();
+
+  private:
+    enum class Kind : uint8_t { Counter, Gauge, Histogram };
+
+    struct Node
+    {
+        std::string name;
+        Kind kind = Kind::Counter;
+        std::atomic<uint64_t> count{0};
+        std::atomic<uint64_t> sum{0};
+        std::atomic<uint64_t> max{0};
+        std::atomic<int64_t> level{0};
+    };
+
+    /** Arena capacity; a process registers a few dozen metrics. */
+    static constexpr size_t kCapacity = 256;
+
+    MetricId intern(const std::string& name, Kind kind);
+
+    mutable std::mutex mu_; ///< guards registration only
+    std::unique_ptr<Node[]> nodes_ = std::make_unique<Node[]>(kCapacity);
+    std::atomic<uint32_t> size_{0};
+};
+
+/** The process-wide registry every layer instruments into. */
+MetricsRegistry& metrics();
+
+} // namespace p10ee::obs
+
+#endif // P10EE_OBS_METRICS_H

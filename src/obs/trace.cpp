@@ -1,0 +1,236 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.h"
+#include "obs/perfetto.h"
+
+namespace p10ee::obs {
+
+namespace {
+
+/** splitmix64 finalizer: the id-derivation mix. Seeds and slots are
+    low-entropy small integers; the finalizer spreads them over the
+    whole 64-bit space so distinct shards get visibly distinct ids. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+void
+appendHex16(std::string& out, uint64_t v)
+{
+    static const char* digits = "0123456789abcdef";
+    for (int shift = 60; shift >= 0; shift -= 4)
+        out.push_back(digits[(v >> shift) & 0xf]);
+}
+
+/** Strict lowercase nibble; -1 for anything else (wire input is
+    hostile, and the emitter only ever produces lowercase). */
+int
+nibbleLower(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    return -1;
+}
+
+bool
+parseHex16(const std::string& text, size_t at, uint64_t& out)
+{
+    uint64_t v = 0;
+    for (size_t i = 0; i < 16; ++i) {
+        const int n = nibbleLower(text[at + i]);
+        if (n < 0)
+            return false;
+        v = (v << 4) | static_cast<uint64_t>(n);
+    }
+    out = v;
+    return true;
+}
+
+} // namespace
+
+std::string
+TraceContext::str() const
+{
+    std::string out;
+    out.reserve(49);
+    appendHex16(out, traceHi);
+    appendHex16(out, traceLo);
+    out.push_back('-');
+    appendHex16(out, span);
+    return out;
+}
+
+TraceContext
+TraceContext::child(uint64_t slot) const
+{
+    TraceContext c = *this;
+    c.span = mix64(span ^ mix64(slot + 1));
+    if (c.span == 0)
+        c.span = 1;
+    return c;
+}
+
+TraceContext
+TraceContext::derive(uint64_t seed)
+{
+    TraceContext c;
+    c.traceHi = mix64(seed ^ 0x7261636531303030ULL);
+    c.traceLo = mix64(seed ^ 0x7261636531303031ULL);
+    c.span = mix64(seed ^ 0x7261636531303032ULL);
+    if (!c.valid())
+        c.span = 1;
+    return c;
+}
+
+std::optional<TraceContext>
+TraceContext::parse(const std::string& text)
+{
+    if (text.size() != 49 || text[32] != '-')
+        return std::nullopt;
+    TraceContext c;
+    if (!parseHex16(text, 0, c.traceHi) ||
+        !parseHex16(text, 16, c.traceLo) ||
+        !parseHex16(text, 33, c.span))
+        return std::nullopt;
+    if (!c.valid())
+        return std::nullopt;
+    return c;
+}
+
+SpanRecorder::SpanRecorder()
+{
+    lanes_.reserve(8);
+    spans_.reserve(256);
+}
+
+void
+SpanRecorder::checkOwner()
+{
+    const std::thread::id self = std::this_thread::get_id();
+    std::thread::id expected; // default id = not yet bound
+    if (owner_.compare_exchange_strong(expected, self,
+                                       std::memory_order_relaxed))
+        return; // first mutation binds the owner
+    P10_ASSERT(expected == self,
+               "SpanRecorder published from a second thread; the fleet "
+               "gives every coordinator/worker thread its own recorder");
+}
+
+TrackId
+SpanRecorder::lane(const std::string& name)
+{
+    checkOwner();
+    for (uint32_t i = 0; i < lanes_.size(); ++i)
+        if (lanes_[i].name == name)
+            return {i};
+    lanes_.push_back({name});
+    return {static_cast<uint32_t>(lanes_.size() - 1)};
+}
+
+void
+SpanRecorder::add(TrackId lane, const std::string& label,
+                  uint64_t beginUs, uint64_t endUs)
+{
+    checkOwner();
+    P10_ASSERT(lane.v < lanes_.size(), "span on unknown lane");
+    Span s;
+    s.lane = lane;
+    s.label = label;
+    s.beginUs = beginUs;
+    s.endUs = endUs < beginUs ? beginUs : endUs;
+    spans_.push_back(std::move(s));
+}
+
+std::string
+mergeFleetTrace(const TraceContext& root,
+                const std::vector<const SpanRecorder*>& parts)
+{
+    // One "cycle" of the merged recorder is one microsecond: the
+    // Perfetto writer divides cycles by ghz*1000, so ghz = 0.001 makes
+    // its timestamps pass through unchanged.
+    constexpr double kMicrosecondClockGhz = 0.001;
+
+    TimeSeriesRecorder rec(1);
+
+    // Overall run extent, for the root-context lane.
+    uint64_t lo = UINT64_MAX;
+    uint64_t hi = 0;
+    for (const SpanRecorder* part : parts) {
+        if (!part)
+            continue;
+        for (const auto& s : part->spans()) {
+            lo = std::min(lo, s.beginUs);
+            hi = std::max(hi, s.endUs);
+        }
+    }
+    if (lo == UINT64_MAX)
+        lo = hi = 0;
+
+    const TrackId rootLane = rec.slices("trace:" + root.str());
+    rec.beginSlice(rootLane, "run", lo);
+    rec.endSlice(rootLane, hi);
+
+    // Concurrency counter: +1 at every span begin, -1 at every end,
+    // sampled once per distinct boundary (ends applied before begins at
+    // equal timestamps so back-to-back spans do not fake overlap). The
+    // leading zero sample keeps the track non-empty even for a spanless
+    // trace — validate_report.py --trace requires counter events.
+    const TrackId inflight = rec.counter("fleet.inflight", "spans");
+    rec.sample(inflight, lo, 0.0);
+    std::vector<std::pair<uint64_t, int>> edges;
+    for (const SpanRecorder* part : parts) {
+        if (!part)
+            continue;
+        for (const auto& s : part->spans()) {
+            edges.emplace_back(s.beginUs, +1);
+            edges.emplace_back(s.endUs, -1);
+        }
+    }
+    std::sort(edges.begin(), edges.end());
+    int64_t level = 0;
+    for (size_t i = 0; i < edges.size(); ++i) {
+        level += edges[i].second;
+        if (i + 1 == edges.size() || edges[i + 1].first != edges[i].first)
+            rec.sample(inflight, edges[i].first,
+                       static_cast<double>(level));
+    }
+
+    // Every lane of every part becomes its own slice track, spans
+    // begin-sorted (stable, so same-begin spans keep insertion order).
+    for (const SpanRecorder* part : parts) {
+        if (!part)
+            continue;
+        for (uint32_t laneIdx = 0; laneIdx < part->lanes().size();
+             ++laneIdx) {
+            const TrackId track =
+                rec.slices(part->lanes()[laneIdx].name);
+            std::vector<const SpanRecorder::Span*> laneSpans;
+            for (const auto& s : part->spans())
+                if (s.lane.v == laneIdx)
+                    laneSpans.push_back(&s);
+            std::stable_sort(laneSpans.begin(), laneSpans.end(),
+                             [](const SpanRecorder::Span* a,
+                                const SpanRecorder::Span* b) {
+                                 return a->beginUs < b->beginUs;
+                             });
+            for (const SpanRecorder::Span* s : laneSpans) {
+                rec.beginSlice(track, s->label, s->beginUs);
+                rec.endSlice(track, s->endUs);
+            }
+        }
+    }
+
+    return toPerfettoJson(rec, kMicrosecondClockGhz);
+}
+
+} // namespace p10ee::obs

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Distributed span tracing for the sweep fabric — the flight recorder
+ * that reconciles one shard's lifecycle (coordinator enqueue → dial →
+ * lease → worker queue wait → execute → payload return → merge) into a
+ * single cross-process Perfetto timeline.
+ *
+ * Three pieces:
+ *
+ *  - TraceContext: a 128-bit trace id plus a 64-bit span id, hex-encoded
+ *    as "<32 hex>-<16 hex>" (lowercase, like common/hex.h emits). The
+ *    string travels through the NDJSON wire protocol as the optional
+ *    "trace" key; the strict parser rejects anything that is not exactly
+ *    that shape, so a truncated or corrupted id is a protocol violation,
+ *    never a silently different trace. Ids are derived deterministically
+ *    from the sweep seed — they never reach the merged report, so wall
+ *    clocks stay out of the determinism contract.
+ *
+ *  - SpanRecorder: allocation-free per-thread span buffers in the style
+ *    of TimeSeriesRecorder — interned lane handles, amortized push_back,
+ *    and the same single-owner-per-thread contract (bound on first
+ *    mutation, every later mutation asserts it, reads are const and
+ *    unchecked after the owning thread joins). Spans are complete
+ *    [beginUs, endUs) episodes stamped against one process-local epoch;
+ *    cross-process timings arrive as durations on the wire (queue_us /
+ *    exec_us on shard_done) and are anchored at the arrival timestamp,
+ *    so no clock synchronization is ever assumed.
+ *
+ *  - mergeFleetTrace: folds the coordinator's and workers' recorders
+ *    into one TimeSeriesRecorder — every lane a slice track, plus a
+ *    "fleet.inflight" counter of concurrently open spans and a
+ *    "trace:<id>" lane naming the root context — and reuses the PR 2
+ *    Perfetto writer at ghz = 0.001, the clock at which one "cycle" is
+ *    exactly one microsecond.
+ */
+
+#ifndef P10EE_OBS_TRACE_H
+#define P10EE_OBS_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/timeseries.h"
+
+namespace p10ee::obs {
+
+/** Trace identity: 128-bit trace id + 64-bit span id. */
+struct TraceContext
+{
+    uint64_t traceHi = 0;
+    uint64_t traceLo = 0;
+    uint64_t span = 0;
+
+    /** A default-constructed (all-zero) context means "tracing off". */
+    bool valid() const { return (traceHi | traceLo | span) != 0; }
+
+    /** Wire encoding: 32 lowercase hex chars, '-', 16 lowercase hex. */
+    std::string str() const;
+
+    /** Same trace, new span id derived deterministically from @p slot. */
+    TraceContext child(uint64_t slot) const;
+
+    /** Deterministic root context for a run seeded with @p seed. */
+    static TraceContext derive(uint64_t seed);
+
+    /**
+     * Strict inverse of str(): exactly 49 chars, '-' at index 32,
+     * lowercase hex everywhere else, not all-zero. Anything else is
+     * nullopt — the wire treats a malformed trace id as a protocol
+     * violation, exactly like a malformed cache key.
+     */
+    static std::optional<TraceContext> parse(const std::string& text);
+};
+
+/**
+ * Collects complete spans from one thread. Same threading contract as
+ * TimeSeriesRecorder: a recorder belongs to exactly one publishing
+ * thread, bound on the first mutating call; the fleet coordinator reads
+ * finished recorders only after joining their owners.
+ */
+class SpanRecorder
+{
+  public:
+    /** One interned lane (rendered as a Perfetto pseudo-thread). */
+    struct Lane
+    {
+        std::string name;
+    };
+
+    /** One complete episode on a lane. */
+    struct Span
+    {
+        TrackId lane;
+        std::string label;
+        uint64_t beginUs = 0;
+        uint64_t endUs = 0;
+    };
+
+    SpanRecorder();
+
+    /** Moves carry the owner binding, like TimeSeriesRecorder. */
+    SpanRecorder(SpanRecorder&& other) noexcept
+        : owner_(other.owner_.load(std::memory_order_relaxed)),
+          lanes_(std::move(other.lanes_)),
+          spans_(std::move(other.spans_))
+    {}
+
+    SpanRecorder& operator=(SpanRecorder&& other) noexcept
+    {
+        owner_.store(other.owner_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+        lanes_ = std::move(other.lanes_);
+        spans_ = std::move(other.spans_);
+        return *this;
+    }
+
+    /** Register (or look up) the lane @p name. */
+    TrackId lane(const std::string& name);
+
+    /** Append one complete span. @p endUs below @p beginUs clamps to a
+        zero-length span (the exporter widens those to stay visible). */
+    void add(TrackId lane, const std::string& label, uint64_t beginUs,
+             uint64_t endUs);
+
+    const std::vector<Lane>& lanes() const { return lanes_; }
+    const std::vector<Span>& spans() const { return spans_; }
+
+  private:
+    void checkOwner();
+
+    std::atomic<std::thread::id> owner_{std::thread::id()};
+    std::vector<Lane> lanes_;
+    std::vector<Span> spans_;
+};
+
+/**
+ * Merge per-thread recorders into one Chrome/Perfetto JSON document.
+ * Lanes become slice tracks in (@p parts order, lane registration
+ * order); spans within a lane are emitted begin-sorted. Two synthetic
+ * tracks are always present: a "trace:<root>" lane whose single span
+ * covers the whole run (Perfetto shows the trace id as the lane name),
+ * and a "fleet.inflight" counter sampling how many spans are open at
+ * each boundary. Null entries in @p parts are skipped.
+ */
+std::string mergeFleetTrace(const TraceContext& root,
+                            const std::vector<const SpanRecorder*>& parts);
+
+} // namespace p10ee::obs
+
+#endif // P10EE_OBS_TRACE_H

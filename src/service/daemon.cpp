@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include "obs/json.h"
+#include "obs/metrics.h"
 
 namespace p10ee::service {
 
@@ -25,6 +26,21 @@ namespace {
     (the pump keeps running through the wait) yet bounded — a mute
     coordinator costs one extra simulation, never a wedged executor. */
 constexpr int kRemoteCacheWaitMs = 2000;
+
+/** Daemon instrumentation, interned once per process. */
+struct DaemonMetrics
+{
+    obs::MetricId connections =
+        obs::metrics().counter("service.connections");
+    obs::MetricId cancels = obs::metrics().counter("service.cancels");
+};
+
+DaemonMetrics&
+daemonMetrics()
+{
+    static DaemonMetrics m;
+    return m;
+}
 
 } // namespace
 
@@ -184,6 +200,8 @@ Daemon::acceptLoop()
         int fd = ::accept(listenFd_, nullptr, nullptr);
         if (fd < 0)
             continue;
+        connections_.fetch_add(1);
+        obs::metrics().add(daemonMetrics().connections);
         auto conn = std::make_shared<Connection>(fd);
         std::lock_guard<std::mutex> lock(connsMu_);
         conns_.push_back(conn);
@@ -270,6 +288,12 @@ Daemon::handleLine(const std::shared_ptr<Connection>& conn,
       case RequestType::Stats:
         conn->sendLine(statsLine(req.id));
         return;
+      case RequestType::Metrics:
+        // The registry dump is deterministic (sorted keys) and built
+        // inline like stats: introspection must work even when every
+        // executor is busy.
+        conn->sendLine(metricsLine(req.id, obs::metrics().toJson()));
+        return;
       case RequestType::Shutdown:
         conn->sendLine(acceptedLine(req.id, queue_.depth()));
         requestDrain();
@@ -299,6 +323,7 @@ Daemon::handleLine(const std::shared_ptr<Connection>& conn,
             finishJob(req.target);
             cancelled_.fetch_add(1);
         }
+        obs::metrics().add(daemonMetrics().cancels);
         conn->sendLine(acceptedLine(req.id, queue_.depth()));
         return;
       }
@@ -440,6 +465,17 @@ Daemon::executeShard(Job& job)
 {
     const std::string id = job.req.id;
 
+    // Tracing: the queue wait ended the moment the executor picked the
+    // job up; the coordinator gets both phases as durations on
+    // shard_done and anchors them at arrival, so no clock crosses the
+    // process boundary.
+    const std::string trace = job.req.trace;
+    const auto execStart = std::chrono::steady_clock::now();
+    const uint64_t queueUs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            execStart - job.enqueued)
+            .count());
+
     // Heartbeats bracket the WHOLE execution — remote cache waits
     // included — so the coordinator's liveness window never depends on
     // which phase the shard is in. The pump is joined before the
@@ -450,7 +486,7 @@ Daemon::executeShard(Job& job)
     if (job.req.heartbeatMs > 0) {
         auto send = job.send;
         const uint64_t intervalMs = job.req.heartbeatMs;
-        heartbeat = std::thread([send, id, intervalMs, &done] {
+        heartbeat = std::thread([send, id, trace, intervalMs, &done] {
             auto last = std::chrono::steady_clock::now();
             while (!done.load()) {
                 std::this_thread::sleep_for(
@@ -458,7 +494,7 @@ Daemon::executeShard(Job& job)
                 auto now = std::chrono::steady_clock::now();
                 if (now - last >=
                     std::chrono::milliseconds(intervalMs)) {
-                    send(heartbeatLine(id));
+                    send(heartbeatLine(id, trace));
                     last = now;
                 }
             }
@@ -496,8 +532,13 @@ Daemon::executeShard(Job& job)
     else
         simulatedShards_.fetch_add(1);
     completed_.fetch_add(1);
+    const uint64_t execUs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - execStart)
+            .count());
     job.send(shardDoneLine(id, job.req.shardIndex,
-                           outcome.result.fromCache, outcome.entry));
+                           outcome.result.fromCache, outcome.entry,
+                           trace, queueUs, execUs));
 }
 
 std::optional<std::vector<uint8_t>>
@@ -581,6 +622,7 @@ Daemon::statsLine(const std::string& id) const
     w.key("failed").value(failed_.load());
     w.key("cancelled").value(cancelled_.load());
     w.key("rejected").value(rejected_.load());
+    w.key("connections").value(connections_.load());
     w.key("cached_shards").value(cached);
     w.key("simulated_shards").value(simulated);
     w.key("cache_hit_rate")

@@ -170,6 +170,7 @@ class Daemon
 
     // Live metrics (the `stats` request; never part of reports).
     std::chrono::steady_clock::time_point startTime_;
+    std::atomic<uint64_t> connections_{0};
     std::atomic<uint64_t> completed_{0};
     std::atomic<uint64_t> failed_{0};
     std::atomic<uint64_t> cancelled_{0};

@@ -4,6 +4,7 @@
 
 #include "common/hex.h"
 #include "obs/json.h"
+#include "obs/trace.h"
 
 namespace p10ee::service {
 
@@ -45,7 +46,7 @@ parseRunPayload(const obs::JsonValue& root, api::RunRequest* out)
 {
     for (const auto& [key, v] : root.object) {
         if (key == "type" || key == "id" || key == "priority" ||
-            key == "timeout_cycles")
+            key == "timeout_cycles" || key == "trace")
             continue; // envelope fields, handled by the caller
         if (key == "config" || key == "workload") {
             if (!v.isString())
@@ -106,6 +107,8 @@ Request::parse(std::string_view line)
         req.type = RequestType::Sweep;
     else if (type == "stats")
         req.type = RequestType::Stats;
+    else if (type == "metrics")
+        req.type = RequestType::Metrics;
     else if (type == "cancel")
         req.type = RequestType::Cancel;
     else if (type == "shutdown")
@@ -146,6 +149,24 @@ Request::parse(std::string_view line)
         return timeoutOr.error();
     req.timeoutCycles = timeoutOr.value();
 
+    // Optional tracing context. Absent = tracing off; present, it must
+    // be exactly the TraceContext wire shape on a traceable request —
+    // a truncated or corrupted id is a protocol violation, never a
+    // silently different trace.
+    if (const obs::JsonValue* tr = root.find("trace")) {
+        const bool traceable = req.type == RequestType::Run ||
+                               req.type == RequestType::Sweep ||
+                               req.type == RequestType::Shard;
+        if (!traceable)
+            return Error::invalidArgument("request type '" + type +
+                                          "' does not accept 'trace'");
+        if (!tr->isString() || !obs::TraceContext::parse(tr->string))
+            return Error::invalidArgument(
+                "request 'trace' must be 32 lowercase hex chars, '-', "
+                "16 lowercase hex chars");
+        req.trace = tr->string;
+    }
+
     switch (req.type) {
       case RequestType::Sweep: {
         const obs::JsonValue* spec = root.find("spec");
@@ -160,7 +181,8 @@ Request::parse(std::string_view line)
         for (const auto& [key, v] : root.object) {
             (void)v;
             if (key != "type" && key != "id" && key != "priority" &&
-                key != "timeout_cycles" && key != "spec")
+                key != "timeout_cycles" && key != "spec" &&
+                key != "trace")
                 return Error::invalidArgument(
                     "unknown sweep request key '" + key + "'");
         }
@@ -214,7 +236,7 @@ Request::parse(std::string_view line)
             if (key != "type" && key != "id" && key != "priority" &&
                 key != "timeout_cycles" && key != "spec" &&
                 key != "index" && key != "heartbeat_ms" &&
-                key != "remote_cache")
+                key != "remote_cache" && key != "trace")
                 return Error::invalidArgument(
                     "unknown shard request key '" + key + "'");
         }
@@ -250,6 +272,7 @@ Request::parse(std::string_view line)
         break;
       }
       case RequestType::Stats:
+      case RequestType::Metrics:
       case RequestType::Shutdown:
         break;
     }
@@ -321,12 +344,33 @@ errorLine(const std::string& id, const common::Error& e)
 }
 
 std::string
-heartbeatLine(const std::string& id)
+metricsLine(const std::string& id, const std::string& metricsJson)
+{
+    // Like doneLine: the registry dump is already deterministic JSON
+    // from the same writer, so it is embedded verbatim as the final
+    // member instead of being re-parsed.
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("id").value(id);
+    w.key("event").value("metrics");
+    w.endObject();
+    std::string line = w.str();
+    line.pop_back(); // drop the closing '}'
+    line += ",\"metrics\":";
+    line += metricsJson;
+    line += "}";
+    return line;
+}
+
+std::string
+heartbeatLine(const std::string& id, const std::string& trace)
 {
     obs::JsonWriter w;
     w.beginObject();
     w.key("id").value(id);
     w.key("event").value("heartbeat");
+    if (!trace.empty())
+        w.key("trace").value(trace);
     w.endObject();
     return w.str();
 }
@@ -359,7 +403,9 @@ cachePutLine(const std::string& id, uint64_t key,
 
 std::string
 shardDoneLine(const std::string& id, uint64_t index, bool cached,
-              const std::vector<uint8_t>& entry)
+              const std::vector<uint8_t>& entry,
+              const std::string& trace, uint64_t queueUs,
+              uint64_t execUs)
 {
     obs::JsonWriter w;
     w.beginObject();
@@ -367,6 +413,11 @@ shardDoneLine(const std::string& id, uint64_t index, bool cached,
     w.key("event").value("shard_done");
     w.key("index").value(index);
     w.key("cached").value(cached);
+    if (!trace.empty()) {
+        w.key("trace").value(trace);
+        w.key("queue_us").value(queueUs);
+        w.key("exec_us").value(execUs);
+    }
     w.key("data").value(common::hexEncode(entry));
     w.endObject();
     return w.str();

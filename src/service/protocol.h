@@ -10,8 +10,14 @@
  *   {"type":"run","id":"r2","config":"power10","workload":"xz",
  *    "smt":4,"instrs":20000,"warmup":5000,"seed":0}
  *   {"type":"stats","id":"r3"}
+ *   {"type":"metrics","id":"r3"}
  *   {"type":"cancel","id":"r4","target":"r1"}
  *   {"type":"shutdown"}
+ *
+ * `run`, `sweep` and `shard` requests additionally accept an optional
+ * "trace" key: a TraceContext wire string ("<32 hex>-<16 hex>", see
+ * obs/trace.h). Its absence means tracing is off; anything that is not
+ * exactly that shape is rejected like any other malformed field.
  *
  * The fabric layer (src/fabric) adds two request types a coordinator
  * sends to worker daemons:
@@ -42,6 +48,18 @@
  *   {"id":"s5a0","event":"cache_put","key":"<16-hex>","data":"<hex>"}
  *   {"id":"s5a0","event":"shard_done","index":5,"cached":false,
  *    "data":"<hex ShardCache entry>"}
+ *
+ * When the shard request carried a "trace" key, the worker echoes it on
+ * heartbeat and shard_done, and shard_done additionally reports the
+ * worker-side queue wait and execution time as "queue_us"/"exec_us"
+ * durations — durations, not timestamps, so the coordinator can anchor
+ * them at the arrival time without any cross-process clock agreement.
+ * Those three keys are valid only together (see fabric/wire.h).
+ *
+ * The `metrics` request returns the live process-wide registry
+ * (obs/metrics.h) in one line, keys sorted deterministically:
+ *
+ *   {"id":"r3","event":"metrics","metrics":{"service.connections":2,...}}
  *
  * A shard_done payload IS a ShardCache entry (magic, versions, key,
  * checksum — see sweep/cache.h), so the coordinator validates and
@@ -89,6 +107,7 @@ enum class RequestType
     Run,
     Sweep,
     Stats,
+    Metrics,    ///< live metrics registry dump (obs/metrics.h)
     Cancel,
     Shutdown,
     Shard,      ///< fabric: run one shard of the embedded spec
@@ -113,6 +132,8 @@ struct Request
     bool cacheHit = false;    ///< cache_result: probe outcome
     /** cache_result: decoded entry bytes (present exactly when hit). */
     std::vector<uint8_t> cacheData;
+    /** run/sweep/shard: validated TraceContext wire string ("" = off). */
+    std::string trace;
 
     /**
      * Parse one request line. Enforces kMaxRequestBytes, strict field
@@ -136,18 +157,29 @@ std::string doneLine(const std::string& id, uint64_t cachedShards,
 
 std::string errorLine(const std::string& id, const common::Error& e);
 
+/** @p metricsJson (one flat object, MetricsRegistry::toJson) is
+    embedded verbatim as the final `metrics` member. */
+std::string metricsLine(const std::string& id,
+                        const std::string& metricsJson);
+
 // --- Fabric event builders (worker -> coordinator, no newline) ---
 
-std::string heartbeatLine(const std::string& id);
+/** Non-empty @p trace (the request's wire string) is echoed back. */
+std::string heartbeatLine(const std::string& id,
+                          const std::string& trace = "");
 
 std::string cacheGetLine(const std::string& id, uint64_t key);
 
 std::string cachePutLine(const std::string& id, uint64_t key,
                          const std::vector<uint8_t>& entry);
 
+/** Non-empty @p trace adds trace/queue_us/exec_us (worker-side queue
+    wait and execution durations in microseconds). */
 std::string shardDoneLine(const std::string& id, uint64_t index,
                           bool cached,
-                          const std::vector<uint8_t>& entry);
+                          const std::vector<uint8_t>& entry,
+                          const std::string& trace = "",
+                          uint64_t queueUs = 0, uint64_t execUs = 0);
 
 /** Cache keys cross the wire as fixed-width 16-hex-digit strings — a
     JSON number would round through a double and corrupt keys above

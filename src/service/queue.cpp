@@ -1,35 +1,65 @@
 #include "service/queue.h"
 
+#include "obs/metrics.h"
+
 namespace p10ee::service {
 
 using common::Error;
 using common::Status;
 
+namespace {
+
+/** Queue instrumentation, interned once per process. */
+struct QueueMetrics
+{
+    obs::MetricId depth = obs::metrics().gauge("service.queue.depth");
+    obs::MetricId rejected =
+        obs::metrics().counter("service.queue.rejected");
+    obs::MetricId waitUs =
+        obs::metrics().histogram("service.queue.wait_us");
+};
+
+QueueMetrics&
+queueMetrics()
+{
+    static QueueMetrics m;
+    return m;
+}
+
+} // namespace
+
 Status
 JobQueue::push(Job job)
 {
+    job.enqueued = std::chrono::steady_clock::now();
     {
         std::lock_guard<std::mutex> lock(mu_);
         // Overload rejections carry the observed depth and a concrete
         // retry hint so a one-shot client can back off intelligently
         // instead of guessing (scripts/p10_client.py keys off the
         // "overloaded" code and these hints).
-        if (draining_)
+        if (draining_) {
+            obs::metrics().add(queueMetrics().rejected);
             return Error::overloaded(
                 "p10d is draining (" + std::to_string(jobs_.size()) +
                 " of " + std::to_string(capacity_) +
                 " queued); this instance will not accept work again — "
                 "submit elsewhere");
-        if (jobs_.size() >= capacity_)
+        }
+        if (jobs_.size() >= capacity_) {
+            obs::metrics().add(queueMetrics().rejected);
             return Error::overloaded(
                 "queue full (" + std::to_string(jobs_.size()) + " of " +
                 std::to_string(capacity_) +
                 " pending requests); retry after >= 1s with "
                 "exponential backoff");
+        }
         // Negated priority: std::map iterates ascending, so the
         // highest priority lands first; seq breaks ties FIFO.
         jobs_.emplace(Key{-job.req.priority, nextSeq_++},
                       std::move(job));
+        obs::metrics().set(queueMetrics().depth,
+                           static_cast<int64_t>(jobs_.size()));
     }
     cv_.notify_one();
     return common::okStatus();
@@ -45,6 +75,14 @@ JobQueue::pop(Job* out)
     auto it = jobs_.begin();
     *out = std::move(it->second);
     jobs_.erase(it);
+    obs::metrics().set(queueMetrics().depth,
+                       static_cast<int64_t>(jobs_.size()));
+    obs::metrics().observe(
+        queueMetrics().waitUs,
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - out->enqueued)
+                .count()));
     return true;
 }
 
@@ -56,6 +94,8 @@ JobQueue::remove(const std::string& id)
         if (it->second.req.id == id) {
             Job job = std::move(it->second);
             jobs_.erase(it);
+            obs::metrics().set(queueMetrics().depth,
+                               static_cast<int64_t>(jobs_.size()));
             return job;
         }
     }

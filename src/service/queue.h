@@ -22,6 +22,7 @@
 #define P10EE_SERVICE_QUEUE_H
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -45,6 +46,9 @@ struct Job
     std::function<void(const std::string&)> send;
     /** Cooperative cancellation flag shared with the executor. */
     std::shared_ptr<std::atomic<bool>> cancel;
+    /** Stamped by push(); pop() observes the queue-wait histogram and
+        traced shards report the wait on the wire. */
+    std::chrono::steady_clock::time_point enqueued;
 };
 
 class JobQueue

@@ -10,6 +10,7 @@
 #include "common/hash.h"
 #include "common/serialize.h"
 #include "obs/json.h"
+#include "obs/metrics.h"
 
 namespace p10ee::sweep {
 
@@ -258,10 +259,32 @@ ShardCache::writeBytes(uint64_t key,
 std::optional<ShardResult>
 ShardCache::lookup(const SweepSpec& spec, const ShardSpec& shard) const
 {
-    auto bytes = readBytes(shardKey(spec, shard));
-    if (!bytes)
+    // Instrumented three ways: clean miss (no entry file), corrupt
+    // miss (an entry existed but failed container validation or
+    // decode — every such entry is deliberately a silent miss), hit.
+    // The counters are telemetry only; behaviour is unchanged.
+    static const obs::MetricId hits =
+        obs::metrics().counter("cache.hits");
+    static const obs::MetricId misses =
+        obs::metrics().counter("cache.misses");
+    static const obs::MetricId corruptMisses =
+        obs::metrics().counter("cache.corrupt_misses");
+
+    const uint64_t key = shardKey(spec, shard);
+    std::error_code ec;
+    const bool present = std::filesystem::exists(entryPath(key), ec);
+    auto bytes = readBytes(key);
+    if (!bytes) {
+        obs::metrics().add(present ? corruptMisses : misses);
         return std::nullopt;
-    return decodeEntry(*bytes, spec, shard);
+    }
+    auto result = decodeEntry(*bytes, spec, shard);
+    if (!result) {
+        obs::metrics().add(corruptMisses);
+        return std::nullopt;
+    }
+    obs::metrics().add(hits);
+    return result;
 }
 
 Status

@@ -1,5 +1,6 @@
 #include "sweep/runner.h"
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <filesystem>
@@ -10,6 +11,7 @@
 #include "common/table.h"
 #include "core/core.h"
 #include "obs/json.h"
+#include "obs/metrics.h"
 #include "obs/timeseries.h"
 #include "power/energy.h"
 #include "sweep/cache.h"
@@ -127,7 +129,34 @@ SweepRunner::runShard(const ShardSpec& shard) const
             opts.recorder = rec.get();
         }
 
+        // Coarse core-loop phase timing behind a sampling gate: every
+        // kPhaseSampleEvery-th simulated shard (process-wide) observes
+        // how the wall time splits between the timing loop and the
+        // energy evaluation. Sampled so the steady state costs two
+        // clock reads per ~16 shards; the histograms are telemetry
+        // only (metrics sidecars / the `metrics` request) and never
+        // touch the shard result.
+        static const obs::MetricId simPhaseUs =
+            obs::metrics().histogram("sweep.phase.sim_us");
+        static const obs::MetricId powerPhaseUs =
+            obs::metrics().histogram("sweep.phase.power_us");
+        static std::atomic<uint64_t> phaseTick{0};
+        constexpr uint64_t kPhaseSampleEvery = 16;
+        const bool phaseSampled =
+            phaseTick.fetch_add(1, std::memory_order_relaxed) %
+                kPhaseSampleEvery ==
+            0;
+        const auto simStart = std::chrono::steady_clock::now();
+
         auto run = model.run(threads, opts);
+        const auto simEnd = std::chrono::steady_clock::now();
+        if (phaseSampled)
+            obs::metrics().observe(
+                simPhaseUs,
+                static_cast<uint64_t>(
+                    std::chrono::duration_cast<
+                        std::chrono::microseconds>(simEnd - simStart)
+                        .count()));
         if (run.timedOut) {
             // A cycle-budget overrun is deterministic — retrying would
             // reproduce it, so it is recorded immediately.
@@ -139,6 +168,14 @@ SweepRunner::runShard(const ShardSpec& shard) const
 
         power::EnergyModel energy(shard.config);
         const auto power = energy.evalCounters(run);
+        if (phaseSampled)
+            obs::metrics().observe(
+                powerPhaseUs,
+                static_cast<uint64_t>(
+                    std::chrono::duration_cast<
+                        std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - simEnd)
+                        .count()));
 
         res.ok = true;
         res.cycles = run.cycles;

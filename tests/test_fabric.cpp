@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cctype>
 #include <csignal>
 #include <cstdio>
 #include <filesystem>
@@ -31,6 +32,8 @@
 #include "fabric/spawn.h"
 #include "fabric/wire.h"
 #include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/protocol.h"
 #include "sweep/cache.h"
 #include "sweep/spec.h"
@@ -348,6 +351,135 @@ TEST(Wire, TruncatedShardDoneNeverParsesAtAnyPrefix)
     EXPECT_TRUE(fabric::WorkerEvent::parse(line).ok());
 }
 
+TEST(Wire, TraceKeyRoundTripsWhenPresentAndDefaultsOff)
+{
+    const sweep::SweepSpec spec = testSpec();
+    const std::string good = obs::TraceContext::derive(7).str();
+
+    // Coordinator -> worker: the shard request carries the wire string
+    // verbatim; absent means tracing is off for this shard.
+    auto traced = service::Request::parse(
+        fabric::shardRequestLine("s1a0", spec, 1, 50, true, good));
+    ASSERT_TRUE(traced.ok()) << traced.error().str();
+    EXPECT_EQ(traced.value().trace, good);
+    auto untraced = service::Request::parse(
+        fabric::shardRequestLine("s1a0", spec, 1, 50, true));
+    ASSERT_TRUE(untraced.ok());
+    EXPECT_TRUE(untraced.value().trace.empty());
+
+    // Worker -> coordinator: heartbeat echoes the trace; shard_done
+    // echoes it together with the worker-side durations.
+    auto hb = fabric::WorkerEvent::parse(
+        service::heartbeatLine("s1a0", good));
+    ASSERT_TRUE(hb.ok());
+    EXPECT_EQ(hb.value().trace, good);
+    EXPECT_TRUE(fabric::WorkerEvent::parse(service::heartbeatLine("h1"))
+                    .value()
+                    .trace.empty());
+
+    auto done = fabric::WorkerEvent::parse(
+        service::shardDoneLine("s1a0", 3, false, {0xab}, good, 10, 20));
+    ASSERT_TRUE(done.ok()) << done.error().str();
+    EXPECT_EQ(done.value().trace, good);
+    EXPECT_EQ(done.value().queueUs, 10u);
+    EXPECT_EQ(done.value().execUs, 20u);
+}
+
+TEST(Wire, TraceKeyFuzzRejectsEveryMalformedShape)
+{
+    const sweep::SweepSpec spec = testSpec();
+    const std::string good = obs::TraceContext::derive(7).str();
+    ASSERT_EQ(good.size(), 49u);
+
+    std::vector<std::string> bad;
+    bad.push_back(good.substr(0, 48)); // truncated
+    bad.push_back(good + "0");         // overlong
+    bad.push_back("");                 // present but empty
+    {
+        std::string s = good; // separator overwritten
+        s[32] = '0';
+        bad.push_back(s);
+    }
+    {
+        std::string s = good; // separator in the wrong column
+        std::swap(s[31], s[32]);
+        bad.push_back(s);
+    }
+    {
+        std::string s = good; // non-hex digit
+        s[0] = 'g';
+        bad.push_back(s);
+    }
+    {
+        std::string s = good; // uppercase hex is not canonical
+        for (char& c : s)
+            c = static_cast<char>(std::toupper(c));
+        bad.push_back(s);
+    }
+    // The all-zero context is the "tracing off" sentinel — it must
+    // never be accepted off the wire as a real trace.
+    bad.push_back(std::string(32, '0') + "-" + std::string(16, '0'));
+
+    const std::string requestLine =
+        fabric::shardRequestLine("s1a0", spec, 1, 50, true, good);
+    for (const std::string& b : bad) {
+        // Request side (coordinator -> worker).
+        std::string req = requestLine;
+        req.replace(req.find(good), good.size(), b);
+        EXPECT_FALSE(service::Request::parse(req).ok()) << b;
+        // Event side (worker -> coordinator), heartbeat and shard_done.
+        EXPECT_FALSE(fabric::WorkerEvent::parse(
+                         "{\"id\":\"x\",\"event\":\"heartbeat\","
+                         "\"trace\":\"" +
+                         b + "\"}")
+                         .ok())
+            << b;
+        std::string doneLn = service::shardDoneLine("s1a0", 3, false,
+                                                    {0xab}, good, 1, 2);
+        doneLn.replace(doneLn.find(good), good.size(), b);
+        EXPECT_FALSE(fabric::WorkerEvent::parse(doneLn).ok()) << b;
+    }
+
+    // Wrong JSON type: a numeric trace is a protocol violation too.
+    EXPECT_FALSE(fabric::WorkerEvent::parse(
+                     "{\"id\":\"x\",\"event\":\"heartbeat\","
+                     "\"trace\":7}")
+                     .ok());
+}
+
+TEST(Wire, ShardDoneTraceAndTimingsAreAllOrNothing)
+{
+    const std::string good = obs::TraceContext::derive(7).str();
+    const std::string traced =
+        service::shardDoneLine("d1", 3, false, {0xab}, good, 10, 20);
+    ASSERT_TRUE(fabric::WorkerEvent::parse(traced).ok());
+
+    // A traced shard_done missing either duration is rejected.
+    auto without = [&](const std::string& key) {
+        std::string line = traced;
+        const size_t at = line.find(",\"" + key + "\"");
+        EXPECT_NE(at, std::string::npos);
+        const size_t end = line.find_first_of(",}", at + 1 + key.size() + 3);
+        line.erase(at, end - at);
+        return line;
+    };
+    auto noQueue = fabric::WorkerEvent::parse(without("queue_us"));
+    ASSERT_FALSE(noQueue.ok());
+    EXPECT_NE(noQueue.error().message.find(
+                  "must carry queue_us and exec_us"),
+              std::string::npos);
+    EXPECT_FALSE(fabric::WorkerEvent::parse(without("exec_us")).ok());
+
+    // And an untraced shard_done must not smuggle durations in.
+    std::string untraced =
+        service::shardDoneLine("d1", 3, false, {0xab});
+    untraced.insert(untraced.size() - 1, ",\"queue_us\":10");
+    auto smuggled = fabric::WorkerEvent::parse(untraced);
+    ASSERT_FALSE(smuggled.ok());
+    EXPECT_NE(smuggled.error().message.find("require 'trace'"),
+              std::string::npos);
+}
+
 // --- Entry container as transfer format ---
 
 TEST(EntryContainer, DecodeValidatesIdentityAndIntegrity)
@@ -629,6 +761,33 @@ TEST(Fleet, RepeatedSoftFailuresSkipDeterministically)
     }
 }
 
+TEST(Fleet, TracedZeroWorkerRunIsByteIdenticalWithMergedTrace)
+{
+    // Tracing must be a pure observer: the degraded local path with
+    // the flight recorder on produces the same merged bytes as the
+    // library, and still yields one coherent Perfetto timeline.
+    fabric::FleetOptions opts;
+    opts.localJobs = 2;
+    opts.trace = true;
+    opts.onWarning = [](const std::string&) {};
+    fabric::FleetRunner runner(testSpec(), std::move(opts));
+    auto resultOr = runner.run();
+    EXPECT_EQ(fleetReportBytes(resultOr), libraryReportBytes());
+
+    const std::string& trace = runner.traceJson();
+    ASSERT_FALSE(trace.empty());
+    // The synthetic root lane names the trace id, the coordinator lane
+    // carries the expand/local/merge phases, and the inflight counter
+    // track is always present.
+    EXPECT_NE(trace.find("trace:" + runner.traceRoot().str()),
+              std::string::npos);
+    EXPECT_NE(trace.find("\"coordinator\""), std::string::npos);
+    EXPECT_NE(trace.find("expand 8 shards"), std::string::npos);
+    EXPECT_NE(trace.find("local 8 shards"), std::string::npos);
+    EXPECT_NE(trace.find("merge 8 shards"), std::string::npos);
+    EXPECT_NE(trace.find("fleet.inflight"), std::string::npos);
+}
+
 TEST(Fleet, ShardReportsDirIsRejectedUpFront)
 {
     sweep::SweepSpec spec = testSpec();
@@ -676,6 +835,17 @@ reapFleet(std::vector<fabric::SpawnedWorker>& fleet)
         fabric::signalWorker(w, SIGTERM);
         fabric::reapWorker(w);
     }
+}
+
+/** Current value of one name in the process-global metrics registry
+    (0 when the name has never been registered). */
+double
+metricValue(const std::string& name)
+{
+    for (const auto& [key, value] : obs::metrics().snapshot())
+        if (key == name)
+            return value;
+    return 0.0;
 }
 
 } // namespace
@@ -740,6 +910,79 @@ TEST(FleetLive, ChaosKillsAndDelaysStayByteIdentical)
         resumer.join();
     EXPECT_EQ(fleetReportBytes(resultOr), libraryReportBytes());
     EXPECT_EQ(runner.stats().skipped, 0u);
+    reapFleet(fleet);
+}
+
+TEST(FleetLive, TracedChaosFleetKeepsBytesAndTelemetryConsistent)
+{
+    // The acceptance scenario: a 4-worker fleet under chaos (SIGKILL
+    // one worker, SIGSTOP another) with the flight recorder on. The
+    // merged report must still be byte-identical to the untraced
+    // single-process run, the merged timeline must show the retried
+    // shard's lifecycle, and the fleet.* counters must agree exactly
+    // with the runner's own stats for the same run.
+    auto fleet = spawnFleet(4);
+    ASSERT_EQ(fleet.size(), 4u);
+    fabric::FleetOptions opts = fleetOptions(fleet);
+    opts.heartbeatMs = 50;
+    opts.heartbeatMisses = 2;
+    opts.trace = true;
+    std::atomic<bool> fired{false};
+    std::thread resumer;
+    opts.onProgress = [&](const api::ProgressEvent&) {
+        if (fired.exchange(true))
+            return;
+        fabric::signalWorker(fleet[0], SIGKILL);
+        fabric::signalWorker(fleet[1], SIGSTOP);
+        resumer = std::thread([&fleet] {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1500));
+            fabric::signalWorker(fleet[1], SIGCONT);
+        });
+    };
+
+    // The registry is process-global, so earlier tests may have moved
+    // the fleet counters already — assert on this run's deltas.
+    const double requeues0 = metricValue("fleet.requeues");
+    const double retirements0 = metricValue("fleet.retirements");
+    const double skips0 = metricValue("fleet.skips");
+    const double faults0 = metricValue("fleet.lease_expiries") +
+                           metricValue("fleet.heartbeat_silences");
+
+    fabric::FleetRunner runner(testSpec(), std::move(opts));
+    auto resultOr = runner.run();
+    if (resumer.joinable())
+        resumer.join();
+    EXPECT_EQ(fleetReportBytes(resultOr), libraryReportBytes());
+    EXPECT_EQ(runner.stats().skipped, 0u);
+
+    const double requeues = metricValue("fleet.requeues") - requeues0;
+    const double faults = metricValue("fleet.lease_expiries") +
+                          metricValue("fleet.heartbeat_silences") -
+                          faults0;
+    EXPECT_EQ(requeues, static_cast<double>(runner.stats().reassigned));
+    EXPECT_EQ(metricValue("fleet.retirements") - retirements0,
+              static_cast<double>(runner.stats().workersDead));
+    EXPECT_EQ(metricValue("fleet.skips") - skips0, 0.0);
+    // With nothing skipped, every lease fault ended in a requeue (hard
+    // failures requeue too, so requeues can exceed the fault count).
+    EXPECT_GE(requeues, faults);
+
+    const std::string& trace = runner.traceJson();
+    ASSERT_FALSE(trace.empty());
+    EXPECT_NE(trace.find("trace:" + runner.traceRoot().str()),
+              std::string::npos);
+    EXPECT_NE(trace.find("\"coordinator\""), std::string::npos);
+    EXPECT_NE(trace.find("fleet.inflight"), std::string::npos);
+    // Four workers dialed: each contributes its own named lanes.
+    for (const char* lane : {"w0 ", "w1 ", "w2 ", "w3 "})
+        EXPECT_NE(trace.find(lane), std::string::npos) << lane;
+    if (runner.stats().reassigned > 0) {
+        // A requeued shard ran a second attempt ("s<idx>a1 ...") on a
+        // different worker's lease lane — the cross-worker lifecycle
+        // the flight recorder exists to show.
+        EXPECT_NE(trace.find("a1 "), std::string::npos);
+    }
     reapFleet(fleet);
 }
 

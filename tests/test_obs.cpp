@@ -3,14 +3,19 @@
  * Observability-layer tests: the TimeSeriesRecorder contract, golden
  * files for the Perfetto/CSV/JSON emitters, the determinism regression
  * (two identically-seeded runs must serialize byte-identically), the
- * pm publishing paths, the recoverable write-error path, and the fault
- * campaign's progress hook and structured report.
+ * pm publishing paths, the recoverable write-error path, the fault
+ * campaign's progress hook and structured report — plus the flight
+ * recorder (TraceContext / SpanRecorder / mergeFleetTrace golden), the
+ * metrics registry, and the structured event-log line format.
  */
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -18,10 +23,13 @@
 #include "core/core.h"
 #include "fault/campaign.h"
 #include "fault/report.h"
+#include "obs/eventlog.h"
 #include "obs/json.h"
+#include "obs/metrics.h"
 #include "obs/perfetto.h"
 #include "obs/report.h"
 #include "obs/timeseries.h"
+#include "obs/trace.h"
 #include "pm/throttle.h"
 #include "workloads/spec_profiles.h"
 #include "workloads/synthetic.h"
@@ -452,4 +460,334 @@ TEST(CampaignTelemetry, StructuredReportCarriesCampaign)
     EXPECT_NE(json.find("\"campaign.masked_frac\""), std::string::npos);
     EXPECT_NE(json.find("Outcomes by component"), std::string::npos);
     EXPECT_NE(json.find("\"campaign.outcome\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// TraceContext: deterministic derivation, strict wire round-trip
+// ---------------------------------------------------------------------
+
+TEST(TraceContext, DeriveIsDeterministicAndValid)
+{
+    const auto a = obs::TraceContext::derive(42);
+    const auto b = obs::TraceContext::derive(42);
+    const auto c = obs::TraceContext::derive(43);
+    EXPECT_TRUE(a.valid());
+    EXPECT_EQ(a.str(), b.str());
+    EXPECT_NE(a.str(), c.str());
+    EXPECT_FALSE(obs::TraceContext{}.valid());
+}
+
+TEST(TraceContext, WireStringRoundTrips)
+{
+    const auto ctx = obs::TraceContext::derive(7);
+    const std::string wire = ctx.str();
+    ASSERT_EQ(wire.size(), 49u);
+    EXPECT_EQ(wire[32], '-');
+    auto back = obs::TraceContext::parse(wire);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->traceHi, ctx.traceHi);
+    EXPECT_EQ(back->traceLo, ctx.traceLo);
+    EXPECT_EQ(back->span, ctx.span);
+}
+
+TEST(TraceContext, ChildKeepsTraceIdChangesSpan)
+{
+    const auto root = obs::TraceContext::derive(7);
+    const auto c0 = root.child(0);
+    const auto c1 = root.child(1);
+    EXPECT_EQ(c0.traceHi, root.traceHi);
+    EXPECT_EQ(c0.traceLo, root.traceLo);
+    EXPECT_NE(c0.span, root.span);
+    EXPECT_NE(c0.span, c1.span);
+    EXPECT_TRUE(c0.valid());
+    // Child derivation is deterministic: same slot -> same span.
+    EXPECT_EQ(root.child(0).span, c0.span);
+}
+
+TEST(TraceContext, ParseRejectsEveryMalformedShape)
+{
+    const std::string good = obs::TraceContext::derive(9).str();
+    // Truncated / overlong.
+    EXPECT_FALSE(obs::TraceContext::parse(good.substr(0, 48)));
+    EXPECT_FALSE(obs::TraceContext::parse(good + "0"));
+    EXPECT_FALSE(obs::TraceContext::parse(""));
+    // Separator missing or misplaced.
+    std::string noDash = good;
+    noDash[32] = '0';
+    EXPECT_FALSE(obs::TraceContext::parse(noDash));
+    std::string shifted = good;
+    std::swap(shifted[31], shifted[32]);
+    EXPECT_FALSE(obs::TraceContext::parse(shifted));
+    // Non-hex and uppercase are both protocol violations (the wire is
+    // lowercase-only, like common/hex.h).
+    std::string nonHex = good;
+    nonHex[0] = 'g';
+    EXPECT_FALSE(obs::TraceContext::parse(nonHex));
+    std::string upper = good;
+    for (char& ch : upper)
+        if (ch >= 'a' && ch <= 'f')
+            ch = static_cast<char>(ch - 'a' + 'A');
+    EXPECT_FALSE(obs::TraceContext::parse(upper));
+    // All-zero means "tracing off" and must not parse as an id.
+    EXPECT_FALSE(obs::TraceContext::parse(
+        "00000000000000000000000000000000-0000000000000000"));
+    EXPECT_TRUE(obs::TraceContext::parse(good));
+}
+
+// ---------------------------------------------------------------------
+// SpanRecorder: lanes, clamping, the single-owner contract
+// ---------------------------------------------------------------------
+
+TEST(SpanRecorder, LaneRegistrationIsIdempotent)
+{
+    obs::SpanRecorder rec;
+    auto a = rec.lane("dial");
+    auto b = rec.lane("dial");
+    auto c = rec.lane("lease");
+    EXPECT_EQ(a.v, b.v);
+    EXPECT_NE(a.v, c.v);
+    ASSERT_EQ(rec.lanes().size(), 2u);
+    EXPECT_EQ(rec.lanes()[0].name, "dial");
+}
+
+TEST(SpanRecorder, AddClampsBackwardsSpans)
+{
+    obs::SpanRecorder rec;
+    auto l = rec.lane("x");
+    rec.add(l, "fwd", 10, 20);
+    rec.add(l, "backwards", 30, 5); // end < begin clamps to zero-length
+    ASSERT_EQ(rec.spans().size(), 2u);
+    EXPECT_EQ(rec.spans()[1].beginUs, 30u);
+    EXPECT_EQ(rec.spans()[1].endUs, 30u);
+}
+
+TEST(SpanRecorder, MoveCarriesOwnerAndData)
+{
+    obs::SpanRecorder rec;
+    auto l = rec.lane("x");
+    rec.add(l, "a", 1, 2);
+    obs::SpanRecorder moved(std::move(rec));
+    ASSERT_EQ(moved.spans().size(), 1u);
+    moved.add(l, "b", 3, 4); // same thread still owns it
+    EXPECT_EQ(moved.spans().size(), 2u);
+}
+
+TEST(SpanRecorderDeathTest, SecondThreadPublishingPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    obs::SpanRecorder rec;
+    auto l = rec.lane("x"); // binds this thread as the owner
+    EXPECT_DEATH(
+        {
+            std::thread other([&rec, l] { rec.add(l, "y", 0, 1); });
+            other.join();
+        },
+        "second thread");
+}
+
+// ---------------------------------------------------------------------
+// mergeFleetTrace: golden bytes for the merged cross-process timeline
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::string
+readTextFile(const std::string& path)
+{
+    std::ifstream f(path, std::ios::binary);
+    EXPECT_TRUE(f.good()) << path;
+    std::ostringstream os;
+    os << f.rdbuf();
+    return os.str();
+}
+
+/** A fixed two-recorder fleet the golden test and shape tests share:
+    a coordinator lane plus one worker with a retried shard. */
+std::string
+mergedFixtureTrace()
+{
+    obs::SpanRecorder coord;
+    auto cl = coord.lane("coordinator");
+    coord.add(cl, "expand 2 shards", 0, 5);
+    coord.add(cl, "merge 2 shards", 90, 100);
+
+    obs::SpanRecorder worker;
+    auto lease = worker.lane("w0 127.0.0.1:1 lease");
+    auto exec = worker.lane("w0 127.0.0.1:1 worker.exec");
+    worker.add(lease, "s0a0 lease_expired", 10, 40);
+    worker.add(lease, "s0a1 ok", 45, 80);
+    worker.add(exec, "s0 cache=miss", 60, 78);
+
+    const auto root = obs::TraceContext::derive(1234);
+    return obs::mergeFleetTrace(root, {&coord, &worker});
+}
+
+} // namespace
+
+// Regenerate with: P10EE_REGEN_GOLDEN=1 ./test_obs
+//     --gtest_filter='*FleetTraceGolden*'
+TEST(FleetTraceGolden, MergedTimelineExactBytes)
+{
+    const std::string path =
+        std::string(P10EE_GOLDEN_DIR) + "/fleet_trace.json";
+    const std::string got = mergedFixtureTrace();
+    if (std::getenv("P10EE_REGEN_GOLDEN") != nullptr) {
+        std::ofstream f(path, std::ios::binary);
+        f << got;
+        return;
+    }
+    EXPECT_EQ(got, readTextFile(path));
+}
+
+TEST(FleetTrace, MergeNamesRootAndCountsInflight)
+{
+    const std::string json = mergedFixtureTrace();
+    const auto root = obs::TraceContext::derive(1234);
+    // The root context is visible as a "trace:<id>" pseudo-thread.
+    EXPECT_NE(json.find("trace:" + root.str()), std::string::npos);
+    // The inflight counter exists and starts from an explicit zero.
+    EXPECT_NE(json.find("fleet.inflight"), std::string::npos);
+    // Every lane came through.
+    EXPECT_NE(json.find("w0 127.0.0.1:1 lease"), std::string::npos);
+    EXPECT_NE(json.find("s0a1 ok"), std::string::npos);
+    // Merging twice is byte-stable.
+    EXPECT_EQ(json, mergedFixtureTrace());
+}
+
+TEST(FleetTrace, NullAndEmptyPartsAreHandled)
+{
+    const auto root = obs::TraceContext::derive(5);
+    obs::SpanRecorder empty;
+    const std::string json =
+        obs::mergeFleetTrace(root, {nullptr, &empty});
+    EXPECT_NE(json.find("traceEvents"), std::string::npos);
+    EXPECT_NE(json.find("fleet.inflight"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// MetricsRegistry: typed ops, deterministic dumps, concurrency
+// ---------------------------------------------------------------------
+
+TEST(Metrics, CounterGaugeHistogramOps)
+{
+    obs::MetricsRegistry reg;
+    auto c = reg.counter("test.count");
+    auto g = reg.gauge("test.level");
+    auto h = reg.histogram("test.wait");
+    reg.add(c);
+    reg.add(c, 4);
+    reg.set(g, 7);
+    reg.adjust(g, -2);
+    reg.observe(h, 10);
+    reg.observe(h, 30);
+    reg.observe(h, 20);
+
+    const auto snap = reg.snapshot();
+    ASSERT_EQ(snap.size(), 5u); // counter + gauge + histogram x3
+    // Sorted, expanded names.
+    EXPECT_EQ(snap[0].first, "test.count");
+    EXPECT_DOUBLE_EQ(snap[0].second, 5.0);
+    EXPECT_EQ(snap[1].first, "test.level");
+    EXPECT_DOUBLE_EQ(snap[1].second, 5.0);
+    EXPECT_EQ(snap[2].first, "test.wait.count");
+    EXPECT_DOUBLE_EQ(snap[2].second, 3.0);
+    EXPECT_EQ(snap[3].first, "test.wait.max");
+    EXPECT_DOUBLE_EQ(snap[3].second, 30.0);
+    EXPECT_EQ(snap[4].first, "test.wait.sum");
+    EXPECT_DOUBLE_EQ(snap[4].second, 60.0);
+}
+
+TEST(Metrics, RegistrationIsIdempotentAndInvalidIdsAreIgnored)
+{
+    obs::MetricsRegistry reg;
+    auto a = reg.counter("same");
+    auto b = reg.counter("same");
+    EXPECT_EQ(a.v, b.v);
+    obs::MetricId invalid;
+    EXPECT_FALSE(invalid.valid());
+    reg.add(invalid); // disabled metric: a no-op, not a crash
+    reg.set(invalid, 3);
+    reg.observe(invalid, 3);
+    EXPECT_EQ(reg.snapshot().size(), 1u);
+}
+
+TEST(Metrics, DumpsAreDeterministicAndResetZeroes)
+{
+    obs::MetricsRegistry reg;
+    reg.add(reg.counter("z.last"), 2);
+    reg.set(reg.gauge("a.first"), 3);
+    const std::string once = reg.toJson();
+    EXPECT_EQ(once, reg.toJson());
+    // Sorted key order regardless of registration order.
+    EXPECT_LT(once.find("a.first"), once.find("z.last"));
+
+    const obs::JsonReport rep = reg.toReport("test-tool");
+    EXPECT_NE(rep.toJson().find("\"tool\":\"test-tool\""),
+              std::string::npos);
+    EXPECT_NE(rep.toJson().find("\"a.first\":3"), std::string::npos);
+
+    reg.reset();
+    for (const auto& [name, value] : reg.snapshot())
+        EXPECT_EQ(value, 0.0) << name;
+}
+
+TEST(Metrics, ConcurrentAddsAreLossless)
+{
+    obs::MetricsRegistry reg;
+    auto c = reg.counter("contended");
+    auto h = reg.histogram("observed");
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&reg, c, h] {
+            for (int i = 0; i < kPerThread; ++i) {
+                reg.add(c);
+                reg.observe(h, 2);
+            }
+        });
+    for (auto& t : threads)
+        t.join();
+    const auto snap = reg.snapshot();
+    // contended, observed.count, observed.max, observed.sum
+    ASSERT_EQ(snap.size(), 4u);
+    EXPECT_DOUBLE_EQ(snap[0].second, kThreads * kPerThread);
+    EXPECT_DOUBLE_EQ(snap[1].second, kThreads * kPerThread);
+    EXPECT_DOUBLE_EQ(snap[2].second, 2.0);
+    EXPECT_DOUBLE_EQ(snap[3].second, 2.0 * kThreads * kPerThread);
+}
+
+TEST(Metrics, GlobalRegistryIsSharedAcrossLayers)
+{
+    // The process-wide instance the service/fabric layers intern into.
+    auto id = obs::metrics().counter("test.obs.global");
+    obs::metrics().add(id, 3);
+    bool found = false;
+    for (const auto& [name, value] : obs::metrics().snapshot())
+        if (name == "test.obs.global") {
+            found = true;
+            EXPECT_GE(value, 3.0);
+        }
+    EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------------
+// Structured event-log lines
+// ---------------------------------------------------------------------
+
+TEST(EventLog, LineHasDeterministicShape)
+{
+    EXPECT_EQ(obs::eventLogLine("warn", "fleet", "worker retired"),
+              "{\"level\":\"warn\",\"component\":\"fleet\","
+              "\"message\":\"worker retired\"}");
+    EXPECT_EQ(
+        obs::eventLogLine("info", "p10d", "wrote sidecar",
+                          {{"path", "m.json"}, {"kind", "metrics"}}),
+        "{\"level\":\"info\",\"component\":\"p10d\","
+        "\"message\":\"wrote sidecar\",\"path\":\"m.json\","
+        "\"kind\":\"metrics\"}");
+    // Messages are JSON-escaped, never truncated or mangled.
+    EXPECT_EQ(obs::eventLogLine("warn", "c", "a\"b"),
+              "{\"level\":\"warn\",\"component\":\"c\","
+              "\"message\":\"a\\\"b\"}");
 }

@@ -27,6 +27,7 @@
 
 #include "api/service.h"
 #include "obs/json.h"
+#include "obs/trace.h"
 #include "service/daemon.h"
 #include "service/protocol.h"
 #include "service/queue.h"
@@ -674,6 +675,82 @@ TEST(Daemon, StatsReportLiveMetrics)
     EXPECT_EQ(field(stats, "simulated_shards"), "4");
     EXPECT_EQ(field(stats, "cached_shards"), "0");
     EXPECT_EQ(field(stats, "queue_depth"), "0");
+    // Extended stats stay backward compatible: new keys only.
+    EXPECT_EQ(field(stats, "connections"), "1");
+
+    daemon.waitUntilStopped();
+}
+
+// --- The metrics introspection surface ---
+
+TEST(Protocol, MetricsRequestAndTraceKey)
+{
+    EXPECT_EQ(mustParse("{\"type\":\"metrics\",\"id\":\"m\"}").type,
+              service::RequestType::Metrics);
+
+    // A validated trace context rides run/sweep/shard requests.
+    const std::string trace = obs::TraceContext::derive(11).str();
+    auto sweepReq = mustParse(
+        std::string("{\"type\":\"sweep\",\"id\":\"s\",\"trace\":\"") +
+        trace + "\",\"spec\":" + kSpecJson + "}");
+    EXPECT_EQ(sweepReq.trace, trace);
+    auto runReq = mustParse(
+        "{\"type\":\"run\",\"id\":\"r\",\"workload\":\"xz\","
+        "\"instrs\":1000,\"trace\":\"" + trace + "\"}");
+    EXPECT_EQ(runReq.trace, trace);
+    // Absent trace = tracing off, not an error.
+    EXPECT_TRUE(mustParse("{\"type\":\"stats\"}").trace.empty());
+
+    auto reject = [](const std::string& line) {
+        auto r = service::Request::parse(line);
+        ASSERT_FALSE(r.ok()) << line;
+        EXPECT_EQ(r.error().code, common::ErrorCode::InvalidArgument)
+            << line;
+    };
+    // Only traceable types accept the key.
+    reject("{\"type\":\"stats\",\"id\":\"x\",\"trace\":\"" + trace +
+           "\"}");
+    reject("{\"type\":\"metrics\",\"id\":\"x\",\"trace\":\"" + trace +
+           "\"}");
+    reject("{\"type\":\"cancel\",\"id\":\"x\",\"target\":\"y\","
+           "\"trace\":\"" + trace + "\"}");
+    // Malformed ids are protocol violations, not silent no-trace.
+    reject("{\"type\":\"run\",\"id\":\"x\",\"workload\":\"xz\","
+           "\"instrs\":1000,\"trace\":\"nope\"}");
+    reject("{\"type\":\"run\",\"id\":\"x\",\"workload\":\"xz\","
+           "\"instrs\":1000,\"trace\":7}");
+}
+
+TEST(Daemon, MetricsRequestAnswersInline)
+{
+    service::Daemon daemon(service::DaemonOptions{});
+    ASSERT_TRUE(daemon.start().ok());
+
+    Client client(daemon.port());
+    client.sendLine(sweepRequest("m1"));
+    EXPECT_EQ(field(client.readFinal("m1"), "event"), "done");
+
+    client.sendLine("{\"type\":\"metrics\",\"id\":\"mx\"}");
+    const std::string reply = client.readLine();
+    EXPECT_EQ(field(reply, "event"), "metrics");
+    EXPECT_EQ(field(reply, "id"), "mx");
+    auto doc = obs::parseJson(reply);
+    ASSERT_TRUE(doc.ok()) << reply;
+    const obs::JsonValue* metrics = doc.value().find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    ASSERT_TRUE(metrics->isObject());
+    // The queue instrumentation observed the sweep passing through.
+    const obs::JsonValue* waits =
+        metrics->find("service.queue.wait_us.count");
+    ASSERT_NE(waits, nullptr);
+    EXPECT_GE(waits->number, 1.0);
+    const obs::JsonValue* conns = metrics->find("service.connections");
+    ASSERT_NE(conns, nullptr);
+    EXPECT_GE(conns->number, 1.0);
+    // Deterministic dump ordering: asking twice yields sorted keys
+    // both times and a second reply parses identically in shape.
+    client.sendLine("{\"type\":\"metrics\",\"id\":\"my\"}");
+    EXPECT_EQ(field(client.readLine(), "event"), "metrics");
 
     daemon.waitUntilStopped();
 }
