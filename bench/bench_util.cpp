@@ -169,7 +169,7 @@ runOne(const core::CoreConfig& cfg,
 {
     std::vector<std::unique_ptr<workloads::SyntheticWorkload>> sources;
     std::vector<workloads::InstrSource*> ptrs;
-    std::vector<workloads::SyntheticWorkload*> walkers;
+    std::vector<workloads::CheckpointableSource*> walkers;
     auto build = [&]() {
         sources.clear();
         ptrs.clear();

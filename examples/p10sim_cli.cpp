@@ -74,7 +74,8 @@ main(int argc, char** argv)
                "revert one POWER10 group (branch_operation|latency_bw|"
                "l2_cache|decode_double_vsx|queues)");
     parser.str("--workload", &workload, "<name>",
-               "SPECint-like profile (default perlbench)");
+               "SPECint-like profile or trace:<path> (default "
+               "perlbench)");
     parser.intRange("--smt", &smt, 1, 8,
                     "hardware threads (1, 2, 4 or 8; default 1)");
     api::stdflags::instrs(parser, &instrs);

@@ -54,7 +54,8 @@ main(int argc, char** argv)
         "Run a sweep spec on a thread pool and emit the canonical "
         "merged p10ee-report/1 document.");
     parser.str("--spec", &specPath, "<path>",
-               "sweep specification (JSON; required)");
+               "sweep specification (JSON; required; workloads may "
+               "name profiles or trace:<path> containers)");
     api::stdflags::jobs(parser, &jobs);
     api::stdflags::out(parser, &out);
     api::stdflags::cacheDir(parser, &cacheDir);

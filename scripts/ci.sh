@@ -161,6 +161,108 @@ EOF
     echo "fleet smoke (${tag}): chaos and degraded runs byte-identical"
 }
 
+# Trace smoke: the full ingestion loop on one flavour's binaries.
+# Record a synthetic workload into a p10trace/1 container, sweep it as
+# a trace:<path> workload (byte-identical at any --jobs, cold vs warm
+# cache, and through a 2-worker fleet), schema-validate the trace
+# provenance in the merged report, round-trip a warmup checkpoint over
+# the replay, then re-extract a snippet and sweep that as its own
+# trace workload. Finally cross-check the wire format against the
+# stdlib-only Python tooling: a container hand-built by p10_trace.py
+# must verify and replay in C++.
+trace_smoke() {
+    local build="$1"
+    local tag="$2"
+    local dir="${smoke_dir}/trace-${tag}"
+    rm -rf "${dir}"
+    mkdir -p "${dir}"
+    echo "=== trace smoke (${tag}): record/replay/extract round trip ==="
+    "${build}/examples/p10trace_cli" record --workload xz \
+        --instrs 20000 --out "${dir}/xz.p10trace" 2>/dev/null
+    "${build}/examples/p10trace_cli" info --in "${dir}/xz.p10trace" \
+        >/dev/null
+    "${build}/examples/p10trace_cli" verify --in "${dir}/xz.p10trace" \
+        >/dev/null
+    cat > "${dir}/trace_sweep.json" <<EOF
+{
+  "configs": ["power10"],
+  "workloads": ["trace:${dir}/xz.p10trace"],
+  "smt": [1, 2],
+  "seeds": 2,
+  "instrs": 3000,
+  "warmup": 500,
+  "seed": 7
+}
+EOF
+    "${build}/examples/p10sweep_cli" --spec "${dir}/trace_sweep.json" \
+        --jobs 1 --out "${dir}/TRACE_j1.json" >/dev/null
+    "${build}/examples/p10sweep_cli" --spec "${dir}/trace_sweep.json" \
+        --jobs 4 --out "${dir}/TRACE_j4.json" >/dev/null
+    cmp "${dir}/TRACE_j1.json" "${dir}/TRACE_j4.json"
+    rm -rf "${dir}/cache"
+    "${build}/examples/p10sweep_cli" --spec "${dir}/trace_sweep.json" \
+        --jobs 4 --cache-dir "${dir}/cache" \
+        --out "${dir}/TRACE_cold.json" >/dev/null
+    "${build}/examples/p10sweep_cli" --spec "${dir}/trace_sweep.json" \
+        --jobs 4 --cache-dir "${dir}/cache" \
+        --out "${dir}/TRACE_warm.json" >/dev/null
+    cmp "${dir}/TRACE_cold.json" "${dir}/TRACE_warm.json"
+    cmp "${dir}/TRACE_j1.json" "${dir}/TRACE_warm.json"
+    python3 scripts/validate_report.py --trace-workload \
+        "${dir}/TRACE_j1.json"
+    "${build}/examples/p10fleet" --spec "${dir}/trace_sweep.json" \
+        --spawn 2 --out "${dir}/TRACE_fleet.json" \
+        > /dev/null 2> "${dir}/fleet.err"
+    cmp "${dir}/TRACE_j1.json" "${dir}/TRACE_fleet.json"
+    # Checkpoint the replay after warmup; the restored measured window
+    # must be bit-identical to the saving run's.
+    "${build}/examples/p10sim_cli" \
+        --workload "trace:${dir}/xz.p10trace" --instrs 3000 \
+        --warmup 2000 --csv --ckpt-save "${dir}/warm.ckpt" \
+        > "${dir}/CKPT_save.csv" 2>/dev/null
+    "${build}/examples/p10sim_cli" \
+        --workload "trace:${dir}/xz.p10trace" --instrs 3000 \
+        --warmup 2000 --csv --ckpt-load "${dir}/warm.ckpt" \
+        > "${dir}/CKPT_load.csv" 2>/dev/null
+    cmp "${dir}/CKPT_save.csv" "${dir}/CKPT_load.csv"
+    # Snippet re-extraction: mine the hot loop, then sweep the snippet
+    # as its own trace workload.
+    "${build}/examples/p10trace_cli" extract --in "${dir}/xz.p10trace" \
+        --out-dir "${dir}/snips" --report "${dir}/EXTRACT.json" \
+        >/dev/null 2>&1
+    python3 scripts/validate_report.py "${dir}/EXTRACT.json"
+    local snippet
+    snippet="$(ls "${dir}/snips/"*.p10trace | head -n 1)"
+    "${build}/examples/p10trace_cli" verify --in "${snippet}" >/dev/null
+    cat > "${dir}/snip_sweep.json" <<EOF
+{
+  "configs": ["power10"],
+  "workloads": ["trace:${snippet}"],
+  "smt": [1],
+  "seeds": 1,
+  "instrs": 2000,
+  "warmup": 500,
+  "seed": 7
+}
+EOF
+    "${build}/examples/p10sweep_cli" --spec "${dir}/snip_sweep.json" \
+        --jobs 2 --out "${dir}/SNIP_sweep.json" >/dev/null
+    python3 scripts/validate_report.py --trace-workload \
+        "${dir}/SNIP_sweep.json"
+    # Cross-language wire-format pin: a container hand-built by the
+    # stdlib-only Python tool must verify and replay in C++.
+    python3 scripts/p10_trace.py synth --out "${dir}/py.p10trace" \
+        --iters 40 >/dev/null
+    "${build}/examples/p10trace_cli" verify --in "${dir}/py.p10trace" \
+        >/dev/null
+    python3 scripts/p10_trace.py info "${dir}/xz.p10trace" \
+        "${dir}/py.p10trace" >/dev/null
+    "${build}/examples/p10sim_cli" \
+        --workload "trace:${dir}/py.p10trace" --instrs 2000 \
+        --warmup 500 --csv >/dev/null 2>&1
+    echo "trace smoke (${tag}): record/sweep/ckpt/extract byte-stable"
+}
+
 run_flavour release full -DCMAKE_BUILD_TYPE=Release
 
 # Bench smoke: every bench binary must run on a tiny budget and emit a
@@ -253,6 +355,7 @@ EOF
 
 daemon_smoke build-release release
 fleet_smoke build-release release
+trace_smoke build-release release
 
 # Bench baseline diff: the fleet-throughput report from the bench
 # smoke above must stay structurally identical to the committed
@@ -271,16 +374,19 @@ run_flavour asan-ubsan tier1 -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 
 daemon_smoke build-asan-ubsan asan-ubsan
 fleet_smoke build-asan-ubsan asan-ubsan
+trace_smoke build-asan-ubsan asan-ubsan
 
-# The hostile-input surfaces (checkpoint/cache deserializers, spec
-# parsing) must also hold under the sanitizers, and their fuzz tests
-# are tier1-labelled — but be explicit here so a label change cannot
-# silently drop them from sanitizer coverage.
+# The hostile-input surfaces (checkpoint/cache/trace deserializers,
+# spec parsing) must also hold under the sanitizers, and their fuzz
+# tests are tier1-labelled — but be explicit here so a label change
+# cannot silently drop them from sanitizer coverage.
 echo "=== asan-ubsan: hostile-input fuzz suites ==="
 build-asan-ubsan/tests/test_ckpt \
     --gtest_filter='*Fuzz*:*Corrupt*:*Truncat*' >/dev/null
 build-asan-ubsan/tests/test_sweep_cache \
     --gtest_filter='*Fuzz*:*Corrupt*:*Stale*' >/dev/null
+build-asan-ubsan/tests/test_trace \
+    --gtest_filter='TraceHostile.*' >/dev/null
 
 # TSan flavour: only the parallel paths (thread pool, sweep runner,
 # parallel fault campaign) need race coverage, so build just those
@@ -292,7 +398,8 @@ cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DP10EE_SANITIZE=thread
 cmake --build build-tsan -j "$(nproc)" \
     --target test_sweep test_service test_fabric test_obs \
-    bench_fault_campaign p10sweep_cli p10d p10fleet
+    bench_fault_campaign p10sweep_cli p10d p10fleet \
+    p10trace_cli p10sim_cli
 echo "=== tsan: test_sweep ==="
 build-tsan/tests/test_sweep
 echo "=== tsan: test_service (daemon thread model) ==="
@@ -309,5 +416,6 @@ build-tsan/examples/p10sweep_cli --spec "${smoke_dir}/sweep_smoke.json" \
 
 daemon_smoke build-tsan tsan
 fleet_smoke build-tsan tsan
+trace_smoke build-tsan tsan
 
 echo "=== CI green: release + asan-ubsan + tsan ==="

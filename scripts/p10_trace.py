@@ -1,0 +1,338 @@
+#!/usr/bin/env python3
+"""Inspect and synthesize p10trace/1 containers without the C++ tree.
+
+A p10trace/1 file (src/trace/container.h) is:
+
+  magic "P10TRACE" | u32 format version
+  | str name | str dialect | str source        (str = u32 length + bytes)
+  | u64 instr count | u64 content hash | u8 encoding | u32 chunks
+  | per chunk: u32 instr count | u64 byte length | encoded bytes
+  | u64 FNV-1a/64 checksum over everything before it
+
+all little-endian. The content hash is the FNV-1a/64 digest of every
+instruction's canonical 43-byte record in stream order, independent of
+the chunk encoding.
+
+Subcommands:
+
+  info FILE [...]         parse + checksum-verify the envelope and print
+                          its fields; for raw-encoded files the content
+                          hash is recomputed record by record and
+                          cross-checked against the stored value.
+  records FILE [--limit N]
+                          dump decoded canonical records of a
+                          raw-encoded file, one per line.
+  synth --out FILE [--iters N] [--name NAME]
+                          hand-build a tiny raw-encoded loop trace (an
+                          8-instruction L1-contained loop body iterated
+                          N times) that p10trace_cli verify accepts and
+                          trace:<FILE> replays — the cross-language
+                          fixture CI uses to pin the wire format.
+
+Exits non-zero on any malformed file. Stdlib only.
+"""
+
+import argparse
+import struct
+import sys
+
+MAGIC = b"P10TRACE"
+FORMAT_VERSION = 1
+ENCODING_RAW = 0
+ENCODING_DELTA = 1
+CANONICAL_BYTES = 43
+
+FNV_OFFSET = 0xCBF29CE484222325
+FNV_PRIME = 0x100000001B3
+MASK64 = (1 << 64) - 1
+
+# isa::OpClass (src/isa/op.h) — declaration order is the wire value.
+OP_CLASSES = [
+    "IntAlu", "IntMul", "IntDiv", "Load", "Store", "Load32B",
+    "Store32B", "Branch", "BranchIndirect", "FpScalar", "VsuFp",
+    "VsuInt", "MmaGer", "MmaMove", "CryptoDfu", "System", "Nop",
+]
+REG_NONE = 0xFFFF
+
+
+def fnv1a(data, h=FNV_OFFSET):
+    for b in data:
+        h = ((h ^ b) * FNV_PRIME) & MASK64
+    return h
+
+
+class Reader:
+    """Bounds-checked little-endian cursor (common/serialize.h's
+    BinReader, minus the poison niceties: here a short read raises)."""
+
+    def __init__(self, data):
+        self.data = data
+        self.pos = 0
+
+    def take(self, n):
+        if self.pos + n > len(self.data):
+            raise ValueError("truncated")
+        out = self.data[self.pos:self.pos + n]
+        self.pos += n
+        return out
+
+    def u8(self):
+        return self.take(1)[0]
+
+    def u16(self):
+        return struct.unpack("<H", self.take(2))[0]
+
+    def u32(self):
+        return struct.unpack("<I", self.take(4))[0]
+
+    def u64(self):
+        return struct.unpack("<Q", self.take(8))[0]
+
+    def f32(self):
+        return struct.unpack("<f", self.take(4))[0]
+
+    def str_(self):
+        n = self.u32()
+        return self.take(n).decode("utf-8")
+
+
+def decode_canonical(r):
+    """One 43-byte canonical record (container.cpp decodeCanonical)."""
+    rec = {
+        "op": r.u8(),
+        "src": [r.u16() for _ in range(3)],
+        "dest": r.u16(),
+        "pc": r.u64(),
+        "addr": r.u64(),
+        "size": r.u16(),
+        "mem_tier": r.u8(),
+        "taken": r.u8(),
+        "target": r.u64(),
+        "prefixed": r.u8(),
+        "gemm": r.u8(),
+        "toggle": r.f32(),
+    }
+    if rec["op"] >= len(OP_CLASSES):
+        raise ValueError(f"op class {rec['op']} out of range")
+    return rec
+
+
+def parse(data):
+    """Parse + verify one container; returns (header dict, chunks)."""
+    if len(data) < len(MAGIC) + 4 + 8:
+        raise ValueError("truncated")
+    if data[:len(MAGIC)] != MAGIC:
+        raise ValueError("bad magic")
+    stored_checksum = struct.unpack("<Q", data[-8:])[0]
+    if fnv1a(data[:-8]) != stored_checksum:
+        raise ValueError("checksum mismatch")
+
+    r = Reader(data)
+    r.take(len(MAGIC))
+    fmt = r.u32()
+    if fmt != FORMAT_VERSION:
+        raise ValueError(f"unsupported format version {fmt}")
+    head = {
+        "name": r.str_(),
+        "dialect": r.str_(),
+        "source": r.str_(),
+        "instr_count": r.u64(),
+        "content_hash": r.u64(),
+        "encoding": r.u8(),
+    }
+    if head["encoding"] not in (ENCODING_RAW, ENCODING_DELTA):
+        raise ValueError(f"unknown encoding {head['encoding']}")
+    chunks = []
+    total = 0
+    for _ in range(r.u32()):
+        count = r.u32()
+        nbytes = r.u64()
+        chunks.append((count, r.take(nbytes)))
+        total += count
+    if total != head["instr_count"]:
+        raise ValueError("instruction count does not match its chunks")
+    if len(data) - r.pos != 8:
+        raise ValueError("trailing bytes after the last chunk")
+    return head, chunks
+
+
+def raw_records(head, chunks):
+    """Decoded records of a raw-encoded container, in stream order."""
+    if head["encoding"] != ENCODING_RAW:
+        raise ValueError("records requires a raw-encoded trace "
+                         "(delta decoding lives in the C++ reader)")
+    for count, payload in chunks:
+        if len(payload) != count * CANONICAL_BYTES:
+            raise ValueError("chunk payload size mismatch")
+        r = Reader(payload)
+        for _ in range(count):
+            yield decode_canonical(r)
+
+
+def cmd_info(args):
+    status = 0
+    for path in args.files:
+        try:
+            with open(path, "rb") as f:
+                data = f.read()
+            head, chunks = parse(data)
+        except (OSError, ValueError) as exc:
+            print(f"{path}: INVALID: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        verified = "envelope"
+        if head["encoding"] == ENCODING_RAW:
+            h = FNV_OFFSET
+            for count, payload in chunks:
+                h = fnv1a(payload, h)
+            if h != head["content_hash"]:
+                print(f"{path}: INVALID: content hash mismatch",
+                      file=sys.stderr)
+                status = 1
+                continue
+            verified = "envelope+content"
+        print(f"{path}:")
+        for key in ("name", "dialect", "source"):
+            print(f"  {key:13} {head[key]}")
+        print(f"  {'instrs':13} {head['instr_count']}")
+        print(f"  {'chunks':13} {len(chunks)}")
+        enc = "raw" if head["encoding"] == ENCODING_RAW else "delta"
+        print(f"  {'encoding':13} {enc}")
+        print(f"  {'payload_bytes':13} "
+              f"{sum(len(p) for _, p in chunks)}")
+        print(f"  {'content_hash':13} {head['content_hash']:016x}")
+        print(f"  {'verified':13} {verified}")
+    return status
+
+
+def cmd_records(args):
+    try:
+        with open(args.file, "rb") as f:
+            head, chunks = parse(f.read())
+        for i, rec in enumerate(raw_records(head, chunks)):
+            if args.limit is not None and i >= args.limit:
+                break
+            fields = [f"pc={rec['pc']:#x}", OP_CLASSES[rec["op"]]]
+            srcs = [s for s in rec["src"] if s != REG_NONE]
+            if srcs:
+                fields.append("src=" + ",".join(map(str, srcs)))
+            if rec["dest"] != REG_NONE:
+                fields.append(f"dest={rec['dest']}")
+            if rec["mem_tier"] != 0xFF or rec["addr"]:
+                fields.append(f"addr={rec['addr']:#x} "
+                              f"size={rec['size']}")
+            if rec["taken"]:
+                fields.append(f"taken->{rec['target']:#x}")
+            if rec["prefixed"]:
+                fields.append("prefixed")
+            print(f"{i:8} " + "  ".join(fields))
+    except (OSError, ValueError) as exc:
+        print(f"{args.file}: INVALID: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def encode_canonical(rec):
+    return struct.pack(
+        "<B3HHQQHBBQBBf", rec["op"], *rec["src"], rec["dest"],
+        rec["pc"], rec["addr"], rec["size"], rec["mem_tier"],
+        rec["taken"], rec["target"], rec["prefixed"], rec["gemm"],
+        rec["toggle"])
+
+
+def synth_loop(iters):
+    """N traversals of an 8-instruction loop at 0x1000: some ALU work,
+    a load, a store, a taken backward branch — small enough to stay
+    L1-contained, varied enough to exercise every decoder field."""
+    base = 0x1000
+    default = {
+        "src": [REG_NONE] * 3, "dest": REG_NONE, "addr": 0, "size": 0,
+        "mem_tier": 0xFF, "taken": 0, "target": 0, "prefixed": 0,
+        "gemm": 0, "toggle": struct.unpack("<f",
+                                           struct.pack("<f", 0.3))[0],
+    }
+    out = []
+    for it in range(iters):
+        for i in range(8):
+            rec = dict(default, pc=base + i * 4, op=0,
+                       src=list(default["src"]))
+            if i == 2:
+                rec["op"] = OP_CLASSES.index("Load")
+                rec["src"][0] = 1
+                rec["dest"] = 2
+                rec["addr"] = 0x8000 + it * 8
+                rec["size"] = 8
+                rec["mem_tier"] = 0
+            elif i == 5:
+                rec["op"] = OP_CLASSES.index("Store")
+                rec["src"][0] = 2
+                rec["src"][1] = 3
+                rec["addr"] = 0x9000 + it * 8
+                rec["size"] = 8
+            elif i == 7:
+                rec["op"] = OP_CLASSES.index("Branch")
+                rec["taken"] = 1
+                rec["target"] = base
+            else:
+                rec["src"][0] = 3 + i
+                rec["dest"] = 4 + i
+            out.append(rec)
+    return out
+
+
+def cmd_synth(args):
+    records = synth_loop(args.iters)
+    payload = b"".join(encode_canonical(r) for r in records)
+    content_hash = fnv1a(payload)
+
+    def s(text):
+        raw = text.encode("utf-8")
+        return struct.pack("<I", len(raw)) + raw
+
+    body = (MAGIC + struct.pack("<I", FORMAT_VERSION) + s(args.name) +
+            s("power-isa-3.0") + s("synth:p10_trace.py") +
+            struct.pack("<QQB", len(records), content_hash,
+                        ENCODING_RAW) +
+            struct.pack("<I", 1) +  # one chunk holds everything
+            struct.pack("<IQ", len(records), len(payload)) + payload)
+    data = body + struct.pack("<Q", fnv1a(body))
+    parse(data)  # self-check before anything touches the file
+    with open(args.out, "wb") as f:
+        f.write(data)
+    print(f"wrote {args.out}: {len(records)} instrs, "
+          f"content hash {content_hash:016x}")
+    return 0
+
+
+def main(argv):
+    top = argparse.ArgumentParser(
+        prog="p10_trace.py",
+        description="inspect and synthesize p10trace/1 containers")
+    sub = top.add_subparsers(dest="cmd", required=True)
+
+    p = sub.add_parser("info", help="print + verify container headers")
+    p.add_argument("files", nargs="+")
+    p.set_defaults(run=cmd_info)
+
+    p = sub.add_parser("records",
+                       help="dump canonical records (raw encoding)")
+    p.add_argument("file")
+    p.add_argument("--limit", type=int, default=32,
+                   help="records to print (default 32)")
+    p.set_defaults(run=cmd_records)
+
+    p = sub.add_parser("synth",
+                       help="hand-build a tiny raw-encoded loop trace")
+    p.add_argument("--out", required=True)
+    p.add_argument("--iters", type=int, default=50,
+                   help="loop iterations (default 50)")
+    p.add_argument("--name", default="pysynth",
+                   help="trace name (default pysynth)")
+    p.set_defaults(run=cmd_synth)
+
+    args = top.parse_args(argv[1:])
+    return args.run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -30,10 +30,19 @@ trace id must have the exact 32-hex + "-" + 16-hex wire shape, slice
 timestamps must be monotonic within each lane, and counter samples
 must be non-negative.
 
+With --trace-workload, files get the full --sweep checks plus the
+trace-workload provenance invariants from src/sweep/runner.h: a
+"trace workloads" table (workload, trace, content_hash) whose hashes
+are exactly 16 lowercase hex digits, one row per distinct trace:*
+workload, and every trace:* workload appearing in the "sweep shards"
+table present in it — so a merged report over trace containers always
+records which trace content produced it.
+
 Usage:
   validate_report.py report.json [more.json ...]
   validate_report.py --trace trace.json [more.json ...]
   validate_report.py --sweep merged.json [more.json ...]
+  validate_report.py --trace-workload merged.json [more.json ...]
   validate_report.py --fleet stats.json [more.json ...]
   validate_report.py --metrics metrics.json [more.json ...]
 
@@ -208,6 +217,59 @@ def validate_sweep(path, doc, errors):
         _fail(errors, path, "merged report meta.host_mips is not 0")
 
 
+TRACE_WORKLOAD_COLUMNS = ["workload", "trace", "content_hash"]
+CONTENT_HASH_RE = re.compile(r"^[0-9a-f]{16}$")
+
+
+def validate_trace_workload(path, doc, errors):
+    """Merged sweep report over trace:* workloads: the full --sweep
+    checks plus the trace provenance table (workload name + content
+    hash for every replayed container)."""
+    before = len(errors)
+    validate_sweep(path, doc, errors)
+    if len(errors) != before:
+        return
+
+    table = next((t for t in doc["tables"]
+                  if t["title"] == "trace workloads"), None)
+    if table is None:
+        return _fail(errors, path, "no 'trace workloads' table")
+    if table["columns"] != TRACE_WORKLOAD_COLUMNS:
+        return _fail(errors, path,
+                     f"'trace workloads' columns {table['columns']} "
+                     f"!= {TRACE_WORKLOAD_COLUMNS}")
+
+    covered = set()
+    for j, row in enumerate(table["rows"]):
+        workload, trace, content_hash = row
+        if not workload.startswith("trace:"):
+            _fail(errors, path,
+                  f"'trace workloads' rows[{j}] workload '{workload}' "
+                  f"lacks the trace: scheme")
+        if workload != "trace:" + trace:
+            _fail(errors, path,
+                  f"'trace workloads' rows[{j}] trace '{trace}' does "
+                  f"not match workload '{workload}'")
+        if not CONTENT_HASH_RE.match(content_hash):
+            _fail(errors, path,
+                  f"'trace workloads' rows[{j}] content_hash "
+                  f"'{content_hash}' is not 16 lowercase hex digits")
+        if workload in covered:
+            _fail(errors, path,
+                  f"duplicate 'trace workloads' row for '{workload}'")
+        covered.add(workload)
+
+    shards = next(t for t in doc["tables"]
+                  if t["title"] == "sweep shards")
+    wl_col = SWEEP_COLUMNS.index("workload")
+    for j, row in enumerate(shards["rows"]):
+        workload = row[wl_col]
+        if workload.startswith("trace:") and workload not in covered:
+            _fail(errors, path,
+                  f"shard workload '{workload}' missing from the "
+                  f"'trace workloads' table")
+
+
 FLEET_SCALARS = ["fleet.workers", "fleet.workers_dead",
                  "fleet.dispatched", "fleet.reassigned",
                  "fleet.skipped", "fleet.remote_cache_hits",
@@ -337,8 +399,8 @@ def validate_metrics(path, doc, errors):
 def main(argv):
     args = argv[1:]
     mode = "report"
-    if args and args[0] in ("--trace", "--sweep", "--fleet",
-                            "--metrics"):
+    if args and args[0] in ("--trace", "--sweep", "--trace-workload",
+                            "--fleet", "--metrics"):
         mode = args[0][2:]
         args = args[1:]
     if not args:
@@ -349,6 +411,7 @@ def main(argv):
         "report": validate_report,
         "trace": validate_trace,
         "sweep": validate_sweep,
+        "trace-workload": validate_trace_workload,
         "fleet": validate_fleet,
         "metrics": validate_metrics,
     }

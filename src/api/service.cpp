@@ -6,6 +6,8 @@
 #include "ckpt/checkpoint.h"
 #include "common/rng.h"
 #include "sweep/cache.h"
+#include "trace/replay.h"
+#include "workloads/registry.h"
 #include "workloads/synthetic.h"
 
 namespace p10ee::api {
@@ -55,24 +57,31 @@ Service::runOne(const RunRequest& req) const
     if (Status st = cfg.validate(); !st)
         return st.error();
 
-    const workloads::WorkloadProfile* found =
-        workloads::findProfile(req.workload);
-    if (found == nullptr)
-        return Error::notFound("unknown workload '" + req.workload +
-                               "' (see --list)");
-    workloads::WorkloadProfile profile = *found;
+    // Workload resolution goes through the frontend registry: built-in
+    // synthetic profiles and external formats ("trace:<path>") share
+    // one spelling across every entry path.
+    trace::registerTraceFrontend();
+    Expected<workloads::WorkloadProfile> profOr =
+        workloads::resolveWorkload(req.workload);
+    if (!profOr)
+        return profOr.error();
+    workloads::WorkloadProfile profile = std::move(profOr.value());
     // A distinct seed reruns the same statistical workload over fresh
     // stream realizations; derivation matches the sweep seed axis, so
     // any sweep shard replays in isolation with the same seed value.
     if (req.seed != 0)
         profile.seed = common::splitSeed(profile.seed, req.seed);
 
-    std::vector<std::unique_ptr<workloads::SyntheticWorkload>> sources;
+    std::vector<std::unique_ptr<workloads::CheckpointableSource>>
+        sources;
     std::vector<workloads::InstrSource*> threads;
-    std::vector<workloads::SyntheticWorkload*> walkers;
+    std::vector<workloads::CheckpointableSource*> walkers;
     for (int t = 0; t < req.smt; ++t) {
-        sources.push_back(
-            std::make_unique<workloads::SyntheticWorkload>(profile, t));
+        Expected<std::unique_ptr<workloads::CheckpointableSource>> src =
+            workloads::makeSource(profile, t);
+        if (!src)
+            return src.error();
+        sources.push_back(std::move(src.value()));
         threads.push_back(sources.back().get());
         walkers.push_back(sources.back().get());
     }

@@ -55,6 +55,17 @@ struct ShardResult
     double wallSeconds = 0.0;
 
     /**
+     * Provenance of externally ingested workloads: the recorded trace
+     * name (scheme prefix stripped) and the content hash over its
+     * canonical instruction bytes. Empty/zero for synthetic profiles.
+     * Persisted by the shard cache and surfaced in the merged report's
+     * "trace workloads" table, so a result always states which bytes
+     * it measured.
+     */
+    std::string traceName;
+    uint64_t traceHash = 0;
+
+    /**
      * Replayed from the shard cache instead of simulated (provenance
      * only — cached and simulated results are byte-identical in the
      * merged report, so this flag never influences the merge).

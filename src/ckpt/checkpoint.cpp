@@ -143,9 +143,10 @@ configHash(const core::CoreConfig& cfg)
 }
 
 Checkpoint
-Checkpoint::capture(const core::CoreModel& model,
-                    const std::vector<workloads::SyntheticWorkload*>& sources,
-                    CheckpointMeta meta)
+Checkpoint::capture(
+    const core::CoreModel& model,
+    const std::vector<workloads::CheckpointableSource*>& sources,
+    CheckpointMeta meta)
 {
     Checkpoint ck;
     ck.meta_ = std::move(meta);
@@ -164,7 +165,7 @@ Checkpoint::capture(const core::CoreModel& model,
 Status
 Checkpoint::restore(
     core::CoreModel& model,
-    const std::vector<workloads::SyntheticWorkload*>& sources) const
+    const std::vector<workloads::CheckpointableSource*>& sources) const
 {
     if (configHash(model.config()) != cfgHash_)
         return Error::invalidConfig(

@@ -76,22 +76,26 @@ class Checkpoint
     /**
      * Snapshot @p model (which must be between beginRun/advance and
      * measure) and the walker state of @p sources (the same sources,
-     * in the same order, that beginRun bound).
+     * in the same order, that beginRun bound). Any checkpointable
+     * source qualifies — synthetic generators and trace replay
+     * cursors alike.
      */
     static Checkpoint capture(
         const core::CoreModel& model,
-        const std::vector<workloads::SyntheticWorkload*>& sources,
+        const std::vector<workloads::CheckpointableSource*>& sources,
         CheckpointMeta meta);
 
     /**
      * Restore into @p model — constructed with the same config
      * (verified via the config hash) and beginRun() over @p sources
-     * rebuilt with the same profiles/threadIds. On failure the model
-     * is partially mutated and must be discarded.
+     * rebuilt identically (same profiles/threadIds, or the same trace
+     * content). On failure the model is partially mutated and must be
+     * discarded.
      */
     common::Status restore(
         core::CoreModel& model,
-        const std::vector<workloads::SyntheticWorkload*>& sources) const;
+        const std::vector<workloads::CheckpointableSource*>& sources)
+        const;
 
     const CheckpointMeta& meta() const { return meta_; }
 

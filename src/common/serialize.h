@@ -196,6 +196,19 @@ class BinReader
         return true;
     }
 
+    /** Advance past @p n bytes the caller consumes out-of-band (e.g.
+        an embedded blob copied wholesale); underflow latches fail. */
+    bool
+    skip(size_t n)
+    {
+        if (fail_ || n > size_ - pos_) {
+            fail_ = true;
+            return false;
+        }
+        pos_ += n;
+        return true;
+    }
+
     size_t remaining() const { return size_ - pos_; }
     size_t position() const { return pos_; }
     bool failed() const { return fail_; }

@@ -41,6 +41,8 @@ serializeResult(BinWriter& w, const ShardResult& s)
     w.f64(s.ipcPerW);
     // wallSeconds is host-clock provenance, deliberately not persisted:
     // a cached shard replays with wallSeconds == 0.
+    w.str(s.traceName);
+    w.u64(s.traceHash);
     w.u64(s.ipcX.size());
     for (size_t i = 0; i < s.ipcX.size(); ++i) {
         w.f64(s.ipcX[i]);
@@ -68,6 +70,8 @@ deserializeResult(BinReader& r)
     s.powerW = r.f64();
     s.ipcPerW = r.f64();
     s.wallSeconds = 0.0;
+    s.traceName = r.str();
+    s.traceHash = r.u64();
     uint64_t n = r.u64();
     if (!r.fits(n, 16))
         return std::nullopt;

@@ -45,8 +45,9 @@ namespace p10ee::sweep {
 /** Container-layout version of cache entry files. v2: the serialized
     common::ErrorCode enum grew Overloaded/Cancelled before Internal,
     renumbering persisted codes — v1 entries are unreachable, not
-    misread. */
-inline constexpr uint32_t kCacheFormatVersion = 2;
+    misread. v3: ShardResult gained trace provenance (traceName,
+    traceHash) between ipcPerW and the telemetry series. */
+inline constexpr uint32_t kCacheFormatVersion = 3;
 
 /** One cache directory; cheap to construct, stateless, thread-safe. */
 class ShardCache

@@ -16,6 +16,7 @@
 #include "power/energy.h"
 #include "sweep/cache.h"
 #include "sweep/pool.h"
+#include "workloads/registry.h"
 #include "workloads/synthetic.h"
 
 namespace p10ee::sweep {
@@ -71,6 +72,18 @@ SweepRunner::runShard(const ShardSpec& shard) const
     ShardResult res;
     res.index = shard.index;
     res.key = shard.key();
+    if (!shard.profile.frontend.empty()) {
+        // Provenance for externally ingested workloads: the recorded
+        // name (scheme prefix stripped) plus the content hash that
+        // keyed the cache, so a report states exactly which bytes it
+        // measured.
+        res.traceName =
+            shard.profile.name.size() > shard.profile.frontend.size() + 1
+                ? shard.profile.name.substr(
+                      shard.profile.frontend.size() + 1)
+                : shard.profile.name;
+        res.traceHash = shard.profile.contentHash;
+    }
 
     // Every shard owns a generator derived from (master seed, shard
     // index), so any one shard replays in isolation — the campaign
@@ -103,15 +116,28 @@ SweepRunner::runShard(const ShardSpec& shard) const
             continue;
         }
 
-        std::vector<std::unique_ptr<workloads::SyntheticWorkload>>
+        std::vector<std::unique_ptr<workloads::CheckpointableSource>>
             sources;
         std::vector<workloads::InstrSource*> threads;
+        bool sourceFailed = false;
         for (int t = 0; t < shard.smt; ++t) {
-            sources.push_back(
-                std::make_unique<workloads::SyntheticWorkload>(
-                    shard.profile, t));
+            auto src = workloads::makeSource(shard.profile, t);
+            if (!src) {
+                // A workload whose backing file vanished or changed
+                // between expansion and execution is a recorded shard
+                // failure, not a crash — the sweep stays
+                // index-complete.
+                res.error = Error(src.error().code,
+                                  "shard " + res.key + ": " +
+                                      src.error().message);
+                sourceFailed = true;
+                break;
+            }
+            sources.push_back(std::move(src.value()));
             threads.push_back(sources.back().get());
         }
+        if (sourceFailed)
+            break;
 
         core::CoreModel model(shard.config);
         core::RunOptions opts;
@@ -403,6 +429,47 @@ SweepRunner::merge(const SweepSpec& spec, const SweepResult& result,
                common::fmt(s.ipc, 4), common::fmt(s.powerW, 3)});
     }
     report.addTable(t);
+
+    // Trace-workload provenance: which recorded bytes each trace:*
+    // shard measured. Deduplicated in index order so the table is a
+    // pure function of the spec; the content hash is rendered as fixed
+    // 16-digit hex because report scalars are doubles and would round
+    // a 64-bit value.
+    bool anyTrace = false;
+    for (const ShardResult& s : result.shards)
+        if (!s.traceName.empty())
+            anyTrace = true;
+    if (anyTrace) {
+        common::Table tt("trace workloads");
+        tt.header({"workload", "trace", "content_hash"});
+        std::vector<std::string> seenWorkloads;
+        for (const ShardResult& s : result.shards) {
+            if (s.traceName.empty())
+                continue;
+            std::vector<std::string> parts;
+            size_t start = 0;
+            for (size_t pos = 0; pos <= s.key.size(); ++pos)
+                if (pos == s.key.size() || s.key[pos] == '/') {
+                    parts.push_back(s.key.substr(start, pos - start));
+                    start = pos + 1;
+                }
+            const std::string workload =
+                parts.size() > 1 ? parts[1] : "";
+            bool seen = false;
+            for (const std::string& w : seenWorkloads)
+                if (w == workload)
+                    seen = true;
+            if (seen)
+                continue;
+            seenWorkloads.push_back(workload);
+            std::string hex;
+            for (int shift = 60; shift >= 0; shift -= 4)
+                hex.push_back(
+                    "0123456789abcdef"[(s.traceHash >> shift) & 0xf]);
+            tt.row({workload, s.traceName, hex});
+        }
+        report.addTable(tt);
+    }
 
     for (const ShardResult& s : result.shards)
         if (!s.ipcX.empty())

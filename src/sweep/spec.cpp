@@ -5,6 +5,8 @@
 
 #include "common/rng.h"
 #include "obs/json.h"
+#include "trace/replay.h"
+#include "workloads/registry.h"
 
 namespace p10ee::sweep {
 
@@ -104,14 +106,17 @@ SweepSpec::expand() const
             return st.error();
         cfgs.push_back(std::move(cfg.value()));
     }
-    std::vector<const workloads::WorkloadProfile*> profs;
+    // Workload names go through the frontend registry so external
+    // formats ("trace:<path>") expand exactly like built-in profiles.
+    trace::registerTraceFrontend();
+    std::vector<workloads::WorkloadProfile> profs;
     profs.reserve(workloads.size());
     for (const std::string& name : workloads) {
-        const workloads::WorkloadProfile* p =
-            workloads::findProfile(name);
+        Expected<workloads::WorkloadProfile> p =
+            workloads::resolveWorkload(name);
         if (!p)
-            return Error::notFound("unknown workload '" + name + "'");
-        profs.push_back(p);
+            return p.error();
+        profs.push_back(std::move(p.value()));
     }
 
     // Nested-loop expansion order (configs > workloads > smt > seeds)
@@ -128,10 +133,10 @@ SweepSpec::expand() const
                     shard.index = index++;
                     shard.configName = configs[c];
                     shard.config = cfgs[c];
-                    shard.profile = *profs[w];
+                    shard.profile = profs[w];
                     if (s != 0)
                         shard.profile.seed =
-                            common::splitSeed(profs[w]->seed, s);
+                            common::splitSeed(profs[w].seed, s);
                     shard.smt = threads;
                     shard.seedIndex = s;
                     shards.push_back(std::move(shard));

@@ -1,0 +1,635 @@
+#include "trace/container.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/assert.h"
+
+namespace p10ee::trace {
+
+using common::BinReader;
+using common::BinWriter;
+using common::Error;
+using common::Expected;
+using common::Fnv1a;
+using common::Status;
+
+namespace {
+
+constexpr char kMagic[8] = {'P', '1', '0', 'T', 'R', 'A', 'C', 'E'};
+
+/** Canonical record size: the raw encoding is exactly this per instr. */
+constexpr size_t kCanonicalBytes = 43;
+
+/** Minimum delta-encoded record size (op + flags + regs + 1-byte pc). */
+constexpr size_t kMinDeltaBytes = 4;
+
+// Delta-record flag bits (byte 1).
+constexpr uint8_t kFlagTaken = 1u << 0;
+constexpr uint8_t kFlagPrefixed = 1u << 1;
+constexpr uint8_t kFlagGemm = 1u << 2;
+constexpr uint8_t kFlagToggle = 1u << 3; ///< non-default toggle follows
+constexpr uint8_t kFlagMem = 1u << 4;    ///< addr/size follow
+constexpr uint8_t kFlagTarget = 1u << 5; ///< target delta follows
+constexpr uint8_t kFlagDest = 1u << 6;   ///< dest register follows
+// Bit 7 reserved: must be zero, so fabricated records with unknown
+// flags are rejected instead of silently half-decoded.
+
+// Register/tier byte (byte 2): bits 0-2 src presence, 3-5 tier code.
+constexpr uint8_t kTierNone = 7; ///< encodes memTier 0xff
+
+uint32_t
+toggleBits(float toggle)
+{
+    uint32_t bits;
+    std::memcpy(&bits, &toggle, sizeof(bits));
+    return bits;
+}
+
+const uint32_t kDefaultToggleBits = toggleBits(isa::TraceInstr{}.toggle);
+
+uint64_t
+zigzag(uint64_t prev, uint64_t cur)
+{
+    const auto d = static_cast<int64_t>(cur - prev);
+    return (static_cast<uint64_t>(d) << 1) ^
+           static_cast<uint64_t>(d >> 63);
+}
+
+uint64_t
+unzigzag(uint64_t prev, uint64_t enc)
+{
+    const uint64_t d = (enc >> 1) ^ (~(enc & 1) + 1);
+    return prev + d;
+}
+
+void
+putVarint(std::vector<uint8_t>& out, uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<uint8_t>(v));
+}
+
+/** LEB128 u64; over-long or truncated encodings poison the reader. */
+uint64_t
+getVarint(BinReader& r)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 10; ++i) {
+        const uint8_t byte = r.u8();
+        if (r.failed())
+            return 0;
+        v |= static_cast<uint64_t>(byte & 0x7f) << (7 * i);
+        if ((byte & 0x80) == 0) {
+            // The 10th byte may only carry the top bit of a u64.
+            if (i == 9 && byte > 1) {
+                r.poison();
+                return 0;
+            }
+            return v;
+        }
+    }
+    r.poison();
+    return 0;
+}
+
+/**
+ * Semantic validation of a decoded instruction. The envelope checksum
+ * only proves the file says what its author wrote — a fabricated file
+ * carries a self-consistent checksum, so everything the core model
+ * indexes or multiplies with must be range-checked here.
+ */
+bool
+validInstr(const isa::TraceInstr& in)
+{
+    if (static_cast<uint8_t>(in.op) >=
+        static_cast<uint8_t>(isa::OpClass::NumOpClasses))
+        return false;
+    for (uint16_t s : in.src)
+        if (s != isa::reg::kNone && s >= isa::reg::kNumArchRegs)
+            return false;
+    if (in.dest != isa::reg::kNone && in.dest >= isa::reg::kNumArchRegs)
+        return false;
+    if (in.memTier != 0xff && in.memTier >= 4)
+        return false;
+    if (!(in.toggle >= 0.0f && in.toggle <= 1.0f)) // also rejects NaN
+        return false;
+    return true;
+}
+
+void
+encodeDelta(std::vector<uint8_t>& out, const isa::TraceInstr& in,
+            uint64_t& prevPc, uint64_t& prevAddr)
+{
+    const bool hasMem =
+        in.addr != 0 || in.size != 0 || in.memTier != 0xff;
+    const bool hasTarget = in.target != 0;
+    const bool hasDest = in.dest != isa::reg::kNone;
+    const bool hasToggle = toggleBits(in.toggle) != kDefaultToggleBits;
+
+    uint8_t flags = 0;
+    if (in.taken)
+        flags |= kFlagTaken;
+    if (in.prefixed)
+        flags |= kFlagPrefixed;
+    if (in.gemm)
+        flags |= kFlagGemm;
+    if (hasToggle)
+        flags |= kFlagToggle;
+    if (hasMem)
+        flags |= kFlagMem;
+    if (hasTarget)
+        flags |= kFlagTarget;
+    if (hasDest)
+        flags |= kFlagDest;
+
+    uint8_t regs = 0;
+    for (int i = 0; i < 3; ++i)
+        if (in.src[i] != isa::reg::kNone)
+            regs |= static_cast<uint8_t>(1u << i);
+    const uint8_t tierCode =
+        in.memTier == 0xff ? kTierNone : in.memTier;
+    regs |= static_cast<uint8_t>(tierCode << 3);
+
+    out.push_back(static_cast<uint8_t>(in.op));
+    out.push_back(flags);
+    out.push_back(regs);
+    for (int i = 0; i < 3; ++i)
+        if (in.src[i] != isa::reg::kNone)
+            putVarint(out, in.src[i]);
+    if (hasDest)
+        putVarint(out, in.dest);
+    putVarint(out, zigzag(prevPc, in.pc));
+    prevPc = in.pc;
+    if (hasMem) {
+        putVarint(out, zigzag(prevAddr, in.addr));
+        putVarint(out, in.size);
+        prevAddr = in.addr;
+    }
+    if (hasTarget)
+        putVarint(out, zigzag(in.pc, in.target));
+    if (hasToggle) {
+        const uint32_t bits = toggleBits(in.toggle);
+        for (int i = 0; i < 4; ++i)
+            out.push_back(static_cast<uint8_t>(bits >> (8 * i)));
+    }
+}
+
+bool
+decodeDelta(BinReader& r, isa::TraceInstr* out, uint64_t& prevPc,
+            uint64_t& prevAddr)
+{
+    isa::TraceInstr in;
+    const uint8_t op = r.u8();
+    const uint8_t flags = r.u8();
+    const uint8_t regs = r.u8();
+    if (r.failed())
+        return false;
+    if ((flags & 0x80) != 0 || (regs & 0xc0) != 0) {
+        r.poison();
+        return false;
+    }
+    in.op = static_cast<isa::OpClass>(op);
+    in.taken = (flags & kFlagTaken) != 0;
+    in.prefixed = (flags & kFlagPrefixed) != 0;
+    in.gemm = (flags & kFlagGemm) != 0;
+    for (int i = 0; i < 3; ++i)
+        if ((regs & (1u << i)) != 0)
+            in.src[i] = static_cast<uint16_t>(getVarint(r));
+    if ((flags & kFlagDest) != 0)
+        in.dest = static_cast<uint16_t>(getVarint(r));
+    in.pc = unzigzag(prevPc, getVarint(r));
+    prevPc = in.pc;
+    if ((flags & kFlagMem) != 0) {
+        in.addr = unzigzag(prevAddr, getVarint(r));
+        in.size = static_cast<uint16_t>(getVarint(r));
+        prevAddr = in.addr;
+        const uint8_t tierCode = (regs >> 3) & 0x7;
+        in.memTier = tierCode == kTierNone ? 0xff : tierCode;
+    } else {
+        // A tier code on a memory-less record is a fabrication.
+        if (((regs >> 3) & 0x7) != kTierNone) {
+            r.poison();
+            return false;
+        }
+    }
+    if ((flags & kFlagTarget) != 0)
+        in.target = unzigzag(in.pc, getVarint(r));
+    if ((flags & kFlagToggle) != 0) {
+        const float t = r.f32();
+        in.toggle = t;
+    }
+    if (r.failed() || !validInstr(in)) {
+        r.poison();
+        return false;
+    }
+    *out = in;
+    return true;
+}
+
+bool
+decodeCanonical(BinReader& r, isa::TraceInstr* out)
+{
+    isa::TraceInstr in;
+    in.op = static_cast<isa::OpClass>(r.u8());
+    for (uint16_t& s : in.src)
+        s = r.u16();
+    in.dest = r.u16();
+    in.pc = r.u64();
+    in.addr = r.u64();
+    in.size = r.u16();
+    in.memTier = r.u8();
+    in.taken = r.b();
+    in.target = r.u64();
+    in.prefixed = r.b();
+    in.gemm = r.b();
+    in.toggle = r.f32();
+    if (r.failed() || !validInstr(in)) {
+        r.poison();
+        return false;
+    }
+    *out = in;
+    return true;
+}
+
+} // namespace
+
+Status
+validateMeta(const TraceMeta& meta)
+{
+    auto printable = [](const std::string& s) {
+        for (char c : s)
+            if (static_cast<unsigned char>(c) < 0x20 || c == 0x7f)
+                return false;
+        return true;
+    };
+    if (meta.name.empty())
+        return Error::invalidArgument("trace name must be non-empty");
+    if (meta.name.size() > 200 || meta.dialect.size() > 200 ||
+        meta.source.size() > 4096)
+        return Error::invalidArgument(
+            "trace metadata field too long (name/dialect <= 200, "
+            "source <= 4096 bytes)");
+    if (meta.name.find('/') != std::string::npos)
+        return Error::invalidArgument(
+            "trace name must not contain '/' (it becomes the "
+            "'trace:<name>' workload name inside 'config/workload/"
+            "smt/seed' shard keys)");
+    if (!printable(meta.name) || !printable(meta.dialect) ||
+        !printable(meta.source))
+        return Error::invalidArgument(
+            "trace metadata must not contain control characters");
+    return common::okStatus();
+}
+
+void
+writeCanonicalInstr(BinWriter& w, const isa::TraceInstr& in)
+{
+    w.u8(static_cast<uint8_t>(in.op));
+    for (uint16_t s : in.src)
+        w.u16(s);
+    w.u16(in.dest);
+    w.u64(in.pc);
+    w.u64(in.addr);
+    w.u16(in.size);
+    w.u8(in.memTier);
+    w.b(in.taken);
+    w.u64(in.target);
+    w.b(in.prefixed);
+    w.b(in.gemm);
+    w.f32(in.toggle);
+}
+
+uint64_t
+TraceData::chunkFirstIndex(size_t i) const
+{
+    P10_ASSERT(i < chunks_.size(), "chunk index out of range");
+    return chunks_[i].firstIndex;
+}
+
+uint32_t
+TraceData::chunkLength(size_t i) const
+{
+    P10_ASSERT(i < chunks_.size(), "chunk index out of range");
+    return chunks_[i].count;
+}
+
+size_t
+TraceData::payloadBytes() const
+{
+    size_t n = 0;
+    for (const Chunk& c : chunks_)
+        n += c.bytes.size();
+    return n;
+}
+
+Expected<std::vector<isa::TraceInstr>>
+TraceData::decodeChunk(size_t i) const
+{
+    P10_ASSERT(i < chunks_.size(), "chunk index out of range");
+    const Chunk& c = chunks_[i];
+    std::vector<isa::TraceInstr> out;
+    out.reserve(c.count);
+    BinReader r(c.bytes);
+    if (encoding_ == kEncodingRaw) {
+        if (c.bytes.size() != c.count * kCanonicalBytes)
+            return Error::invalidArgument(
+                "trace chunk " + std::to_string(i) +
+                ": raw payload size does not match its record count");
+        for (uint32_t k = 0; k < c.count; ++k) {
+            isa::TraceInstr in;
+            if (!decodeCanonical(r, &in))
+                return Error::invalidArgument(
+                    "trace chunk " + std::to_string(i) + " record " +
+                    std::to_string(k) +
+                    ": corrupt or out-of-range fields");
+            out.push_back(in);
+        }
+    } else {
+        uint64_t prevPc = 0;
+        uint64_t prevAddr = 0;
+        for (uint32_t k = 0; k < c.count; ++k) {
+            isa::TraceInstr in;
+            if (!decodeDelta(r, &in, prevPc, prevAddr))
+                return Error::invalidArgument(
+                    "trace chunk " + std::to_string(i) + " record " +
+                    std::to_string(k) +
+                    ": corrupt or out-of-range fields");
+            out.push_back(in);
+        }
+    }
+    if (r.remaining() != 0)
+        return Error::invalidArgument(
+            "trace chunk " + std::to_string(i) +
+            ": trailing bytes after the last record");
+    return out;
+}
+
+Expected<std::vector<isa::TraceInstr>>
+TraceData::decodeAll() const
+{
+    std::vector<isa::TraceInstr> out;
+    out.reserve(static_cast<size_t>(instrCount_));
+    for (size_t i = 0; i < chunks_.size(); ++i) {
+        Expected<std::vector<isa::TraceInstr>> chunk = decodeChunk(i);
+        if (!chunk)
+            return chunk.error();
+        out.insert(out.end(), chunk.value().begin(),
+                   chunk.value().end());
+    }
+    return out;
+}
+
+Status
+TraceData::verifyContent() const
+{
+    Expected<std::vector<isa::TraceInstr>> all = decodeAll();
+    if (!all)
+        return all.error();
+    Fnv1a h;
+    for (const isa::TraceInstr& in : all.value()) {
+        BinWriter w;
+        writeCanonicalInstr(w, in);
+        h.bytes(w.bytes().data(), w.size());
+    }
+    if (h.digest() != contentHash_)
+        return Error::invalidArgument(
+            "trace content hash mismatch (payload does not match the "
+            "stored identity; file edited or fabricated)");
+    return common::okStatus();
+}
+
+std::vector<uint8_t>
+TraceData::toBytes() const
+{
+    BinWriter w;
+    for (char c : kMagic)
+        w.u8(static_cast<uint8_t>(c));
+    w.u32(kFormatVersion);
+    w.str(meta_.name);
+    w.str(meta_.dialect);
+    w.str(meta_.source);
+    w.u64(instrCount_);
+    w.u64(contentHash_);
+    w.u8(encoding_);
+    w.u32(static_cast<uint32_t>(chunks_.size()));
+    std::vector<uint8_t> out = w.takeBytes();
+    for (const Chunk& c : chunks_) {
+        BinWriter ch;
+        ch.u32(c.count);
+        ch.u64(c.bytes.size());
+        out.insert(out.end(), ch.bytes().begin(), ch.bytes().end());
+        out.insert(out.end(), c.bytes.begin(), c.bytes.end());
+    }
+    Fnv1a h;
+    h.bytes(out.data(), out.size());
+    BinWriter tail;
+    tail.u64(h.digest());
+    out.insert(out.end(), tail.bytes().begin(), tail.bytes().end());
+    return out;
+}
+
+Expected<TraceData>
+TraceData::fromBytes(const uint8_t* data, size_t size)
+{
+    BinReader r(data, size);
+    for (char c : kMagic)
+        if (r.u8() != static_cast<uint8_t>(c) || r.failed())
+            return Error::invalidArgument(
+                "not a p10ee trace (bad magic)");
+    const uint32_t fmt = r.u32();
+    if (r.ok() && fmt != kFormatVersion)
+        return Error::invalidArgument(
+            "unsupported trace format version " + std::to_string(fmt) +
+            " (expected " + std::to_string(kFormatVersion) + ")");
+
+    // Verify the trailing checksum before trusting any length field.
+    if (size < 8 || r.failed())
+        return Error::invalidArgument("trace truncated");
+    BinReader tail(data + size - 8, 8);
+    const uint64_t stored = tail.u64();
+    Fnv1a file;
+    file.bytes(data, size - 8);
+    if (file.digest() != stored)
+        return Error::invalidArgument(
+            "trace corrupt (checksum mismatch)");
+
+    TraceData t;
+    t.meta_.name = r.str();
+    t.meta_.dialect = r.str();
+    t.meta_.source = r.str();
+    if (r.failed())
+        return Error::invalidArgument("trace truncated");
+    if (Status st = validateMeta(t.meta_); !st)
+        return st.error();
+    t.instrCount_ = r.u64();
+    t.contentHash_ = r.u64();
+    t.encoding_ = r.u8();
+    if (r.failed())
+        return Error::invalidArgument("trace truncated");
+    if (t.instrCount_ == 0)
+        return Error::invalidArgument(
+            "trace holds zero instructions (an empty trace cannot "
+            "drive a replay source)");
+    if (t.encoding_ != kEncodingRaw && t.encoding_ != kEncodingDelta)
+        return Error::invalidArgument(
+            "unknown trace chunk encoding " +
+            std::to_string(t.encoding_));
+    const uint32_t chunkCount = r.u32();
+    // Every chunk costs at least a 12-byte header: a fabricated count
+    // must fail here, before any allocation sized from it.
+    if (!r.fits(chunkCount, 12))
+        return Error::invalidArgument(
+            "trace chunk count exceeds the file size");
+    if (chunkCount == 0)
+        return Error::invalidArgument("trace has no chunks");
+    t.chunks_.reserve(chunkCount);
+    uint64_t total = 0;
+    const size_t minRecord = t.encoding_ == kEncodingRaw
+                                 ? kCanonicalBytes
+                                 : kMinDeltaBytes;
+    for (uint32_t i = 0; i < chunkCount; ++i) {
+        Chunk c;
+        c.count = r.u32();
+        const uint64_t nbytes = r.u64();
+        if (r.failed() || r.remaining() < 8 ||
+            nbytes > r.remaining() - 8)
+            return Error::invalidArgument(
+                "trace truncated inside chunk " + std::to_string(i));
+        if (c.count == 0 ||
+            static_cast<uint64_t>(c.count) > nbytes / minRecord)
+            return Error::invalidArgument(
+                "trace chunk " + std::to_string(i) +
+                ": record count inconsistent with its payload size");
+        c.firstIndex = total;
+        total += c.count;
+        const size_t at = r.position();
+        r.skip(static_cast<size_t>(nbytes));
+        c.bytes.assign(data + at, data + at + nbytes);
+        t.chunks_.push_back(std::move(c));
+    }
+    if (total != t.instrCount_)
+        return Error::invalidArgument(
+            "trace instruction count does not match its chunks");
+    if (r.failed() || r.remaining() != 8)
+        return Error::invalidArgument(
+            "trace has trailing bytes after the last chunk");
+    return t;
+}
+
+Expected<TraceData>
+TraceData::fromBytes(const std::vector<uint8_t>& bytes)
+{
+    return fromBytes(bytes.data(), bytes.size());
+}
+
+Status
+TraceData::save(const std::string& path) const
+{
+    const std::vector<uint8_t> bytes = toBytes();
+    // Unique temp names within the process: concurrent writers to one
+    // path must not collide on a temp file (the rename target is
+    // byte-identical for identical traces anyway).
+    static std::atomic<uint64_t> tmpSerial{0};
+    const std::string tmp =
+        path + ".tmp" + std::to_string(tmpSerial.fetch_add(1));
+    {
+        std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+        if (!f)
+            return Error::notFound("cannot open for write: " + tmp);
+        f.write(reinterpret_cast<const char*>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+        if (!f)
+            return Error::transient("short write: " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return Error::transient("rename failed: " + path);
+    }
+    return common::okStatus();
+}
+
+Expected<TraceData>
+TraceData::load(const std::string& path)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        return Error::notFound("cannot open trace: " + path);
+    std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(f)),
+                               std::istreambuf_iterator<char>());
+    Expected<TraceData> t = fromBytes(bytes.data(), bytes.size());
+    if (!t)
+        return Error(t.error().code, path + ": " + t.error().message);
+    return t;
+}
+
+TraceWriter::TraceWriter(TraceMeta meta, uint8_t encoding,
+                         uint32_t chunkCapacity)
+    : chunkCapacity_(chunkCapacity)
+{
+    P10_ASSERT(validateMeta(meta).ok(),
+               "TraceWriter metadata fails validateMeta() — CLI "
+               "callers must validate user input first");
+    P10_ASSERT(encoding == kEncodingRaw || encoding == kEncodingDelta,
+               "unknown trace encoding");
+    P10_ASSERT(chunkCapacity_ >= 1, "chunk capacity must be >= 1");
+    data_.meta_ = std::move(meta);
+    data_.encoding_ = encoding;
+}
+
+void
+TraceWriter::add(const isa::TraceInstr& in)
+{
+    P10_ASSERT(!finished_, "TraceWriter::add after finish()");
+    P10_ASSERT(validInstr(in),
+               "instruction fails trace range validation");
+    BinWriter w;
+    writeCanonicalInstr(w, in);
+    hash_.bytes(w.bytes().data(), w.size());
+    pending_.push_back(in);
+    ++data_.instrCount_;
+    if (pending_.size() >= chunkCapacity_)
+        sealChunk();
+}
+
+void
+TraceWriter::sealChunk()
+{
+    if (pending_.empty())
+        return;
+    TraceData::Chunk c;
+    c.count = static_cast<uint32_t>(pending_.size());
+    c.firstIndex = data_.instrCount_ - pending_.size();
+    if (data_.encoding_ == kEncodingRaw) {
+        BinWriter w;
+        for (const isa::TraceInstr& in : pending_)
+            writeCanonicalInstr(w, in);
+        c.bytes = w.takeBytes();
+    } else {
+        uint64_t prevPc = 0;
+        uint64_t prevAddr = 0;
+        for (const isa::TraceInstr& in : pending_)
+            encodeDelta(c.bytes, in, prevPc, prevAddr);
+    }
+    data_.chunks_.push_back(std::move(c));
+    pending_.clear();
+}
+
+TraceData
+TraceWriter::finish()
+{
+    P10_ASSERT(!finished_, "TraceWriter::finish called twice");
+    P10_ASSERT(data_.instrCount_ >= 1,
+               "an empty trace cannot drive a replay source");
+    finished_ = true;
+    sealChunk();
+    data_.contentHash_ = hash_.digest();
+    return std::move(data_);
+}
+
+} // namespace p10ee::trace

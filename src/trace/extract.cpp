@@ -1,0 +1,159 @@
+#include "trace/extract.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/assert.h"
+#include "isa/op.h"
+
+namespace p10ee::trace {
+
+using common::Expected;
+
+namespace {
+
+/** One candidate loop, keyed by its head pc. */
+struct LoopStat
+{
+    uint64_t dynInstrs = 0; ///< dynamic instructions attributed
+    uint64_t iterations = 0;
+    std::vector<isa::TraceInstr> body; ///< first complete iteration
+    uint64_t minPc = 0;
+    uint64_t maxPc = 0;
+};
+
+char
+hexDigit(uint64_t v)
+{
+    return "0123456789abcdef"[v & 0xf];
+}
+
+std::string
+hexPc(uint64_t pc)
+{
+    std::string s;
+    for (int shift = 60; shift >= 0; shift -= 4)
+        if (!s.empty() || ((pc >> shift) & 0xf) != 0 || shift == 0)
+            s.push_back(hexDigit(pc >> shift));
+    return s;
+}
+
+} // namespace
+
+Expected<workloads::ExtractionResult>
+extractProxies(const TraceData& data, const ExtractOptions& opts)
+{
+    P10_ASSERT(opts.topK > 0 && opts.maxLoopInstrs > 0,
+               "extraction parameters");
+    Expected<std::vector<isa::TraceInstr>> decoded = data.decodeAll();
+    if (!decoded)
+        return decoded.error();
+    const std::vector<isa::TraceInstr>& stream = decoded.value();
+
+    // Pass: walk the stream once. lastSeen maps pc -> most recent
+    // stream position, so a taken backward branch identifies the
+    // dynamic window of one loop iteration in O(1).
+    std::map<uint64_t, size_t> lastSeen;
+    std::map<uint64_t, LoopStat> loops;
+    for (size_t i = 0; i < stream.size(); ++i) {
+        const isa::TraceInstr& in = stream[i];
+        if (isa::isBranch(in.op) && in.taken && in.target != 0 &&
+            in.target <= in.pc) {
+            auto seen = lastSeen.find(in.target);
+            if (seen != lastSeen.end()) {
+                const size_t head = seen->second;
+                const size_t bodyLen = i - head + 1;
+                if (bodyLen <= opts.maxLoopInstrs) {
+                    uint64_t minPc = in.pc;
+                    uint64_t maxPc = in.pc;
+                    for (size_t k = head; k <= i; ++k) {
+                        minPc = std::min(minPc, stream[k].pc);
+                        maxPc = std::max(maxPc, stream[k].pc);
+                    }
+                    if (maxPc - minPc <= opts.maxCodeSpanBytes) {
+                        LoopStat& stat = loops[in.target];
+                        stat.dynInstrs += bodyLen;
+                        ++stat.iterations;
+                        if (stat.body.empty()) {
+                            stat.body.assign(stream.begin() +
+                                                 static_cast<long>(head),
+                                             stream.begin() +
+                                                 static_cast<long>(i) +
+                                                 1);
+                            stat.minPc = minPc;
+                            stat.maxPc = maxPc;
+                        }
+                    }
+                }
+            }
+        }
+        lastSeen[in.pc] = i;
+    }
+
+    // Rank heads by attributed dynamic instructions; ties break on the
+    // head pc so the result is deterministic.
+    std::vector<uint64_t> heads;
+    heads.reserve(loops.size());
+    for (const auto& [head, stat] : loops)
+        heads.push_back(head);
+    std::sort(heads.begin(), heads.end(),
+              [&loops](uint64_t a, uint64_t b) {
+                  const LoopStat& sa = loops[a];
+                  const LoopStat& sb = loops[b];
+                  if (sa.dynInstrs != sb.dynInstrs)
+                      return sa.dynInstrs > sb.dynInstrs;
+                  return a < b;
+              });
+
+    // Greedy top-K with overlap suppression: a loop nested inside an
+    // already accepted one re-covers the same instructions, so its
+    // weight must not double-count.
+    workloads::ExtractionResult result;
+    std::vector<std::pair<uint64_t, uint64_t>> taken;
+    for (uint64_t head : heads) {
+        if (static_cast<int>(result.proxies.size()) >= opts.topK)
+            break;
+        const LoopStat& stat = loops[head];
+        bool overlaps = false;
+        for (const auto& [lo, hi] : taken)
+            if (stat.minPc <= hi && stat.maxPc >= lo) {
+                overlaps = true;
+                break;
+            }
+        if (overlaps || stat.body.empty())
+            continue;
+        workloads::SnippetProxy proxy;
+        proxy.name = data.meta().name + "#pc" + hexPc(head);
+        proxy.weight = static_cast<double>(stat.dynInstrs) /
+                       static_cast<double>(stream.size());
+        proxy.loop = stat.body;
+        // The captured iteration already ends on the taken back-edge
+        // to the head, so the loop closes naturally; pin it anyway in
+        // case the final capture came from a conditional exit path.
+        isa::TraceInstr& tail = proxy.loop.back();
+        tail.taken = true;
+        tail.target = proxy.loop.front().pc;
+        taken.emplace_back(stat.minPc, stat.maxPc);
+        result.coverage += proxy.weight;
+        result.proxies.push_back(std::move(proxy));
+    }
+    result.coverage = std::min(result.coverage, 1.0);
+    return result;
+}
+
+TraceData
+proxyToTrace(const workloads::SnippetProxy& proxy,
+             const TraceMeta& parent)
+{
+    P10_ASSERT(!proxy.loop.empty(), "empty snippet proxy");
+    TraceMeta meta;
+    meta.name = proxy.name;
+    meta.dialect = parent.dialect;
+    meta.source = "extract:" + parent.name;
+    TraceWriter writer(std::move(meta));
+    for (const isa::TraceInstr& in : proxy.loop)
+        writer.add(in);
+    return writer.finish();
+}
+
+} // namespace p10ee::trace

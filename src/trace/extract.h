@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Snippet re-extraction over ingested traces: the paper's own
+ * Chopstix pipeline (§III-A), runnable on external input.
+ *
+ * `workloads::extractProxies` mines hot functions out of a *synthetic*
+ * CFG it can instrument block by block. A recorded trace has no block
+ * annotations — only the dynamic stream — so this variant recovers the
+ * structure the way trace-based extractors do: taken backward branches
+ * mark loop back-edges; the dynamic window from the last visit of the
+ * target pc to the branch is a loop body; bodies whose static code
+ * span stays L1-contained and that dominate the dynamic instruction
+ * count become `SnippetProxy` workloads, with the covered fraction of
+ * the stream reported exactly like the paper's ~70% SPECint coverage
+ * figure.
+ *
+ * Extracted proxies round-trip: `proxyToTrace` re-packages a snippet
+ * as its own `p10trace/1` container, so `trace:<snippet path>` replays
+ * it anywhere a workload name is accepted.
+ */
+
+#ifndef P10EE_TRACE_EXTRACT_H
+#define P10EE_TRACE_EXTRACT_H
+
+#include "common/error.h"
+#include "trace/container.h"
+#include "workloads/chopstix.h"
+
+namespace p10ee::trace {
+
+/** Tunables of the trace-side extractor. */
+struct ExtractOptions
+{
+    /** Keep at most this many proxies, hottest first. */
+    int topK = 5;
+
+    /** Longest loop body (dynamic instructions) considered a snippet. */
+    uint32_t maxLoopInstrs = 2048;
+
+    /**
+     * Largest static code span (max pc - min pc, bytes) of an
+     * accepted loop — the L1-contained bar of the paper's proxies.
+     */
+    uint64_t maxCodeSpanBytes = 32 * 1024;
+};
+
+/**
+ * Mine hot L1-contained loops out of @p data. Decode failures are
+ * structured errors; a trace with no qualifying loop yields an empty
+ * result with zero coverage (not an error).
+ */
+common::Expected<workloads::ExtractionResult>
+extractProxies(const TraceData& data,
+               const ExtractOptions& opts = ExtractOptions{});
+
+/**
+ * Package an extracted snippet as its own replayable container. The
+ * proxy's loop becomes the payload; @p parent supplies dialect and
+ * names the provenance ("extract:<parent name>").
+ */
+TraceData proxyToTrace(const workloads::SnippetProxy& proxy,
+                       const TraceMeta& parent);
+
+} // namespace p10ee::trace
+
+#endif // P10EE_TRACE_EXTRACT_H

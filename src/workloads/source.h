@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "common/error.h"
+#include "common/serialize.h"
 #include "isa/instr.h"
 
 namespace p10ee::workloads {
@@ -29,6 +31,29 @@ class InstrSource
 
     /** Workload name for reports. */
     virtual std::string name() const = 0;
+};
+
+/**
+ * An InstrSource whose dynamic walker state can round-trip through the
+ * checkpoint subsystem (src/ckpt). The contract every implementation
+ * must honour: construct an identical source (same inputs), loadState()
+ * bytes produced by saveState(), and the stream continues bit-identical
+ * to the uninterrupted one. The serialized layout of every
+ * implementation is covered by ckpt::kStateSchemaVersion — bump it
+ * whenever any saveState() layout changes.
+ */
+class CheckpointableSource : public InstrSource
+{
+  public:
+    /** Serialize the dynamic walker state. */
+    virtual void saveState(common::BinWriter& w) const = 0;
+
+    /**
+     * Restore state saved by saveState() into an identically
+     * constructed source; out-of-range cursors and mismatched
+     * identities are structured errors, never UB.
+     */
+    virtual common::Status loadState(common::BinReader& r) = 0;
 };
 
 /**

@@ -29,8 +29,23 @@ constexpr int kNumRotVsr = 48;
 uint64_t
 profileHash(const WorkloadProfile& p)
 {
-    // Every field, in declaration order: a field missing here would let
-    // two different workloads alias one cache entry or checkpoint.
+    if (!p.frontend.empty()) {
+        // Frontend-bound profiles are content-addressed: the scheme,
+        // the external artifact's content hash and the seed. The path
+        // and display metadata deliberately stay out so moving or
+        // re-describing a trace keeps cache keys stable, while one
+        // mutated instruction (a different content hash) invalidates.
+        common::BinWriter w;
+        w.str(p.frontend);
+        w.u64(p.contentHash);
+        w.u64(p.seed);
+        common::Fnv1a h;
+        h.bytes(w.bytes().data(), w.size());
+        return h.digest();
+    }
+    // Every statistical field, in declaration order: a field missing
+    // here would let two different workloads alias one cache entry or
+    // checkpoint.
     common::BinWriter w;
     w.str(p.name);
     w.f64(p.loadFrac);

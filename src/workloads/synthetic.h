@@ -93,6 +93,19 @@ struct WorkloadProfile
     int avgBlockLen = 10;
 
     uint64_t seed = 1;
+
+    /**
+     * Workload-frontend binding (see workloads/registry.h). Empty for
+     * synthetic profiles; otherwise the registered scheme (e.g.
+     * "trace") whose frontend constructs the instruction source, with
+     * @ref sourcePath naming the external artifact and @ref
+     * contentHash its content identity. The statistical fields above
+     * are ignored for frontend-bound profiles — the external stream IS
+     * the workload.
+     */
+    std::string frontend;
+    std::string sourcePath;
+    uint64_t contentHash = 0;
 };
 
 /**
@@ -101,6 +114,12 @@ struct WorkloadProfile
  * state (sweep shard cache entries, warmup checkpoints): a profile
  * whose *definition* changed invalidates by content even when its name
  * did not.
+ *
+ * Frontend-bound profiles hash by *content*: the frontend scheme, the
+ * external artifact's content hash and the seed — never the path or
+ * display metadata — so re-locating or re-describing a trace keeps
+ * cache keys stable while any mutation of its instructions changes
+ * them.
  */
 uint64_t profileHash(const WorkloadProfile& p);
 
@@ -111,7 +130,7 @@ uint64_t profileHash(const WorkloadProfile& p);
  * personalities); next() walks it. Two generators with the same profile
  * and seed produce identical streams.
  */
-class SyntheticWorkload : public InstrSource
+class SyntheticWorkload : public CheckpointableSource
 {
   public:
     /**
@@ -141,14 +160,14 @@ class SyntheticWorkload : public InstrSource
     // serialized: RNG, block cursor, region cursors, branch counters.
 
     /** Serialize the dynamic walker state. */
-    void saveState(common::BinWriter& w) const;
+    void saveState(common::BinWriter& w) const override;
 
     /**
      * Restore state saved by saveState() into a generator constructed
      * from the same profile and threadId; cursor and counter ranges
      * are validated against the rebuilt static code.
      */
-    common::Status loadState(common::BinReader& r);
+    common::Status loadState(common::BinReader& r) override;
 
   private:
     /** One static instruction template. */

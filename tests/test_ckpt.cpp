@@ -45,7 +45,7 @@ struct Bundle
 {
     std::vector<std::unique_ptr<workloads::SyntheticWorkload>> own;
     std::vector<workloads::InstrSource*> threads;
-    std::vector<workloads::SyntheticWorkload*> walkers;
+    std::vector<workloads::CheckpointableSource*> walkers;
 };
 
 Bundle
