@@ -5,9 +5,12 @@
  *
  *  1. host-MIPS per config x SMT for the in-process sweep path (the
  *     raw simulation speed everything else is built on),
- *  2. daemon jobs/sec: an in-process `service::Daemon` served over
+ *  2. host-MIPS per chip width: the same sweep at 1/2/4 cores per
+ *     shard, measuring what the shared-resource and chip-governor
+ *     layers cost on top of the bare core,
+ *  3. daemon jobs/sec: an in-process `service::Daemon` served over
  *     real loopback sockets,
- *  3. fleet shards/sec at N spawned p10d workers through the fabric
+ *  4. fleet shards/sec at N spawned p10d workers through the fabric
  *     coordinator (lease/heartbeat machinery included).
  *
  * Host throughput is inherently machine-dependent, so the guard in
@@ -168,7 +171,48 @@ main(int argc, char** argv)
     }
     mips.print();
 
-    // --- 2. Daemon jobs/sec over loopback sockets -------------------
+    // --- 2. Chip scaling: host-MIPS per chip width ------------------
+    {
+        common::Table chip("Host simulation speed per chip width");
+        chip.header({"cores", "shards", "wall s", "host-MIPS"});
+        for (int cores : {1, 2, 4}) {
+            sweep::SweepSpec spec;
+            spec.configs = {"power10"};
+            spec.workloads = {"perlbench", "gcc", "mcf", "xz"};
+            spec.smt = {2};
+            spec.cores = {cores};
+            spec.seeds = 1;
+            spec.instrs = kInstrs;
+            spec.warmup = kWarmup;
+            api::Service service;
+            api::SweepOptions opts;
+            opts.jobs = ctx.jobs;
+            const auto start = std::chrono::steady_clock::now();
+            auto resultOr = service.runSweep(spec, opts);
+            const double wall = secondsSince(start);
+            if (!resultOr.ok()) {
+                std::fprintf(stderr,
+                             "bench_fleet: chip sweep failed: %s\n",
+                             resultOr.error().str().c_str());
+                return 1;
+            }
+            const uint64_t instrs = resultOr.value().simInstrs;
+            bench::accountSimInstrs(instrs);
+            const double hostMips =
+                wall > 0.0 ? static_cast<double>(instrs) / wall / 1e6
+                           : 0.0;
+            chip.row({std::to_string(cores),
+                      std::to_string(resultOr.value().shards.size()),
+                      common::fmt(wall, 3), common::fmt(hostMips, 1)});
+            ctx.report.addScalar("fleet_bench.host_mips.chip.c" +
+                                     std::to_string(cores),
+                                 hostMips);
+        }
+        std::printf("\n");
+        chip.print();
+    }
+
+    // --- 3. Daemon jobs/sec over loopback sockets -------------------
     {
         service::DaemonOptions dopts;
         dopts.executors = 2;
@@ -200,7 +244,7 @@ main(int argc, char** argv)
             return 1;
     }
 
-    // --- 3. Fleet shards/sec at N spawned workers -------------------
+    // --- 4. Fleet shards/sec at N spawned workers -------------------
 #ifdef P10EE_P10D_BIN
     {
         common::Table fleet("Fleet throughput (spawned p10d workers)");

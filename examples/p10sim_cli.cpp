@@ -6,7 +6,7 @@
  * point a downstream user drives parameter sweeps with.
  *
  *   p10sim_cli --config power10 --workload xz --smt 4 \
- *              --instrs 200000 [--csv] [--ablate <group>] \
+ *              --instrs 200000 [--cores N] [--csv] [--ablate <group>] \
  *              [--trace-out trace.json] [--out stats.json] \
  *              [--sample-interval 1024] \
  *              [--ckpt-save warm.ckpt | --ckpt-load warm.ckpt]
@@ -53,6 +53,7 @@ main(int argc, char** argv)
     std::string ablate;
     std::string workload = "perlbench";
     int smt = 1;
+    int cores = 1;
     uint64_t instrs = 200000;
     uint64_t warmup = 50000;
     uint64_t seed = 0;
@@ -78,6 +79,9 @@ main(int argc, char** argv)
                "perlbench)");
     parser.intRange("--smt", &smt, 1, 8,
                     "hardware threads (1, 2, 4 or 8; default 1)");
+    parser.intRange("--cores", &cores, 1, 16,
+                    "chip width: cores sharing the L3/memory fabric "
+                    "and the chip governor (default 1 = bare core)");
     api::stdflags::instrs(parser, &instrs);
     api::stdflags::warmup(parser, &warmup);
     api::stdflags::seed(parser, &seed);
@@ -115,6 +119,7 @@ main(int argc, char** argv)
     req.config = ablate.empty() ? configName : "ablate:" + ablate;
     req.workload = workload;
     req.smt = smt;
+    req.cores = cores;
     req.instrs = instrs;
     req.warmup = warmup;
     req.seed = seed;
@@ -126,8 +131,10 @@ main(int argc, char** argv)
     if (telemetry) {
         req.recorder = &rec;
         // Power tracks need per-cycle timings; only pay for them when a
-        // trace or report was requested.
-        req.collectTimings = true;
+        // trace or report was requested. Per-instruction timings are a
+        // single-core diagnostic — chip runs sample chip.* tracks
+        // instead.
+        req.collectTimings = (cores == 1);
         req.sampleInterval = sampleInterval;
     }
 
@@ -227,7 +234,10 @@ main(int argc, char** argv)
     }
 
     common::Table t("p10sim: " + workload + " on " +
-                    outcome.config.name + " SMT" + std::to_string(smt));
+                    outcome.config.name + " SMT" + std::to_string(smt) +
+                    (cores >= 2
+                         ? " x " + std::to_string(cores) + " cores"
+                         : ""));
     t.header({"metric", "value"});
     t.row({"instructions", std::to_string(run.instrs)});
     t.row({"cycles", std::to_string(run.cycles)});
@@ -242,10 +252,37 @@ main(int argc, char** argv)
     t.row({"switch_w", common::fmt(power.switchPj * 0.004, 3)});
     t.row({"leak_w", common::fmt(power.leakPj * 0.004, 3)});
     t.row({"ipc_per_w", common::fmt(run.ipc() / power.watts(), 4)});
+    if (cores >= 2) {
+        t.row({"chip_freq_ghz", common::fmt(outcome.chip.freqGhz, 4)});
+        t.row({"chip_boost", common::fmt(outcome.chip.boost, 4)});
+        t.row({"chip_epochs", std::to_string(outcome.chip.epochs)});
+        t.row({"throttled_epochs",
+               std::to_string(outcome.chip.throttledEpochs)});
+        t.row({"droop_trips", std::to_string(outcome.chip.droopTrips)});
+    }
     if (csv)
         t.printCsv();
     else
         t.print();
+
+    if (cores >= 2) {
+        common::Table ct("chip cores");
+        ct.header({"core", "cycles", "stall_cycles", "eff_cycles",
+                   "instrs", "ipc", "power_w", "freq_ghz"});
+        for (size_t i = 0; i < outcome.chip.cores.size(); ++i) {
+            const chip::ChipCoreOutcome& co = outcome.chip.cores[i];
+            ct.row({std::to_string(i), std::to_string(co.run.cycles),
+                    std::to_string(co.stallCycles),
+                    std::to_string(co.effCycles),
+                    std::to_string(co.run.instrs),
+                    common::fmt(co.ipc, 4), common::fmt(co.powerW, 3),
+                    common::fmt(co.freqGhz, 4)});
+        }
+        if (csv)
+            ct.printCsv();
+        else
+            ct.print();
+    }
 
     // Output-path failures after a finished run are recoverable
     // diagnostics (exit 1), not usage errors (exit 2): the simulation

@@ -161,6 +161,61 @@ EOF
     echo "fleet smoke (${tag}): chaos and degraded runs byte-identical"
 }
 
+# Chip smoke: the multi-core chip path end to end on one flavour's
+# binaries. An explicit "cores": [1] axis must leave the merged report
+# byte-identical to the same spec without the axis (the chip(1) ==
+# bare-core identity contract keeps 1-core sweeps on the exact
+# historical bytes); a 4-core chip sweep must be byte-identical at any
+# --jobs and cold vs warm shard cache, and must pass the --chip rollup
+# validation; and the same chip spec through a spawned 2-worker p10d
+# fleet must reproduce the CLI bytes. Own spec files throughout — the
+# daemon smoke's cache assertions count shards on the shared spec.
+chip_smoke() {
+    local build="$1"
+    local tag="$2"
+    local dir="${smoke_dir}/chip-${tag}"
+    rm -rf "${dir}"
+    mkdir -p "${dir}"
+    echo "=== chip smoke (${tag}): 1-core identity + 4-core byte stability ==="
+    cat > "${dir}/core_spec.json" <<'EOF'
+{
+  "configs": ["power10"],
+  "workloads": ["xz", "mcf"],
+  "smt": [1, 2],
+  "seeds": 1,
+  "instrs": 3000,
+  "warmup": 500,
+  "seed": 7
+}
+EOF
+    sed 's/"smt": \[1, 2\],/"smt": [1, 2],\n  "cores": [1],/' \
+        "${dir}/core_spec.json" > "${dir}/core1_spec.json"
+    sed 's/"smt": \[1, 2\],/"smt": [1, 2],\n  "cores": [4],/' \
+        "${dir}/core_spec.json" > "${dir}/chip_spec.json"
+    "${build}/examples/p10sweep_cli" --spec "${dir}/core_spec.json" \
+        --jobs 2 --out "${dir}/CORE.json" >/dev/null
+    "${build}/examples/p10sweep_cli" --spec "${dir}/core1_spec.json" \
+        --jobs 2 --out "${dir}/CORE_c1.json" >/dev/null
+    cmp "${dir}/CORE.json" "${dir}/CORE_c1.json"
+    "${build}/examples/p10sweep_cli" --spec "${dir}/chip_spec.json" \
+        --jobs 1 --out "${dir}/CHIP_j1.json" >/dev/null
+    rm -rf "${dir}/cache"
+    "${build}/examples/p10sweep_cli" --spec "${dir}/chip_spec.json" \
+        --jobs 4 --cache-dir "${dir}/cache" \
+        --out "${dir}/CHIP_cold.json" >/dev/null
+    "${build}/examples/p10sweep_cli" --spec "${dir}/chip_spec.json" \
+        --jobs 4 --cache-dir "${dir}/cache" \
+        --out "${dir}/CHIP_warm.json" >/dev/null
+    cmp "${dir}/CHIP_j1.json" "${dir}/CHIP_cold.json"
+    cmp "${dir}/CHIP_cold.json" "${dir}/CHIP_warm.json"
+    python3 scripts/validate_report.py --chip "${dir}/CHIP_cold.json"
+    "${build}/examples/p10fleet" --spec "${dir}/chip_spec.json" \
+        --spawn 2 --out "${dir}/CHIP_fleet.json" \
+        > /dev/null 2> "${dir}/fleet.err"
+    cmp "${dir}/CHIP_j1.json" "${dir}/CHIP_fleet.json"
+    echo "chip smoke (${tag}): 1-core identical to bare core, 4-core stable"
+}
+
 # Trace smoke: the full ingestion loop on one flavour's binaries.
 # Record a synthetic workload into a p10trace/1 container, sweep it as
 # a trace:<path> workload (byte-identical at any --jobs, cold vs warm
@@ -356,6 +411,7 @@ EOF
 daemon_smoke build-release release
 fleet_smoke build-release release
 trace_smoke build-release release
+chip_smoke build-release release
 
 # Bench baseline diff: the fleet-throughput report from the bench
 # smoke above must stay structurally identical to the committed
@@ -375,6 +431,7 @@ run_flavour asan-ubsan tier1 -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 daemon_smoke build-asan-ubsan asan-ubsan
 fleet_smoke build-asan-ubsan asan-ubsan
 trace_smoke build-asan-ubsan asan-ubsan
+chip_smoke build-asan-ubsan asan-ubsan
 
 # The hostile-input surfaces (checkpoint/cache/trace deserializers,
 # spec parsing) must also hold under the sanitizers, and their fuzz
@@ -387,6 +444,8 @@ build-asan-ubsan/tests/test_sweep_cache \
     --gtest_filter='*Fuzz*:*Corrupt*:*Stale*' >/dev/null
 build-asan-ubsan/tests/test_trace \
     --gtest_filter='TraceHostile.*' >/dev/null
+build-asan-ubsan/tests/test_chip \
+    --gtest_filter='ChipCkptHostile.*' >/dev/null
 
 # TSan flavour: only the parallel paths (thread pool, sweep runner,
 # parallel fault campaign) need race coverage, so build just those
@@ -397,7 +456,7 @@ export TSAN_OPTIONS="halt_on_error=1"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DP10EE_SANITIZE=thread
 cmake --build build-tsan -j "$(nproc)" \
-    --target test_sweep test_service test_fabric test_obs \
+    --target test_sweep test_service test_fabric test_obs test_chip \
     bench_fault_campaign p10sweep_cli p10d p10fleet \
     p10trace_cli p10sim_cli
 echo "=== tsan: test_sweep ==="
@@ -408,6 +467,8 @@ echo "=== tsan: test_fabric (coordinator/worker thread model) ==="
 build-tsan/tests/test_fabric
 echo "=== tsan: test_obs (metrics registry + span recorder) ==="
 build-tsan/tests/test_obs
+echo "=== tsan: test_chip (epoch barriers + per-core recorders) ==="
+build-tsan/tests/test_chip
 echo "=== tsan: parallel campaign + sweep smoke ==="
 build-tsan/bench/bench_fault_campaign --instrs 20 --warmup 500 \
     --jobs 4 >/dev/null
@@ -417,5 +478,6 @@ build-tsan/examples/p10sweep_cli --spec "${smoke_dir}/sweep_smoke.json" \
 daemon_smoke build-tsan tsan
 fleet_smoke build-tsan tsan
 trace_smoke build-tsan tsan
+chip_smoke build-tsan tsan
 
 echo "=== CI green: release + asan-ubsan + tsan ==="

@@ -30,6 +30,15 @@ trace id must have the exact 32-hex + "-" + 16-hex wire shape, slice
 timestamps must be monotonic within each lane, and counter samples
 must be non-negative.
 
+With --chip, files get the full --sweep checks plus the chip-shard
+invariants from src/sweep/runner.h: a "chip shards" table (one row per
+multi-core shard, cores >= 2, row count matching the chip.shards
+scalar) and a "chip cores" table whose per-core rows must roll up
+exactly to their shard — instrs sum to the shard's instrs, effective
+cycles equal commit cycles plus non-negative stall cycles, the shard's
+chip_cycles is the slowest core's effective cycles, and the per-core
+power sums to the shard's power within rounding tolerance.
+
 With --trace-workload, files get the full --sweep checks plus the
 trace-workload provenance invariants from src/sweep/runner.h: a
 "trace workloads" table (workload, trace, content_hash) whose hashes
@@ -42,6 +51,7 @@ Usage:
   validate_report.py report.json [more.json ...]
   validate_report.py --trace trace.json [more.json ...]
   validate_report.py --sweep merged.json [more.json ...]
+  validate_report.py --chip merged.json [more.json ...]
   validate_report.py --trace-workload merged.json [more.json ...]
   validate_report.py --fleet stats.json [more.json ...]
   validate_report.py --metrics metrics.json [more.json ...]
@@ -270,6 +280,137 @@ def validate_trace_workload(path, doc, errors):
                   f"'trace workloads' table")
 
 
+CHIP_SHARD_COLUMNS = ["shard", "cores", "status", "chip_cycles",
+                      "instrs", "ipc", "power_w", "freq_ghz", "boost",
+                      "throttled_epochs", "droop_trips"]
+CHIP_CORE_COLUMNS = ["shard", "core", "cycles", "stall_cycles",
+                     "eff_cycles", "instrs", "ipc", "power_w",
+                     "freq_ghz"]
+
+
+def validate_chip(path, doc, errors):
+    """Merged sweep report over chip shards (cores >= 2): the full
+    --sweep checks plus the chip rollup invariants — every per-core
+    row must account exactly for its shard's instrs and cycles, stall
+    counters can never go negative, and the chip power is the sum of
+    its cores' power (within table-rounding tolerance: the cells hold
+    values rounded to 3 decimals, so sum-of-rounded and
+    rounded-of-sum legitimately differ by a few milliwatts)."""
+    before = len(errors)
+    validate_sweep(path, doc, errors)
+    if len(errors) != before:
+        return
+
+    scalars = doc["scalars"]
+    if not isinstance(scalars.get("chip.shards"), NUM):
+        return _fail(errors, path,
+                     "missing numeric scalar 'chip.shards'")
+
+    shards_t = next((t for t in doc["tables"]
+                     if t["title"] == "chip shards"), None)
+    if shards_t is None:
+        return _fail(errors, path, "no 'chip shards' table")
+    if shards_t["columns"] != CHIP_SHARD_COLUMNS:
+        return _fail(errors, path,
+                     f"'chip shards' columns {shards_t['columns']} "
+                     f"!= {CHIP_SHARD_COLUMNS}")
+    cores_t = next((t for t in doc["tables"]
+                    if t["title"] == "chip cores"), None)
+    if cores_t is None:
+        return _fail(errors, path, "no 'chip cores' table")
+    if cores_t["columns"] != CHIP_CORE_COLUMNS:
+        return _fail(errors, path,
+                     f"'chip cores' columns {cores_t['columns']} "
+                     f"!= {CHIP_CORE_COLUMNS}")
+
+    if scalars["chip.shards"] != len(shards_t["rows"]):
+        _fail(errors, path,
+              f"chip.shards={scalars['chip.shards']} but the "
+              f"'chip shards' table has {len(shards_t['rows'])} rows")
+
+    sweep_ids = {row[0] for row in
+                 next(t for t in doc["tables"]
+                      if t["title"] == "sweep shards")["rows"]}
+
+    # Group the per-core rows by owning shard id for the rollup checks.
+    core_rows = {}
+    for j, row in enumerate(cores_t["rows"]):
+        try:
+            cells = [row[0]] + [float(c) for c in row[1:]]
+        except ValueError:
+            _fail(errors, path,
+                  f"'chip cores' rows[{j}] non-numeric cell")
+            continue
+        if cells[CHIP_CORE_COLUMNS.index("stall_cycles")] < 0:
+            _fail(errors, path,
+                  f"'chip cores' rows[{j}] negative stall_cycles")
+        cycles = cells[CHIP_CORE_COLUMNS.index("cycles")]
+        stall = cells[CHIP_CORE_COLUMNS.index("stall_cycles")]
+        eff = cells[CHIP_CORE_COLUMNS.index("eff_cycles")]
+        if eff != cycles + stall:
+            _fail(errors, path,
+                  f"'chip cores' rows[{j}] eff_cycles {eff:g} != "
+                  f"cycles {cycles:g} + stall_cycles {stall:g}")
+        core_rows.setdefault(row[0], []).append(cells)
+
+    for j, row in enumerate(shards_t["rows"]):
+        shard_id = row[0]
+        if shard_id not in sweep_ids:
+            _fail(errors, path,
+                  f"'chip shards' rows[{j}] id '{shard_id}' missing "
+                  f"from the 'sweep shards' table")
+        try:
+            cores = int(row[CHIP_SHARD_COLUMNS.index("cores")])
+        except ValueError:
+            _fail(errors, path,
+                  f"'chip shards' rows[{j}] non-integer cores")
+            continue
+        if cores < 2:
+            _fail(errors, path,
+                  f"'chip shards' rows[{j}] cores={cores} < 2 — "
+                  f"1-core shards must stay out of the chip tables")
+        status = row[CHIP_SHARD_COLUMNS.index("status")]
+        mine = core_rows.pop(shard_id, [])
+        if status != "ok":
+            if mine:
+                _fail(errors, path,
+                      f"failed chip shard '{shard_id}' has "
+                      f"'chip cores' rows")
+            continue
+        if len(mine) != cores:
+            _fail(errors, path,
+                  f"chip shard '{shard_id}' has {len(mine)} "
+                  f"'chip cores' rows, expected {cores}")
+            continue
+        instrs = float(row[CHIP_SHARD_COLUMNS.index("instrs")])
+        chip_cycles = float(
+            row[CHIP_SHARD_COLUMNS.index("chip_cycles")])
+        power = float(row[CHIP_SHARD_COLUMNS.index("power_w")])
+        i_instrs = CHIP_CORE_COLUMNS.index("instrs")
+        i_eff = CHIP_CORE_COLUMNS.index("eff_cycles")
+        i_power = CHIP_CORE_COLUMNS.index("power_w")
+        if sum(c[i_instrs] for c in mine) != instrs:
+            _fail(errors, path,
+                  f"chip shard '{shard_id}' instrs {instrs:g} != sum "
+                  f"of its per-core instrs")
+        if max(c[i_eff] for c in mine) != chip_cycles:
+            _fail(errors, path,
+                  f"chip shard '{shard_id}' chip_cycles "
+                  f"{chip_cycles:g} != max per-core eff_cycles — the "
+                  f"chip finishes with its slowest core")
+        power_sum = sum(c[i_power] for c in mine)
+        if abs(power_sum - power) > 1e-3 * (cores + 1):
+            _fail(errors, path,
+                  f"chip shard '{shard_id}' power_w {power:g} != "
+                  f"per-core sum {power_sum:g} beyond rounding "
+                  f"tolerance")
+
+    for shard_id in sorted(core_rows):
+        _fail(errors, path,
+              f"'chip cores' rows for '{shard_id}' with no matching "
+              f"'chip shards' row")
+
+
 FLEET_SCALARS = ["fleet.workers", "fleet.workers_dead",
                  "fleet.dispatched", "fleet.reassigned",
                  "fleet.skipped", "fleet.remote_cache_hits",
@@ -399,8 +540,9 @@ def validate_metrics(path, doc, errors):
 def main(argv):
     args = argv[1:]
     mode = "report"
-    if args and args[0] in ("--trace", "--sweep", "--trace-workload",
-                            "--fleet", "--metrics"):
+    if args and args[0] in ("--trace", "--sweep", "--chip",
+                            "--trace-workload", "--fleet",
+                            "--metrics"):
         mode = args[0][2:]
         args = args[1:]
     if not args:
@@ -411,6 +553,7 @@ def main(argv):
         "report": validate_report,
         "trace": validate_trace,
         "sweep": validate_sweep,
+        "chip": validate_chip,
         "trace-workload": validate_trace_workload,
         "fleet": validate_fleet,
         "metrics": validate_metrics,

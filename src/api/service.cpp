@@ -3,8 +3,10 @@
 #include <memory>
 #include <vector>
 
+#include "chip/chip.h"
 #include "ckpt/checkpoint.h"
 #include "common/rng.h"
+#include "common/table.h"
 #include "sweep/cache.h"
 #include "trace/replay.h"
 #include "workloads/registry.h"
@@ -15,6 +17,125 @@ namespace p10ee::api {
 using common::Error;
 using common::Expected;
 using common::Status;
+
+namespace {
+
+/**
+ * The cores >= 2 body of Service::runOne: one homogeneous ChipModel
+ * over the resolved config/profile, with chip-checkpoint save/load.
+ * Kept out of the main path so the cores == 1 flow stays textually the
+ * bare-core path the byte-identity contract pins.
+ */
+Expected<RunOutcome>
+runOneChip(const RunRequest& req, core::CoreConfig cfg,
+           workloads::WorkloadProfile profile)
+{
+    const int nCores = req.cores;
+    std::vector<std::unique_ptr<workloads::CheckpointableSource>>
+        sources;
+    std::vector<std::vector<workloads::InstrSource*>> perCore(
+        static_cast<size_t>(nCores));
+    std::vector<std::vector<workloads::CheckpointableSource*>> walkers(
+        static_cast<size_t>(nCores));
+    for (int c = 0; c < nCores; ++c) {
+        for (int t = 0; t < req.smt; ++t) {
+            Expected<std::unique_ptr<workloads::CheckpointableSource>>
+                src = workloads::makeSource(profile, c * req.smt + t);
+            if (!src)
+                return src.error();
+            sources.push_back(std::move(src.value()));
+            perCore[static_cast<size_t>(c)].push_back(
+                sources.back().get());
+            walkers[static_cast<size_t>(c)].push_back(
+                sources.back().get());
+        }
+    }
+
+    RunOutcome out;
+    out.config = cfg;
+    out.profile = profile;
+    out.cores = nCores;
+
+    chip::ChipConfig chipCfg;
+    chipCfg.cores.assign(static_cast<size_t>(nCores), cfg);
+    chipCfg.seed = profile.seed;
+    if (Status st = chipCfg.validate(); !st)
+        return st.error();
+    chip::ChipModel model(std::move(chipCfg));
+
+    chip::ChipRunOptions opts;
+    opts.measureInstrs = req.instrs;
+    opts.maxCycles = req.maxCycles;
+    opts.recorder = req.recorder;
+
+    const uint64_t warmupPerCore =
+        req.warmup * static_cast<uint64_t>(req.smt);
+    if (!req.ckptLoad.empty()) {
+        Expected<ckpt::Checkpoint> ckOr =
+            ckpt::Checkpoint::load(req.ckptLoad);
+        if (!ckOr)
+            return ckOr.error();
+        const ckpt::Checkpoint& ck = ckOr.value();
+        // Same workload-identity guard as the bare path; the chip/core
+        // shape and config hashes are checked by restoreChipCheckpoint.
+        if (ck.meta().workload != req.workload ||
+            ck.meta().seed != profile.seed)
+            return Error::invalidArgument(
+                "checkpoint " + req.ckptLoad + " was captured for "
+                "workload '" + ck.meta().workload + "' seed " +
+                std::to_string(ck.meta().seed) + ", not '" +
+                req.workload + "' seed " +
+                std::to_string(profile.seed));
+        model.beginRun(perCore);
+        if (Status st = chip::restoreChipCheckpoint(ck, model, walkers);
+            !st)
+            return st.error();
+        out.warmupSimulated = 0;
+    } else {
+        model.beginRun(perCore);
+        model.advance(warmupPerCore);
+        out.warmupSimulated =
+            warmupPerCore * static_cast<uint64_t>(nCores);
+        if (!req.ckptSave.empty()) {
+            ckpt::CheckpointMeta meta;
+            meta.configName = cfg.name;
+            meta.workload = req.workload;
+            meta.warmupInstrs = warmupPerCore;
+            meta.seed = profile.seed;
+            auto ck = chip::captureChipCheckpoint(model, walkers, meta);
+            if (Status st = ck.save(req.ckptSave); !st)
+                return st.error();
+        }
+    }
+
+    out.chip = model.measure(opts);
+    if (out.chip.timedOut)
+        return Error::timeout(
+            "run exceeded cycle budget of " +
+            std::to_string(req.maxCycles) + " cycles");
+
+    // Mirror the chip rollup into the single-run fields so scalar
+    // consumers (runReport, CLI summary) see chip-scope numbers.
+    out.run.cycles = out.chip.chipCycles;
+    out.run.instrs = out.chip.instrs;
+    power::EnergyModel energy(cfg);
+    for (const chip::ChipCoreOutcome& co : out.chip.cores) {
+        for (const auto& [name, value] : co.run.stats)
+            if (name != "cycles")
+                out.run.stats[name] += value;
+        power::PowerBreakdown pb = energy.evalCounters(co.run);
+        out.power.totalPj += pb.totalPj;
+        out.power.clockPj += pb.clockPj;
+        out.power.switchPj += pb.switchPj;
+        out.power.leakPj += pb.leakPj;
+        for (const auto& [comp, pj] : pb.perComponent)
+            out.power.perComponent[comp] += pj;
+    }
+    out.run.stats["cycles"] = out.run.cycles;
+    return out;
+}
+
+} // namespace
 
 Status
 RunRequest::validate() const
@@ -32,6 +153,12 @@ RunRequest::validate() const
     if (smt != 1 && smt != 2 && smt != 4 && smt != 8)
         bad("smt must be 1, 2, 4 or 8 (got " + std::to_string(smt) +
             ")");
+    if (cores < 1 || cores > 16)
+        bad("cores must be in [1, 16] (got " + std::to_string(cores) +
+            ")");
+    if (cores >= 2 && collectTimings)
+        bad("per-instruction timings are a single-core diagnostic "
+            "(cores >= 2 cannot collect them)");
     if (instrs == 0)
         bad("instrs must be > 0");
     if (!ckptSave.empty() && !ckptLoad.empty())
@@ -71,6 +198,11 @@ Service::runOne(const RunRequest& req) const
     // any sweep shard replays in isolation with the same seed value.
     if (req.seed != 0)
         profile.seed = common::splitSeed(profile.seed, req.seed);
+
+    // Multi-core requests take the chip path; cores == 1 continues on
+    // the bare CoreModel path below, untouched (byte-identity).
+    if (req.cores >= 2)
+        return runOneChip(req, std::move(cfg), std::move(profile));
 
     std::vector<std::unique_ptr<workloads::CheckpointableSource>>
         sources;
@@ -261,7 +393,8 @@ Service::runReport(const RunRequest& req, const RunOutcome& outcome)
     report.meta().wallSeconds = 0.0;
     report.meta().hostMips = 0.0;
     report.meta().simInstrs =
-        req.warmup * static_cast<uint64_t>(req.smt) +
+        req.warmup * static_cast<uint64_t>(req.smt) *
+            static_cast<uint64_t>(outcome.cores) +
         outcome.run.instrs;
     report.addScalar("ipc", outcome.ipc());
     report.addScalar("cycles",
@@ -275,6 +408,35 @@ Service::runReport(const RunRequest& req, const RunOutcome& outcome)
     report.addScalar("ipc_per_w", outcome.ipcPerW());
     for (const auto& [comp, pj] : outcome.power.perComponent)
         report.addScalar("power.pj_per_cycle." + comp, pj);
+    // Chip-scope extras, gated so 1-core reports keep their exact
+    // pre-chip bytes (the bare-core identity contract).
+    if (outcome.cores >= 2) {
+        const chip::ChipResult& chip = outcome.chip;
+        report.addScalar("chip.cores",
+                         static_cast<double>(outcome.cores));
+        report.addScalar("chip.epochs",
+                         static_cast<double>(chip.epochs));
+        report.addScalar("chip.freq_ghz", chip.freqGhz);
+        report.addScalar("chip.boost", chip.boost);
+        report.addScalar("chip.throttled_epochs",
+                         static_cast<double>(chip.throttledEpochs));
+        report.addScalar("chip.droop_trips",
+                         static_cast<double>(chip.droopTrips));
+        common::Table t("chip cores");
+        t.header({"core", "cycles", "stall_cycles", "eff_cycles",
+                  "instrs", "ipc", "power_w", "freq_ghz"});
+        for (size_t i = 0; i < chip.cores.size(); ++i) {
+            const chip::ChipCoreOutcome& co = chip.cores[i];
+            t.row({std::to_string(i),
+                   std::to_string(co.run.cycles),
+                   std::to_string(co.stallCycles),
+                   std::to_string(co.effCycles),
+                   std::to_string(co.run.instrs),
+                   common::fmt(co.ipc, 4), common::fmt(co.powerW, 3),
+                   common::fmt(co.freqGhz, 4)});
+        }
+        report.addTable(t);
+    }
     return report;
 }
 

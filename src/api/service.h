@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "api/types.h"
+#include "chip/chip.h"
 #include "common/error.h"
 #include "core/core.h"
 #include "obs/report.h"
@@ -60,6 +61,12 @@ struct RunRequest
     std::string config = "power10";
     std::string workload = "perlbench";
     int smt = 1;
+    /** Chip width: 1 = the bare CoreModel path (byte-identical to every
+        pre-chip release); >= 2 routes through chip::ChipModel with
+        shared-resource contention and the chip-scope governor. Every
+        core runs this config/workload/smt; thread t of core c draws
+        workload stream c*smt + t. */
+    int cores = 1;
     uint64_t instrs = 200000;
     uint64_t warmup = 50000; ///< per thread
     /** 0 = profile default; else splitSeed replica (sweep semantics). */
@@ -81,11 +88,20 @@ struct RunRequest
 /** Outcome of one single run, with the resolved inputs attached. */
 struct RunOutcome
 {
+    /** The measured window. For cores >= 2 this holds the chip rollup
+        (cycles = chip effective cycles, instrs/stats summed over
+        cores), so scalar consumers see chip-scope numbers without
+        caring about width. */
     core::RunResult run;
+    /** Energy breakdown; summed across cores when cores >= 2. */
     power::PowerBreakdown power;
     core::CoreConfig config;               ///< resolved machine
     workloads::WorkloadProfile profile;    ///< resolved (seed derived)
     uint64_t warmupSimulated = 0; ///< 0 when restored from checkpoint
+
+    int cores = 1;         ///< mirrors RunRequest::cores
+    /** Per-core outcomes + governor rollup; valid when cores >= 2. */
+    chip::ChipResult chip;
 
     double ipc() const { return run.ipc(); }
     double powerW() const { return power.watts(); }

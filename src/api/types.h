@@ -32,6 +32,22 @@
 
 namespace p10ee::api {
 
+/**
+ * One core's slice of a multi-core chip shard (src/chip). Rows exist
+ * only for shards with cores >= 2; 1-core shards keep the exact
+ * historical ShardResult shape (the bare-core identity contract).
+ */
+struct ShardCoreRow
+{
+    uint64_t cycles = 0;      ///< raw simulated cycles
+    uint64_t stallCycles = 0; ///< contention + governor backpressure
+    uint64_t effCycles = 0;   ///< cycles + stallCycles
+    uint64_t instrs = 0;
+    double ipc = 0.0;         ///< instrs / effCycles
+    double powerW = 0.0;
+    double freqGhz = 0.0;     ///< broadcast frequency after yield cap
+};
+
 /** Outcome of one sweep shard (ok or recorded failure — never both
     halves). The unit of caching, merging and progress reporting. */
 struct ShardResult
@@ -75,6 +91,19 @@ struct ShardResult
     /** Per-shard IPC telemetry when the spec samples (x = cycle). */
     std::vector<double> ipcX;
     std::vector<double> ipcY;
+
+    // ---- Chip-scope results (cores >= 2 only; see src/chip) ----
+    // For multi-core shards, cycles/instrs/ipc/powerW above hold the
+    // chip rollup (chip cycles = max per-core effective cycles, summed
+    // instructions/power) and the fields below add the per-core
+    // breakdown plus governor outcomes.
+
+    int cores = 1;
+    std::vector<ShardCoreRow> coreRows; ///< empty when cores == 1
+    double chipFreqGhz = 0.0; ///< final broadcast WOF frequency
+    double chipBoost = 0.0;   ///< final WOF boost
+    uint64_t throttledEpochs = 0;
+    uint64_t droopTrips = 0;
 };
 
 /**

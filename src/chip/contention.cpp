@@ -1,0 +1,170 @@
+#include "chip/contention.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace p10ee::chip {
+
+using common::BinReader;
+using common::BinWriter;
+using common::Error;
+using common::Status;
+
+Status
+ContentionParams::validate(size_t numCores) const
+{
+    std::string problems;
+    auto bad = [&problems](const std::string& p) {
+        if (!problems.empty())
+            problems += "; ";
+        problems += p;
+    };
+    if (memLinesPer16Cycles == 0)
+        bad("mem bandwidth must be > 0 lines per 16 cycles");
+    if (l3CapacityLines == 0)
+        bad("l3 capacity must be > 0 lines");
+    // Starvation-freedom needs a fair share of at least one line per
+    // demanding core in every epoch; one line per 16 cycles per core
+    // is the floor because epochs are never shorter than 16 cycles in
+    // practice (an epoch is thousands of instructions).
+    if (numCores > 0 && memLinesPer16Cycles < numCores)
+        bad("mem bandwidth must be at least 1 line per 16 cycles per "
+            "core (got " + std::to_string(memLinesPer16Cycles) +
+            " for " + std::to_string(numCores) + " cores)");
+    if (!problems.empty())
+        return Error::invalidConfig("chip contention: " + problems);
+    return common::okStatus();
+}
+
+std::vector<uint64_t>
+maxMinFairGrants(const std::vector<uint64_t>& demand, uint64_t budget)
+{
+    std::vector<uint64_t> grant(demand.size(), 0);
+    if (demand.empty())
+        return grant;
+
+    auto totalAt = [&demand](uint64_t level) {
+        unsigned __int128 sum = 0;
+        for (uint64_t d : demand)
+            sum += std::min(d, level);
+        return sum;
+    };
+
+    // Binary-search the highest feasible water level. The sum is
+    // monotone in the level, so the largest L with totalAt(L) <=
+    // budget is well defined.
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+    for (uint64_t d : demand)
+        hi = std::max(hi, d);
+    while (lo < hi) {
+        uint64_t mid = lo + (hi - lo + 1) / 2;
+        if (totalAt(mid) <= budget)
+            lo = mid;
+        else
+            hi = mid - 1;
+    }
+    for (size_t i = 0; i < demand.size(); ++i)
+        grant[i] = std::min(demand[i], lo);
+    return grant;
+}
+
+L3SliceModel::L3SliceModel(const ContentionParams& params,
+                           size_t numCores)
+    : params_(params), occ_(numCores, 0)
+{
+}
+
+std::vector<uint64_t>
+L3SliceModel::step(const std::vector<uint64_t>& l3Demand)
+{
+    P10_ASSERT(l3Demand.size() == occ_.size(),
+               "L3 demand vector does not match core count");
+    // Integer EWMA (alpha = 1/4): occupancy follows demand with a
+    // few-epoch memory, so a phase change re-partitions the slices
+    // without single-epoch thrash.
+    for (size_t i = 0; i < occ_.size(); ++i)
+        occ_[i] = occ_[i] - occ_[i] / 4 + l3Demand[i] / 4;
+
+    uint64_t total = 0;
+    for (uint64_t o : occ_)
+        total += o;
+
+    std::vector<uint64_t> stall(occ_.size(), 0);
+    for (size_t i = 0; i < occ_.size(); ++i) {
+        const uint64_t pressure = total - occ_[i];
+        if (pressure == 0 || l3Demand[i] == 0)
+            continue;
+        // Saturating displacement charge: approaches one full miss
+        // penalty per access as co-runner pressure dwarfs capacity.
+        const unsigned __int128 num =
+            static_cast<unsigned __int128>(l3Demand[i]) *
+            params_.l3MissPenalty * pressure;
+        stall[i] = static_cast<uint64_t>(
+            num / (pressure + params_.l3CapacityLines));
+    }
+    return stall;
+}
+
+void
+L3SliceModel::saveState(BinWriter& w) const
+{
+    w.u64(occ_.size());
+    for (uint64_t o : occ_)
+        w.u64(o);
+}
+
+Status
+L3SliceModel::loadState(BinReader& r)
+{
+    uint64_t n = r.u64();
+    if (r.failed() || n != occ_.size())
+        return Error::invalidArgument(
+            "chip contention state: occupancy count mismatch");
+    for (auto& o : occ_)
+        o = r.u64();
+    return r.status("chip contention state");
+}
+
+ContentionLayer::ContentionLayer(const ContentionParams& params,
+                                 size_t numCores)
+    : params_(params), numCores_(numCores), l3_(params, numCores)
+{
+}
+
+ContentionOutcome
+ContentionLayer::step(uint64_t epochCycles,
+                      const std::vector<uint64_t>& memDemand,
+                      const std::vector<uint64_t>& l3Demand)
+{
+    P10_ASSERT(memDemand.size() == numCores_ &&
+                   l3Demand.size() == numCores_,
+               "contention demand vectors must match core count");
+    ContentionOutcome out;
+    out.memBudget = epochCycles * params_.memLinesPer16Cycles / 16;
+    out.memGrant = maxMinFairGrants(memDemand, out.memBudget);
+    out.memStall.resize(numCores_, 0);
+    for (size_t i = 0; i < numCores_; ++i)
+        out.memStall[i] =
+            (memDemand[i] - out.memGrant[i]) * params_.memStallPerLine;
+    out.l3Stall = l3_.step(l3Demand);
+    out.stall.resize(numCores_, 0);
+    for (size_t i = 0; i < numCores_; ++i)
+        out.stall[i] = out.memStall[i] + out.l3Stall[i];
+    return out;
+}
+
+void
+ContentionLayer::saveState(BinWriter& w) const
+{
+    l3_.saveState(w);
+}
+
+Status
+ContentionLayer::loadState(BinReader& r)
+{
+    return l3_.loadState(r);
+}
+
+} // namespace p10ee::chip

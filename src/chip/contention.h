@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Shared-resource contention between the cores of one chip.
+ *
+ * The paper separates core-level from chip-level efficiency (Fig. 10)
+ * because the shared fabric — the L3 region a core does not own and
+ * the memory interface every core competes for — is where multi-core
+ * scaling loses cycles. This layer models that loss as deterministic
+ * stall-cycle backpressure computed once per lockstep epoch from the
+ * cores' aggregate demand, never by perturbing the cores themselves:
+ * each core simulates its own raw timing, and the chip accounts the
+ * contention on top, which keeps per-core results reproducible and the
+ * whole layer independently property-testable.
+ *
+ * Three invariants are load-bearing (tests/test_chip.cpp drives each
+ * over randomized demand vectors):
+ *  - conservation: the bandwidth granted in an epoch never exceeds the
+ *    arbiter's budget for that epoch;
+ *  - monotonicity: raising one core's demand never *increases* any
+ *    other core's grant (equivalently, never raises its IPC);
+ *  - starvation-freedom: with a budget of at least one line per core,
+ *    every demanding core is granted at least one line per epoch.
+ *
+ * The arbiter realizes them by construction with integer max-min
+ * fairness ("water-filling"): the highest water level L such that
+ * sum_i min(demand_i, L) fits the budget is found by binary search and
+ * every core is granted min(demand_i, L). Raising a co-runner's demand
+ * can only lower the feasible level, so grants are monotone; the level
+ * never admits more than the budget, so grants conserve; and L is at
+ * least floor(budget / cores), so nobody starves.
+ */
+
+#ifndef P10EE_CHIP_CONTENTION_H
+#define P10EE_CHIP_CONTENTION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+#include "common/serialize.h"
+
+namespace p10ee::chip {
+
+/** Shared-fabric parameters of one chip. */
+struct ContentionParams
+{
+    /** Chip-wide memory-interface budget: cache lines the fabric can
+        transfer per 16 cycles (16ths give sub-line-per-cycle grain
+        without floating point). */
+    uint64_t memLinesPer16Cycles = 16;
+
+    /** Backpressure charged per demanded-but-denied line (cycles). */
+    uint64_t memStallPerLine = 8;
+
+    /** Shared L3 working-set capacity in lines; co-runner occupancy
+        beyond it converts hits into extra-latency accesses. */
+    uint64_t l3CapacityLines = 8192;
+
+    /** Extra latency charged per L3 access displaced by co-runner
+        pressure (cycles). */
+    uint64_t l3MissPenalty = 16;
+
+    common::Status validate(size_t numCores) const;
+};
+
+/**
+ * Integer max-min fair ("water-filling") allocation: grant_i =
+ * min(demand_i, L) for the largest water level L whose total fits
+ * @p budget. See the header comment for the invariants this shape
+ * guarantees. Deterministic and index-independent: permuting the
+ * demands permutes the grants identically.
+ */
+std::vector<uint64_t> maxMinFairGrants(
+    const std::vector<uint64_t>& demand, uint64_t budget);
+
+/**
+ * The shared L3 viewed as per-core occupancy slices. Occupancy tracks
+ * demand through an integer EWMA (so phases decay, single-epoch spikes
+ * do not thrash), and the stall charged to a core grows with its
+ * co-runners' occupancy, saturating at one miss penalty per access:
+ *
+ *   stall_i = demand_i * penalty * pressure_i / (pressure_i + capacity)
+ *
+ * with pressure_i the summed occupancy of every other core — monotone
+ * in co-runner demand by construction.
+ */
+class L3SliceModel
+{
+  public:
+    L3SliceModel(const ContentionParams& params, size_t numCores);
+
+    /** Advance one epoch: update occupancies from @p l3Demand (L3
+        accesses per core this epoch) and return per-core extra stall
+        cycles. */
+    std::vector<uint64_t> step(const std::vector<uint64_t>& l3Demand);
+
+    /** Current per-core occupancy estimate (lines, EWMA). */
+    const std::vector<uint64_t>& occupancy() const { return occ_; }
+
+    void saveState(common::BinWriter& w) const;
+    common::Status loadState(common::BinReader& r);
+
+  private:
+    ContentionParams params_;
+    std::vector<uint64_t> occ_;
+};
+
+/** Per-epoch outcome of the contention layer. */
+struct ContentionOutcome
+{
+    uint64_t memBudget = 0;          ///< lines the epoch could transfer
+    std::vector<uint64_t> memGrant;  ///< lines granted per core
+    std::vector<uint64_t> memStall;  ///< backpressure cycles per core
+    std::vector<uint64_t> l3Stall;   ///< displacement cycles per core
+    std::vector<uint64_t> stall;     ///< memStall + l3Stall
+};
+
+/**
+ * The composed shared-resource layer one ChipModel owns: a
+ * memory-bandwidth arbiter over max-min fair grants plus the L3 slice
+ * model. Stateful only through the L3 occupancy EWMA; fully
+ * checkpointable.
+ */
+class ContentionLayer
+{
+  public:
+    ContentionLayer(const ContentionParams& params, size_t numCores);
+
+    /**
+     * Account one lockstep epoch of @p epochCycles raw cycles, given
+     * each core's memory-line demand and L3 access count, and return
+     * the per-core stall charges.
+     */
+    ContentionOutcome step(uint64_t epochCycles,
+                           const std::vector<uint64_t>& memDemand,
+                           const std::vector<uint64_t>& l3Demand);
+
+    const ContentionParams& params() const { return params_; }
+    const L3SliceModel& l3() const { return l3_; }
+
+    void saveState(common::BinWriter& w) const;
+    common::Status loadState(common::BinReader& r);
+
+  private:
+    ContentionParams params_;
+    size_t numCores_;
+    L3SliceModel l3_;
+};
+
+} // namespace p10ee::chip
+
+#endif // P10EE_CHIP_CONTENTION_H

@@ -1,0 +1,131 @@
+#include "chip/governor.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace p10ee::chip {
+
+using common::BinReader;
+using common::BinWriter;
+using common::Error;
+using common::Status;
+
+Status
+GovernorParams::validate() const
+{
+    std::string problems;
+    auto bad = [&problems](const std::string& p) {
+        if (!problems.empty())
+            problems += "; ";
+        problems += p;
+    };
+    if (wof.tdpWatts <= 0.0)
+        bad("wof tdp must be > 0");
+    if (!(throttleGainPerWatt >= 0.0))
+        bad("throttle gain must be >= 0");
+    if (!(throttleMaxFrac >= 0.0 && throttleMaxFrac < 1.0))
+        bad("throttle max fraction must be in [0, 1)");
+    if (!(droopStepWatts > 0.0))
+        bad("droop step must be > 0 watts");
+    if (droopHoldEpochs < 0)
+        bad("droop hold must be >= 0 epochs");
+    if (!(droopStallFrac >= 0.0 && droopStallFrac < 1.0))
+        bad("droop stall fraction must be in [0, 1)");
+    if (!(yieldSpreadGhz >= 0.0))
+        bad("yield spread must be >= 0");
+    if (!problems.empty())
+        return Error::invalidConfig("chip governor: " + problems);
+    return common::okStatus();
+}
+
+ChipGovernor::ChipGovernor(const GovernorParams& params,
+                           size_t numCores, uint64_t seed)
+    : params_(params), numCores_(numCores)
+{
+    // Per-core silicon: each core's fmax sits somewhere in the yield
+    // spread below the WOF ceiling, drawn from its own split stream so
+    // the caps are a pure function of (seed, core index) — identical
+    // no matter which entry path or thread built the chip.
+    fmax_.reserve(numCores_);
+    for (size_t i = 0; i < numCores_; ++i) {
+        common::Xoshiro rng(common::splitSeed(seed, i));
+        fmax_.push_back(params_.wof.fMaxGhz -
+                        params_.yieldSpreadGhz * rng.uniform());
+    }
+}
+
+GovernorDecision
+ChipGovernor::step(double chipPowerW)
+{
+    GovernorDecision dec;
+    const double chipTdpW =
+        params_.wof.tdpWatts * static_cast<double>(numCores_);
+
+    // WOF: express the chip's proxy power as an effective-capacitance
+    // ratio against the design point and solve for the highest
+    // frequency the budget admits. The per-core WOF domain sees the
+    // chip-mean ratio — the broadcast decision of §IV-A.
+    double ceff = chipTdpW > 0.0 ? chipPowerW / chipTdpW : 1.0;
+    ceff = std::min(std::max(ceff, 0.05), 2.0);
+    const pm::Wof wof(params_.wof);
+    const pm::WofPoint pt = wof.optimize(ceff);
+    dec.freqGhz = pt.freqGhz;
+    dec.boost = pt.boost;
+
+    // Throttle: proportional dispatch-limit response to power over
+    // budget, expressed as the stall fraction the chip charges.
+    if (chipPowerW > chipTdpW) {
+        dec.throttled = true;
+        dec.stallFrac =
+            std::min(params_.throttleMaxFrac,
+                     (chipPowerW - chipTdpW) *
+                         params_.throttleGainPerWatt);
+    }
+
+    // Droop: a fast power ramp (epoch grain) trips the sensor; the
+    // response holds a dispatch brake for a fixed number of epochs,
+    // like the DDS pulse-skip window of §IV-B.
+    if (prevPowerW_ >= 0.0 &&
+        chipPowerW - prevPowerW_ > params_.droopStepWatts) {
+        dec.droopTripped = true;
+        droopHoldLeft_ = params_.droopHoldEpochs;
+    }
+    if (droopHoldLeft_ > 0) {
+        dec.droopHold = true;
+        dec.stallFrac = std::max(dec.stallFrac, params_.droopStallFrac);
+        --droopHoldLeft_;
+    }
+    prevPowerW_ = chipPowerW;
+    return dec;
+}
+
+double
+ChipGovernor::coreFreqGhz(const GovernorDecision& decision,
+                          size_t i) const
+{
+    return std::min(decision.freqGhz, fmax_[i]);
+}
+
+void
+ChipGovernor::saveState(BinWriter& w) const
+{
+    w.f64(prevPowerW_);
+    w.u64(static_cast<uint64_t>(droopHoldLeft_));
+}
+
+Status
+ChipGovernor::loadState(BinReader& r)
+{
+    prevPowerW_ = r.f64();
+    uint64_t hold = r.u64();
+    if (r.failed() ||
+        hold > static_cast<uint64_t>(
+                   std::max(params_.droopHoldEpochs, 0)))
+        return Error::invalidArgument(
+            "chip governor state: droop hold out of range");
+    droopHoldLeft_ = static_cast<int>(hold);
+    return common::okStatus();
+}
+
+} // namespace p10ee::chip

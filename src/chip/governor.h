@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The chip-scope power governor: one control loop over N cores.
+ *
+ * On the real machine WOF, the digital droop sensors and the dispatch
+ * throttle are chip/quad-scope firmware loops fed by per-core activity
+ * proxies (paper §IV). The repo's pm/ building blocks model each loop
+ * for a single core; this class scopes them to the chip: the summed
+ * per-core power proxies drive one WOF frequency solve, one droop
+ * detector and one throttle decision per lockstep epoch, and the
+ * resulting operating point is broadcast to every core — capped per
+ * core by its own process-variation fmax (the PFLY-style yield spread
+ * of pm/yield.h, drawn deterministically from the chip seed via
+ * splitSeed so every entry path sees the same silicon).
+ *
+ * The governor never retimes the cores. Throttle and droop responses
+ * feed back as a stall fraction the ChipModel charges on top of each
+ * core's raw cycles — the same backpressure currency the contention
+ * layer uses — so governor effects stay deterministic and separable
+ * in the results.
+ */
+
+#ifndef P10EE_CHIP_GOVERNOR_H
+#define P10EE_CHIP_GOVERNOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+#include "common/serialize.h"
+#include "pm/wof.h"
+
+namespace p10ee::chip {
+
+/** Chip-scope control-loop parameters. */
+struct GovernorParams
+{
+    /** Per-core WOF domain; the chip budget is tdpWatts x cores. */
+    pm::WofParams wof;
+
+    /** Stall fraction charged per watt of chip power over budget. */
+    double throttleGainPerWatt = 0.02;
+
+    /** Throttling never stalls more than this fraction of an epoch. */
+    double throttleMaxFrac = 0.5;
+
+    /** Epoch-over-epoch chip power step (watts) that trips the
+        droop-detection response (the DDS analogue at epoch grain). */
+    double droopStepWatts = 6.0;
+
+    /** Epochs the droop response holds after a trip. */
+    int droopHoldEpochs = 4;
+
+    /** Stall fraction charged while the droop response holds. */
+    double droopStallFrac = 0.25;
+
+    /** Process-variation spread of per-core fmax below the WOF
+        ceiling (GHz); 0 = perfectly uniform silicon. */
+    double yieldSpreadGhz = 0.2;
+
+    common::Status validate() const;
+};
+
+/** One epoch's broadcast decision. */
+struct GovernorDecision
+{
+    double freqGhz = 0.0;     ///< chip-broadcast WOF frequency
+    double boost = 0.0;       ///< freqGhz / nominal
+    bool throttled = false;   ///< chip power exceeded the budget
+    bool droopTripped = false;///< power step tripped the droop sensor
+    bool droopHold = false;   ///< droop response active this epoch
+    double stallFrac = 0.0;   ///< epoch fraction charged as stalls
+};
+
+/** The chip governor; one instance per ChipModel, checkpointable. */
+class ChipGovernor
+{
+  public:
+    ChipGovernor(const GovernorParams& params, size_t numCores,
+                 uint64_t seed);
+
+    /** Per-core fmax yield caps (GHz), fixed at construction from the
+        chip seed — the silicon this chip "is". */
+    const std::vector<double>& coreFMaxGhz() const { return fmax_; }
+
+    /** Advance one epoch on the summed per-core power proxies. */
+    GovernorDecision step(double chipPowerW);
+
+    /** The frequency core @p i actually runs given @p decision. */
+    double coreFreqGhz(const GovernorDecision& decision, size_t i) const;
+
+    const GovernorParams& params() const { return params_; }
+
+    void saveState(common::BinWriter& w) const;
+    common::Status loadState(common::BinReader& r);
+
+  private:
+    GovernorParams params_;
+    size_t numCores_;
+    std::vector<double> fmax_;
+
+    // Control-loop state (checkpointed).
+    double prevPowerW_ = -1.0; ///< last epoch's chip power (<0 = none)
+    int droopHoldLeft_ = 0;    ///< epochs of droop response remaining
+};
+
+} // namespace p10ee::chip
+
+#endif // P10EE_CHIP_GOVERNOR_H

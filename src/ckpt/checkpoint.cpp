@@ -162,6 +162,17 @@ Checkpoint::capture(
     return ck;
 }
 
+Checkpoint
+Checkpoint::fromParts(CheckpointMeta meta, uint64_t stateHash,
+                      std::vector<uint8_t> payload)
+{
+    Checkpoint ck;
+    ck.meta_ = std::move(meta);
+    ck.cfgHash_ = stateHash;
+    ck.payload_ = std::move(payload);
+    return ck;
+}
+
 Status
 Checkpoint::restore(
     core::CoreModel& model,

@@ -97,10 +97,23 @@ class Checkpoint
         const std::vector<workloads::CheckpointableSource*>& sources)
         const;
 
+    /**
+     * Assemble a checkpoint from an externally serialized payload —
+     * the extension point for wrappers that checkpoint more than one
+     * core (src/chip). @p stateHash plays the config-hash role: it
+     * must bind the payload to the full configuration that produced
+     * it, in whatever hash space the wrapper defines.
+     */
+    static Checkpoint fromParts(CheckpointMeta meta, uint64_t stateHash,
+                                std::vector<uint8_t> payload);
+
     const CheckpointMeta& meta() const { return meta_; }
 
     /** Hash of the config this checkpoint was captured under. */
     uint64_t capturedConfigHash() const { return cfgHash_; }
+
+    /** The raw state payload (for fromParts-style wrappers). */
+    const std::vector<uint8_t>& payload() const { return payload_; }
 
     /** Serialized state payload size in bytes (diagnostics). */
     size_t payloadBytes() const { return payload_.size(); }

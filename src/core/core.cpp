@@ -721,6 +721,15 @@ CoreModel::stepOne()
     processInstr(pick, in);
 }
 
+uint64_t
+CoreModel::commitFrontCycle() const
+{
+    uint64_t front = 0;
+    for (const auto& ts : threads_)
+        front = std::max(front, ts->lastCommit);
+    return front;
+}
+
 void
 CoreModel::advance(uint64_t instrs)
 {

@@ -116,6 +116,15 @@ class CoreModel
      */
     RunResult measure(const RunOptions& opts);
 
+    /**
+     * Absolute commit-front cycle: the latest commit any SMT thread has
+     * reached since beginRun. Monotone across advance/measure calls;
+     * the chip model (src/chip) differences it across lockstep epochs
+     * for an unclamped epoch cycle count (RunResult::cycles reports a
+     * zero-length window as 1).
+     */
+    uint64_t commitFrontCycle() const;
+
     // ---- Checkpoint surface (src/ckpt) ----
 
     /**

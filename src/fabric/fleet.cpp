@@ -826,9 +826,14 @@ FleetRunner::run()
             ++result.cancelledShards;
         if (s.ok) {
             ++result.okCount;
+            // Same accounting as SweepRunner::run's fold: warmup is
+            // simulated once per (core, SMT thread).
             result.simInstrs +=
-                s.instrs + spec_.warmup * static_cast<uint64_t>(
-                                              shards_[s.index].smt);
+                s.instrs +
+                spec_.warmup *
+                    static_cast<uint64_t>(shards_[s.index].smt) *
+                    static_cast<uint64_t>(
+                        std::max(shards_[s.index].cores, 1));
         } else {
             ++result.failed;
         }

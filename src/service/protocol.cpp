@@ -53,13 +53,16 @@ parseRunPayload(const obs::JsonValue& root, api::RunRequest* out)
                 return Error::invalidArgument("run field '" + key +
                                               "' must be a string");
             (key == "config" ? out->config : out->workload) = v.string;
-        } else if (key == "smt" || key == "instrs" || key == "warmup" ||
-                   key == "seed" || key == "sample_interval") {
+        } else if (key == "smt" || key == "cores" || key == "instrs" ||
+                   key == "warmup" || key == "seed" ||
+                   key == "sample_interval") {
             Expected<uint64_t> n = v.asU64("run field '" + key + "'");
             if (!n)
                 return n.error();
             if (key == "smt")
                 out->smt = static_cast<int>(n.value());
+            else if (key == "cores")
+                out->cores = static_cast<int>(n.value());
             else if (key == "instrs")
                 out->instrs = n.value();
             else if (key == "warmup")

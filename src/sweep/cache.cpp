@@ -48,6 +48,23 @@ serializeResult(BinWriter& w, const ShardResult& s)
         w.f64(s.ipcX[i]);
         w.f64(s.ipcY[i]);
     }
+    // Chip-scope fields (format version 4): present for every shard;
+    // 1-core shards persist cores == 1 and no rows.
+    w.u32(static_cast<uint32_t>(s.cores));
+    w.u64(s.coreRows.size());
+    for (const api::ShardCoreRow& c : s.coreRows) {
+        w.u64(c.cycles);
+        w.u64(c.stallCycles);
+        w.u64(c.effCycles);
+        w.u64(c.instrs);
+        w.f64(c.ipc);
+        w.f64(c.powerW);
+        w.f64(c.freqGhz);
+    }
+    w.f64(s.chipFreqGhz);
+    w.f64(s.chipBoost);
+    w.u64(s.throttledEpochs);
+    w.u64(s.droopTrips);
 }
 
 std::optional<ShardResult>
@@ -81,6 +98,24 @@ deserializeResult(BinReader& r)
         s.ipcX[i] = r.f64();
         s.ipcY[i] = r.f64();
     }
+    s.cores = static_cast<int>(r.u32());
+    uint64_t rows = r.u64();
+    if (s.cores < 1 || !r.fits(rows, 7 * 8))
+        return std::nullopt;
+    s.coreRows.resize(static_cast<size_t>(rows));
+    for (api::ShardCoreRow& c : s.coreRows) {
+        c.cycles = r.u64();
+        c.stallCycles = r.u64();
+        c.effCycles = r.u64();
+        c.instrs = r.u64();
+        c.ipc = r.f64();
+        c.powerW = r.f64();
+        c.freqGhz = r.f64();
+    }
+    s.chipFreqGhz = r.f64();
+    s.chipBoost = r.f64();
+    s.throttledEpochs = r.u64();
+    s.droopTrips = r.u64();
     if (r.failed())
         return std::nullopt;
     return s;
@@ -144,6 +179,7 @@ ShardCache::canonicalKeyJson(const SweepSpec& spec, const ShardSpec& shard)
     w.key("profile_hash").value(workloads::profileHash(shard.profile));
     w.key("profile_seed").value(shard.profile.seed);
     w.key("smt").value(shard.smt);
+    w.key("cores").value(shard.cores);
     w.key("seed_index").value(shard.seedIndex);
     w.key("instrs").value(spec.instrs);
     w.key("warmup").value(spec.warmup);

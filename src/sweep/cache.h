@@ -46,8 +46,11 @@ namespace p10ee::sweep {
     common::ErrorCode enum grew Overloaded/Cancelled before Internal,
     renumbering persisted codes — v1 entries are unreachable, not
     misread. v3: ShardResult gained trace provenance (traceName,
-    traceHash) between ipcPerW and the telemetry series. */
-inline constexpr uint32_t kCacheFormatVersion = 3;
+    traceHash) between ipcPerW and the telemetry series. v4:
+    ShardResult gained the chip-scope block (cores, per-core rows,
+    governor rollup) after the telemetry series, and the canonical key
+    gained the "cores" axis. */
+inline constexpr uint32_t kCacheFormatVersion = 4;
 
 /** One cache directory; cheap to construct, stateless, thread-safe. */
 class ShardCache

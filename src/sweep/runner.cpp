@@ -1,5 +1,6 @@
 #include "sweep/runner.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -7,6 +8,7 @@
 #include <memory>
 #include <mutex>
 
+#include "chip/chip.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "core/core.h"
@@ -72,6 +74,7 @@ SweepRunner::runShard(const ShardSpec& shard) const
     ShardResult res;
     res.index = shard.index;
     res.key = shard.key();
+    res.cores = std::max(shard.cores, 1);
     if (!shard.profile.frontend.empty()) {
         // Provenance for externally ingested workloads: the recorded
         // name (scheme prefix stripped) plus the content hash that
@@ -116,33 +119,44 @@ SweepRunner::runShard(const ShardSpec& shard) const
             continue;
         }
 
+        // One source per (core, SMT thread). Thread ids are flattened
+        // as core * smt + t so a 1-core shard draws ids 0..smt-1 —
+        // exactly the historical bare-core streams — and every extra
+        // core gets its own deterministic replicas.
+        const int nCores = res.cores;
         std::vector<std::unique_ptr<workloads::CheckpointableSource>>
             sources;
-        std::vector<workloads::InstrSource*> threads;
+        std::vector<std::vector<workloads::InstrSource*>> perCore(
+            static_cast<size_t>(nCores));
         bool sourceFailed = false;
-        for (int t = 0; t < shard.smt; ++t) {
-            auto src = workloads::makeSource(shard.profile, t);
-            if (!src) {
-                // A workload whose backing file vanished or changed
-                // between expansion and execution is a recorded shard
-                // failure, not a crash — the sweep stays
-                // index-complete.
-                res.error = Error(src.error().code,
-                                  "shard " + res.key + ": " +
-                                      src.error().message);
-                sourceFailed = true;
-                break;
+        for (int c = 0; c < nCores && !sourceFailed; ++c) {
+            for (int t = 0; t < shard.smt; ++t) {
+                auto src = workloads::makeSource(shard.profile,
+                                                 c * shard.smt + t);
+                if (!src) {
+                    // A workload whose backing file vanished or changed
+                    // between expansion and execution is a recorded
+                    // shard failure, not a crash — the sweep stays
+                    // index-complete.
+                    res.error = Error(src.error().code,
+                                      "shard " + res.key + ": " +
+                                          src.error().message);
+                    sourceFailed = true;
+                    break;
+                }
+                sources.push_back(std::move(src.value()));
+                perCore[static_cast<size_t>(c)].push_back(
+                    sources.back().get());
             }
-            sources.push_back(std::move(src.value()));
-            threads.push_back(sources.back().get());
         }
         if (sourceFailed)
             break;
 
-        core::CoreModel model(shard.config);
-        core::RunOptions opts;
-        opts.warmupInstrs =
-            spec_.warmup * static_cast<uint64_t>(shard.smt);
+        chip::ChipConfig chipCfg;
+        chipCfg.cores.assign(static_cast<size_t>(nCores), shard.config);
+        chipCfg.seed = spec_.seed;
+        chip::ChipModel model(chipCfg);
+        chip::ChipRunOptions opts;
         opts.measureInstrs = spec_.instrs;
         opts.maxCycles = spec_.maxCycles;
 
@@ -174,15 +188,28 @@ SweepRunner::runShard(const ShardSpec& shard) const
             0;
         const auto simStart = std::chrono::steady_clock::now();
 
-        auto run = model.run(threads, opts);
+        model.beginRun(perCore);
+        model.advance(spec_.warmup * static_cast<uint64_t>(shard.smt));
+        const chip::ChipResult run = model.measure(opts);
         const auto simEnd = std::chrono::steady_clock::now();
-        if (phaseSampled)
+        if (phaseSampled) {
             obs::metrics().observe(
                 simPhaseUs,
                 static_cast<uint64_t>(
                     std::chrono::duration_cast<
                         std::chrono::microseconds>(simEnd - simStart)
                         .count()));
+            // The energy rollup now happens inside the chip's measure
+            // (per-core, per-epoch); the power phase keeps its
+            // histogram but records the residual fold only.
+            obs::metrics().observe(
+                powerPhaseUs,
+                static_cast<uint64_t>(
+                    std::chrono::duration_cast<
+                        std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - simEnd)
+                        .count()));
+        }
         if (run.timedOut) {
             // A cycle-budget overrun is deterministic — retrying would
             // reproduce it, so it is recorded immediately.
@@ -192,28 +219,38 @@ SweepRunner::runShard(const ShardSpec& shard) const
             break;
         }
 
-        power::EnergyModel energy(shard.config);
-        const auto power = energy.evalCounters(run);
-        if (phaseSampled)
-            obs::metrics().observe(
-                powerPhaseUs,
-                static_cast<uint64_t>(
-                    std::chrono::duration_cast<
-                        std::chrono::microseconds>(
-                        std::chrono::steady_clock::now() - simEnd)
-                        .count()));
-
         res.ok = true;
-        res.cycles = run.cycles;
+        res.cycles = run.chipCycles;
         res.instrs = run.instrs;
-        res.ipc = run.ipc();
-        res.powerW = power.watts();
-        res.ipcPerW = power.watts() > 0.0 ? res.ipc / power.watts()
-                                          : 0.0;
+        res.ipc = run.ipc;
+        res.powerW = run.powerW;
+        res.ipcPerW = run.powerW > 0.0 ? res.ipc / run.powerW : 0.0;
+        if (nCores >= 2) {
+            res.chipFreqGhz = run.freqGhz;
+            res.chipBoost = run.boost;
+            res.throttledEpochs = run.throttledEpochs;
+            res.droopTrips = run.droopTrips;
+            res.coreRows.reserve(run.cores.size());
+            for (const chip::ChipCoreOutcome& co : run.cores) {
+                api::ShardCoreRow row;
+                row.cycles = co.run.cycles;
+                row.stallCycles = co.stallCycles;
+                row.effCycles = co.effCycles;
+                row.instrs = co.run.instrs;
+                row.ipc = co.ipc;
+                row.powerW = co.powerW;
+                row.freqGhz = co.freqGhz;
+                res.coreRows.push_back(row);
+            }
+        }
 
         if (rec) {
+            // 1-core shards surface the bare core's IPC telemetry;
+            // chip shards surface the chip-rollup IPC track.
+            const std::string ipcTrack =
+                nCores >= 2 ? "chip.ipc" : "core.ipc";
             for (const auto& track : rec->counters())
-                if (track.name == "core.ipc") {
+                if (track.name == ipcTrack) {
                     res.ipcX.reserve(track.cycle.size());
                     res.ipcY.reserve(track.value.size());
                     for (size_t i = 0; i < track.cycle.size(); ++i) {
@@ -363,9 +400,14 @@ SweepRunner::run(int jobs)
             ++result.cancelledShards;
         if (s.ok) {
             ++result.okCount;
+            // Warmup is simulated once per (core, SMT thread); the
+            // measured instrs already sum across cores.
             result.simInstrs +=
-                s.instrs + spec_.warmup * static_cast<uint64_t>(
-                                              shards[s.index].smt);
+                s.instrs + spec_.warmup *
+                               static_cast<uint64_t>(
+                                   shards[s.index].smt) *
+                               static_cast<uint64_t>(std::max(
+                                   shards[s.index].cores, 1));
         } else {
             ++result.failed;
         }
@@ -469,6 +511,57 @@ SweepRunner::merge(const SweepSpec& spec, const SweepResult& result,
             tt.row({workload, s.traceName, hex});
         }
         report.addTable(tt);
+    }
+
+    // Chip-scope rollup: emitted only when the sweep actually ran
+    // multi-core shards, so 1-core sweeps keep the exact historical
+    // report bytes (the bare-core identity contract).
+    bool anyChip = false;
+    for (const ShardResult& s : result.shards)
+        if (s.cores >= 2)
+            anyChip = true;
+    if (anyChip) {
+        uint64_t chipShards = 0;
+        common::Table ct("chip shards");
+        ct.header({"shard", "cores", "status", "chip_cycles", "instrs",
+                   "ipc", "power_w", "freq_ghz", "boost",
+                   "throttled_epochs", "droop_trips"});
+        for (const ShardResult& s : result.shards) {
+            if (s.cores < 2)
+                continue;
+            ++chipShards;
+            ct.row({std::to_string(s.index), std::to_string(s.cores),
+                    s.ok ? "ok" : common::errorCodeName(s.error.code),
+                    std::to_string(s.cycles), std::to_string(s.instrs),
+                    common::fmt(s.ipc, 4), common::fmt(s.powerW, 3),
+                    common::fmt(s.chipFreqGhz, 4),
+                    common::fmt(s.chipBoost, 4),
+                    std::to_string(s.throttledEpochs),
+                    std::to_string(s.droopTrips)});
+        }
+        report.addTable(ct);
+
+        common::Table cc("chip cores");
+        cc.header({"shard", "core", "cycles", "stall_cycles",
+                   "eff_cycles", "instrs", "ipc", "power_w",
+                   "freq_ghz"});
+        for (const ShardResult& s : result.shards) {
+            if (s.cores < 2 || !s.ok)
+                continue;
+            for (size_t i = 0; i < s.coreRows.size(); ++i) {
+                const api::ShardCoreRow& c = s.coreRows[i];
+                cc.row({std::to_string(s.index), std::to_string(i),
+                        std::to_string(c.cycles),
+                        std::to_string(c.stallCycles),
+                        std::to_string(c.effCycles),
+                        std::to_string(c.instrs), common::fmt(c.ipc, 4),
+                        common::fmt(c.powerW, 3),
+                        common::fmt(c.freqGhz, 4)});
+            }
+        }
+        report.addTable(cc);
+        report.addScalar("chip.shards",
+                         static_cast<double>(chipShards));
     }
 
     for (const ShardResult& s : result.shards)

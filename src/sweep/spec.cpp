@@ -20,6 +20,9 @@ ShardSpec::key() const
     std::ostringstream os;
     os << configName << '/' << profile.name << "/smt" << smt << "/seed"
        << seedIndex;
+    // 1-core keys stay exactly historical (bare-core identity).
+    if (cores >= 2)
+        os << "/c" << cores;
     return os.str();
 }
 
@@ -43,6 +46,12 @@ SweepSpec::validate() const
         if (t != 1 && t != 2 && t != 4 && t != 8)
             bad("smt entries must be 1, 2, 4 or 8 (got " +
                 std::to_string(t) + ")");
+    if (cores.empty())
+        bad("cores must list at least one chip size");
+    for (int n : cores)
+        if (n < 1 || n > 16)
+            bad("cores entries must be in [1, 16] (got " +
+                std::to_string(n) + ")");
     if (seeds < 1)
         bad("seeds must be >= 1");
     if (instrs == 0)
@@ -61,7 +70,7 @@ uint64_t
 SweepSpec::shardCount() const
 {
     return static_cast<uint64_t>(configs.size()) * workloads.size() *
-           smt.size() * seeds;
+           smt.size() * cores.size() * seeds;
 }
 
 Expected<core::CoreConfig>
@@ -119,28 +128,30 @@ SweepSpec::expand() const
         profs.push_back(std::move(p.value()));
     }
 
-    // Nested-loop expansion order (configs > workloads > smt > seeds)
-    // is part of the format: the shard index is the identity that keys
-    // RNG streams and the merge fold.
+    // Nested-loop expansion order (configs > workloads > smt > cores >
+    // seeds) is part of the format: the shard index is the identity
+    // that keys RNG streams and the merge fold.
     std::vector<ShardSpec> shards;
     shards.reserve(shardCount());
     uint64_t index = 0;
     for (size_t c = 0; c < cfgs.size(); ++c)
         for (size_t w = 0; w < profs.size(); ++w)
             for (int threads : smt)
-                for (uint64_t s = 0; s < seeds; ++s) {
-                    ShardSpec shard;
-                    shard.index = index++;
-                    shard.configName = configs[c];
-                    shard.config = cfgs[c];
-                    shard.profile = profs[w];
-                    if (s != 0)
-                        shard.profile.seed =
-                            common::splitSeed(profs[w].seed, s);
-                    shard.smt = threads;
-                    shard.seedIndex = s;
-                    shards.push_back(std::move(shard));
-                }
+                for (int chipCores : cores)
+                    for (uint64_t s = 0; s < seeds; ++s) {
+                        ShardSpec shard;
+                        shard.index = index++;
+                        shard.configName = configs[c];
+                        shard.config = cfgs[c];
+                        shard.profile = profs[w];
+                        if (s != 0)
+                            shard.profile.seed =
+                                common::splitSeed(profs[w].seed, s);
+                        shard.smt = threads;
+                        shard.cores = chipCores;
+                        shard.seedIndex = s;
+                        shards.push_back(std::move(shard));
+                    }
     return shards;
 }
 
@@ -160,6 +171,10 @@ SweepSpec::toJson() const
     w.key("smt").beginArray();
     for (int t : smt)
         w.value(t);
+    w.endArray();
+    w.key("cores").beginArray();
+    for (int n : cores)
+        w.value(n);
     w.endArray();
     w.key("seeds").value(seeds);
     w.key("instrs").value(instrs);
@@ -230,6 +245,17 @@ SweepSpec::fromJsonValue(const obs::JsonValue& root)
                 if (!n)
                     return n.error();
                 spec.smt.push_back(static_cast<int>(n.value()));
+            }
+        } else if (key == "cores") {
+            if (!v.isArray())
+                return Error::invalidConfig(
+                    "cores must be an array of integers");
+            spec.cores.clear();
+            for (const obs::JsonValue& e : v.array) {
+                Expected<uint64_t> n = e.asU64("cores entry");
+                if (!n)
+                    return n.error();
+                spec.cores.push_back(static_cast<int>(n.value()));
             }
         } else if (key == "seeds") {
             Expected<uint64_t> n = v.asU64("seeds");

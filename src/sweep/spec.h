@@ -41,9 +41,16 @@ struct ShardSpec
     /** Profile with the replica seed already derived (splitSeed). */
     workloads::WorkloadProfile profile;
     int smt = 1;
+    /** Cores on the simulated chip; 1 = the bare-core path. */
+    int cores = 1;
     uint64_t seedIndex = 0;
 
-    /** "config/workload/smtN/seedK" — stable human-readable identity. */
+    /**
+     * "config/workload/smtN/seedK" — stable human-readable identity.
+     * Multi-core shards append "/cN"; 1-core shards keep the exact
+     * historical key, part of the 1-core ≡ bare-core byte-identity
+     * contract.
+     */
     std::string key() const;
 };
 
@@ -55,6 +62,10 @@ struct SweepSpec
     /** Workload profile names (see `p10sim_cli --list`). */
     std::vector<std::string> workloads;
     std::vector<int> smt = {1};
+    /** Chip sizes to sweep: cores per simulated chip. 1 runs the
+        bare-core path; N >= 2 runs N cores through the shared-resource
+        and chip-governor layers (src/chip). */
+    std::vector<int> cores = {1};
     /** Seed replicas per grid point; replica k runs the profile under
         splitSeed(profile.seed, k), replica 0 the profile default. */
     uint64_t seeds = 1;
