@@ -20,6 +20,11 @@ namespace {
     Atomic: grid points account concurrently under --jobs. */
 std::atomic<uint64_t> g_simInstrs{0};
 
+/** Measured-interval accounting for host-MIPS: instructions and host
+    nanoseconds spent inside measure() windows only (no warmup). */
+std::atomic<uint64_t> g_measuredInstrs{0};
+std::atomic<uint64_t> g_measuredNanos{0};
+
 /** Warmup-snapshot directory (--ckpt-dir); set once in benchInit
     before any workers start, read-only afterwards. */
 std::string g_ckptDir;
@@ -30,6 +35,15 @@ void
 accountSimInstrs(uint64_t n)
 {
     g_simInstrs.fetch_add(n, std::memory_order_relaxed);
+}
+
+void
+accountMeasured(uint64_t n, double seconds)
+{
+    g_measuredInstrs.fetch_add(n, std::memory_order_relaxed);
+    g_measuredNanos.fetch_add(
+        seconds > 0.0 ? static_cast<uint64_t>(seconds * 1e9) : 0,
+        std::memory_order_relaxed);
 }
 
 common::Expected<BenchContext>
@@ -67,6 +81,8 @@ tryBenchInit(int argc, char** argv, const std::string& tool)
                 "'");
     }
     g_simInstrs.store(0, std::memory_order_relaxed);
+    g_measuredInstrs.store(0, std::memory_order_relaxed);
+    g_measuredNanos.store(0, std::memory_order_relaxed);
     ctx.start = std::chrono::steady_clock::now();
     return ctx;
 }
@@ -115,9 +131,18 @@ benchFinish(BenchContext& ctx)
     const uint64_t simInstrs =
         g_simInstrs.load(std::memory_order_relaxed);
     meta.simInstrs = simInstrs;
-    meta.hostMips = meta.wallSeconds > 0.0
-                        ? static_cast<double>(simInstrs) /
-                              meta.wallSeconds / 1e6
+    // host_mips rates only the measured windows: measured instructions
+    // over the host time spent inside measure(). The previous version
+    // divided ALL accounted instructions (warmup included) by total
+    // bench wall time — table setup and warmup diluted the figure.
+    const uint64_t mInstrs =
+        g_measuredInstrs.load(std::memory_order_relaxed);
+    const double mSeconds =
+        static_cast<double>(
+            g_measuredNanos.load(std::memory_order_relaxed)) /
+        1e9;
+    meta.hostMips = mSeconds > 0.0
+                        ? static_cast<double>(mInstrs) / mSeconds / 1e6
                         : 0.0;
     if (ctx.jsonPath.empty())
         return 0;
@@ -238,11 +263,16 @@ runOne(const core::CoreConfig& cfg,
 
     SuiteEntry entry;
     entry.workload = profile.name;
+    const auto mStart = std::chrono::steady_clock::now();
     entry.run = model->measure(opts);
-    // Host-MIPS accounting counts what was actually simulated: a
-    // restored warmup cost no simulation.
+    const std::chrono::duration<double> mWall =
+        std::chrono::steady_clock::now() - mStart;
+    // sim_instrs provenance counts what was actually simulated (a
+    // restored warmup cost no simulation); host-MIPS counts only the
+    // measured window just timed.
     accountSimInstrs((restored ? 0 : opts.warmupInstrs) +
                      entry.run.instrs);
+    accountMeasured(entry.run.instrs, mWall.count());
     power::EnergyModel energy(cfg);
     entry.power = energy.evalCounters(entry.run);
     return entry;
@@ -261,8 +291,16 @@ runStream(const core::CoreConfig& cfg, const std::string& name,
     opts.collectTimings = collectTimings;
     SuiteEntry entry;
     entry.workload = name;
-    entry.run = model.run({&src}, opts);
+    // Split run() into its warmup and measured halves so host-MIPS can
+    // time the measured window alone (identical simulation either way).
+    model.beginRun({&src});
+    model.advance(opts.warmupInstrs);
+    const auto mStart = std::chrono::steady_clock::now();
+    entry.run = model.measure(opts);
+    const std::chrono::duration<double> mWall =
+        std::chrono::steady_clock::now() - mStart;
     accountSimInstrs(opts.warmupInstrs + entry.run.instrs);
+    accountMeasured(entry.run.instrs, mWall.count());
     power::EnergyModel energy(cfg);
     entry.power = energy.evalCounters(entry.run);
     return entry;

@@ -34,7 +34,8 @@ namespace p10ee::bench {
  * Flags understood by every bench (all optional; parsed by the shared
  * api::ArgParser table, so spellings and --help match the CLIs):
  *   --out <path>    write a "p10ee-report/1" JSON report after the run
- *                   (--json stays accepted as an alias)
+ *                   (--stats-json stays accepted as a deprecated
+ *                   alias)
  *   --instrs <n>    override the bench's measurement window
  *   --warmup <n>    override the bench's warmup window
  *   --jobs <n>      worker threads for runGrid-parallel benches
@@ -101,17 +102,28 @@ common::Expected<BenchContext> tryBenchInit(int argc, char** argv,
 BenchContext benchInit(int argc, char** argv, const std::string& tool);
 
 /**
- * Finish the run: stamp wall-clock and host sim-speed (from the
- * instructions accounted by runSuite/runOne/runStream since
- * benchInit) into the report meta and, when --json was given, write
- * the report. Returns the process exit code (non-zero when the report
- * could not be written).
+ * Finish the run: stamp wall-clock, total simulated instructions and
+ * host sim-speed into the report meta and, when --out was given,
+ * write the report. Returns the process exit code (non-zero when the
+ * report could not be written).
+ *
+ * meta.host_mips is measured-interval-only: instructions from
+ * accountMeasured() over the host seconds spent inside those measured
+ * windows. Warmup instructions (and warmup wall time) count toward
+ * meta.sim_instrs/meta.wall_seconds provenance but never dilute the
+ * MIPS figure — the old combined accounting understated the
+ * simulator's steady-state speed on warmup-heavy benches.
  */
 int benchFinish(BenchContext& ctx);
 
-/** Add @p n simulated instructions to the host-MIPS accounting.
+/** Add @p n simulated instructions to the sim_instrs provenance.
     Thread-safe: grid points account concurrently under --jobs. */
 void accountSimInstrs(uint64_t n);
+
+/** Add one measured-interval sample to host-MIPS accounting: @p n
+    instructions simulated in @p seconds of host wall time, excluding
+    warmup. Thread-safe like accountSimInstrs(). */
+void accountMeasured(uint64_t n, double seconds);
 
 /**
  * Run fn(0) .. fn(n-1), on a sweep::ThreadPool of min(ctx.jobs, n)

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Merge several p10ee-report/1 documents into one.
+
+The committed BENCH_<date>.json baseline is the union of more than one
+bench binary's output (fleet throughput + core advance-loop MIPS), so
+both CI and the baseline-refresh workflow need a deterministic merge:
+
+  - scalars are unioned; a key appearing in two inputs is an error
+    (two benches measuring the same name means one of them is lying),
+  - tables and series are concatenated in input order,
+  - the meta block is rebuilt: tool "bench_merge", git taken from the
+    first input (refusing to merge reports from different gits),
+    wall_s and sim_instrs summed, host_mips recomputed from the sums.
+
+Usage:
+  bench_merge.py --out MERGED.json INPUT.json [more.json ...]
+
+Exit status: 0 on success, 2 on usage/content errors. Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="bench_merge.py",
+        description="merge p10ee-report/1 documents into one")
+    parser.add_argument("--out", required=True)
+    parser.add_argument("inputs", nargs="+")
+    args = parser.parse_args(argv[1:])
+
+    scalars = {}
+    tables = []
+    series = []
+    git = None
+    wall_s = 0.0
+    sim_instrs = 0
+    for path in args.inputs:
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as exc:
+            print(f"bench_merge: {path}: {exc}", file=sys.stderr)
+            return 2
+        if doc.get("schema") != "p10ee-report/1":
+            print(f"bench_merge: {path}: not a p10ee-report/1 document",
+                  file=sys.stderr)
+            return 2
+        meta = doc.get("meta", {})
+        if git is None:
+            git = meta.get("git", "")
+        elif meta.get("git", "") != git:
+            print(f"bench_merge: {path}: git '{meta.get('git')}' "
+                  f"differs from '{git}' — refusing to merge reports "
+                  f"from different builds", file=sys.stderr)
+            return 2
+        wall_s += meta.get("wall_s", 0.0)
+        sim_instrs += meta.get("sim_instrs", 0)
+        for key, value in doc.get("scalars", {}).items():
+            if key in scalars:
+                print(f"bench_merge: {path}: scalar '{key}' already "
+                      f"present in an earlier input", file=sys.stderr)
+                return 2
+            scalars[key] = value
+        tables.extend(doc.get("tables", []))
+        series.extend(doc.get("series", []))
+
+    merged = {
+        "schema": "p10ee-report/1",
+        "meta": {
+            "tool": "bench_merge",
+            "config": "",
+            "workload": "",
+            "seed": 0,
+            "git": git or "",
+            "wall_s": wall_s,
+            "sim_instrs": sim_instrs,
+            "host_mips": (sim_instrs / wall_s / 1e6
+                          if wall_s > 0 else 0.0),
+        },
+        "scalars": scalars,
+        "tables": tables,
+        "series": series,
+    }
+    try:
+        with open(args.out, "w", encoding="utf-8") as f:
+            json.dump(merged, f, indent=1)
+            f.write("\n")
+    except OSError as exc:
+        print(f"bench_merge: {args.out}: {exc}", file=sys.stderr)
+        return 2
+    print(f"bench_merge: {len(args.inputs)} report(s), "
+          f"{len(scalars)} scalar(s) -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -47,6 +47,13 @@ workload, and every trace:* workload appearing in the "sweep shards"
 table present in it — so a merged report over trace containers always
 records which trace content produced it.
 
+With --mode, files get the default report checks plus fidelity-mode
+(api::SimMode) provenance coherence: an optional meta.mode key must
+name a valid mode, a fast_m1 single-run report must carry NO power
+scalars (absent, not zeroed), and a merged sweep report's "mode"
+column must hold valid cells with the power_w cell "-" on exactly the
+fast_m1 rows.
+
 Usage:
   validate_report.py report.json [more.json ...]
   validate_report.py --trace trace.json [more.json ...]
@@ -55,6 +62,7 @@ Usage:
   validate_report.py --trace-workload merged.json [more.json ...]
   validate_report.py --fleet stats.json [more.json ...]
   validate_report.py --metrics metrics.json [more.json ...]
+  validate_report.py --mode report.json [more.json ...]
 
 Exits non-zero naming every failing file; CI runs it over every
 artifact the bench smoke stage emits. Stdlib only.
@@ -65,6 +73,9 @@ import re
 import sys
 
 NUM = (int, float)
+
+# Fidelity modes (api::SimMode wire names).
+MODE_VALUES = {"full", "fast_m1"}
 
 # The wire shape of a TraceContext (src/obs/trace.h): 32 lowercase hex
 # chars, '-', 16 lowercase hex chars.
@@ -92,11 +103,19 @@ def validate_report(path, doc, errors):
         "tool": str, "config": str, "workload": str, "seed": int,
         "git": str, "wall_s": NUM, "sim_instrs": int, "host_mips": NUM,
     }
-    if not isinstance(meta, dict) or set(meta) != set(meta_types):
+    # "mode" is the one optional meta key: full-fidelity reports omit
+    # it entirely (historical byte-compatibility), fast_m1 reports
+    # carry it as provenance for the absent power scalars.
+    required = set(meta_types)
+    if (not isinstance(meta, dict)
+            or not required <= set(meta) <= required | {"mode"}):
         return _fail(errors, path, f"meta keys {sorted(meta)} wrong")
     for key, typ in meta_types.items():
         if not isinstance(meta[key], typ) or isinstance(meta[key], bool):
             _fail(errors, path, f"meta.{key} has wrong type")
+    if "mode" in meta and meta["mode"] not in MODE_VALUES:
+        _fail(errors, path,
+              f"meta.mode '{meta['mode']}' not in {sorted(MODE_VALUES)}")
     if not meta.get("tool"):
         _fail(errors, path, "meta.tool is empty")
     if isinstance(meta.get("wall_s"), NUM) and meta["wall_s"] < 0:
@@ -171,6 +190,9 @@ def validate_report(path, doc, errors):
 
 SWEEP_COLUMNS = ["shard", "config", "workload", "smt", "seed",
                  "status", "retries", "cycles", "ipc", "power_w"]
+# Sweeps that ran any FastM1 shard carry a "mode" column between seed
+# and status; Full-only sweeps keep the historical column set exactly.
+SWEEP_COLUMNS_MODE = SWEEP_COLUMNS[:5] + ["mode"] + SWEEP_COLUMNS[5:]
 SWEEP_STATUSES = {"ok", "invalid_argument", "invalid_config",
                   "not_found", "timeout", "transient", "overloaded",
                   "cancelled", "internal"}
@@ -193,10 +215,12 @@ def validate_sweep(path, doc, errors):
                   if t["title"] == "sweep shards"), None)
     if table is None:
         return _fail(errors, path, "no 'sweep shards' table")
-    if table["columns"] != SWEEP_COLUMNS:
+    if table["columns"] not in (SWEEP_COLUMNS, SWEEP_COLUMNS_MODE):
         return _fail(errors, path,
                      f"'sweep shards' columns {table['columns']} != "
-                     f"{SWEEP_COLUMNS}")
+                     f"{SWEEP_COLUMNS} (optionally with 'mode' after "
+                     f"'seed')")
+    columns = table["columns"]
 
     rows = table["rows"]
     if scalars.get("sweep.shards") != len(rows):
@@ -208,7 +232,7 @@ def validate_sweep(path, doc, errors):
         _fail(errors, path, "duplicate shard ids in 'sweep shards'")
     ok_rows = 0
     for j, row in enumerate(rows):
-        status = row[SWEEP_COLUMNS.index("status")]
+        status = row[columns.index("status")]
         if status not in SWEEP_STATUSES:
             _fail(errors, path,
                   f"'sweep shards' rows[{j}] bad status '{status}'")
@@ -271,7 +295,7 @@ def validate_trace_workload(path, doc, errors):
 
     shards = next(t for t in doc["tables"]
                   if t["title"] == "sweep shards")
-    wl_col = SWEEP_COLUMNS.index("workload")
+    wl_col = shards["columns"].index("workload")
     for j, row in enumerate(shards["rows"]):
         workload = row[wl_col]
         if workload.startswith("trace:") and workload not in covered:
@@ -537,12 +561,59 @@ def validate_metrics(path, doc, errors):
             _fail(errors, path, f"metric '{name}' is negative")
 
 
+def validate_mode(path, doc, errors):
+    """Fidelity-mode provenance (--mode): the default report checks
+    plus SimMode coherence. A single-run report either omits meta.mode
+    (full fidelity — power scalars allowed) or carries
+    meta.mode == "fast_m1" with every power scalar absent, not zeroed.
+    A merged sweep report with a "mode" column must hold valid mode
+    cells, with the power_w cell "-" on exactly the fast_m1 rows."""
+    before = len(errors)
+    validate_report(path, doc, errors)
+    if len(errors) != before:
+        return
+
+    meta = doc["meta"]
+    scalars = doc["scalars"]
+    power_scalars = sorted(
+        n for n in scalars
+        if n in ("power_w", "clock_w", "switch_w", "leak_w",
+                 "ipc_per_w") or n.startswith("power."))
+    if meta.get("mode") == "fast_m1" and power_scalars:
+        _fail(errors, path,
+              f"meta.mode is fast_m1 but power scalars "
+              f"{power_scalars} are present — fast-mode power must be "
+              f"absent, not zeroed")
+
+    table = next((t for t in doc["tables"]
+                  if t["title"] == "sweep shards"), None)
+    if table is None or "mode" not in table["columns"]:
+        return
+    columns = table["columns"]
+    i_mode = columns.index("mode")
+    i_power = columns.index("power_w")
+    i_status = columns.index("status")
+    for j, row in enumerate(table["rows"]):
+        cell = row[i_mode]
+        if cell not in MODE_VALUES:
+            _fail(errors, path,
+                  f"'sweep shards' rows[{j}] mode '{cell}' not in "
+                  f"{sorted(MODE_VALUES)}")
+        elif row[i_status] == "ok":
+            is_dash = row[i_power] == "-"
+            if (cell == "fast_m1") != is_dash:
+                _fail(errors, path,
+                      f"'sweep shards' rows[{j}] mode '{cell}' with "
+                      f"power_w '{row[i_power]}' — fast_m1 rows must "
+                      f"render power as '-', full rows as a number")
+
+
 def main(argv):
     args = argv[1:]
     mode = "report"
     if args and args[0] in ("--trace", "--sweep", "--chip",
                             "--trace-workload", "--fleet",
-                            "--metrics"):
+                            "--metrics", "--mode"):
         mode = args[0][2:]
         args = args[1:]
     if not args:
@@ -557,6 +628,7 @@ def main(argv):
         "trace-workload": validate_trace_workload,
         "fleet": validate_fleet,
         "metrics": validate_metrics,
+        "mode": validate_mode,
     }
     errors = []
     for path in args:

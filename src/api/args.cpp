@@ -1,6 +1,7 @@
 #include "api/args.h"
 
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 
@@ -103,15 +104,36 @@ ArgParser::alias(const std::string& alias, const std::string& canonical)
     return *this;
 }
 
-ArgParser::Flag*
-ArgParser::find(const std::string& name)
+ArgParser&
+ArgParser::deprecatedAlias(const std::string& alias,
+                           const std::string& canonical)
 {
+    Flag* f = find(canonical);
+    P10_ASSERT(f != nullptr,
+               "ArgParser::deprecatedAlias on an unregistered "
+               "canonical flag");
+    f->deprecatedAliases.push_back(alias);
+    return *this;
+}
+
+ArgParser::Flag*
+ArgParser::find(const std::string& name, bool* deprecated)
+{
+    if (deprecated != nullptr)
+        *deprecated = false;
     for (Flag& f : flags_) {
         if (f.name == name)
             return &f;
         for (const std::string& a : f.aliases)
             if (a == name)
                 return &f;
+        for (const std::string& a : f.deprecatedAliases) {
+            if (a == name) {
+                if (deprecated != nullptr)
+                    *deprecated = true;
+                return &f;
+            }
+        }
     }
     return nullptr;
 }
@@ -129,10 +151,15 @@ ArgParser::parse(int argc, char** argv)
         if (arg.rfind("--", 0) != 0)
             return Error::invalidArgument(
                 "unexpected positional argument '" + arg + "'");
-        Flag* f = find(arg);
+        bool deprecated = false;
+        Flag* f = find(arg, &deprecated);
         if (f == nullptr)
             return Error::invalidArgument("unknown option '" + arg +
                                           "' (see --help)");
+        if (deprecated)
+            std::fprintf(stderr,
+                         "%s: warning: '%s' is deprecated, use '%s'\n",
+                         tool_.c_str(), arg.c_str(), f->name.c_str());
         if (f->kind == Kind::Bool) {
             *f->boolOut = true;
             continue;
@@ -205,6 +232,12 @@ ArgParser::help() const
                 os << " " << a;
             os << ")";
         }
+        if (!f.deprecatedAliases.empty()) {
+            os << " (deprecated:";
+            for (const std::string& a : f.deprecatedAliases)
+                os << " " << a;
+            os << ")";
+        }
         os << "\n";
     }
     os << "  --help                  show this help and exit\n";
@@ -218,8 +251,14 @@ out(ArgParser& p, std::string* v)
 {
     p.str("--out", v, "path",
           "write the machine-readable p10ee-report/1 JSON");
-    p.alias("--json", "--out");
-    p.alias("--stats-json", "--out");
+    p.deprecatedAlias("--stats-json", "--out");
+}
+
+void
+mode(ArgParser& p, std::string* v)
+{
+    p.str("--mode", v, "mode",
+          "simulation fidelity: full (default) or fast_m1");
 }
 
 void

@@ -64,6 +64,14 @@ class ArgParser
     ArgParser& alias(const std::string& alias,
                      const std::string& canonical);
 
+    /** Like alias(), but using the spelling prints a one-line
+        deprecation warning to stderr naming the canonical flag, and
+        --help lists it under "deprecated:" instead of "alias:". The
+        flag still parses identically — scripts keep working while the
+        warning steers them to the canonical spelling. */
+    ArgParser& deprecatedAlias(const std::string& alias,
+                               const std::string& canonical);
+
     /**
      * Parse @p argv. Returns a structured error for unknown flags,
      * missing values, malformed or out-of-range numbers, and bare
@@ -91,6 +99,7 @@ class ArgParser
         std::string metavar;
         std::string help;
         std::vector<std::string> aliases;
+        std::vector<std::string> deprecatedAliases;
 
         std::string* strOut = nullptr;
         uint64_t* u64Out = nullptr;
@@ -103,7 +112,9 @@ class ArgParser
         bool* boolOut = nullptr;
     };
 
-    Flag* find(const std::string& name);
+    /** Match @p name against canonical names and both alias kinds;
+        when non-null, @p deprecated reports which kind matched. */
+    Flag* find(const std::string& name, bool* deprecated = nullptr);
 
     std::string tool_;
     std::string summary_;
@@ -114,13 +125,21 @@ class ArgParser
 /**
  * Canonical cross-tool flags: every front end that supports the
  * concept registers it through these, so the spelling, bounds and help
- * text are identical everywhere. Legacy spellings (`--json`,
- * `--stats-json`) stay accepted as aliases of `--out`.
+ * text are identical everywhere. The legacy `--stats-json` spelling
+ * stays accepted as a deprecation-warned alias of `--out`; the old
+ * `--json` third spelling is gone — one canonical name, one warned
+ * stepping stone, nothing else.
  */
 namespace stdflags {
 
-/** --out <path> (aliases: --json, --stats-json). */
+/** --out <path> (deprecated alias: --stats-json). */
 void out(ArgParser& p, std::string* v);
+
+/** --mode <full|fast_m1> simulation fidelity (see api::SimMode). The
+    flag is registered as a plain string; front ends convert with
+    api::parseSimMode so a hostile value is an exit-2 structured error
+    naming the "mode" field, identical to the wire-protocol path. */
+void mode(ArgParser& p, std::string* v);
 
 /** --jobs <n> in [1,256]. */
 void jobs(ArgParser& p, int* v);

@@ -141,30 +141,48 @@ Status
 RunRequest::validate() const
 {
     std::string problems;
-    auto bad = [&problems](const std::string& p) {
+    std::string firstField;
+    // Each check names the request key it guards; the first failing
+    // key rides on Error::field so the NDJSON error line and the CLIs
+    // can point at the offending input, while the message still
+    // accumulates every problem.
+    auto bad = [&](const std::string& fld, const std::string& p) {
         if (!problems.empty())
             problems += "; ";
         problems += p;
+        if (firstField.empty())
+            firstField = fld;
     };
     if (config.empty())
-        bad("config must name a machine");
+        bad("config", "config must name a machine");
     if (workload.empty())
-        bad("workload must name a profile");
+        bad("workload", "workload must name a profile");
     if (smt != 1 && smt != 2 && smt != 4 && smt != 8)
-        bad("smt must be 1, 2, 4 or 8 (got " + std::to_string(smt) +
-            ")");
+        bad("smt", "smt must be 1, 2, 4 or 8 (got " +
+                       std::to_string(smt) + ")");
     if (cores < 1 || cores > 16)
-        bad("cores must be in [1, 16] (got " + std::to_string(cores) +
-            ")");
+        bad("cores", "cores must be in [1, 16] (got " +
+                         std::to_string(cores) + ")");
     if (cores >= 2 && collectTimings)
-        bad("per-instruction timings are a single-core diagnostic "
-            "(cores >= 2 cannot collect them)");
+        bad("cores", "per-instruction timings are a single-core "
+                     "diagnostic (cores >= 2 cannot collect them)");
     if (instrs == 0)
-        bad("instrs must be > 0");
+        bad("instrs", "instrs must be > 0");
     if (!ckptSave.empty() && !ckptLoad.empty())
-        bad("ckpt-save and ckpt-load are mutually exclusive");
+        bad("ckpt-save", "ckpt-save and ckpt-load are mutually "
+                         "exclusive");
+    if (mode == SimMode::FastM1) {
+        if (cores >= 2)
+            bad("mode", "mode fast_m1 requires cores == 1 (the chip "
+                        "governor consumes power evaluations)");
+        if (recorder != nullptr || collectTimings ||
+            sampleInterval != 0)
+            bad("mode", "mode fast_m1 skips telemetry (recorder, "
+                        "timings, sample_interval unavailable)");
+    }
     if (!problems.empty())
-        return Error::invalidArgument("run request: " + problems);
+        return Error{common::ErrorCode::InvalidArgument,
+                     "run request: " + problems, firstField};
     return common::okStatus();
 }
 
@@ -222,6 +240,7 @@ Service::runOne(const RunRequest& req) const
     out.config = cfg;
     out.profile = profile;
 
+    const bool fast = req.mode == SimMode::FastM1;
     core::CoreModel model(cfg);
     core::RunOptions opts;
     opts.warmupInstrs = req.warmup * static_cast<uint64_t>(req.smt);
@@ -229,6 +248,7 @@ Service::runOne(const RunRequest& req) const
     opts.maxCycles = req.maxCycles;
     opts.recorder = req.recorder;
     opts.collectTimings = req.collectTimings;
+    opts.fastM1 = fast;
 
     if (!req.ckptLoad.empty()) {
         Expected<ckpt::Checkpoint> ckOr =
@@ -247,12 +267,12 @@ Service::runOne(const RunRequest& req) const
                 std::to_string(ck.meta().seed) + ", not '" +
                 req.workload + "' seed " +
                 std::to_string(profile.seed));
-        model.beginRun(threads);
+        model.beginRun(threads, /*infiniteL2=*/false, fast);
         if (Status st = ck.restore(model, walkers); !st)
             return st.error();
         out.warmupSimulated = 0;
     } else {
-        model.beginRun(threads);
+        model.beginRun(threads, /*infiniteL2=*/false, fast);
         model.advance(opts.warmupInstrs);
         out.warmupSimulated = opts.warmupInstrs;
         if (!req.ckptSave.empty()) {
@@ -272,8 +292,12 @@ Service::runOne(const RunRequest& req) const
         return Error::timeout(
             "run exceeded cycle budget of " +
             std::to_string(req.maxCycles) + " cycles");
-    power::EnergyModel energy(cfg);
-    out.power = energy.evalCounters(out.run);
+    // FastM1 has no switching counters to evaluate — power stays the
+    // zero breakdown and is rendered absent, not zero, in reports.
+    if (!fast) {
+        power::EnergyModel energy(cfg);
+        out.power = energy.evalCounters(out.run);
+    }
     return out;
 }
 
@@ -401,13 +425,22 @@ Service::runReport(const RunRequest& req, const RunOutcome& outcome)
                      static_cast<double>(outcome.run.cycles));
     report.addScalar("instrs",
                      static_cast<double>(outcome.run.instrs));
-    report.addScalar("power_w", outcome.powerW());
-    report.addScalar("clock_w", outcome.power.clockPj * 0.004);
-    report.addScalar("switch_w", outcome.power.switchPj * 0.004);
-    report.addScalar("leak_w", outcome.power.leakPj * 0.004);
-    report.addScalar("ipc_per_w", outcome.ipcPerW());
-    for (const auto& [comp, pj] : outcome.power.perComponent)
-        report.addScalar("power.pj_per_cycle." + comp, pj);
+    // FastM1 carries no power model at all: the power/efficiency
+    // scalars are absent (never zeroed) and the meta block records the
+    // mode, so downstream consumers can tell "skipped by mode" from
+    // "missing by bug". Full-mode reports keep their exact historical
+    // bytes (no mode key).
+    if (req.mode == SimMode::FastM1) {
+        report.meta().mode = simModeName(req.mode);
+    } else {
+        report.addScalar("power_w", outcome.powerW());
+        report.addScalar("clock_w", outcome.power.clockPj * 0.004);
+        report.addScalar("switch_w", outcome.power.switchPj * 0.004);
+        report.addScalar("leak_w", outcome.power.leakPj * 0.004);
+        report.addScalar("ipc_per_w", outcome.ipcPerW());
+        for (const auto& [comp, pj] : outcome.power.perComponent)
+            report.addScalar("power.pj_per_cycle." + comp, pj);
+    }
     // Chip-scope extras, gated so 1-core reports keep their exact
     // pre-chip bytes (the bare-core identity contract).
     if (outcome.cores >= 2) {

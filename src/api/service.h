@@ -74,6 +74,14 @@ struct RunRequest
     uint64_t maxCycles = 0; ///< cycle budget; 0 = unbounded
     uint64_t sampleInterval = 0;
 
+    /**
+     * Fidelity mode (see SimMode). FastM1 requires cores == 1 and is
+     * incompatible with telemetry (recorder / collectTimings /
+     * sampleInterval) — those are exactly the paths it skips; asking
+     * for both is a validation error, never a silent no-op.
+     */
+    SimMode mode = SimMode::Full;
+
     // Library-only extras (never on the wire).
     obs::TimeSeriesRecorder* recorder = nullptr; ///< optional telemetry
     bool collectTimings = false;
@@ -81,7 +89,8 @@ struct RunRequest
     std::string ckptLoad; ///< restore a warmup snapshot, skip warmup
 
     /** Structured validation (field ranges, mutually exclusive ckpt
-        paths); name resolution happens in runOne(). */
+        paths); name resolution happens in runOne(). The returned
+        Error's `field` names the first failing request key. */
     common::Status validate() const;
 };
 

@@ -49,8 +49,14 @@ inline constexpr uint32_t kFormatVersion = 1;
  * whenever any saveState() layout changes; it also keys the sweep
  * shard cache (src/sweep/cache.h), so stale cache entries from an
  * older simulator become misses instead of corrupt loads.
+ *
+ * v2: pipeline queues serialize via FifoRing (occupancy validated
+ * against config-derived capacity on load), the vestigial per-thread
+ * LMQ copy is gone, and sw.* switching counters are filtered from the
+ * stat snapshot so checkpoints are mode-independent — a FastM1 warmup
+ * checkpoint is byte-identical to a Full-mode one.
  */
-inline constexpr uint32_t kStateSchemaVersion = 1;
+inline constexpr uint32_t kStateSchemaVersion = 2;
 
 /**
  * Deterministic hash over every CoreConfig field (including the

@@ -62,16 +62,40 @@ struct Error
     ErrorCode code = ErrorCode::Internal;
     std::string message;
 
+    /**
+     * Structured origin of a validation failure: the request/spec key
+     * that failed (e.g. "smt", "mode"), empty when the error is not
+     * tied to one field. Surfaced verbatim on the NDJSON `error` line
+     * and in CLI exit-2 messages; diagnostic only — equality and
+     * on-disk cache serialization ignore it.
+     */
+    std::string field;
+
     Error() = default;
     Error(ErrorCode c, std::string msg)
         : code(c), message(std::move(msg))
     {}
+    Error(ErrorCode c, std::string msg, std::string fld)
+        : code(c), message(std::move(msg)), field(std::move(fld))
+    {}
 
-    /** "invalid_config: <message>" */
+    /** "invalid_config: <message>", with " (field: <f>)" when set. */
     std::string
     str() const
     {
-        return std::string(errorCodeName(code)) + ": " + message;
+        std::string s =
+            std::string(errorCodeName(code)) + ": " + message;
+        if (!field.empty())
+            s += " (field: " + field + ")";
+        return s;
+    }
+
+    /** This error with @p fld recorded as the failing field. */
+    Error
+    withField(std::string fld) &&
+    {
+        field = std::move(fld);
+        return std::move(*this);
     }
 
     static Error

@@ -25,11 +25,10 @@ struct CoreModel::ThreadState
     std::array<OpClass, reg::kNumArchRegs> regProducer{};
     std::array<uint64_t, reg::kNumAcc> accChain{};
 
-    std::deque<uint64_t> rob; ///< commit cycles of in-flight ops
-    std::deque<uint64_t> fetchBuf; ///< dispatch cycles (ibuffer depth)
-    std::deque<uint64_t> ldq; ///< release cycles of load-queue entries
-    std::deque<uint64_t> stq;
-    std::deque<uint64_t> lmq; ///< fill cycles of outstanding misses
+    FifoRing rob; ///< commit cycles of in-flight ops
+    FifoRing fetchBuf; ///< dispatch cycles (ibuffer depth)
+    FifoRing ldq; ///< release cycles of load-queue entries
+    FifoRing stq;
 
     uint64_t lastILine = ~0ull;
     uint64_t lastStoreLine = ~0ull;
@@ -147,6 +146,12 @@ CoreModel::CoreModel(const CoreConfig& cfg)
     ids_.swMma = stats_.id("sw.mma");
     ids_.rfWrite = stats_.id("rf.write");
     ids_.commitOp = stats_.id("commit.op");
+    for (size_t tier = 0; tier < kHotTiers; ++tier) {
+        ids_.l2MissTier[tier] =
+            stats_.id("l2.miss.tier" + std::to_string(tier));
+        ids_.l1dMissTier[tier] =
+            stats_.id("l1d.miss.tier" + std::to_string(tier));
+    }
 }
 
 CoreModel::~CoreModel() = default;
@@ -198,8 +203,12 @@ CoreModel::missLatency(uint64_t addr, uint64_t when, bool isInstr,
     if (infiniteL2_ || l2_.access(addr))
         return queue + cfg_.l2.latency;
     stats_.add(ids_.l2Miss);
-    if (tier != 0xff)
-        stats_.add("l2.miss.tier" + std::to_string(tier));
+    if (tier != 0xff) {
+        if (tier < kHotTiers)
+            stats_.add(ids_.l2MissTier[tier]);
+        else
+            stats_.add("l2.miss.tier" + std::to_string(tier));
+    }
 
     stats_.add(ids_.l3Access);
     uint64_t l3start = l3Server_.serve(start + cfg_.l2.latency);
@@ -244,11 +253,9 @@ CoreModel::fetchCycle(ThreadState& ts, const TraceInstr& in)
     // stalls when it runs a buffer's worth of instructions ahead of
     // dispatch. Without this backpressure a mispredict redirect would
     // cost the entire (unbounded) fetch-to-resolve slack.
-    size_t ibufCap = static_cast<size_t>(
-        std::max(8, cfg_.ibufferEntries / numThreads_));
-    while (ts.fetchBuf.size() >= ibufCap) {
+    if (ts.fetchBuf.full()) {
         f = std::max(f, ts.fetchBuf.front());
-        ts.fetchBuf.pop_front();
+        ts.fetchBuf.popFront();
     }
     uint64_t line = in.pc / cfg_.l1i.lineSize;
     if (line != ts.lastILine) {
@@ -327,7 +334,7 @@ CoreModel::resolveBranch(int t, ThreadState& ts, const TraceInstr& in,
 void
 CoreModel::processInstr(int t, const TraceInstr& in)
 {
-    ThreadState& ts = *threads_[static_cast<size_t>(t)];
+    ThreadState& ts = threads_[static_cast<size_t>(t)];
 
     // ---------------- Fetch ----------------
     uint64_t f = fetchCycle(ts, in);
@@ -405,34 +412,25 @@ CoreModel::processInstr(int t, const TraceInstr& in)
 
     // ---------------- Dispatch (structure allocation) ----------------
     uint64_t disp = d + static_cast<uint64_t>(cfg_.frontendStages - 2);
-    size_t robCap = static_cast<size_t>(
-        std::max(1, cfg_.robSize / numThreads_));
-    while (ts.rob.size() >= robCap) {
+    if (ts.rob.full()) {
         disp = std::max(disp, ts.rob.front());
-        ts.rob.pop_front();
+        ts.rob.popFront();
     }
-    if (isa::isLoad(in.op)) {
-        size_t cap = static_cast<size_t>(
-            std::max(1, cfg_.ldqPerThread(numThreads_)));
-        while (ts.ldq.size() >= cap) {
-            disp = std::max(disp, ts.ldq.front());
-            ts.ldq.pop_front();
-        }
+    if (isa::isLoad(in.op) && ts.ldq.full()) {
+        disp = std::max(disp, ts.ldq.front());
+        ts.ldq.popFront();
     }
     bool takesStqEntry = isa::isStore(in.op);
-    if (takesStqEntry) {
-        size_t cap = static_cast<size_t>(
-            std::max(1, cfg_.stqPerThread(numThreads_)));
-        while (ts.stq.size() >= cap) {
-            disp = std::max(disp, ts.stq.front());
-            ts.stq.pop_front();
-        }
+    if (takesStqEntry && ts.stq.full()) {
+        disp = std::max(disp, ts.stq.front());
+        ts.stq.popFront();
     }
     disp = dispatchRing_.record(disp);
-    ts.fetchBuf.push_back(disp);
+    ts.fetchBuf.pushBack(disp);
     stats_.add(ids_.dispatchOp);
-    if (in.dest != reg::kNone)
-        stats_.add(ids_.renameWrite);
+    // Branch-free: a destination-less op adds 0.
+    stats_.add(ids_.renameWrite,
+               static_cast<uint64_t>(in.dest != reg::kNone));
 
     // ---------------- Operand readiness ----------------
     uint64_t ready = disp + 1;
@@ -529,20 +527,22 @@ CoreModel::processInstr(int t, const TraceInstr& in)
             complete = issue + cfg_.l1d.latency;
         } else {
             stats_.add(ids_.l1dMiss);
-            if (in.memTier != 0xff)
-                stats_.add("l1d.miss.tier" +
-                           std::to_string(in.memTier));
+            if (in.memTier != 0xff) {
+                if (in.memTier < kHotTiers)
+                    stats_.add(ids_.l1dMissTier[in.memTier]);
+                else
+                    stats_.add("l1d.miss.tier" +
+                               std::to_string(in.memTier));
+            }
             if (cfg_.eaTaggedL1)
                 complete += translate(ts, in.addr, false);
             // Load-miss queue occupancy (a shared structure: misses
             // from every thread draw on the same entries).
             uint64_t extra = 0;
-            size_t lmqCap = static_cast<size_t>(
-                std::max(1, cfg_.lmqSize));
-            while (lmq_.size() >= lmqCap) {
+            if (lmq_.full()) {
                 if (lmq_.front() > issue)
-                    extra = std::max(extra, lmq_.front() - issue);
-                lmq_.pop_front();
+                    extra = lmq_.front() - issue;
+                lmq_.popFront();
             }
             complete = issue + cfg_.l1d.latency + extra +
                        missLatency(in.addr, issue + extra, false,
@@ -550,7 +550,7 @@ CoreModel::processInstr(int t, const TraceInstr& in)
             // The LMQ entry hands off to the L2/L3 miss machinery once
             // the L2 responds; long fills park in the deeper queues
             // modeled by the bandwidth servers.
-            lmq_.push_back(std::min<uint64_t>(
+            lmq_.pushBack(std::min<uint64_t>(
                 complete, issue + extra + cfg_.l2.latency + 4));
 
             prefetcher_.onMiss(line, pfScratch_);
@@ -560,8 +560,9 @@ CoreModel::processInstr(int t, const TraceInstr& in)
                 l2_.install(pfLine * cfg_.l1d.lineSize);
             }
         }
-        ts.ldq.push_back(complete);
-        stats_.add(ids_.swLs, toggleWeight(in.toggle));
+        ts.ldq.pushBack(complete);
+        if (swScale_ != 0)
+            stats_.add(ids_.swLs, toggleWeight(in.toggle));
     } else if (isa::isStore(in.op)) {
         stats_.add(ids_.lsuSt);
         complete = issue + 1; // AGEN; data drains post-commit
@@ -582,10 +583,12 @@ CoreModel::processInstr(int t, const TraceInstr& in)
             }
         }
         ts.lastStoreLine = line;
-        stats_.add(ids_.swLs, toggleWeight(in.toggle));
+        if (swScale_ != 0)
+            stats_.add(ids_.swLs, toggleWeight(in.toggle));
     } else if (in.op == OpClass::MmaGer) {
         stats_.add(ids_.mmaGer);
-        stats_.add(ids_.swMma, toggleWeight(in.toggle));
+        if (swScale_ != 0)
+            stats_.add(ids_.swMma, toggleWeight(in.toggle));
         if (in.dest >= reg::kAccBase)
             ts.accChain[in.dest - reg::kAccBase] =
                 issue + static_cast<uint64_t>(cfg_.mmaAccLat);
@@ -593,15 +596,19 @@ CoreModel::processInstr(int t, const TraceInstr& in)
         stats_.add(ids_.mmaMove);
     } else if (in.op == OpClass::VsuFp) {
         stats_.add(ids_.vsuFp);
-        stats_.add(ids_.swVsu, toggleWeight(in.toggle));
+        if (swScale_ != 0)
+            stats_.add(ids_.swVsu, toggleWeight(in.toggle));
     } else if (in.op == OpClass::VsuInt) {
         stats_.add(ids_.vsuInt);
-        stats_.add(ids_.swVsu, toggleWeight(in.toggle));
+        if (swScale_ != 0)
+            stats_.add(ids_.swVsu, toggleWeight(in.toggle));
     } else if (in.op == OpClass::FpScalar) {
         stats_.add(ids_.fpScalar);
-        stats_.add(ids_.swFp, toggleWeight(in.toggle));
+        if (swScale_ != 0)
+            stats_.add(ids_.swFp, toggleWeight(in.toggle));
     } else {
-        stats_.add(ids_.swAlu, toggleWeight(in.toggle));
+        if (swScale_ != 0)
+            stats_.add(ids_.swAlu, toggleWeight(in.toggle));
     }
 
     if (isa::isBranch(in.op))
@@ -618,9 +625,9 @@ CoreModel::processInstr(int t, const TraceInstr& in)
     uint64_t cm = std::max(complete + 1, ts.lastCommit);
     cm = commitRing_.record(cm);
     ts.lastCommit = cm;
-    ts.rob.push_back(cm);
+    ts.rob.pushBack(cm);
     if (takesStqEntry)
-        ts.stq.push_back(cm + 2); // drain to L1 shortly after commit
+        ts.stq.pushBack(cm + 2); // drain to L1 shortly after commit
     stats_.add(ids_.commitInstr);
     stats_.add(ids_.commitOp);
 
@@ -656,8 +663,8 @@ void
 CoreModel::maybeSample(uint64_t /*i*/)
 {
     uint64_t front = 0;
-    for (const auto& ts : threads_)
-        front = std::max(front, ts->lastCommit);
+    for (const ThreadState& ts : threads_)
+        front = std::max(front, ts.lastCommit);
     if (front <= measureBaseCycle_)
         return;
     uint64_t rel = front - measureBaseCycle_;
@@ -668,11 +675,11 @@ CoreModel::maybeSample(uint64_t /*i*/)
                      static_cast<double>(interval);
         lastSampleCommits_ = commits;
         size_t rob = 0, ldq = 0, stq = 0, ibuf = 0;
-        for (const auto& ts : threads_) {
-            rob += ts->rob.size();
-            ldq += ts->ldq.size();
-            stq += ts->stq.size();
-            ibuf += ts->fetchBuf.size();
+        for (const ThreadState& ts : threads_) {
+            rob += ts.rob.size();
+            ldq += ts.ldq.size();
+            stq += ts.stq.size();
+            ibuf += ts.fetchBuf.size();
         }
         rec_->sample(ipcTrack_, nextSampleCycle_, ipc);
         rec_->sample(robTrack_, nextSampleCycle_,
@@ -689,35 +696,57 @@ CoreModel::maybeSample(uint64_t /*i*/)
 
 void
 CoreModel::beginRun(const std::vector<workloads::InstrSource*>& sources,
-                    bool infiniteL2)
+                    bool infiniteL2, bool fastM1)
 {
     P10_ASSERT(!sources.empty(), "no instruction sources");
     numThreads_ = static_cast<int>(sources.size());
     collectTimings_ = false;
     measuring_ = false;
     infiniteL2_ = infiniteL2;
+    swScale_ = fastM1 ? 0 : 1;
+
+    // Queue capacities are a pure function of (config, SMT level), so
+    // they are resolved once here instead of on every instruction.
+    ibufCap_ = static_cast<size_t>(
+        std::max(8, cfg_.ibufferEntries / numThreads_));
+    robCap_ = static_cast<size_t>(
+        std::max(1, cfg_.robSize / numThreads_));
+    ldqCap_ = static_cast<size_t>(
+        std::max(1, cfg_.ldqPerThread(numThreads_)));
+    stqCap_ = static_cast<size_t>(
+        std::max(1, cfg_.stqPerThread(numThreads_)));
+    lmq_.reset(static_cast<size_t>(std::max(1, cfg_.lmqSize)));
 
     threads_.clear();
-    for (auto* src : sources) {
-        auto ts = std::make_unique<ThreadState>();
-        ts->src = src;
-        threads_.push_back(std::move(ts));
+    threads_.resize(sources.size());
+    for (size_t i = 0; i < sources.size(); ++i) {
+        ThreadState& ts = threads_[i];
+        ts.src = sources[i];
+        ts.fetchBuf.reset(ibufCap_);
+        ts.rob.reset(robCap_);
+        ts.ldq.reset(ldqCap_);
+        ts.stq.reset(stqCap_);
     }
 }
 
 void
 CoreModel::stepOne()
 {
+    // Single-thread fast path: no arbitration to run.
+    if (numThreads_ == 1) {
+        processInstr(0, threads_[0].src->next());
+        return;
+    }
     // Earliest-fetch-first SMT arbitration.
     int pick = 0;
-    uint64_t best = threads_[0]->nextFetch;
+    uint64_t best = threads_[0].nextFetch;
     for (int t = 1; t < numThreads_; ++t) {
-        if (threads_[static_cast<size_t>(t)]->nextFetch < best) {
-            best = threads_[static_cast<size_t>(t)]->nextFetch;
+        if (threads_[static_cast<size_t>(t)].nextFetch < best) {
+            best = threads_[static_cast<size_t>(t)].nextFetch;
             pick = t;
         }
     }
-    TraceInstr in = threads_[static_cast<size_t>(pick)]->src->next();
+    TraceInstr in = threads_[static_cast<size_t>(pick)].src->next();
     processInstr(pick, in);
 }
 
@@ -725,8 +754,8 @@ uint64_t
 CoreModel::commitFrontCycle() const
 {
     uint64_t front = 0;
-    for (const auto& ts : threads_)
-        front = std::max(front, ts->lastCommit);
+    for (const ThreadState& ts : threads_)
+        front = std::max(front, ts.lastCommit);
     return front;
 }
 
@@ -735,7 +764,15 @@ CoreModel::advance(uint64_t instrs)
 {
     P10_ASSERT(!threads_.empty(), "advance before beginRun");
     P10_ASSERT(!measuring_, "advance inside a measurement window");
-    // Warmup: trains caches, predictors, prefetch streams.
+    // Warmup: trains caches, predictors, prefetch streams. The
+    // single-thread source is hoisted out of the loop (the warmup is
+    // as hot as the measured window).
+    if (numThreads_ == 1) {
+        workloads::InstrSource* src = threads_[0].src;
+        for (uint64_t i = 0; i < instrs; ++i)
+            processInstr(0, src->next());
+        return;
+    }
     for (uint64_t i = 0; i < instrs; ++i)
         stepOne();
 }
@@ -744,7 +781,7 @@ RunResult
 CoreModel::run(const std::vector<workloads::InstrSource*>& sources,
                const RunOptions& opts)
 {
-    beginRun(sources, opts.infiniteL2);
+    beginRun(sources, opts.infiniteL2, opts.fastM1);
     advance(opts.warmupInstrs);
     return measure(opts);
 }
@@ -757,9 +794,9 @@ CoreModel::measure(const RunOptions& opts)
 
     uint64_t baseCycle = 0;
     uint64_t baseInstrs = 0;
-    for (const auto& ts : threads_) {
-        baseCycle = std::max(baseCycle, ts->lastCommit);
-        baseInstrs += ts->instrs;
+    for (const ThreadState& ts : threads_) {
+        baseCycle = std::max(baseCycle, ts.lastCommit);
+        baseInstrs += ts.instrs;
     }
     common::StatSnapshot baseStats = stats_.snapshot();
 
@@ -783,22 +820,39 @@ CoreModel::measure(const RunOptions& opts)
     }
 
     bool timedOut = false;
-    for (uint64_t i = 0; i < opts.measureInstrs; ++i) {
-        if (opts.onInject && i == opts.injectAtInstr)
-            opts.onInject(*this);
-        stepOne();
-        if (rec_ != nullptr)
-            maybeSample(i);
-        // Cycle-budget guard: checked on the commit front so a run
-        // whose progress collapses (fault campaigns, degenerate
-        // configs) stops instead of burning the whole sweep's time.
-        if (opts.maxCycles != 0 && (i & 0x3f) == 0) {
-            uint64_t front = 0;
-            for (const auto& ts : threads_)
-                front = std::max(front, ts->lastCommit);
-            if (front - baseCycle > opts.maxCycles) {
-                timedOut = true;
-                break;
+    const bool plainLoop =
+        !opts.onInject && rec_ == nullptr && opts.maxCycles == 0;
+    if (plainLoop) {
+        // No per-instruction conditionals in the common sweep/bench
+        // configuration: the hooks above are all inactive, so the loop
+        // reduces to the bare instruction step — same processInstr
+        // sequence, byte-identical results.
+        if (numThreads_ == 1) {
+            workloads::InstrSource* src = threads_[0].src;
+            for (uint64_t i = 0; i < opts.measureInstrs; ++i)
+                processInstr(0, src->next());
+        } else {
+            for (uint64_t i = 0; i < opts.measureInstrs; ++i)
+                stepOne();
+        }
+    } else {
+        for (uint64_t i = 0; i < opts.measureInstrs; ++i) {
+            if (opts.onInject && i == opts.injectAtInstr)
+                opts.onInject(*this);
+            stepOne();
+            if (rec_ != nullptr)
+                maybeSample(i);
+            // Cycle-budget guard: checked on the commit front so a run
+            // whose progress collapses (fault campaigns, degenerate
+            // configs) stops instead of burning the whole sweep's time.
+            if (opts.maxCycles != 0 && (i & 0x3f) == 0) {
+                uint64_t front = 0;
+                for (const ThreadState& ts : threads_)
+                    front = std::max(front, ts.lastCommit);
+                if (front - baseCycle > opts.maxCycles) {
+                    timedOut = true;
+                    break;
+                }
             }
         }
     }
@@ -807,9 +861,9 @@ CoreModel::measure(const RunOptions& opts)
     result.timedOut = timedOut;
     uint64_t endCycle = 0;
     uint64_t endInstrs = 0;
-    for (const auto& ts : threads_) {
-        endCycle = std::max(endCycle, ts->lastCommit);
-        endInstrs += ts->instrs;
+    for (const ThreadState& ts : threads_) {
+        endCycle = std::max(endCycle, ts.lastCommit);
+        endInstrs += ts.instrs;
     }
     if (rec_ != nullptr) {
         rec_->closeOpenSlices(endCycle > baseCycle ? endCycle - baseCycle
@@ -830,26 +884,6 @@ CoreModel::measure(const RunOptions& opts)
 // ---- Checkpoint surface ----
 
 namespace {
-
-void
-saveDeque(common::BinWriter& w, const std::deque<uint64_t>& d)
-{
-    w.u64(d.size());
-    for (uint64_t x : d)
-        w.u64(x);
-}
-
-common::Status
-loadDeque(common::BinReader& r, std::deque<uint64_t>& d)
-{
-    uint64_t n = r.u64();
-    if (!r.fits(n, 8))
-        return r.status("pipeline queue");
-    d.clear();
-    for (uint64_t i = 0; i < n; ++i)
-        d.push_back(r.u64());
-    return r.status("pipeline queue");
-}
 
 void
 saveInstr(common::BinWriter& w, const TraceInstr& in)
@@ -908,11 +942,10 @@ CoreModel::saveThread(common::BinWriter& w, const ThreadState& ts) const
         w.u8(static_cast<uint8_t>(p));
     for (uint64_t v : ts.accChain)
         w.u64(v);
-    saveDeque(w, ts.rob);
-    saveDeque(w, ts.fetchBuf);
-    saveDeque(w, ts.ldq);
-    saveDeque(w, ts.stq);
-    saveDeque(w, ts.lmq);
+    ts.rob.saveState(w);
+    ts.fetchBuf.saveState(w);
+    ts.ldq.saveState(w);
+    ts.stq.saveState(w);
     w.u64(ts.lastILine);
     w.u64(ts.lastStoreLine);
     w.b(ts.havePrev);
@@ -940,15 +973,13 @@ CoreModel::loadThread(common::BinReader& r, ThreadState& ts)
     }
     for (auto& v : ts.accChain)
         v = r.u64();
-    if (auto st = loadDeque(r, ts.rob); !st.ok())
+    if (auto st = ts.rob.loadState(r); !st.ok())
         return st;
-    if (auto st = loadDeque(r, ts.fetchBuf); !st.ok())
+    if (auto st = ts.fetchBuf.loadState(r); !st.ok())
         return st;
-    if (auto st = loadDeque(r, ts.ldq); !st.ok())
+    if (auto st = ts.ldq.loadState(r); !st.ok())
         return st;
-    if (auto st = loadDeque(r, ts.stq); !st.ok())
-        return st;
-    if (auto st = loadDeque(r, ts.lmq); !st.ok())
+    if (auto st = ts.stq.loadState(r); !st.ok())
         return st;
     ts.lastILine = r.u64();
     ts.lastStoreLine = r.u64();
@@ -968,9 +999,23 @@ CoreModel::saveState(common::BinWriter& w) const
 
     w.u32(static_cast<uint32_t>(numThreads_));
 
+    // The sw.* switching-activity counters are excluded from the
+    // snapshot in BOTH modes (state-schema v2): they never feed
+    // forward into timing, and filtering them makes a FastM1 warmup
+    // checkpoint byte-identical to a Full-mode one, so checkpoints are
+    // interchangeable across modes. Full-mode measurement deltas are
+    // unchanged — delta() treats absent-in-base as zero, so a restored
+    // Full run re-accumulates the measured window's switching activity
+    // exactly as a cold run's delta reports it.
     common::StatSnapshot snap = stats_.snapshot();
-    w.u64(snap.size());
+    uint64_t kept = 0;
+    for (const auto& [name, value] : snap)
+        if (name.rfind("sw.", 0) != 0)
+            ++kept;
+    w.u64(kept);
     for (const auto& [name, value] : snap) {
+        if (name.rfind("sw.", 0) == 0)
+            continue;
         w.str(name);
         w.u64(value);
     }
@@ -984,15 +1029,15 @@ CoreModel::saveState(common::BinWriter& w) const
     tlb_.saveState(w);
     bp_.saveState(w);
     prefetcher_.saveState(w);
-    saveDeque(w, lmq_);
+    lmq_.saveState(w);
 
     // Every future ring probe happens at a cycle >= the fetch cycle of
     // the next processed instruction, which is >= the minimum nextFetch
     // across threads (nextFetch is monotonic per thread), so slots
     // stamped below that horizon are dead and need not be saved.
     uint64_t minCycle = ~0ull;
-    for (const auto& ts : threads_)
-        minCycle = std::min(minCycle, ts->nextFetch);
+    for (const ThreadState& ts : threads_)
+        minCycle = std::min(minCycle, ts.nextFetch);
     fetchRing_.saveState(w, minCycle);
     decodeRing_.saveState(w, minCycle);
     dispatchRing_.saveState(w, minCycle);
@@ -1013,8 +1058,8 @@ CoreModel::saveState(common::BinWriter& w) const
     l3Server_.saveState(w);
     memServer_.saveState(w);
 
-    for (const auto& ts : threads_)
-        saveThread(w, *ts);
+    for (const ThreadState& ts : threads_)
+        saveThread(w, ts);
 }
 
 common::Status
@@ -1059,7 +1104,7 @@ CoreModel::loadState(common::BinReader& r)
         return st;
     if (auto st = prefetcher_.loadState(r); !st.ok())
         return st;
-    if (auto st = loadDeque(r, lmq_); !st.ok())
+    if (auto st = lmq_.loadState(r); !st.ok())
         return st;
 
     ThrottleRing* rings[] = {&fetchRing_, &decodeRing_, &dispatchRing_,
@@ -1084,8 +1129,8 @@ CoreModel::loadState(common::BinReader& r)
     if (auto st = memServer_.loadState(r); !st.ok())
         return st;
 
-    for (auto& ts : threads_)
-        if (auto st = loadThread(r, *ts); !st.ok())
+    for (ThreadState& ts : threads_)
+        if (auto st = loadThread(r, ts); !st.ok())
             return st;
     return r.status("core state");
 }

@@ -23,7 +23,6 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -50,6 +49,17 @@ struct RunOptions
     uint64_t measureInstrs = 100000;
     bool collectTimings = false;    ///< fill RunResult::timings
     bool infiniteL2 = false;        ///< APEX "core model" mode (Fig. 10)
+
+    /**
+     * M1 fast mode (run() convenience only; the split-phase API takes
+     * it on beginRun, where the mode is fixed for the whole run): skip
+     * the per-cycle power-proxy instrumentation (the sw.* switching
+     * counters) so no power can be evaluated, while every architectural
+     * result — timing, commit counts, branch/cache stats, checkpoints —
+     * stays byte-identical to full mode. The skipped counters are
+     * absent from RunResult::stats, not zeroed.
+     */
+    bool fastM1 = false;
 
     /**
      * Cycle budget for the measurement window; 0 = unbounded. A run
@@ -103,9 +113,11 @@ class CoreModel
     // between advance() and measure() lets later runs skip the warmup:
     // restore + measure() is bit-identical to advance + measure().
 
-    /** Bind one instruction source per SMT thread and reset run state. */
+    /** Bind one instruction source per SMT thread and reset run state.
+        @p fastM1 selects M1 fast mode for the whole run (see
+        RunOptions::fastM1). */
     void beginRun(const std::vector<workloads::InstrSource*>& threads,
-                  bool infiniteL2 = false);
+                  bool infiniteL2 = false, bool fastM1 = false);
 
     /** Step @p instrs instructions outside any measurement window. */
     void advance(uint64_t instrs);
@@ -162,12 +174,16 @@ class CoreModel
   private:
     struct ThreadState;
 
+    /** Memory tiers with interned per-tier miss counters; rarer tiers
+        fall back to the string-keyed path. */
+    static constexpr size_t kHotTiers = 8;
+
     /**
      * Interned handles for every fixed-name counter the per-instruction
      * path touches; add(StatId) is an array index, so per-cycle
-     * accounting stays off the string-keyed map. Dynamically named
-     * counters (the l1d/l2 per-tier miss breakdowns) keep the string
-     * path — they are rare and unbounded in name.
+     * accounting stays off the string-keyed map. The l1d/l2 per-tier
+     * miss breakdowns are interned for the first kHotTiers tiers, so a
+     * miss no longer constructs a std::string key on the hot path.
      */
     struct HotIds
     {
@@ -184,6 +200,7 @@ class CoreModel
             lsuStMerge, l1dWrite, l1dMissSt, mmaGer, mmaMove, vsuFp,
             vsuInt, fpScalar, swAlu, swFp, swVsu, swLs, swMma, rfWrite,
             commitOp;
+        std::array<common::StatId, kHotTiers> l2MissTier, l1dMissTier;
     };
 
     void stepOne();
@@ -207,6 +224,19 @@ class CoreModel
     uint64_t measureBaseCycle_ = 0;
     bool collectTimings_ = false;
     bool infiniteL2_ = false;
+
+    /** M1 fast mode: 0 in fast mode, 1 in full. The sw.* switching
+        counters accumulate toggleWeight * swScale_, so the fast path is
+        branch-free and the counters stay at zero (absent from
+        snapshots) when fast. Fixed by beginRun for the whole run. */
+    uint64_t swScale_ = 1;
+
+    // Per-run queue capacities (fixed by beginRun; the per-thread
+    // partitions depend on the SMT level).
+    size_t ibufCap_ = 8;
+    size_t robCap_ = 1;
+    size_t ldqCap_ = 1;
+    size_t stqCap_ = 1;
     std::vector<InstrTiming> timings_;
     uint64_t opsCommitted_ = 0;
     uint64_t flops_ = 0;
@@ -230,7 +260,7 @@ class CoreModel
     BranchPredictor bp_;
     StreamPrefetcher prefetcher_;
     std::vector<uint64_t> pfScratch_;
-    std::deque<uint64_t> lmq_; ///< shared load-miss queue fill times
+    FifoRing lmq_; ///< shared load-miss queue fill times
 
     // Pipeline-width throttles (shared across SMT threads).
     ThrottleRing fetchRing_;
@@ -254,7 +284,10 @@ class CoreModel
     BandwidthServer l3Server_;
     BandwidthServer memServer_;
 
-    std::vector<std::unique_ptr<ThreadState>> threads_;
+    /** Flat per-thread pipeline state (structure-of-threads layout:
+        contiguous storage, no per-thread pointer chase on the
+        per-instruction path). */
+    std::vector<ThreadState> threads_;
 };
 
 } // namespace p10ee::core

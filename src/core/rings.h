@@ -139,6 +139,92 @@ class ThrottleRing
 };
 
 /**
+ * Fixed-capacity FIFO of cycle stamps — the flat replacement for the
+ * per-thread std::deque pipeline queues (ROB, ibuffer, LDQ, STQ and
+ * the shared LMQ). The queues' replacement discipline ("pop the oldest
+ * entry when at capacity, then push") bounds occupancy by a capacity
+ * fixed at beginRun, so one circular buffer with no per-element
+ * allocation serves the per-instruction path.
+ */
+class FifoRing
+{
+  public:
+    FifoRing() = default;
+
+    /** Size the ring for @p cap entries (> 0) and clear it. */
+    void
+    reset(size_t cap)
+    {
+        P10_ASSERT(cap > 0, "fifo ring capacity");
+        buf_.assign(cap, 0);
+        head_ = 0;
+        size_ = 0;
+    }
+
+    size_t size() const { return size_; }
+    size_t capacity() const { return buf_.size(); }
+    bool full() const { return size_ == buf_.size(); }
+
+    /** Oldest entry. @pre size() > 0 */
+    uint64_t front() const { return buf_[head_]; }
+
+    void
+    popFront()
+    {
+        ++head_;
+        if (head_ == buf_.size())
+            head_ = 0;
+        --size_;
+    }
+
+    /** @pre !full() */
+    void
+    pushBack(uint64_t v)
+    {
+        size_t tail = head_ + size_;
+        if (tail >= buf_.size())
+            tail -= buf_.size();
+        buf_[tail] = v;
+        ++size_;
+    }
+
+    /** Serialize occupancy front-to-back (capacity is config-derived
+        and re-established by beginRun, so it is validated, not saved). */
+    void
+    saveState(common::BinWriter& w) const
+    {
+        w.u64(size_);
+        for (size_t i = 0; i < size_; ++i) {
+            size_t k = head_ + i;
+            if (k >= buf_.size())
+                k -= buf_.size();
+            w.u64(buf_[k]);
+        }
+    }
+
+    /** Restore from saveState(); fails when the saved occupancy does
+        not fit the ring's (config-derived) capacity. */
+    common::Status
+    loadState(common::BinReader& r)
+    {
+        uint64_t n = r.u64();
+        if (!r.fits(n, 8) || n > buf_.size())
+            return common::Error::invalidArgument(
+                "pipeline queue occupancy exceeds capacity");
+        head_ = 0;
+        size_ = static_cast<size_t>(n);
+        for (size_t i = 0; i < size_; ++i)
+            buf_[i] = r.u64();
+        return r.status("pipeline queue");
+    }
+
+  private:
+    std::vector<uint64_t> buf_;
+    size_t head_ = 0;
+    size_t size_ = 0;
+};
+
+/**
  * A serial bandwidth server: each access occupies the resource for a
  * fixed number of cycles; later accesses queue behind earlier ones.
  * Models L2/L3 array ports and memory-channel bandwidth.

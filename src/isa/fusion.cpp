@@ -2,30 +2,6 @@
 
 namespace p10ee::isa {
 
-namespace {
-
-/** Does @p second read the register @p first writes? */
-bool
-dependsOn(const TraceInstr& first, const TraceInstr& second)
-{
-    if (first.dest == reg::kNone)
-        return false;
-    for (uint16_t s : second.src)
-        if (s == first.dest)
-            return true;
-    return false;
-}
-
-/** Are two memory ops to consecutive, same-size addresses? */
-bool
-consecutiveAddresses(const TraceInstr& first, const TraceInstr& second)
-{
-    return first.size > 0 && first.size == second.size &&
-           second.addr == first.addr + first.size;
-}
-
-} // namespace
-
 std::string
 fusionKindName(FusionKind kind)
 {
@@ -38,69 +14,6 @@ fusionKindName(FusionKind kind)
       case FusionKind::AluLoadAddr: return "alu_load_addr";
       case FusionKind::SharedIssue: return "shared_issue";
       default: return "invalid";
-    }
-}
-
-FusionKind
-classifyFusion(const TraceInstr& first, const TraceInstr& second)
-{
-    // Fusion is a pre-decode feature on the sequential stream; a taken
-    // branch as the first op means the pair is not dynamically adjacent.
-    if (isBranch(first.op) && first.taken)
-        return FusionKind::None;
-
-    // Compare/record-form ALU + dependent conditional branch.
-    if (first.op == OpClass::IntAlu && second.op == OpClass::Branch &&
-        dependsOn(first, second)) {
-        return FusionKind::AluBranch;
-    }
-
-    // Consecutive-address store pairing: one AGEN for both (paper:
-    // "store instructions to consecutive addresses are fused, resulting
-    // in a single address generation pipeline operation").
-    if (first.op == OpClass::Store && second.op == OpClass::Store &&
-        consecutiveAddresses(first, second) && first.size <= 16) {
-        return FusionKind::StoreStore;
-    }
-
-    if (first.op == OpClass::Load && second.op == OpClass::Load &&
-        consecutiveAddresses(first, second) && first.size <= 16) {
-        return FusionKind::LoadLoad;
-    }
-
-    // Address-forming ALU op feeding a load's base register (addis+load
-    // style D-form pairs).
-    if (first.op == OpClass::IntAlu && isLoad(second.op) &&
-        dependsOn(first, second)) {
-        return FusionKind::AluLoadAddr;
-    }
-
-    // Dependent ALU pairs: simple destructive chains collapse fully;
-    // other dependent ALU pairs share an issue entry with optimized
-    // wakeup latency.
-    if (first.op == OpClass::IntAlu && second.op == OpClass::IntAlu &&
-        dependsOn(first, second)) {
-        // Collapse when the pair is a 2-source chain overall (the fused
-        // op still has at most 3 sources).
-        int sources = first.numSrcs() + second.numSrcs() - 1;
-        return sources <= 3 ? FusionKind::AluAlu : FusionKind::SharedIssue;
-    }
-
-    return FusionKind::None;
-}
-
-bool
-fusesToSingleOp(FusionKind kind)
-{
-    switch (kind) {
-      case FusionKind::AluAlu:
-      case FusionKind::AluBranch:
-      case FusionKind::StoreStore:
-      case FusionKind::LoadLoad:
-      case FusionKind::AluLoadAddr:
-        return true;
-      default:
-        return false;
     }
 }
 

@@ -34,6 +34,30 @@ enum class FusionKind : uint8_t {
 /** Human-readable fusion category name. */
 std::string fusionKindName(FusionKind kind);
 
+namespace detail {
+
+/** Does @p second read the register @p first writes? */
+constexpr bool
+dependsOn(const TraceInstr& first, const TraceInstr& second)
+{
+    if (first.dest == reg::kNone)
+        return false;
+    for (uint16_t s : second.src)
+        if (s == first.dest)
+            return true;
+    return false;
+}
+
+/** Are two memory ops to consecutive, same-size addresses? */
+constexpr bool
+consecutiveAddresses(const TraceInstr& first, const TraceInstr& second)
+{
+    return first.size > 0 && first.size == second.size &&
+           second.addr == first.addr + first.size;
+}
+
+} // namespace detail
+
 /**
  * Decide whether the adjacent pre-decoded pair (@p first, @p second)
  * fuses, and into which category.
@@ -42,15 +66,78 @@ std::string fusionKindName(FusionKind kind);
  * stores to consecutive addresses (<= 16B each, one address-generation
  * operation); loads from consecutive addresses; and dependent pairs that
  * share an issue entry. A pair never fuses across a taken branch.
+ *
+ * Header-defined: pre-decode asks this once per fetched instruction, and
+ * as an out-of-line call it was visible in the advance-loop flat profile.
  */
-FusionKind classifyFusion(const TraceInstr& first, const TraceInstr& second);
+inline FusionKind
+classifyFusion(const TraceInstr& first, const TraceInstr& second)
+{
+    // Fusion is a pre-decode feature on the sequential stream; a taken
+    // branch as the first op means the pair is not dynamically adjacent.
+    if (isBranch(first.op) && first.taken)
+        return FusionKind::None;
+
+    // Compare/record-form ALU + dependent conditional branch.
+    if (first.op == OpClass::IntAlu && second.op == OpClass::Branch &&
+        detail::dependsOn(first, second)) {
+        return FusionKind::AluBranch;
+    }
+
+    // Consecutive-address store pairing: one AGEN for both (paper:
+    // "store instructions to consecutive addresses are fused, resulting
+    // in a single address generation pipeline operation").
+    if (first.op == OpClass::Store && second.op == OpClass::Store &&
+        detail::consecutiveAddresses(first, second) && first.size <= 16) {
+        return FusionKind::StoreStore;
+    }
+
+    if (first.op == OpClass::Load && second.op == OpClass::Load &&
+        detail::consecutiveAddresses(first, second) && first.size <= 16) {
+        return FusionKind::LoadLoad;
+    }
+
+    // Address-forming ALU op feeding a load's base register (addis+load
+    // style D-form pairs).
+    if (first.op == OpClass::IntAlu && isLoad(second.op) &&
+        detail::dependsOn(first, second)) {
+        return FusionKind::AluLoadAddr;
+    }
+
+    // Dependent ALU pairs: simple destructive chains collapse fully;
+    // other dependent ALU pairs share an issue entry with optimized
+    // wakeup latency.
+    if (first.op == OpClass::IntAlu && second.op == OpClass::IntAlu &&
+        detail::dependsOn(first, second)) {
+        // Collapse when the pair is a 2-source chain overall (the fused
+        // op still has at most 3 sources).
+        int sources = first.numSrcs() + second.numSrcs() - 1;
+        return sources <= 3 ? FusionKind::AluAlu : FusionKind::SharedIssue;
+    }
+
+    return FusionKind::None;
+}
 
 /**
  * True when the fused pair decodes into a *single* internal op (removing
  * one unit of work); SharedIssue pairs still occupy two ops but share an
- * issue entry with zero-cycle dependent wakeup.
+ * issue entry with zero-cycle dependent wakeup. Header-defined: the
+ * decode stage asks this once per fetched instruction.
  */
-bool fusesToSingleOp(FusionKind kind);
+constexpr bool
+fusesToSingleOp(FusionKind kind)
+{
+    switch (kind) {
+      case FusionKind::AluAlu:
+      case FusionKind::AluBranch:
+      case FusionKind::StoreStore:
+      case FusionKind::LoadLoad:
+      case FusionKind::AluLoadAddr:
+        return true;
+      default:
+        return false;
+    }
+}
 
 } // namespace p10ee::isa
 

@@ -27,49 +27,4 @@ opClassName(OpClass op)
     }
 }
 
-bool
-isLoad(OpClass op)
-{
-    return op == OpClass::Load || op == OpClass::Load32B;
-}
-
-bool
-isStore(OpClass op)
-{
-    return op == OpClass::Store || op == OpClass::Store32B;
-}
-
-bool
-isBranch(OpClass op)
-{
-    return op == OpClass::Branch || op == OpClass::BranchIndirect;
-}
-
-bool
-isVsu(OpClass op)
-{
-    return op == OpClass::VsuFp || op == OpClass::VsuInt;
-}
-
-bool
-isMma(OpClass op)
-{
-    return op == OpClass::MmaGer || op == OpClass::MmaMove;
-}
-
-int
-flopsPerInstr(OpClass op)
-{
-    switch (op) {
-      case OpClass::FpScalar:
-        return 2;   // scalar FMA
-      case OpClass::VsuFp:
-        return 4;   // 2 lanes x FMA
-      case OpClass::MmaGer:
-        return 16;  // 4x2 accumulator halves x rank-2 FMA
-      default:
-        return 0;
-    }
-}
-
 } // namespace p10ee::isa

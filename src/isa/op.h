@@ -47,20 +47,45 @@ enum class OpClass : uint8_t {
 /** Human-readable name of an operation class. */
 std::string opClassName(OpClass op);
 
+// The class predicates below are defined in the header: the advance loop
+// asks them several times per simulated instruction, and as out-of-line
+// calls they dominated the flat profile. constexpr keeps them usable in
+// static contexts as well.
+
 /** True for any memory-reading class. */
-bool isLoad(OpClass op);
+constexpr bool
+isLoad(OpClass op)
+{
+    return op == OpClass::Load || op == OpClass::Load32B;
+}
 
 /** True for any memory-writing class. */
-bool isStore(OpClass op);
+constexpr bool
+isStore(OpClass op)
+{
+    return op == OpClass::Store || op == OpClass::Store32B;
+}
 
 /** True for either branch class. */
-bool isBranch(OpClass op);
+constexpr bool
+isBranch(OpClass op)
+{
+    return op == OpClass::Branch || op == OpClass::BranchIndirect;
+}
 
 /** True for the 128-bit VSU classes. */
-bool isVsu(OpClass op);
+constexpr bool
+isVsu(OpClass op)
+{
+    return op == OpClass::VsuFp || op == OpClass::VsuInt;
+}
 
 /** True for the MMA classes. */
-bool isMma(OpClass op);
+constexpr bool
+isMma(OpClass op)
+{
+    return op == OpClass::MmaGer || op == OpClass::MmaMove;
+}
 
 /**
  * Double-precision-equivalent floating point operations performed by one
@@ -71,7 +96,20 @@ bool isMma(OpClass op);
  * 16 flops (32 double-precision flops/cycle across the paper's quoted
  * peak with two MMA-feeding pipes).
  */
-int flopsPerInstr(OpClass op);
+constexpr int
+flopsPerInstr(OpClass op)
+{
+    switch (op) {
+      case OpClass::FpScalar:
+        return 2;  // scalar FMA
+      case OpClass::VsuFp:
+        return 4;  // 2 lanes x FMA
+      case OpClass::MmaGer:
+        return 16; // 4x2 accumulator halves x rank-2 FMA
+      default:
+        return 0;
+    }
+}
 
 } // namespace p10ee::isa
 

@@ -53,6 +53,18 @@ parseRunPayload(const obs::JsonValue& root, api::RunRequest* out)
                 return Error::invalidArgument("run field '" + key +
                                               "' must be a string");
             (key == "config" ? out->config : out->workload) = v.string;
+        } else if (key == "mode") {
+            // Strict: only the canonical mode names cross the wire; a
+            // hostile or typo'd value is rejected here, before any
+            // simulation state exists.
+            if (!v.isString())
+                return Error{common::ErrorCode::InvalidArgument,
+                             "run field 'mode' must be a string",
+                             "mode"};
+            Expected<api::SimMode> m = api::parseSimMode(v.string);
+            if (!m)
+                return m.error();
+            out->mode = m.value();
         } else if (key == "smt" || key == "cores" || key == "instrs" ||
                    key == "warmup" || key == "seed" ||
                    key == "sample_interval") {
@@ -342,6 +354,12 @@ errorLine(const std::string& id, const common::Error& e)
     w.key("event").value("error");
     w.key("code").value(common::errorCodeName(e.code));
     w.key("message").value(e.message);
+    // Structured origin of a validation failure, surfaced verbatim so
+    // a client can point at the offending request key. Absent (not
+    // empty) when the error is not tied to one field — historical
+    // error lines keep their exact bytes.
+    if (!e.field.empty())
+        w.key("field").value(e.field);
     w.endObject();
     return w.str();
 }

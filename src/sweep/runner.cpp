@@ -45,8 +45,11 @@ SweepResult::meanPowerW() const
 {
     double sum = 0.0;
     uint64_t n = 0;
+    // FastM1 shards carry no power result at all; averaging their
+    // zeros in would silently dilute the mean, so only Full shards
+    // contribute.
     for (const ShardResult& s : shards)
-        if (s.ok) {
+        if (s.ok && s.mode == api::SimMode::Full) {
             sum += s.powerW;
             ++n;
         }
@@ -75,6 +78,8 @@ SweepRunner::runShard(const ShardSpec& shard) const
     res.index = shard.index;
     res.key = shard.key();
     res.cores = std::max(shard.cores, 1);
+    res.mode = shard.mode;
+    const bool fast = shard.mode == api::SimMode::FastM1;
     if (!shard.profile.frontend.empty()) {
         // Provenance for externally ingested workloads: the recorded
         // name (scheme prefix stripped) plus the content hash that
@@ -155,6 +160,7 @@ SweepRunner::runShard(const ShardSpec& shard) const
         chip::ChipConfig chipCfg;
         chipCfg.cores.assign(static_cast<size_t>(nCores), shard.config);
         chipCfg.seed = spec_.seed;
+        chipCfg.fastM1 = fast;
         chip::ChipModel model(chipCfg);
         chip::ChipRunOptions opts;
         opts.measureInstrs = spec_.instrs;
@@ -273,8 +279,14 @@ SweepRunner::runShard(const ShardSpec& shard) const
                              static_cast<double>(res.cycles));
             report.addScalar("instrs",
                              static_cast<double>(res.instrs));
-            report.addScalar("power_w", res.powerW);
-            report.addScalar("ipc_per_w", res.ipcPerW);
+            // Power/efficiency are absent (not zeroed) for FastM1;
+            // the meta mode key records why.
+            if (fast) {
+                report.meta().mode = api::simModeName(shard.mode);
+            } else {
+                report.addScalar("power_w", res.powerW);
+                report.addScalar("ipc_per_w", res.ipcPerW);
+            }
             if (rec)
                 report.addTimeSeries(*rec);
             auto st = report.writeTo(
@@ -440,11 +452,28 @@ SweepRunner::merge(const SweepSpec& spec, const SweepResult& result,
     report.addScalar("sweep.retries",
                      static_cast<double>(result.retriesTotal));
     report.addScalar("sweep.geomean_ipc", result.geoMeanIpc());
-    report.addScalar("sweep.mean_power_w", result.meanPowerW());
+    // Mean power is a Full-mode aggregate; an all-FastM1 sweep has
+    // nothing to average and the scalar is absent, not zero.
+    bool anyFull = false;
+    bool anyFast = false;
+    for (const ShardResult& s : result.shards) {
+        if (s.mode == api::SimMode::FastM1)
+            anyFast = true;
+        else
+            anyFull = true;
+    }
+    if (anyFull)
+        report.addScalar("sweep.mean_power_w", result.meanPowerW());
 
+    // The mode column appears only in sweeps that actually ran FastM1
+    // shards, so Full-only sweeps keep their exact historical bytes.
     common::Table t("sweep shards");
-    t.header({"shard", "config", "workload", "smt", "seed", "status",
-              "retries", "cycles", "ipc", "power_w"});
+    if (anyFast)
+        t.header({"shard", "config", "workload", "smt", "seed", "mode",
+                  "status", "retries", "cycles", "ipc", "power_w"});
+    else
+        t.header({"shard", "config", "workload", "smt", "seed",
+                  "status", "retries", "cycles", "ipc", "power_w"});
     for (const ShardResult& s : result.shards) {
         // key = "config/workload/smtN/seedK" — split it back into the
         // table's axis columns.
@@ -465,10 +494,20 @@ SweepRunner::merge(const SweepSpec& spec, const SweepResult& result,
             parts.size() > 3 && parts[3].size() > 4
                 ? parts[3].substr(4)
                 : "";
-        t.row({std::to_string(s.index), config, workload, smt, seed,
-               s.ok ? "ok" : common::errorCodeName(s.error.code),
-               std::to_string(s.retries), std::to_string(s.cycles),
-               common::fmt(s.ipc, 4), common::fmt(s.powerW, 3)});
+        const bool fastRow = s.mode == api::SimMode::FastM1;
+        std::vector<std::string> row = {std::to_string(s.index), config,
+                                        workload, smt, seed};
+        if (anyFast)
+            row.push_back(api::simModeName(s.mode));
+        row.push_back(s.ok ? "ok"
+                           : common::errorCodeName(s.error.code));
+        row.push_back(std::to_string(s.retries));
+        row.push_back(std::to_string(s.cycles));
+        row.push_back(common::fmt(s.ipc, 4));
+        // A FastM1 shard has no power result: "-" renders absence,
+        // where "0.000" would read as a measured zero.
+        row.push_back(fastRow ? "-" : common::fmt(s.powerW, 3));
+        t.row(std::move(row));
     }
     report.addTable(t);
 

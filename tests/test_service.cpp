@@ -266,6 +266,67 @@ TEST(Protocol, RejectsHostileInput)
     reject(huge);
 }
 
+TEST(Protocol, ModeCrossesTheWireStrictly)
+{
+    // The mode key is optional (absent = full, the historical wire
+    // shape) and strictly validated: only the canonical names pass.
+    auto fast = mustParse(
+        "{\"type\":\"run\",\"id\":\"r1\",\"config\":\"power10\","
+        "\"workload\":\"xz\",\"instrs\":1000,\"warmup\":100,"
+        "\"mode\":\"fast_m1\"}");
+    EXPECT_EQ(fast.run.mode, api::SimMode::FastM1);
+
+    auto full = mustParse(
+        "{\"type\":\"run\",\"id\":\"r2\",\"config\":\"power10\","
+        "\"workload\":\"xz\",\"instrs\":1000,\"mode\":\"full\"}");
+    EXPECT_EQ(full.run.mode, api::SimMode::Full);
+
+    auto absent = mustParse(
+        "{\"type\":\"run\",\"id\":\"r3\",\"config\":\"power10\","
+        "\"workload\":\"xz\",\"instrs\":1000}");
+    EXPECT_EQ(absent.run.mode, api::SimMode::Full);
+
+    // Hostile values are rejected with the offending field named, at
+    // the wire layer — never silently defaulted.
+    for (const char* bad :
+         {"\"turbo\"", "\"FULL\"", "\"fast-m1\"", "5", "null"}) {
+        auto r = service::Request::parse(
+            std::string("{\"type\":\"run\",\"id\":\"x\","
+                        "\"config\":\"power10\",\"workload\":\"xz\","
+                        "\"instrs\":1000,\"mode\":") +
+            bad + "}");
+        ASSERT_FALSE(r.ok()) << bad;
+        EXPECT_EQ(r.error().field, "mode") << bad;
+    }
+
+    // A sweep spec with a hostile mode axis dies the same way.
+    auto sweepBad = service::Request::parse(
+        "{\"type\":\"sweep\",\"id\":\"s\",\"spec\":{"
+        "\"configs\":[\"power10\"],\"workloads\":[\"xz\"],"
+        "\"mode\":[\"warp9\"]}}");
+    ASSERT_FALSE(sweepBad.ok());
+    EXPECT_EQ(sweepBad.error().field, "mode");
+}
+
+TEST(Protocol, ErrorLineCarriesTheFieldKey)
+{
+    // Structured validation errors surface their field name verbatim
+    // on the NDJSON error line, so a client can point at the exact
+    // offending request key.
+    common::Error withField{common::ErrorCode::InvalidArgument,
+                            "run request: smt must be 1, 2, 4 or 8",
+                            "smt"};
+    const std::string line = service::errorLine("r1", withField);
+    EXPECT_NE(line.find("\"field\":\"smt\""), std::string::npos)
+        << line;
+
+    // Errors not tied to one field keep the historical line shape: no
+    // field key at all rather than an empty one.
+    common::Error without = common::Error::timeout("too slow");
+    const std::string bare = service::errorLine("r2", without);
+    EXPECT_EQ(bare.find("\"field\""), std::string::npos) << bare;
+}
+
 TEST(Protocol, DoneLineEmbedsReportVerbatim)
 {
     const std::string report =

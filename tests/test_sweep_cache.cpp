@@ -131,6 +131,7 @@ expectSameResult(const ShardResult& got, const ShardResult& want)
     EXPECT_EQ(got.wallSeconds, 0.0);
     EXPECT_EQ(got.ipcX, want.ipcX);
     EXPECT_EQ(got.ipcY, want.ipcY);
+    EXPECT_EQ(got.mode, want.mode);
 }
 
 } // namespace
@@ -149,6 +150,9 @@ TEST(CacheKey, CanonicalJsonIsStableAndSelfContained)
     EXPECT_NE(a.find("config_hash"), std::string::npos);
     EXPECT_NE(a.find("profile_hash"), std::string::npos);
     EXPECT_NE(a.find("shard_index"), std::string::npos);
+    // Fidelity mode is part of cache identity: a FastM1 result has no
+    // power fields to replay into a Full request.
+    EXPECT_NE(a.find("\"mode\""), std::string::npos);
 }
 
 TEST(CacheKey, ReorderedSpecJsonSameKey)
@@ -205,6 +209,8 @@ TEST(CacheKey, SemanticFieldChangesChangeKey)
             "sampleInterval");
     mutated([](SweepSpec& s) { s.configs = {"power9"}; }, "config");
     mutated([](SweepSpec& s) { s.workloads = {"xz"}; }, "workload");
+    mutated([](SweepSpec& s) { s.modes = {api::SimMode::FastM1}; },
+            "mode");
 }
 
 TEST(CacheKey, DistinctShardsDistinctKeys)
@@ -254,6 +260,42 @@ TEST(CacheEntry, FailedShardCachedToo)
     auto got = cache.lookup(spec, shard);
     ASSERT_TRUE(got.has_value());
     expectSameResult(*got, fail);
+}
+
+TEST(CacheEntry, FastM1ProvenanceSurvivesTheCache)
+{
+    // A cached FastM1 result must replay as FastM1 (no power fields)
+    // so a warm merged report renders its power column absent — mode
+    // provenance is the trailing byte of the v5 entry body.
+    TempCacheDir dir("cache_mode");
+    ShardCache cache(dir.path);
+    ASSERT_TRUE(cache.prepare().ok());
+    auto spec = tinySpec();
+    spec.modes = {api::SimMode::FastM1};
+    auto shard = expandOrDie(spec)[0];
+    auto want = okResult(shard);
+    want.mode = api::SimMode::FastM1;
+    want.powerW = 0.0;
+    want.ipcPerW = 0.0;
+    ASSERT_TRUE(cache.insert(spec, shard, want).ok());
+    auto got = cache.lookup(spec, shard);
+    ASSERT_TRUE(got.has_value());
+    expectSameResult(*got, want);
+    EXPECT_EQ(got->mode, api::SimMode::FastM1);
+}
+
+TEST(CacheHostile, OutOfRangeModeByteIsMiss)
+{
+    // An entry whose mode byte names no known fidelity (container
+    // checksum intact, so only the mode validation can catch it) must
+    // be a miss, never a bogus SimMode escaping into the runner.
+    auto spec = tinySpec();
+    auto shard = expandOrDie(spec)[0];
+    auto result = okResult(shard);
+    result.mode = static_cast<api::SimMode>(7);
+    auto bytes = ShardCache::encodeEntry(spec, shard, result);
+    EXPECT_FALSE(
+        ShardCache::decodeEntry(bytes, spec, shard).has_value());
 }
 
 TEST(CacheEntry, MissWhenAbsent)
